@@ -1,0 +1,452 @@
+package mpj
+
+// The benchmark harness. Each paper table/figure has a regeneration
+// path:
+//
+//   - Figs. 10–15 (transfer time / throughput on the three fabrics):
+//     modelled curves — BenchmarkFigures exercises the generator, and
+//     `go run ./cmd/benchfig -fig N` prints the rows; the Benchmark
+//     PingPong* functions below measure the *live* Go implementation's
+//     software path (the numbers EXPERIMENTS.md compares against the
+//     modelled MPJ Express curves);
+//   - §V-A (ANY_SOURCE overlap): BenchmarkAnySourceOverlap*;
+//   - §VI (650 pending receives): BenchmarkManyPendingReceives;
+//   - §IV-E.1 (Waitany via peek, no polling): BenchmarkWaitAnyPeek vs
+//     BenchmarkWaitAnyPollingBaseline (ablation);
+//   - §V-E (packing overhead: MPJE vs mpjdev): BenchmarkPacked vs
+//     BenchmarkUnpacked transfer.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mpj/internal/expt"
+	"mpj/internal/perfmodel"
+)
+
+// benchWorld wires n in-process ranks and runs fn; the benchmark body
+// runs inside rank goroutines.
+func benchWorld(b *testing.B, n int, opts *Options, fn func(p *Process) error) {
+	b.Helper()
+	if err := RunLocalOpts(n, opts, fn); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// ---- live ping-pong over niodev (Figs. 10-15 live counterpart) ----
+
+func benchPingPong(b *testing.B, size int, opts *Options) {
+	b.SetBytes(int64(size))
+	benchWorld(b, 2, opts, func(p *Process) error {
+		w := p.World()
+		peer := 1 - w.Rank()
+		out := make([]byte, size)
+		in := make([]byte, size)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if w.Rank() == 0 {
+				if err := w.Send(out, 0, size, BYTE, peer, 0); err != nil {
+					return err
+				}
+				if _, err := w.Recv(in, 0, size, BYTE, peer, 0); err != nil {
+					return err
+				}
+			} else {
+				if _, err := w.Recv(in, 0, size, BYTE, peer, 0); err != nil {
+					return err
+				}
+				if err := w.Send(out, 0, size, BYTE, peer, 0); err != nil {
+					return err
+				}
+			}
+		}
+		b.StopTimer()
+		return nil
+	})
+}
+
+func BenchmarkPingPongEager(b *testing.B) {
+	for _, size := range []int{1, 1 << 10, 16 << 10, 64 << 10} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			benchPingPong(b, size, &Options{Device: "niodev"})
+		})
+	}
+}
+
+func BenchmarkPingPongRendezvous(b *testing.B) {
+	for _, size := range []int{256 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			benchPingPong(b, size, &Options{Device: "niodev"})
+		})
+	}
+}
+
+func BenchmarkPingPongMxdev(b *testing.B) {
+	for _, size := range []int{1 << 10, 64 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			benchPingPong(b, size, &Options{Device: "mxdev"})
+		})
+	}
+}
+
+func BenchmarkPingPongSmpdev(b *testing.B) {
+	benchPingPong(b, 1<<10, &Options{Device: "smpdev"})
+}
+
+// ---- §V-E packing overhead ablation: MPJE-with-packing vs raw ----
+
+// BenchmarkPackedTransfer sends doubles through the full MPJ path
+// (pack into mpjbuf, transfer, unpack) — the MPJ Express curve.
+func BenchmarkPackedTransfer(b *testing.B) {
+	const n = 1 << 15 // 256 KiB of doubles
+	b.SetBytes(int64(n * 8))
+	benchWorld(b, 2, nil, func(p *Process) error {
+		w := p.World()
+		peer := 1 - w.Rank()
+		data := make([]float64, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if w.Rank() == 0 {
+				if err := w.Send(data, 0, n, DOUBLE, peer, 0); err != nil {
+					return err
+				}
+			} else {
+				if _, err := w.Recv(data, 0, n, DOUBLE, peer, 0); err != nil {
+					return err
+				}
+			}
+		}
+		b.StopTimer()
+		return nil
+	})
+}
+
+// BenchmarkUnpackedTransfer sends the same bytes without element
+// conversion (BYTE datatype fast path) — the mpjdev-like floor the
+// paper compares against in §V-E.
+func BenchmarkUnpackedTransfer(b *testing.B) {
+	const n = 1 << 18 // 256 KiB
+	b.SetBytes(int64(n))
+	benchWorld(b, 2, nil, func(p *Process) error {
+		w := p.World()
+		peer := 1 - w.Rank()
+		data := make([]byte, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if w.Rank() == 0 {
+				if err := w.Send(data, 0, n, BYTE, peer, 0); err != nil {
+					return err
+				}
+			} else {
+				if _, err := w.Recv(data, 0, n, BYTE, peer, 0); err != nil {
+					return err
+				}
+			}
+		}
+		b.StopTimer()
+		return nil
+	})
+}
+
+// ---- collectives ----
+
+func BenchmarkBarrier(b *testing.B) {
+	benchWorld(b, 4, nil, func(p *Process) error {
+		w := p.World()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w.Barrier(); err != nil {
+				return err
+			}
+		}
+		b.StopTimer()
+		return nil
+	})
+}
+
+func BenchmarkBcast(b *testing.B) {
+	const n = 1 << 12
+	benchWorld(b, 4, nil, func(p *Process) error {
+		w := p.World()
+		buf := make([]float64, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w.Bcast(buf, 0, n, DOUBLE, 0); err != nil {
+				return err
+			}
+		}
+		b.StopTimer()
+		return nil
+	})
+}
+
+func BenchmarkAllreduce(b *testing.B) {
+	const n = 1 << 10
+	benchWorld(b, 4, nil, func(p *Process) error {
+		w := p.World()
+		in := make([]float64, n)
+		out := make([]float64, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w.Allreduce(in, 0, out, 0, n, DOUBLE, SUM); err != nil {
+				return err
+			}
+		}
+		b.StopTimer()
+		return nil
+	})
+}
+
+func BenchmarkAlltoall(b *testing.B) {
+	const per = 256
+	benchWorld(b, 4, nil, func(p *Process) error {
+		w := p.World()
+		in := make([]int64, per*w.Size())
+		out := make([]int64, per*w.Size())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w.Alltoall(in, 0, per, LONG, out, 0, per, LONG); err != nil {
+				return err
+			}
+		}
+		b.StopTimer()
+		return nil
+	})
+}
+
+// ---- §IV-E.1 ablation: peek-based WaitAny vs polling ----
+
+func BenchmarkWaitAnyPeek(b *testing.B) {
+	benchWorld(b, 2, nil, func(p *Process) error {
+		w := p.World()
+		peer := 1 - w.Rank()
+		buf := make([]int64, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if w.Rank() == 0 {
+				req, err := w.Irecv(buf, 0, 1, LONG, AnySource, 0)
+				if err != nil {
+					return err
+				}
+				if err := w.Send(buf, 0, 1, LONG, peer, 1); err != nil {
+					return err
+				}
+				if _, _, err := WaitAny([]*Request{req}); err != nil {
+					return err
+				}
+			} else {
+				if _, err := w.Recv(buf, 0, 1, LONG, peer, 1); err != nil {
+					return err
+				}
+				if err := w.Send(buf, 0, 1, LONG, peer, 0); err != nil {
+					return err
+				}
+			}
+		}
+		b.StopTimer()
+		return nil
+	})
+}
+
+// BenchmarkWaitAnyPollingBaseline is the "straightforward" Waitany the
+// paper rejects: spin on TestAny until something completes.
+func BenchmarkWaitAnyPollingBaseline(b *testing.B) {
+	benchWorld(b, 2, nil, func(p *Process) error {
+		w := p.World()
+		peer := 1 - w.Rank()
+		buf := make([]int64, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if w.Rank() == 0 {
+				req, err := w.Irecv(buf, 0, 1, LONG, AnySource, 0)
+				if err != nil {
+					return err
+				}
+				if err := w.Send(buf, 0, 1, LONG, peer, 1); err != nil {
+					return err
+				}
+				for {
+					_, _, ok, err := TestAny([]*Request{req})
+					if err != nil {
+						return err
+					}
+					if ok {
+						break
+					}
+				}
+			} else {
+				if _, err := w.Recv(buf, 0, 1, LONG, peer, 1); err != nil {
+					return err
+				}
+				if err := w.Send(buf, 0, 1, LONG, peer, 0); err != nil {
+					return err
+				}
+			}
+		}
+		b.StopTimer()
+		return nil
+	})
+}
+
+// ---- thread-multiple scaling ----
+
+func BenchmarkThreadMultipleSenders(b *testing.B) {
+	const goroutines = 4
+	benchWorld(b, 2, nil, func(p *Process) error {
+		w := p.World()
+		peer := 1 - w.Rank()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		errs := make([]error, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				buf := make([]int64, 1)
+				for i := 0; i < b.N/goroutines+1; i++ {
+					if err := w.Send(buf, 0, 1, LONG, peer, g); err != nil {
+						errs[g] = err
+						return
+					}
+					if _, err := w.Recv(buf, 0, 1, LONG, peer, g); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		b.StopTimer()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ---- experiment and figure regeneration ----
+
+func BenchmarkAnySourceOverlapMPJ(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.AnySourceOverlap("mpj", 128, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnySourceOverlapIbis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.AnySourceOverlap("ibis", 128, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkManyPendingReceives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		posted, postErr, err := expt.ManyPendingReceives("mpj", 650)
+		if err != nil || postErr != nil || posted != 650 {
+			b.Fatalf("posted=%d postErr=%v err=%v", posted, postErr, err)
+		}
+	}
+}
+
+// BenchmarkObjectVsTypedTransfer quantifies §IV-C's concern about "the
+// cost of object serialization": the same 4096 float64 values sent as
+// a typed DOUBLE array (packed big-endian) versus as an OBJECT message
+// (gob-serialized, the JDK-serialization analogue).
+func BenchmarkObjectVsTypedTransfer(b *testing.B) {
+	const n = 4096
+	fill := func(dst []float64) {
+		for i := range dst {
+			dst[i] = 1.0/float64(i+1) + float64(i)*1e-3
+		}
+	}
+	b.Run("typed-doubles", func(b *testing.B) {
+		b.SetBytes(n * 8)
+		benchWorld(b, 2, nil, func(p *Process) error {
+			w := p.World()
+			peer := 1 - w.Rank()
+			data := make([]float64, n)
+			fill(data)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if w.Rank() == 0 {
+					if err := w.Send(data, 0, n, DOUBLE, peer, 0); err != nil {
+						return err
+					}
+				} else {
+					if _, err := w.Recv(data, 0, n, DOUBLE, peer, 0); err != nil {
+						return err
+					}
+				}
+			}
+			b.StopTimer()
+			return nil
+		})
+	})
+	b.Run("object-serialized", func(b *testing.B) {
+		// Boxed per-element objects, the shape of a Java Object[] —
+		// each element pays serialization overhead individually.
+		b.SetBytes(n * 8)
+		benchWorld(b, 2, nil, func(p *Process) error {
+			w := p.World()
+			peer := 1 - w.Rank()
+			payload := make([]float64, n)
+			fill(payload)
+			objs := make([]any, n)
+			for i, v := range payload {
+				objs[i] = v
+			}
+			in := make([]any, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if w.Rank() == 0 {
+					if err := w.Send(objs, 0, n, OBJECT, peer, 0); err != nil {
+						return err
+					}
+				} else {
+					if _, err := w.Recv(in, 0, n, OBJECT, peer, 0); err != nil {
+						return err
+					}
+				}
+			}
+			b.StopTimer()
+			return nil
+		})
+	})
+}
+
+// BenchmarkEagerLimitSweep is the protocol-threshold ablation: the
+// same 64 KiB transfer with the switch placed below (forcing
+// rendezvous) and above (eager) the message size. The gap is the
+// rendezvous handshake cost the paper's 128 KiB default avoids paying
+// for small messages.
+func BenchmarkEagerLimitSweep(b *testing.B) {
+	const size = 64 << 10
+	for _, cfg := range []struct {
+		name  string
+		limit int
+	}{
+		{"eager", 1 << 20},
+		{"rendezvous", 1024},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			benchPingPong(b, size, &Options{Device: "niodev", EagerLimit: cfg.limit})
+		})
+	}
+}
+
+// BenchmarkFigures regenerates all six modelled evaluation figures.
+func BenchmarkFigures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, f := range perfmodel.Figures() {
+			if pts := f.Generate(); len(pts) == 0 {
+				b.Fatal("empty figure")
+			}
+		}
+	}
+}

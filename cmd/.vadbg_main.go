@@ -1,0 +1,24 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"mpj/internal/expt"
+)
+
+func main() {
+	fmt.Println("GOMAXPROCS:", runtime.GOMAXPROCS(0), "NumCPU:", runtime.NumCPU())
+	for trial := 0; trial < 3; trial++ {
+		for _, mode := range []string{"mpj", "ibis"} {
+			start := time.Now()
+			res, err := expt.AnySourceOverlap(mode, 400, 100)
+			if err != nil {
+				fmt.Println(mode, "error:", err)
+				continue
+			}
+			fmt.Printf("trial %d %-5s compute=%-15v total=%-15v wall=%v\n", trial, mode, res.Compute, res.Total, time.Since(start))
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Command mpjdaemon is the MPJ Express compute-node daemon (paper
+// §IV-D): it listens for requests from mpjrun and starts MPJ processes
+// in response, streaming their output back. The Java original was
+// installed as an OS service via the Java Service Wrapper; run this
+// binary under your init system of choice for the same effect.
+//
+// Usage:
+//
+//	mpjdaemon [-addr :10000] [-scratch DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"mpj/internal/mpjrt"
+)
+
+func main() {
+	addr := flag.String("addr", ":10000", "listen address")
+	scratch := flag.String("scratch", "", "download directory for remotely loaded programs (default: temp dir)")
+	flag.Parse()
+
+	d, err := mpjrt.NewDaemon(*addr, *scratch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpjdaemon:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mpjdaemon listening on %s\n", d.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("mpjdaemon: shutting down")
+	d.Close()
+}

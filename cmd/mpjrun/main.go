@@ -1,0 +1,89 @@
+// Command mpjrun bootstraps an MPJ job across compute nodes running
+// mpjdaemon (paper §IV-D). It assigns ranks and listen addresses,
+// contacts each daemon, streams the processes' output, and exits with
+// the first non-zero rank exit code.
+//
+// Usage:
+//
+//	mpjrun -np 4 -daemons host1:10000,host2:10000 [-dev niodev]
+//	       [-baseport 20000] [-remote] program [args...]
+//
+// With -remote the program binary is served over HTTP from this
+// machine and downloaded by the daemons (remote loading, Fig. 9b);
+// otherwise daemons execute the path from their local or shared
+// filesystem (local loading, Fig. 9a).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mpj/internal/mpjrt"
+)
+
+func main() {
+	np := flag.Int("np", 1, "number of processes")
+	daemons := flag.String("daemons", "127.0.0.1:10000", "comma-separated daemon addresses")
+	dev := flag.String("dev", "niodev", "communication device")
+	basePort := flag.Int("baseport", 20000, "first rank listen port")
+	remote := flag.Bool("remote", false, "serve the binary over HTTP to the daemons (remote loading)")
+	ping := flag.Bool("ping", false, "check that every daemon is reachable, then exit")
+	status := flag.Bool("status", false, "print every daemon's running jobs, then exit")
+	flag.Parse()
+
+	if *ping || *status {
+		exit := 0
+		for _, addr := range strings.Split(*daemons, ",") {
+			if *ping {
+				if err := mpjrt.Ping(addr, 5*time.Second); err != nil {
+					fmt.Printf("%s: unreachable (%v)\n", addr, err)
+					exit = 1
+					continue
+				}
+				fmt.Printf("%s: ok\n", addr)
+			}
+			if *status {
+				jobs, err := mpjrt.Status(addr)
+				if err != nil {
+					fmt.Printf("%s: %v\n", addr, err)
+					exit = 1
+					continue
+				}
+				fmt.Printf("%s: %d job(s)\n", addr, len(jobs))
+				for id, live := range jobs {
+					fmt.Printf("  %s: %d process(es)\n", id, live)
+				}
+			}
+		}
+		os.Exit(exit)
+	}
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "mpjrun: no program given")
+		flag.Usage()
+		os.Exit(2)
+	}
+	job := mpjrt.Job{
+		NP:         *np,
+		Daemons:    strings.Split(*daemons, ","),
+		Program:    flag.Arg(0),
+		Args:       flag.Args()[1:],
+		Device:     *dev,
+		BasePort:   *basePort,
+		RemoteLoad: *remote,
+		Output:     os.Stdout,
+	}
+	res, err := mpjrt.Run(job)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpjrun:", err)
+		os.Exit(1)
+	}
+	for _, code := range res.ExitCodes {
+		if code != 0 {
+			os.Exit(code)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command pingpong measures this implementation's live point-to-point
+// performance between two in-process ranks, optionally over an
+// emulated fabric — the paper's transfer-time/throughput benchmark
+// driven against the real Go code path.
+//
+// Usage:
+//
+//	pingpong [-max 4194304] [-reps 100] [-eager 131072] [-fabric gige]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"mpj"
+)
+
+func main() {
+	maxSize := flag.Int("max", 4<<20, "largest message size in bytes")
+	reps := flag.Int("reps", 100, "round trips per size")
+	eager := flag.Int("eager", 0, "eager limit override (0 = default 128 KiB)")
+	fabric := flag.String("fabric", "", "emulated fabric: fast, gige, mx (default: raw in-memory)")
+	flag.Parse()
+
+	opts := &mpj.Options{Device: "niodev", EagerLimit: *eager, Fabric: *fabric}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "bytes\thalf-RTT\tMbps")
+
+	err := mpj.RunLocalOpts(2, opts, func(p *mpj.Process) error {
+		world := p.World()
+		peer := 1 - world.Rank()
+		for size := 1; size <= *maxSize; size *= 4 {
+			n := *reps
+			if size >= 1<<20 {
+				n = max(*reps/10, 3)
+			}
+			buf := make([]byte, size)
+			in := make([]byte, size)
+			// Warm up once per size.
+			if err := exchange(world, peer, buf, in, 1); err != nil {
+				return err
+			}
+			start := time.Now()
+			if err := exchange(world, peer, buf, in, n); err != nil {
+				return err
+			}
+			if world.Rank() == 0 {
+				half := time.Since(start) / time.Duration(2*n)
+				mbps := float64(size) * 8 / half.Seconds() / 1e6
+				fmt.Fprintf(w, "%d\t%v\t%.0f\n", size, half, mbps)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pingpong:", err)
+		os.Exit(1)
+	}
+	w.Flush()
+}
+
+func exchange(world *mpj.Intracomm, peer int, out, in []byte, n int) error {
+	for i := 0; i < n; i++ {
+		if world.Rank() == 0 {
+			if err := world.Send(out, 0, len(out), mpj.BYTE, peer, 0); err != nil {
+				return err
+			}
+			if _, err := world.Recv(in, 0, len(in), mpj.BYTE, peer, 0); err != nil {
+				return err
+			}
+		} else {
+			if _, err := world.Recv(in, 0, len(in), mpj.BYTE, peer, 0); err != nil {
+				return err
+			}
+			if err := world.Send(out, 0, len(out), mpj.BYTE, peer, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package mpj
+
+// Link every communication device into the registry so Options.Device
+// and MPJ_DEVICE can select any of them by name.
+import (
+	_ "mpj/internal/ibisdev"
+	_ "mpj/internal/mxdev"
+	_ "mpj/internal/niodev"
+	_ "mpj/internal/smpdev"
+
+	"mpj/internal/xdev"
+)
+
+// Devices lists the available communication device names.
+func Devices() []string { return xdev.Names() }

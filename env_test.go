@@ -1,0 +1,69 @@
+package mpj
+
+import (
+	"fmt"
+	"net"
+	"testing"
+)
+
+func TestInitFromEnvSingleRank(t *testing.T) {
+	// A size-1 job still needs a listen address string present.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	t.Setenv(EnvRank, "0")
+	t.Setenv(EnvSize, "1")
+	t.Setenv(EnvAddrs, addr)
+	t.Setenv(EnvDevice, "niodev")
+
+	p, err := InitFromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Finalize()
+	if p.Rank() != 0 || p.Size() != 1 {
+		t.Fatalf("rank/size %d/%d", p.Rank(), p.Size())
+	}
+	// Self traffic works.
+	w := p.World()
+	req, err := w.Isend([]int32{5}, 0, 1, INT, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]int32, 1)
+	if _, err := w.Recv(buf, 0, 1, INT, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 5 {
+		t.Fatalf("got %d", buf[0])
+	}
+	if _, err := req.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitFromEnvValidation(t *testing.T) {
+	cases := []struct{ rank, size, addrs, dev string }{
+		{"", "1", "a", ""},           // missing rank
+		{"0", "", "a", ""},           // missing size
+		{"0", "2", "only-one", ""},   // addr count mismatch
+		{"0", "1", "a", "nosuchdev"}, // unknown device
+		{"zero", "1", "a", "niodev"}, // unparseable rank
+	}
+	for i, c := range cases {
+		t.Run(fmt.Sprint(i), func(t *testing.T) {
+			t.Setenv(EnvRank, c.rank)
+			t.Setenv(EnvSize, c.size)
+			t.Setenv(EnvAddrs, c.addrs)
+			t.Setenv(EnvDevice, c.dev)
+			if p, err := InitFromEnv(); err == nil {
+				p.Finalize()
+				t.Errorf("case %d accepted", i)
+			}
+		})
+	}
+}

@@ -1,0 +1,42 @@
+// Anysource: the paper's §V-A experiment as a runnable demo. Two
+// processes post 100 non-blocking MPI.ANY_SOURCE receives, run a
+// matrix multiplication while those receives are pending, then
+// exchange the messages. Compare MPJ Express's poll-free machinery
+// against an MPJ/Ibis-style thread-per-receive baseline.
+//
+//	go run ./examples/anysource [-matrix 500] [-msgs 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mpj/internal/expt"
+)
+
+func main() {
+	matrixN := flag.Int("matrix", 500, "matrix dimension (paper used 3000)")
+	msgs := flag.Int("msgs", 100, "pending wildcard receives per process")
+	flag.Parse()
+
+	fmt.Printf("posting %d ANY_SOURCE receives, multiplying %dx%d matrices...\n",
+		*msgs, *matrixN, *matrixN)
+
+	mpjRes, err := expt.AnySourceOverlap("mpj", *matrixN, *msgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ibisRes, err := expt.AnySourceOverlap("ibis", *matrixN, *msgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MPJ Express (no polling threads): matmul took %v\n", mpjRes.Compute)
+	fmt.Printf("thread-per-receive baseline:      matmul took %v\n", ibisRes.Compute)
+	if ibisRes.Compute > mpjRes.Compute {
+		gain := float64(ibisRes.Compute-mpjRes.Compute) / float64(ibisRes.Compute) * 100
+		fmt.Printf("computation ran %.1f%% faster under MPJ Express (paper: 11%%)\n", gain)
+	} else {
+		fmt.Println("no measurable difference on this host (needs CPU contention)")
+	}
+}

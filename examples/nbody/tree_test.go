@@ -1,0 +1,89 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTreeMatchesDirect bounds the Barnes-Hut monopole error against
+// direct summation for several system sizes.
+func TestTreeMatchesDirect(t *testing.T) {
+	for _, n := range []int{2, 16, 64, 300} {
+		d := newSystem(n)
+		tr := newSystem(n)
+		d.accelerate(0, n)
+		tr.accelerateTree(0, n)
+		worst := 0.0
+		for i := 0; i < n; i++ {
+			var refN, diffN float64
+			for k := 0; k < 3; k++ {
+				ref := d.acc[3*i+k]
+				got := tr.acc[3*i+k]
+				refN += ref * ref
+				diffN += (got - ref) * (got - ref)
+			}
+			if rel := math.Sqrt(diffN) / (math.Sqrt(refN) + 1e-12); rel > worst {
+				worst = rel
+			}
+		}
+		if worst > 0.25 {
+			t.Errorf("n=%d: worst relative force error %.3f", n, worst)
+		}
+	}
+}
+
+// TestTreeMassConservation: the root's monopole must hold the whole
+// system's mass at the global centre of mass.
+func TestTreeMassConservation(t *testing.T) {
+	const n = 128
+	s := newSystem(n)
+	tree := buildTree(s.pos, s.mass, n)
+	var mass, cx float64
+	for i := 0; i < n; i++ {
+		mass += s.mass[i]
+		cx += s.mass[i] * s.pos[3*i]
+	}
+	if math.Abs(tree.root.mass-mass) > 1e-12 {
+		t.Fatalf("root mass %v, want %v", tree.root.mass, mass)
+	}
+	if math.Abs(tree.root.mx-cx/mass) > 1e-9 {
+		t.Fatalf("root com.x %v, want %v", tree.root.mx, cx/mass)
+	}
+}
+
+// TestTreeCoincidentParticles: identical positions must not recurse
+// forever (depth guard) and must produce finite forces.
+func TestTreeCoincidentParticles(t *testing.T) {
+	n := 4
+	s := newSystem(n)
+	for i := 1; i < n; i++ {
+		copy(s.pos[3*i:3*i+3], s.pos[0:3])
+	}
+	s.accelerateTree(0, n)
+	for i := 0; i < 3*n; i++ {
+		if math.IsNaN(s.acc[i]) || math.IsInf(s.acc[i], 0) {
+			t.Fatalf("acc[%d] = %v", i, s.acc[i])
+		}
+	}
+}
+
+// TestBlockDecomposition checks the block partition covers [0,n).
+func TestBlockDecomposition(t *testing.T) {
+	for _, tc := range []struct{ n, size int }{{10, 3}, {7, 7}, {5, 8}, {100, 4}} {
+		covered := make([]bool, tc.n)
+		for r := 0; r < tc.size; r++ {
+			lo, hi := blockOf(tc.n, tc.size, r)
+			for i := lo; i < hi; i++ {
+				if covered[i] {
+					t.Fatalf("n=%d size=%d: index %d covered twice", tc.n, tc.size, i)
+				}
+				covered[i] = true
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("n=%d size=%d: index %d uncovered", tc.n, tc.size, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Pi: Monte-Carlo estimation of π — the canonical embarrassingly
+// parallel MPI exercise. Each rank throws darts with its own
+// deterministic stream, a Reduce collects the hit counts, and rank 0
+// reports the estimate. Demonstrates Bcast (parameters), Reduce
+// (results) and Wtime (timing).
+//
+//	go run ./examples/pi -samples 2000000 -np 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"mpj"
+)
+
+func main() {
+	samples := flag.Int("samples", 2_000_000, "total dart throws")
+	np := flag.Int("np", 4, "number of ranks")
+	flag.Parse()
+
+	err := mpj.RunLocal(*np, func(p *mpj.Process) error {
+		w := p.World()
+		rank, size := w.Rank(), w.Size()
+
+		// Rank 0 decides the workload; everyone learns it by Bcast.
+		params := make([]int64, 1)
+		if rank == 0 {
+			params[0] = int64(*samples)
+		}
+		if err := w.Bcast(params, 0, 1, mpj.LONG, 0); err != nil {
+			return err
+		}
+		total := params[0]
+		mine := total / int64(size)
+		if rank == 0 {
+			mine += total % int64(size)
+		}
+
+		// A splitmix-style stream seeded by rank keeps streams disjoint
+		// and the run deterministic.
+		seed := uint64(rank)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+		next := func() float64 {
+			seed += 0x9E3779B97F4A7C15
+			z := seed
+			z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+			z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+			return float64(z^(z>>31)) / float64(1<<64)
+		}
+
+		start := mpj.Wtime()
+		var hits int64
+		for i := int64(0); i < mine; i++ {
+			x, y := next(), next()
+			if x*x+y*y <= 1 {
+				hits++
+			}
+		}
+		elapsed := mpj.Wtime() - start
+
+		sum := make([]int64, 1)
+		if err := w.Reduce([]int64{hits}, 0, sum, 0, 1, mpj.LONG, mpj.SUM, 0); err != nil {
+			return err
+		}
+		slowest := make([]float64, 1)
+		if err := w.Reduce([]float64{elapsed}, 0, slowest, 0, 1, mpj.DOUBLE, mpj.MAX, 0); err != nil {
+			return err
+		}
+		if rank == 0 {
+			pi := 4 * float64(sum[0]) / float64(total)
+			fmt.Printf("pi ≈ %.6f (error %.2e) from %d samples on %d ranks in %.3fs\n",
+				pi, math.Abs(pi-math.Pi), total, size, slowest[0])
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+// Quickstart: the smallest complete MPJ program. Four ranks run inside
+// this process (the SMP scenario), exchange point-to-point messages,
+// and finish with collectives.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpj"
+)
+
+func main() {
+	err := mpj.RunLocal(4, func(p *mpj.Process) error {
+		w := p.World()
+		rank, size := w.Rank(), w.Size()
+
+		// Point-to-point: a ring of greetings. Sendrecv pairs the
+		// send and receive so the ring cannot deadlock.
+		right := (rank + 1) % size
+		left := (rank - 1 + size) % size
+		out := []int64{int64(rank * rank)}
+		in := make([]int64, 1)
+		if _, err := w.Sendrecv(
+			out, 0, 1, mpj.LONG, right, 0,
+			in, 0, 1, mpj.LONG, left, 0); err != nil {
+			return err
+		}
+		fmt.Printf("rank %d received %d from rank %d\n", rank, in[0], left)
+
+		// Collectives: share one value, then reduce.
+		motd := make([]byte, 32)
+		if rank == 0 {
+			copy(motd, "hello from COMM_WORLD")
+		}
+		if err := w.Bcast(motd, 0, len(motd), mpj.BYTE, 0); err != nil {
+			return err
+		}
+		sum := make([]int64, 1)
+		if err := w.Allreduce([]int64{int64(rank)}, 0, sum, 0, 1, mpj.LONG, mpj.SUM); err != nil {
+			return err
+		}
+		if rank == 0 {
+			fmt.Printf("broadcast said %q; ranks sum to %d\n", string(motd[:21]), sum[0])
+		}
+		return w.Barrier()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

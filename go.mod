@@ -1,0 +1,3 @@
+module mpj
+
+go 1.22

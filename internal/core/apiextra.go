@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mpj/internal/mpjbuf"
+)
+
+// This file completes the long tail of the mpijava 1.2 API surface:
+// group ranges, explicit pack/unpack, Sendrecv_replace, Waitsome/
+// Testsome, Cartesian subgrids, and the wall-clock utilities.
+
+// ---- Group ranges (Group.Range_incl / Range_excl) ----
+
+// RangeIncl builds a subgroup from [first, last, stride] triples, in
+// triple order (MPI_Group_range_incl).
+func (g *Group) RangeIncl(ranges [][3]int) (*Group, error) {
+	var ranks []int
+	for i, r := range ranges {
+		first, last, stride := r[0], r[1], r[2]
+		if stride == 0 {
+			return nil, fmt.Errorf("core: RangeIncl: zero stride in triple %d", i)
+		}
+		if (stride > 0 && first > last) || (stride < 0 && first < last) {
+			return nil, fmt.Errorf("core: RangeIncl: empty range in triple %d", i)
+		}
+		for rank := first; (stride > 0 && rank <= last) || (stride < 0 && rank >= last); rank += stride {
+			ranks = append(ranks, rank)
+		}
+	}
+	return g.Incl(ranks)
+}
+
+// RangeExcl builds the subgroup excluding the ranks covered by the
+// triples (MPI_Group_range_excl).
+func (g *Group) RangeExcl(ranges [][3]int) (*Group, error) {
+	inc, err := g.RangeIncl(ranges)
+	if err != nil {
+		return nil, err
+	}
+	drop := make([]int, 0, inc.Size())
+	for _, pid := range inc.pids {
+		drop = append(drop, g.Rank(pid))
+	}
+	return g.Excl(drop)
+}
+
+// ---- explicit pack/unpack (MPI_Pack / MPI_Unpack) ----
+
+// Pack appends count items of dt from buf (at offset) to the packing
+// buffer pb, creating it when nil, and returns it. The result can be
+// sent with SendBuffer or transmitted as BYTE data.
+func Pack(buf any, offset, count int, dt *Datatype, pb *mpjbuf.Buffer) (*mpjbuf.Buffer, error) {
+	tmp, err := pack(buf, offset, count, dt)
+	if err != nil {
+		return nil, err
+	}
+	if pb == nil || pb.Len() == 0 {
+		return tmp, nil
+	}
+	// Append tmp's sections after pb's by replaying both into a fresh
+	// buffer (buffers are value-cheap; sections self-describe).
+	out := mpjbuf.New(pb.Len() + tmp.Len() + 16)
+	if err := appendSections(out, pb); err != nil {
+		return nil, err
+	}
+	if err := appendSections(out, tmp); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// appendSections re-writes every section of src into dst.
+func appendSections(dst, src *mpjbuf.Buffer) error {
+	rb := mpjbuf.New(0)
+	if err := rb.LoadWire(src.Wire()); err != nil {
+		return err
+	}
+	for {
+		typ, count, ok := rb.PeekSection()
+		if !ok {
+			return nil
+		}
+		switch typ {
+		case mpjbuf.ByteType:
+			s := make([]byte, count)
+			if _, err := rb.ReadBytes(s, 0, count); err != nil {
+				return err
+			}
+			if err := dst.WriteBytes(s, 0, count); err != nil {
+				return err
+			}
+		case mpjbuf.BooleanType:
+			s := make([]bool, count)
+			if _, err := rb.ReadBooleans(s, 0, count); err != nil {
+				return err
+			}
+			if err := dst.WriteBooleans(s, 0, count); err != nil {
+				return err
+			}
+		case mpjbuf.CharType:
+			s := make([]uint16, count)
+			if _, err := rb.ReadChars(s, 0, count); err != nil {
+				return err
+			}
+			if err := dst.WriteChars(s, 0, count); err != nil {
+				return err
+			}
+		case mpjbuf.ShortType:
+			s := make([]int16, count)
+			if _, err := rb.ReadShorts(s, 0, count); err != nil {
+				return err
+			}
+			if err := dst.WriteShorts(s, 0, count); err != nil {
+				return err
+			}
+		case mpjbuf.IntType:
+			s := make([]int32, count)
+			if _, err := rb.ReadInts(s, 0, count); err != nil {
+				return err
+			}
+			if err := dst.WriteInts(s, 0, count); err != nil {
+				return err
+			}
+		case mpjbuf.LongType:
+			s := make([]int64, count)
+			if _, err := rb.ReadLongs(s, 0, count); err != nil {
+				return err
+			}
+			if err := dst.WriteLongs(s, 0, count); err != nil {
+				return err
+			}
+		case mpjbuf.FloatType:
+			s := make([]float32, count)
+			if _, err := rb.ReadFloats(s, 0, count); err != nil {
+				return err
+			}
+			if err := dst.WriteFloats(s, 0, count); err != nil {
+				return err
+			}
+		case mpjbuf.DoubleType:
+			s := make([]float64, count)
+			if _, err := rb.ReadDoubles(s, 0, count); err != nil {
+				return err
+			}
+			if err := dst.WriteDoubles(s, 0, count); err != nil {
+				return err
+			}
+		case mpjbuf.ObjectType:
+			s := make([]any, count)
+			if _, err := rb.ReadObjects(s, 0, count); err != nil {
+				return err
+			}
+			if err := dst.WriteObjects(s, 0, count); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("core: appendSections: unknown section type %v", typ)
+		}
+	}
+}
+
+// Unpack extracts the next count items of dt from the packing buffer
+// into buf at offset (MPI_Unpack). The buffer must be committed (as
+// returned by RecvBuffer or after Commit).
+func Unpack(pb *mpjbuf.Buffer, buf any, offset, count int, dt *Datatype) (int, error) {
+	return unpack(pb, buf, offset, count, dt)
+}
+
+// PackSize bounds the packed size in bytes of count items of dt
+// (MPI_Pack_size).
+func PackSize(count int, dt *Datatype) int {
+	if dt == nil {
+		return 0
+	}
+	elem := dt.Base().Size()
+	if elem == 0 {
+		elem = 64 // objects: a loose per-element estimate
+	}
+	const sectionHeader = 5
+	return count*dt.Size()*elem + sectionHeader + 16
+}
+
+// ---- Sendrecv_replace ----
+
+// SendrecvReplace exchanges in place: buf's items go to dst and are
+// replaced by the message from src (MPI_Sendrecv_replace).
+func (c *Comm) SendrecvReplace(buf any, offset, count int, dt *Datatype, dst, sendTag, src, recvTag int) (*Status, error) {
+	// Stage the outgoing data first so the receive can overwrite.
+	staged, err := pack(buf, offset, count, dt)
+	if err != nil {
+		return nil, err
+	}
+	sreq, err := c.ptp.Isend(staged, dst, sendTag)
+	if err != nil {
+		return nil, err
+	}
+	st, err := c.Recv(buf, offset, count, dt, src, recvTag)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sreq.Wait(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// ---- Waitsome / Testsome ----
+
+// WaitSome blocks until at least one non-nil request completes and
+// returns the indices and statuses of all requests found complete
+// (MPI_Waitsome). Completed entries should be set to nil by the caller
+// before the next call.
+func WaitSome(reqs []*Request) ([]int, []*Status, error) {
+	idx, st, err := WaitAny(reqs)
+	if err != nil {
+		return nil, nil, err
+	}
+	indices := []int{idx}
+	statuses := []*Status{st}
+	// Harvest anything else already complete.
+	for i, r := range reqs {
+		if r == nil || i == idx {
+			continue
+		}
+		s, ok, err := r.Test()
+		if err != nil {
+			return indices, statuses, err
+		}
+		if ok {
+			indices = append(indices, i)
+			statuses = append(statuses, s)
+		}
+	}
+	return indices, statuses, nil
+}
+
+// TestSome returns the indices and statuses of all currently completed
+// non-nil requests, possibly none (MPI_Testsome).
+func TestSome(reqs []*Request) ([]int, []*Status, error) {
+	var indices []int
+	var statuses []*Status
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		s, ok, err := r.Test()
+		if err != nil {
+			return indices, statuses, err
+		}
+		if ok {
+			indices = append(indices, i)
+			statuses = append(statuses, s)
+		}
+	}
+	return indices, statuses, nil
+}
+
+// ---- Cartesian subgrids (MPI_Cart_sub) ----
+
+// Sub partitions the grid into lower-dimensional subgrids: remain[d]
+// selects the dimensions kept; processes sharing the dropped
+// coordinates land in the same subgrid communicator.
+func (cc *CartComm) Sub(remain []bool) (*CartComm, error) {
+	if len(remain) != len(cc.dims) {
+		return nil, fmt.Errorf("core: Cart.Sub: want %d flags, have %d", len(cc.dims), len(remain))
+	}
+	coords := cc.MyCoords()
+	// Color = the dropped coordinates; key = rank order within.
+	color := 0
+	for d, keep := range remain {
+		if !keep {
+			color = color*cc.dims[d] + coords[d]
+		}
+	}
+	sub, err := cc.Split(color, cc.Rank())
+	if err != nil {
+		return nil, err
+	}
+	if sub == nil {
+		return nil, nil
+	}
+	var dims []int
+	var periods []bool
+	for d, keep := range remain {
+		if keep {
+			dims = append(dims, cc.dims[d])
+			periods = append(periods, cc.periods[d])
+		}
+	}
+	if len(dims) == 0 {
+		dims = []int{1}
+		periods = []bool{false}
+	}
+	return &CartComm{Intracomm: *sub, dims: dims, periods: periods}, nil
+}
+
+// ---- timers (MPI_Wtime / MPI_Wtick) ----
+
+var wtimeEpoch = time.Now()
+
+// Wtime returns elapsed wall-clock seconds since an arbitrary fixed
+// point in the past (MPI_Wtime).
+func Wtime() float64 { return time.Since(wtimeEpoch).Seconds() }
+
+// Wtick returns the resolution of Wtime in seconds (MPI_Wtick).
+func Wtick() float64 { return 1e-9 }

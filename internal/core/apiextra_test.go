@@ -1,0 +1,249 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mpj/internal/mpjbuf"
+)
+
+func TestRangeIncl(t *testing.T) {
+	g := NewGroup(pidsOf(0, 1, 2, 3, 4, 5, 6, 7))
+	sub, err := g.RangeIncl([][3]int{{0, 6, 2}, {7, 7, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 2, 4, 6, 7}
+	if sub.Size() != len(want) {
+		t.Fatalf("size %d", sub.Size())
+	}
+	for i, id := range want {
+		if sub.pids[i].UUID != id {
+			t.Fatalf("pids %v", sub.PIDs())
+		}
+	}
+	// Descending stride.
+	desc, err := g.RangeIncl([][3]int{{3, 1, -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.pids[0].UUID != 3 || desc.pids[2].UUID != 1 {
+		t.Fatalf("desc %v", desc.PIDs())
+	}
+	if _, err := g.RangeIncl([][3]int{{0, 3, 0}}); err == nil {
+		t.Error("zero stride accepted")
+	}
+	if _, err := g.RangeIncl([][3]int{{3, 0, 1}}); err == nil {
+		t.Error("empty ascending range accepted")
+	}
+	if _, err := g.RangeIncl([][3]int{{0, 99, 1}}); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+}
+
+func TestRangeExcl(t *testing.T) {
+	g := NewGroup(pidsOf(0, 1, 2, 3, 4, 5))
+	sub, err := g.RangeExcl([][3]int{{1, 5, 2}}) // drop 1,3,5
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 2, 4}
+	if sub.Size() != 3 {
+		t.Fatalf("size %d", sub.Size())
+	}
+	for i, id := range want {
+		if sub.pids[i].UUID != id {
+			t.Fatalf("pids %v", sub.PIDs())
+		}
+	}
+}
+
+func TestPackUnpackExplicit(t *testing.T) {
+	pb, err := Pack([]int32{1, 2, 3}, 0, 3, INT, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err = Pack([]float64{1.5, 2.5}, 0, 2, DOUBLE, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PackSize(3, INT) + PackSize(2, DOUBLE); got < pb.WireLen() {
+		t.Errorf("PackSize bound %d < actual %d", got, pb.WireLen())
+	}
+	rb := mpjbuf.New(0)
+	if err := rb.LoadWire(pb.Wire()); err != nil {
+		t.Fatal(err)
+	}
+	ints := make([]int32, 3)
+	if _, err := Unpack(rb, ints, 0, 3, INT); err != nil {
+		t.Fatal(err)
+	}
+	dbls := make([]float64, 2)
+	if _, err := Unpack(rb, dbls, 0, 2, DOUBLE); err != nil {
+		t.Fatal(err)
+	}
+	if ints[2] != 3 || dbls[1] != 2.5 {
+		t.Fatalf("ints=%v dbls=%v", ints, dbls)
+	}
+}
+
+func TestPackedBufferTravelsAsMessage(t *testing.T) {
+	runWorld(t, 2, func(p *Process, w *Intracomm) {
+		if w.Rank() == 0 {
+			pb, err := Pack([]int32{9, 8}, 0, 2, INT, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			pb, err = Pack([]any{"tail"}, 0, 1, OBJECT, pb)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := w.SendBuffer(pb, 1, 0); err != nil {
+				t.Error(err)
+			}
+		} else {
+			rb := mpjbuf.New(0)
+			if _, err := w.RecvBuffer(rb, 0, 0); err != nil {
+				t.Error(err)
+				return
+			}
+			ints := make([]int32, 2)
+			if _, err := Unpack(rb, ints, 0, 2, INT); err != nil {
+				t.Error(err)
+				return
+			}
+			objs := make([]any, 1)
+			if _, err := Unpack(rb, objs, 0, 1, OBJECT); err != nil {
+				t.Error(err)
+				return
+			}
+			if ints[0] != 9 || objs[0] != "tail" {
+				t.Errorf("ints=%v objs=%v", ints, objs)
+			}
+		}
+	})
+}
+
+func TestSendrecvReplace(t *testing.T) {
+	runWorld(t, 2, func(p *Process, w *Intracomm) {
+		peer := 1 - w.Rank()
+		buf := []int64{int64(w.Rank() + 10)}
+		st, err := w.SendrecvReplace(buf, 0, 1, LONG, peer, 3, peer, 3)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if buf[0] != int64(peer+10) {
+			t.Errorf("rank %d: buf = %d", w.Rank(), buf[0])
+		}
+		if st.Source != peer {
+			t.Errorf("status %+v", st)
+		}
+	})
+}
+
+func TestWaitSomeTestSome(t *testing.T) {
+	runWorld(t, 2, func(p *Process, w *Intracomm) {
+		if w.Rank() == 0 {
+			// Two receives; peer satisfies both promptly.
+			b1, b2 := make([]int64, 1), make([]int64, 1)
+			r1, err := w.Irecv(b1, 0, 1, LONG, 1, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r2, err := w.Irecv(b2, 0, 1, LONG, 1, 2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			reqs := []*Request{r1, r2}
+			done := map[int]bool{}
+			for len(done) < 2 {
+				idx, sts, err := WaitSome(reqs)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(idx) == 0 {
+					t.Error("WaitSome returned nothing")
+					return
+				}
+				for k, i := range idx {
+					if sts[k].Tag != i+1 {
+						t.Errorf("index %d tag %d", i, sts[k].Tag)
+					}
+					done[i] = true
+					reqs[i] = nil
+				}
+			}
+			// TestSome over the emptied array is a harmless no-op.
+			idx, _, err := TestSome(reqs)
+			if err != nil || len(idx) != 0 {
+				t.Errorf("TestSome over nils: %v %v", idx, err)
+			}
+		} else {
+			w.Send([]int64{1}, 0, 1, LONG, 0, 1)
+			w.Send([]int64{2}, 0, 1, LONG, 0, 2)
+		}
+	})
+}
+
+func TestCartSub(t *testing.T) {
+	const n = 6
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		cart, err := w.CreateCart([]int{2, 3}, []bool{false, true}, false)
+		if err != nil || cart == nil {
+			t.Errorf("cart: %v", err)
+			return
+		}
+		// Keep dimension 1: rows become independent 1-D grids of 3.
+		rowGrid, err := cart.Sub([]bool{false, true})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if rowGrid == nil {
+			t.Error("member got nil subgrid")
+			return
+		}
+		if rowGrid.Size() != 3 {
+			t.Errorf("row size %d", rowGrid.Size())
+		}
+		d := rowGrid.Dims()
+		if len(d) != 1 || d[0] != 3 {
+			t.Errorf("row dims %v", d)
+		}
+		if !rowGrid.Periods()[0] {
+			t.Error("periodicity not inherited")
+		}
+		// Sum ranks within the row: every member of a row must agree.
+		sum := make([]int32, 1)
+		if err := rowGrid.Allreduce([]int32{int32(cart.Rank())}, 0, sum, 0, 1, INT, SUM); err != nil {
+			t.Error(err)
+			return
+		}
+		row := cart.MyCoords()[0]
+		want := int32(3*row*3 + 0 + 1 + 2) // ranks 3r,3r+1,3r+2
+		if sum[0] != want {
+			t.Errorf("row %d sum %d want %d", row, sum[0], want)
+		}
+		if _, err := cart.Sub([]bool{true}); err == nil {
+			t.Error("wrong flag count accepted")
+		}
+	})
+}
+
+func TestWtime(t *testing.T) {
+	a := Wtime()
+	time.Sleep(2 * time.Millisecond)
+	b := Wtime()
+	if b <= a {
+		t.Fatalf("Wtime not increasing: %v then %v", a, b)
+	}
+	if Wtick() <= 0 {
+		t.Fatal("Wtick not positive")
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import "fmt"
+
+// Collective algorithm variants. Like production MPI libraries, the
+// high-level operations pick an algorithm from message size, group
+// size and operator properties:
+//
+//   - Allreduce uses recursive doubling for commutative operators
+//     (log2(n) rounds, each rank ends with the result — half the
+//     rounds of reduce+broadcast) and falls back to a rank-ordered
+//     reduce+broadcast for non-commutative ones;
+//   - Allgather/Allgatherv switch to a ring (bandwidth-optimal, n-1
+//     neighbour exchanges) once the gathered payload is large, and use
+//     gather+broadcast below that (latency-optimal for small data).
+//
+// The internal/core benchmarks compare the variants directly.
+
+// Allreduce tags live beside the other collective tags.
+const (
+	tagAllreduceRD = tagBarrierRound + 64
+	tagRing        = tagBarrierRound + 65
+)
+
+// ringThresholdBytes is the gathered-payload size above which
+// Allgatherv uses the ring algorithm.
+const ringThresholdBytes = 16 << 10
+
+// allreduceRD performs recursive-doubling allreduce over a contiguous
+// scratch slice in place. Requires a commutative op.
+func (c *Intracomm) allreduceRD(scratch any, elems int, bdt *Datatype, op *Op) error {
+	n := c.Size()
+	rank := c.Rank()
+	if n == 1 {
+		return nil
+	}
+
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	rem := n - pof2
+
+	recvTmp := func() (any, error) { return allocLike(scratch, elems) }
+
+	// Fold the ranks beyond the largest power of two into the core:
+	// even ranks below 2*rem contribute to their odd neighbour and sit
+	// out the exchange phase.
+	newRank := -1
+	switch {
+	case rank < 2*rem && rank%2 == 0:
+		if err := c.collSend(scratch, 0, elems, bdt, rank+1, tagAllreduceRD); err != nil {
+			return err
+		}
+	case rank < 2*rem:
+		tmp, err := recvTmp()
+		if err != nil {
+			return err
+		}
+		if err := c.collRecv(tmp, 0, elems, bdt, rank-1, tagAllreduceRD); err != nil {
+			return err
+		}
+		if err := op.apply(tmp, scratch); err != nil {
+			return err
+		}
+		newRank = rank / 2
+	default:
+		newRank = rank - rem
+	}
+
+	if newRank != -1 {
+		toReal := func(nr int) int {
+			if nr < rem {
+				return nr*2 + 1
+			}
+			return nr + rem
+		}
+		for mask := 1; mask < pof2; mask <<= 1 {
+			partner := toReal(newRank ^ mask)
+			req, err := c.collIsend(scratch, 0, elems, bdt, partner, tagAllreduceRD)
+			if err != nil {
+				return err
+			}
+			tmp, err := recvTmp()
+			if err != nil {
+				return err
+			}
+			if err := c.collRecv(tmp, 0, elems, bdt, partner, tagAllreduceRD); err != nil {
+				return err
+			}
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+			if err := op.apply(tmp, scratch); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Unfold: the core hands results back to the folded-out ranks.
+	if rank < 2*rem {
+		if rank%2 != 0 {
+			return c.collSend(scratch, 0, elems, bdt, rank-1, tagAllreduceRD)
+		}
+		return c.collRecv(scratch, 0, elems, bdt, rank+1, tagAllreduceRD)
+	}
+	return nil
+}
+
+// allgathervRing circulates blocks around a ring: after n-1 steps every
+// rank holds every block. Blocks live in recvbuf at their final
+// displacements throughout; rank r's own contribution must already be
+// in place.
+func (c *Intracomm) allgathervRing(recvbuf any, roff int, rcounts, displs []int, rdt *Datatype) error {
+	n := c.Size()
+	rank := c.Rank()
+	right := (rank + 1) % n
+	left := (rank - 1 + n) % n
+	for s := 0; s < n-1; s++ {
+		sendIdx := (rank - s + n) % n
+		recvIdx := (rank - s - 1 + n) % n
+		req, err := c.collIsend(recvbuf, roff+displs[sendIdx]*rdt.extent, rcounts[sendIdx], rdt, right, tagRing)
+		if err != nil {
+			return fmt.Errorf("core: ring allgather step %d: %w", s, err)
+		}
+		if err := c.collRecv(recvbuf, roff+displs[recvIdx]*rdt.extent, rcounts[recvIdx], rdt, left, tagRing); err != nil {
+			return fmt.Errorf("core: ring allgather step %d: %w", s, err)
+		}
+		if _, err := req.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// binomialGatherThresholdBytes is the per-block size below which
+// Gather uses the binomial tree (log2(n) rounds) instead of the
+// linear receive-at-root (n-1 messages converging on one process).
+const binomialGatherThresholdBytes = 2 << 10
+
+// gatherBinomial gathers equal-size blocks to root along a binomial
+// tree: at step k, subtree owners of 2^k blocks forward their whole
+// region to their parent. Latency O(log n) at the cost of each block
+// travelling up to log n hops.
+//
+// scratch is this rank's contiguous contribution (blockElems base
+// elements); the gathered result lands in recvbuf via rdt at root.
+func (c *Intracomm) gatherBinomial(scratch any, blockElems int, bdt *Datatype,
+	recvbuf any, roff, rcount int, rdt *Datatype, root int) error {
+	n := c.Size()
+	rank := c.Rank()
+	rel := (rank - root + n) % n
+
+	// region holds blocks [rel, rel+span) in relative order.
+	region, err := allocLike(scratch, blockElems*n)
+	if err != nil {
+		return err
+	}
+	if err := copyElems(scratch, 0, region, 0, blockElems); err != nil {
+		return err
+	}
+	span := 1
+	for mask := 1; mask < n; mask <<= 1 {
+		if rel&mask != 0 {
+			parent := (rel - mask + root) % n
+			send := min(span, n-rel)
+			return c.collSend(region, 0, send*blockElems, bdt, parent, tagGather)
+		}
+		childRel := rel + mask
+		if childRel < n {
+			recvBlocks := min(mask, n-childRel)
+			src := (childRel + root) % n
+			if err := c.collRecv(region, mask*blockElems, recvBlocks*blockElems, bdt, src, tagGather); err != nil {
+				return err
+			}
+		}
+		span <<= 1
+	}
+	// Root: blocks sit in relative order; place each into recvbuf by
+	// absolute rank through rdt's layout.
+	for relIdx := 0; relIdx < n; relIdx++ {
+		abs := (relIdx + root) % n
+		sub, err := sliceRegion(region, relIdx*blockElems, blockElems)
+		if err != nil {
+			return err
+		}
+		if err := fromScratch(sub, recvbuf, roff+abs*rcount*rdt.extent, rcount, rdt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// copyElems copies count elements between same-typed slices.
+func copyElems(src any, soff int, dst any, doff, count int) error {
+	switch s := src.(type) {
+	case []byte:
+		copy(dst.([]byte)[doff:doff+count], s[soff:])
+	case []bool:
+		copy(dst.([]bool)[doff:doff+count], s[soff:])
+	case []uint16:
+		copy(dst.([]uint16)[doff:doff+count], s[soff:])
+	case []int16:
+		copy(dst.([]int16)[doff:doff+count], s[soff:])
+	case []int32:
+		copy(dst.([]int32)[doff:doff+count], s[soff:])
+	case []int64:
+		copy(dst.([]int64)[doff:doff+count], s[soff:])
+	case []float32:
+		copy(dst.([]float32)[doff:doff+count], s[soff:])
+	case []float64:
+		copy(dst.([]float64)[doff:doff+count], s[soff:])
+	case []any:
+		copy(dst.([]any)[doff:doff+count], s[soff:])
+	default:
+		return fmt.Errorf("core: copyElems: unsupported type %T", src)
+	}
+	return nil
+}
+
+// sliceRegion returns src[off:off+count] preserving the dynamic type.
+func sliceRegion(src any, off, count int) (any, error) {
+	switch s := src.(type) {
+	case []byte:
+		return s[off : off+count], nil
+	case []bool:
+		return s[off : off+count], nil
+	case []uint16:
+		return s[off : off+count], nil
+	case []int16:
+		return s[off : off+count], nil
+	case []int32:
+		return s[off : off+count], nil
+	case []int64:
+		return s[off : off+count], nil
+	case []float32:
+		return s[off : off+count], nil
+	case []float64:
+		return s[off : off+count], nil
+	case []any:
+		return s[off : off+count], nil
+	}
+	return nil, fmt.Errorf("core: sliceRegion: unsupported type %T", src)
+}
+
+// gatheredBytes estimates the total payload of an allgather.
+func gatheredBytes(rcounts []int, rdt *Datatype) int {
+	total := 0
+	for _, cnt := range rcounts {
+		total += cnt
+	}
+	elem := rdt.Base().Size()
+	if elem == 0 {
+		elem = 64
+	}
+	return total * rdt.Size() * elem
+}

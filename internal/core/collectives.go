@@ -1,0 +1,653 @@
+package core
+
+import (
+	"fmt"
+
+	"mpj/internal/mpjbuf"
+	"mpj/internal/mpjdev"
+)
+
+// Intracomm is a communicator whose processes form a single group; it
+// carries the full collective operation set (the mpijava Intracomm
+// class). Collectives run on a context separate from point-to-point
+// traffic, so user messages can never intercept collective internals.
+type Intracomm struct {
+	Comm
+}
+
+// Collective operation tags within the collective context.
+const (
+	tagBarrier = iota + 1
+	tagBcast
+	tagGather
+	tagScatter
+	tagAllgather
+	tagAlltoall
+	tagReduce
+	tagScan
+	tagReduceScatter
+	tagSplit
+	tagBarrierRound // base for dissemination rounds; keep last
+)
+
+// ---- collective-context point-to-point helpers ----
+
+func (c *Comm) collSend(buf any, offset, count int, dt *Datatype, dst, tag int) error {
+	b, err := pack(buf, offset, count, dt)
+	if err != nil {
+		return err
+	}
+	return c.coll.Send(b, dst, tag)
+}
+
+func (c *Comm) collIsend(buf any, offset, count int, dt *Datatype, dst, tag int) (*mpjdev.Request, error) {
+	b, err := pack(buf, offset, count, dt)
+	if err != nil {
+		return nil, err
+	}
+	return c.coll.Isend(b, dst, tag)
+}
+
+func (c *Comm) collRecv(buf any, offset, count int, dt *Datatype, src, tag int) error {
+	b := mpjbuf.New(0)
+	if _, err := c.coll.Recv(b, src, tag); err != nil {
+		return err
+	}
+	_, err := unpack(b, buf, offset, count, dt)
+	return err
+}
+
+// baseDt maps a buffer's element type to its base datatype.
+func baseDt(buf any) (*Datatype, error) {
+	switch buf.(type) {
+	case []byte:
+		return BYTE, nil
+	case []bool:
+		return BOOLEAN, nil
+	case []uint16:
+		return CHAR, nil
+	case []int16:
+		return SHORT, nil
+	case []int32:
+		return INT, nil
+	case []int64:
+		return LONG, nil
+	case []float32:
+		return FLOAT, nil
+	case []float64:
+		return DOUBLE, nil
+	case []any:
+		return OBJECT, nil
+	}
+	return nil, fmt.Errorf("core: unsupported buffer type %T", buf)
+}
+
+// allocLike returns a fresh slice of the same element type as buf.
+func allocLike(buf any, n int) (any, error) {
+	switch buf.(type) {
+	case []byte:
+		return make([]byte, n), nil
+	case []bool:
+		return make([]bool, n), nil
+	case []uint16:
+		return make([]uint16, n), nil
+	case []int16:
+		return make([]int16, n), nil
+	case []int32:
+		return make([]int32, n), nil
+	case []int64:
+		return make([]int64, n), nil
+	case []float32:
+		return make([]float32, n), nil
+	case []float64:
+		return make([]float64, n), nil
+	case []any:
+		return make([]any, n), nil
+	}
+	return nil, fmt.Errorf("core: unsupported buffer type %T", buf)
+}
+
+// toScratch gathers count items of dt from buf into a fresh contiguous
+// slice of the base element type — the canonical form reductions and
+// internal transfers operate on.
+func toScratch(buf any, offset, count int, dt *Datatype) (any, error) {
+	n, err := bufferElems(buf)
+	if err != nil {
+		return nil, err
+	}
+	if err := span(dt, offset, count, n, "gather "+dt.name); err != nil {
+		return nil, err
+	}
+	scratch, err := allocLike(buf, count*dt.Size())
+	if err != nil {
+		return nil, err
+	}
+	switch s := buf.(type) {
+	case []byte:
+		gatherInto(s, scratch.([]byte), offset, count, dt)
+	case []bool:
+		gatherInto(s, scratch.([]bool), offset, count, dt)
+	case []uint16:
+		gatherInto(s, scratch.([]uint16), offset, count, dt)
+	case []int16:
+		gatherInto(s, scratch.([]int16), offset, count, dt)
+	case []int32:
+		gatherInto(s, scratch.([]int32), offset, count, dt)
+	case []int64:
+		gatherInto(s, scratch.([]int64), offset, count, dt)
+	case []float32:
+		gatherInto(s, scratch.([]float32), offset, count, dt)
+	case []float64:
+		gatherInto(s, scratch.([]float64), offset, count, dt)
+	case []any:
+		gatherInto(s, scratch.([]any), offset, count, dt)
+	}
+	return scratch, nil
+}
+
+func gatherInto[T any](src, dst []T, offset, count int, dt *Datatype) {
+	k := 0
+	for i := 0; i < count; i++ {
+		base := offset + i*dt.extent
+		for _, disp := range dt.disps {
+			dst[k] = src[base+disp]
+			k++
+		}
+	}
+}
+
+// fromScratch scatters a contiguous slice back into buf's dt layout.
+func fromScratch(scratch, buf any, offset, count int, dt *Datatype) error {
+	n, err := bufferElems(buf)
+	if err != nil {
+		return err
+	}
+	if err := span(dt, offset, count, n, "scatter "+dt.name); err != nil {
+		return err
+	}
+	switch s := buf.(type) {
+	case []byte:
+		scatterInto(scratch.([]byte), s, offset, count, dt)
+	case []bool:
+		scatterInto(scratch.([]bool), s, offset, count, dt)
+	case []uint16:
+		scatterInto(scratch.([]uint16), s, offset, count, dt)
+	case []int16:
+		scatterInto(scratch.([]int16), s, offset, count, dt)
+	case []int32:
+		scatterInto(scratch.([]int32), s, offset, count, dt)
+	case []int64:
+		scatterInto(scratch.([]int64), s, offset, count, dt)
+	case []float32:
+		scatterInto(scratch.([]float32), s, offset, count, dt)
+	case []float64:
+		scatterInto(scratch.([]float64), s, offset, count, dt)
+	case []any:
+		scatterInto(scratch.([]any), s, offset, count, dt)
+	}
+	return nil
+}
+
+func scatterInto[T any](scratch, dst []T, offset, count int, dt *Datatype) {
+	k := 0
+	for i := 0; i < count; i++ {
+		base := offset + i*dt.extent
+		for _, disp := range dt.disps {
+			if k >= len(scratch) {
+				return
+			}
+			dst[base+disp] = scratch[k]
+			k++
+		}
+	}
+}
+
+// localCopy moves data between two typed buffer regions through the
+// two datatypes' layouts (the root's self-contribution in gather
+// /scatter collectives).
+func localCopy(src any, soff, scount int, sdt *Datatype, dst any, doff, dcount int, ddt *Datatype) error {
+	scratch, err := toScratch(src, soff, scount, sdt)
+	if err != nil {
+		return err
+	}
+	return fromScratch(scratch, dst, doff, dcount, ddt)
+}
+
+// ---- collectives ----
+
+// Barrier blocks until all processes in the communicator have entered
+// it (dissemination algorithm, log2(n) rounds).
+func (c *Intracomm) Barrier() error {
+	n := c.Size()
+	rank := c.Rank()
+	round := 0
+	for k := 1; k < n; k <<= 1 {
+		dst := (rank + k) % n
+		src := (rank - k + n) % n
+		tag := tagBarrierRound + round
+		req, err := c.collIsend([]byte{1}, 0, 1, BYTE, dst, tag)
+		if err != nil {
+			return fmt.Errorf("core: Barrier: %w", err)
+		}
+		if err := c.collRecv(make([]byte, 1), 0, 1, BYTE, src, tag); err != nil {
+			return fmt.Errorf("core: Barrier: %w", err)
+		}
+		if _, err := req.Wait(); err != nil {
+			return fmt.Errorf("core: Barrier: %w", err)
+		}
+		round++
+	}
+	return nil
+}
+
+// Bcast broadcasts count items of dt from root's buf to every process
+// (binomial tree).
+func (c *Intracomm) Bcast(buf any, offset, count int, dt *Datatype, root int) error {
+	n := c.Size()
+	if root < 0 || root >= n {
+		return fmt.Errorf("core: Bcast: root %d out of range", root)
+	}
+	if n == 1 {
+		return nil
+	}
+	rank := c.Rank()
+	rel := (rank - root + n) % n
+
+	// Receive from the parent (if not the root).
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			parent := (rel - mask + root) % n
+			if err := c.collRecv(buf, offset, count, dt, parent, tagBcast); err != nil {
+				return fmt.Errorf("core: Bcast recv: %w", err)
+			}
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to children: rel's children are rel+m for every m below
+	// rel's lowest set bit (or below the tree size for the root).
+	mask = 1
+	for mask < n {
+		if rel&mask != 0 {
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			child := (rel + mask + root) % n
+			if err := c.collSend(buf, offset, count, dt, child, tagBcast); err != nil {
+				return fmt.Errorf("core: Bcast send: %w", err)
+			}
+		}
+		mask >>= 1
+	}
+	return nil
+}
+
+// Gather collects scount items of sdt from every process into root's
+// recvbuf, rank i's data landing at item offset i*rcount. Small blocks
+// ride a binomial tree (log2(n) rounds); larger ones use the linear
+// receive-at-root, which moves each byte only once.
+func (c *Intracomm) Gather(sendbuf any, soff, scount int, sdt *Datatype,
+	recvbuf any, roff, rcount int, rdt *Datatype, root int) error {
+	n := c.Size()
+	if root < 0 || root >= n {
+		return fmt.Errorf("core: Gather: root %d out of range", root)
+	}
+	// Algorithm choice must agree across ranks: decide from the send
+	// signature, which MPI requires to match the receive signature.
+	blockBytes := scount * sdt.Size() * max(sdt.Base().Size(), 1)
+	if n >= 4 && sdt.Base() != OBJECT.Base() && blockBytes > 0 && blockBytes <= binomialGatherThresholdBytes {
+		scratch, err := toScratch(sendbuf, soff, scount, sdt)
+		if err != nil {
+			return err
+		}
+		bdt, err := baseDt(scratch)
+		if err != nil {
+			return err
+		}
+		return c.gatherBinomial(scratch, scount*sdt.Size(), bdt, recvbuf, roff, rcount, rdt, root)
+	}
+	counts := make([]int, n)
+	displs := make([]int, n)
+	for i := range counts {
+		counts[i] = rcount
+		displs[i] = i * rcount
+	}
+	return c.Gatherv(sendbuf, soff, scount, sdt, recvbuf, roff, counts, displs, rdt, root)
+}
+
+// Gatherv collects varying counts: rank i contributes scount items and
+// root stores them at item displacement displs[i] (counts[i] items).
+func (c *Intracomm) Gatherv(sendbuf any, soff, scount int, sdt *Datatype,
+	recvbuf any, roff int, rcounts, displs []int, rdt *Datatype, root int) error {
+	n := c.Size()
+	rank := c.Rank()
+	if root < 0 || root >= n {
+		return fmt.Errorf("core: Gatherv: root %d out of range", root)
+	}
+	if rank != root {
+		return c.collSend(sendbuf, soff, scount, sdt, root, tagGather)
+	}
+	if len(rcounts) != n || len(displs) != n {
+		return fmt.Errorf("core: Gatherv: need %d counts/displs, have %d/%d", n, len(rcounts), len(displs))
+	}
+	for i := 0; i < n; i++ {
+		at := roff + displs[i]*rdt.extent
+		if i == rank {
+			if err := localCopy(sendbuf, soff, scount, sdt, recvbuf, at, rcounts[i], rdt); err != nil {
+				return fmt.Errorf("core: Gatherv self: %w", err)
+			}
+			continue
+		}
+		if err := c.collRecv(recvbuf, at, rcounts[i], rdt, i, tagGather); err != nil {
+			return fmt.Errorf("core: Gatherv from %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Scatter distributes scount items of sdt to each process from root's
+// sendbuf, rank i receiving the block at item offset i*scount.
+func (c *Intracomm) Scatter(sendbuf any, soff, scount int, sdt *Datatype,
+	recvbuf any, roff, rcount int, rdt *Datatype, root int) error {
+	n := c.Size()
+	counts := make([]int, n)
+	displs := make([]int, n)
+	for i := range counts {
+		counts[i] = scount
+		displs[i] = i * scount
+	}
+	return c.Scatterv(sendbuf, soff, counts, displs, sdt, recvbuf, roff, rcount, rdt, root)
+}
+
+// Scatterv distributes varying counts from root.
+func (c *Intracomm) Scatterv(sendbuf any, soff int, scounts, displs []int, sdt *Datatype,
+	recvbuf any, roff, rcount int, rdt *Datatype, root int) error {
+	n := c.Size()
+	rank := c.Rank()
+	if root < 0 || root >= n {
+		return fmt.Errorf("core: Scatterv: root %d out of range", root)
+	}
+	if rank != root {
+		return c.collRecv(recvbuf, roff, rcount, rdt, root, tagScatter)
+	}
+	if len(scounts) != n || len(displs) != n {
+		return fmt.Errorf("core: Scatterv: need %d counts/displs, have %d/%d", n, len(scounts), len(displs))
+	}
+	for i := 0; i < n; i++ {
+		at := soff + displs[i]*sdt.extent
+		if i == rank {
+			if err := localCopy(sendbuf, at, scounts[i], sdt, recvbuf, roff, rcount, rdt); err != nil {
+				return fmt.Errorf("core: Scatterv self: %w", err)
+			}
+			continue
+		}
+		if err := c.collSend(sendbuf, at, scounts[i], sdt, i, tagScatter); err != nil {
+			return fmt.Errorf("core: Scatterv to %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Allgather gathers every process's scount items into every process's
+// recvbuf (gather to rank 0, then broadcast).
+func (c *Intracomm) Allgather(sendbuf any, soff, scount int, sdt *Datatype,
+	recvbuf any, roff, rcount int, rdt *Datatype) error {
+	if err := c.Gather(sendbuf, soff, scount, sdt, recvbuf, roff, rcount, rdt, 0); err != nil {
+		return err
+	}
+	return c.Bcast(recvbuf, roff, rcount*c.Size(), rdt, 0)
+}
+
+// Allgatherv is the varying-count Allgather. Large payloads move by a
+// bandwidth-optimal ring; small ones by gather + per-block broadcast.
+func (c *Intracomm) Allgatherv(sendbuf any, soff, scount int, sdt *Datatype,
+	recvbuf any, roff int, rcounts, displs []int, rdt *Datatype) error {
+	n := c.Size()
+	if len(rcounts) != n || len(displs) != n {
+		return fmt.Errorf("core: Allgatherv: need %d counts/displs, have %d/%d", n, len(rcounts), len(displs))
+	}
+	if n > 2 && gatheredBytes(rcounts, rdt) >= ringThresholdBytes {
+		rank := c.Rank()
+		at := roff + displs[rank]*rdt.extent
+		if err := localCopy(sendbuf, soff, scount, sdt, recvbuf, at, rcounts[rank], rdt); err != nil {
+			return fmt.Errorf("core: Allgatherv self: %w", err)
+		}
+		return c.allgathervRing(recvbuf, roff, rcounts, displs, rdt)
+	}
+	if err := c.Gatherv(sendbuf, soff, scount, sdt, recvbuf, roff, rcounts, displs, rdt, 0); err != nil {
+		return err
+	}
+	// Broadcast each block so displacement gaps are preserved.
+	for i := 0; i < n; i++ {
+		at := roff + displs[i]*rdt.extent
+		if err := c.Bcast(recvbuf, at, rcounts[i], rdt, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Alltoall sends a distinct scount-item block to every process and
+// receives one from each (pairwise exchange schedule).
+func (c *Intracomm) Alltoall(sendbuf any, soff, scount int, sdt *Datatype,
+	recvbuf any, roff, rcount int, rdt *Datatype) error {
+	n := c.Size()
+	scounts := make([]int, n)
+	sdispls := make([]int, n)
+	rcounts := make([]int, n)
+	rdispls := make([]int, n)
+	for i := 0; i < n; i++ {
+		scounts[i], sdispls[i] = scount, i*scount
+		rcounts[i], rdispls[i] = rcount, i*rcount
+	}
+	return c.Alltoallv(sendbuf, soff, scounts, sdispls, sdt, recvbuf, roff, rcounts, rdispls, rdt)
+}
+
+// Alltoallv is the varying-count Alltoall.
+func (c *Intracomm) Alltoallv(sendbuf any, soff int, scounts, sdispls []int, sdt *Datatype,
+	recvbuf any, roff int, rcounts, rdispls []int, rdt *Datatype) error {
+	n := c.Size()
+	rank := c.Rank()
+	if len(scounts) != n || len(sdispls) != n || len(rcounts) != n || len(rdispls) != n {
+		return fmt.Errorf("core: Alltoallv: counts/displs must have length %d", n)
+	}
+	// Self block.
+	if err := localCopy(sendbuf, soff+sdispls[rank]*sdt.extent, scounts[rank], sdt,
+		recvbuf, roff+rdispls[rank]*rdt.extent, rcounts[rank], rdt); err != nil {
+		return fmt.Errorf("core: Alltoallv self: %w", err)
+	}
+	// Pairwise exchange: in step k talk to rank±k.
+	for k := 1; k < n; k++ {
+		dst := (rank + k) % n
+		src := (rank - k + n) % n
+		req, err := c.collIsend(sendbuf, soff+sdispls[dst]*sdt.extent, scounts[dst], sdt, dst, tagAlltoall)
+		if err != nil {
+			return fmt.Errorf("core: Alltoallv send to %d: %w", dst, err)
+		}
+		if err := c.collRecv(recvbuf, roff+rdispls[src]*rdt.extent, rcounts[src], rdt, src, tagAlltoall); err != nil {
+			return fmt.Errorf("core: Alltoallv recv from %d: %w", src, err)
+		}
+		if _, err := req.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reduce combines count items of dt from every process with op,
+// leaving the result in root's recvbuf (binomial tree for commutative
+// ops, rank-ordered fold otherwise).
+func (c *Intracomm) Reduce(sendbuf any, soff int, recvbuf any, roff, count int,
+	dt *Datatype, op *Op, root int) error {
+	n := c.Size()
+	rank := c.Rank()
+	if root < 0 || root >= n {
+		return fmt.Errorf("core: Reduce: root %d out of range", root)
+	}
+	scratch, err := toScratch(sendbuf, soff, count, dt)
+	if err != nil {
+		return err
+	}
+	bdt, err := baseDt(scratch)
+	if err != nil {
+		return err
+	}
+	elems := count * dt.Size()
+
+	if !op.commute {
+		// Order-preserving fold at the root.
+		if rank != root {
+			return c.collSend(scratch, 0, elems, bdt, root, tagReduce)
+		}
+		parts := make([]any, n)
+		parts[rank] = scratch
+		for i := 0; i < n; i++ {
+			if i == rank {
+				continue
+			}
+			p, err := allocLike(scratch, elems)
+			if err != nil {
+				return err
+			}
+			if err := c.collRecv(p, 0, elems, bdt, i, tagReduce); err != nil {
+				return err
+			}
+			parts[i] = p
+		}
+		acc := parts[n-1]
+		for i := n - 2; i >= 0; i-- {
+			if err := op.apply(parts[i], acc); err != nil {
+				return err
+			}
+		}
+		return fromScratch(acc, recvbuf, roff, count, dt)
+	}
+
+	rel := (rank - root + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			parent := (rel - mask + root) % n
+			if err := c.collSend(scratch, 0, elems, bdt, parent, tagReduce); err != nil {
+				return err
+			}
+			break
+		}
+		partner := rel | mask
+		if partner < n {
+			in, err := allocLike(scratch, elems)
+			if err != nil {
+				return err
+			}
+			src := (partner + root) % n
+			if err := c.collRecv(in, 0, elems, bdt, src, tagReduce); err != nil {
+				return err
+			}
+			if err := op.apply(in, scratch); err != nil {
+				return err
+			}
+		}
+		mask <<= 1
+	}
+	if rank == root {
+		return fromScratch(scratch, recvbuf, roff, count, dt)
+	}
+	return nil
+}
+
+// Allreduce combines like Reduce and distributes the result to every
+// process. Commutative operators use recursive doubling (log2(n)
+// exchange rounds); non-commutative ones fall back to the rank-ordered
+// reduce followed by a broadcast.
+func (c *Intracomm) Allreduce(sendbuf any, soff int, recvbuf any, roff, count int,
+	dt *Datatype, op *Op) error {
+	if !op.commute {
+		if err := c.Reduce(sendbuf, soff, recvbuf, roff, count, dt, op, 0); err != nil {
+			return err
+		}
+		return c.Bcast(recvbuf, roff, count, dt, 0)
+	}
+	scratch, err := toScratch(sendbuf, soff, count, dt)
+	if err != nil {
+		return err
+	}
+	bdt, err := baseDt(scratch)
+	if err != nil {
+		return err
+	}
+	if err := c.allreduceRD(scratch, count*dt.Size(), bdt, op); err != nil {
+		return err
+	}
+	return fromScratch(scratch, recvbuf, roff, count, dt)
+}
+
+// ReduceScatter combines sum(recvcounts) items with op and scatters the
+// result: rank i receives recvcounts[i] items.
+func (c *Intracomm) ReduceScatter(sendbuf any, soff int, recvbuf any, roff int,
+	recvcounts []int, dt *Datatype, op *Op) error {
+	n := c.Size()
+	if len(recvcounts) != n {
+		return fmt.Errorf("core: ReduceScatter: need %d counts, have %d", n, len(recvcounts))
+	}
+	total := 0
+	displs := make([]int, n)
+	for i, cnt := range recvcounts {
+		displs[i] = total
+		total += cnt
+	}
+	// Reduce the full vector to rank 0, then scatter it by counts. The
+	// intermediate buffer is laid out with dt's own extent so Scatterv
+	// can address per-rank blocks by item displacement.
+	fullLen := 0
+	if c.Rank() == 0 {
+		fullLen = total * dt.extent
+	}
+	full, err := allocLike(sendbuf, fullLen)
+	if err != nil {
+		return err
+	}
+	if err := c.Reduce(sendbuf, soff, full, 0, total, dt, op, 0); err != nil {
+		return err
+	}
+	return c.Scatterv(full, 0, recvcounts, displs, dt, recvbuf, roff, recvcounts[c.Rank()], dt, 0)
+}
+
+// Scan computes the inclusive prefix reduction: rank i receives
+// buf_0 op buf_1 op ... op buf_i (linear chain).
+func (c *Intracomm) Scan(sendbuf any, soff int, recvbuf any, roff, count int,
+	dt *Datatype, op *Op) error {
+	n := c.Size()
+	rank := c.Rank()
+	acc, err := toScratch(sendbuf, soff, count, dt)
+	if err != nil {
+		return err
+	}
+	bdt, err := baseDt(acc)
+	if err != nil {
+		return err
+	}
+	elems := count * dt.Size()
+	if rank > 0 {
+		prefix, err := allocLike(acc, elems)
+		if err != nil {
+			return err
+		}
+		if err := c.collRecv(prefix, 0, elems, bdt, rank-1, tagScan); err != nil {
+			return err
+		}
+		if err := op.apply(prefix, acc); err != nil {
+			return err
+		}
+	}
+	if rank < n-1 {
+		if err := c.collSend(acc, 0, elems, bdt, rank+1, tagScan); err != nil {
+			return err
+		}
+	}
+	return fromScratch(acc, recvbuf, roff, count, dt)
+}

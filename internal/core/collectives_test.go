@@ -1,0 +1,504 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		n := n
+		var entered atomic.Int32
+		runWorld(t, n, func(p *Process, w *Intracomm) {
+			// Stagger arrivals; everyone must have entered before any
+			// process leaves.
+			time.Sleep(time.Duration(w.Rank()) * 10 * time.Millisecond)
+			entered.Add(1)
+			if err := w.Barrier(); err != nil {
+				t.Errorf("barrier: %v", err)
+				return
+			}
+			if got := entered.Load(); got != int32(n) {
+				t.Errorf("rank %d left barrier with %d/%d entered", w.Rank(), got, n)
+			}
+		})
+	}
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		n := n
+		runWorld(t, n, func(p *Process, w *Intracomm) {
+			for root := 0; root < n; root++ {
+				buf := make([]int64, 4)
+				if w.Rank() == root {
+					for i := range buf {
+						buf[i] = int64(root*100 + i)
+					}
+				}
+				if err := w.Bcast(buf, 0, 4, LONG, root); err != nil {
+					t.Errorf("bcast root %d: %v", root, err)
+					return
+				}
+				for i := range buf {
+					if buf[i] != int64(root*100+i) {
+						t.Errorf("rank %d root %d: buf = %v", w.Rank(), root, buf)
+						return
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	const n = 4
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		rank := w.Rank()
+		// Gather: each rank contributes two ints.
+		send := []int32{int32(rank * 10), int32(rank*10 + 1)}
+		var recv []int32
+		if rank == 2 {
+			recv = make([]int32, 2*n)
+		}
+		if err := w.Gather(send, 0, 2, INT, recv, 0, 2, INT, 2); err != nil {
+			t.Errorf("gather: %v", err)
+			return
+		}
+		if rank == 2 {
+			for r := 0; r < n; r++ {
+				if recv[2*r] != int32(r*10) || recv[2*r+1] != int32(r*10+1) {
+					t.Errorf("gathered %v", recv)
+					return
+				}
+			}
+		}
+		// Scatter back from rank 2.
+		var src []int32
+		if rank == 2 {
+			src = make([]int32, 2*n)
+			for r := 0; r < n; r++ {
+				src[2*r], src[2*r+1] = int32(r), int32(r+100)
+			}
+		}
+		out := make([]int32, 2)
+		if err := w.Scatter(src, 0, 2, INT, out, 0, 2, INT, 2); err != nil {
+			t.Errorf("scatter: %v", err)
+			return
+		}
+		if out[0] != int32(rank) || out[1] != int32(rank+100) {
+			t.Errorf("rank %d scattered %v", rank, out)
+		}
+	})
+}
+
+func TestGathervScatterv(t *testing.T) {
+	const n = 3
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		rank := w.Rank()
+		// Rank r contributes r+1 doubles.
+		mine := make([]float64, rank+1)
+		for i := range mine {
+			mine[i] = float64(rank) + float64(i)/10
+		}
+		counts := []int{1, 2, 3}
+		displs := []int{0, 2, 5} // with gaps
+		var recv []float64
+		if rank == 0 {
+			recv = make([]float64, 8)
+		}
+		if err := w.Gatherv(mine, 0, rank+1, DOUBLE, recv, 0, counts, displs, DOUBLE, 0); err != nil {
+			t.Errorf("gatherv: %v", err)
+			return
+		}
+		if rank == 0 {
+			if recv[0] != 0 || recv[2] != 1 || recv[3] != 1.1 || recv[5] != 2 || recv[7] != 2.2 {
+				t.Errorf("gatherv result %v", recv)
+			}
+			// The gap must be untouched.
+			if recv[1] != 0 || recv[4] != 0 {
+				t.Errorf("gatherv wrote into gaps: %v", recv)
+			}
+		}
+		// Scatterv the same layout back.
+		out := make([]float64, rank+1)
+		if err := w.Scatterv(recv, 0, counts, displs, DOUBLE, out, 0, rank+1, DOUBLE, 0); err != nil {
+			t.Errorf("scatterv: %v", err)
+			return
+		}
+		for i := range mine {
+			if out[i] != mine[i] {
+				t.Errorf("rank %d scatterv got %v want %v", rank, out, mine)
+				return
+			}
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	const n = 4
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		rank := w.Rank()
+		recv := make([]int32, n)
+		if err := w.Allgather([]int32{int32(rank * 7)}, 0, 1, INT, recv, 0, 1, INT); err != nil {
+			t.Errorf("allgather: %v", err)
+			return
+		}
+		for r := 0; r < n; r++ {
+			if recv[r] != int32(r*7) {
+				t.Errorf("rank %d: %v", rank, recv)
+				return
+			}
+		}
+	})
+}
+
+func TestAllgatherv(t *testing.T) {
+	const n = 3
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		rank := w.Rank()
+		mine := make([]int32, rank+1)
+		for i := range mine {
+			mine[i] = int32(rank*10 + i)
+		}
+		counts := []int{1, 2, 3}
+		displs := []int{0, 1, 3}
+		recv := make([]int32, 6)
+		if err := w.Allgatherv(mine, 0, rank+1, INT, recv, 0, counts, displs, INT); err != nil {
+			t.Errorf("allgatherv: %v", err)
+			return
+		}
+		want := []int32{0, 10, 11, 20, 21, 22}
+		for i := range want {
+			if recv[i] != want[i] {
+				t.Errorf("rank %d: %v", rank, recv)
+				return
+			}
+		}
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	const n = 4
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		rank := w.Rank()
+		send := make([]int32, n)
+		for i := range send {
+			send[i] = int32(rank*100 + i) // element i goes to rank i
+		}
+		recv := make([]int32, n)
+		if err := w.Alltoall(send, 0, 1, INT, recv, 0, 1, INT); err != nil {
+			t.Errorf("alltoall: %v", err)
+			return
+		}
+		for r := 0; r < n; r++ {
+			if recv[r] != int32(r*100+rank) {
+				t.Errorf("rank %d: %v", rank, recv)
+				return
+			}
+		}
+	})
+}
+
+func TestAlltoallv(t *testing.T) {
+	const n = 2
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		rank := w.Rank()
+		// Rank 0 sends 1 element to itself, 2 to rank 1.
+		// Rank 1 sends 3 elements to rank 0, 1 to itself.
+		var scounts, sdispls, rcounts, rdispls []int
+		var send []int64
+		if rank == 0 {
+			scounts, sdispls = []int{1, 2}, []int{0, 1}
+			send = []int64{100, 101, 102}
+			rcounts, rdispls = []int{1, 3}, []int{0, 1}
+		} else {
+			scounts, sdispls = []int{3, 1}, []int{0, 3}
+			send = []int64{200, 201, 202, 203}
+			rcounts, rdispls = []int{2, 1}, []int{0, 2}
+		}
+		recv := make([]int64, 4)
+		if err := w.Alltoallv(send, 0, scounts, sdispls, LONG, recv, 0, rcounts, rdispls, LONG); err != nil {
+			t.Errorf("alltoallv: %v", err)
+			return
+		}
+		if rank == 0 {
+			want := []int64{100, 200, 201, 202}
+			for i := range want {
+				if recv[i] != want[i] {
+					t.Errorf("rank 0: %v", recv)
+					return
+				}
+			}
+		} else {
+			want := []int64{101, 102, 203}
+			for i := range want {
+				if recv[i] != want[i] {
+					t.Errorf("rank 1: %v", recv)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestReduceSumAllRoots(t *testing.T) {
+	const n = 5
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		rank := w.Rank()
+		for root := 0; root < n; root++ {
+			send := []float64{float64(rank), float64(rank * 2)}
+			recv := make([]float64, 2)
+			if err := w.Reduce(send, 0, recv, 0, 2, DOUBLE, SUM, root); err != nil {
+				t.Errorf("reduce: %v", err)
+				return
+			}
+			if rank == root {
+				wantA := float64(n * (n - 1) / 2)
+				if recv[0] != wantA || recv[1] != 2*wantA {
+					t.Errorf("root %d: %v", root, recv)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestReduceMaxMinProd(t *testing.T) {
+	const n = 4
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		rank := w.Rank()
+		maxOut := make([]int32, 1)
+		if err := w.Reduce([]int32{int32(rank * 3)}, 0, maxOut, 0, 1, INT, MAX, 0); err != nil {
+			t.Errorf("max: %v", err)
+			return
+		}
+		minOut := make([]int32, 1)
+		if err := w.Reduce([]int32{int32(rank + 5)}, 0, minOut, 0, 1, INT, MIN, 0); err != nil {
+			t.Errorf("min: %v", err)
+			return
+		}
+		prodOut := make([]int64, 1)
+		if err := w.Reduce([]int64{int64(rank + 1)}, 0, prodOut, 0, 1, LONG, PROD, 0); err != nil {
+			t.Errorf("prod: %v", err)
+			return
+		}
+		if rank == 0 {
+			if maxOut[0] != 9 {
+				t.Errorf("max = %d", maxOut[0])
+			}
+			if minOut[0] != 5 {
+				t.Errorf("min = %d", minOut[0])
+			}
+			if prodOut[0] != 24 {
+				t.Errorf("prod = %d", prodOut[0])
+			}
+		}
+	})
+}
+
+func TestAllreduce(t *testing.T) {
+	const n = 6
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		recv := make([]int64, 1)
+		if err := w.Allreduce([]int64{int64(w.Rank())}, 0, recv, 0, 1, LONG, SUM); err != nil {
+			t.Errorf("allreduce: %v", err)
+			return
+		}
+		if recv[0] != int64(n*(n-1)/2) {
+			t.Errorf("rank %d: sum = %d", w.Rank(), recv[0])
+		}
+	})
+}
+
+func TestLogicalAndBitwiseOps(t *testing.T) {
+	const n = 3
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		rank := w.Rank()
+		land := make([]bool, 1)
+		if err := w.Allreduce([]bool{rank != 1}, 0, land, 0, 1, BOOLEAN, LAND); err != nil {
+			t.Errorf("land: %v", err)
+			return
+		}
+		if land[0] {
+			t.Error("LAND over {T,F,T} = true")
+		}
+		lor := make([]bool, 1)
+		if err := w.Allreduce([]bool{rank == 1}, 0, lor, 0, 1, BOOLEAN, LOR); err != nil {
+			t.Errorf("lor: %v", err)
+			return
+		}
+		if !lor[0] {
+			t.Error("LOR over {F,T,F} = false")
+		}
+		bor := make([]int32, 1)
+		if err := w.Allreduce([]int32{1 << rank}, 0, bor, 0, 1, INT, BOR); err != nil {
+			t.Errorf("bor: %v", err)
+			return
+		}
+		if bor[0] != 7 {
+			t.Errorf("BOR = %d", bor[0])
+		}
+		band := make([]int32, 1)
+		if err := w.Allreduce([]int32{6 | (1 << rank)}, 0, band, 0, 1, INT, BAND); err != nil {
+			t.Errorf("band: %v", err)
+			return
+		}
+		if band[0] != 6 {
+			t.Errorf("BAND = %d", band[0])
+		}
+	})
+}
+
+func TestMaxlocMinloc(t *testing.T) {
+	const n = 4
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		rank := w.Rank()
+		// Pairs (value, index): value peaks at rank 2.
+		vals := []float64{float64(10 - (rank-2)*(rank-2)), float64(rank)}
+		out := make([]float64, 2)
+		if err := w.Allreduce(vals, 0, out, 0, 2, DOUBLE, MAXLOC); err != nil {
+			t.Errorf("maxloc: %v", err)
+			return
+		}
+		if out[0] != 10 || out[1] != 2 {
+			t.Errorf("MAXLOC = %v", out)
+		}
+		if err := w.Allreduce(vals, 0, out, 0, 2, DOUBLE, MINLOC); err != nil {
+			t.Errorf("minloc: %v", err)
+			return
+		}
+		if out[1] != 0 { // minimum at rank 0 (value 6)
+			t.Errorf("MINLOC = %v", out)
+		}
+	})
+}
+
+func TestUserDefinedOp(t *testing.T) {
+	// Associative but non-commutative op: 2x2 matrix multiplication
+	// over elements laid out as [a, b, c, d]. The result must be
+	// M_0 · M_1 · M_2 in rank order.
+	const n = 3
+	op := NewOp(func(in, inout any) error {
+		a := in.([]int64) // earlier operand
+		b := inout.([]int64)
+		for i := 0; i+3 < len(a); i += 4 {
+			p := [4]int64{
+				a[i]*b[i] + a[i+1]*b[i+2],
+				a[i]*b[i+1] + a[i+1]*b[i+3],
+				a[i+2]*b[i] + a[i+3]*b[i+2],
+				a[i+2]*b[i+1] + a[i+3]*b[i+3],
+			}
+			copy(b[i:i+4], p[:])
+		}
+		return nil
+	}, false)
+	mats := [][]int64{
+		{1, 1, 0, 1},
+		{2, 0, 0, 1},
+		{1, 0, 3, 1},
+	}
+	// M0·M1·M2 = [[1,1],[0,1]]·[[2,0],[0,1]]·[[1,0],[3,1]] =
+	// [[2,1],[0,1]]·[[1,0],[3,1]] = [[5,1],[3,1]].
+	want := []int64{5, 1, 3, 1}
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		rank := w.Rank()
+		out := make([]int64, 4)
+		if err := w.Reduce(mats[rank], 0, out, 0, 4, LONG, op, 0); err != nil {
+			t.Errorf("user op: %v", err)
+			return
+		}
+		if rank == 0 {
+			for i := range want {
+				if out[i] != want[i] {
+					t.Errorf("non-commutative fold = %v, want %v", out, want)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestScan(t *testing.T) {
+	const n = 5
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		rank := w.Rank()
+		out := make([]int32, 1)
+		if err := w.Scan([]int32{int32(rank + 1)}, 0, out, 0, 1, INT, SUM); err != nil {
+			t.Errorf("scan: %v", err)
+			return
+		}
+		want := int32((rank + 1) * (rank + 2) / 2)
+		if out[0] != want {
+			t.Errorf("rank %d: scan = %d, want %d", rank, out[0], want)
+		}
+	})
+}
+
+func TestReduceScatter(t *testing.T) {
+	const n = 3
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		rank := w.Rank()
+		// Everyone contributes [r, r, r, r, r, r]; counts 1,2,3.
+		send := make([]int32, 6)
+		for i := range send {
+			send[i] = int32(rank + 1)
+		}
+		counts := []int{1, 2, 3}
+		recv := make([]int32, counts[rank])
+		if err := w.ReduceScatter(send, 0, recv, 0, counts, INT, SUM); err != nil {
+			t.Errorf("reducescatter: %v", err)
+			return
+		}
+		for i := range recv {
+			if recv[i] != 6 { // 1+2+3
+				t.Errorf("rank %d: %v", rank, recv)
+				return
+			}
+		}
+	})
+}
+
+func TestBcastDerivedDatatype(t *testing.T) {
+	// Broadcast a matrix column.
+	const n = 3
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		col, err := DOUBLE.Vector(4, 1, 4)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		matrix := make([]float64, 16)
+		if w.Rank() == 0 {
+			for i := 0; i < 4; i++ {
+				matrix[i*4] = float64(i + 1)
+			}
+		}
+		if err := w.Bcast(matrix, 0, 1, col, 0); err != nil {
+			t.Errorf("bcast: %v", err)
+			return
+		}
+		for i := 0; i < 4; i++ {
+			if matrix[i*4] != float64(i+1) {
+				t.Errorf("rank %d: column %v", w.Rank(), matrix)
+				return
+			}
+			if i > 0 && matrix[i*4-3] != 0 {
+				t.Errorf("rank %d: off-column touched", w.Rank())
+				return
+			}
+		}
+	})
+}
+
+func TestCollectiveValidation(t *testing.T) {
+	runWorld(t, 2, func(p *Process, w *Intracomm) {
+		if err := w.Bcast([]int32{1}, 0, 1, INT, 5); err == nil {
+			t.Error("Bcast with bad root accepted")
+		}
+		if err := w.Gatherv(nil, 0, 0, INT, nil, 0, []int{1}, []int{0}, INT, w.Rank()); err == nil {
+			t.Error("Gatherv with short counts accepted")
+		}
+	})
+}

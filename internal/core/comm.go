@@ -1,0 +1,354 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"mpj/internal/mpjbuf"
+	"mpj/internal/mpjdev"
+)
+
+// Message matching wildcards (mpijava values).
+const (
+	// AnySource matches a message from any rank.
+	AnySource = mpjdev.AnySource
+	// AnyTag matches a message with any tag.
+	AnyTag = mpjdev.AnyTag
+)
+
+// Status describes a completed receive (the mpijava Status class).
+type Status struct {
+	// Source is the sender's rank in the communicator.
+	Source int
+	// Tag is the message tag.
+	Tag   int
+	elems int
+}
+
+// Count returns the number of base-type elements received.
+func (s *Status) Count() int { return s.elems }
+
+// GetCount returns the number of items of dt received
+// (Status.Get_count).
+func (s *Status) GetCount(dt *Datatype) int {
+	if dt == nil || dt.Size() == 0 {
+		return 0
+	}
+	return s.elems / dt.Size()
+}
+
+// Comm is the communicator base: a process group plus private matching
+// contexts for point-to-point and collective traffic. Intracomm embeds
+// it; all methods are safe for concurrent use (MPI_THREAD_MULTIPLE).
+type Comm struct {
+	p     *Process
+	group *Group
+	ptp   *mpjdev.Comm
+	coll  *mpjdev.Comm
+}
+
+// Rank reports this process's rank in the communicator.
+func (c *Comm) Rank() int { return c.ptp.Rank() }
+
+// Size reports the number of processes in the communicator.
+func (c *Comm) Size() int { return c.group.Size() }
+
+// Group returns the communicator's process group.
+func (c *Comm) Group() *Group { return c.group }
+
+// Process returns the owning process handle.
+func (c *Comm) Process() *Process { return c.p }
+
+// Compare relates two communicators' groups (MPI_Comm_compare; Ident
+// here means identical groups, not handle identity).
+func (c *Comm) Compare(other *Comm) int { return c.group.Compare(other.group) }
+
+// Request is an in-flight non-blocking operation at the API level. For
+// receives it defers unpacking into the user buffer until completion
+// is observed.
+type Request struct {
+	inner *mpjdev.Request
+
+	// Receive-side unpack state.
+	recvBuf any
+	offset  int
+	count   int
+	dt      *Datatype
+	wire    *mpjbuf.Buffer
+
+	unpackOnce sync.Once
+	elems      int
+	unpackErr  error
+
+	// onComplete, if set, runs exactly once when completion is
+	// observed (used by buffered sends to release pool space).
+	onComplete func()
+	compOnce   sync.Once
+}
+
+func (r *Request) finish(st mpjdev.Status) (*Status, error) {
+	if r.recvBuf != nil || r.wire != nil {
+		r.unpackOnce.Do(func() {
+			r.elems, r.unpackErr = unpack(r.wire, r.recvBuf, r.offset, r.count, r.dt)
+		})
+	}
+	if r.onComplete != nil {
+		r.compOnce.Do(r.onComplete)
+	}
+	if r.unpackErr != nil {
+		return nil, r.unpackErr
+	}
+	return &Status{Source: st.Source, Tag: st.Tag, elems: r.elems}, nil
+}
+
+// Wait blocks until the operation completes and returns its status.
+func (r *Request) Wait() (*Status, error) {
+	st, err := r.inner.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return r.finish(st)
+}
+
+// Test reports completion without blocking; on completion the status
+// is returned and receive data is in place.
+func (r *Request) Test() (*Status, bool, error) {
+	st, ok, err := r.inner.Test()
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	s, err := r.finish(st)
+	return s, true, err
+}
+
+// ---- blocking point-to-point ----
+
+// Send performs a blocking standard-mode send of count items of dt
+// from buf starting at offset.
+func (c *Comm) Send(buf any, offset, count int, dt *Datatype, dst, tag int) error {
+	b, err := pack(buf, offset, count, dt)
+	if err != nil {
+		return err
+	}
+	return c.ptp.Send(b, dst, tag)
+}
+
+// Ssend performs a blocking synchronous-mode send: it returns only
+// after the receiver has matched the message.
+func (c *Comm) Ssend(buf any, offset, count int, dt *Datatype, dst, tag int) error {
+	b, err := pack(buf, offset, count, dt)
+	if err != nil {
+		return err
+	}
+	return c.ptp.Ssend(b, dst, tag)
+}
+
+// Rsend performs a blocking ready-mode send. The standard-mode
+// implementation is a legal realization of ready mode.
+func (c *Comm) Rsend(buf any, offset, count int, dt *Datatype, dst, tag int) error {
+	return c.Send(buf, offset, count, dt, dst, tag)
+}
+
+// Bsend performs a buffered-mode send: the message is staged through
+// the buffer attached with Process.BufferAttach and the call returns
+// without waiting for the receiver.
+func (c *Comm) Bsend(buf any, offset, count int, dt *Datatype, dst, tag int) error {
+	_, err := c.Ibsend(buf, offset, count, dt, dst, tag)
+	return err
+}
+
+// Recv blocks until a matching message arrives and unpacks up to count
+// items of dt into buf at offset.
+func (c *Comm) Recv(buf any, offset, count int, dt *Datatype, src, tag int) (*Status, error) {
+	b := mpjbuf.New(0)
+	st, err := c.ptp.Recv(b, src, tag)
+	if err != nil {
+		return nil, err
+	}
+	elems, err := unpack(b, buf, offset, count, dt)
+	if err != nil {
+		return nil, err
+	}
+	return &Status{Source: st.Source, Tag: st.Tag, elems: elems}, nil
+}
+
+// Sendrecv exchanges messages: a standard send to dst and a receive
+// from src proceed concurrently, avoiding the pairwise-exchange
+// deadlock (MPI_Sendrecv).
+func (c *Comm) Sendrecv(
+	sendBuf any, sendOffset, sendCount int, sendType *Datatype, dst, sendTag int,
+	recvBuf any, recvOffset, recvCount int, recvType *Datatype, src, recvTag int,
+) (*Status, error) {
+	sreq, err := c.Isend(sendBuf, sendOffset, sendCount, sendType, dst, sendTag)
+	if err != nil {
+		return nil, err
+	}
+	st, err := c.Recv(recvBuf, recvOffset, recvCount, recvType, src, recvTag)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sreq.Wait(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// ---- non-blocking point-to-point ----
+
+// Isend starts a standard-mode non-blocking send.
+func (c *Comm) Isend(buf any, offset, count int, dt *Datatype, dst, tag int) (*Request, error) {
+	b, err := pack(buf, offset, count, dt)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.ptp.Isend(b, dst, tag)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{inner: r}, nil
+}
+
+// Issend starts a synchronous-mode non-blocking send.
+func (c *Comm) Issend(buf any, offset, count int, dt *Datatype, dst, tag int) (*Request, error) {
+	b, err := pack(buf, offset, count, dt)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.ptp.Issend(b, dst, tag)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{inner: r}, nil
+}
+
+// Irsend starts a ready-mode non-blocking send (standard realization).
+func (c *Comm) Irsend(buf any, offset, count int, dt *Datatype, dst, tag int) (*Request, error) {
+	return c.Isend(buf, offset, count, dt, dst, tag)
+}
+
+// Ibsend starts a buffered-mode non-blocking send. Packing copies the
+// user data immediately, so the returned request reflects only
+// buffer-pool accounting: space is reserved here and released when the
+// message has left (MPI_Ibsend).
+func (c *Comm) Ibsend(buf any, offset, count int, dt *Datatype, dst, tag int) (*Request, error) {
+	b, err := pack(buf, offset, count, dt)
+	if err != nil {
+		return nil, err
+	}
+	n := b.WireLen()
+	if err := c.p.reserveBsend(n); err != nil {
+		return nil, err
+	}
+	r, err := c.ptp.Isend(b, dst, tag)
+	if err != nil {
+		c.p.releaseBsend(n)
+		return nil, err
+	}
+	req := &Request{inner: r, onComplete: func() { c.p.releaseBsend(n) }}
+	// Release pool space as soon as the transfer completes, even if
+	// the caller never waits on the request.
+	go func() {
+		r.Wait()
+		req.compOnce.Do(req.onComplete)
+	}()
+	return req, nil
+}
+
+// Irecv starts a non-blocking receive of up to count items of dt into
+// buf at offset.
+func (c *Comm) Irecv(buf any, offset, count int, dt *Datatype, src, tag int) (*Request, error) {
+	b := mpjbuf.New(0)
+	r, err := c.ptp.Irecv(b, src, tag)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{inner: r, recvBuf: buf, offset: offset, count: count, dt: dt, wire: b}, nil
+}
+
+// Probe blocks until a matching message is available and returns its
+// envelope without receiving it.
+func (c *Comm) Probe(src, tag int) (*Status, error) {
+	st, err := c.ptp.Probe(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	return &Status{Source: st.Source, Tag: st.Tag, elems: -1}, nil
+}
+
+// Iprobe reports whether a matching message is available.
+func (c *Comm) Iprobe(src, tag int) (*Status, bool, error) {
+	st, ok, err := c.ptp.Iprobe(src, tag)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	return &Status{Source: st.Source, Tag: st.Tag, elems: -1}, true, nil
+}
+
+// ---- request-array operations ----
+
+// WaitAll blocks until all non-nil requests complete (MPI_Waitall).
+func WaitAll(reqs []*Request) ([]*Status, error) {
+	sts := make([]*Status, len(reqs))
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		st, err := r.Wait()
+		if err != nil {
+			return sts, fmt.Errorf("core: Waitall request %d: %w", i, err)
+		}
+		sts[i] = st
+	}
+	return sts, nil
+}
+
+// WaitAny blocks until one of the non-nil requests completes,
+// returning its index and status. It uses the poll-free peek-based
+// machinery of mpjdev (paper §IV-E.1), so blocked waiters cost no CPU.
+func WaitAny(reqs []*Request) (int, *Status, error) {
+	inner := make([]*mpjdev.Request, len(reqs))
+	for i, r := range reqs {
+		if r != nil {
+			inner[i] = r.inner
+		}
+	}
+	idx, ist, err := mpjdev.WaitAny(inner)
+	if err != nil {
+		return idx, nil, err
+	}
+	st, err := reqs[idx].finish(ist)
+	return idx, st, err
+}
+
+// TestAny polls the requests once (MPI_Testany).
+func TestAny(reqs []*Request) (int, *Status, bool, error) {
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		st, ok, err := r.Test()
+		if err != nil {
+			return i, nil, false, err
+		}
+		if ok {
+			return i, st, true, nil
+		}
+	}
+	return -1, nil, false, nil
+}
+
+// TestAll reports whether all non-nil requests have completed
+// (MPI_Testall).
+func TestAll(reqs []*Request) ([]*Status, bool, error) {
+	// First verify completion without consuming partial state.
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if _, ok, err := r.inner.Test(); err != nil || !ok {
+			return nil, false, err
+		}
+	}
+	sts, err := WaitAll(reqs)
+	return sts, err == nil, err
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dup returns a communicator with the same group but fresh contexts,
+// fully isolating its traffic (MPI_Comm_dup). Collective.
+func (c *Intracomm) Dup() (*Intracomm, error) {
+	return c.p.newIntracomm(c.group, c.Rank())
+}
+
+// Create returns a communicator over the subgroup g (MPI_Comm_create).
+// Collective over c; processes outside g receive nil. All members must
+// pass equal groups.
+func (c *Intracomm) Create(g *Group) (*Intracomm, error) {
+	myPID, err := c.group.PID(c.Rank())
+	if err != nil {
+		return nil, err
+	}
+	return c.p.newIntracomm(g, g.Rank(myPID))
+}
+
+// Split partitions the communicator by color; within each color, ranks
+// order by key with ties broken by old rank (MPI_Comm_split).
+// Processes passing color Undefined receive nil. Collective.
+func (c *Intracomm) Split(color, key int) (*Intracomm, error) {
+	n := c.Size()
+	rank := c.Rank()
+
+	// Exchange (color, key) from every process.
+	mine := []int32{int32(color), int32(key)}
+	all := make([]int32, 2*n)
+	if err := c.Allgather(mine, 0, 2, INT, all, 0, 2, INT); err != nil {
+		return nil, fmt.Errorf("core: Split: %w", err)
+	}
+
+	type member struct {
+		rank int
+		key  int
+	}
+	var members []member
+	for r := 0; r < n; r++ {
+		if int(all[2*r]) == color {
+			members = append(members, member{rank: r, key: int(all[2*r+1])})
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].rank < members[j].rank
+	})
+
+	if color == Undefined {
+		// Contexts must still advance identically on every process.
+		c.p.allocContexts()
+		return nil, nil
+	}
+	ranks := make([]int, len(members))
+	newRank := Undefined
+	for i, m := range members {
+		ranks[i] = m.rank
+		if m.rank == rank {
+			newRank = i
+		}
+	}
+	g, err := c.group.Incl(ranks)
+	if err != nil {
+		return nil, err
+	}
+	return c.p.newIntracomm(g, newRank)
+}

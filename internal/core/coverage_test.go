@@ -1,0 +1,303 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mpj/internal/mpjbuf"
+)
+
+func TestCoreTestAnyTestAll(t *testing.T) {
+	runWorld(t, 2, func(p *Process, w *Intracomm) {
+		if w.Rank() == 1 {
+			time.Sleep(30 * time.Millisecond)
+			w.Send([]int64{1}, 0, 1, LONG, 0, 0)
+			w.Send([]int64{2}, 0, 1, LONG, 0, 1)
+			return
+		}
+		b1, b2 := make([]int64, 1), make([]int64, 1)
+		r1, err := w.Irecv(b1, 0, 1, LONG, 1, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r2, err := w.Irecv(b2, 0, 1, LONG, 1, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		reqs := []*Request{r1, nil, r2}
+		// Nothing has arrived yet (peer sleeps): TestAny/TestAll false.
+		if _, _, ok, _ := TestAny(reqs); ok {
+			// Timing-dependent: acceptable if already arrived.
+			_ = ok
+		}
+		// Poll TestAll until everything lands.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			sts, ok, err := TestAll(reqs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if ok {
+				if sts[0].Tag != 0 || sts[2].Tag != 1 {
+					t.Errorf("tags %d/%d", sts[0].Tag, sts[2].Tag)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Error("TestAll never true")
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if idx, _, ok, err := TestAny(reqs); err != nil || !ok || idx < 0 {
+			t.Errorf("TestAny after completion: idx=%d ok=%v err=%v", idx, ok, err)
+		}
+		if b1[0] != 1 || b2[0] != 2 {
+			t.Errorf("payloads %d/%d", b1[0], b2[0])
+		}
+	})
+}
+
+func TestStructDatatypeAllFieldKinds(t *testing.T) {
+	dt, err := Struct(
+		[]int{2, 1, 1, 1, 1, 2},
+		[]int{0, 2, 3, 4, 5, 6},
+		[]*Datatype{BYTE, BOOLEAN, FLOAT, LONG, OBJECT, INT},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []any{
+		byte(1), byte(2), // BYTE x2
+		true,               // BOOLEAN
+		float32(1.5),       // FLOAT
+		int64(-9),          // LONG
+		"obj",              // OBJECT
+		int32(3), int32(4), // INT x2
+	}
+	b, err := pack(src, 0, 1, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := mpjbuf.New(0)
+	if err := rb.LoadWire(b.Wire()); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]any, len(src))
+	if _, err := unpack(rb, dst, 0, 1, dt); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("field %d: got %v want %v", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestStructDatatypeFieldTypeMismatch(t *testing.T) {
+	dt, err := Struct([]int{1}, []int{0}, []*Datatype{DOUBLE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pack([]any{"not a float64"}, 0, 1, dt); err == nil {
+		t.Fatal("wrong field type accepted")
+	}
+	if _, err := pack([]float64{1}, 0, 1, dt); err == nil {
+		t.Fatal("non-[]any buffer accepted for struct type")
+	}
+}
+
+func TestPackNilAllBaseTypes(t *testing.T) {
+	for _, dt := range []*Datatype{BYTE, BOOLEAN, CHAR, SHORT, INT, LONG, FLOAT, DOUBLE, OBJECT} {
+		b, err := pack(nil, 0, 0, dt)
+		if err != nil {
+			t.Fatalf("%s: %v", dt, err)
+		}
+		rb := mpjbuf.New(0)
+		if err := rb.LoadWire(b.Wire()); err != nil {
+			t.Fatalf("%s: %v", dt, err)
+		}
+		if n, err := unpack(rb, nil, 0, 0, dt); err != nil || n != 0 {
+			t.Fatalf("%s: unpack nil = (%d, %v)", dt, n, err)
+		}
+	}
+}
+
+func TestDatatypeString(t *testing.T) {
+	if DOUBLE.String() != "DOUBLE" {
+		t.Errorf("DOUBLE.String() = %q", DOUBLE.String())
+	}
+	v, _ := INT.Vector(2, 1, 3)
+	if !strings.Contains(v.String(), "VECTOR") {
+		t.Errorf("vector name %q", v.String())
+	}
+}
+
+func TestProcessAccessors(t *testing.T) {
+	runWorld(t, 2, func(p *Process, w *Intracomm) {
+		if p.Rank() != w.Rank() || p.Size() != 2 {
+			t.Errorf("accessors rank=%d size=%d", p.Rank(), p.Size())
+		}
+		if p.Device() == nil {
+			t.Error("Device() nil")
+		}
+	})
+}
+
+// TestGatherBinomialAllTypes pushes every element type through the
+// binomial gather's copy helpers.
+func TestGatherBinomialAllTypes(t *testing.T) {
+	const n = 4
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		rank := w.Rank()
+		check := func(err error, what string) bool {
+			if err != nil {
+				t.Errorf("%s: %v", what, err)
+				return false
+			}
+			return true
+		}
+		// float64
+		fsend := []float64{float64(rank) + 0.5}
+		var frecv []float64
+		if rank == 0 {
+			frecv = make([]float64, n)
+		}
+		if !check(w.Gather(fsend, 0, 1, DOUBLE, frecv, 0, 1, DOUBLE, 0), "double") {
+			return
+		}
+		// bool
+		bsend := []bool{rank%2 == 0}
+		var brecv []bool
+		if rank == 0 {
+			brecv = make([]bool, n)
+		}
+		if !check(w.Gather(bsend, 0, 1, BOOLEAN, brecv, 0, 1, BOOLEAN, 0), "boolean") {
+			return
+		}
+		// uint16 / int16 / byte / float32 / int64
+		csend := []uint16{uint16(rank)}
+		var crecv []uint16
+		if rank == 0 {
+			crecv = make([]uint16, n)
+		}
+		if !check(w.Gather(csend, 0, 1, CHAR, crecv, 0, 1, CHAR, 0), "char") {
+			return
+		}
+		ssend := []int16{int16(-rank)}
+		var srecv []int16
+		if rank == 0 {
+			srecv = make([]int16, n)
+		}
+		if !check(w.Gather(ssend, 0, 1, SHORT, srecv, 0, 1, SHORT, 0), "short") {
+			return
+		}
+		bysend := []byte{byte(rank + 1)}
+		var byrecv []byte
+		if rank == 0 {
+			byrecv = make([]byte, n)
+		}
+		if !check(w.Gather(bysend, 0, 1, BYTE, byrecv, 0, 1, BYTE, 0), "byte") {
+			return
+		}
+		flsend := []float32{float32(rank) * 2}
+		var flrecv []float32
+		if rank == 0 {
+			flrecv = make([]float32, n)
+		}
+		if !check(w.Gather(flsend, 0, 1, FLOAT, flrecv, 0, 1, FLOAT, 0), "float") {
+			return
+		}
+		lsend := []int64{int64(rank) << 33}
+		var lrecv []int64
+		if rank == 0 {
+			lrecv = make([]int64, n)
+		}
+		if !check(w.Gather(lsend, 0, 1, LONG, lrecv, 0, 1, LONG, 0), "long") {
+			return
+		}
+		if rank == 0 {
+			for r := 0; r < n; r++ {
+				if frecv[r] != float64(r)+0.5 || crecv[r] != uint16(r) ||
+					srecv[r] != int16(-r) || byrecv[r] != byte(r+1) ||
+					flrecv[r] != float32(r)*2 || lrecv[r] != int64(r)<<33 ||
+					brecv[r] != (r%2 == 0) {
+					t.Errorf("rank %d block mismatch", r)
+					return
+				}
+			}
+		}
+	})
+}
+
+// TestPackExplicitAllTypes drives appendSections over every section
+// kind.
+func TestPackExplicitAllTypes(t *testing.T) {
+	pb, err := Pack([]byte{1}, 0, 1, BYTE, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		buf any
+		dt  *Datatype
+	}{
+		{[]bool{true}, BOOLEAN},
+		{[]uint16{7}, CHAR},
+		{[]int16{-2}, SHORT},
+		{[]int32{3}, INT},
+		{[]int64{4}, LONG},
+		{[]float32{1.5}, FLOAT},
+		{[]float64{2.5}, DOUBLE},
+		{[]any{"o"}, OBJECT},
+	}
+	for _, st := range steps {
+		pb, err = Pack(st.buf, 0, 1, st.dt, pb)
+		if err != nil {
+			t.Fatalf("%s: %v", st.dt, err)
+		}
+	}
+	rb := mpjbuf.New(0)
+	if err := rb.LoadWire(pb.Wire()); err != nil {
+		t.Fatal(err)
+	}
+	by := make([]byte, 1)
+	if _, err := Unpack(rb, by, 0, 1, BYTE); err != nil || by[0] != 1 {
+		t.Fatalf("byte: %v %v", by, err)
+	}
+	bo := make([]bool, 1)
+	if _, err := Unpack(rb, bo, 0, 1, BOOLEAN); err != nil || !bo[0] {
+		t.Fatalf("bool: %v %v", bo, err)
+	}
+	ch := make([]uint16, 1)
+	if _, err := Unpack(rb, ch, 0, 1, CHAR); err != nil || ch[0] != 7 {
+		t.Fatalf("char: %v %v", ch, err)
+	}
+	sh := make([]int16, 1)
+	if _, err := Unpack(rb, sh, 0, 1, SHORT); err != nil || sh[0] != -2 {
+		t.Fatalf("short: %v %v", sh, err)
+	}
+	in := make([]int32, 1)
+	if _, err := Unpack(rb, in, 0, 1, INT); err != nil || in[0] != 3 {
+		t.Fatalf("int: %v %v", in, err)
+	}
+	lo := make([]int64, 1)
+	if _, err := Unpack(rb, lo, 0, 1, LONG); err != nil || lo[0] != 4 {
+		t.Fatalf("long: %v %v", lo, err)
+	}
+	fl := make([]float32, 1)
+	if _, err := Unpack(rb, fl, 0, 1, FLOAT); err != nil || fl[0] != 1.5 {
+		t.Fatalf("float: %v %v", fl, err)
+	}
+	db := make([]float64, 1)
+	if _, err := Unpack(rb, db, 0, 1, DOUBLE); err != nil || db[0] != 2.5 {
+		t.Fatalf("double: %v %v", db, err)
+	}
+	ob := make([]any, 1)
+	if _, err := Unpack(rb, ob, 0, 1, OBJECT); err != nil || ob[0] != "o" {
+		t.Fatalf("object: %v %v", ob, err)
+	}
+}

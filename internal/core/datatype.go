@@ -1,0 +1,200 @@
+// Package core implements the mpijava 1.2 API surface of MPJ Express:
+// groups, communicators (intra- and inter-), the four point-to-point
+// send modes with non-blocking variants, derived datatypes, the full
+// collective set, virtual topologies, and MPI-2.0 thread-level bindings
+// (the paper's planned extension, §IV-B). It is the "high level" and
+// "base level" of Fig. 1, layered over mpjdev/xdev.
+package core
+
+import (
+	"fmt"
+
+	"mpj/internal/mpjbuf"
+)
+
+// Datatype describes the memory layout of message elements, mirroring
+// MPI derived datatypes (§IV-C): contiguous, vector, indexed and
+// struct, built over the base types. A Datatype is immutable once
+// constructed; constructors derive new layouts from old ones.
+type Datatype struct {
+	base mpjbuf.Type
+	// disps lists the element offsets (relative to an item origin)
+	// that one item of this datatype covers, in pack order.
+	disps []int
+	// extent is the number of base elements an item spans, i.e. the
+	// stride between consecutive items in a count>1 operation.
+	extent int
+	name   string
+	// fields is non-nil for struct datatypes, which are heterogeneous
+	// and operate over []any buffers.
+	fields []structField
+}
+
+type structField struct {
+	typ      *Datatype
+	blocklen int
+	disp     int
+}
+
+// Base datatypes (the mpijava MPI.BYTE, MPI.INT, ... constants).
+var (
+	BYTE    = &Datatype{base: mpjbuf.ByteType, disps: []int{0}, extent: 1, name: "BYTE"}
+	BOOLEAN = &Datatype{base: mpjbuf.BooleanType, disps: []int{0}, extent: 1, name: "BOOLEAN"}
+	CHAR    = &Datatype{base: mpjbuf.CharType, disps: []int{0}, extent: 1, name: "CHAR"}
+	SHORT   = &Datatype{base: mpjbuf.ShortType, disps: []int{0}, extent: 1, name: "SHORT"}
+	INT     = &Datatype{base: mpjbuf.IntType, disps: []int{0}, extent: 1, name: "INT"}
+	LONG    = &Datatype{base: mpjbuf.LongType, disps: []int{0}, extent: 1, name: "LONG"}
+	FLOAT   = &Datatype{base: mpjbuf.FloatType, disps: []int{0}, extent: 1, name: "FLOAT"}
+	DOUBLE  = &Datatype{base: mpjbuf.DoubleType, disps: []int{0}, extent: 1, name: "DOUBLE"}
+	OBJECT  = &Datatype{base: mpjbuf.ObjectType, disps: []int{0}, extent: 1, name: "OBJECT"}
+)
+
+// String returns the datatype's name.
+func (d *Datatype) String() string { return d.name }
+
+// Base returns the underlying element type tag.
+func (d *Datatype) Base() mpjbuf.Type { return d.base }
+
+// Extent returns the span, in base elements, between consecutive items.
+func (d *Datatype) Extent() int { return d.extent }
+
+// Size returns the number of base elements one item packs.
+func (d *Datatype) Size() int {
+	if d.fields != nil {
+		n := 0
+		for _, f := range d.fields {
+			n += f.blocklen * f.typ.Size()
+		}
+		return n
+	}
+	return len(d.disps)
+}
+
+// IsContiguous reports whether one item's elements are densely packed
+// starting at displacement zero (enabling the no-gather fast path).
+func (d *Datatype) IsContiguous() bool {
+	if d.fields != nil {
+		return false
+	}
+	for i, disp := range d.disps {
+		if disp != i {
+			return false
+		}
+	}
+	return len(d.disps) == d.extent
+}
+
+// Contiguous returns a datatype of count consecutive items of d
+// (MPI_Type_contiguous).
+func (d *Datatype) Contiguous(count int) (*Datatype, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("core: Contiguous: negative count %d", count)
+	}
+	if d.fields != nil {
+		return nil, fmt.Errorf("core: Contiguous over struct datatype is not supported")
+	}
+	nd := &Datatype{
+		base:   d.base,
+		extent: count * d.extent,
+		name:   fmt.Sprintf("CONTIGUOUS(%d,%s)", count, d.name),
+	}
+	nd.disps = make([]int, 0, count*len(d.disps))
+	for i := 0; i < count; i++ {
+		for _, disp := range d.disps {
+			nd.disps = append(nd.disps, i*d.extent+disp)
+		}
+	}
+	return nd, nil
+}
+
+// Vector returns a strided datatype: count blocks of blocklength items,
+// the starts of consecutive blocks stride items apart
+// (MPI_Type_vector). The paper's example — sending a matrix column —
+// uses blocklength 1 and stride equal to the row length.
+func (d *Datatype) Vector(count, blocklength, stride int) (*Datatype, error) {
+	if count < 0 || blocklength < 0 {
+		return nil, fmt.Errorf("core: Vector: negative count/blocklength (%d, %d)", count, blocklength)
+	}
+	if d.fields != nil {
+		return nil, fmt.Errorf("core: Vector over struct datatype is not supported")
+	}
+	nd := &Datatype{
+		base: d.base,
+		name: fmt.Sprintf("VECTOR(%d,%d,%d,%s)", count, blocklength, stride, d.name),
+	}
+	span := 0
+	for i := 0; i < count; i++ {
+		for j := 0; j < blocklength; j++ {
+			itemStart := (i*stride + j) * d.extent
+			for _, disp := range d.disps {
+				nd.disps = append(nd.disps, itemStart+disp)
+			}
+			if end := (i*stride + j + 1) * d.extent; end > span {
+				span = end
+			}
+		}
+	}
+	nd.extent = span
+	return nd, nil
+}
+
+// Indexed returns a datatype of blocks with per-block lengths and
+// displacements, both in items of d (MPI_Type_indexed).
+func (d *Datatype) Indexed(blocklengths, displacements []int) (*Datatype, error) {
+	if len(blocklengths) != len(displacements) {
+		return nil, fmt.Errorf("core: Indexed: %d blocklengths but %d displacements",
+			len(blocklengths), len(displacements))
+	}
+	if d.fields != nil {
+		return nil, fmt.Errorf("core: Indexed over struct datatype is not supported")
+	}
+	nd := &Datatype{
+		base: d.base,
+		name: fmt.Sprintf("INDEXED(%s)", d.name),
+	}
+	span := 0
+	for b := range blocklengths {
+		if blocklengths[b] < 0 || displacements[b] < 0 {
+			return nil, fmt.Errorf("core: Indexed: negative block %d", b)
+		}
+		for j := 0; j < blocklengths[b]; j++ {
+			itemStart := (displacements[b] + j) * d.extent
+			for _, disp := range d.disps {
+				nd.disps = append(nd.disps, itemStart+disp)
+			}
+			if end := (displacements[b] + j + 1) * d.extent; end > span {
+				span = end
+			}
+		}
+	}
+	nd.extent = span
+	return nd, nil
+}
+
+// Struct returns a heterogeneous datatype (MPI_Type_struct). Because
+// Go slices are homogeneous, struct datatypes operate over []any
+// buffers: block b occupies blocklengths[b] consecutive entries of the
+// buffer starting at displacements[b], each packed as types[b].
+func Struct(blocklengths, displacements []int, types []*Datatype) (*Datatype, error) {
+	if len(blocklengths) != len(displacements) || len(blocklengths) != len(types) {
+		return nil, fmt.Errorf("core: Struct: mismatched argument lengths")
+	}
+	nd := &Datatype{base: mpjbuf.ObjectType, name: "STRUCT"}
+	span := 0
+	for b := range types {
+		if types[b] == nil || types[b].fields != nil {
+			return nil, fmt.Errorf("core: Struct: block %d has invalid type", b)
+		}
+		if blocklengths[b] < 0 || displacements[b] < 0 {
+			return nil, fmt.Errorf("core: Struct: negative block %d", b)
+		}
+		nd.fields = append(nd.fields, structField{
+			typ: types[b], blocklen: blocklengths[b], disp: displacements[b],
+		})
+		if end := displacements[b] + blocklengths[b]; end > span {
+			span = end
+		}
+	}
+	nd.extent = span
+	return nd, nil
+}

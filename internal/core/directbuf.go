@@ -1,0 +1,47 @@
+package core
+
+import (
+	"mpj/internal/mpjbuf"
+)
+
+// This file implements the API extension the paper's conclusion
+// proposes: "the overhead associated with MPJ Express pure Java
+// devices ... can potentially be resolved by extending the MPJ API to
+// allow communicating data to and from ByteBuffers." Applications that
+// manage their own mpjbuf Buffers skip the per-call pack/unpack of the
+// typed interface entirely — the mpjdev performance level of §V-E.
+
+// SendBuffer transmits a pre-packed buffer directly (standard mode).
+// The buffer must not be modified until the call returns.
+func (c *Comm) SendBuffer(b *mpjbuf.Buffer, dst, tag int) error {
+	return c.ptp.Send(b, dst, tag)
+}
+
+// IsendBuffer starts a non-blocking direct-buffer send.
+func (c *Comm) IsendBuffer(b *mpjbuf.Buffer, dst, tag int) (*Request, error) {
+	r, err := c.ptp.Isend(b, dst, tag)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{inner: r}, nil
+}
+
+// RecvBuffer receives a message into b, leaving it committed for
+// reading. No unpacking is performed; the caller reads typed sections
+// directly.
+func (c *Comm) RecvBuffer(b *mpjbuf.Buffer, src, tag int) (*Status, error) {
+	st, err := c.ptp.Recv(b, src, tag)
+	if err != nil {
+		return nil, err
+	}
+	return &Status{Source: st.Source, Tag: st.Tag, elems: -1}, nil
+}
+
+// IrecvBuffer starts a non-blocking direct-buffer receive into b.
+func (c *Comm) IrecvBuffer(b *mpjbuf.Buffer, src, tag int) (*Request, error) {
+	r, err := c.ptp.Irecv(b, src, tag)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{inner: r}, nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"mpj/internal/mpjbuf"
+)
+
+func TestDirectBufferSendRecv(t *testing.T) {
+	runWorld(t, 2, func(p *Process, w *Intracomm) {
+		if w.Rank() == 0 {
+			b := mpjbuf.New(64)
+			if err := b.WriteDoubles([]float64{1.5, 2.5}, 0, 2); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := b.WriteInts([]int32{7}, 0, 1); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := w.SendBuffer(b, 1, 3); err != nil {
+				t.Error(err)
+			}
+		} else {
+			b := mpjbuf.New(0)
+			st, err := w.RecvBuffer(b, 0, 3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if st.Source != 0 || st.Tag != 3 {
+				t.Errorf("status %+v", st)
+			}
+			ds := make([]float64, 2)
+			if _, err := b.ReadDoubles(ds, 0, 2); err != nil {
+				t.Error(err)
+				return
+			}
+			is := make([]int32, 1)
+			if _, err := b.ReadInts(is, 0, 1); err != nil {
+				t.Error(err)
+				return
+			}
+			if ds[1] != 2.5 || is[0] != 7 {
+				t.Errorf("ds=%v is=%v", ds, is)
+			}
+		}
+	})
+}
+
+func TestDirectBufferNonBlocking(t *testing.T) {
+	runWorld(t, 2, func(p *Process, w *Intracomm) {
+		if w.Rank() == 0 {
+			b := mpjbuf.New(16)
+			b.WriteLongs([]int64{99}, 0, 1)
+			req, err := w.IsendBuffer(b, 1, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := req.Wait(); err != nil {
+				t.Error(err)
+			}
+		} else {
+			b := mpjbuf.New(0)
+			req, err := w.IrecvBuffer(b, 0, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := req.Wait(); err != nil {
+				t.Error(err)
+				return
+			}
+			out := make([]int64, 1)
+			if _, err := b.ReadLongs(out, 0, 1); err != nil {
+				t.Error(err)
+				return
+			}
+			if out[0] != 99 {
+				t.Errorf("got %d", out[0])
+			}
+		}
+	})
+}
+
+// TestDirectBufferReuse packs once and sends the same buffer many
+// times — the zero-repack pattern the extension enables.
+func TestDirectBufferReuse(t *testing.T) {
+	runWorld(t, 2, func(p *Process, w *Intracomm) {
+		const rounds = 10
+		if w.Rank() == 0 {
+			b := mpjbuf.New(1024)
+			data := make([]float64, 100)
+			for i := range data {
+				data[i] = float64(i)
+			}
+			if err := b.WriteDoubles(data, 0, len(data)); err != nil {
+				t.Error(err)
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				if err := w.SendBuffer(b, 1, r); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		} else {
+			for r := 0; r < rounds; r++ {
+				b := mpjbuf.New(0)
+				if _, err := w.RecvBuffer(b, 0, r); err != nil {
+					t.Error(err)
+					return
+				}
+				out := make([]float64, 100)
+				if _, err := b.ReadDoubles(out, 0, 100); err != nil {
+					t.Error(err)
+					return
+				}
+				if out[99] != 99 {
+					t.Errorf("round %d: tail %v", r, out[99])
+					return
+				}
+			}
+		}
+	})
+}

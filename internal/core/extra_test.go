@@ -1,0 +1,239 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestRsendIrsend(t *testing.T) {
+	runWorld(t, 2, func(p *Process, w *Intracomm) {
+		if w.Rank() == 0 {
+			if err := w.Rsend([]int32{1}, 0, 1, INT, 1, 0); err != nil {
+				t.Error(err)
+			}
+			req, err := w.Irsend([]int32{2}, 0, 1, INT, 1, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := req.Wait(); err != nil {
+				t.Error(err)
+			}
+		} else {
+			b := make([]int32, 1)
+			if _, err := w.Recv(b, 0, 1, INT, 0, 0); err != nil || b[0] != 1 {
+				t.Errorf("rsend: %v %v", b, err)
+			}
+			if _, err := w.Recv(b, 0, 1, INT, 0, 1); err != nil || b[0] != 2 {
+				t.Errorf("irsend: %v %v", b, err)
+			}
+		}
+	})
+}
+
+func TestSendrecvSelf(t *testing.T) {
+	runWorld(t, 1, func(p *Process, w *Intracomm) {
+		out := []int64{7}
+		in := make([]int64, 1)
+		st, err := w.Sendrecv(out, 0, 1, LONG, 0, 0, in, 0, 1, LONG, 0, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if in[0] != 7 || st.Source != 0 {
+			t.Errorf("in=%v st=%+v", in, st)
+		}
+	})
+}
+
+func TestCollectivesSizeOne(t *testing.T) {
+	runWorld(t, 1, func(p *Process, w *Intracomm) {
+		if err := w.Barrier(); err != nil {
+			t.Error(err)
+		}
+		buf := []int32{5}
+		if err := w.Bcast(buf, 0, 1, INT, 0); err != nil {
+			t.Error(err)
+		}
+		out := make([]int32, 1)
+		if err := w.Allreduce(buf, 0, out, 0, 1, INT, SUM); err != nil {
+			t.Error(err)
+		}
+		if out[0] != 5 {
+			t.Errorf("allreduce = %d", out[0])
+		}
+		g := make([]int32, 1)
+		if err := w.Allgather(buf, 0, 1, INT, g, 0, 1, INT); err != nil {
+			t.Error(err)
+		}
+		if g[0] != 5 {
+			t.Errorf("allgather = %v", g)
+		}
+		sc := make([]int32, 1)
+		if err := w.Scan(buf, 0, sc, 0, 1, INT, SUM); err != nil {
+			t.Error(err)
+		}
+		if sc[0] != 5 {
+			t.Errorf("scan = %v", sc)
+		}
+	})
+}
+
+func TestReduceWithDerivedDatatype(t *testing.T) {
+	// Reduce matrix columns: each rank contributes its first column of
+	// a 3x3 matrix; the root receives the elementwise sum as a column.
+	const n = 3
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		col, err := DOUBLE.Vector(3, 1, 3)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		matrix := make([]float64, 9)
+		for i := 0; i < 3; i++ {
+			matrix[i*3] = float64(w.Rank() + 1) // column 0
+		}
+		out := make([]float64, 9)
+		if err := w.Reduce(matrix, 0, out, 0, 1, col, SUM, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		if w.Rank() == 0 {
+			want := float64(1 + 2 + 3)
+			for i := 0; i < 3; i++ {
+				if out[i*3] != want {
+					t.Errorf("column[%d] = %v", i, out[i*3])
+				}
+				if out[i*3+1] != 0 {
+					t.Errorf("off-column touched at %d", i*3+1)
+				}
+			}
+		}
+	})
+}
+
+func TestScanWithMin(t *testing.T) {
+	const n = 4
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		// Values descend with rank: prefix min equals own value.
+		v := []int64{int64(100 - w.Rank())}
+		out := make([]int64, 1)
+		if err := w.Scan(v, 0, out, 0, 1, LONG, MIN); err != nil {
+			t.Error(err)
+			return
+		}
+		if out[0] != int64(100-w.Rank()) {
+			t.Errorf("rank %d: scan min = %d", w.Rank(), out[0])
+		}
+	})
+}
+
+func TestGetCountWithDerivedType(t *testing.T) {
+	runWorld(t, 2, func(p *Process, w *Intracomm) {
+		pair, err := DOUBLE.Contiguous(2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if w.Rank() == 0 {
+			if err := w.Send([]float64{1, 2, 3, 4}, 0, 2, pair, 1, 0); err != nil {
+				t.Error(err)
+			}
+		} else {
+			buf := make([]float64, 4)
+			st, err := w.Recv(buf, 0, 2, pair, 0, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if st.Count() != 4 {
+				t.Errorf("base count %d", st.Count())
+			}
+			if st.GetCount(pair) != 2 {
+				t.Errorf("pair count %d", st.GetCount(pair))
+			}
+			if st.GetCount(nil) != 0 {
+				t.Errorf("nil datatype count %d", st.GetCount(nil))
+			}
+		}
+	})
+}
+
+func TestCreateIntercommValidation(t *testing.T) {
+	runWorld(t, 2, func(p *Process, w *Intracomm) {
+		if _, err := w.CreateIntercomm(nil, 0, 0, 1); err == nil {
+			t.Error("nil local comm accepted")
+		}
+	})
+}
+
+func TestPackEmptyMessage(t *testing.T) {
+	runWorld(t, 2, func(p *Process, w *Intracomm) {
+		// Zero-count messages with nil buffers are legal (pure
+		// synchronization).
+		if w.Rank() == 0 {
+			if err := w.Send(nil, 0, 0, INT, 1, 0); err != nil {
+				t.Error(err)
+			}
+		} else {
+			st, err := w.Recv(nil, 0, 0, INT, 0, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if st.Count() != 0 {
+				t.Errorf("count = %d", st.Count())
+			}
+		}
+	})
+}
+
+func TestAllgathervDerivedGaps(t *testing.T) {
+	// Allgatherv with displacement gaps must leave the gaps untouched
+	// on every rank.
+	const n = 2
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		mine := []int32{int32(10 + w.Rank())}
+		counts := []int{1, 1}
+		displs := []int{0, 2} // gap at index 1
+		recv := []int32{-1, -1, -1}
+		if err := w.Allgatherv(mine, 0, 1, INT, recv, 0, counts, displs, INT); err != nil {
+			t.Error(err)
+			return
+		}
+		if recv[0] != 10 || recv[2] != 11 {
+			t.Errorf("recv = %v", recv)
+		}
+		if recv[1] != -1 {
+			t.Errorf("gap overwritten: %v", recv)
+		}
+	})
+}
+
+func TestWaitAllReportsErrorIndex(t *testing.T) {
+	runWorld(t, 1, func(p *Process, w *Intracomm) {
+		// A request slice with only nils is trivially complete.
+		sts, err := WaitAll([]*Request{nil, nil})
+		if err != nil || len(sts) != 2 {
+			t.Errorf("WaitAll(nils) = %v, %v", sts, err)
+		}
+	})
+}
+
+func TestCommAccessors(t *testing.T) {
+	runWorld(t, 2, func(p *Process, w *Intracomm) {
+		if w.Process() != p {
+			t.Error("Process() mismatch")
+		}
+		if w.Group().Size() != 2 {
+			t.Error("Group size")
+		}
+		dup, err := w.Dup()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if w.Compare(&dup.Comm) != Ident {
+			t.Error("dup not Ident")
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRandomizedTrafficMatchesModel drives a random communication
+// pattern through the full stack and checks every delivery against a
+// sequential model: for each (src→dst, tag) stream, messages must
+// arrive in order with intact payloads.
+func TestRandomizedTrafficMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 3; trial++ {
+		n := 2 + rng.Intn(3)
+		const tags = 3
+		const perStream = 5
+		runWorld(t, n, func(p *Process, w *Intracomm) {
+			rank := w.Rank()
+			// Everyone sends perStream messages on every (dst, tag)
+			// stream; payload encodes (src, dst, tag, seq).
+			reqs := make([]*Request, 0, n*tags*perStream)
+			for dst := 0; dst < n; dst++ {
+				for tag := 0; tag < tags; tag++ {
+					for s := 0; s < perStream; s++ {
+						payload := []int64{int64(rank*1_000_000 + dst*10_000 + tag*100 + s)}
+						r, err := w.Isend(payload, 0, 1, LONG, dst, tag)
+						if err != nil {
+							t.Errorf("isend: %v", err)
+							return
+						}
+						reqs = append(reqs, r)
+					}
+				}
+			}
+			// Receive every stream, checking order.
+			for src := 0; src < n; src++ {
+				for tag := 0; tag < tags; tag++ {
+					for s := 0; s < perStream; s++ {
+						buf := make([]int64, 1)
+						st, err := w.Recv(buf, 0, 1, LONG, src, tag)
+						if err != nil {
+							t.Errorf("recv: %v", err)
+							return
+						}
+						want := int64(src*1_000_000 + rank*10_000 + tag*100 + s)
+						if buf[0] != want {
+							t.Errorf("stream (%d->%d, tag %d) msg %d: got %d want %d",
+								src, rank, tag, s, buf[0], want)
+							return
+						}
+						if st.Source != src || st.Tag != tag {
+							t.Errorf("status %+v for stream (%d, %d)", st, src, tag)
+							return
+						}
+					}
+				}
+			}
+			if _, err := WaitAll(reqs); err != nil {
+				t.Errorf("waitall: %v", err)
+			}
+		})
+	}
+}
+
+// TestRandomizedAlltoallv cross-checks Alltoallv against a locally
+// computed reference for random counts and displacements.
+func TestRandomizedAlltoallv(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 4; trial++ {
+		n := 2 + rng.Intn(3)
+		// counts[i][j]: items rank i sends to rank j.
+		counts := make([][]int, n)
+		for i := range counts {
+			counts[i] = make([]int, n)
+			for j := range counts[i] {
+				counts[i][j] = rng.Intn(4)
+			}
+		}
+		runWorld(t, n, func(p *Process, w *Intracomm) {
+			rank := w.Rank()
+			scounts := counts[rank]
+			sdispls := make([]int, n)
+			total := 0
+			for j, cnt := range scounts {
+				sdispls[j] = total
+				total += cnt
+			}
+			send := make([]int32, total)
+			for j := 0; j < n; j++ {
+				for k := 0; k < scounts[j]; k++ {
+					send[sdispls[j]+k] = int32(rank*10_000 + j*100 + k)
+				}
+			}
+			rcounts := make([]int, n)
+			rdispls := make([]int, n)
+			rtotal := 0
+			for i := 0; i < n; i++ {
+				rcounts[i] = counts[i][rank]
+				rdispls[i] = rtotal
+				rtotal += rcounts[i]
+			}
+			recv := make([]int32, rtotal)
+			if err := w.Alltoallv(send, 0, scounts, sdispls, INT, recv, 0, rcounts, rdispls, INT); err != nil {
+				t.Errorf("trial %d: %v", trial, err)
+				return
+			}
+			for i := 0; i < n; i++ {
+				for k := 0; k < rcounts[i]; k++ {
+					want := int32(i*10_000 + rank*100 + k)
+					if recv[rdispls[i]+k] != want {
+						t.Errorf("trial %d rank %d: from %d item %d = %d want %d",
+							trial, rank, i, k, recv[rdispls[i]+k], want)
+						return
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"mpj/internal/xdev"
+)
+
+// Comparison results for Group.Compare and Comm.Compare (mpijava
+// constants).
+const (
+	// Ident: same members in the same order.
+	Ident = iota
+	// Similar: same members, different order.
+	Similar
+	// Unequal: different membership.
+	Unequal
+)
+
+// Undefined is returned by rank queries for processes outside a group
+// and used as the "no color" value in Split.
+const Undefined = -3
+
+// Group is an ordered set of processes (identified by device
+// ProcessIDs), the mpijava Group class.
+type Group struct {
+	pids []xdev.ProcessID
+}
+
+// NewGroup builds a group from an ordered process list.
+func NewGroup(pids []xdev.ProcessID) *Group {
+	return &Group{pids: append([]xdev.ProcessID(nil), pids...)}
+}
+
+// Size reports the number of processes in the group.
+func (g *Group) Size() int { return len(g.pids) }
+
+// Rank reports the rank of pid within the group, or Undefined.
+func (g *Group) Rank(pid xdev.ProcessID) int {
+	for r, p := range g.pids {
+		if p == pid {
+			return r
+		}
+	}
+	return Undefined
+}
+
+// PID returns the ProcessID at the given rank.
+func (g *Group) PID(rank int) (xdev.ProcessID, error) {
+	if rank < 0 || rank >= len(g.pids) {
+		return xdev.ProcessID{}, fmt.Errorf("core: group rank %d out of range [0,%d)", rank, len(g.pids))
+	}
+	return g.pids[rank], nil
+}
+
+// PIDs returns a copy of the ordered member list.
+func (g *Group) PIDs() []xdev.ProcessID {
+	return append([]xdev.ProcessID(nil), g.pids...)
+}
+
+// TranslateRanks maps ranks in this group to ranks in other; processes
+// absent from other map to Undefined (MPI_Group_translate_ranks).
+func (g *Group) TranslateRanks(ranks []int, other *Group) ([]int, error) {
+	out := make([]int, len(ranks))
+	for i, r := range ranks {
+		pid, err := g.PID(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = other.Rank(pid)
+	}
+	return out, nil
+}
+
+// Compare reports Ident, Similar or Unequal (MPI_Group_compare).
+func (g *Group) Compare(other *Group) int {
+	if len(g.pids) != len(other.pids) {
+		return Unequal
+	}
+	ident := true
+	for i, p := range g.pids {
+		if other.pids[i] != p {
+			ident = false
+			break
+		}
+	}
+	if ident {
+		return Ident
+	}
+	for _, p := range g.pids {
+		if other.Rank(p) == Undefined {
+			return Unequal
+		}
+	}
+	return Similar
+}
+
+// Union returns the processes of g followed by those of other not in g
+// (MPI_Group_union).
+func (g *Group) Union(other *Group) *Group {
+	out := append([]xdev.ProcessID(nil), g.pids...)
+	for _, p := range other.pids {
+		if g.Rank(p) == Undefined {
+			out = append(out, p)
+		}
+	}
+	return &Group{pids: out}
+}
+
+// Intersection returns the processes of g also present in other, in
+// g's order (MPI_Group_intersection).
+func (g *Group) Intersection(other *Group) *Group {
+	var out []xdev.ProcessID
+	for _, p := range g.pids {
+		if other.Rank(p) != Undefined {
+			out = append(out, p)
+		}
+	}
+	return &Group{pids: out}
+}
+
+// Difference returns the processes of g absent from other
+// (MPI_Group_difference).
+func (g *Group) Difference(other *Group) *Group {
+	var out []xdev.ProcessID
+	for _, p := range g.pids {
+		if other.Rank(p) == Undefined {
+			out = append(out, p)
+		}
+	}
+	return &Group{pids: out}
+}
+
+// Incl returns the subgroup containing exactly the listed ranks, in
+// that order (MPI_Group_incl).
+func (g *Group) Incl(ranks []int) (*Group, error) {
+	out := make([]xdev.ProcessID, len(ranks))
+	for i, r := range ranks {
+		pid, err := g.PID(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = pid
+	}
+	return &Group{pids: out}, nil
+}
+
+// Excl returns the subgroup with the listed ranks removed
+// (MPI_Group_excl).
+func (g *Group) Excl(ranks []int) (*Group, error) {
+	drop := make(map[int]bool, len(ranks))
+	for _, r := range ranks {
+		if r < 0 || r >= len(g.pids) {
+			return nil, fmt.Errorf("core: Excl rank %d out of range", r)
+		}
+		drop[r] = true
+	}
+	var out []xdev.ProcessID
+	for r, p := range g.pids {
+		if !drop[r] {
+			out = append(out, p)
+		}
+	}
+	return &Group{pids: out}, nil
+}

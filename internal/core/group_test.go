@@ -1,0 +1,324 @@
+package core
+
+import (
+	"testing"
+
+	"mpj/internal/xdev"
+)
+
+func pidsOf(ids ...uint64) []xdev.ProcessID {
+	out := make([]xdev.ProcessID, len(ids))
+	for i, id := range ids {
+		out[i] = xdev.ProcessID{UUID: id}
+	}
+	return out
+}
+
+func TestGroupBasics(t *testing.T) {
+	g := NewGroup(pidsOf(3, 1, 2))
+	if g.Size() != 3 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	if g.Rank(xdev.ProcessID{UUID: 1}) != 1 {
+		t.Fatal("rank lookup failed")
+	}
+	if g.Rank(xdev.ProcessID{UUID: 9}) != Undefined {
+		t.Fatal("absent process has a rank")
+	}
+	if _, err := g.PID(3); err == nil {
+		t.Fatal("out-of-range PID accepted")
+	}
+}
+
+func TestGroupCompare(t *testing.T) {
+	a := NewGroup(pidsOf(1, 2, 3))
+	b := NewGroup(pidsOf(1, 2, 3))
+	c := NewGroup(pidsOf(3, 2, 1))
+	d := NewGroup(pidsOf(1, 2, 4))
+	e := NewGroup(pidsOf(1, 2))
+	if a.Compare(b) != Ident {
+		t.Error("identical groups not Ident")
+	}
+	if a.Compare(c) != Similar {
+		t.Error("permuted groups not Similar")
+	}
+	if a.Compare(d) != Unequal || a.Compare(e) != Unequal {
+		t.Error("different groups not Unequal")
+	}
+}
+
+func TestGroupSetOps(t *testing.T) {
+	a := NewGroup(pidsOf(1, 2, 3))
+	b := NewGroup(pidsOf(3, 4))
+
+	u := a.Union(b)
+	if u.Size() != 4 || u.Rank(xdev.ProcessID{UUID: 4}) != 3 {
+		t.Errorf("union %v", u.PIDs())
+	}
+	i := a.Intersection(b)
+	if i.Size() != 1 || i.Rank(xdev.ProcessID{UUID: 3}) != 0 {
+		t.Errorf("intersection %v", i.PIDs())
+	}
+	d := a.Difference(b)
+	if d.Size() != 2 || d.Rank(xdev.ProcessID{UUID: 3}) != Undefined {
+		t.Errorf("difference %v", d.PIDs())
+	}
+}
+
+func TestGroupInclExcl(t *testing.T) {
+	g := NewGroup(pidsOf(10, 11, 12, 13))
+	inc, err := g.Incl([]int{3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Size() != 2 || inc.pids[0].UUID != 13 || inc.pids[1].UUID != 10 {
+		t.Errorf("incl %v", inc.PIDs())
+	}
+	if _, err := g.Incl([]int{7}); err == nil {
+		t.Error("bad rank accepted by Incl")
+	}
+	exc, err := g.Excl([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exc.Size() != 2 || exc.pids[0].UUID != 10 || exc.pids[1].UUID != 13 {
+		t.Errorf("excl %v", exc.PIDs())
+	}
+	if _, err := g.Excl([]int{-1}); err == nil {
+		t.Error("bad rank accepted by Excl")
+	}
+}
+
+func TestTranslateRanks(t *testing.T) {
+	a := NewGroup(pidsOf(1, 2, 3))
+	b := NewGroup(pidsOf(3, 1))
+	out, err := a.TranslateRanks([]int{0, 1, 2}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, Undefined, 0}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("translate = %v", out)
+		}
+	}
+	if _, err := a.TranslateRanks([]int{9}, b); err == nil {
+		t.Error("bad rank accepted")
+	}
+}
+
+func TestCommGroupAndCompare(t *testing.T) {
+	runWorld(t, 3, func(p *Process, w *Intracomm) {
+		g := w.Group()
+		if g.Size() != 3 {
+			t.Errorf("world group size %d", g.Size())
+		}
+		dup, err := w.Dup()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if w.Compare(&dup.Comm) != Ident {
+			t.Error("dup group differs")
+		}
+	})
+}
+
+func TestDupIsolatesTraffic(t *testing.T) {
+	runWorld(t, 2, func(p *Process, w *Intracomm) {
+		dup, err := w.Dup()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if w.Rank() == 0 {
+			if err := w.Send([]int32{1}, 0, 1, INT, 1, 0); err != nil {
+				t.Error(err)
+			}
+			if err := dup.Send([]int32{2}, 0, 1, INT, 1, 0); err != nil {
+				t.Error(err)
+			}
+		} else {
+			// Receive from the dup first: must get the dup's message.
+			b := make([]int32, 1)
+			if _, err := dup.Recv(b, 0, 1, INT, 0, 0); err != nil {
+				t.Error(err)
+				return
+			}
+			if b[0] != 2 {
+				t.Errorf("dup delivered %d", b[0])
+			}
+			if _, err := w.Recv(b, 0, 1, INT, 0, 0); err != nil {
+				t.Error(err)
+				return
+			}
+			if b[0] != 1 {
+				t.Errorf("world delivered %d", b[0])
+			}
+		}
+	})
+}
+
+func TestSplitColorsAndKeys(t *testing.T) {
+	const n = 6
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		rank := w.Rank()
+		color := rank % 2
+		key := -rank // reverse order within each color
+		sub, err := w.Split(color, key)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if sub == nil {
+			t.Error("member got nil comm")
+			return
+		}
+		if sub.Size() != 3 {
+			t.Errorf("sub size %d", sub.Size())
+		}
+		// Reverse key order: world rank 4 (color 0) gets sub rank 0.
+		wantRank := map[int]int{4: 0, 2: 1, 0: 2, 5: 0, 3: 1, 1: 2}[rank]
+		if sub.Rank() != wantRank {
+			t.Errorf("world rank %d: sub rank %d, want %d", rank, sub.Rank(), wantRank)
+		}
+		// Traffic within the subcomm.
+		sum := make([]int32, 1)
+		if err := sub.Allreduce([]int32{int32(rank)}, 0, sum, 0, 1, INT, SUM); err != nil {
+			t.Errorf("sub allreduce: %v", err)
+			return
+		}
+		want := int32(0 + 2 + 4)
+		if color == 1 {
+			want = 1 + 3 + 5
+		}
+		if sum[0] != want {
+			t.Errorf("color %d sum %d", color, sum[0])
+		}
+	})
+}
+
+func TestSplitUndefined(t *testing.T) {
+	runWorld(t, 3, func(p *Process, w *Intracomm) {
+		color := 0
+		if w.Rank() == 2 {
+			color = Undefined
+		}
+		sub, err := w.Split(color, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if w.Rank() == 2 {
+			if sub != nil {
+				t.Error("Undefined color got a communicator")
+			}
+			return
+		}
+		if sub == nil || sub.Size() != 2 {
+			t.Error("members did not get a 2-comm")
+		}
+	})
+}
+
+func TestCommCreateSubgroup(t *testing.T) {
+	runWorld(t, 4, func(p *Process, w *Intracomm) {
+		g, err := w.Group().Incl([]int{3, 1})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sub, err := w.Create(g)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		switch w.Rank() {
+		case 1, 3:
+			if sub == nil {
+				t.Error("member got nil")
+				return
+			}
+			wantRank := 1
+			if w.Rank() == 3 {
+				wantRank = 0
+			}
+			if sub.Rank() != wantRank {
+				t.Errorf("sub rank %d, want %d", sub.Rank(), wantRank)
+			}
+			// Quick traffic check.
+			b := make([]int32, 1)
+			if sub.Rank() == 0 {
+				sub.Send([]int32{42}, 0, 1, INT, 1, 0)
+			} else {
+				sub.Recv(b, 0, 1, INT, 0, 0)
+				if b[0] != 42 {
+					t.Errorf("got %d", b[0])
+				}
+			}
+		default:
+			if sub != nil {
+				t.Error("non-member got a communicator")
+			}
+		}
+	})
+}
+
+func TestIntercomm(t *testing.T) {
+	const n = 4
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		rank := w.Rank()
+		color := rank % 2
+		local, err := w.Split(color, rank)
+		if err != nil || local == nil {
+			t.Errorf("split: %v", err)
+			return
+		}
+		// Leaders: local rank 0 of each side; remote leader ranks in
+		// world: color 0's peer leader is world rank 1, and vice versa.
+		remoteLeader := 1 - color
+		inter, err := w.CreateIntercomm(local, 0, remoteLeader, 77)
+		if err != nil {
+			t.Errorf("create intercomm: %v", err)
+			return
+		}
+		if inter.Size() != 2 || inter.RemoteSize() != 2 {
+			t.Errorf("sizes %d/%d", inter.Size(), inter.RemoteSize())
+		}
+		if inter.Rank() != rank/2 {
+			t.Errorf("local rank %d, want %d", inter.Rank(), rank/2)
+		}
+		// Each process sends to the same-index process on the other
+		// side and receives from it.
+		peer := inter.Rank()
+		out := []int32{int32(rank * 11)}
+		in := make([]int32, 1)
+		req, err := inter.Isend(out, 0, 1, INT, peer, 5)
+		if err != nil {
+			t.Errorf("isend: %v", err)
+			return
+		}
+		st, err := inter.Recv(in, 0, 1, INT, peer, 5)
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			return
+		}
+		if _, err := req.Wait(); err != nil {
+			t.Error(err)
+		}
+		// The partner is the world rank with the other parity.
+		wantFrom := rank - 1
+		if color == 0 {
+			wantFrom = rank + 1
+		}
+		if in[0] != int32(wantFrom*11) {
+			t.Errorf("rank %d got %d, want %d", rank, in[0], wantFrom*11)
+		}
+		if st.Source != peer {
+			t.Errorf("status source %d, want remote rank %d", st.Source, peer)
+		}
+		if inter.LocalGroup().Size() != 2 || inter.RemoteGroup().Size() != 2 {
+			t.Error("group sizes wrong")
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"mpj/internal/mpjdev"
+	"mpj/internal/xdev"
+)
+
+// Intercomm is a communicator between two disjoint groups
+// (the mpijava Intercomm class): point-to-point ranks address the
+// *remote* group. The paper lists inter-communicators among the
+// higher-level MPI features MPJ Express implements and MPJ/Ibis lacks.
+type Intercomm struct {
+	Comm
+	localGroup  *Group
+	remoteGroup *Group
+}
+
+// LocalGroup returns the caller's side of the intercommunicator.
+func (ic *Intercomm) LocalGroup() *Group { return ic.localGroup }
+
+// RemoteGroup returns the opposite side.
+func (ic *Intercomm) RemoteGroup() *Group { return ic.remoteGroup }
+
+// RemoteSize reports the number of processes in the remote group.
+func (ic *Intercomm) RemoteSize() int { return ic.remoteGroup.Size() }
+
+// Rank reports the caller's rank in its local group.
+func (ic *Intercomm) Rank() int { return ic.localGroup.Rank(ic.selfPID()) }
+
+// Size reports the local group size.
+func (ic *Intercomm) Size() int { return ic.localGroup.Size() }
+
+func (ic *Intercomm) selfPID() xdev.ProcessID { return ic.p.dev.ID() }
+
+// CreateIntercomm builds an intercommunicator (Intracomm.Create_intercomm).
+// The receiver c is the peer communicator containing both leaders;
+// local is the caller's intracommunicator; localLeader is the leader's
+// rank in local; remoteLeader is the other group's leader's rank in c;
+// tag disambiguates concurrent constructions over c.
+func (c *Intracomm) CreateIntercomm(local *Intracomm, localLeader, remoteLeader, tag int) (*Intercomm, error) {
+	if local == nil {
+		return nil, fmt.Errorf("core: CreateIntercomm: caller must be in a local group")
+	}
+	lsize := local.Size()
+	lrank := local.Rank()
+
+	// Leaders exchange the ordered member lists (as world ranks in c).
+	myPIDs := local.group.PIDs()
+	myRanksInPeer := make([]int32, lsize)
+	for i, pid := range myPIDs {
+		r := c.group.Rank(pid)
+		if r == Undefined {
+			return nil, fmt.Errorf("core: CreateIntercomm: local member %v not in peer communicator", pid)
+		}
+		myRanksInPeer[i] = int32(r)
+	}
+
+	var remoteRanks []int32
+	if lrank == localLeader {
+		// Exchange sizes, then member lists.
+		sizeBuf := []int32{int32(lsize)}
+		otherSize := make([]int32, 1)
+		if _, err := c.Sendrecv(
+			sizeBuf, 0, 1, INT, remoteLeader, tag,
+			otherSize, 0, 1, INT, remoteLeader, tag); err != nil {
+			return nil, fmt.Errorf("core: CreateIntercomm size exchange: %w", err)
+		}
+		remoteRanks = make([]int32, otherSize[0])
+		if _, err := c.Sendrecv(
+			myRanksInPeer, 0, lsize, INT, remoteLeader, tag,
+			remoteRanks, 0, int(otherSize[0]), INT, remoteLeader, tag); err != nil {
+			return nil, fmt.Errorf("core: CreateIntercomm member exchange: %w", err)
+		}
+	}
+	// Leader broadcasts the remote member list within the local group.
+	sz := []int32{int32(len(remoteRanks))}
+	if err := local.Bcast(sz, 0, 1, INT, localLeader); err != nil {
+		return nil, err
+	}
+	if lrank != localLeader {
+		remoteRanks = make([]int32, sz[0])
+	}
+	if err := local.Bcast(remoteRanks, 0, int(sz[0]), INT, localLeader); err != nil {
+		return nil, err
+	}
+
+	remotePIDs := make([]xdev.ProcessID, len(remoteRanks))
+	for i, r := range remoteRanks {
+		pid, err := c.group.PID(int(r))
+		if err != nil {
+			return nil, err
+		}
+		remotePIDs[i] = pid
+	}
+	remoteGroup := NewGroup(remotePIDs)
+	localGroup := local.group
+
+	// Point-to-point ranks address the remote group, so the mpjdev
+	// comm's pid table is remote-first; local members follow so the
+	// device can also resolve local sources if needed.
+	union := append(append([]xdev.ProcessID(nil), remotePIDs...), localGroup.pids...)
+	ptpCtx, collCtx := c.p.allocContexts()
+	selfIndex := len(remotePIDs) + lrank
+	ptp, err := mpjdev.NewComm(c.p.dev, union, selfIndex, ptpCtx)
+	if err != nil {
+		return nil, err
+	}
+	coll, err := mpjdev.NewComm(c.p.dev, union, selfIndex, collCtx)
+	if err != nil {
+		return nil, err
+	}
+	return &Intercomm{
+		Comm:        Comm{p: c.p, group: NewGroup(union), ptp: ptp, coll: coll},
+		localGroup:  localGroup,
+		remoteGroup: remoteGroup,
+	}, nil
+}

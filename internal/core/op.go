@@ -1,0 +1,223 @@
+package core
+
+import "fmt"
+
+// Op is a reduction operation (the mpijava Op class). Built-in ops are
+// exported as package variables; user-defined ops come from NewOp.
+//
+// An op's function combines two equal-length slices of the reduction's
+// base type, accumulating into inout: inout[i] = op(in[i], inout[i]).
+type Op struct {
+	name    string
+	commute bool
+	apply   func(in, inout any) error
+}
+
+// NewOp wraps a user-defined reduction function (MPI_Op_create). The
+// function receives two equal-length slices of the buffer's element
+// type ([]int32, []float64, ...) and must accumulate into inout.
+func NewOp(fn func(in, inout any) error, commute bool) *Op {
+	return &Op{name: "USER", commute: commute, apply: fn}
+}
+
+// String returns the op's name.
+func (o *Op) String() string { return o.name }
+
+// IsCommutative reports whether the op may be applied in any order.
+func (o *Op) IsCommutative() bool { return o.commute }
+
+// number covers the element types of arithmetic reductions.
+type number interface {
+	~int16 | ~int32 | ~int64 | ~float32 | ~float64 | ~uint8 | ~uint16
+}
+
+func binOp[T any](f func(a, b T) T) func(in, inout []T) error {
+	return func(in, inout []T) error {
+		if len(in) != len(inout) {
+			return fmt.Errorf("core: reduction length mismatch %d vs %d", len(in), len(inout))
+		}
+		for i := range in {
+			inout[i] = f(in[i], inout[i])
+		}
+		return nil
+	}
+}
+
+// numericApply dispatches a generic numeric combiner across the slice
+// types that support it.
+func numericApply(name string, f8 func(a, b float64) float64, fi func(a, b int64) int64) func(in, inout any) error {
+	return func(in, inout any) error {
+		switch a := in.(type) {
+		case []byte:
+			return binOp(func(x, y byte) byte { return byte(fi(int64(x), int64(y))) })(a, inout.([]byte))
+		case []uint16:
+			return binOp(func(x, y uint16) uint16 { return uint16(fi(int64(x), int64(y))) })(a, inout.([]uint16))
+		case []int16:
+			return binOp(func(x, y int16) int16 { return int16(fi(int64(x), int64(y))) })(a, inout.([]int16))
+		case []int32:
+			return binOp(func(x, y int32) int32 { return int32(fi(int64(x), int64(y))) })(a, inout.([]int32))
+		case []int64:
+			return binOp(fi)(a, inout.([]int64))
+		case []float32:
+			return binOp(func(x, y float32) float32 { return float32(f8(float64(x), float64(y))) })(a, inout.([]float32))
+		case []float64:
+			return binOp(f8)(a, inout.([]float64))
+		}
+		return fmt.Errorf("core: op %s unsupported for %T", name, in)
+	}
+}
+
+// bitApply dispatches a bitwise combiner across integer slice types.
+func bitApply(name string, fi func(a, b int64) int64) func(in, inout any) error {
+	return func(in, inout any) error {
+		switch a := in.(type) {
+		case []byte:
+			return binOp(func(x, y byte) byte { return byte(fi(int64(x), int64(y))) })(a, inout.([]byte))
+		case []uint16:
+			return binOp(func(x, y uint16) uint16 { return uint16(fi(int64(x), int64(y))) })(a, inout.([]uint16))
+		case []int16:
+			return binOp(func(x, y int16) int16 { return int16(fi(int64(x), int64(y))) })(a, inout.([]int16))
+		case []int32:
+			return binOp(func(x, y int32) int32 { return int32(fi(int64(x), int64(y))) })(a, inout.([]int32))
+		case []int64:
+			return binOp(fi)(a, inout.([]int64))
+		}
+		return fmt.Errorf("core: op %s unsupported for %T", name, in)
+	}
+}
+
+// logicalApply dispatches a boolean combiner over bools and integers
+// (non-zero meaning true, as in MPI).
+func logicalApply(name string, fb func(a, b bool) bool) func(in, inout any) error {
+	toI := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	fi := func(a, b int64) int64 { return toI(fb(a != 0, b != 0)) }
+	return func(in, inout any) error {
+		switch a := in.(type) {
+		case []bool:
+			return binOp(fb)(a, inout.([]bool))
+		case []byte:
+			return binOp(func(x, y byte) byte { return byte(fi(int64(x), int64(y))) })(a, inout.([]byte))
+		case []int16:
+			return binOp(func(x, y int16) int16 { return int16(fi(int64(x), int64(y))) })(a, inout.([]int16))
+		case []int32:
+			return binOp(func(x, y int32) int32 { return int32(fi(int64(x), int64(y))) })(a, inout.([]int32))
+		case []int64:
+			return binOp(fi)(a, inout.([]int64))
+		}
+		return fmt.Errorf("core: op %s unsupported for %T", name, in)
+	}
+}
+
+// locApply implements MAXLOC/MINLOC over (value, index) pairs laid out
+// as consecutive elements, the *_INT paired-type convention.
+func locApply(name string, better func(a, b float64) bool) func(in, inout any) error {
+	return func(in, inout any) error {
+		switch a := in.(type) {
+		case []int32:
+			b := inout.([]int32)
+			if len(a) != len(b) || len(a)%2 != 0 {
+				return fmt.Errorf("core: %s needs even-length (value,index) pairs", name)
+			}
+			for i := 0; i < len(a); i += 2 {
+				av, bv := float64(a[i]), float64(b[i])
+				if better(av, bv) || (av == bv && a[i+1] < b[i+1]) {
+					b[i], b[i+1] = a[i], a[i+1]
+				}
+			}
+			return nil
+		case []int64:
+			b := inout.([]int64)
+			if len(a) != len(b) || len(a)%2 != 0 {
+				return fmt.Errorf("core: %s needs even-length (value,index) pairs", name)
+			}
+			for i := 0; i < len(a); i += 2 {
+				av, bv := float64(a[i]), float64(b[i])
+				if better(av, bv) || (av == bv && a[i+1] < b[i+1]) {
+					b[i], b[i+1] = a[i], a[i+1]
+				}
+			}
+			return nil
+		case []float64:
+			b := inout.([]float64)
+			if len(a) != len(b) || len(a)%2 != 0 {
+				return fmt.Errorf("core: %s needs even-length (value,index) pairs", name)
+			}
+			for i := 0; i < len(a); i += 2 {
+				if better(a[i], b[i]) || (a[i] == b[i] && a[i+1] < b[i+1]) {
+					b[i], b[i+1] = a[i], a[i+1]
+				}
+			}
+			return nil
+		case []float32:
+			b := inout.([]float32)
+			if len(a) != len(b) || len(a)%2 != 0 {
+				return fmt.Errorf("core: %s needs even-length (value,index) pairs", name)
+			}
+			for i := 0; i < len(a); i += 2 {
+				av, bv := float64(a[i]), float64(b[i])
+				if better(av, bv) || (av == bv && a[i+1] < b[i+1]) {
+					b[i], b[i+1] = a[i], a[i+1]
+				}
+			}
+			return nil
+		}
+		return fmt.Errorf("core: op %s unsupported for %T", name, in)
+	}
+}
+
+// Built-in reduction operations (the mpijava MPI.MAX, MPI.SUM, ...).
+var (
+	MAX = &Op{name: "MAX", commute: true, apply: numericApply("MAX",
+		func(a, b float64) float64 {
+			if a > b {
+				return a
+			}
+			return b
+		},
+		func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		})}
+	MIN = &Op{name: "MIN", commute: true, apply: numericApply("MIN",
+		func(a, b float64) float64 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		})}
+	SUM = &Op{name: "SUM", commute: true, apply: numericApply("SUM",
+		func(a, b float64) float64 { return a + b },
+		func(a, b int64) int64 { return a + b })}
+	PROD = &Op{name: "PROD", commute: true, apply: numericApply("PROD",
+		func(a, b float64) float64 { return a * b },
+		func(a, b int64) int64 { return a * b })}
+	LAND = &Op{name: "LAND", commute: true, apply: logicalApply("LAND",
+		func(a, b bool) bool { return a && b })}
+	LOR = &Op{name: "LOR", commute: true, apply: logicalApply("LOR",
+		func(a, b bool) bool { return a || b })}
+	LXOR = &Op{name: "LXOR", commute: true, apply: logicalApply("LXOR",
+		func(a, b bool) bool { return a != b })}
+	BAND = &Op{name: "BAND", commute: true, apply: bitApply("BAND",
+		func(a, b int64) int64 { return a & b })}
+	BOR = &Op{name: "BOR", commute: true, apply: bitApply("BOR",
+		func(a, b int64) int64 { return a | b })}
+	BXOR = &Op{name: "BXOR", commute: true, apply: bitApply("BXOR",
+		func(a, b int64) int64 { return a ^ b })}
+	MAXLOC = &Op{name: "MAXLOC", commute: true, apply: locApply("MAXLOC",
+		func(a, b float64) bool { return a > b })}
+	MINLOC = &Op{name: "MINLOC", commute: true, apply: locApply("MINLOC",
+		func(a, b float64) bool { return a < b })}
+)

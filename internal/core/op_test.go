@@ -1,0 +1,158 @@
+package core
+
+import "testing"
+
+func TestOpsAcrossElementTypes(t *testing.T) {
+	cases := []struct {
+		name  string
+		op    *Op
+		in    any
+		inout any
+		want  any
+	}{
+		{"sum-bytes", SUM, []byte{1, 2}, []byte{3, 4}, []byte{4, 6}},
+		{"sum-chars", SUM, []uint16{1}, []uint16{2}, []uint16{3}},
+		{"sum-shorts", SUM, []int16{-1, 5}, []int16{1, 5}, []int16{0, 10}},
+		{"sum-ints", SUM, []int32{7}, []int32{8}, []int32{15}},
+		{"sum-longs", SUM, []int64{1 << 40}, []int64{1 << 40}, []int64{1 << 41}},
+		{"sum-floats", SUM, []float32{1.5}, []float32{2.5}, []float32{4}},
+		{"sum-doubles", SUM, []float64{0.25}, []float64{0.5}, []float64{0.75}},
+		{"max-ints", MAX, []int32{3, -9}, []int32{-2, 5}, []int32{3, 5}},
+		{"min-doubles", MIN, []float64{2, -2}, []float64{1, 0}, []float64{1, -2}},
+		{"prod-shorts", PROD, []int16{3}, []int16{4}, []int16{12}},
+		{"land-bools", LAND, []bool{true, true}, []bool{true, false}, []bool{true, false}},
+		{"lor-ints", LOR, []int32{0, 1}, []int32{0, 0}, []int32{0, 1}},
+		{"lxor-bools", LXOR, []bool{true}, []bool{true}, []bool{false}},
+		{"lxor-longs", LXOR, []int64{1}, []int64{0}, []int64{1}},
+		{"band-bytes", BAND, []byte{0b1100}, []byte{0b1010}, []byte{0b1000}},
+		{"bor-shorts", BOR, []int16{0b01}, []int16{0b10}, []int16{0b11}},
+		{"bxor-longs", BXOR, []int64{0b1111}, []int64{0b1010}, []int64{0b0101}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.op.apply(c.in, c.inout); err != nil {
+				t.Fatal(err)
+			}
+			switch want := c.want.(type) {
+			case []byte:
+				got := c.inout.([]byte)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("got %v want %v", got, want)
+					}
+				}
+			case []uint16:
+				got := c.inout.([]uint16)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("got %v want %v", got, want)
+					}
+				}
+			case []int16:
+				got := c.inout.([]int16)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("got %v want %v", got, want)
+					}
+				}
+			case []int32:
+				got := c.inout.([]int32)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("got %v want %v", got, want)
+					}
+				}
+			case []int64:
+				got := c.inout.([]int64)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("got %v want %v", got, want)
+					}
+				}
+			case []float32:
+				got := c.inout.([]float32)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("got %v want %v", got, want)
+					}
+				}
+			case []float64:
+				got := c.inout.([]float64)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("got %v want %v", got, want)
+					}
+				}
+			case []bool:
+				got := c.inout.([]bool)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("got %v want %v", got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestOpUnsupportedTypeErrors(t *testing.T) {
+	if err := SUM.apply([]bool{true}, []bool{false}); err == nil {
+		t.Error("SUM over bools accepted")
+	}
+	if err := BAND.apply([]float64{1}, []float64{2}); err == nil {
+		t.Error("BAND over floats accepted")
+	}
+	if err := LAND.apply([]float64{1}, []float64{2}); err == nil {
+		t.Error("LAND over floats accepted")
+	}
+	if err := MAXLOC.apply([]bool{true}, []bool{false}); err == nil {
+		t.Error("MAXLOC over bools accepted")
+	}
+	if err := SUM.apply([]int32{1, 2}, []int32{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestLocOpsPairSemantics(t *testing.T) {
+	// (value, index) pairs; ties resolve to the lower index.
+	in := []float64{5, 2, 7, 9}
+	inout := []float64{5, 1, 7, 3}
+	if err := MAXLOC.apply(in, inout); err != nil {
+		t.Fatal(err)
+	}
+	// Pair 0: equal values 5 — index 1 vs 1?? in has idx 2, inout idx 1:
+	// equal value keeps the smaller index (1).
+	if inout[0] != 5 || inout[1] != 1 {
+		t.Errorf("pair 0 = (%v,%v)", inout[0], inout[1])
+	}
+	// Pair 1: equal values 7, indexes 9 vs 3 -> 3.
+	if inout[2] != 7 || inout[3] != 3 {
+		t.Errorf("pair 1 = (%v,%v)", inout[2], inout[3])
+	}
+	if err := MAXLOC.apply([]float64{1, 2, 3}, []float64{1, 2, 3}); err == nil {
+		t.Error("odd-length pairs accepted")
+	}
+	// int32 and int64 variants.
+	i32in, i32out := []int32{9, 0}, []int32{3, 1}
+	if err := MAXLOC.apply(i32in, i32out); err != nil || i32out[0] != 9 || i32out[1] != 0 {
+		t.Errorf("int32 MAXLOC: %v %v", i32out, err)
+	}
+	i64in, i64out := []int64{-5, 2}, []int64{-3, 0}
+	if err := MINLOC.apply(i64in, i64out); err != nil || i64out[0] != -5 || i64out[1] != 2 {
+		t.Errorf("int64 MINLOC: %v %v", i64out, err)
+	}
+	f32in, f32out := []float32{1, 7}, []float32{2, 3}
+	if err := MINLOC.apply(f32in, f32out); err != nil || f32out[0] != 1 || f32out[1] != 7 {
+		t.Errorf("float32 MINLOC: %v %v", f32out, err)
+	}
+}
+
+func TestOpMetadata(t *testing.T) {
+	if SUM.String() != "SUM" || !SUM.IsCommutative() {
+		t.Error("SUM metadata wrong")
+	}
+	user := NewOp(func(in, inout any) error { return nil }, false)
+	if user.IsCommutative() || user.String() != "USER" {
+		t.Error("user op metadata wrong")
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mpj/internal/mxdev"
+	"mpj/internal/xdev"
+)
+
+// runWorldMx runs the core API over the simulated Myrinet eXpress
+// device — the paper's mxdev path, where eager/rendezvous live inside
+// the MX library and Waitany peeks the MX completion queue.
+func runWorldMx(t *testing.T, n int, fn func(p *Process, w *Intracomm)) {
+	t.Helper()
+	group := fmt.Sprintf("core-mx-%d", groupCounter.Add(1))
+	procs := make([]*Process, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			procs[rank], errs[rank] = Init(mxdev.New(), xdev.Config{Rank: rank, Size: n, Group: group})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d init: %v", i, err)
+		}
+	}
+	defer func() {
+		for _, p := range procs {
+			p.Finalize()
+		}
+	}()
+	var jobWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		jobWG.Add(1)
+		go func(rank int) {
+			defer jobWG.Done()
+			fn(procs[rank], procs[rank].World())
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		jobWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("mxdev world deadlocked")
+	}
+}
+
+// TestFullStackOverMxdev runs collectives, communicator creation and
+// Waitany over the MX path.
+func TestFullStackOverMxdev(t *testing.T) {
+	runWorldMx(t, 4, func(p *Process, w *Intracomm) {
+		rank := w.Rank()
+		// Collectives.
+		sum := make([]int64, 1)
+		if err := w.Allreduce([]int64{int64(rank)}, 0, sum, 0, 1, LONG, SUM); err != nil {
+			t.Errorf("allreduce: %v", err)
+			return
+		}
+		if sum[0] != 6 {
+			t.Errorf("sum %d", sum[0])
+		}
+		// Gather a large block (exercises mxsim's single-copy path).
+		const k = 50_000
+		mine := make([]float64, k)
+		for i := range mine {
+			mine[i] = float64(rank)
+		}
+		var all []float64
+		if rank == 0 {
+			all = make([]float64, 4*k)
+		}
+		if err := w.Gather(mine, 0, k, DOUBLE, all, 0, k, DOUBLE, 0); err != nil {
+			t.Errorf("gather: %v", err)
+			return
+		}
+		if rank == 0 {
+			for r := 0; r < 4; r++ {
+				if all[r*k+k/2] != float64(r) {
+					t.Errorf("block %d corrupted", r)
+					return
+				}
+			}
+		}
+		// Waitany over the MX completion queue.
+		if rank == 0 {
+			bufs := make([][]int64, 3)
+			reqs := make([]*Request, 3)
+			for i := range reqs {
+				bufs[i] = make([]int64, 1)
+				r, err := w.Irecv(bufs[i], 0, 1, LONG, AnySource, 50+i)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				reqs[i] = r
+			}
+			for remaining := 3; remaining > 0; remaining-- {
+				idx, st, err := WaitAny(reqs)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if bufs[idx][0] != int64(st.Source)*7 {
+					t.Errorf("idx %d: payload %d from %d", idx, bufs[idx][0], st.Source)
+				}
+				reqs[idx] = nil
+			}
+		} else {
+			if err := w.Send([]int64{int64(rank) * 7}, 0, 1, LONG, 0, 50+rank-1); err != nil {
+				t.Error(err)
+			}
+		}
+		// Communicator creation over MX contexts.
+		sub, err := w.Split(rank%2, rank)
+		if err != nil || sub == nil {
+			t.Errorf("split: %v", err)
+			return
+		}
+		s := make([]int32, 1)
+		if err := sub.Allreduce([]int32{1}, 0, s, 0, 1, INT, SUM); err != nil {
+			t.Errorf("sub allreduce: %v", err)
+			return
+		}
+		if s[0] != 2 {
+			t.Errorf("sub size sum %d", s[0])
+		}
+	})
+}

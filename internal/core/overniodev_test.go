@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mpj/internal/niodev"
+	"mpj/internal/transport"
+	"mpj/internal/xdev"
+)
+
+// runWorldNio is runWorld over the real niodev stack (in-memory
+// transport): the full API exercised over the eager/rendezvous
+// protocols instead of the shared-memory device.
+func runWorldNio(t *testing.T, n int, eagerLimit int, fn func(p *Process, w *Intracomm)) {
+	t.Helper()
+	job := groupCounter.Add(1)
+	tr := transport.NewInProc(0)
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("core-nio-%d-%d", job, i)
+	}
+	procs := make([]*Process, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			procs[rank], errs[rank] = Init(niodev.New(), xdev.Config{
+				Rank: rank, Size: n, Addrs: addrs, Dialer: tr, EagerLimit: eagerLimit,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d init: %v", i, err)
+		}
+	}
+	defer func() {
+		for _, p := range procs {
+			p.Finalize()
+		}
+	}()
+	var jobWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		jobWG.Add(1)
+		go func(rank int) {
+			defer jobWG.Done()
+			fn(procs[rank], procs[rank].World())
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		jobWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatal("niodev world deadlocked")
+	}
+}
+
+// TestFullStackOverNiodev drives point-to-point, wildcard, derived
+// datatype and collective traffic through the real wire protocols.
+func TestFullStackOverNiodev(t *testing.T) {
+	runWorldNio(t, 3, 0, func(p *Process, w *Intracomm) {
+		rank := w.Rank()
+		// Collectives.
+		sum := make([]int64, 1)
+		if err := w.Allreduce([]int64{int64(rank)}, 0, sum, 0, 1, LONG, SUM); err != nil {
+			t.Errorf("allreduce: %v", err)
+			return
+		}
+		if sum[0] != 3 {
+			t.Errorf("sum %d", sum[0])
+		}
+		if err := w.Barrier(); err != nil {
+			t.Errorf("barrier: %v", err)
+			return
+		}
+		// Derived datatype ptp around a ring.
+		col, err := DOUBLE.Vector(3, 1, 3)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		matrix := make([]float64, 9)
+		for i := 0; i < 3; i++ {
+			matrix[i*3] = float64(rank*10 + i)
+		}
+		right := (rank + 1) % 3
+		left := (rank - 1 + 3) % 3
+		in := make([]float64, 3)
+		req, err := w.Isend(matrix, 0, 1, col, right, 4)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := w.Recv(in, 0, 3, DOUBLE, left, 4); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := req.Wait(); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 3; i++ {
+			if in[i] != float64(left*10+i) {
+				t.Errorf("rank %d: in = %v", rank, in)
+				return
+			}
+		}
+		// Wildcards via WaitAny.
+		if rank == 0 {
+			bufs := [2][]int64{make([]int64, 1), make([]int64, 1)}
+			reqs := make([]*Request, 2)
+			for i := range reqs {
+				r, err := w.Irecv(bufs[i], 0, 1, LONG, AnySource, 100+i)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				reqs[i] = r
+			}
+			for remaining := 2; remaining > 0; remaining-- {
+				idx, st, err := WaitAny(reqs)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if bufs[idx][0] != int64(st.Source) {
+					t.Errorf("payload %d from %d", bufs[idx][0], st.Source)
+				}
+				reqs[idx] = nil
+			}
+		} else {
+			if err := w.Send([]int64{int64(rank)}, 0, 1, LONG, 0, 100+rank-1); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+}
+
+// TestRendezvousCollectivesOverNiodev forces every transfer through
+// the rendezvous protocol with a tiny eager limit.
+func TestRendezvousCollectivesOverNiodev(t *testing.T) {
+	runWorldNio(t, 3, 64, func(p *Process, w *Intracomm) {
+		const k = 512
+		in := make([]float64, k)
+		for i := range in {
+			in[i] = float64(w.Rank() + 1)
+		}
+		out := make([]float64, k)
+		if err := w.Allreduce(in, 0, out, 0, k, DOUBLE, SUM); err != nil {
+			t.Errorf("allreduce: %v", err)
+			return
+		}
+		for i := range out {
+			if out[i] != 6 {
+				t.Errorf("out[%d] = %v", i, out[i])
+				return
+			}
+		}
+		recv := make([]float64, k*3)
+		if err := w.Allgather(in, 0, k, DOUBLE, recv, 0, k, DOUBLE); err != nil {
+			t.Errorf("allgather: %v", err)
+			return
+		}
+		for r := 0; r < 3; r++ {
+			if recv[r*k] != float64(r+1) {
+				t.Errorf("allgather block %d = %v", r, recv[r*k])
+				return
+			}
+		}
+	})
+}
+
+// TestSplitAndCartOverNiodev exercises communicator creation over the
+// real device (context agreement across the wire).
+func TestSplitAndCartOverNiodev(t *testing.T) {
+	runWorldNio(t, 4, 0, func(p *Process, w *Intracomm) {
+		sub, err := w.Split(w.Rank()%2, w.Rank())
+		if err != nil || sub == nil {
+			t.Errorf("split: %v", err)
+			return
+		}
+		sum := make([]int32, 1)
+		if err := sub.Allreduce([]int32{int32(w.Rank())}, 0, sum, 0, 1, INT, SUM); err != nil {
+			t.Errorf("sub allreduce: %v", err)
+			return
+		}
+		want := int32(0 + 2)
+		if w.Rank()%2 == 1 {
+			want = 1 + 3
+		}
+		if sum[0] != want {
+			t.Errorf("sum %d want %d", sum[0], want)
+		}
+		cart, err := w.CreateCart([]int{2, 2}, []bool{true, true}, false)
+		if err != nil || cart == nil {
+			t.Errorf("cart: %v", err)
+			return
+		}
+		src, dst, err := cart.Shift(0, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		out := []int32{int32(cart.Rank())}
+		in := make([]int32, 1)
+		if _, err := cart.Sendrecv(out, 0, 1, INT, dst, 0, in, 0, 1, INT, src, 0); err != nil {
+			t.Errorf("halo: %v", err)
+			return
+		}
+		if in[0] != int32(src) {
+			t.Errorf("got %d from %d", in[0], src)
+		}
+	})
+}

@@ -1,0 +1,458 @@
+package core
+
+import (
+	"fmt"
+
+	"mpj/internal/mpjbuf"
+)
+
+// This file bridges typed user arrays and the mpjbuf wire buffers: the
+// "packing and unpacking" overhead the paper's §V-E analyses. Derived
+// datatypes gather their elements into a contiguous scratch area before
+// packing (paper §IV-C: "the first column is copied to a contiguous
+// area, which is used for the actual send").
+
+// bufferElems reports the length of a supported message buffer.
+func bufferElems(buf any) (int, error) {
+	switch s := buf.(type) {
+	case []byte:
+		return len(s), nil
+	case []bool:
+		return len(s), nil
+	case []uint16:
+		return len(s), nil
+	case []int16:
+		return len(s), nil
+	case []int32:
+		return len(s), nil
+	case []int64:
+		return len(s), nil
+	case []float32:
+		return len(s), nil
+	case []float64:
+		return len(s), nil
+	case []any:
+		return len(s), nil
+	case nil:
+		return 0, nil
+	}
+	return 0, fmt.Errorf("core: unsupported buffer type %T", buf)
+}
+
+// span returns the number of elements an operation of count items
+// touches, and validates the range against the buffer length.
+func span(dt *Datatype, offset, count, bufLen int, op string) error {
+	if count < 0 || offset < 0 {
+		return fmt.Errorf("core: %s: negative offset/count (%d, %d)", op, offset, count)
+	}
+	if count == 0 {
+		return nil
+	}
+	need := offset + (count-1)*dt.extent + dt.spanOne()
+	if need > bufLen {
+		return fmt.Errorf("core: %s: datatype %s needs %d elements, buffer has %d",
+			op, dt.name, need, bufLen)
+	}
+	return nil
+}
+
+// spanOne returns the element span of a single item.
+func (d *Datatype) spanOne() int {
+	if d.fields != nil {
+		return d.extent
+	}
+	max := 0
+	for _, disp := range d.disps {
+		if disp+1 > max {
+			max = disp + 1
+		}
+	}
+	return max
+}
+
+// checkBase verifies the buffer's element type against the datatype.
+func checkBase(dt *Datatype, want mpjbuf.Type, buf any) error {
+	if dt.fields != nil {
+		if want != mpjbuf.ObjectType {
+			return fmt.Errorf("core: struct datatype requires []any buffer, have %T", buf)
+		}
+		return nil
+	}
+	if dt.base != want {
+		return fmt.Errorf("core: datatype %s incompatible with buffer %T", dt.name, buf)
+	}
+	return nil
+}
+
+func gatherPack[T any](
+	write func([]T, int, int) error,
+	src []T, offset, count int, dt *Datatype,
+) error {
+	if dt.IsContiguous() {
+		return write(src, offset, count*dt.extent)
+	}
+	scratch := make([]T, 0, count*len(dt.disps))
+	for i := 0; i < count; i++ {
+		base := offset + i*dt.extent
+		for _, disp := range dt.disps {
+			scratch = append(scratch, src[base+disp])
+		}
+	}
+	return write(scratch, 0, len(scratch))
+}
+
+func scatterUnpack[T any](
+	read func([]T, int, int) (int, error),
+	dst []T, offset, count int, dt *Datatype,
+) (int, error) {
+	if dt.IsContiguous() {
+		return read(dst, offset, count*dt.extent)
+	}
+	scratch := make([]T, count*len(dt.disps))
+	n, err := read(scratch, 0, len(scratch))
+	if err != nil {
+		return 0, err
+	}
+	k := 0
+scatter:
+	for i := 0; i < count; i++ {
+		base := offset + i*dt.extent
+		for _, disp := range dt.disps {
+			if k >= n {
+				break scatter
+			}
+			dst[base+disp] = scratch[k]
+			k++
+		}
+	}
+	return n, nil
+}
+
+// pack serializes count items of dt from buf (starting at offset) into
+// a fresh wire buffer.
+func pack(buf any, offset, count int, dt *Datatype) (*mpjbuf.Buffer, error) {
+	if dt == nil {
+		return nil, fmt.Errorf("core: nil datatype")
+	}
+	n, err := bufferElems(buf)
+	if err != nil {
+		return nil, err
+	}
+	if err := span(dt, offset, count, n, "pack "+dt.name); err != nil {
+		return nil, err
+	}
+	b := mpjbuf.New(count*dt.Size()*max(dt.base.Size(), 1) + 16)
+	if dt.fields != nil {
+		s, ok := buf.([]any)
+		if !ok {
+			return nil, fmt.Errorf("core: struct datatype requires []any buffer, have %T", buf)
+		}
+		return b, packStruct(b, s, offset, count, dt)
+	}
+	switch s := buf.(type) {
+	case []byte:
+		err = errOr(checkBase(dt, mpjbuf.ByteType, buf), func() error {
+			return gatherPack(b.WriteBytes, s, offset, count, dt)
+		})
+	case []bool:
+		err = errOr(checkBase(dt, mpjbuf.BooleanType, buf), func() error {
+			return gatherPack(b.WriteBooleans, s, offset, count, dt)
+		})
+	case []uint16:
+		err = errOr(checkBase(dt, mpjbuf.CharType, buf), func() error {
+			return gatherPack(b.WriteChars, s, offset, count, dt)
+		})
+	case []int16:
+		err = errOr(checkBase(dt, mpjbuf.ShortType, buf), func() error {
+			return gatherPack(b.WriteShorts, s, offset, count, dt)
+		})
+	case []int32:
+		err = errOr(checkBase(dt, mpjbuf.IntType, buf), func() error {
+			return gatherPack(b.WriteInts, s, offset, count, dt)
+		})
+	case []int64:
+		err = errOr(checkBase(dt, mpjbuf.LongType, buf), func() error {
+			return gatherPack(b.WriteLongs, s, offset, count, dt)
+		})
+	case []float32:
+		err = errOr(checkBase(dt, mpjbuf.FloatType, buf), func() error {
+			return gatherPack(b.WriteFloats, s, offset, count, dt)
+		})
+	case []float64:
+		err = errOr(checkBase(dt, mpjbuf.DoubleType, buf), func() error {
+			return gatherPack(b.WriteDoubles, s, offset, count, dt)
+		})
+	case []any:
+		err = errOr(checkBase(dt, mpjbuf.ObjectType, buf), func() error {
+			return gatherPack(b.WriteObjects, s, offset, count, dt)
+		})
+	case nil:
+		// Zero-element message: pack an empty section of the base type.
+		err = packEmpty(b, dt)
+	default:
+		err = fmt.Errorf("core: unsupported buffer type %T", buf)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func packEmpty(b *mpjbuf.Buffer, dt *Datatype) error {
+	switch dt.base {
+	case mpjbuf.ByteType:
+		return b.WriteBytes(nil, 0, 0)
+	case mpjbuf.BooleanType:
+		return b.WriteBooleans(nil, 0, 0)
+	case mpjbuf.CharType:
+		return b.WriteChars(nil, 0, 0)
+	case mpjbuf.ShortType:
+		return b.WriteShorts(nil, 0, 0)
+	case mpjbuf.IntType:
+		return b.WriteInts(nil, 0, 0)
+	case mpjbuf.LongType:
+		return b.WriteLongs(nil, 0, 0)
+	case mpjbuf.FloatType:
+		return b.WriteFloats(nil, 0, 0)
+	case mpjbuf.DoubleType:
+		return b.WriteDoubles(nil, 0, 0)
+	default:
+		return b.WriteObjects(nil, 0, 0)
+	}
+}
+
+func errOr(err error, fn func() error) error {
+	if err != nil {
+		return err
+	}
+	return fn()
+}
+
+// unpack deserializes a received wire buffer into count items of dt in
+// buf, returning the number of base elements stored.
+func unpack(b *mpjbuf.Buffer, buf any, offset, count int, dt *Datatype) (int, error) {
+	if dt == nil {
+		return 0, fmt.Errorf("core: nil datatype")
+	}
+	n, err := bufferElems(buf)
+	if err != nil {
+		return 0, err
+	}
+	if buf == nil {
+		// Zero-element receive: consume and discard the section.
+		_, cnt, ok := b.PeekSection()
+		if ok && cnt == 0 {
+			return 0, nil
+		}
+		if !ok {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("core: nil receive buffer for non-empty message (%d elements)", cnt)
+	}
+	if err := span(dt, offset, count, n, "unpack "+dt.name); err != nil {
+		return 0, err
+	}
+	if dt.fields != nil {
+		s, ok := buf.([]any)
+		if !ok {
+			return 0, fmt.Errorf("core: struct datatype requires []any buffer, have %T", buf)
+		}
+		return unpackStruct(b, s, offset, count, dt)
+	}
+	switch s := buf.(type) {
+	case []byte:
+		if err := checkBase(dt, mpjbuf.ByteType, buf); err != nil {
+			return 0, err
+		}
+		return scatterUnpack(b.ReadBytes, s, offset, count, dt)
+	case []bool:
+		if err := checkBase(dt, mpjbuf.BooleanType, buf); err != nil {
+			return 0, err
+		}
+		return scatterUnpack(b.ReadBooleans, s, offset, count, dt)
+	case []uint16:
+		if err := checkBase(dt, mpjbuf.CharType, buf); err != nil {
+			return 0, err
+		}
+		return scatterUnpack(b.ReadChars, s, offset, count, dt)
+	case []int16:
+		if err := checkBase(dt, mpjbuf.ShortType, buf); err != nil {
+			return 0, err
+		}
+		return scatterUnpack(b.ReadShorts, s, offset, count, dt)
+	case []int32:
+		if err := checkBase(dt, mpjbuf.IntType, buf); err != nil {
+			return 0, err
+		}
+		return scatterUnpack(b.ReadInts, s, offset, count, dt)
+	case []int64:
+		if err := checkBase(dt, mpjbuf.LongType, buf); err != nil {
+			return 0, err
+		}
+		return scatterUnpack(b.ReadLongs, s, offset, count, dt)
+	case []float32:
+		if err := checkBase(dt, mpjbuf.FloatType, buf); err != nil {
+			return 0, err
+		}
+		return scatterUnpack(b.ReadFloats, s, offset, count, dt)
+	case []float64:
+		if err := checkBase(dt, mpjbuf.DoubleType, buf); err != nil {
+			return 0, err
+		}
+		return scatterUnpack(b.ReadDoubles, s, offset, count, dt)
+	case []any:
+		if err := checkBase(dt, mpjbuf.ObjectType, buf); err != nil {
+			return 0, err
+		}
+		return scatterUnpack(b.ReadObjects, s, offset, count, dt)
+	}
+	return 0, fmt.Errorf("core: unsupported buffer type %T", buf)
+}
+
+// packStruct packs count items of a struct datatype from an []any
+// buffer: each field block becomes a typed section.
+func packStruct(b *mpjbuf.Buffer, src []any, offset, count int, dt *Datatype) error {
+	for i := 0; i < count; i++ {
+		base := offset + i*dt.extent
+		for fi, f := range dt.fields {
+			start := base + f.disp
+			if err := packStructField(b, src[start:start+f.blocklen], f); err != nil {
+				return fmt.Errorf("core: struct item %d field %d: %w", i, fi, err)
+			}
+		}
+	}
+	return nil
+}
+
+func packStructField(b *mpjbuf.Buffer, vals []any, f structField) error {
+	switch f.typ.base {
+	case mpjbuf.IntType:
+		s := make([]int32, len(vals))
+		for i, v := range vals {
+			x, ok := v.(int32)
+			if !ok {
+				return fmt.Errorf("field value %T, want int32", v)
+			}
+			s[i] = x
+		}
+		return b.WriteInts(s, 0, len(s))
+	case mpjbuf.LongType:
+		s := make([]int64, len(vals))
+		for i, v := range vals {
+			x, ok := v.(int64)
+			if !ok {
+				return fmt.Errorf("field value %T, want int64", v)
+			}
+			s[i] = x
+		}
+		return b.WriteLongs(s, 0, len(s))
+	case mpjbuf.FloatType:
+		s := make([]float32, len(vals))
+		for i, v := range vals {
+			x, ok := v.(float32)
+			if !ok {
+				return fmt.Errorf("field value %T, want float32", v)
+			}
+			s[i] = x
+		}
+		return b.WriteFloats(s, 0, len(s))
+	case mpjbuf.DoubleType:
+		s := make([]float64, len(vals))
+		for i, v := range vals {
+			x, ok := v.(float64)
+			if !ok {
+				return fmt.Errorf("field value %T, want float64", v)
+			}
+			s[i] = x
+		}
+		return b.WriteDoubles(s, 0, len(s))
+	case mpjbuf.ByteType:
+		s := make([]byte, len(vals))
+		for i, v := range vals {
+			x, ok := v.(byte)
+			if !ok {
+				return fmt.Errorf("field value %T, want byte", v)
+			}
+			s[i] = x
+		}
+		return b.WriteBytes(s, 0, len(s))
+	case mpjbuf.BooleanType:
+		s := make([]bool, len(vals))
+		for i, v := range vals {
+			x, ok := v.(bool)
+			if !ok {
+				return fmt.Errorf("field value %T, want bool", v)
+			}
+			s[i] = x
+		}
+		return b.WriteBooleans(s, 0, len(s))
+	default:
+		return b.WriteObjects(vals, 0, len(vals))
+	}
+}
+
+// unpackStruct reverses packStruct.
+func unpackStruct(b *mpjbuf.Buffer, dst []any, offset, count int, dt *Datatype) (int, error) {
+	total := 0
+	for i := 0; i < count; i++ {
+		base := offset + i*dt.extent
+		for fi, f := range dt.fields {
+			start := base + f.disp
+			n, err := unpackStructField(b, dst[start:start+f.blocklen], f)
+			if err != nil {
+				return total, fmt.Errorf("core: struct item %d field %d: %w", i, fi, err)
+			}
+			total += n
+		}
+	}
+	return total, nil
+}
+
+func unpackStructField(b *mpjbuf.Buffer, out []any, f structField) (int, error) {
+	switch f.typ.base {
+	case mpjbuf.IntType:
+		s := make([]int32, len(out))
+		n, err := b.ReadInts(s, 0, len(s))
+		for i := 0; i < n; i++ {
+			out[i] = s[i]
+		}
+		return n, err
+	case mpjbuf.LongType:
+		s := make([]int64, len(out))
+		n, err := b.ReadLongs(s, 0, len(s))
+		for i := 0; i < n; i++ {
+			out[i] = s[i]
+		}
+		return n, err
+	case mpjbuf.FloatType:
+		s := make([]float32, len(out))
+		n, err := b.ReadFloats(s, 0, len(s))
+		for i := 0; i < n; i++ {
+			out[i] = s[i]
+		}
+		return n, err
+	case mpjbuf.DoubleType:
+		s := make([]float64, len(out))
+		n, err := b.ReadDoubles(s, 0, len(s))
+		for i := 0; i < n; i++ {
+			out[i] = s[i]
+		}
+		return n, err
+	case mpjbuf.ByteType:
+		s := make([]byte, len(out))
+		n, err := b.ReadBytes(s, 0, len(s))
+		for i := 0; i < n; i++ {
+			out[i] = s[i]
+		}
+		return n, err
+	case mpjbuf.BooleanType:
+		s := make([]bool, len(out))
+		n, err := b.ReadBooleans(s, 0, len(s))
+		for i := 0; i < n; i++ {
+			out[i] = s[i]
+		}
+		return n, err
+	default:
+		return b.ReadObjects(out, 0, len(out))
+	}
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"mpj/internal/mpjdev"
+	"mpj/internal/xdev"
+)
+
+// ThreadLevel is an MPI-2.0 thread-support level (§IV-B). The paper
+// notes there were no Java bindings for these in MPI 1.2 and plans to
+// add them; this reproduction includes them.
+type ThreadLevel int
+
+// Thread-support levels, in increasing order of freedom.
+const (
+	// ThreadSingle: only one thread executes.
+	ThreadSingle ThreadLevel = iota
+	// ThreadFunneled: only the main thread makes MPI calls.
+	ThreadFunneled
+	// ThreadSerialized: any thread, one at a time.
+	ThreadSerialized
+	// ThreadMultiple: any thread, any time — MPJ Express's default and
+	// the level this library always provides.
+	ThreadMultiple
+)
+
+var threadLevelNames = map[ThreadLevel]string{
+	ThreadSingle:     "MPI_THREAD_SINGLE",
+	ThreadFunneled:   "MPI_THREAD_FUNNELED",
+	ThreadSerialized: "MPI_THREAD_SERIALIZED",
+	ThreadMultiple:   "MPI_THREAD_MULTIPLE",
+}
+
+// String returns the MPI constant name.
+func (l ThreadLevel) String() string {
+	if s, ok := threadLevelNames[l]; ok {
+		return s
+	}
+	return fmt.Sprintf("ThreadLevel(%d)", int(l))
+}
+
+// Process is one MPI process: the per-process state the Java bindings
+// keep in the static MPI class. Keeping it in an object lets a single
+// Go test or SMP application run many ranks in one address space.
+type Process struct {
+	dev      xdev.Device
+	pids     []xdev.ProcessID
+	world    *Intracomm
+	provided ThreadLevel
+
+	mu        sync.Mutex
+	nextCtx   int
+	finalized bool
+
+	// Buffered-send pool (MPI_Buffer_attach).
+	bsendMu    sync.Mutex
+	bsendCap   int
+	bsendInUse int
+}
+
+// Init initializes a process on an already-configured device and
+// returns its handle; the world communicator covers all job processes.
+// It is MPI_Init: thread level defaults to ThreadMultiple.
+func Init(dev xdev.Device, cfg xdev.Config) (*Process, error) {
+	p, _, err := InitThread(dev, cfg, ThreadMultiple)
+	return p, err
+}
+
+// InitThread is MPI_Init_thread: it initializes the process requesting
+// the given thread level and returns the provided level, which is
+// always ThreadMultiple — the library's communication path is fully
+// thread safe, so every request can be granted in full.
+func InitThread(dev xdev.Device, cfg xdev.Config, required ThreadLevel) (*Process, ThreadLevel, error) {
+	if required < ThreadSingle || required > ThreadMultiple {
+		return nil, 0, fmt.Errorf("core: invalid thread level %d", int(required))
+	}
+	pids, err := dev.Init(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	p := &Process{dev: dev, pids: pids, provided: ThreadMultiple}
+	world, err := p.newIntracomm(NewGroup(pids), cfg.Rank)
+	if err != nil {
+		dev.Finish()
+		return nil, 0, err
+	}
+	p.world = world
+	return p, p.provided, nil
+}
+
+// World returns the COMM_WORLD communicator.
+func (p *Process) World() *Intracomm { return p.world }
+
+// Rank returns the process's world rank.
+func (p *Process) Rank() int { return p.world.Rank() }
+
+// Size returns the world size.
+func (p *Process) Size() int { return p.world.Size() }
+
+// QueryThread returns the provided thread level (MPI_Query_thread).
+func (p *Process) QueryThread() ThreadLevel { return p.provided }
+
+// Device exposes the underlying communication device.
+func (p *Process) Device() xdev.Device { return p.dev }
+
+// Finalize shuts down the process's communication (MPI_Finalize).
+func (p *Process) Finalize() error {
+	p.mu.Lock()
+	if p.finalized {
+		p.mu.Unlock()
+		return nil
+	}
+	p.finalized = true
+	p.mu.Unlock()
+	return p.dev.Finish()
+}
+
+// Finalized reports whether Finalize has been called.
+func (p *Process) Finalized() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.finalized
+}
+
+// allocContexts hands out the next pair of matching contexts
+// (point-to-point, collective). MPI requires all members of a
+// communicator to execute communicator-creation calls in the same
+// order, which keeps these counters in agreement across processes.
+func (p *Process) allocContexts() (ptp, coll int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ptp = p.nextCtx
+	coll = p.nextCtx + 1
+	p.nextCtx += 2
+	return ptp, coll
+}
+
+// newIntracomm assembles an intracommunicator over the group with
+// freshly allocated contexts. rank is this process's rank in group.
+func (p *Process) newIntracomm(group *Group, rank int) (*Intracomm, error) {
+	ptpCtx, collCtx := p.allocContexts()
+	if rank == Undefined {
+		return nil, nil // not a member; contexts still consumed
+	}
+	ptp, err := mpjdev.NewComm(p.dev, group.pids, rank, ptpCtx)
+	if err != nil {
+		return nil, err
+	}
+	coll, err := mpjdev.NewComm(p.dev, group.pids, rank, collCtx)
+	if err != nil {
+		return nil, err
+	}
+	return &Intracomm{Comm: Comm{p: p, group: group, ptp: ptp, coll: coll}}, nil
+}
+
+// BufferAttach provides buffer space for buffered-mode sends
+// (MPI_Buffer_attach). The size is in bytes of packed message data.
+func (p *Process) BufferAttach(size int) error {
+	if size < 0 {
+		return fmt.Errorf("core: BufferAttach: negative size")
+	}
+	p.bsendMu.Lock()
+	defer p.bsendMu.Unlock()
+	if p.bsendCap != 0 {
+		return fmt.Errorf("core: BufferAttach: buffer already attached")
+	}
+	p.bsendCap = size
+	return nil
+}
+
+// BufferDetach removes the buffered-send buffer and returns its size
+// (MPI_Buffer_detach).
+func (p *Process) BufferDetach() int {
+	p.bsendMu.Lock()
+	defer p.bsendMu.Unlock()
+	size := p.bsendCap
+	p.bsendCap = 0
+	p.bsendInUse = 0
+	return size
+}
+
+// reserveBsend claims space for one buffered send, failing when the
+// attached buffer cannot hold the message (MPI_ERR_BUFFER).
+func (p *Process) reserveBsend(n int) error {
+	p.bsendMu.Lock()
+	defer p.bsendMu.Unlock()
+	if p.bsendCap == 0 {
+		return fmt.Errorf("core: buffered send without an attached buffer")
+	}
+	if p.bsendInUse+n > p.bsendCap {
+		return fmt.Errorf("core: buffered send of %d bytes exceeds attached buffer (%d of %d in use)",
+			n, p.bsendInUse, p.bsendCap)
+	}
+	p.bsendInUse += n
+	return nil
+}
+
+func (p *Process) releaseBsend(n int) {
+	p.bsendMu.Lock()
+	if p.bsendInUse >= n {
+		p.bsendInUse -= n
+	} else {
+		p.bsendInUse = 0
+	}
+	p.bsendMu.Unlock()
+}

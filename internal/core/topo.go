@@ -1,0 +1,284 @@
+package core
+
+import "fmt"
+
+// Virtual topologies (mpijava Cartcomm and Graphcomm): among the
+// higher-level MPI features the paper notes MPJ/Ibis does not
+// implement (§II).
+
+// ProcNull is the null process rank: a Shift past a non-periodic edge
+// returns it, and sends/receives addressed to it are no-ops at the
+// application's discretion (MPI_PROC_NULL).
+const ProcNull = -1
+
+// CartComm is a communicator with a Cartesian process grid attached.
+type CartComm struct {
+	Intracomm
+	dims    []int
+	periods []bool
+}
+
+// CreateCart attaches an ndims-dimensional grid to the first
+// prod(dims) processes of c (MPI_Cart_create; reorder is accepted for
+// signature compatibility and ignored). Collective over c; processes
+// beyond the grid receive nil.
+func (c *Intracomm) CreateCart(dims []int, periods []bool, reorder bool) (*CartComm, error) {
+	if len(dims) == 0 || len(dims) != len(periods) {
+		return nil, fmt.Errorf("core: CreateCart: dims/periods mismatch")
+	}
+	size := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("core: CreateCart: non-positive dimension %d", d)
+		}
+		size *= d
+	}
+	if size > c.Size() {
+		return nil, fmt.Errorf("core: CreateCart: grid of %d exceeds communicator size %d", size, c.Size())
+	}
+	ranks := make([]int, size)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	g, err := c.group.Incl(ranks)
+	if err != nil {
+		return nil, err
+	}
+	newRank := Undefined
+	if c.Rank() < size {
+		newRank = c.Rank()
+	}
+	ic, err := c.p.newIntracomm(g, newRank)
+	if err != nil {
+		return nil, err
+	}
+	if ic == nil {
+		return nil, nil
+	}
+	return &CartComm{
+		Intracomm: *ic,
+		dims:      append([]int(nil), dims...),
+		periods:   append([]bool(nil), periods...),
+	}, nil
+}
+
+// Dims returns the grid shape.
+func (cc *CartComm) Dims() []int { return append([]int(nil), cc.dims...) }
+
+// Periods returns the per-dimension periodicity.
+func (cc *CartComm) Periods() []bool { return append([]bool(nil), cc.periods...) }
+
+// Coords converts a rank to grid coordinates (MPI_Cart_coords).
+func (cc *CartComm) Coords(rank int) ([]int, error) {
+	if rank < 0 || rank >= cc.Size() {
+		return nil, fmt.Errorf("core: Coords: rank %d out of range", rank)
+	}
+	coords := make([]int, len(cc.dims))
+	for i := len(cc.dims) - 1; i >= 0; i-- {
+		coords[i] = rank % cc.dims[i]
+		rank /= cc.dims[i]
+	}
+	return coords, nil
+}
+
+// MyCoords returns the calling process's grid coordinates.
+func (cc *CartComm) MyCoords() []int {
+	coords, _ := cc.Coords(cc.Rank())
+	return coords
+}
+
+// RankOf converts grid coordinates to a rank (MPI_Cart_rank).
+// Out-of-range coordinates in periodic dimensions wrap; in
+// non-periodic dimensions they are an error.
+func (cc *CartComm) RankOf(coords []int) (int, error) {
+	if len(coords) != len(cc.dims) {
+		return 0, fmt.Errorf("core: RankOf: want %d coordinates, have %d", len(cc.dims), len(coords))
+	}
+	rank := 0
+	for i, x := range coords {
+		d := cc.dims[i]
+		if x < 0 || x >= d {
+			if !cc.periods[i] {
+				return 0, fmt.Errorf("core: RankOf: coordinate %d out of range in non-periodic dimension %d", x, i)
+			}
+			x = ((x % d) + d) % d
+		}
+		rank = rank*d + x
+	}
+	return rank, nil
+}
+
+// Shift returns the source and destination ranks for a displacement
+// along one dimension (MPI_Cart_shift). Over a non-periodic edge the
+// corresponding rank is ProcNull.
+func (cc *CartComm) Shift(dim, disp int) (src, dst int, err error) {
+	if dim < 0 || dim >= len(cc.dims) {
+		return 0, 0, fmt.Errorf("core: Shift: dimension %d out of range", dim)
+	}
+	coords := cc.MyCoords()
+	at := func(delta int) int {
+		c2 := append([]int(nil), coords...)
+		c2[dim] += delta
+		if c2[dim] < 0 || c2[dim] >= cc.dims[dim] {
+			if !cc.periods[dim] {
+				return ProcNull
+			}
+		}
+		r, err := cc.RankOf(c2)
+		if err != nil {
+			return ProcNull
+		}
+		return r
+	}
+	return at(-disp), at(disp), nil
+}
+
+// DimsCreate factors nnodes into ndims balanced dimensions
+// (MPI_Dims_create). Zero entries in dims are free; non-zero entries
+// are constraints.
+func DimsCreate(nnodes int, dims []int) ([]int, error) {
+	out := append([]int(nil), dims...)
+	fixed := 1
+	free := 0
+	for _, d := range out {
+		if d < 0 {
+			return nil, fmt.Errorf("core: DimsCreate: negative dimension")
+		}
+		if d > 0 {
+			fixed *= d
+		} else {
+			free++
+		}
+	}
+	if fixed == 0 || nnodes%fixed != 0 {
+		return nil, fmt.Errorf("core: DimsCreate: %d nodes not divisible by fixed dims %d", nnodes, fixed)
+	}
+	rem := nnodes / fixed
+	if free == 0 {
+		if rem != 1 {
+			return nil, fmt.Errorf("core: DimsCreate: fixed dims cover %d of %d nodes", fixed, nnodes)
+		}
+		return out, nil
+	}
+	// Greedy balanced factorization: repeatedly assign the largest
+	// prime factor to the smallest dimension.
+	factors := primeFactors(rem)
+	vals := make([]int, free)
+	for i := range vals {
+		vals[i] = 1
+	}
+	for i := len(factors) - 1; i >= 0; i-- {
+		smallest := 0
+		for j := 1; j < free; j++ {
+			if vals[j] < vals[smallest] {
+				smallest = j
+			}
+		}
+		vals[smallest] *= factors[i]
+	}
+	// Place in non-increasing order into the free slots.
+	for i := 0; i < free; i++ {
+		for j := i + 1; j < free; j++ {
+			if vals[j] > vals[i] {
+				vals[i], vals[j] = vals[j], vals[i]
+			}
+		}
+	}
+	k := 0
+	for i, d := range out {
+		if d == 0 {
+			out[i] = vals[k]
+			k++
+		}
+	}
+	return out, nil
+}
+
+func primeFactors(n int) []int {
+	var fs []int
+	for f := 2; f*f <= n; f++ {
+		for n%f == 0 {
+			fs = append(fs, f)
+			n /= f
+		}
+	}
+	if n > 1 {
+		fs = append(fs, n)
+	}
+	return fs
+}
+
+// GraphComm is a communicator with an arbitrary neighbour graph
+// attached (MPI_Graph_create).
+type GraphComm struct {
+	Intracomm
+	index []int
+	edges []int
+}
+
+// CreateGraph attaches a graph topology: index is the cumulative
+// neighbour count per node, edges the flattened adjacency lists.
+// Collective; processes beyond len(index) receive nil.
+func (c *Intracomm) CreateGraph(index, edges []int, reorder bool) (*GraphComm, error) {
+	nnodes := len(index)
+	if nnodes == 0 || nnodes > c.Size() {
+		return nil, fmt.Errorf("core: CreateGraph: %d nodes vs communicator size %d", nnodes, c.Size())
+	}
+	prev := 0
+	for i, x := range index {
+		if x < prev {
+			return nil, fmt.Errorf("core: CreateGraph: index not non-decreasing at %d", i)
+		}
+		prev = x
+	}
+	if prev != len(edges) {
+		return nil, fmt.Errorf("core: CreateGraph: index covers %d edges, have %d", prev, len(edges))
+	}
+	for _, e := range edges {
+		if e < 0 || e >= nnodes {
+			return nil, fmt.Errorf("core: CreateGraph: edge to %d out of range", e)
+		}
+	}
+	ranks := make([]int, nnodes)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	g, err := c.group.Incl(ranks)
+	if err != nil {
+		return nil, err
+	}
+	newRank := Undefined
+	if c.Rank() < nnodes {
+		newRank = c.Rank()
+	}
+	ic, err := c.p.newIntracomm(g, newRank)
+	if err != nil {
+		return nil, err
+	}
+	if ic == nil {
+		return nil, nil
+	}
+	return &GraphComm{
+		Intracomm: *ic,
+		index:     append([]int(nil), index...),
+		edges:     append([]int(nil), edges...),
+	}, nil
+}
+
+// Neighbors returns the adjacency list of rank (MPI_Graph_neighbors).
+func (gc *GraphComm) Neighbors(rank int) ([]int, error) {
+	if rank < 0 || rank >= len(gc.index) {
+		return nil, fmt.Errorf("core: Neighbors: rank %d out of range", rank)
+	}
+	start := 0
+	if rank > 0 {
+		start = gc.index[rank-1]
+	}
+	return append([]int(nil), gc.edges[start:gc.index[rank]]...), nil
+}
+
+// MyNeighbors returns the calling process's adjacency list.
+func (gc *GraphComm) MyNeighbors() []int {
+	ns, _ := gc.Neighbors(gc.Rank())
+	return ns
+}

@@ -1,0 +1,221 @@
+package core
+
+import "testing"
+
+func TestCartCommBasics(t *testing.T) {
+	const n = 6
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		cart, err := w.CreateCart([]int{2, 3}, []bool{false, true}, false)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if cart == nil {
+			t.Error("member got nil cart")
+			return
+		}
+		rank := cart.Rank()
+		coords := cart.MyCoords()
+		if len(coords) != 2 {
+			t.Errorf("coords %v", coords)
+			return
+		}
+		wantRow, wantCol := rank/3, rank%3
+		if coords[0] != wantRow || coords[1] != wantCol {
+			t.Errorf("rank %d coords %v", rank, coords)
+		}
+		back, err := cart.RankOf(coords)
+		if err != nil || back != rank {
+			t.Errorf("RankOf(Coords(%d)) = %d, %v", rank, back, err)
+		}
+	})
+}
+
+func TestCartShiftPeriodicAndEdge(t *testing.T) {
+	const n = 6
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		cart, err := w.CreateCart([]int{2, 3}, []bool{false, true}, false)
+		if err != nil || cart == nil {
+			t.Errorf("cart: %v", err)
+			return
+		}
+		coords := cart.MyCoords()
+		// Dimension 0 is non-periodic: shifts off the edge give ProcNull.
+		src0, dst0, err := cart.Shift(0, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if coords[0] == 1 && dst0 != ProcNull {
+			t.Errorf("bottom row shift dst = %d", dst0)
+		}
+		if coords[0] == 0 && src0 != ProcNull {
+			t.Errorf("top row shift src = %d", src0)
+		}
+		if coords[0] == 0 && dst0 == ProcNull {
+			t.Error("interior shift returned ProcNull")
+		}
+		// Dimension 1 is periodic: always valid and wraps.
+		src1, dst1, err := cart.Shift(1, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if src1 == ProcNull || dst1 == ProcNull {
+			t.Error("periodic shift returned ProcNull")
+		}
+		wantDst, _ := cart.RankOf([]int{coords[0], (coords[1] + 1) % 3})
+		if dst1 != wantDst {
+			t.Errorf("periodic shift dst %d, want %d", dst1, wantDst)
+		}
+	})
+}
+
+func TestCartHaloExchange(t *testing.T) {
+	// A ring over the periodic dimension: each process passes its rank
+	// around once.
+	const n = 4
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		cart, err := w.CreateCart([]int{4}, []bool{true}, false)
+		if err != nil || cart == nil {
+			t.Errorf("cart: %v", err)
+			return
+		}
+		src, dst, err := cart.Shift(0, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		out := []int32{int32(cart.Rank())}
+		in := make([]int32, 1)
+		if _, err := cart.Sendrecv(out, 0, 1, INT, dst, 0, in, 0, 1, INT, src, 0); err != nil {
+			t.Errorf("sendrecv: %v", err)
+			return
+		}
+		if in[0] != int32((cart.Rank()+3)%4) {
+			t.Errorf("rank %d received %d", cart.Rank(), in[0])
+		}
+	})
+}
+
+func TestCartExcessProcesses(t *testing.T) {
+	runWorld(t, 5, func(p *Process, w *Intracomm) {
+		cart, err := w.CreateCart([]int{2, 2}, []bool{false, false}, false)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if w.Rank() == 4 {
+			if cart != nil {
+				t.Error("excess process got a cart comm")
+			}
+		} else if cart == nil {
+			t.Error("grid member got nil")
+		}
+	})
+}
+
+func TestCartValidation(t *testing.T) {
+	runWorld(t, 2, func(p *Process, w *Intracomm) {
+		if _, err := w.CreateCart([]int{2, 2}, []bool{false, false}, false); err == nil {
+			t.Error("oversized grid accepted")
+		}
+		if _, err := w.CreateCart([]int{2}, []bool{false, false}, false); err == nil {
+			t.Error("dims/periods mismatch accepted")
+		}
+		if _, err := w.CreateCart([]int{0}, []bool{false}, false); err == nil {
+			t.Error("zero dimension accepted")
+		}
+	})
+}
+
+func TestDimsCreate(t *testing.T) {
+	cases := []struct {
+		nnodes int
+		dims   []int
+		want   []int
+	}{
+		{6, []int{0, 0}, []int{3, 2}},
+		{12, []int{0, 0, 0}, []int{3, 2, 2}},
+		{8, []int{2, 0}, []int{2, 4}},
+		{7, []int{0}, []int{7}},
+	}
+	for _, c := range cases {
+		got, err := DimsCreate(c.nnodes, c.dims)
+		if err != nil {
+			t.Errorf("DimsCreate(%d, %v): %v", c.nnodes, c.dims, err)
+			continue
+		}
+		prod := 1
+		for _, d := range got {
+			prod *= d
+		}
+		if prod != c.nnodes {
+			t.Errorf("DimsCreate(%d, %v) = %v (product %d)", c.nnodes, c.dims, got, prod)
+		}
+	}
+	if _, err := DimsCreate(7, []int{2, 0}); err == nil {
+		t.Error("non-divisible constraint accepted")
+	}
+	if _, err := DimsCreate(6, []int{5}); err == nil {
+		t.Error("wrong fixed dims accepted")
+	}
+}
+
+func TestGraphComm(t *testing.T) {
+	const n = 4
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		// Ring graph: 0-1-2-3-0.
+		index := []int{2, 4, 6, 8}
+		edges := []int{1, 3, 0, 2, 1, 3, 2, 0}
+		gc, err := w.CreateGraph(index, edges, false)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if gc == nil {
+			t.Error("member got nil graph comm")
+			return
+		}
+		ns := gc.MyNeighbors()
+		if len(ns) != 2 {
+			t.Errorf("rank %d neighbors %v", gc.Rank(), ns)
+			return
+		}
+		want := map[int][2]int{0: {1, 3}, 1: {0, 2}, 2: {1, 3}, 3: {2, 0}}[gc.Rank()]
+		if ns[0] != want[0] || ns[1] != want[1] {
+			t.Errorf("rank %d neighbors %v, want %v", gc.Rank(), ns, want)
+		}
+		// Exchange with each neighbour.
+		for _, nb := range ns {
+			req, err := gc.Isend([]int32{int32(gc.Rank())}, 0, 1, INT, nb, 3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			in := make([]int32, 1)
+			if _, err := gc.Recv(in, 0, 1, INT, nb, 3); err != nil {
+				t.Error(err)
+				return
+			}
+			if in[0] != int32(nb) {
+				t.Errorf("neighbour %d sent %d", nb, in[0])
+			}
+			req.Wait()
+		}
+	})
+}
+
+func TestGraphValidation(t *testing.T) {
+	runWorld(t, 2, func(p *Process, w *Intracomm) {
+		if _, err := w.CreateGraph([]int{2, 1}, []int{1, 0, 1}, false); err == nil {
+			t.Error("decreasing index accepted")
+		}
+		if _, err := w.CreateGraph([]int{1}, []int{5}, false); err == nil {
+			t.Error("edge out of range accepted")
+		}
+		if _, err := w.CreateGraph([]int{1, 2}, []int{1}, false); err == nil {
+			t.Error("index/edges mismatch accepted")
+		}
+	})
+}

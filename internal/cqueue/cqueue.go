@@ -1,0 +1,89 @@
+// Package cqueue provides the completion-queue discipline shared by
+// the communication devices: completed requests are queued until
+// collected by Wait, Test or a blocking Peek. The queue is what makes
+// an MX-style peek() — "return the most recently completed request" —
+// possible, and with it mpjdev's poll-free Waitany (paper §IV-E.1).
+package cqueue
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by Peek once the queue is closed and drained.
+var ErrClosed = errors.New("cqueue: closed")
+
+// Queue is a completion queue of requests of type T. The zero value is
+// not ready; use New.
+type Queue[T comparable] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      *list.List
+	elems  map[T]*list.Element
+	closed bool
+}
+
+// New returns an empty completion queue.
+func New[T comparable]() *Queue[T] {
+	c := &Queue[T]{q: list.New(), elems: make(map[T]*list.Element)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Push enqueues a newly completed request. Pushes after Close are
+// dropped (the waiters have already been failed).
+func (c *Queue[T]) Push(v T) {
+	c.mu.Lock()
+	if !c.closed {
+		c.elems[v] = c.q.PushBack(v)
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Collect removes v from the queue if it is still there. Wait and Test
+// call this so a request handed to the caller is no longer visible to
+// Peek.
+func (c *Queue[T]) Collect(v T) {
+	c.mu.Lock()
+	if e, ok := c.elems[v]; ok {
+		c.q.Remove(e)
+		delete(c.elems, v)
+	}
+	c.mu.Unlock()
+}
+
+// Peek blocks until a completed request is available, removes it from
+// the queue and returns it. It returns ErrClosed once the queue has
+// been closed and emptied.
+func (c *Queue[T]) Peek() (T, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.q.Len() == 0 && !c.closed {
+		c.cond.Wait()
+	}
+	var zero T
+	if c.q.Len() == 0 {
+		return zero, ErrClosed
+	}
+	e := c.q.Front()
+	v := c.q.Remove(e).(T)
+	delete(c.elems, v)
+	return v, nil
+}
+
+// Len reports the number of uncollected completions.
+func (c *Queue[T]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.q.Len()
+}
+
+// Close fails current and future Peek callers once the queue drains.
+func (c *Queue[T]) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}

@@ -1,0 +1,126 @@
+package cqueue
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPushPeekOrder(t *testing.T) {
+	q := New[int]()
+	q.Push(1)
+	q.Push(2)
+	q.Push(3)
+	for want := 1; want <= 3; want++ {
+		got, err := q.Peek()
+		if err != nil || got != want {
+			t.Fatalf("Peek = (%d, %v), want %d", got, err, want)
+		}
+	}
+}
+
+func TestCollectRemoves(t *testing.T) {
+	q := New[string]()
+	q.Push("a")
+	q.Push("b")
+	q.Collect("a")
+	got, err := q.Peek()
+	if err != nil || got != "b" {
+		t.Fatalf("Peek = (%q, %v)", got, err)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	q.Collect("zzz") // collecting an absent value is a no-op
+}
+
+func TestPeekBlocksUntilPush(t *testing.T) {
+	q := New[int]()
+	got := make(chan int, 1)
+	go func() {
+		v, err := q.Peek()
+		if err != nil {
+			t.Errorf("peek: %v", err)
+		}
+		got <- v
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Push(7)
+	select {
+	case v := <-got:
+		if v != 7 {
+			t.Fatalf("got %d", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Peek never unblocked")
+	}
+}
+
+func TestCloseUnblocksPeek(t *testing.T) {
+	q := New[int]()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := q.Peek()
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case err := <-errc:
+		if err != ErrClosed {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock Peek")
+	}
+	q.Push(1) // dropped, no panic
+	if _, err := q.Peek(); err != ErrClosed {
+		t.Fatal("Peek after Close should fail")
+	}
+}
+
+func TestCloseDrainsExisting(t *testing.T) {
+	q := New[int]()
+	q.Push(5)
+	q.Close()
+	// Existing completions remain peekable after close.
+	if v, err := q.Peek(); err != nil || v != 5 {
+		t.Fatalf("Peek = (%d, %v)", v, err)
+	}
+	if _, err := q.Peek(); err != ErrClosed {
+		t.Fatal("expected ErrClosed after drain")
+	}
+}
+
+func TestConcurrentPushPeek(t *testing.T) {
+	q := New[int]()
+	const n = 500
+	var wg sync.WaitGroup
+	seen := make([]bool, n)
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q.Push(i)
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := q.Peek()
+			if err != nil {
+				t.Errorf("peek: %v", err)
+				return
+			}
+			mu.Lock()
+			if seen[v] {
+				t.Errorf("value %d peeked twice", v)
+			}
+			seen[v] = true
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}

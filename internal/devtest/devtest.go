@@ -1,0 +1,328 @@
+// Package devtest provides a conformance suite run against every xdev
+// device implementation (niodev, mxdev, smpdev, ibisdev), checking the
+// semantics the upper layers rely on: matching, ordering, wildcards,
+// send modes, probe, thread-multiple safety and (optionally) peek.
+package devtest
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mpj/internal/mpjbuf"
+	"mpj/internal/xdev"
+)
+
+// JobRunner starts an n-rank job and runs fn once per rank, each on its
+// own goroutine, with initialized devices. It must clean up afterwards.
+type JobRunner func(t *testing.T, n int, fn func(d xdev.Device, rank int, pids []xdev.ProcessID))
+
+// Options tailors the suite to device capabilities.
+type Options struct {
+	// HasPeek enables the completion-queue peek test.
+	HasPeek bool
+	// LargeN is the element count used for the large-message test
+	// (large enough to cross protocol switch points where relevant).
+	LargeN int
+}
+
+// RunConformance runs the full suite.
+func RunConformance(t *testing.T, run JobRunner, opts Options) {
+	if opts.LargeN == 0 {
+		opts.LargeN = 100_000
+	}
+	t.Run("SmallMessage", func(t *testing.T) { testSmall(t, run) })
+	t.Run("LargeMessage", func(t *testing.T) { testLarge(t, run, opts.LargeN) })
+	t.Run("AnySourceAnyTag", func(t *testing.T) { testWildcards(t, run) })
+	t.Run("Ordering", func(t *testing.T) { testOrdering(t, run) })
+	t.Run("OrderingAcrossProtocols", func(t *testing.T) { testOrderingAcrossProtocols(t, run, opts.LargeN) })
+	t.Run("SsendSynchronous", func(t *testing.T) { testSsend(t, run) })
+	t.Run("SsendUnexpected", func(t *testing.T) { testSsendUnexpected(t, run) })
+	t.Run("SelfMessage", func(t *testing.T) { testSelf(t, run) })
+	t.Run("Probe", func(t *testing.T) { testProbe(t, run) })
+	t.Run("ConcurrentTraffic", func(t *testing.T) { testConcurrent(t, run) })
+	if opts.HasPeek {
+		t.Run("Peek", func(t *testing.T) { testPeek(t, run) })
+	}
+}
+
+func send(t *testing.T, d xdev.Device, dst xdev.ProcessID, tag int, vals []int64) {
+	t.Helper()
+	buf := mpjbuf.New(len(vals)*8 + 16)
+	if err := buf.WriteLongs(vals, 0, len(vals)); err != nil {
+		t.Errorf("pack: %v", err)
+		return
+	}
+	if err := d.Send(buf, dst, tag, 0); err != nil {
+		t.Errorf("send: %v", err)
+	}
+}
+
+func recv(t *testing.T, d xdev.Device, src xdev.ProcessID, tag, n int) ([]int64, xdev.Status) {
+	t.Helper()
+	buf := mpjbuf.New(0)
+	st, err := d.Recv(buf, src, tag, 0)
+	if err != nil {
+		t.Errorf("recv: %v", err)
+		return nil, st
+	}
+	out := make([]int64, n)
+	if _, err := buf.ReadLongs(out, 0, n); err != nil {
+		t.Errorf("unpack: %v", err)
+		return nil, st
+	}
+	return out, st
+}
+
+func testSmall(t *testing.T, run JobRunner) {
+	run(t, 2, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		if rank == 0 {
+			send(t, d, pids[1], 7, []int64{1, 2, 3})
+		} else {
+			got, st := recv(t, d, pids[0], 7, 3)
+			if len(got) == 3 && got[2] != 3 {
+				t.Errorf("got %v", got)
+			}
+			if st.Source != pids[0] || st.Tag != 7 {
+				t.Errorf("status %+v", st)
+			}
+		}
+	})
+}
+
+func testLarge(t *testing.T, run JobRunner, n int) {
+	run(t, 2, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		if rank == 0 {
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = int64(i * 3)
+			}
+			send(t, d, pids[1], 1, vals)
+		} else {
+			got, _ := recv(t, d, pids[0], 1, n)
+			for i, v := range got {
+				if v != int64(i*3) {
+					t.Fatalf("element %d = %d", i, v)
+				}
+			}
+		}
+	})
+}
+
+func testWildcards(t *testing.T, run JobRunner) {
+	run(t, 3, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		if rank > 0 {
+			send(t, d, pids[0], 20+rank, []int64{int64(rank)})
+			return
+		}
+		seen := map[int64]bool{}
+		for i := 0; i < 2; i++ {
+			got, st := recv(t, d, xdev.AnySource, xdev.AnyTag, 1)
+			if len(got) != 1 {
+				return
+			}
+			seen[got[0]] = true
+			if st.Tag != 20+int(got[0]) {
+				t.Errorf("tag %d for payload %d", st.Tag, got[0])
+			}
+		}
+		if !seen[1] || !seen[2] {
+			t.Errorf("senders seen: %v", seen)
+		}
+	})
+}
+
+func testOrdering(t *testing.T, run JobRunner) {
+	const msgs = 40
+	run(t, 2, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		if rank == 0 {
+			for i := 0; i < msgs; i++ {
+				send(t, d, pids[1], 4, []int64{int64(i)})
+			}
+		} else {
+			for i := 0; i < msgs; i++ {
+				got, _ := recv(t, d, pids[0], 4, 1)
+				if len(got) == 1 && got[0] != int64(i) {
+					t.Fatalf("message %d carried %d", i, got[0])
+				}
+			}
+		}
+	})
+}
+
+// testOrderingAcrossProtocols checks MPI's non-overtaking rule across
+// the eager/rendezvous boundary: a large (rendezvous) message sent
+// before a small (eager) one on the same (source, tag, context) must
+// match the earlier-posted receive, even though the small message's
+// payload reaches the receiver first.
+func testOrderingAcrossProtocols(t *testing.T, run JobRunner, largeN int) {
+	if largeN == 0 {
+		largeN = 100_000
+	}
+	run(t, 2, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		if rank == 0 {
+			big := make([]int64, largeN)
+			for i := range big {
+				big[i] = 7
+			}
+			send(t, d, pids[1], 5, big)        // rendezvous
+			send(t, d, pids[1], 5, []int64{1}) // eager, same stream
+		} else {
+			first, _ := recv(t, d, pids[0], 5, largeN)
+			if len(first) == largeN && (first[0] != 7 || first[largeN-1] != 7) {
+				t.Errorf("first receive did not get the large message: head=%v", first[0])
+			}
+			second, _ := recv(t, d, pids[0], 5, 1)
+			if len(second) == 1 && second[0] != 1 {
+				t.Errorf("second receive got %v, want the small message", second[0])
+			}
+		}
+	})
+}
+
+func testSsend(t *testing.T, run JobRunner) {
+	run(t, 2, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		if rank == 0 {
+			buf := mpjbuf.New(16)
+			buf.WriteLongs([]int64{9}, 0, 1)
+			req, err := d.ISsend(buf, pids[1], 3, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+			if _, ok, _ := req.Test(); ok {
+				t.Error("synchronous send completed before match")
+			}
+			send(t, d, pids[1], 4, []int64{0}) // go-ahead
+			if _, err := req.Wait(); err != nil {
+				t.Error(err)
+			}
+		} else {
+			recv(t, d, pids[0], 4, 1)
+			got, _ := recv(t, d, pids[0], 3, 1)
+			if len(got) == 1 && got[0] != 9 {
+				t.Errorf("got %v", got)
+			}
+		}
+	})
+}
+
+// testSsendUnexpected: a synchronous send whose message lands in the
+// unexpected queue must complete when the receive is finally posted
+// (the match-time ACK path).
+func testSsendUnexpected(t *testing.T, run JobRunner) {
+	run(t, 2, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		if rank == 0 {
+			buf := mpjbuf.New(16)
+			buf.WriteLongs([]int64{77}, 0, 1)
+			req, err := d.ISsend(buf, pids[1], 6, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := req.Wait(); err != nil {
+				t.Errorf("ssend wait: %v", err)
+			}
+		} else {
+			// Let the message land unposted first.
+			time.Sleep(60 * time.Millisecond)
+			got, _ := recv(t, d, pids[0], 6, 1)
+			if len(got) == 1 && got[0] != 77 {
+				t.Errorf("got %v", got)
+			}
+		}
+	})
+}
+
+func testSelf(t *testing.T, run JobRunner) {
+	run(t, 1, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		buf := mpjbuf.New(16)
+		buf.WriteLongs([]int64{5}, 0, 1)
+		req, err := d.ISend(buf, pids[0], 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := recv(t, d, pids[0], 2, 1)
+		if len(got) == 1 && got[0] != 5 {
+			t.Errorf("got %v", got)
+		}
+		if _, err := req.Wait(); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func testProbe(t *testing.T, run JobRunner) {
+	run(t, 2, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		if rank == 0 {
+			send(t, d, pids[1], 11, []int64{1, 2})
+		} else {
+			st, err := d.Probe(pids[0], 11, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if st.Tag != 11 {
+				t.Errorf("probe tag %d", st.Tag)
+			}
+			if _, ok, _ := d.IProbe(xdev.AnySource, 11, 0); !ok {
+				t.Error("iprobe missed available message")
+			}
+			recv(t, d, pids[0], 11, 2)
+			if _, ok, _ := d.IProbe(xdev.AnySource, 11, 0); ok {
+				t.Error("iprobe saw consumed message")
+			}
+		}
+	})
+}
+
+func testConcurrent(t *testing.T, run JobRunner) {
+	const goroutines = 6
+	const per = 15
+	run(t, 2, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		peer := pids[1-rank]
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					want := int64(g*100 + i)
+					buf := mpjbuf.New(16)
+					buf.WriteLongs([]int64{want}, 0, 1)
+					if err := d.Send(buf, peer, g, 0); err != nil {
+						t.Errorf("send: %v", err)
+						return
+					}
+					got, _ := recv(t, d, peer, g, 1)
+					if len(got) == 1 && got[0] != want {
+						t.Errorf("g%d i%d: got %d want %d", g, i, got[0], want)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	})
+}
+
+func testPeek(t *testing.T, run JobRunner) {
+	run(t, 2, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		if rank == 0 {
+			buf := mpjbuf.New(0)
+			req, err := d.IRecv(buf, pids[1], 3, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := d.Peek()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != req {
+				t.Error("peek returned a different request")
+			}
+		} else {
+			send(t, d, pids[0], 3, []int64{1})
+		}
+	})
+}

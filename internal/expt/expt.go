@@ -1,0 +1,341 @@
+// Package expt implements the paper's live (non-modelled) experiments
+// against this repository's actual implementation:
+//
+//   - the §V-A qualitative ANY_SOURCE experiment: two processes post
+//     many wildcard receives, overlap a matrix multiplication with
+//     them, and finally exchange the messages — comparing MPJ
+//     Express's poll-free receive machinery against an MPJ/Ibis-style
+//     thread-per-receive device whose polling steals compute cycles;
+//   - the §VI claim that MPJ Express can post unbounded simultaneous
+//     non-blocking receives while a thread-per-operation design dies
+//     around 650;
+//   - live ping-pong over the real Go devices, the counterpart of the
+//     modelled curves in internal/perfmodel.
+package expt
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"mpj/internal/core"
+	"mpj/internal/ibisdev"
+	"mpj/internal/mpjbuf"
+	"mpj/internal/niodev"
+	"mpj/internal/smpdev"
+	"mpj/internal/transport"
+	"mpj/internal/xdev"
+)
+
+var jobCounter struct {
+	sync.Mutex
+	n int
+}
+
+func nextJob(prefix string) string {
+	jobCounter.Lock()
+	defer jobCounter.Unlock()
+	jobCounter.n++
+	return fmt.Sprintf("%s-%d", prefix, jobCounter.n)
+}
+
+// newDevice builds an uninitialized device for the experiment modes.
+func newDevice(mode string) (xdev.Device, error) {
+	switch mode {
+	case "mpj":
+		return smpdev.New(), nil
+	case "mpj-nio":
+		return niodev.New(), nil
+	case "ibis":
+		return ibisdev.New(), nil
+	case "ibis-spin":
+		d := ibisdev.New()
+		d.SetPollInterval(0)
+		return d, nil
+	}
+	return nil, fmt.Errorf("expt: unknown mode %q (mpj, mpj-nio, ibis, ibis-spin)", mode)
+}
+
+// matmul multiplies two n x n matrices naively and returns a checksum,
+// standing in for the paper's 3000x3000 multiplication.
+func matmul(a, b, c []float64, n int) float64 {
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			for j := 0; j < n; j++ {
+				c[i*n+j] += aik * b[k*n+j]
+			}
+		}
+	}
+	return c[0] + c[len(c)-1]
+}
+
+// OverlapResult reports one §V-A run.
+type OverlapResult struct {
+	// Mode is "mpj" or "ibis".
+	Mode string
+	// Compute is the matrix-multiplication makespan (the slower of the
+	// two ranks' multiplications) while the wildcard receives were
+	// outstanding.
+	Compute time.Duration
+	// Total is rank 0's whole-experiment wall time.
+	Total time.Duration
+}
+
+// AnySourceOverlap runs the §V-A experiment: both processes post nMsgs
+// non-blocking ANY_SOURCE receives, multiply two matrixN x matrixN
+// matrices, then send nMsgs messages to each other and collect the
+// receives. The returned Compute time shows how much CPU the pending
+// receives cost the computation.
+//
+// The paper ran one process per dual-CPU node; to model that CPU
+// budget inside one address space the experiment clamps GOMAXPROCS to
+// two while it runs (both ranks' compute goroutines plus any device
+// worker threads share two cores), restoring it afterwards. The median
+// of five runs is reported to suppress scheduling noise.
+func AnySourceOverlap(mode string, matrixN, nMsgs int) (OverlapResult, error) {
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+
+	const trials = 5
+	runs := make([]OverlapResult, 0, trials)
+	for trial := 0; trial < trials; trial++ {
+		res, err := anySourceOverlapOnce(mode, matrixN, nMsgs)
+		if err != nil {
+			return OverlapResult{Mode: mode}, err
+		}
+		runs = append(runs, res)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].Compute < runs[j].Compute })
+	return runs[trials/2], nil
+}
+
+func anySourceOverlapOnce(mode string, matrixN, nMsgs int) (OverlapResult, error) {
+	res := OverlapResult{Mode: mode}
+	group := nextJob("expt-overlap-" + mode)
+
+	type rankResult struct {
+		compute time.Duration
+		total   time.Duration
+		err     error
+	}
+	results := make([]rankResult, 2)
+
+	var wg sync.WaitGroup
+	for rank := 0; rank < 2; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			dev, err := newDevice(mode)
+			if err != nil {
+				results[rank].err = err
+				return
+			}
+			p, err := core.Init(dev, xdev.Config{Rank: rank, Size: 2, Group: group})
+			if err != nil {
+				results[rank].err = err
+				return
+			}
+			defer p.Finalize()
+			w := p.World()
+			peer := 1 - rank
+
+			start := time.Now()
+			// Post the wildcard receives up front, as in the paper.
+			reqs := make([]*core.Request, nMsgs)
+			bufs := make([][]int64, nMsgs)
+			for i := 0; i < nMsgs; i++ {
+				bufs[i] = make([]int64, 1)
+				r, err := w.Irecv(bufs[i], 0, 1, core.LONG, core.AnySource, i)
+				if err != nil {
+					results[rank].err = err
+					return
+				}
+				reqs[i] = r
+			}
+
+			// The computation the pending receives must not starve.
+			a := make([]float64, matrixN*matrixN)
+			b := make([]float64, matrixN*matrixN)
+			c := make([]float64, matrixN*matrixN)
+			for i := range a {
+				a[i] = float64(i % 7)
+				b[i] = float64(i % 5)
+			}
+			computeStart := time.Now()
+			matmul(a, b, c, matrixN)
+			results[rank].compute = time.Since(computeStart)
+
+			// Now exchange the messages.
+			for i := 0; i < nMsgs; i++ {
+				if err := w.Send([]int64{int64(i)}, 0, 1, core.LONG, peer, i); err != nil {
+					results[rank].err = err
+					return
+				}
+			}
+			if _, err := core.WaitAll(reqs); err != nil {
+				results[rank].err = err
+				return
+			}
+			for i := 0; i < nMsgs; i++ {
+				if bufs[i][0] != int64(i) {
+					results[rank].err = fmt.Errorf("message %d carried %d", i, bufs[i][0])
+					return
+				}
+			}
+			results[rank].total = time.Since(start)
+		}(rank)
+	}
+	wg.Wait()
+	for rank, r := range results {
+		if r.err != nil {
+			return res, fmt.Errorf("rank %d: %w", rank, r.err)
+		}
+	}
+	res.Compute = results[0].compute
+	if results[1].compute > res.Compute {
+		res.Compute = results[1].compute
+	}
+	res.Total = results[0].total
+	return res, nil
+}
+
+// ManyPendingReceives posts n simultaneous wildcard receives on a
+// 1-process job and then satisfies them, returning how many were
+// successfully posted and the error (if any) that stopped posting —
+// the §VI comparison (MPJ Express: unbounded; Ibis-style: ~650).
+func ManyPendingReceives(mode string, n int) (posted int, postErr error, err error) {
+	dev, err := newDevice(mode)
+	if err != nil {
+		return 0, nil, err
+	}
+	p, err := core.Init(dev, xdev.Config{Rank: 0, Size: 1, Group: nextJob("expt-many-" + mode)})
+	if err != nil {
+		return 0, nil, err
+	}
+	defer p.Finalize()
+	w := p.World()
+
+	reqs := make([]*core.Request, 0, n)
+	bufs := make([][]int64, 0, n)
+	for i := 0; i < n; i++ {
+		buf := make([]int64, 1)
+		r, rerr := w.Irecv(buf, 0, 1, core.LONG, core.AnySource, i)
+		if rerr != nil {
+			postErr = rerr
+			break
+		}
+		reqs = append(reqs, r)
+		bufs = append(bufs, buf)
+		posted++
+	}
+	// Satisfy whatever was posted so worker goroutines exit cleanly.
+	for i := 0; i < posted; i++ {
+		if serr := w.Send([]int64{int64(i)}, 0, 1, core.LONG, 0, i); serr != nil {
+			return posted, postErr, serr
+		}
+	}
+	if _, werr := core.WaitAll(reqs); werr != nil {
+		return posted, postErr, werr
+	}
+	for i := range bufs {
+		if bufs[i][0] != int64(i) {
+			return posted, postErr, fmt.Errorf("receive %d carried %d", i, bufs[i][0])
+		}
+	}
+	return posted, postErr, nil
+}
+
+// PingPongResult is one live ping-pong measurement.
+type PingPongResult struct {
+	Bytes     int
+	HalfRTT   time.Duration // mean one-way time
+	Bandwidth float64       // Mbit/s
+}
+
+// PingPongLive measures round trips of size-byte messages between two
+// in-process ranks over the real niodev stack (in-memory transport),
+// reporting the mean half round-trip time and derived bandwidth. This
+// measures this implementation's genuine software overheads — packing,
+// matching, protocol — without a network.
+func PingPongLive(size, reps int, eagerLimit int) (PingPongResult, error) {
+	res := PingPongResult{Bytes: size}
+	group := nextJob("expt-pp")
+	tr := transport.NewInProc(256 << 10)
+	addrs := []string{group + "/0", group + "/1"}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	var elapsed time.Duration
+	for rank := 0; rank < 2; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			dev := niodev.New()
+			_, err := dev.Init(xdev.Config{
+				Rank: rank, Size: 2, Addrs: addrs, Dialer: tr, EagerLimit: eagerLimit, Group: group,
+			})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer dev.Finish()
+			peer := xdev.ProcessID{UUID: uint64(1 - rank)}
+			payload := make([]byte, size)
+			buf := mpjbuf.New(size + 64)
+			rbuf := mpjbuf.New(size + 64)
+
+			send := func() error {
+				buf.Clear()
+				if err := buf.WriteBytes(payload, 0, size); err != nil {
+					return err
+				}
+				return dev.Send(buf, peer, 0, 0)
+			}
+			recv := func() error {
+				rbuf.Clear()
+				_, err := dev.Recv(rbuf, peer, 0, 0)
+				return err
+			}
+
+			if rank == 0 {
+				start := time.Now()
+				for i := 0; i < reps; i++ {
+					if err := send(); err != nil {
+						errs[rank] = err
+						return
+					}
+					if err := recv(); err != nil {
+						errs[rank] = err
+						return
+					}
+				}
+				elapsed = time.Since(start)
+			} else {
+				for i := 0; i < reps; i++ {
+					if err := recv(); err != nil {
+						errs[rank] = err
+						return
+					}
+					if err := send(); err != nil {
+						errs[rank] = err
+						return
+					}
+				}
+			}
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			return res, fmt.Errorf("rank %d: %w", rank, err)
+		}
+	}
+	res.HalfRTT = elapsed / time.Duration(2*reps)
+	if res.HalfRTT > 0 {
+		res.Bandwidth = float64(size) * 8 / res.HalfRTT.Seconds() / 1e6
+	}
+	return res, nil
+}

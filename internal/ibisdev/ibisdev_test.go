@@ -1,0 +1,166 @@
+package ibisdev
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mpj/internal/devtest"
+	"mpj/internal/mpjbuf"
+	"mpj/internal/xdev"
+)
+
+var groupCounter atomic.Int64
+
+func runner(t *testing.T, n int, fn func(d xdev.Device, rank int, pids []xdev.ProcessID)) {
+	t.Helper()
+	group := fmt.Sprintf("ibisdev-test-%d", groupCounter.Add(1))
+	devs := make([]*Device, n)
+	pidLists := make([][]xdev.ProcessID, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		devs[i] = New()
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			pidLists[rank], errs[rank] = devs[rank].Init(xdev.Config{Rank: rank, Size: n, Group: group})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d init: %v", i, err)
+		}
+	}
+	defer func() {
+		for _, d := range devs {
+			d.Finish()
+		}
+	}()
+	var jobWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		jobWG.Add(1)
+		go func(rank int) {
+			defer jobWG.Done()
+			fn(devs[rank], rank, pidLists[rank])
+		}(i)
+	}
+	jobWG.Wait()
+}
+
+func TestConformance(t *testing.T) {
+	devtest.RunConformance(t, runner, devtest.Options{HasPeek: false})
+}
+
+// TestThreadCeiling reproduces the paper's §VI observation: MPJ/Ibis
+// fails with "cannot create native threads" when ~650 receives are
+// outstanding, because it starts a thread per operation.
+func TestThreadCeiling(t *testing.T) {
+	runner(t, 1, func(xd xdev.Device, rank int, pids []xdev.ProcessID) {
+		d := xd.(*Device)
+		var reqs []xdev.Request
+		var failedAt int
+		for i := 0; i < 650; i++ {
+			buf := mpjbuf.New(0)
+			r, err := d.IRecv(buf, xdev.AnySource, i, 0)
+			if err != nil {
+				failedAt = i
+				if !strings.Contains(err.Error(), "native thread") {
+					t.Fatalf("unexpected error text: %v", err)
+				}
+				break
+			}
+			reqs = append(reqs, r)
+		}
+		if failedAt == 0 {
+			t.Fatalf("posted 650 receives without hitting the thread ceiling (active=%d)", d.ActiveThreads())
+		}
+		if failedAt != DefaultMaxThreads {
+			t.Fatalf("failed at %d, expected the ceiling %d", failedAt, DefaultMaxThreads)
+		}
+		// Satisfy the outstanding receives so workers exit.
+		for i := 0; i < failedAt; i++ {
+			buf := mpjbuf.New(16)
+			buf.WriteLongs([]int64{int64(i)}, 0, 1)
+			if err := d.Send(buf, pids[0], i, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, r := range reqs {
+			if _, err := r.Wait(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+func TestRaisedCeilingAllowsMore(t *testing.T) {
+	runner(t, 1, func(xd xdev.Device, rank int, pids []xdev.ProcessID) {
+		d := xd.(*Device)
+		d.SetMaxThreads(2000)
+		var reqs []xdev.Request
+		for i := 0; i < 700; i++ {
+			buf := mpjbuf.New(0)
+			r, err := d.IRecv(buf, pids[0], i, 0)
+			if err != nil {
+				t.Fatalf("irecv %d: %v", i, err)
+			}
+			reqs = append(reqs, r)
+		}
+		for i := 0; i < 700; i++ {
+			buf := mpjbuf.New(16)
+			buf.WriteLongs([]int64{1}, 0, 1)
+			if err := d.Send(buf, pids[0], i, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, r := range reqs {
+			if _, err := r.Wait(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if d.ActiveThreads() != 0 {
+			t.Fatalf("threads leaked: %d", d.ActiveThreads())
+		}
+	})
+}
+
+func TestPeekUnsupported(t *testing.T) {
+	runner(t, 1, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		if _, err := d.Peek(); err == nil {
+			t.Error("Peek should be unsupported on ibisdev")
+		}
+	})
+}
+
+func TestThreadsReleasedOnSend(t *testing.T) {
+	runner(t, 2, func(xd xdev.Device, rank int, pids []xdev.ProcessID) {
+		d := xd.(*Device)
+		if rank == 0 {
+			for i := 0; i < 20; i++ {
+				buf := mpjbuf.New(16)
+				buf.WriteLongs([]int64{int64(i)}, 0, 1)
+				r, err := d.ISend(buf, pids[1], 0, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := r.Wait(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if d.ActiveThreads() != 0 {
+				t.Errorf("send workers leaked: %d", d.ActiveThreads())
+			}
+		} else {
+			for i := 0; i < 20; i++ {
+				buf := mpjbuf.New(0)
+				if _, err := d.Recv(buf, pids[0], 0, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	})
+}

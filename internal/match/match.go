@@ -1,0 +1,197 @@
+// Package match implements MPJ Express message matching (§IV-E.2 of the
+// paper). A message is identified by (context, tag, source); receives
+// may wildcard tag and/or source. Each posted receive generates four
+// possible keys — (ctx,tag,src), (ctx,ANY_TAG,src), (ctx,tag,ANY_SOURCE)
+// and (ctx,ANY_TAG,ANY_SOURCE) — and incoming messages are matched
+// against those keys in O(1) per key, rather than by scanning.
+//
+// Two symmetric structures cover the two directions of the race between
+// a receive being posted and its message arriving:
+//
+//   - PatternSet holds posted receive patterns (which may contain
+//     wildcards) and is probed with the concrete envelope of an
+//     arriving message;
+//   - ItemSet holds arrived-but-unmatched message envelopes (always
+//     concrete) and is probed with a receive pattern.
+//
+// Both preserve MPI's ordering rule: among multiple candidates the one
+// posted (or arrived) first wins, even across wildcard and non-wildcard
+// buckets. Neither type is goroutine-safe; callers hold the relevant
+// communication-set lock, exactly as in the paper's pseudocode.
+package match
+
+// Wildcard values within a Pattern.
+const (
+	// AnyTag matches any message tag.
+	AnyTag int32 = -1
+	// AnySource matches any source process.
+	AnySource uint64 = ^uint64(0)
+)
+
+// Pattern is a receive-side match specification; Tag and Src may hold
+// the wildcard values.
+type Pattern struct {
+	Ctx int32
+	Tag int32
+	Src uint64
+}
+
+// Concrete is a message envelope; no wildcards.
+type Concrete struct {
+	Ctx int32
+	Tag int32
+	Src uint64
+}
+
+// Matches reports whether the pattern accepts the envelope.
+func (p Pattern) Matches(c Concrete) bool {
+	return p.Ctx == c.Ctx &&
+		(p.Tag == AnyTag || p.Tag == c.Tag) &&
+		(p.Src == AnySource || p.Src == c.Src)
+}
+
+// keys returns the four probe keys for an envelope, most to least
+// specific.
+func (c Concrete) keys() [4]Pattern {
+	return [4]Pattern{
+		{c.Ctx, c.Tag, c.Src},
+		{c.Ctx, AnyTag, c.Src},
+		{c.Ctx, c.Tag, AnySource},
+		{c.Ctx, AnyTag, AnySource},
+	}
+}
+
+type entry[T any] struct {
+	seq   uint64
+	value T
+	taken bool
+}
+
+// fifo is a slice-backed queue with lazy removal of taken entries.
+type fifo[T any] struct {
+	items []*entry[T]
+}
+
+func (q *fifo[T]) push(e *entry[T]) { q.items = append(q.items, e) }
+
+// head returns the oldest non-taken entry, compacting as it goes.
+func (q *fifo[T]) head() *entry[T] {
+	for len(q.items) > 0 && q.items[0].taken {
+		q.items[0] = nil
+		q.items = q.items[1:]
+	}
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+// PatternSet holds posted receive patterns, each indexed under its own
+// (possibly wildcarded) key, in posting order.
+type PatternSet[T any] struct {
+	seq     uint64
+	buckets map[Pattern]*fifo[T]
+	live    int
+}
+
+// NewPatternSet returns an empty pattern set.
+func NewPatternSet[T any]() *PatternSet[T] {
+	return &PatternSet[T]{buckets: make(map[Pattern]*fifo[T])}
+}
+
+// Add posts a pattern with its associated value.
+func (s *PatternSet[T]) Add(p Pattern, v T) {
+	q := s.buckets[p]
+	if q == nil {
+		q = &fifo[T]{}
+		s.buckets[p] = q
+	}
+	s.seq++
+	q.push(&entry[T]{seq: s.seq, value: v})
+	s.live++
+}
+
+// Match finds, removes and returns the earliest-posted pattern that
+// accepts the envelope. ok is false when nothing matches.
+func (s *PatternSet[T]) Match(c Concrete) (v T, ok bool) {
+	var best *entry[T]
+	for _, k := range c.keys() {
+		q := s.buckets[k]
+		if q == nil {
+			continue
+		}
+		if e := q.head(); e != nil && (best == nil || e.seq < best.seq) {
+			best = e
+		}
+	}
+	if best == nil {
+		return v, false
+	}
+	best.taken = true
+	s.live--
+	return best.value, true
+}
+
+// Len reports the number of live (unmatched) patterns.
+func (s *PatternSet[T]) Len() int { return s.live }
+
+// ItemSet holds arrived message envelopes. Each item is indexed under
+// all four keys that could match it, so pattern probes are O(1).
+type ItemSet[T any] struct {
+	seq     uint64
+	buckets map[Pattern]*fifo[T]
+	live    int
+}
+
+// NewItemSet returns an empty item set.
+func NewItemSet[T any]() *ItemSet[T] {
+	return &ItemSet[T]{buckets: make(map[Pattern]*fifo[T])}
+}
+
+// Add records an arrived envelope with its associated value.
+func (s *ItemSet[T]) Add(c Concrete, v T) {
+	s.seq++
+	e := &entry[T]{seq: s.seq, value: v}
+	for _, k := range c.keys() {
+		q := s.buckets[k]
+		if q == nil {
+			q = &fifo[T]{}
+			s.buckets[k] = q
+		}
+		q.push(e)
+	}
+	s.live++
+}
+
+// Match finds, removes and returns the earliest-arrived item accepted
+// by the pattern.
+func (s *ItemSet[T]) Match(p Pattern) (v T, ok bool) {
+	q := s.buckets[p]
+	if q == nil {
+		return v, false
+	}
+	e := q.head()
+	if e == nil {
+		return v, false
+	}
+	e.taken = true
+	s.live--
+	return e.value, true
+}
+
+// Peek returns the earliest-arrived item accepted by the pattern
+// without removing it (the probe operation).
+func (s *ItemSet[T]) Peek(p Pattern) (v T, ok bool) {
+	q := s.buckets[p]
+	if q == nil {
+		return v, false
+	}
+	e := q.head()
+	if e == nil {
+		return v, false
+	}
+	return e.value, true
+}
+
+// Len reports the number of live (unmatched) items.
+func (s *ItemSet[T]) Len() int { return s.live }

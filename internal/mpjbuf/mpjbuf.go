@@ -1,0 +1,584 @@
+// Package mpjbuf implements the MPJ Express buffering API.
+//
+// A Buffer has two sections, mirroring the paper's mpjbuf design
+// (Baker, Carpenter, Shafi — "An Approach to Buffer Management in Java
+// HPC Messaging", ICCS 2006):
+//
+//   - a static section holding packed primitive data, written and read
+//     as typed sections (a one-byte type tag, an element count, then the
+//     big-endian packed elements);
+//   - a dynamic section holding serialized objects (the Java original
+//     used JDK serialization; we use encoding/gob).
+//
+// User messages are packed into a Buffer on the send side and unpacked
+// into user arrays on the receive side.  Devices transmit the buffer's
+// wire form without further copying: Segments returns the raw static and
+// dynamic byte slices, the Go analogue of handing a direct ByteBuffer to
+// the transport (avoiding, in the original, the JNI copy between JVM
+// heap and OS memory).
+//
+// A Buffer is not safe for concurrent use; each message uses its own
+// Buffer, and the enclosing library serializes access per message.
+package mpjbuf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Type tags a packed section in the static part of a buffer.
+type Type uint8
+
+// Section type tags. Object data lives in the dynamic section and has no
+// static tag other than ObjectType, which records only the element count.
+const (
+	ByteType Type = iota + 1
+	BooleanType
+	CharType // uint16, as in Java
+	ShortType
+	IntType
+	LongType
+	FloatType
+	DoubleType
+	ObjectType
+)
+
+var typeNames = map[Type]string{
+	ByteType:    "byte",
+	BooleanType: "boolean",
+	CharType:    "char",
+	ShortType:   "short",
+	IntType:     "int",
+	LongType:    "long",
+	FloatType:   "float",
+	DoubleType:  "double",
+	ObjectType:  "object",
+}
+
+// String returns the Java-style name of the type tag.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Size returns the packed size in bytes of one element, or 0 for
+// ObjectType (whose encoding is variable length).
+func (t Type) Size() int {
+	switch t {
+	case ByteType, BooleanType:
+		return 1
+	case CharType, ShortType:
+		return 2
+	case IntType, FloatType:
+		return 4
+	case LongType, DoubleType:
+		return 8
+	}
+	return 0
+}
+
+type mode uint8
+
+const (
+	writing mode = iota
+	reading
+)
+
+// sectionHeaderLen is one type byte plus a uint32 element count.
+const sectionHeaderLen = 1 + 4
+
+// Buffer is a message staging area with a static section for packed
+// primitive elements and a dynamic section for serialized objects.
+//
+// The zero value is an empty buffer in write mode, ready for use.
+type Buffer struct {
+	static  []byte
+	rpos    int // read cursor within static
+	dynamic bytes.Buffer
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	mode    mode
+}
+
+// New returns a Buffer whose static section has the given initial
+// capacity in bytes. The section grows as needed; capacity is a hint.
+func New(capacity int) *Buffer {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Buffer{static: make([]byte, 0, capacity)}
+}
+
+// StaticLen reports the number of packed bytes in the static section.
+func (b *Buffer) StaticLen() int { return len(b.static) }
+
+// DynamicLen reports the number of serialized bytes in the dynamic section.
+func (b *Buffer) DynamicLen() int { return b.dynamic.Len() }
+
+// Len reports the total wire payload length in bytes (static + dynamic).
+func (b *Buffer) Len() int { return len(b.static) + b.dynamic.Len() }
+
+// Clear resets the buffer to an empty write-mode state, retaining the
+// static section's capacity.
+func (b *Buffer) Clear() {
+	b.static = b.static[:0]
+	b.rpos = 0
+	b.dynamic.Reset()
+	b.enc = nil
+	b.dec = nil
+	b.mode = writing
+}
+
+// Commit switches the buffer from write mode to read mode. Reads start
+// from the first section. Commit of an already-committed buffer rewinds
+// the static read cursor but cannot rewind object decoding.
+func (b *Buffer) Commit() {
+	b.mode = reading
+	b.rpos = 0
+	b.dec = nil
+}
+
+func (b *Buffer) ensureWriting(op string) error {
+	if b.mode != writing {
+		return fmt.Errorf("mpjbuf: %s on committed buffer", op)
+	}
+	return nil
+}
+
+func (b *Buffer) ensureReading(op string) error {
+	if b.mode != reading {
+		return fmt.Errorf("mpjbuf: %s on uncommitted buffer", op)
+	}
+	return nil
+}
+
+// grow extends the static section by n bytes and returns the slice
+// covering the new region.
+func (b *Buffer) grow(n int) []byte {
+	l := len(b.static)
+	if l+n <= cap(b.static) {
+		b.static = b.static[:l+n]
+	} else {
+		ns := make([]byte, l+n, (l+n)*2)
+		copy(ns, b.static)
+		b.static = ns
+	}
+	return b.static[l:]
+}
+
+func (b *Buffer) putHeader(t Type, count int) []byte {
+	dst := b.grow(sectionHeaderLen + count*t.Size())
+	dst[0] = byte(t)
+	binary.BigEndian.PutUint32(dst[1:5], uint32(count))
+	return dst[sectionHeaderLen:]
+}
+
+// nextHeader consumes and validates the next section header in read
+// mode, returning the packed element region and count.
+func (b *Buffer) nextHeader(want Type, maxCount int) ([]byte, int, error) {
+	if err := b.ensureReading("read " + want.String()); err != nil {
+		return nil, 0, err
+	}
+	if b.rpos+sectionHeaderLen > len(b.static) {
+		return nil, 0, fmt.Errorf("mpjbuf: read %s: buffer exhausted", want)
+	}
+	got := Type(b.static[b.rpos])
+	if got != want {
+		return nil, 0, fmt.Errorf("mpjbuf: section type mismatch: have %s, want %s", got, want)
+	}
+	count := int(binary.BigEndian.Uint32(b.static[b.rpos+1 : b.rpos+5]))
+	if count > maxCount {
+		return nil, 0, fmt.Errorf("mpjbuf: read %s: section holds %d elements, destination holds %d", want, count, maxCount)
+	}
+	start := b.rpos + sectionHeaderLen
+	end := start + count*want.Size()
+	if end > len(b.static) {
+		return nil, 0, fmt.Errorf("mpjbuf: read %s: truncated section", want)
+	}
+	b.rpos = end
+	return b.static[start:end], count, nil
+}
+
+// PeekSection reports the type and element count of the next unread
+// section without consuming it. ok is false at end of buffer.
+func (b *Buffer) PeekSection() (t Type, count int, ok bool) {
+	if b.mode != reading || b.rpos+sectionHeaderLen > len(b.static) {
+		return 0, 0, false
+	}
+	t = Type(b.static[b.rpos])
+	count = int(binary.BigEndian.Uint32(b.static[b.rpos+1 : b.rpos+5]))
+	return t, count, true
+}
+
+// ---- primitive writers ----
+
+// WriteBytes packs count bytes from src starting at off.
+func (b *Buffer) WriteBytes(src []byte, off, count int) error {
+	if err := b.checkRange("write byte", len(src), off, count); err != nil {
+		return err
+	}
+	dst := b.putHeader(ByteType, count)
+	copy(dst, src[off:off+count])
+	return nil
+}
+
+// WriteBooleans packs count booleans from src starting at off.
+func (b *Buffer) WriteBooleans(src []bool, off, count int) error {
+	if err := b.checkRange("write boolean", len(src), off, count); err != nil {
+		return err
+	}
+	dst := b.putHeader(BooleanType, count)
+	for i := 0; i < count; i++ {
+		if src[off+i] {
+			dst[i] = 1
+		} else {
+			dst[i] = 0
+		}
+	}
+	return nil
+}
+
+// WriteChars packs count chars (uint16, as in Java) from src at off.
+func (b *Buffer) WriteChars(src []uint16, off, count int) error {
+	if err := b.checkRange("write char", len(src), off, count); err != nil {
+		return err
+	}
+	dst := b.putHeader(CharType, count)
+	for i := 0; i < count; i++ {
+		binary.BigEndian.PutUint16(dst[2*i:], src[off+i])
+	}
+	return nil
+}
+
+// WriteShorts packs count int16 elements from src at off.
+func (b *Buffer) WriteShorts(src []int16, off, count int) error {
+	if err := b.checkRange("write short", len(src), off, count); err != nil {
+		return err
+	}
+	dst := b.putHeader(ShortType, count)
+	for i := 0; i < count; i++ {
+		binary.BigEndian.PutUint16(dst[2*i:], uint16(src[off+i]))
+	}
+	return nil
+}
+
+// WriteInts packs count int32 elements from src at off.
+func (b *Buffer) WriteInts(src []int32, off, count int) error {
+	if err := b.checkRange("write int", len(src), off, count); err != nil {
+		return err
+	}
+	dst := b.putHeader(IntType, count)
+	for i := 0; i < count; i++ {
+		binary.BigEndian.PutUint32(dst[4*i:], uint32(src[off+i]))
+	}
+	return nil
+}
+
+// WriteLongs packs count int64 elements from src at off.
+func (b *Buffer) WriteLongs(src []int64, off, count int) error {
+	if err := b.checkRange("write long", len(src), off, count); err != nil {
+		return err
+	}
+	dst := b.putHeader(LongType, count)
+	for i := 0; i < count; i++ {
+		binary.BigEndian.PutUint64(dst[8*i:], uint64(src[off+i]))
+	}
+	return nil
+}
+
+// WriteFloats packs count float32 elements from src at off.
+func (b *Buffer) WriteFloats(src []float32, off, count int) error {
+	if err := b.checkRange("write float", len(src), off, count); err != nil {
+		return err
+	}
+	dst := b.putHeader(FloatType, count)
+	for i := 0; i < count; i++ {
+		binary.BigEndian.PutUint32(dst[4*i:], math.Float32bits(src[off+i]))
+	}
+	return nil
+}
+
+// WriteDoubles packs count float64 elements from src at off.
+func (b *Buffer) WriteDoubles(src []float64, off, count int) error {
+	if err := b.checkRange("write double", len(src), off, count); err != nil {
+		return err
+	}
+	dst := b.putHeader(DoubleType, count)
+	for i := 0; i < count; i++ {
+		binary.BigEndian.PutUint64(dst[8*i:], math.Float64bits(src[off+i]))
+	}
+	return nil
+}
+
+// WriteObjects serializes count elements of src (starting at off) into
+// the dynamic section using gob, recording an ObjectType section marker
+// in the static section. src must be a slice of a gob-encodable type.
+func (b *Buffer) WriteObjects(src []any, off, count int) error {
+	if err := b.checkRange("write object", len(src), off, count); err != nil {
+		return err
+	}
+	b.putHeader(ObjectType, count)
+	if b.enc == nil {
+		b.enc = gob.NewEncoder(&b.dynamic)
+	}
+	for i := 0; i < count; i++ {
+		v := src[off+i]
+		if err := b.enc.Encode(&v); err != nil {
+			return fmt.Errorf("mpjbuf: encode object %d: %w", off+i, err)
+		}
+	}
+	return nil
+}
+
+func (b *Buffer) checkRange(op string, n, off, count int) error {
+	if err := b.ensureWriting(op); err != nil {
+		return err
+	}
+	if off < 0 || count < 0 || off+count > n {
+		return fmt.Errorf("mpjbuf: %s: range [%d,%d) out of bounds for slice of %d", op, off, off+count, n)
+	}
+	return nil
+}
+
+// ---- primitive readers ----
+
+func checkDst(op string, n, off, count int) error {
+	if off < 0 || count < 0 || off+count > n {
+		return fmt.Errorf("mpjbuf: %s: range [%d,%d) out of bounds for slice of %d", op, off, off+count, n)
+	}
+	return nil
+}
+
+// ReadBytes unpacks the next byte section into dst at off. It returns
+// the number of elements read, which may be less than count when the
+// sender packed fewer elements.
+func (b *Buffer) ReadBytes(dst []byte, off, count int) (int, error) {
+	if err := checkDst("read byte", len(dst), off, count); err != nil {
+		return 0, err
+	}
+	src, n, err := b.nextHeader(ByteType, count)
+	if err != nil {
+		return 0, err
+	}
+	copy(dst[off:], src[:n])
+	return n, nil
+}
+
+// ReadBooleans unpacks the next boolean section into dst at off.
+func (b *Buffer) ReadBooleans(dst []bool, off, count int) (int, error) {
+	if err := checkDst("read boolean", len(dst), off, count); err != nil {
+		return 0, err
+	}
+	src, n, err := b.nextHeader(BooleanType, count)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		dst[off+i] = src[i] != 0
+	}
+	return n, nil
+}
+
+// ReadChars unpacks the next char section into dst at off.
+func (b *Buffer) ReadChars(dst []uint16, off, count int) (int, error) {
+	if err := checkDst("read char", len(dst), off, count); err != nil {
+		return 0, err
+	}
+	src, n, err := b.nextHeader(CharType, count)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		dst[off+i] = binary.BigEndian.Uint16(src[2*i:])
+	}
+	return n, nil
+}
+
+// ReadShorts unpacks the next short section into dst at off.
+func (b *Buffer) ReadShorts(dst []int16, off, count int) (int, error) {
+	if err := checkDst("read short", len(dst), off, count); err != nil {
+		return 0, err
+	}
+	src, n, err := b.nextHeader(ShortType, count)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		dst[off+i] = int16(binary.BigEndian.Uint16(src[2*i:]))
+	}
+	return n, nil
+}
+
+// ReadInts unpacks the next int section into dst at off.
+func (b *Buffer) ReadInts(dst []int32, off, count int) (int, error) {
+	if err := checkDst("read int", len(dst), off, count); err != nil {
+		return 0, err
+	}
+	src, n, err := b.nextHeader(IntType, count)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		dst[off+i] = int32(binary.BigEndian.Uint32(src[4*i:]))
+	}
+	return n, nil
+}
+
+// ReadLongs unpacks the next long section into dst at off.
+func (b *Buffer) ReadLongs(dst []int64, off, count int) (int, error) {
+	if err := checkDst("read long", len(dst), off, count); err != nil {
+		return 0, err
+	}
+	src, n, err := b.nextHeader(LongType, count)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		dst[off+i] = int64(binary.BigEndian.Uint64(src[8*i:]))
+	}
+	return n, nil
+}
+
+// ReadFloats unpacks the next float section into dst at off.
+func (b *Buffer) ReadFloats(dst []float32, off, count int) (int, error) {
+	if err := checkDst("read float", len(dst), off, count); err != nil {
+		return 0, err
+	}
+	src, n, err := b.nextHeader(FloatType, count)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		dst[off+i] = math.Float32frombits(binary.BigEndian.Uint32(src[4*i:]))
+	}
+	return n, nil
+}
+
+// ReadDoubles unpacks the next double section into dst at off.
+func (b *Buffer) ReadDoubles(dst []float64, off, count int) (int, error) {
+	if err := checkDst("read double", len(dst), off, count); err != nil {
+		return 0, err
+	}
+	src, n, err := b.nextHeader(DoubleType, count)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		dst[off+i] = math.Float64frombits(binary.BigEndian.Uint64(src[8*i:]))
+	}
+	return n, nil
+}
+
+// ReadObjects deserializes the next object section into dst at off.
+func (b *Buffer) ReadObjects(dst []any, off, count int) (int, error) {
+	if err := checkDst("read object", len(dst), off, count); err != nil {
+		return 0, err
+	}
+	_, n, err := b.nextHeader(ObjectType, count)
+	if err != nil {
+		return 0, err
+	}
+	if b.dec == nil {
+		b.dec = gob.NewDecoder(&b.dynamic)
+	}
+	for i := 0; i < n; i++ {
+		var v any
+		if err := b.dec.Decode(&v); err != nil {
+			return i, fmt.Errorf("mpjbuf: decode object %d: %w", i, err)
+		}
+		dst[off+i] = v
+	}
+	return n, nil
+}
+
+// ---- wire form ----
+
+// wireHeaderLen is two uint32 section lengths.
+const wireHeaderLen = 8
+
+// WireLen reports the length of the buffer's wire encoding.
+func (b *Buffer) WireLen() int { return wireHeaderLen + b.Len() }
+
+// Segments returns the wire encoding as contiguous segments without
+// copying the section payloads: a fixed header describing the section
+// lengths, the static section, and the dynamic section. This mirrors
+// mx_isend's segment list and lets a device transmit static and dynamic
+// parts in a single gather operation.
+func (b *Buffer) Segments() [][]byte {
+	hdr := make([]byte, wireHeaderLen)
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(b.static)))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(b.dynamic.Len()))
+	return [][]byte{hdr, b.static, b.dynamic.Bytes()}
+}
+
+// Wire returns the buffer's wire encoding as a single byte slice. It
+// copies; devices that can gather should prefer Segments.
+func (b *Buffer) Wire() []byte {
+	out := make([]byte, 0, b.WireLen())
+	for _, seg := range b.Segments() {
+		out = append(out, seg...)
+	}
+	return out
+}
+
+// LoadWireFrom reads a wire encoding of exactly wireLen bytes directly
+// from r into the buffer's sections, avoiding an intermediate staging
+// copy (the direct-ByteBuffer receive path). The buffer is left
+// committed for reading.
+func (b *Buffer) LoadWireFrom(r io.Reader, wireLen int) error {
+	if wireLen < wireHeaderLen {
+		return fmt.Errorf("mpjbuf: wire form too short (%d bytes)", wireLen)
+	}
+	var hdr [wireHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("mpjbuf: read wire header: %w", err)
+	}
+	sl := int(binary.BigEndian.Uint32(hdr[0:4]))
+	dl := int(binary.BigEndian.Uint32(hdr[4:8]))
+	if wireHeaderLen+sl+dl != wireLen {
+		return fmt.Errorf("mpjbuf: wire form length mismatch: header says %d+%d, have %d payload bytes",
+			sl, dl, wireLen-wireHeaderLen)
+	}
+	b.Clear()
+	if cap(b.static) < sl {
+		b.static = make([]byte, sl)
+	} else {
+		b.static = b.static[:sl]
+	}
+	if _, err := io.ReadFull(r, b.static); err != nil {
+		return fmt.Errorf("mpjbuf: read static section: %w", err)
+	}
+	if dl > 0 {
+		b.dynamic.Grow(dl)
+		if _, err := io.CopyN(&b.dynamic, r, int64(dl)); err != nil {
+			return fmt.Errorf("mpjbuf: read dynamic section: %w", err)
+		}
+	}
+	b.Commit()
+	return nil
+}
+
+// LoadWire replaces the buffer's contents with a previously produced
+// wire encoding and leaves the buffer committed for reading.
+func (b *Buffer) LoadWire(wire []byte) error {
+	if len(wire) < wireHeaderLen {
+		return fmt.Errorf("mpjbuf: wire form too short (%d bytes)", len(wire))
+	}
+	sl := int(binary.BigEndian.Uint32(wire[0:4]))
+	dl := int(binary.BigEndian.Uint32(wire[4:8]))
+	if wireHeaderLen+sl+dl != len(wire) {
+		return fmt.Errorf("mpjbuf: wire form length mismatch: header says %d+%d, have %d payload bytes",
+			sl, dl, len(wire)-wireHeaderLen)
+	}
+	b.Clear()
+	b.static = append(b.static[:0], wire[wireHeaderLen:wireHeaderLen+sl]...)
+	b.dynamic.Write(wire[wireHeaderLen+sl:])
+	b.Commit()
+	return nil
+}

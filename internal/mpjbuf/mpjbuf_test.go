@@ -1,0 +1,480 @@
+package mpjbuf
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripBytes(t *testing.T) {
+	b := New(64)
+	src := []byte{1, 2, 3, 4, 5}
+	if err := b.WriteBytes(src, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	b.Commit()
+	dst := make([]byte, 5)
+	n, err := b.ReadBytes(dst, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("n = %d, want 3", n)
+	}
+	want := []byte{0, 0, 2, 3, 4}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestRoundTripAllPrimitiveTypes(t *testing.T) {
+	b := New(0)
+	bys := []byte{0, 1, 255}
+	bls := []bool{true, false, true}
+	chs := []uint16{'a', 0xffff, 0}
+	shs := []int16{-1, 0, math.MaxInt16, math.MinInt16}
+	ins := []int32{-1, 0, math.MaxInt32, math.MinInt32}
+	lns := []int64{-1, 0, math.MaxInt64, math.MinInt64}
+	fls := []float32{0, -1.5, math.MaxFloat32, float32(math.Inf(1))}
+	dbs := []float64{0, -1.5, math.MaxFloat64, math.Inf(-1)}
+
+	for _, step := range []func() error{
+		func() error { return b.WriteBytes(bys, 0, len(bys)) },
+		func() error { return b.WriteBooleans(bls, 0, len(bls)) },
+		func() error { return b.WriteChars(chs, 0, len(chs)) },
+		func() error { return b.WriteShorts(shs, 0, len(shs)) },
+		func() error { return b.WriteInts(ins, 0, len(ins)) },
+		func() error { return b.WriteLongs(lns, 0, len(lns)) },
+		func() error { return b.WriteFloats(fls, 0, len(fls)) },
+		func() error { return b.WriteDoubles(dbs, 0, len(dbs)) },
+	} {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Commit()
+
+	gotBys := make([]byte, len(bys))
+	gotBls := make([]bool, len(bls))
+	gotChs := make([]uint16, len(chs))
+	gotShs := make([]int16, len(shs))
+	gotIns := make([]int32, len(ins))
+	gotLns := make([]int64, len(lns))
+	gotFls := make([]float32, len(fls))
+	gotDbs := make([]float64, len(dbs))
+
+	if _, err := b.ReadBytes(gotBys, 0, len(bys)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReadBooleans(gotBls, 0, len(bls)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReadChars(gotChs, 0, len(chs)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReadShorts(gotShs, 0, len(shs)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReadInts(gotIns, 0, len(ins)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReadLongs(gotLns, 0, len(lns)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReadFloats(gotFls, 0, len(fls)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReadDoubles(gotDbs, 0, len(dbs)); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range bys {
+		if gotBys[i] != bys[i] {
+			t.Errorf("bytes[%d] = %v, want %v", i, gotBys[i], bys[i])
+		}
+	}
+	for i := range bls {
+		if gotBls[i] != bls[i] {
+			t.Errorf("bools[%d] = %v, want %v", i, gotBls[i], bls[i])
+		}
+	}
+	for i := range chs {
+		if gotChs[i] != chs[i] {
+			t.Errorf("chars[%d] = %v, want %v", i, gotChs[i], chs[i])
+		}
+	}
+	for i := range shs {
+		if gotShs[i] != shs[i] {
+			t.Errorf("shorts[%d] = %v, want %v", i, gotShs[i], shs[i])
+		}
+	}
+	for i := range ins {
+		if gotIns[i] != ins[i] {
+			t.Errorf("ints[%d] = %v, want %v", i, gotIns[i], ins[i])
+		}
+	}
+	for i := range lns {
+		if gotLns[i] != lns[i] {
+			t.Errorf("longs[%d] = %v, want %v", i, gotLns[i], lns[i])
+		}
+	}
+	for i := range fls {
+		if gotFls[i] != fls[i] {
+			t.Errorf("floats[%d] = %v, want %v", i, gotFls[i], fls[i])
+		}
+	}
+	for i := range dbs {
+		if gotDbs[i] != dbs[i] {
+			t.Errorf("doubles[%d] = %v, want %v", i, gotDbs[i], dbs[i])
+		}
+	}
+}
+
+func TestQuickRoundTripDoubles(t *testing.T) {
+	f := func(src []float64) bool {
+		b := New(len(src) * 8)
+		if err := b.WriteDoubles(src, 0, len(src)); err != nil {
+			return false
+		}
+		b.Commit()
+		dst := make([]float64, len(src))
+		n, err := b.ReadDoubles(dst, 0, len(dst))
+		if err != nil || n != len(src) {
+			return false
+		}
+		for i := range src {
+			if dst[i] != src[i] && !(math.IsNaN(dst[i]) && math.IsNaN(src[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundTripInts(t *testing.T) {
+	f := func(src []int32) bool {
+		b := New(0)
+		if err := b.WriteInts(src, 0, len(src)); err != nil {
+			return false
+		}
+		b.Commit()
+		dst := make([]int32, len(src))
+		n, err := b.ReadInts(dst, 0, len(dst))
+		if err != nil || n != len(src) {
+			return false
+		}
+		for i := range src {
+			if dst[i] != src[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWireRoundTrip(t *testing.T) {
+	f := func(static []int64, objs []string) bool {
+		b := New(0)
+		if err := b.WriteLongs(static, 0, len(static)); err != nil {
+			return false
+		}
+		anyObjs := make([]any, len(objs))
+		for i, s := range objs {
+			anyObjs[i] = s
+		}
+		if err := b.WriteObjects(anyObjs, 0, len(anyObjs)); err != nil {
+			return false
+		}
+
+		rb := New(0)
+		if err := rb.LoadWire(b.Wire()); err != nil {
+			return false
+		}
+		gotLongs := make([]int64, len(static))
+		if _, err := rb.ReadLongs(gotLongs, 0, len(gotLongs)); err != nil {
+			return false
+		}
+		for i := range static {
+			if gotLongs[i] != static[i] {
+				return false
+			}
+		}
+		gotObjs := make([]any, len(objs))
+		if _, err := rb.ReadObjects(gotObjs, 0, len(gotObjs)); err != nil {
+			return false
+		}
+		for i := range objs {
+			if gotObjs[i] != objs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeMismatch(t *testing.T) {
+	b := New(0)
+	if err := b.WriteInts([]int32{1, 2}, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	b.Commit()
+	dst := make([]float64, 2)
+	if _, err := b.ReadDoubles(dst, 0, 2); err == nil {
+		t.Fatal("expected type mismatch error")
+	} else if !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestReadBeforeCommit(t *testing.T) {
+	b := New(0)
+	if err := b.WriteInts([]int32{1}, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReadInts(make([]int32, 1), 0, 1); err == nil {
+		t.Fatal("expected read-before-commit error")
+	}
+}
+
+func TestWriteAfterCommit(t *testing.T) {
+	b := New(0)
+	b.Commit()
+	if err := b.WriteInts([]int32{1}, 0, 1); err == nil {
+		t.Fatal("expected write-after-commit error")
+	}
+}
+
+func TestRangeErrors(t *testing.T) {
+	b := New(0)
+	src := []int32{1, 2, 3}
+	cases := []struct{ off, count int }{
+		{-1, 1}, {0, -1}, {2, 2}, {0, 4},
+	}
+	for _, c := range cases {
+		if err := b.WriteInts(src, c.off, c.count); err == nil {
+			t.Errorf("WriteInts(off=%d,count=%d): expected error", c.off, c.count)
+		}
+	}
+	if err := b.WriteInts(src, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	b.Commit()
+	dst := make([]int32, 2)
+	if _, err := b.ReadInts(dst, 0, 3); err == nil {
+		t.Error("ReadInts beyond dst: expected error")
+	}
+}
+
+func TestReadShortSectionIntoLargerDst(t *testing.T) {
+	b := New(0)
+	if err := b.WriteInts([]int32{7, 8}, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	b.Commit()
+	dst := make([]int32, 10)
+	n, err := b.ReadInts(dst, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || dst[0] != 7 || dst[1] != 8 {
+		t.Fatalf("n=%d dst=%v", n, dst[:3])
+	}
+}
+
+func TestReadSectionTooSmallDst(t *testing.T) {
+	b := New(0)
+	if err := b.WriteInts([]int32{7, 8, 9}, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	b.Commit()
+	dst := make([]int32, 2)
+	if _, err := b.ReadInts(dst, 0, 2); err == nil {
+		t.Fatal("expected error: section larger than destination window")
+	}
+}
+
+func TestPeekSection(t *testing.T) {
+	b := New(0)
+	if err := b.WriteDoubles([]float64{1, 2, 3}, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := b.PeekSection(); ok {
+		t.Fatal("PeekSection should fail before Commit")
+	}
+	b.Commit()
+	typ, n, ok := b.PeekSection()
+	if !ok || typ != DoubleType || n != 3 {
+		t.Fatalf("PeekSection = (%v,%d,%v), want (double,3,true)", typ, n, ok)
+	}
+	// Peek must not consume.
+	dst := make([]float64, 3)
+	if _, err := b.ReadDoubles(dst, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := b.PeekSection(); ok {
+		t.Fatal("PeekSection should report end of buffer")
+	}
+}
+
+func TestObjectsMixedTypes(t *testing.T) {
+	b := New(0)
+	objs := []any{"hello", int64(42), 3.14, []int{1, 2, 3}, map[string]int{"k": 9}}
+	if err := b.WriteObjects(objs, 0, len(objs)); err != nil {
+		t.Fatal(err)
+	}
+	rb := New(0)
+	if err := rb.LoadWire(b.Wire()); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]any, len(objs))
+	if _, err := rb.ReadObjects(got, 0, len(got)); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "hello" || got[1] != int64(42) || got[2] != 3.14 {
+		t.Fatalf("scalars: %v", got[:3])
+	}
+	gi, ok := got[3].([]int)
+	if !ok || len(gi) != 3 || gi[2] != 3 {
+		t.Fatalf("slice: %#v", got[3])
+	}
+	gm, ok := got[4].(map[string]int)
+	if !ok || gm["k"] != 9 {
+		t.Fatalf("map: %#v", got[4])
+	}
+}
+
+func TestClearReuse(t *testing.T) {
+	b := New(16)
+	for round := 0; round < 3; round++ {
+		if err := b.WriteInts([]int32{int32(round)}, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		b.Commit()
+		dst := make([]int32, 1)
+		if _, err := b.ReadInts(dst, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if dst[0] != int32(round) {
+			t.Fatalf("round %d: got %d", round, dst[0])
+		}
+		b.Clear()
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", b.Len())
+	}
+}
+
+func TestLoadWireErrors(t *testing.T) {
+	b := New(0)
+	if err := b.LoadWire([]byte{1, 2, 3}); err == nil {
+		t.Error("short wire: expected error")
+	}
+	// Corrupt length header.
+	good := func() []byte {
+		w := New(0)
+		if err := w.WriteInts([]int32{1}, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		return w.Wire()
+	}()
+	bad := append([]byte{}, good...)
+	bad[3] = 0xff
+	if err := b.LoadWire(bad); err == nil {
+		t.Error("corrupt wire header: expected error")
+	}
+}
+
+func TestSegmentsMatchWire(t *testing.T) {
+	b := New(0)
+	if err := b.WriteDoubles([]float64{1, 2}, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteObjects([]any{"x"}, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	var joined []byte
+	for _, seg := range b.Segments() {
+		joined = append(joined, seg...)
+	}
+	wire := b.Wire()
+	if string(joined) != string(wire) {
+		t.Fatal("Segments concatenation differs from Wire")
+	}
+	if b.WireLen() != len(wire) {
+		t.Fatalf("WireLen = %d, len(Wire) = %d", b.WireLen(), len(wire))
+	}
+}
+
+func TestMultipleSectionsSameType(t *testing.T) {
+	b := New(0)
+	for i := 0; i < 5; i++ {
+		if err := b.WriteInts([]int32{int32(i)}, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Commit()
+	for i := 0; i < 5; i++ {
+		dst := make([]int32, 1)
+		if _, err := b.ReadInts(dst, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if dst[0] != int32(i) {
+			t.Fatalf("section %d: got %d", i, dst[0])
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if DoubleType.String() != "double" || Type(99).String() == "" {
+		t.Fatal("Type.String misbehaves")
+	}
+	if DoubleType.Size() != 8 || ByteType.Size() != 1 || ObjectType.Size() != 0 {
+		t.Fatal("Type.Size misbehaves")
+	}
+}
+
+func BenchmarkPackDoubles(b *testing.B) {
+	src := make([]float64, 1<<16)
+	buf := New(len(src)*8 + 64)
+	b.SetBytes(int64(len(src) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Clear()
+		if err := buf.WriteDoubles(src, 0, len(src)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnpackDoubles(b *testing.B) {
+	src := make([]float64, 1<<16)
+	buf := New(len(src)*8 + 64)
+	if err := buf.WriteDoubles(src, 0, len(src)); err != nil {
+		b.Fatal(err)
+	}
+	wire := buf.Wire()
+	dst := make([]float64, len(src))
+	rb := New(0)
+	b.SetBytes(int64(len(src) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rb.LoadWire(wire); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rb.ReadDoubles(dst, 0, len(dst)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package mpjbuf
+
+import "encoding/gob"
+
+// RegisterObjectType records a concrete type for object-section
+// serialization, the analogue of a Java class being Serializable.
+// Common built-in types are pre-registered; user-defined struct types
+// sent through object sections must be registered once per process.
+func RegisterObjectType(v any) {
+	gob.Register(v)
+}
+
+func init() {
+	for _, v := range []any{
+		int(0), int8(0), int16(0), int32(0), int64(0),
+		uint(0), uint8(0), uint16(0), uint32(0), uint64(0),
+		float32(0), float64(0), complex64(0), complex128(0),
+		false, "",
+		[]int(nil), []int32(nil), []int64(nil),
+		[]float32(nil), []float64(nil), []byte(nil), []string(nil), []bool(nil),
+		map[string]int(nil), map[string]string(nil), map[string]any(nil),
+		[]any(nil),
+	} {
+		gob.Register(v)
+	}
+}

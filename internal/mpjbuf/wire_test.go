@@ -1,0 +1,112 @@
+package mpjbuf
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// errReader fails after delivering a prefix.
+type errReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, r.data[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+func TestLoadWireFromHappyPath(t *testing.T) {
+	w := New(0)
+	if err := w.WriteDoubles([]float64{1, 2, 3}, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteObjects([]any{"x"}, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	wire := w.Wire()
+
+	b := New(0)
+	if err := b.LoadWireFrom(bytes.NewReader(wire), len(wire)); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 3)
+	if _, err := b.ReadDoubles(out, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if out[2] != 3 {
+		t.Fatalf("out = %v", out)
+	}
+	objs := make([]any, 1)
+	if _, err := b.ReadObjects(objs, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if objs[0] != "x" {
+		t.Fatalf("objs = %v", objs)
+	}
+}
+
+func TestLoadWireFromTooShortDeclared(t *testing.T) {
+	b := New(0)
+	if err := b.LoadWireFrom(bytes.NewReader(nil), 4); err == nil {
+		t.Fatal("wireLen below header size accepted")
+	}
+}
+
+func TestLoadWireFromLengthMismatch(t *testing.T) {
+	w := New(0)
+	w.WriteInts([]int32{1}, 0, 1)
+	wire := w.Wire()
+	b := New(0)
+	// Declare one byte more than the header describes.
+	if err := b.LoadWireFrom(bytes.NewReader(append(wire, 0)), len(wire)+1); err == nil {
+		t.Fatal("length mismatch accepted")
+	} else if !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestLoadWireFromTruncatedStream(t *testing.T) {
+	w := New(0)
+	w.WriteDoubles(make([]float64, 100), 0, 100)
+	wire := w.Wire()
+	b := New(0)
+	// Stream dies halfway through the static section.
+	r := &errReader{data: wire[:len(wire)/2]}
+	if err := b.LoadWireFrom(r, len(wire)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestLoadWireFromTruncatedHeader(t *testing.T) {
+	b := New(0)
+	r := &errReader{data: []byte{0, 0, 0}}
+	if err := b.LoadWireFrom(r, 64); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestLoadWireFromReusesCapacity(t *testing.T) {
+	w := New(0)
+	w.WriteInts([]int32{1, 2, 3, 4}, 0, 4)
+	wire := w.Wire()
+	b := New(1024) // pre-sized
+	for round := 0; round < 3; round++ {
+		if err := b.LoadWireFrom(bytes.NewReader(wire), len(wire)); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int32, 4)
+		if _, err := b.ReadInts(out, 0, 4); err != nil {
+			t.Fatal(err)
+		}
+		if out[3] != 4 {
+			t.Fatalf("round %d: %v", round, out)
+		}
+	}
+}

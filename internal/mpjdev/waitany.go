@@ -1,0 +1,233 @@
+package mpjdev
+
+import (
+	"fmt"
+	"sync"
+
+	"mpj/internal/xdev"
+)
+
+// This file implements the multi-threaded Waitany of paper §IV-E.1.
+//
+// A straightforward Waitany polls its request array, starving any
+// computation running in parallel. MPJ Express instead builds Waitany
+// on the device's blocking peek(): each WaitAny object references its
+// Request objects and each Request carries (as its attachment) a
+// reference back to the WaitAny that is waiting on it. WaitAny objects
+// queue per device; the front of the queue is the only caller blocked
+// in peek(). When peek returns the most recently completed request,
+// three scenarios arise, handled exactly as the paper describes:
+//
+//  1. the request belongs to the peeking WaitAny — it returns, first
+//     waking the next queued WaitAny to take over peek duty;
+//  2. the request belongs to another queued WaitAny — that object is
+//     removed from the queue and woken, and the peeker keeps peeking;
+//  3. the request belongs to no WaitAny — it is ignored.
+
+// waitAnyRef is the attachment a Request carries while a WaitAny waits
+// on it: the WaitAny object and the request's index in its array.
+type waitAnyRef struct {
+	w   *waitAny
+	idx int
+}
+
+// waitAny is one blocked Waitany call.
+type waitAny struct {
+	reqs []*Request
+
+	done    chan struct{} // closed on delivery
+	promote chan struct{} // signaled when this object must take over peek
+
+	// Delivery results, written before done is closed.
+	idx int
+	st  Status
+	err error
+
+	delivered bool // guarded by the owning queue's mutex
+}
+
+// waitQueue is the per-device WaitanyQue of the paper.
+type waitQueue struct {
+	mu   sync.Mutex
+	list []*waitAny
+}
+
+var waitQueues = struct {
+	sync.Mutex
+	m map[xdev.Device]*waitQueue
+}{m: make(map[xdev.Device]*waitQueue)}
+
+func queueFor(dev xdev.Device) *waitQueue {
+	waitQueues.Lock()
+	defer waitQueues.Unlock()
+	q := waitQueues.m[dev]
+	if q == nil {
+		q = &waitQueue{}
+		waitQueues.m[dev] = q
+	}
+	return q
+}
+
+// enqueue appends w and reports whether it is now the front (and must
+// take peek duty). If another Waitany's peek already delivered to w —
+// possible between attachment and enqueue — w is not added and
+// alreadyDone reports it, preserving the one-peeker-per-queue
+// invariant.
+func (q *waitQueue) enqueue(w *waitAny) (isPeeker, alreadyDone bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if w.delivered {
+		return false, true
+	}
+	q.list = append(q.list, w)
+	return len(q.list) == 1, false
+}
+
+// deliver marks w complete with the given result, removes it from the
+// queue, and wakes its caller. It reports false if w had already been
+// delivered (stale completion; ignore).
+func (q *waitQueue) deliver(w *waitAny, idx int, st Status, err error) bool {
+	q.mu.Lock()
+	if w.delivered {
+		q.mu.Unlock()
+		return false
+	}
+	w.delivered = true
+	for i, x := range q.list {
+		if x == w {
+			q.list = append(q.list[:i], q.list[i+1:]...)
+			break
+		}
+	}
+	q.mu.Unlock()
+	w.idx, w.st, w.err = idx, st, err
+	close(w.done)
+	return true
+}
+
+// promoteFront signals the current front of the queue to take over peek
+// duty.
+func (q *waitQueue) promoteFront() {
+	q.mu.Lock()
+	var front *waitAny
+	if len(q.list) > 0 {
+		front = q.list[0]
+	}
+	q.mu.Unlock()
+	if front != nil {
+		select {
+		case front.promote <- struct{}{}:
+		default: // already promoted
+		}
+	}
+}
+
+// WaitAny blocks until one of the non-nil requests completes and
+// returns its index and status. Unlike a polling implementation it
+// consumes no CPU while blocked, so computation in other goroutines
+// proceeds at full speed (the property §V-A measures).
+func WaitAny(reqs []*Request) (int, Status, error) {
+	var dev xdev.Device
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		d := r.comm.dev
+		if dev == nil {
+			dev = d
+		} else if dev != d {
+			return -1, Status{}, fmt.Errorf("mpjdev: Waitany requests span devices")
+		}
+	}
+	if dev == nil {
+		return -1, Status{}, ErrNoActiveRequests
+	}
+
+	w := &waitAny{
+		reqs:    reqs,
+		done:    make(chan struct{}),
+		promote: make(chan struct{}, 1),
+	}
+	// Attach before testing so a completion racing with registration
+	// still reaches us through peek.
+	for i, r := range reqs {
+		if r != nil {
+			r.inner.SetAttachment(&waitAnyRef{w: w, idx: i})
+		}
+	}
+	clear := func() {
+		for _, r := range reqs {
+			if r != nil {
+				r.inner.SetAttachment(nil)
+			}
+		}
+	}
+
+	// Fast path: some request already completed (Test also collects it
+	// from the device completion queue).
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		st, ok, err := r.Test()
+		if err != nil {
+			clear()
+			return i, Status{}, err
+		}
+		if ok {
+			clear()
+			return i, st, nil
+		}
+	}
+
+	q := queueFor(dev)
+	isPeeker, alreadyDone := q.enqueue(w)
+	if alreadyDone {
+		// A racing peek delivered our completion before we joined the
+		// queue (the attach-before-test window). The results are
+		// published before done closes, so synchronize on it.
+		<-w.done
+		clear()
+		return w.idx, w.st, w.err
+	}
+
+	for {
+		if !isPeeker {
+			select {
+			case <-w.done:
+				clear()
+				return w.idx, w.st, w.err
+			case <-w.promote:
+				isPeeker = true
+			}
+			continue
+		}
+		// Peek duty (front of the WaitanyQue).
+		xr, err := dev.Peek()
+		if err != nil {
+			// Device shut down: fail ourselves and pass duty on.
+			q.deliver(w, -1, Status{}, err)
+			q.promoteFront()
+			clear()
+			return w.idx, w.st, w.err
+		}
+		ref, ok := xr.Attachment().(*waitAnyRef)
+		if !ok {
+			continue // scenario 3: nobody is waiting on this request
+		}
+		target := ref.w.reqs[ref.idx]
+		xst, _, terr := target.inner.Test()
+		st := target.comm.status(xst)
+		if !q.deliver(ref.w, ref.idx, st, terr) {
+			continue // stale: that WaitAny already returned
+		}
+		if ref.w == w {
+			// Scenario 1: our own request completed; wake the next
+			// WaitAny to take over peeking.
+			q.promoteFront()
+			clear()
+			return w.idx, w.st, w.err
+		}
+		// Scenario 2: keep peeking on behalf of the queue.
+	}
+}

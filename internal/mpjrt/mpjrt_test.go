@@ -1,0 +1,394 @@
+package mpjrt
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpj"
+)
+
+// TestHelperProcess is not a real test: it is the program body that
+// daemon-spawned processes execute (the test binary re-executes
+// itself, selected by MPJRT_HELPER).
+func TestHelperProcess(t *testing.T) {
+	mode := os.Getenv("MPJRT_HELPER")
+	if mode == "" {
+		return
+	}
+	switch mode {
+	case "hello":
+		fmt.Printf("hello from rank %s of %s\n", os.Getenv("MPJ_RANK"), os.Getenv("MPJ_SIZE"))
+		os.Exit(0)
+	case "mpi":
+		p, err := mpj.InitFromEnv()
+		if err != nil {
+			fmt.Println("init error:", err)
+			os.Exit(1)
+		}
+		w := p.World()
+		sum := make([]int64, 1)
+		if err := w.Allreduce([]int64{int64(w.Rank())}, 0, sum, 0, 1, mpj.LONG, mpj.SUM); err != nil {
+			fmt.Println("allreduce error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("rank %d sum %d\n", w.Rank(), sum[0])
+		p.Finalize()
+		os.Exit(0)
+	case "fail":
+		os.Exit(3)
+	case "sleep":
+		time.Sleep(30 * time.Second)
+		os.Exit(0)
+	}
+	os.Exit(2)
+}
+
+func helperJob(np int, daemons []string, mode string, basePort int, out *bytes.Buffer) Job {
+	return Job{
+		NP:       np,
+		Daemons:  daemons,
+		Program:  os.Args[0],
+		Args:     []string{"-test.run=^TestHelperProcess$", "-test.v=false"},
+		Env:      []string{"MPJRT_HELPER=" + mode},
+		BasePort: basePort,
+		Output:   out,
+	}
+}
+
+var portCounter atomic.Int32
+
+func testBasePort() int { return 23000 + int(portCounter.Add(1))*16 }
+
+func startDaemon(t *testing.T) *Daemon {
+	t.Helper()
+	d, err := NewDaemon("127.0.0.1:0", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func TestPing(t *testing.T) {
+	d := startDaemon(t)
+	if err := Ping(d.Addr(), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPingUnreachable(t *testing.T) {
+	if err := Ping("127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Fatal("ping to closed port succeeded")
+	}
+}
+
+func TestRunHelloLocalLoading(t *testing.T) {
+	d := startDaemon(t)
+	var out bytes.Buffer
+	res, err := Run(helperJob(1, []string{d.Addr()}, "hello", testBasePort(), &out))
+	if err != nil {
+		t.Fatalf("run: %v (output: %s)", err, out.String())
+	}
+	if res.Failed() {
+		t.Fatalf("exit codes %v", res.ExitCodes)
+	}
+	if !strings.Contains(out.String(), "hello from rank 0 of 1") {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+func TestRunMultiProcessMPIJob(t *testing.T) {
+	// Three OS processes join over real loopback TCP and allreduce.
+	d := startDaemon(t)
+	var out bytes.Buffer
+	res, err := Run(helperJob(3, []string{d.Addr()}, "mpi", testBasePort(), &out))
+	if err != nil {
+		t.Fatalf("run: %v (output: %s)", err, out.String())
+	}
+	if res.Failed() {
+		t.Fatalf("exit codes %v (output: %s)", res.ExitCodes, out.String())
+	}
+	for rank := 0; rank < 3; rank++ {
+		want := fmt.Sprintf("rank %d sum 3", rank)
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in output:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRemoteLoading(t *testing.T) {
+	// Fig. 9b: the daemon downloads the program over HTTP before
+	// executing it.
+	d := startDaemon(t)
+	var out bytes.Buffer
+	job := helperJob(2, []string{d.Addr()}, "mpi", testBasePort(), &out)
+	job.RemoteLoad = true
+	res, err := Run(job)
+	if err != nil {
+		t.Fatalf("run: %v (output: %s)", err, out.String())
+	}
+	if res.Failed() {
+		t.Fatalf("exit codes %v (output: %s)", res.ExitCodes, out.String())
+	}
+	if !strings.Contains(out.String(), "rank 0 sum 1") {
+		t.Fatalf("output: %q", out.String())
+	}
+}
+
+func TestRunPropagatesExitCode(t *testing.T) {
+	d := startDaemon(t)
+	res, err := Run(helperJob(1, []string{d.Addr()}, "fail", testBasePort(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() || res.ExitCodes[0] != 3 {
+		t.Fatalf("exit codes %v", res.ExitCodes)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	d := startDaemon(t)
+	if _, err := Run(Job{NP: 0, Daemons: []string{d.Addr()}, Program: "x"}); err == nil {
+		t.Error("NP=0 accepted")
+	}
+	if _, err := Run(Job{NP: 1, Program: "x"}); err == nil {
+		t.Error("no daemons accepted")
+	}
+	if _, err := Run(Job{NP: 1, Daemons: []string{d.Addr()}}); err == nil {
+		t.Error("no program accepted")
+	}
+}
+
+func TestRunUnknownDaemon(t *testing.T) {
+	if _, err := Run(Job{
+		NP: 1, Daemons: []string{"127.0.0.1:1"},
+		Program: os.Args[0], BasePort: testBasePort(),
+	}); err == nil {
+		t.Fatal("unreachable daemon accepted")
+	}
+}
+
+func TestRunMissingProgramLocal(t *testing.T) {
+	d := startDaemon(t)
+	_, err := Run(Job{
+		NP: 1, Daemons: []string{d.Addr()},
+		Program: "/does/not/exist", BasePort: testBasePort(),
+	})
+	if err == nil {
+		t.Fatal("nonexistent program accepted")
+	}
+}
+
+func TestDaemonRejectsBadSpec(t *testing.T) {
+	d := startDaemon(t)
+	raw, err := net.Dial("tcp", d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newConn(raw)
+	defer c.close()
+	if err := c.sendRequest(&Request{Kind: "start", Start: &StartSpec{Rank: 5, Size: 2, Addrs: []string{"a", "b"}, Path: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := c.recvEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != "error" {
+		t.Fatalf("event %+v", ev)
+	}
+}
+
+func TestDaemonUnknownRequestKind(t *testing.T) {
+	d := startDaemon(t)
+	raw, err := net.Dial("tcp", d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newConn(raw)
+	defer c.close()
+	if err := c.sendRequest(&Request{Kind: "dance"}); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := c.recvEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != "error" {
+		t.Fatalf("event %+v", ev)
+	}
+}
+
+func TestDaemonCloseKillsProcesses(t *testing.T) {
+	d, err := NewDaemon("127.0.0.1:0", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := net.Dial("tcp", d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newConn(raw)
+	defer c.close()
+	spec := &StartSpec{
+		JobID: "sleepy", Rank: 0, Size: 1, Addrs: []string{"127.0.0.1:1"},
+		Path: os.Args[0], Args: []string{"-test.run=^TestHelperProcess$"},
+		Env: []string{"MPJRT_HELPER=sleep"},
+	}
+	if err := c.sendRequest(&Request{Kind: "start", Start: spec}); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := c.recvEvent()
+	if err != nil || ev.Kind != "started" {
+		t.Fatalf("ev=%+v err=%v", ev, err)
+	}
+	done := make(chan *Event, 1)
+	go func() {
+		for {
+			ev, err := c.recvEvent()
+			if err != nil {
+				done <- nil
+				return
+			}
+			if ev.Kind == "exit" {
+				done <- ev
+				return
+			}
+		}
+	}()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-done:
+		if ev != nil && ev.Code == 0 {
+			t.Fatal("killed process reported success")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon Close did not terminate the child")
+	}
+}
+
+func TestKillJob(t *testing.T) {
+	d := startDaemon(t)
+	raw, err := net.Dial("tcp", d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newConn(raw)
+	defer c.close()
+	spec := &StartSpec{
+		JobID: "killme", Rank: 0, Size: 1, Addrs: []string{"127.0.0.1:1"},
+		Path: os.Args[0], Args: []string{"-test.run=^TestHelperProcess$"},
+		Env: []string{"MPJRT_HELPER=sleep"},
+	}
+	if err := c.sendRequest(&Request{Kind: "start", Start: spec}); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := c.recvEvent(); err != nil || ev.Kind != "started" {
+		t.Fatalf("ev=%+v err=%v", ev, err)
+	}
+	if err := Kill(d.Addr(), "killme"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		evc := make(chan *Event, 1)
+		go func() {
+			ev, err := c.recvEvent()
+			if err != nil {
+				evc <- nil
+				return
+			}
+			evc <- ev
+		}()
+		select {
+		case ev := <-evc:
+			if ev == nil || ev.Kind == "exit" {
+				return // terminated
+			}
+		case <-deadline:
+			t.Fatal("Kill did not terminate the job")
+		}
+	}
+}
+
+func TestStatus(t *testing.T) {
+	d := startDaemon(t)
+	jobs, err := Status(d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("fresh daemon reports jobs: %v", jobs)
+	}
+	// Start a sleeper, observe it, kill it, observe again.
+	raw, err := net.Dial("tcp", d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newConn(raw)
+	defer c.close()
+	spec := &StartSpec{
+		JobID: "statjob", Rank: 0, Size: 1, Addrs: []string{"127.0.0.1:1"},
+		Path: os.Args[0], Args: []string{"-test.run=^TestHelperProcess$"},
+		Env: []string{"MPJRT_HELPER=sleep"},
+	}
+	if err := c.sendRequest(&Request{Kind: "start", Start: spec}); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := c.recvEvent(); err != nil || ev.Kind != "started" {
+		t.Fatalf("ev=%+v err=%v", ev, err)
+	}
+	jobs, err = Status(d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs["statjob"] != 1 {
+		t.Fatalf("status = %v", jobs)
+	}
+	if err := Kill(d.Addr(), "statjob"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		jobs, err = Status(d.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(jobs) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job not cleaned up: %v", jobs)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestRunAcrossTwoDaemons(t *testing.T) {
+	// Two daemons on localhost stand in for two compute nodes; ranks
+	// are assigned round-robin across them.
+	d1 := startDaemon(t)
+	d2 := startDaemon(t)
+	var out bytes.Buffer
+	res, err := Run(helperJob(4, []string{d1.Addr(), d2.Addr()}, "mpi", testBasePort(), &out))
+	if err != nil {
+		t.Fatalf("run: %v (output: %s)", err, out.String())
+	}
+	if res.Failed() {
+		t.Fatalf("exit codes %v (output: %s)", res.ExitCodes, out.String())
+	}
+	for rank := 0; rank < 4; rank++ {
+		want := fmt.Sprintf("rank %d sum 6", rank)
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q:\n%s", want, out.String())
+		}
+	}
+}

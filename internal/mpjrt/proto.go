@@ -1,0 +1,121 @@
+// Package mpjrt is the MPJ Express runtime system (paper §IV-D): a
+// daemon that runs on compute nodes and starts MPJ processes on
+// request, and the mpjrun client that contacts daemons to bootstrap a
+// job. Two program-loading modes mirror Fig. 9:
+//
+//   - local loading — the daemon executes a binary from its own
+//     filesystem (the shared-filesystem scenario);
+//   - remote loading — mpjrun serves the binary over HTTP from the
+//     head node and daemons download it before executing (no shared
+//     filesystem; code changes on the head node take effect
+//     immediately).
+//
+// The Java original starts JVMs and installs daemons with the Java
+// Service Wrapper; here the unit of execution is a Go binary that
+// joins its job with mpj.InitFromEnv, and the daemon is a plain
+// process (cmd/mpjdaemon).
+package mpjrt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+)
+
+// StartSpec asks a daemon to start one MPJ process.
+type StartSpec struct {
+	// JobID identifies the job on the daemon (kill/status handle).
+	JobID string
+	// Rank and Size position the process within its job.
+	Rank int
+	Size int
+	// Addrs is the full rank→listen-address table for the job.
+	Addrs []string
+	// Device is the communication device name (niodev by default).
+	Device string
+	// Path is the program to execute. With FetchURL empty the path is
+	// local to the daemon (local loading); otherwise the daemon
+	// downloads FetchURL to a scratch file and executes that (remote
+	// loading).
+	Path     string
+	FetchURL string
+	// Args are the program arguments.
+	Args []string
+	// Env lists extra KEY=VALUE pairs for the process environment.
+	Env []string
+	// Dir is the working directory ("" = daemon's).
+	Dir string
+}
+
+// Request is the client→daemon envelope.
+type Request struct {
+	// Kind selects the operation: "start", "kill", "ping", "status".
+	Kind string
+	// Start is set for Kind "start".
+	Start *StartSpec
+	// JobID is set for Kind "kill".
+	JobID string
+}
+
+// Event is a daemon→client message. A "start" request yields a
+// "started" (or "error") event, then a stream of "output" events, then
+// one "exit" event.
+type Event struct {
+	// Kind: "started", "output", "exit", "error", "pong", "killed",
+	// "status".
+	Kind string
+	// Rank echoes the process rank.
+	Rank int
+	// Line is one line of combined stdout/stderr for Kind "output".
+	Line string
+	// Code is the exit code for Kind "exit".
+	Code int
+	// Err is the failure description for Kind "error".
+	Err string
+	// Jobs lists job IDs with live processes for Kind "status".
+	Jobs map[string]int
+}
+
+// conn wraps a stream with gob codecs for the protocol.
+type conn struct {
+	raw net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func newConn(raw net.Conn) *conn {
+	return &conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+}
+
+func (c *conn) sendRequest(r *Request) error { return c.enc.Encode(r) }
+func (c *conn) recvRequest() (*Request, error) {
+	var r Request
+	if err := c.dec.Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+func (c *conn) sendEvent(e *Event) error { return c.enc.Encode(e) }
+func (c *conn) recvEvent() (*Event, error) {
+	var e Event
+	if err := c.dec.Decode(&e); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+func (c *conn) close() error { return c.raw.Close() }
+
+func (s *StartSpec) validate() error {
+	if s.Size < 1 || s.Rank < 0 || s.Rank >= s.Size {
+		return fmt.Errorf("mpjrt: bad rank/size %d/%d", s.Rank, s.Size)
+	}
+	if len(s.Addrs) != s.Size {
+		return fmt.Errorf("mpjrt: %d addresses for job size %d", len(s.Addrs), s.Size)
+	}
+	if s.Path == "" && s.FetchURL == "" {
+		return fmt.Errorf("mpjrt: no program path or fetch URL")
+	}
+	return nil
+}

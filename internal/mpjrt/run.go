@@ -1,0 +1,219 @@
+package mpjrt
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Job describes an MPJ job for the mpjrun client module.
+type Job struct {
+	// NP is the number of processes.
+	NP int
+	// Daemons lists daemon addresses; ranks are assigned round-robin.
+	Daemons []string
+	// Program is the path of the binary to run.
+	Program string
+	// Args are program arguments.
+	Args []string
+	// Device selects the communication device (default niodev).
+	Device string
+	// BasePort is the first TCP port used for rank listen addresses;
+	// rank i listens on its node at BasePort+i. Zero picks 20000.
+	BasePort int
+	// RemoteLoad, when true, serves Program over HTTP from this
+	// process so daemons download it (Fig. 9b) instead of loading it
+	// from their local filesystem (Fig. 9a).
+	RemoteLoad bool
+	// Env lists extra KEY=VALUE pairs for every process.
+	Env []string
+	// Output receives interleaved process output lines; nil discards.
+	Output io.Writer
+}
+
+// Result reports a finished job.
+type Result struct {
+	// ExitCodes holds each rank's exit code.
+	ExitCodes []int
+	// JobID is the identifier the job ran under.
+	JobID string
+}
+
+// Failed reports whether any rank exited non-zero.
+func (r *Result) Failed() bool {
+	for _, c := range r.ExitCodes {
+		if c != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+var jobIDCounter struct {
+	sync.Mutex
+	n int
+}
+
+func nextJobID() string {
+	jobIDCounter.Lock()
+	defer jobIDCounter.Unlock()
+	jobIDCounter.n++
+	return fmt.Sprintf("job-%d-%d", os.Getpid(), jobIDCounter.n)
+}
+
+// hostOf extracts the host part of a daemon address.
+func hostOf(addr string) string {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	return host
+}
+
+// serveBinary exposes the program over HTTP for remote loading and
+// returns the fetch URL and a shutdown function.
+func serveBinary(path string) (string, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", nil, err
+	}
+	f.Close()
+	l, err := net.Listen("tcp", ":0")
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/program", func(w http.ResponseWriter, r *http.Request) {
+		http.ServeFile(w, r, path)
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(l)
+	port := l.Addr().(*net.TCPAddr).Port
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "127.0.0.1"
+	}
+	// Prefer loopback when everything is local; hostname may not
+	// resolve in minimal environments.
+	if _, rerr := net.LookupHost(host); rerr != nil {
+		host = "127.0.0.1"
+	}
+	url := fmt.Sprintf("http://%s/program", net.JoinHostPort(host, fmt.Sprint(port)))
+	return url, func() { srv.Close() }, nil
+}
+
+// Run launches the job across its daemons, streams output, and waits
+// for every rank to exit (the mpjrun module of §IV-D).
+func Run(job Job) (*Result, error) {
+	if job.NP < 1 {
+		return nil, fmt.Errorf("mpjrt: job needs at least one process")
+	}
+	if len(job.Daemons) == 0 {
+		return nil, fmt.Errorf("mpjrt: no daemons given")
+	}
+	if job.Program == "" {
+		return nil, fmt.Errorf("mpjrt: no program given")
+	}
+	basePort := job.BasePort
+	if basePort == 0 {
+		basePort = 20000
+	}
+	jobID := nextJobID()
+
+	// Rank i runs via daemon i mod len and listens on that daemon's
+	// host at basePort+i.
+	addrs := make([]string, job.NP)
+	daemonOf := make([]string, job.NP)
+	for i := 0; i < job.NP; i++ {
+		daemonOf[i] = job.Daemons[i%len(job.Daemons)]
+		addrs[i] = net.JoinHostPort(hostOf(daemonOf[i]), fmt.Sprint(basePort+i))
+	}
+
+	fetchURL := ""
+	if job.RemoteLoad {
+		url, shutdown, err := serveBinary(job.Program)
+		if err != nil {
+			return nil, fmt.Errorf("mpjrt: remote loader: %w", err)
+		}
+		defer shutdown()
+		fetchURL = url
+	}
+
+	res := &Result{ExitCodes: make([]int, job.NP), JobID: jobID}
+	errs := make([]error, job.NP)
+	var outMu sync.Mutex
+	var wg sync.WaitGroup
+
+	for rank := 0; rank < job.NP; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			raw, err := net.DialTimeout("tcp", daemonOf[rank], 10*time.Second)
+			if err != nil {
+				errs[rank] = fmt.Errorf("daemon %s: %w", daemonOf[rank], err)
+				return
+			}
+			c := newConn(raw)
+			defer c.close()
+			spec := &StartSpec{
+				JobID: jobID, Rank: rank, Size: job.NP, Addrs: addrs,
+				Device: job.Device, Args: job.Args, Env: job.Env,
+			}
+			if fetchURL != "" {
+				spec.FetchURL = fetchURL
+			} else {
+				spec.Path = job.Program
+			}
+			if err := c.sendRequest(&Request{Kind: "start", Start: spec}); err != nil {
+				errs[rank] = err
+				return
+			}
+			for {
+				ev, err := c.recvEvent()
+				if err != nil {
+					errs[rank] = fmt.Errorf("rank %d: connection lost: %w", rank, err)
+					return
+				}
+				switch ev.Kind {
+				case "started":
+				case "output":
+					if job.Output != nil {
+						outMu.Lock()
+						fmt.Fprintf(job.Output, "[rank %d] %s\n", ev.Rank, ev.Line)
+						outMu.Unlock()
+					}
+				case "exit":
+					res.ExitCodes[rank] = ev.Code
+					return
+				case "error":
+					errs[rank] = fmt.Errorf("rank %d: %s", rank, ev.Err)
+					return
+				default:
+					errs[rank] = fmt.Errorf("rank %d: unexpected event %q", rank, ev.Kind)
+					return
+				}
+			}
+		}(rank)
+	}
+	wg.Wait()
+
+	var failures []string
+	for rank, err := range errs {
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("rank %d: %v", rank, err))
+		}
+	}
+	if len(failures) > 0 {
+		// Make sure stragglers die.
+		for _, d := range job.Daemons {
+			Kill(d, jobID)
+		}
+		return res, fmt.Errorf("mpjrt: %s", strings.Join(failures, "; "))
+	}
+	return res, nil
+}

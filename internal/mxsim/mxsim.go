@@ -1,0 +1,379 @@
+// Package mxsim is a thread-safe, in-process re-implementation of the
+// Myrinet eXpress (MX) user-level communication API that the paper's
+// mxdev device drives through JNI. The real MX library requires Myrinet
+// hardware; this simulation preserves the properties mxdev depends on:
+//
+//   - endpoints opened per process and connected by (group, id), the
+//     analogue of mx_open_endpoint/mx_connect;
+//   - non-blocking sends and receives matched by 64-bit match
+//     information with a receive-side mask (mx_isend/mx_irecv);
+//   - standard and synchronous send modes, with the communication
+//     protocols (eager/rendezvous) implemented *inside* the library,
+//     invisible to the caller — mxdev therefore implements none;
+//   - gather sends: a segment list is transmitted in one operation, so
+//     callers can send a buffer's static and dynamic sections in a
+//     single isend (paper §IV-A.3);
+//   - an unexpected-message queue and a completion queue with a
+//     blocking peek that returns the most recently completed request —
+//     the operation MPJ Express borrows for Waitany (§IV-E.1).
+//
+// All operations are safe for concurrent use from multiple goroutines;
+// MX's thread safety is one of the paper's reasons for choosing it.
+package mxsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mpj/internal/cqueue"
+)
+
+// MatchAll is the receive mask that accepts any match information.
+const MatchAll = ^uint64(0)
+
+// ErrEndpointClosed is returned for operations on a closed endpoint.
+var ErrEndpointClosed = errors.New("mxsim: endpoint closed")
+
+// fabric is the process-global "NIC": a namespace of endpoint groups.
+var fabric = struct {
+	sync.Mutex
+	groups map[string]map[uint32]*Endpoint
+}{groups: make(map[string]map[uint32]*Endpoint)}
+
+// EndpointAddr addresses a connected remote endpoint, the analogue of
+// mx_endpoint_addr_t.
+type EndpointAddr struct {
+	group string
+	id    uint32
+}
+
+// ID returns the endpoint id within its group.
+func (a EndpointAddr) ID() uint32 { return a.id }
+
+// String formats the address for diagnostics.
+func (a EndpointAddr) String() string { return fmt.Sprintf("mx://%s/%d", a.group, a.id) }
+
+// Status reports the outcome of a completed operation.
+type Status struct {
+	// Source is the sending endpoint's id.
+	Source uint32
+	// MatchInfo is the send-side 64-bit match information.
+	MatchInfo uint64
+	// Bytes is the total gathered message length.
+	Bytes int
+}
+
+// Request is an in-flight MX operation (mx_request_t).
+type Request struct {
+	ep      *Endpoint
+	isRecv  bool
+	done    chan struct{}
+	status  Status
+	err     error
+	data    []byte // receive payload, valid once done
+	context any
+	mu      sync.Mutex
+}
+
+// Context returns the opaque context value supplied at post time
+// (the void *context of mx_isend).
+func (r *Request) Context() any { return r.context }
+
+// SetContext replaces the request's context value.
+func (r *Request) SetContext(v any) {
+	r.mu.Lock()
+	r.context = v
+	r.mu.Unlock()
+}
+
+// Data returns the received payload. It is valid only after the request
+// has completed successfully and only for receive requests.
+func (r *Request) Data() []byte { return r.data }
+
+// Wait blocks until the operation completes (mx_wait).
+func (r *Request) Wait() (Status, error) {
+	<-r.done
+	r.ep.cq.Collect(r)
+	return r.status, r.err
+}
+
+// Test reports completion without blocking (mx_test).
+func (r *Request) Test() (Status, bool, error) {
+	select {
+	case <-r.done:
+		r.ep.cq.Collect(r)
+		return r.status, true, r.err
+	default:
+		return Status{}, false, nil
+	}
+}
+
+func (r *Request) complete(st Status, data []byte, err error) {
+	r.status = st
+	r.data = data
+	r.err = err
+	close(r.done)
+	r.ep.cq.Push(r)
+}
+
+// message is an in-flight transmission held in the unexpected queue.
+type message struct {
+	src       uint32
+	matchInfo uint64
+	data      []byte
+	sync      bool
+	sreq      *Request // synchronous sender awaiting match
+}
+
+// postedRecv is a pending receive.
+type postedRecv struct {
+	matchInfo uint64
+	matchMask uint64
+	req       *Request
+}
+
+func (p *postedRecv) matches(m *message) bool {
+	return m.matchInfo&p.matchMask == p.matchInfo&p.matchMask
+}
+
+// Endpoint is an open MX endpoint (mx_endpoint_t).
+type Endpoint struct {
+	group string
+	id    uint32
+
+	mu         sync.Mutex
+	cond       *sync.Cond // arrival of unexpected messages (for probe)
+	posted     []*postedRecv
+	unexpected []*message
+	closed     bool
+
+	cq *cqueue.Queue[*Request]
+}
+
+// OpenEndpoint opens endpoint id within the named group
+// (mx_open_endpoint). Ids must be unique within a group.
+func OpenEndpoint(group string, id uint32) (*Endpoint, error) {
+	ep := &Endpoint{group: group, id: id, cq: cqueue.New[*Request]()}
+	ep.cond = sync.NewCond(&ep.mu)
+	fabric.Lock()
+	defer fabric.Unlock()
+	g := fabric.groups[group]
+	if g == nil {
+		g = make(map[uint32]*Endpoint)
+		fabric.groups[group] = g
+	}
+	if _, dup := g[id]; dup {
+		return nil, fmt.Errorf("mxsim: endpoint %d already open in group %q", id, group)
+	}
+	g[id] = ep
+	return ep, nil
+}
+
+// Addr returns this endpoint's own address.
+func (ep *Endpoint) Addr() EndpointAddr { return EndpointAddr{ep.group, ep.id} }
+
+// Connect resolves a remote endpoint address (mx_connect). It fails if
+// the remote endpoint has not been opened yet.
+func (ep *Endpoint) Connect(id uint32) (EndpointAddr, error) {
+	fabric.Lock()
+	defer fabric.Unlock()
+	g := fabric.groups[ep.group]
+	if g == nil || g[id] == nil {
+		return EndpointAddr{}, fmt.Errorf("mxsim: connect: no endpoint %d in group %q", id, ep.group)
+	}
+	return EndpointAddr{ep.group, id}, nil
+}
+
+// Close shuts the endpoint down, failing outstanding requests
+// (mx_close_endpoint).
+func (ep *Endpoint) Close() error {
+	fabric.Lock()
+	if g := fabric.groups[ep.group]; g != nil && g[ep.id] == ep {
+		delete(g, ep.id)
+		if len(g) == 0 {
+			delete(fabric.groups, ep.group)
+		}
+	}
+	fabric.Unlock()
+
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	posted := ep.posted
+	ep.posted = nil
+	ep.unexpected = nil
+	ep.cond.Broadcast()
+	ep.mu.Unlock()
+
+	for _, p := range posted {
+		p.req.complete(Status{}, nil, ErrEndpointClosed)
+	}
+	ep.cq.Close()
+	return nil
+}
+
+func (ep *Endpoint) resolve(dst EndpointAddr) (*Endpoint, error) {
+	fabric.Lock()
+	defer fabric.Unlock()
+	g := fabric.groups[dst.group]
+	if g == nil || g[dst.id] == nil {
+		return nil, fmt.Errorf("mxsim: send: endpoint %v not open", dst)
+	}
+	return g[dst.id], nil
+}
+
+// gather concatenates a segment list into the message buffer — the
+// simulated DMA. This is the single data copy of the simulated fabric.
+func gather(segments [][]byte) []byte {
+	total := 0
+	for _, s := range segments {
+		total += len(s)
+	}
+	out := make([]byte, 0, total)
+	for _, s := range segments {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// ISend starts a standard-mode send of the gathered segments
+// (mx_isend). The returned request completes as soon as the data has
+// been captured — the library handles protocol internally.
+func (ep *Endpoint) ISend(segments [][]byte, dst EndpointAddr, matchInfo uint64, context any) (*Request, error) {
+	return ep.send(segments, dst, matchInfo, context, false)
+}
+
+// ISsend starts a synchronous-mode send (mx_issend): the request
+// completes only when the receiver has matched the message.
+func (ep *Endpoint) ISsend(segments [][]byte, dst EndpointAddr, matchInfo uint64, context any) (*Request, error) {
+	return ep.send(segments, dst, matchInfo, context, true)
+}
+
+func (ep *Endpoint) send(segments [][]byte, dst EndpointAddr, matchInfo uint64, context any, sync bool) (*Request, error) {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil, ErrEndpointClosed
+	}
+	ep.mu.Unlock()
+
+	rep, err := ep.resolve(dst)
+	if err != nil {
+		return nil, err
+	}
+	sreq := &Request{ep: ep, done: make(chan struct{}), context: context}
+	msg := &message{src: ep.id, matchInfo: matchInfo, data: gather(segments), sync: sync}
+	st := Status{Source: ep.id, MatchInfo: matchInfo, Bytes: len(msg.data)}
+	if sync {
+		msg.sreq = sreq
+	}
+
+	rep.deliver(msg)
+	if !sync {
+		sreq.complete(st, nil, nil)
+	}
+	return sreq, nil
+}
+
+// deliver runs the receiving side's matching, as MX firmware would.
+func (ep *Endpoint) deliver(m *message) {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		if m.sreq != nil {
+			m.sreq.complete(Status{}, nil, fmt.Errorf("mxsim: peer endpoint closed"))
+		}
+		return
+	}
+	for i, p := range ep.posted {
+		if p.matches(m) {
+			ep.posted = append(ep.posted[:i], ep.posted[i+1:]...)
+			ep.mu.Unlock()
+			st := Status{Source: m.src, MatchInfo: m.matchInfo, Bytes: len(m.data)}
+			p.req.complete(st, m.data, nil)
+			if m.sreq != nil {
+				m.sreq.complete(Status{Source: m.src, MatchInfo: m.matchInfo, Bytes: len(m.data)}, nil, nil)
+			}
+			return
+		}
+	}
+	ep.unexpected = append(ep.unexpected, m)
+	ep.cond.Broadcast()
+	ep.mu.Unlock()
+}
+
+// IRecv posts a non-blocking receive for messages whose match
+// information equals matchInfo under matchMask (mx_irecv).
+func (ep *Endpoint) IRecv(matchInfo, matchMask uint64, context any) (*Request, error) {
+	req := &Request{ep: ep, isRecv: true, done: make(chan struct{}), context: context}
+	p := &postedRecv{matchInfo: matchInfo, matchMask: matchMask, req: req}
+
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil, ErrEndpointClosed
+	}
+	for i, m := range ep.unexpected {
+		if p.matches(m) {
+			ep.unexpected = append(ep.unexpected[:i], ep.unexpected[i+1:]...)
+			ep.mu.Unlock()
+			st := Status{Source: m.src, MatchInfo: m.matchInfo, Bytes: len(m.data)}
+			req.complete(st, m.data, nil)
+			if m.sreq != nil {
+				m.sreq.complete(st, nil, nil)
+			}
+			return req, nil
+		}
+	}
+	ep.posted = append(ep.posted, p)
+	ep.mu.Unlock()
+	return req, nil
+}
+
+// IProbe checks for an unexpected message matching matchInfo/matchMask
+// without consuming it (mx_iprobe).
+func (ep *Endpoint) IProbe(matchInfo, matchMask uint64) (Status, bool, error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return Status{}, false, ErrEndpointClosed
+	}
+	for _, m := range ep.unexpected {
+		if m.matchInfo&matchMask == matchInfo&matchMask {
+			return Status{Source: m.src, MatchInfo: m.matchInfo, Bytes: len(m.data)}, true, nil
+		}
+	}
+	return Status{}, false, nil
+}
+
+// Probe blocks until a matching unexpected message is available
+// (mx_probe).
+func (ep *Endpoint) Probe(matchInfo, matchMask uint64) (Status, error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for {
+		if ep.closed {
+			return Status{}, ErrEndpointClosed
+		}
+		for _, m := range ep.unexpected {
+			if m.matchInfo&matchMask == matchInfo&matchMask {
+				return Status{Source: m.src, MatchInfo: m.matchInfo, Bytes: len(m.data)}, nil
+			}
+		}
+		ep.cond.Wait()
+	}
+}
+
+// Peek blocks until some request on this endpoint completes and
+// returns it (mx_peek, the primitive behind Waitany).
+func (ep *Endpoint) Peek() (*Request, error) {
+	r, err := ep.cq.Peek()
+	if err != nil {
+		return nil, ErrEndpointClosed
+	}
+	return r, nil
+}

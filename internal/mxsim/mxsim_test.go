@@ -1,0 +1,349 @@
+package mxsim
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// openPair opens two endpoints in a unique group and connects them.
+func openPair(t *testing.T) (a, b *Endpoint, aAddr, bAddr EndpointAddr) {
+	t.Helper()
+	group := fmt.Sprintf("test-%s-%d", t.Name(), time.Now().UnixNano())
+	var err error
+	a, err = OpenEndpoint(group, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = OpenEndpoint(group, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	aAddr, err = b.Connect(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAddr, err = a.Connect(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b, aAddr, bAddr
+}
+
+func TestSendRecvGatheredSegments(t *testing.T) {
+	a, b, _, bAddr := openPair(t)
+	_ = b
+	seg1 := []byte("static-section|")
+	seg2 := []byte("dynamic-section")
+	sreq, err := a.ISend([][]byte{seg1, seg2}, bAddr, 0x1234, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sreq.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	rreq, err := b.IRecv(0x1234, MatchAll, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := rreq.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]byte{}, seg1...), seg2...)
+	if !bytes.Equal(rreq.Data(), want) {
+		t.Fatalf("data = %q", rreq.Data())
+	}
+	if st.Source != 0 || st.MatchInfo != 0x1234 || st.Bytes != len(want) {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestRecvPostedFirst(t *testing.T) {
+	a, b, _, bAddr := openPair(t)
+	rreq, err := b.IRecv(7, MatchAll, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := rreq.Test(); ok {
+		t.Fatal("recv completed before send")
+	}
+	if _, err := a.ISend([][]byte{[]byte("x")}, bAddr, 7, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := rreq.Wait(); err != nil || st.Bytes != 1 {
+		t.Fatalf("st=%+v err=%v", st, err)
+	}
+}
+
+func TestMatchMask(t *testing.T) {
+	a, b, _, bAddr := openPair(t)
+	// Send with matchInfo whose high 32 bits are 0xAAAA_BBBB.
+	const info = uint64(0xAAAABBBB) << 32
+	if _, err := a.ISend([][]byte{[]byte("m")}, bAddr, info|99, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Receive masking off the low 32 bits: matches any low word.
+	rreq, err := b.IRecv(info, ^uint64(0xFFFFFFFF), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := rreq.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MatchInfo != info|99 {
+		t.Fatalf("matchInfo = %x", st.MatchInfo)
+	}
+	// A non-matching receive must stay pending.
+	r2, err := b.IRecv(uint64(0xDEAD)<<32, ^uint64(0xFFFFFFFF), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := r2.Test(); ok {
+		t.Fatal("mask matched wrong message")
+	}
+}
+
+func TestUnexpectedQueueFIFO(t *testing.T) {
+	a, b, _, bAddr := openPair(t)
+	for i := 0; i < 3; i++ {
+		if _, err := a.ISend([][]byte{{byte(i)}}, bAddr, 5, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		rreq, err := b.IRecv(5, MatchAll, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rreq.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if rreq.Data()[0] != byte(i) {
+			t.Fatalf("message %d carried %d (FIFO violated)", i, rreq.Data()[0])
+		}
+	}
+}
+
+func TestSynchronousSendCompletesOnMatch(t *testing.T) {
+	a, b, _, bAddr := openPair(t)
+	sreq, err := a.ISsend([][]byte{[]byte("s")}, bAddr, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if _, ok, _ := sreq.Test(); ok {
+		t.Fatal("synchronous send completed before match")
+	}
+	if _, err := b.IRecv(3, MatchAll, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sreq.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynchronousSendMatchedByPostedRecv(t *testing.T) {
+	a, b, _, bAddr := openPair(t)
+	rreq, err := b.IRecv(3, MatchAll, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sreq, err := a.ISsend([][]byte{[]byte("s")}, bAddr, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sreq.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rreq.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeAndIProbe(t *testing.T) {
+	a, b, _, bAddr := openPair(t)
+	if _, ok, _ := b.IProbe(9, MatchAll); ok {
+		t.Fatal("iprobe matched on empty queue")
+	}
+	done := make(chan Status, 1)
+	go func() {
+		st, err := b.Probe(9, MatchAll)
+		if err != nil {
+			t.Errorf("probe: %v", err)
+		}
+		done <- st
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if _, err := a.ISend([][]byte{[]byte("pp")}, bAddr, 9, nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case st := <-done:
+		if st.Bytes != 2 {
+			t.Fatalf("probe status %+v", st)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("probe did not unblock")
+	}
+	// The message must still be receivable.
+	rreq, _ := b.IRecv(9, MatchAll, nil)
+	if _, err := rreq.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	a, b, _, bAddr := openPair(t)
+	rreq, err := b.IRecv(1, MatchAll, "my-context")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ISend([][]byte{[]byte("z")}, bAddr, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Peek()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != rreq {
+		t.Fatal("peek returned wrong request")
+	}
+	if got.Context() != "my-context" {
+		t.Fatalf("context = %v", got.Context())
+	}
+}
+
+func TestDuplicateEndpointID(t *testing.T) {
+	group := fmt.Sprintf("dup-%d", time.Now().UnixNano())
+	ep, err := OpenEndpoint(group, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if _, err := OpenEndpoint(group, 0); err == nil {
+		t.Fatal("duplicate endpoint id accepted")
+	}
+}
+
+func TestConnectUnknownEndpoint(t *testing.T) {
+	group := fmt.Sprintf("unk-%d", time.Now().UnixNano())
+	ep, err := OpenEndpoint(group, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if _, err := ep.Connect(42); err == nil {
+		t.Fatal("connect to unopened endpoint succeeded")
+	}
+}
+
+func TestCloseFailsPendingAndUnblocksPeek(t *testing.T) {
+	group := fmt.Sprintf("close-%d", time.Now().UnixNano())
+	ep, err := OpenEndpoint(group, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rreq, err := ep.IRecv(1, MatchAll, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peekDone := make(chan error, 1)
+	go func() {
+		_, err := ep.Peek()
+		peekDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := ep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rreq.Wait(); err == nil {
+		t.Fatal("pending recv survived Close")
+	}
+	e := <-peekDone
+	// Peek may have consumed the failed recv (a completion) or seen the
+	// closed queue; both are acceptable terminations.
+	_ = e
+	if err := ep.Close(); err != nil {
+		t.Fatal("second close errored:", err)
+	}
+	if _, err := ep.IRecv(1, MatchAll, nil); err == nil {
+		t.Fatal("IRecv accepted on closed endpoint")
+	}
+}
+
+func TestConcurrentTraffic(t *testing.T) {
+	a, b, aAddr, bAddr := openPair(t)
+	const goroutines = 8
+	const per = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			info := uint64(g) << 32
+			for i := 0; i < per; i++ {
+				if _, err := a.ISend([][]byte{{byte(i)}}, bAddr, info|uint64(i), nil); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(g)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			info := uint64(g) << 32
+			for i := 0; i < per; i++ {
+				rreq, err := b.IRecv(info|uint64(i), MatchAll, nil)
+				if err != nil {
+					t.Errorf("recv: %v", err)
+					return
+				}
+				if _, err := rreq.Wait(); err != nil {
+					t.Errorf("wait: %v", err)
+					return
+				}
+				if rreq.Data()[0] != byte(i) {
+					t.Errorf("g%d msg %d: data %d", g, i, rreq.Data()[0])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Reverse direction once to ensure bidirectionality.
+	if _, err := b.ISend([][]byte{[]byte("rev")}, aAddr, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	rreq, _ := a.IRecv(1, MatchAll, nil)
+	if _, err := rreq.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMXSendRecv(b *testing.B) {
+	group := fmt.Sprintf("bench-%d", time.Now().UnixNano())
+	s, _ := OpenEndpoint(group, 0)
+	r, _ := OpenEndpoint(group, 1)
+	defer s.Close()
+	defer r.Close()
+	rAddr, _ := s.Connect(1)
+	payload := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ISend([][]byte{payload}, rAddr, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+		rreq, err := r.IRecv(1, MatchAll, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rreq.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package netsim models the network fabrics of the paper's StarBug
+// testbed — Fast Ethernet, Gigabit Ethernet and 2-Gigabit Myrinet — so
+// the evaluation figures can be regenerated without the 2006 hardware.
+//
+// Two facilities are provided:
+//
+//   - Fabric descriptions (latency, bandwidth, achievable efficiency,
+//     NIC-driver polling interval, socket buffer size) that both the
+//     live shaped transport (internal/transport.NewShaped) and the
+//     analytic models (internal/perfmodel) consume; and
+//
+//   - a message-transfer pipeline calculator: a message crosses a
+//     sequence of stages (pack, wire, unpack, ...) in chunks, stages
+//     overlap across chunks like a hardware pipeline, and whole-message
+//     (non-pipelined) stages serialize. This single mechanism produces
+//     the qualitative effects the paper reports: copy costs that are
+//     hidden for small eager messages but exposed for large rendezvous
+//     transfers, and the throughput drop at the protocol switch point.
+package netsim
+
+import "fmt"
+
+// Fabric describes an interconnect as seen by one process pair.
+type Fabric struct {
+	// Name appears in reports ("Fast Ethernet", ...).
+	Name string
+	// LatencyUS is the one-way zero-byte wire latency in microseconds,
+	// including switch traversal.
+	LatencyUS float64
+	// BandwidthMbps is the signalling rate in megabits per second.
+	BandwidthMbps float64
+	// Efficiency is the fraction of BandwidthMbps achievable by a
+	// well-tuned zero-copy stack (protocol headers, interframe gaps).
+	Efficiency float64
+	// PollUS is the NIC driver's polling interval in microseconds; the
+	// paper measured 64 us on StarBug's Intel e1000 driver and it is
+	// the reason for their modified ping-pong technique (§V).
+	PollUS float64
+	// SocketBufBytes is the kernel socket buffer (send and receive);
+	// the paper sets 512 KiB on Gigabit Ethernet.
+	SocketBufBytes int
+	// ChunkBytes is the unit in which data moves through pipeline
+	// stages (an MTU-batch / internal transfer granularity).
+	ChunkBytes int
+}
+
+// String returns the fabric name.
+func (f Fabric) String() string { return f.Name }
+
+// NSPerByte returns the wire occupancy per byte in nanoseconds at the
+// achievable (efficiency-scaled) bandwidth.
+func (f Fabric) NSPerByte() float64 {
+	return 8.0 * 1000.0 / (f.BandwidthMbps * f.Efficiency)
+}
+
+// MaxMbps returns the achievable bandwidth in Mbps.
+func (f Fabric) MaxMbps() float64 { return f.BandwidthMbps * f.Efficiency }
+
+// BytesPerSecond returns the achievable bandwidth in bytes/second.
+func (f Fabric) BytesPerSecond() float64 { return f.MaxMbps() * 1e6 / 8 }
+
+// FastEthernet models StarBug's 100 Mbit/s network (Figs. 10–11).
+func FastEthernet() Fabric {
+	return Fabric{
+		Name:           "Fast Ethernet",
+		LatencyUS:      55,
+		BandwidthMbps:  100,
+		Efficiency:     0.92,
+		PollUS:         64,
+		SocketBufBytes: 64 << 10,
+		ChunkBytes:     8 << 10,
+	}
+}
+
+// GigabitEthernet models StarBug's Intel e1000 network with the paper's
+// 512 KiB socket buffers (Figs. 12–13).
+func GigabitEthernet() Fabric {
+	return Fabric{
+		Name:           "Gigabit Ethernet",
+		LatencyUS:      21,
+		BandwidthMbps:  1000,
+		Efficiency:     0.92,
+		PollUS:         64,
+		SocketBufBytes: 512 << 10,
+		ChunkBytes:     32 << 10,
+	}
+}
+
+// Myrinet2G models the 2 Gbit/s Myrinet with the MX library
+// (Figs. 14–15). MX bypasses the kernel: no driver polling interval.
+func Myrinet2G() Fabric {
+	return Fabric{
+		Name:           "Myrinet 2G",
+		LatencyUS:      2.2,
+		BandwidthMbps:  2000,
+		Efficiency:     0.93,
+		PollUS:         0,
+		SocketBufBytes: 1 << 20,
+		ChunkBytes:     32 << 10,
+	}
+}
+
+// Fabrics returns the three modelled fabrics in paper order.
+func Fabrics() []Fabric {
+	return []Fabric{FastEthernet(), GigabitEthernet(), Myrinet2G()}
+}
+
+// FabricByName resolves a fabric by its short or full name.
+func FabricByName(name string) (Fabric, error) {
+	switch name {
+	case "fast", "fastethernet", "Fast Ethernet":
+		return FastEthernet(), nil
+	case "gige", "gigabit", "Gigabit Ethernet":
+		return GigabitEthernet(), nil
+	case "mx", "myrinet", "Myrinet 2G":
+		return Myrinet2G(), nil
+	}
+	return Fabric{}, fmt.Errorf("netsim: unknown fabric %q", name)
+}
+
+// Stage is one step a message chunk passes through on its way from the
+// sender's user buffer to the receiver's user buffer.
+type Stage struct {
+	// Name identifies the stage in traces ("pack", "wire", ...).
+	Name string
+	// SetupUS is a fixed cost paid once, by the first chunk.
+	SetupUS float64
+	// NSPerByte is the stage's per-byte occupancy.
+	NSPerByte float64
+	// WholeMessage marks a stage that cannot be pipelined: the entire
+	// message must pass through it before the next stage starts (e.g.
+	// mpjbuf packing into a staging buffer before any data is written,
+	// or a JNI copy of the full array before the native send).
+	WholeMessage bool
+}
+
+func (s Stage) chunkUS(bytes int) float64 { return float64(bytes) * s.NSPerByte / 1000.0 }
+
+// PipelineUS returns the time, in microseconds, for a message of the
+// given size to traverse the stages, moving in chunks of chunkBytes.
+// Pipelined stages overlap across chunks (classic pipeline formula:
+// fill time plus bottleneck-dominated steady state); WholeMessage
+// stages act as barriers that drain the pipeline.
+func PipelineUS(stages []Stage, msgBytes, chunkBytes int) float64 {
+	if msgBytes < 0 {
+		msgBytes = 0
+	}
+	if chunkBytes <= 0 {
+		chunkBytes = 8 << 10
+	}
+	total := 0.0
+	// Split the stage list into segments separated by WholeMessage
+	// barriers; each pipelined segment contributes fill + steady-state,
+	// each barrier contributes its full-message time.
+	var segment []Stage
+	flush := func() {
+		if len(segment) == 0 {
+			return
+		}
+		nChunks := (msgBytes + chunkBytes - 1) / chunkBytes
+		if nChunks == 0 {
+			nChunks = 1
+		}
+		lastChunk := msgBytes - (nChunks-1)*chunkBytes
+		if msgBytes == 0 {
+			lastChunk = 0
+		}
+		fill, bottleneck := 0.0, 0.0
+		for _, s := range segment {
+			fill += s.SetupUS + s.chunkUS(min(chunkBytes, max(msgBytes, 0)))
+			if t := s.chunkUS(chunkBytes); t > bottleneck {
+				bottleneck = t
+			}
+		}
+		// Steady state: remaining nChunks-1 chunks each take the
+		// bottleneck stage time; the final (possibly short) chunk is
+		// approximated at its proportional share.
+		if nChunks > 1 {
+			steady := float64(nChunks-2) * bottleneck
+			if steady < 0 {
+				steady = 0
+			}
+			lastFrac := float64(lastChunk) / float64(chunkBytes)
+			total += fill + steady + bottleneck*lastFrac
+		} else {
+			total += fill
+		}
+		segment = segment[:0]
+	}
+	for _, s := range stages {
+		if s.WholeMessage {
+			flush()
+			total += s.SetupUS + s.chunkUS(msgBytes)
+			continue
+		}
+		segment = append(segment, s)
+	}
+	flush()
+	return total
+}

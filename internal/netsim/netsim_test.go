@@ -1,0 +1,198 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFabricDerivedQuantities(t *testing.T) {
+	f := GigabitEthernet()
+	wantNS := 8.0 * 1000.0 / (1000 * 0.92)
+	if math.Abs(f.NSPerByte()-wantNS) > 1e-9 {
+		t.Fatalf("NSPerByte = %v, want %v", f.NSPerByte(), wantNS)
+	}
+	if math.Abs(f.MaxMbps()-920) > 1e-9 {
+		t.Fatalf("MaxMbps = %v, want 920", f.MaxMbps())
+	}
+	if f.BytesPerSecond() <= 0 {
+		t.Fatal("BytesPerSecond must be positive")
+	}
+}
+
+func TestFabricByName(t *testing.T) {
+	for _, name := range []string{"fast", "gige", "mx", "Fast Ethernet", "Gigabit Ethernet", "Myrinet 2G"} {
+		if _, err := FabricByName(name); err != nil {
+			t.Errorf("FabricByName(%q): %v", name, err)
+		}
+	}
+	if _, err := FabricByName("token-ring"); err == nil {
+		t.Error("expected error for unknown fabric")
+	}
+	if len(Fabrics()) != 3 {
+		t.Error("Fabrics() should return the three paper fabrics")
+	}
+}
+
+func TestPipelineSingleStage(t *testing.T) {
+	stages := []Stage{{Name: "wire", SetupUS: 10, NSPerByte: 100}}
+	// 1000 bytes at 100 ns/B = 100 us, + 10 us setup.
+	got := PipelineUS(stages, 1000, 1<<20) // single chunk
+	if math.Abs(got-110) > 1e-6 {
+		t.Fatalf("single stage = %v, want 110", got)
+	}
+}
+
+func TestPipelineZeroBytes(t *testing.T) {
+	stages := []Stage{
+		{Name: "sw", SetupUS: 5},
+		{Name: "wire", SetupUS: 55, NSPerByte: 80},
+	}
+	got := PipelineUS(stages, 0, 8<<10)
+	if math.Abs(got-60) > 1e-6 {
+		t.Fatalf("zero-byte = %v, want 60 (setup only)", got)
+	}
+}
+
+func TestPipelineOverlapHidesFastStages(t *testing.T) {
+	// A fast copy stage pipelined against a slow wire stage should be
+	// almost entirely hidden for large messages.
+	wireOnly := []Stage{{Name: "wire", NSPerByte: 80}}
+	withCopy := []Stage{
+		{Name: "copy", NSPerByte: 2},
+		{Name: "wire", NSPerByte: 80},
+	}
+	const size = 16 << 20
+	t0 := PipelineUS(wireOnly, size, 8<<10)
+	t1 := PipelineUS(withCopy, size, 8<<10)
+	if t1 < t0 {
+		t.Fatalf("adding a stage made it faster: %v < %v", t1, t0)
+	}
+	if (t1-t0)/t0 > 0.01 {
+		t.Fatalf("pipelined copy not hidden: %.2f%% slower", 100*(t1-t0)/t0)
+	}
+}
+
+func TestPipelineWholeMessageStageSerializes(t *testing.T) {
+	// A WholeMessage copy stage must add its full per-byte cost.
+	wireOnly := []Stage{{Name: "wire", NSPerByte: 80}}
+	withPack := []Stage{
+		{Name: "pack", NSPerByte: 2, WholeMessage: true},
+		{Name: "wire", NSPerByte: 80},
+	}
+	const size = 16 << 20
+	t0 := PipelineUS(wireOnly, size, 8<<10)
+	t1 := PipelineUS(withPack, size, 8<<10)
+	wantExtra := float64(size) * 2 / 1000
+	if math.Abs((t1-t0)-wantExtra) > wantExtra*0.05 {
+		t.Fatalf("whole-message stage added %v us, want ~%v us", t1-t0, wantExtra)
+	}
+}
+
+func TestPipelineMonotoneInSize(t *testing.T) {
+	stages := []Stage{
+		{Name: "pack", NSPerByte: 1.5, WholeMessage: true},
+		{Name: "sw", SetupUS: 20},
+		{Name: "wire", SetupUS: 55, NSPerByte: 87},
+		{Name: "unpack", NSPerByte: 1.5, WholeMessage: true},
+	}
+	prev := -1.0
+	for size := 1; size <= 16<<20; size *= 2 {
+		got := PipelineUS(stages, size, 8<<10)
+		if got <= prev {
+			t.Fatalf("PipelineUS not increasing at size %d: %v <= %v", size, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestQuickPipelineNonNegativeAndMonotone(t *testing.T) {
+	f := func(sizeSeed uint32, chunkSeed uint16) bool {
+		size := int(sizeSeed % (1 << 24))
+		chunk := int(chunkSeed%512)*64 + 64
+		stages := []Stage{
+			{Name: "a", SetupUS: 1, NSPerByte: 0.5},
+			{Name: "b", SetupUS: 2, NSPerByte: 3, WholeMessage: true},
+			{Name: "c", NSPerByte: 10},
+		}
+		t1 := PipelineUS(stages, size, chunk)
+		t2 := PipelineUS(stages, size+chunk, chunk)
+		return t1 >= 0 && t2 >= t1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrivalAfterPoll(t *testing.T) {
+	// phase 10, poll 64: ticks at 10, 74, 138, ...
+	cases := []struct{ t, want float64 }{
+		{0, 10}, {10, 10}, {10.1, 74}, {74, 74}, {100, 138},
+	}
+	for _, c := range cases {
+		if got := ArrivalAfterPoll(c.t, 64, 10); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("ArrivalAfterPoll(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if got := ArrivalAfterPoll(33, 0, 0); got != 33 {
+		t.Errorf("zero poll interval must deliver immediately, got %v", got)
+	}
+}
+
+func TestQuickArrivalAfterPollProperties(t *testing.T) {
+	f := func(tRaw, phaseRaw uint32) bool {
+		tm := float64(tRaw%100000) / 10
+		poll := 64.0
+		phase := float64(phaseRaw%640) / 10
+		got := ArrivalAfterPoll(tm, poll, phase)
+		// Delivery is never before arrival and never more than one
+		// polling interval late.
+		return got >= tm-1e-9 && got <= tm+poll+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModifiedPingPongReducesVariance(t *testing.T) {
+	// The paper's point: with a 64 us polling interval, the conventional
+	// ping-pong's half-RTT estimates are phase-locked and far from the
+	// true one-way time; random receiver delays decorrelate the phases.
+	const owUS = 80.0
+	rng := rand.New(rand.NewSource(1))
+
+	// Across many independent runs, the spread of conventional means is
+	// wide; the spread of modified means is narrow and close to truth.
+	spread := func(randomDelay bool) (lo, hi float64) {
+		lo, hi = 1e18, -1e18
+		for run := 0; run < 40; run++ {
+			r := PingPong(owUS, 64, 200, randomDelay, rng)
+			if r.MeanUS < lo {
+				lo = r.MeanUS
+			}
+			if r.MeanUS > hi {
+				hi = r.MeanUS
+			}
+		}
+		return lo, hi
+	}
+	cLo, cHi := spread(false)
+	mLo, mHi := spread(true)
+	if (cHi - cLo) <= (mHi - mLo) {
+		t.Fatalf("modified technique did not reduce run-to-run spread: conventional %v, modified %v",
+			cHi-cLo, mHi-mLo)
+	}
+	// Modified means should sit within ~one polling interval of truth.
+	if mLo < owUS-5 || mHi > owUS+64+5 {
+		t.Fatalf("modified means [%v, %v] out of plausible range around %v", mLo, mHi, owUS)
+	}
+}
+
+func TestPingPongNoPolling(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := PingPong(10, 0, 100, false, rng)
+	if math.Abs(r.MeanUS-10) > 1e-9 || r.StdDevUS > 1e-9 {
+		t.Fatalf("without polling, half-RTT must equal one-way time exactly: %+v", r)
+	}
+}

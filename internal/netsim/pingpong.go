@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// This file models the paper's ping-pong measurement methodology (§V).
+//
+// StarBug's NIC drivers had a 64 microsecond "network latency"
+// attribute — the polling interval at which the driver checks for new
+// messages. A conventional ping-pong locks into a phase relationship
+// with that polling clock, so measured round-trip times are quantized
+// and highly variable between runs. The paper's modified technique
+// inserts a random delay before the receiver replies, decorrelating the
+// benchmark from the polling phase so the mean converges.
+
+// ArrivalAfterPoll returns the time at which a message that finishes
+// arriving at wire-time t (microseconds) is actually delivered to the
+// application, given a driver polling interval pollUS and the driver's
+// polling phase offset (0 <= phase < pollUS). A zero pollUS delivers
+// immediately (kernel-bypass fabrics such as MX).
+func ArrivalAfterPoll(t, pollUS, phase float64) float64 {
+	if pollUS <= 0 {
+		return t
+	}
+	// Next poll tick at or after t, on the grid {phase + k*pollUS}.
+	k := (t - phase) / pollUS
+	ki := float64(int(k))
+	if ki < k {
+		ki++
+	}
+	tick := phase + ki*pollUS
+	if tick < t {
+		tick += pollUS
+	}
+	return tick
+}
+
+// PingPongResult summarizes repeated ping-pong measurements.
+type PingPongResult struct {
+	MeanUS   float64
+	MinUS    float64
+	MaxUS    float64
+	StdDevUS float64
+}
+
+// PingPong simulates reps round trips for a message whose one-way
+// transfer time is owUS microseconds, over a driver with the given
+// polling interval. If randomDelay is true, random delays
+// (0..4*pollUS) are inserted before each ping and before each reply —
+// the paper's modified technique, which decorrelates both hops from
+// the drivers' polling phases; the inserted delays are excluded from
+// the measurement. Otherwise both sides respond immediately and the
+// measurement locks into the polling phase. rng must not be nil.
+func PingPong(owUS, pollUS float64, reps int, randomDelay bool, rng *rand.Rand) PingPongResult {
+	if reps <= 0 {
+		reps = 1
+	}
+	phaseA := rng.Float64() * maxf(pollUS, 1)
+	phaseB := rng.Float64() * maxf(pollUS, 1)
+	var res PingPongResult
+	res.MinUS = 1e18
+	sum, sumsq := 0.0, 0.0
+	now := rng.Float64() * maxf(pollUS, 1) // arbitrary start phase
+	for i := 0; i < reps; i++ {
+		if randomDelay {
+			// Desynchronize the ping from A's own poll-locked clock.
+			now += rng.Float64() * 4 * maxf(pollUS, 1)
+		}
+		start := now
+		// Ping: A -> B, delivered at B's next poll.
+		arriveB := ArrivalAfterPoll(now+owUS, pollUS, phaseB)
+		replyAt := arriveB
+		if randomDelay {
+			replyAt += rng.Float64() * 4 * maxf(pollUS, 1)
+		}
+		// Pong: B -> A.
+		arriveA := ArrivalAfterPoll(replyAt+owUS, pollUS, phaseA)
+		rtt := arriveA - start
+		if randomDelay {
+			rtt -= replyAt - arriveB // subtract the known inserted delay
+		}
+		half := rtt / 2
+		sum += half
+		sumsq += half * half
+		if half < res.MinUS {
+			res.MinUS = half
+		}
+		if half > res.MaxUS {
+			res.MaxUS = half
+		}
+		now = arriveA
+	}
+	n := float64(reps)
+	res.MeanUS = sum / n
+	v := sumsq/n - res.MeanUS*res.MeanUS
+	if v < 0 {
+		v = 0
+	}
+	res.StdDevUS = math.Sqrt(v)
+	return res
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,123 @@
+package niodev
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mpj/internal/devtest"
+	"mpj/internal/transport"
+	"mpj/internal/xdev"
+)
+
+var jobCounter atomic.Int64
+
+// conformanceRunner adapts the shared device conformance suite.
+func conformanceRunner(tr func() xdev.Transport) devtest.JobRunner {
+	return func(t *testing.T, n int, fn func(d xdev.Device, rank int, pids []xdev.ProcessID)) {
+		t.Helper()
+		dialer := tr()
+		job := jobCounter.Add(1)
+		addrs := make([]string, n)
+		for i := range addrs {
+			addrs[i] = fmt.Sprintf("conf-%d-rank-%d", job, i)
+		}
+		devs := make([]*Device, n)
+		pidLists := make([][]xdev.ProcessID, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			devs[i] = New()
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				pidLists[rank], errs[rank] = devs[rank].Init(xdev.Config{
+					Rank: rank, Size: n, Addrs: addrs, Dialer: dialer,
+				})
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("rank %d init: %v", i, err)
+			}
+		}
+		defer func() {
+			for _, d := range devs {
+				d.Finish()
+			}
+		}()
+		var jobWG sync.WaitGroup
+		for i := 0; i < n; i++ {
+			jobWG.Add(1)
+			go func(rank int) {
+				defer jobWG.Done()
+				fn(devs[rank], rank, pidLists[rank])
+			}(i)
+		}
+		jobWG.Wait()
+	}
+}
+
+func TestConformanceInProc(t *testing.T) {
+	devtest.RunConformance(t,
+		conformanceRunner(func() xdev.Transport { return transport.NewInProc(0) }),
+		devtest.Options{HasPeek: true})
+}
+
+// TestConformanceTCP runs the same suite over real loopback sockets —
+// the transport multi-process jobs use.
+func TestConformanceTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback TCP suite skipped in -short mode")
+	}
+	devtest.RunConformance(t, func(t *testing.T, n int, fn func(d xdev.Device, rank int, pids []xdev.ProcessID)) {
+		t.Helper()
+		// Reserve ports by listening on :0 first, then closing;
+		// niodev's dial retry tolerates the small race.
+		addrs := make([]string, n)
+		for i := range addrs {
+			l, err := transport.TCP{}.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Skipf("loopback unavailable: %v", err)
+			}
+			addrs[i] = l.Addr().String()
+			l.Close()
+		}
+		devs := make([]*Device, n)
+		pidLists := make([][]xdev.ProcessID, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			devs[i] = New()
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				pidLists[rank], errs[rank] = devs[rank].Init(xdev.Config{
+					Rank: rank, Size: n, Addrs: addrs, Dialer: transport.TCP{},
+				})
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("rank %d init: %v", i, err)
+			}
+		}
+		defer func() {
+			for _, d := range devs {
+				d.Finish()
+			}
+		}()
+		var jobWG sync.WaitGroup
+		for i := 0; i < n; i++ {
+			jobWG.Add(1)
+			go func(rank int) {
+				defer jobWG.Done()
+				fn(devs[rank], rank, pidLists[rank])
+			}(i)
+		}
+		jobWG.Wait()
+	}, devtest.Options{HasPeek: true, LargeN: 60_000})
+}

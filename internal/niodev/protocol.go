@@ -1,0 +1,526 @@
+package niodev
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"mpj/internal/match"
+	"mpj/internal/mpjbuf"
+	"mpj/internal/xdev"
+)
+
+// Wire message types.
+const (
+	msgEager     = 1 // standard-mode eager data
+	msgEagerSync = 2 // synchronous-mode eager data; receiver ACKs on match
+	msgRTS       = 3 // rendezvous READY_TO_SEND
+	msgRTR       = 4 // rendezvous READY_TO_RECV
+	msgRndvData  = 5 // rendezvous payload
+	msgAck       = 6 // eager-sync matched acknowledgement
+)
+
+// headerLen is the fixed wire header:
+// type(1) pad(3) src(4) tag(4) ctx(4) seq(8) wireLen(8).
+const headerLen = 32
+
+const helloMagic = 0x4d504a45 // "MPJE"
+
+type header struct {
+	typ     uint8
+	src     uint32
+	tag     int32
+	ctx     int32
+	seq     uint64
+	wireLen uint64
+}
+
+func (h header) encode(dst []byte) {
+	dst[0] = h.typ
+	dst[1], dst[2], dst[3] = 0, 0, 0
+	binary.BigEndian.PutUint32(dst[4:8], h.src)
+	binary.BigEndian.PutUint32(dst[8:12], uint32(h.tag))
+	binary.BigEndian.PutUint32(dst[12:16], uint32(h.ctx))
+	binary.BigEndian.PutUint64(dst[16:24], h.seq)
+	binary.BigEndian.PutUint64(dst[24:32], h.wireLen)
+}
+
+func decodeHeader(src []byte) header {
+	return header{
+		typ:     src[0],
+		src:     binary.BigEndian.Uint32(src[4:8]),
+		tag:     int32(binary.BigEndian.Uint32(src[8:12])),
+		ctx:     int32(binary.BigEndian.Uint32(src[12:16])),
+		seq:     binary.BigEndian.Uint64(src[16:24]),
+		wireLen: binary.BigEndian.Uint64(src[24:32]),
+	}
+}
+
+func writeHello(c net.Conn, slot uint32) error {
+	var b [8]byte
+	binary.BigEndian.PutUint32(b[0:4], helloMagic)
+	binary.BigEndian.PutUint32(b[4:8], slot)
+	_, err := c.Write(b[:])
+	return err
+}
+
+func readHello(c net.Conn) (uint32, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(c, b[:]); err != nil {
+		return 0, err
+	}
+	if binary.BigEndian.Uint32(b[0:4]) != helloMagic {
+		return 0, fmt.Errorf("niodev: bad hello magic")
+	}
+	return binary.BigEndian.Uint32(b[4:8]), nil
+}
+
+// arrival is an unexpected (not-yet-matched) message recorded in the
+// arrived set: either a fully buffered eager payload or a rendezvous
+// READY_TO_SEND envelope.
+type arrival struct {
+	src     uint32
+	tag     int32
+	ctx     int32
+	seq     uint64
+	wireLen int
+	sync    bool
+	rndv    bool     // true: RTS envelope, data not here yet
+	data    []byte   // eager payload (wire form)
+	syncReq *request // self-delivery synchronous sender awaiting match
+}
+
+// writeMsg writes a header and optional payload segments to dst's write
+// channel under the per-destination lock (the paper's "lock dest
+// channel / send / unlock").
+func (d *Device) writeMsg(slot int, h header, segments [][]byte) error {
+	bufs := make(net.Buffers, 0, 1+len(segments))
+	hdr := make([]byte, headerLen)
+	h.encode(hdr)
+	bufs = append(bufs, hdr)
+	bufs = append(bufs, segments...)
+
+	d.wmu[slot].Lock()
+	defer d.wmu[slot].Unlock()
+	conn := d.wconn[slot]
+	if conn == nil {
+		return xdev.Errf(DeviceName, "write", "no channel to slot %d", slot)
+	}
+	_, err := bufs.WriteTo(conn)
+	return err
+}
+
+// isend implements the four send modes. sync selects synchronous
+// completion semantics (Ssend/ISsend).
+func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int, sync bool) (*request, error) {
+	if d.closed.Load() {
+		return nil, xdev.Errf(DeviceName, "isend", "device closed")
+	}
+	slot, err := d.slotOf(dst)
+	if err != nil {
+		return nil, err
+	}
+	req := d.newRequest(sendReq, buf)
+	wireLen := buf.WireLen()
+
+	if slot == d.cfg.Rank {
+		d.deliverSelf(buf, tag, context, sync, req)
+		return req, nil
+	}
+
+	if wireLen <= d.eagerLimit {
+		// Eager protocol (paper Fig. 3): write the data immediately and
+		// return a non-pending request — unless synchronous, in which
+		// case completion waits for the receiver's match ACK.
+		typ := uint8(msgEager)
+		var seq uint64
+		if sync {
+			typ = msgEagerSync
+			seq = d.seq.Add(1)
+			d.smu.Lock()
+			d.pendingSync[seq] = req
+			d.smu.Unlock()
+		}
+		d.stats.eagerSent.Add(1)
+		d.stats.bytesSent.Add(uint64(wireLen))
+		h := header{typ: typ, src: uint32(d.cfg.Rank), tag: int32(tag), ctx: int32(context), seq: seq, wireLen: uint64(wireLen)}
+		if err := d.writeMsg(slot, h, buf.Segments()); err != nil {
+			if sync {
+				d.smu.Lock()
+				delete(d.pendingSync, seq)
+				d.smu.Unlock()
+			}
+			return nil, &xdev.Error{Dev: DeviceName, Op: "eager send", Err: err}
+		}
+		if !sync {
+			req.complete(xdev.Status{Source: d.self, Tag: tag, Bytes: wireLen}, nil)
+		}
+		return req, nil
+	}
+
+	// Rendezvous protocol (paper Fig. 6): register the pending send,
+	// then announce with READY_TO_SEND. The send-communication-sets
+	// lock and the destination channel lock are taken one after the
+	// other, never nested, so sends to other destinations don't block.
+	d.stats.rndvSent.Add(1)
+	d.stats.bytesSent.Add(uint64(wireLen))
+	seq := d.seq.Add(1)
+	req.sendTag, req.sendCtx = int32(tag), int32(context)
+	d.smu.Lock()
+	d.pendingRndv[seq] = req
+	d.smu.Unlock()
+	h := header{typ: msgRTS, src: uint32(d.cfg.Rank), tag: int32(tag), ctx: int32(context), seq: seq, wireLen: uint64(wireLen)}
+	if err := d.writeMsg(slot, h, nil); err != nil {
+		d.smu.Lock()
+		delete(d.pendingRndv, seq)
+		d.smu.Unlock()
+		return nil, &xdev.Error{Dev: DeviceName, Op: "rendezvous RTS", Err: err}
+	}
+	return req, nil
+}
+
+// ISend starts a standard-mode non-blocking send.
+func (d *Device) ISend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int) (xdev.Request, error) {
+	return d.isend(buf, dst, tag, context, false)
+}
+
+// Send is the blocking standard-mode send.
+func (d *Device) Send(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int) error {
+	r, err := d.isend(buf, dst, tag, context, false)
+	if err != nil {
+		return err
+	}
+	_, err = r.Wait()
+	return err
+}
+
+// ISsend starts a synchronous-mode non-blocking send.
+func (d *Device) ISsend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int) (xdev.Request, error) {
+	return d.isend(buf, dst, tag, context, true)
+}
+
+// Ssend is the blocking synchronous-mode send.
+func (d *Device) Ssend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int) error {
+	r, err := d.isend(buf, dst, tag, context, true)
+	if err != nil {
+		return err
+	}
+	_, err = r.Wait()
+	return err
+}
+
+// deliverSelf routes a send whose destination is this process through
+// the matching engine without touching the network.
+func (d *Device) deliverSelf(buf *mpjbuf.Buffer, tag, context int, sync bool, sreq *request) {
+	env := match.Concrete{Ctx: int32(context), Tag: int32(tag), Src: uint64(d.cfg.Rank)}
+	st := xdev.Status{Source: d.self, Tag: tag, Bytes: buf.WireLen()}
+	d.stats.eagerSent.Add(1)
+	d.stats.bytesSent.Add(uint64(buf.WireLen()))
+
+	d.rmu.Lock()
+	if rreq, ok := d.posted.Match(env); ok {
+		d.rmu.Unlock()
+		err := rreq.buf.LoadWire(buf.Wire())
+		rreq.complete(st, err)
+		sreq.complete(st, nil)
+		return
+	}
+	arr := &arrival{
+		src: uint32(d.cfg.Rank), tag: int32(tag), ctx: int32(context),
+		wireLen: buf.WireLen(), data: buf.Wire(),
+	}
+	if sync {
+		arr.syncReq = sreq
+	}
+	d.arrived.Add(env, arr)
+	d.rcond.Broadcast()
+	d.rmu.Unlock()
+	if !sync {
+		sreq.complete(st, nil)
+	}
+}
+
+func (d *Device) pattern(src xdev.ProcessID, tag, context int) (match.Pattern, error) {
+	p := match.Pattern{Ctx: int32(context)}
+	if tag == xdev.AnyTag {
+		p.Tag = match.AnyTag
+	} else {
+		p.Tag = int32(tag)
+	}
+	if src.IsAnySource() {
+		p.Src = match.AnySource
+	} else {
+		slot, err := d.slotOf(src)
+		if err != nil {
+			return p, err
+		}
+		p.Src = uint64(slot)
+	}
+	return p, nil
+}
+
+// IRecv posts a non-blocking receive (paper Figs. 4 and 7). If an
+// unexpected message already matches, it is consumed immediately;
+// otherwise the request joins the pending-recv-request-set.
+func (d *Device) IRecv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int) (xdev.Request, error) {
+	if d.closed.Load() {
+		return nil, xdev.Errf(DeviceName, "irecv", "device closed")
+	}
+	p, err := d.pattern(src, tag, context)
+	if err != nil {
+		return nil, err
+	}
+	req := d.newRequest(recvReq, buf)
+
+	d.rmu.Lock()
+	arr, ok := d.arrived.Match(p)
+	if !ok {
+		d.posted.Add(p, req)
+		d.rmu.Unlock()
+		return req, nil
+	}
+	if arr.rndv {
+		// Rendezvous announced but unmatched until now: the user thread
+		// (not the input handler) sends READY_TO_RECV, per Fig. 7.
+		d.rndvIncoming[rndvKey{arr.src, arr.seq}] = req
+		d.rmu.Unlock()
+		h := header{typ: msgRTR, src: uint32(d.cfg.Rank), seq: arr.seq}
+		if err := d.writeMsg(int(arr.src), h, nil); err != nil {
+			d.rmu.Lock()
+			delete(d.rndvIncoming, rndvKey{arr.src, arr.seq})
+			d.rmu.Unlock()
+			return nil, &xdev.Error{Dev: DeviceName, Op: "rendezvous RTR", Err: err}
+		}
+		return req, nil
+	}
+	d.rmu.Unlock()
+
+	// Buffered eager message: copy from the device-level input buffer
+	// into the user buffer (Fig. 4).
+	st := xdev.Status{Source: d.pids[arr.src], Tag: int(arr.tag), Bytes: arr.wireLen}
+	loadErr := buf.LoadWire(arr.data)
+	switch {
+	case arr.syncReq != nil:
+		arr.syncReq.complete(st, nil) // self synchronous sender
+	case arr.sync:
+		h := header{typ: msgAck, src: uint32(d.cfg.Rank), seq: arr.seq}
+		if err := d.writeMsg(int(arr.src), h, nil); err != nil {
+			req.complete(st, err)
+			return req, nil
+		}
+	}
+	req.complete(st, loadErr)
+	return req, nil
+}
+
+// Recv blocks until a matching message has been received.
+func (d *Device) Recv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int) (xdev.Status, error) {
+	r, err := d.IRecv(buf, src, tag, context)
+	if err != nil {
+		return xdev.Status{}, err
+	}
+	return r.Wait()
+}
+
+// IProbe checks for a matching available message without receiving it.
+func (d *Device) IProbe(src xdev.ProcessID, tag, context int) (xdev.Status, bool, error) {
+	p, err := d.pattern(src, tag, context)
+	if err != nil {
+		return xdev.Status{}, false, err
+	}
+	d.rmu.Lock()
+	defer d.rmu.Unlock()
+	arr, ok := d.arrived.Peek(p)
+	if !ok {
+		return xdev.Status{}, false, nil
+	}
+	return xdev.Status{Source: d.pids[arr.src], Tag: int(arr.tag), Bytes: arr.wireLen}, true, nil
+}
+
+// Probe blocks until a matching message is available.
+func (d *Device) Probe(src xdev.ProcessID, tag, context int) (xdev.Status, error) {
+	p, err := d.pattern(src, tag, context)
+	if err != nil {
+		return xdev.Status{}, err
+	}
+	d.rmu.Lock()
+	defer d.rmu.Unlock()
+	for {
+		if arr, ok := d.arrived.Peek(p); ok {
+			return xdev.Status{Source: d.pids[arr.src], Tag: int(arr.tag), Bytes: arr.wireLen}, nil
+		}
+		if d.closed.Load() {
+			return xdev.Status{}, xdev.Errf(DeviceName, "probe", "device closed")
+		}
+		d.rcond.Wait()
+	}
+}
+
+// inputHandler is the progress engine for one inbound connection (read
+// channel) from peer slot src. It mirrors the paper's input-handler
+// pseudocode (Figs. 5 and 8): it must never block on anything except
+// reading its own channel, so rendezvous data sends are forked onto
+// their own goroutines.
+func (d *Device) inputHandler(conn net.Conn, src uint32) {
+	defer conn.Close()
+	hdr := make([]byte, headerLen)
+	for {
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return // connection closed (Finish or peer exit)
+		}
+		h := decodeHeader(hdr)
+		switch h.typ {
+		case msgEager, msgEagerSync:
+			if err := d.handleEager(conn, h); err != nil {
+				return
+			}
+		case msgRTS:
+			d.handleRTS(h)
+		case msgRTR:
+			d.handleRTR(h)
+		case msgRndvData:
+			if err := d.handleRndvData(conn, h); err != nil {
+				return
+			}
+		case msgAck:
+			d.handleAck(h)
+		default:
+			return // protocol error: drop the connection
+		}
+	}
+}
+
+func (d *Device) handleEager(conn net.Conn, h header) error {
+	env := match.Concrete{Ctx: h.ctx, Tag: h.tag, Src: uint64(h.src)}
+	st := xdev.Status{Source: d.pids[h.src], Tag: int(h.tag), Bytes: int(h.wireLen)}
+
+	d.rmu.Lock()
+	req, ok := d.posted.Match(env)
+	if ok {
+		d.rmu.Unlock()
+		d.stats.matched.Add(1)
+		// Matched: receive directly into the user buffer (Fig. 5).
+		err := req.buf.LoadWireFrom(conn, int(h.wireLen))
+		if h.typ == msgEagerSync {
+			ackErr := d.writeMsg(int(h.src), header{typ: msgAck, src: uint32(d.cfg.Rank), seq: h.seq}, nil)
+			if err == nil {
+				err = ackErr
+			}
+		}
+		req.complete(st, err)
+		if err != nil {
+			return err
+		}
+		return nil
+	}
+	// Unmatched: receive into a device input buffer (the eager
+	// protocol's unlimited-device-memory assumption). The lock is not
+	// held across the network read — other connections' matching must
+	// proceed while this payload drains — so the match is retried
+	// afterwards in case a receive was posted meanwhile.
+	d.rmu.Unlock()
+	data := make([]byte, h.wireLen)
+	if _, err := io.ReadFull(conn, data); err != nil {
+		return err
+	}
+	d.rmu.Lock()
+	if req, ok := d.posted.Match(env); ok {
+		d.rmu.Unlock()
+		d.stats.matched.Add(1)
+		err := req.buf.LoadWire(data)
+		if h.typ == msgEagerSync {
+			ackErr := d.writeMsg(int(h.src), header{typ: msgAck, src: uint32(d.cfg.Rank), seq: h.seq}, nil)
+			if err == nil {
+				err = ackErr
+			}
+		}
+		req.complete(st, err)
+		return nil
+	}
+	d.stats.unexpected.Add(1)
+	d.arrived.Add(env, &arrival{
+		src: h.src, tag: h.tag, ctx: h.ctx, seq: h.seq,
+		wireLen: int(h.wireLen), sync: h.typ == msgEagerSync, data: data,
+	})
+	d.rcond.Broadcast()
+	d.rmu.Unlock()
+	return nil
+}
+
+func (d *Device) handleRTS(h header) {
+	env := match.Concrete{Ctx: h.ctx, Tag: h.tag, Src: uint64(h.src)}
+	d.rmu.Lock()
+	req, ok := d.posted.Match(env)
+	if ok {
+		d.stats.matched.Add(1)
+		d.rndvIncoming[rndvKey{h.src, h.seq}] = req
+		d.rmu.Unlock()
+		// Matched: the input handler answers READY_TO_RECV (Fig. 8).
+		if err := d.writeMsg(int(h.src), header{typ: msgRTR, src: uint32(d.cfg.Rank), seq: h.seq}, nil); err != nil {
+			d.rmu.Lock()
+			delete(d.rndvIncoming, rndvKey{h.src, h.seq})
+			d.rmu.Unlock()
+			req.complete(xdev.Status{}, err)
+		}
+		return
+	}
+	d.stats.unexpected.Add(1)
+	d.arrived.Add(env, &arrival{
+		src: h.src, tag: h.tag, ctx: h.ctx, seq: h.seq,
+		wireLen: int(h.wireLen), rndv: true,
+	})
+	d.rcond.Broadcast()
+	d.rmu.Unlock()
+}
+
+func (d *Device) handleRTR(h header) {
+	d.smu.Lock()
+	req := d.pendingRndv[h.seq]
+	delete(d.pendingRndv, h.seq)
+	d.smu.Unlock()
+	if req == nil {
+		return // duplicate or raced with Finish
+	}
+	// Fork a rendezvous writer so the input handler never blocks on a
+	// bulk write — otherwise two processes simultaneously sending large
+	// messages to each other could deadlock (paper §IV-A.2).
+	dst := int(h.src)
+	d.handlerWG.Add(1)
+	go func() {
+		defer d.handlerWG.Done()
+		wireLen := req.buf.WireLen()
+		dh := header{
+			typ: msgRndvData, src: uint32(d.cfg.Rank),
+			tag: req.sendTag, ctx: req.sendCtx,
+			seq: h.seq, wireLen: uint64(wireLen),
+		}
+		err := d.writeMsg(dst, dh, req.buf.Segments())
+		req.complete(xdev.Status{Source: d.self, Bytes: wireLen}, err)
+	}()
+}
+
+func (d *Device) handleRndvData(conn net.Conn, h header) error {
+	d.rmu.Lock()
+	req := d.rndvIncoming[rndvKey{h.src, h.seq}]
+	delete(d.rndvIncoming, rndvKey{h.src, h.seq})
+	d.rmu.Unlock()
+	if req == nil {
+		// Protocol violation: data for an unknown rendezvous.
+		return fmt.Errorf("niodev: rendezvous data for unknown seq %d from slot %d", h.seq, h.src)
+	}
+	err := req.buf.LoadWireFrom(conn, int(h.wireLen))
+	req.complete(xdev.Status{Source: d.pids[h.src], Tag: int(h.tag), Bytes: int(h.wireLen)}, err)
+	return err
+}
+
+func (d *Device) handleAck(h header) {
+	d.smu.Lock()
+	req := d.pendingSync[h.seq]
+	delete(d.pendingSync, h.seq)
+	d.smu.Unlock()
+	if req == nil {
+		return
+	}
+	req.complete(xdev.Status{Source: d.self, Bytes: req.buf.WireLen()}, nil)
+}

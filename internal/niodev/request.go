@@ -1,0 +1,96 @@
+package niodev
+
+import (
+	"errors"
+	"sync"
+
+	"mpj/internal/mpjbuf"
+	"mpj/internal/xdev"
+)
+
+// ErrDeviceClosed is returned by operations outstanding when the device
+// is finished.
+var ErrDeviceClosed = errors.New("niodev: device closed")
+
+type reqKind uint8
+
+const (
+	sendReq reqKind = iota
+	recvReq
+)
+
+// request implements xdev.Request. A request is completed exactly once;
+// completion places it on the device's completion queue where it stays
+// until collected by Wait, Test or Peek (the Myrinet eXpress
+// completion-queue discipline that makes peek() possible).
+type request struct {
+	dev  *Device
+	kind reqKind
+	buf  *mpjbuf.Buffer
+	// sendTag and sendCtx label a rendezvous send so the data header
+	// can repeat the envelope for the receiver's status.
+	sendTag int32
+	sendCtx int32
+
+	mu         sync.Mutex
+	attachment any
+
+	done   chan struct{}
+	status xdev.Status
+	err    error
+}
+
+func (d *Device) newRequest(kind reqKind, buf *mpjbuf.Buffer) *request {
+	return &request{dev: d, kind: kind, buf: buf, done: make(chan struct{})}
+}
+
+// complete records the outcome and publishes the request to the
+// completion queue. It is safe to call at most once.
+func (r *request) complete(st xdev.Status, err error) {
+	r.status = st
+	r.err = err
+	close(r.done)
+	r.dev.completions.Push(r)
+}
+
+// Wait blocks until the request completes.
+func (r *request) Wait() (xdev.Status, error) {
+	<-r.done
+	r.dev.completions.Collect(r)
+	return r.status, r.err
+}
+
+// Test reports whether the request has completed, without blocking.
+func (r *request) Test() (xdev.Status, bool, error) {
+	select {
+	case <-r.done:
+		r.dev.completions.Collect(r)
+		return r.status, true, r.err
+	default:
+		return xdev.Status{}, false, nil
+	}
+}
+
+// SetAttachment stores opaque upper-layer state on the request.
+func (r *request) SetAttachment(v any) {
+	r.mu.Lock()
+	r.attachment = v
+	r.mu.Unlock()
+}
+
+// Attachment returns the value stored by SetAttachment.
+func (r *request) Attachment() any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.attachment
+}
+
+// Peek blocks until some request completes and returns it (paper
+// §IV-E.1; the primitive beneath mpjdev's Waitany).
+func (d *Device) Peek() (xdev.Request, error) {
+	r, err := d.completions.Peek()
+	if err != nil {
+		return nil, ErrDeviceClosed
+	}
+	return r, nil
+}

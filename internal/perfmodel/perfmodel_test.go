@@ -1,0 +1,270 @@
+package perfmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func series(t *testing.T, fig Figure, name string) Series {
+	t.Helper()
+	for _, s := range fig.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("figure %d has no series %q", fig.ID, name)
+	return Series{}
+}
+
+func fig(t *testing.T, id int) Figure {
+	t.Helper()
+	f, err := FigureByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func within(t *testing.T, what string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.1f, want %.1f ± %.1f", what, got, want, tol)
+	}
+}
+
+func pct(f Figure, name string, bytes int) float64 {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s.ThroughputMbps(f.Fabric, bytes) / f.Fabric.BandwidthMbps * 100
+		}
+	}
+	return -1
+}
+
+// TestFig10Latencies checks the latency anchors the paper reports for
+// Fast Ethernet: MPJ Express 164 us, TCPIbis 144 us, NIOIbis 143 us,
+// mpjdev slightly below MPJ Express, C MPI lowest of all.
+func TestFig10Latencies(t *testing.T) {
+	f := fig(t, 10)
+	lat := func(name string) float64 {
+		v, err := f.Latency(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	within(t, "MPJ Express latency", lat("MPJ Express"), 164, 2)
+	within(t, "TCPIbis latency", lat("MPJ/Ibis (TCPIbis)"), 144, 2)
+	within(t, "NIOIbis latency", lat("MPJ/Ibis (NIOIbis)"), 143, 2)
+	if !(lat("mpjdev") < lat("MPJ Express")) {
+		t.Error("mpjdev latency should be slightly below MPJ Express")
+	}
+	for _, java := range []string{"MPJ Express", "mpijava", "MPJ/Ibis (TCPIbis)", "MPJ/Ibis (NIOIbis)"} {
+		if !(lat("LAM/MPI") < lat(java) && lat("MPICH") < lat(java)) {
+			t.Errorf("C MPI latency should undercut %s", java)
+		}
+	}
+	if !(lat("mpijava") < lat("MPJ/Ibis (TCPIbis)")) {
+		t.Error("mpijava (JNI over C) should undercut pure-Java latency")
+	}
+}
+
+// TestFig11FastEthernetThroughput checks the 16 MB anchors: everyone
+// above 84 % of the wire, LAM and the Ibis devices around 90 %, MPICH
+// and MPJ Express following, and the eager→rendezvous dip at 128 KB
+// for MPICH, mpijava and MPJ Express only.
+func TestFig11FastEthernetThroughput(t *testing.T) {
+	f := fig(t, 11)
+	const full = 16 << 20
+	for _, s := range f.Series {
+		if p := pct(f, s.Name, full); p < 84 {
+			t.Errorf("%s achieves %.1f%% at 16 MB, paper says all ≥ 84%%", s.Name, p)
+		}
+	}
+	within(t, "LAM/MPI %", pct(f, "LAM/MPI", full), 90, 3)
+	within(t, "TCPIbis %", pct(f, "MPJ/Ibis (TCPIbis)", full), 90, 3)
+	// Ordering: LAM/Ibis > MPICH, MPJE > mpijava.
+	if !(pct(f, "LAM/MPI", full) > pct(f, "MPICH", full)) {
+		t.Error("LAM should beat MPICH at 16 MB")
+	}
+	if !(pct(f, "MPICH", full) > pct(f, "mpijava", full)) {
+		t.Error("MPICH should beat mpijava at 16 MB")
+	}
+	if !(pct(f, "MPJ Express", full) > pct(f, "mpijava", full)) {
+		t.Error("MPJ Express should beat mpijava at 16 MB")
+	}
+
+	// The protocol-switch dip: the first rendezvous size (128 KB)
+	// falls below the last eager size (64 KB).
+	for _, name := range []string{"MPICH", "mpijava", "MPJ Express"} {
+		s := series(t, f, name)
+		if !(s.ThroughputMbps(f.Fabric, 128<<10) < s.ThroughputMbps(f.Fabric, 64<<10)) {
+			t.Errorf("%s shows no dip at the 128 KB protocol switch", name)
+		}
+	}
+	// LAM has no switch: monotone through that region.
+	lam := series(t, f, "LAM/MPI")
+	if !(lam.ThroughputMbps(f.Fabric, 128<<10) > lam.ThroughputMbps(f.Fabric, 64<<10)) {
+		t.Error("LAM/MPI should not dip at 128 KB")
+	}
+}
+
+// TestFig12GigabitLatencies: same ordering as Fast Ethernet with
+// latencies reduced by the faster network.
+func TestFig12GigabitLatencies(t *testing.T) {
+	fGig := fig(t, 12)
+	fFast := fig(t, 10)
+	for _, s := range fGig.Series {
+		lg, err := fGig.Latency(s.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lf, err := fFast.Latency(s.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(lg < lf) {
+			t.Errorf("%s: GigE latency %.1f not below Fast Ethernet %.1f", s.Name, lg, lf)
+		}
+	}
+}
+
+// TestFig13GigabitThroughput checks the paper's 16 MB percentages:
+// LAM/Ibis 90 %, MPICH 76 %, MPJ Express 68 %, mpijava 60 %,
+// mpjdev 90 %.
+func TestFig13GigabitThroughput(t *testing.T) {
+	f := fig(t, 13)
+	const full = 16 << 20
+	within(t, "LAM/MPI %", pct(f, "LAM/MPI", full), 90, 3)
+	within(t, "TCPIbis %", pct(f, "MPJ/Ibis (TCPIbis)", full), 90, 3)
+	within(t, "NIOIbis %", pct(f, "MPJ/Ibis (NIOIbis)", full), 90, 3)
+	within(t, "MPICH %", pct(f, "MPICH", full), 76, 3)
+	within(t, "MPJ Express %", pct(f, "MPJ Express", full), 68, 3)
+	within(t, "mpijava %", pct(f, "mpijava", full), 60, 3)
+	within(t, "mpjdev %", pct(f, "mpjdev", full), 90, 3)
+}
+
+// TestFig14MyrinetLatencies: MPICH-MX 4 us, mpijava 12 us,
+// MPJ Express 23 us.
+func TestFig14MyrinetLatencies(t *testing.T) {
+	f := fig(t, 14)
+	lat := func(name string) float64 {
+		v, err := f.Latency(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	within(t, "MPICH-MX latency", lat("MPICH-MX"), 4, 1)
+	within(t, "mpijava latency", lat("mpijava"), 12, 1)
+	within(t, "MPJ Express latency", lat("MPJ Express"), 23, 1)
+	if !(lat("mpjdev") < lat("MPJ Express")) {
+		t.Error("mpjdev should undercut MPJ Express on Myrinet")
+	}
+}
+
+// TestFig15MyrinetThroughput checks: MPICH-MX 1800 Mbps at 16 MB,
+// MPJ Express 1097, mpjdev 1826 (above MPICH-MX), and mpijava's
+// peak of ~1347 Mbps at 64 KB followed by a drop to ~868 Mbps.
+func TestFig15MyrinetThroughput(t *testing.T) {
+	f := fig(t, 15)
+	const full = 16 << 20
+	thr := func(name string, size int) float64 {
+		return series(t, f, name).ThroughputMbps(f.Fabric, size)
+	}
+	within(t, "MPICH-MX @16MB", thr("MPICH-MX", full), 1800, 60)
+	within(t, "MPJ Express @16MB", thr("MPJ Express", full), 1097, 60)
+	within(t, "mpjdev @16MB", thr("mpjdev", full), 1826, 60)
+	if !(thr("mpjdev", full) > thr("MPICH-MX", full)) {
+		t.Error("mpjdev should exceed MPICH-MX at 16 MB (paper §V-E)")
+	}
+	peak, at, err := f.PeakMbps("mpijava")
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "mpijava peak", peak, 1347, 80)
+	if at != 64<<10 {
+		t.Errorf("mpijava peak at %d bytes, paper says 64 KB", at)
+	}
+	within(t, "mpijava @16MB", thr("mpijava", full), 868, 60)
+}
+
+func TestFiguresEnumeration(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 6 {
+		t.Fatalf("have %d figures, want 6", len(figs))
+	}
+	for _, f := range figs {
+		pts := f.Generate()
+		if len(pts) != len(f.Series) {
+			t.Errorf("figure %d generated %d series, want %d", f.ID, len(pts), len(f.Series))
+		}
+		for name, curve := range pts {
+			if len(curve) != len(f.Sizes) {
+				t.Errorf("figure %d series %s has %d points", f.ID, name, len(curve))
+			}
+			for _, p := range curve {
+				if p.Value <= 0 {
+					t.Errorf("figure %d series %s: non-positive value at %d bytes", f.ID, name, p.Bytes)
+				}
+			}
+		}
+	}
+	if _, err := FigureByID(9); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if _, err := fig(t, 10).Latency("nope"); err == nil {
+		t.Error("unknown series accepted")
+	}
+}
+
+func TestTransferTimeMonotone(t *testing.T) {
+	for _, f := range Figures() {
+		if f.Kind != TransferTime {
+			continue
+		}
+		for _, s := range f.Series {
+			prev := 0.0
+			for _, size := range f.Sizes {
+				v := s.OneWayUS(f.Fabric, size)
+				if v < prev {
+					t.Errorf("figure %d %s: transfer time decreased at %d bytes", f.ID, s.Name, size)
+					break
+				}
+				prev = v
+			}
+		}
+	}
+}
+
+func TestSweepCoversPaperRange(t *testing.T) {
+	sizes := Sizes1BTo16M()
+	if sizes[0] != 1 || sizes[len(sizes)-1] != 16<<20 {
+		t.Fatalf("sweep %v", sizes)
+	}
+	if len(sizes) != 25 {
+		t.Fatalf("sweep has %d sizes", len(sizes))
+	}
+}
+
+func TestSVGRendering(t *testing.T) {
+	for _, f := range Figures() {
+		svg := f.SVG()
+		if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+			t.Fatalf("figure %d: malformed SVG envelope", f.ID)
+		}
+		for _, s := range f.Series {
+			if !strings.Contains(svg, ">"+s.Name+"<") {
+				t.Errorf("figure %d: legend missing %q", f.ID, s.Name)
+			}
+		}
+		if strings.Count(svg, "<path") != len(f.Series) {
+			t.Errorf("figure %d: expected %d curves, SVG has %d paths",
+				f.ID, len(f.Series), strings.Count(svg, "<path"))
+		}
+		if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+			t.Errorf("figure %d: non-finite coordinates in SVG", f.ID)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file renders a Figure as a standalone SVG line chart —
+// log-scaled X (message size) like the paper's plots, linear Y for
+// throughput and log Y for transfer time. Pure stdlib.
+
+const (
+	svgW       = 760
+	svgH       = 470
+	svgMarginL = 70
+	svgMarginR = 190
+	svgMarginT = 40
+	svgMarginB = 55
+)
+
+// seriesColors is a fixed palette, one per curve.
+var seriesColors = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728",
+	"#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+}
+
+type axisMap struct {
+	min, max float64
+	log      bool
+	lo, hi   float64 // pixel range
+}
+
+func (a axisMap) pos(v float64) float64 {
+	t := 0.0
+	if a.log {
+		t = (math.Log2(v) - math.Log2(a.min)) / (math.Log2(a.max) - math.Log2(a.min))
+	} else {
+		t = (v - a.min) / (a.max - a.min)
+	}
+	return a.lo + t*(a.hi-a.lo)
+}
+
+// SVG renders the figure and returns the SVG document.
+func (fig Figure) SVG() string {
+	curves := fig.Generate()
+	names := make([]string, 0, len(fig.Series))
+	for _, s := range fig.Series {
+		names = append(names, s.Name)
+	}
+
+	minX, maxX := float64(fig.Sizes[0]), float64(fig.Sizes[len(fig.Sizes)-1])
+	minY, maxY := math.MaxFloat64, -math.MaxFloat64
+	for _, pts := range curves {
+		for _, p := range pts {
+			minY = math.Min(minY, p.Value)
+			maxY = math.Max(maxY, p.Value)
+		}
+	}
+	logY := fig.Kind == TransferTime
+	if logY {
+		minY = math.Pow(2, math.Floor(math.Log2(minY)))
+		maxY = math.Pow(2, math.Ceil(math.Log2(maxY)))
+	} else {
+		minY = 0
+		maxY = maxY * 1.08
+	}
+
+	xm := axisMap{min: minX, max: maxX, log: true, lo: svgMarginL, hi: svgW - svgMarginR}
+	ym := axisMap{min: minY, max: maxY, log: logY, lo: svgH - svgMarginB, hi: svgMarginT}
+	if logY && minY <= 0 {
+		ym.min = 1e-3
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", svgW, svgH)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", svgW, svgH)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" font-weight="bold">Figure %d: %s</text>`+"\n",
+		svgMarginL, fig.ID, fig.Title)
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		svgMarginL, svgH-svgMarginB, svgW-svgMarginR, svgH-svgMarginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		svgMarginL, svgMarginT, svgMarginL, svgH-svgMarginB)
+
+	// X ticks: powers of 4 from 1 B.
+	for v := minX; v <= maxX; v *= 4 {
+		x := xm.pos(v)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#999"/>`+"\n",
+			x, svgH-svgMarginB, x, svgH-svgMarginB+4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			x, svgH-svgMarginB+17, sizeLabel(int(v)))
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" font-size="12">Message Length (Bytes)</text>`+"\n",
+		(xm.lo+xm.hi)/2, svgH-12)
+
+	// Y ticks.
+	yLabel := "Time (us)"
+	if fig.Kind == Throughput {
+		yLabel = "Bandwidth (Mbps)"
+	}
+	for _, v := range yTicks(minY, maxY, logY) {
+		y := ym.pos(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			svgMarginL, y, svgW-svgMarginR, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			svgMarginL-6, y, trimFloat(v))
+	}
+	fmt.Fprintf(&b, `<text x="18" y="%.1f" text-anchor="middle" font-size="12" transform="rotate(-90 18 %.1f)">%s</text>`+"\n",
+		(ym.lo+ym.hi)/2, (ym.lo+ym.hi)/2, yLabel)
+
+	// Curves + legend.
+	for i, name := range names {
+		color := seriesColors[i%len(seriesColors)]
+		pts := curves[name]
+		var path strings.Builder
+		for j, p := range pts {
+			cmd := "L"
+			if j == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, xm.pos(float64(p.Bytes)), ym.pos(clampY(p.Value, ym)))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n",
+			strings.TrimSpace(path.String()), color)
+		ly := svgMarginT + 14 + i*18
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			svgW-svgMarginR+12, ly-4, svgW-svgMarginR+34, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", svgW-svgMarginR+40, ly, name)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func clampY(v float64, ym axisMap) float64 {
+	if ym.log && v < ym.min {
+		return ym.min
+	}
+	return v
+}
+
+func sizeLabel(v int) string {
+	switch {
+	case v >= 1<<20:
+		return fmt.Sprintf("%dM", v>>20)
+	case v >= 1<<10:
+		return fmt.Sprintf("%dK", v>>10)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.1f", v)
+	s = strings.TrimSuffix(s, ".0")
+	return s
+}
+
+func yTicks(min, max float64, log bool) []float64 {
+	var out []float64
+	if log {
+		for v := min; v <= max*1.0001; v *= 4 {
+			out = append(out, v)
+		}
+		return out
+	}
+	// Linear: ~6 round ticks.
+	span := max - min
+	step := math.Pow(10, math.Floor(math.Log10(span/5)))
+	for _, m := range []float64{5, 2, 1} {
+		if span/(step*m) >= 5 {
+			step *= m
+			break
+		}
+	}
+	for v := math.Ceil(min/step) * step; v <= max; v += step {
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,385 @@
+// Package smpdev is a shared-memory xdev device for ranks running in a
+// single OS process — the SMP-cluster scenario that motivates the
+// paper's emphasis on thread safety (§I), and the "shared memory
+// device" its future work anticipates. Messages move by a single
+// in-memory copy of the buffer's wire form; matching uses the same
+// four-key engine as niodev; peek/completion semantics are identical.
+package smpdev
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mpj/internal/cqueue"
+	"mpj/internal/match"
+	"mpj/internal/mpjbuf"
+	"mpj/internal/xdev"
+)
+
+// DeviceName is the registry name of this device.
+const DeviceName = "smpdev"
+
+// ErrDeviceClosed is returned for operations on a finished device.
+var ErrDeviceClosed = errors.New("smpdev: device closed")
+
+func init() {
+	xdev.Register(DeviceName, func() xdev.Device { return New() })
+}
+
+// board is the process-global registry of SMP job groups.
+var board = struct {
+	sync.Mutex
+	groups map[string]*group
+}{groups: make(map[string]*group)}
+
+// group is one SMP job: a set of mailboxes indexed by rank.
+type group struct {
+	name   string
+	size   int
+	boxes  []*mailbox
+	joined int
+}
+
+// mailbox is the per-rank receive side.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	posted  *match.PatternSet[*request]
+	arrived *match.ItemSet[*arrival]
+	closed  bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{
+		posted:  match.NewPatternSet[*request](),
+		arrived: match.NewItemSet[*arrival](),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// arrival is an unmatched message parked in a mailbox.
+type arrival struct {
+	src     uint64
+	tag     int32
+	wireLen int
+	data    []byte
+	syncReq *request // synchronous sender awaiting match, if any
+}
+
+// Device implements xdev.Device for in-process ranks.
+type Device struct {
+	cfg      xdev.Config
+	self     xdev.ProcessID
+	pids     []xdev.ProcessID
+	grp      *group
+	box      *mailbox
+	cq       *cqueue.Queue[*request]
+	mu       sync.Mutex
+	initDone bool
+	finished bool
+}
+
+// New returns an uninitialized smpdev device.
+func New() *Device { return &Device{cq: cqueue.New[*request]()} }
+
+// Init joins (and if necessary creates) the in-process group named by
+// cfg.Group, claiming the mailbox for cfg.Rank.
+func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.initDone {
+		return nil, xdev.Errf(DeviceName, "init", "device already initialized")
+	}
+	if cfg.Size < 1 {
+		return nil, xdev.Errf(DeviceName, "init", "job size %d < 1", cfg.Size)
+	}
+	if cfg.Rank < 0 || cfg.Rank >= cfg.Size {
+		return nil, xdev.Errf(DeviceName, "init", "rank %d out of range [0,%d)", cfg.Rank, cfg.Size)
+	}
+	name := cfg.Group
+	if name == "" {
+		name = "smp-default"
+	}
+	board.Lock()
+	g := board.groups[name]
+	if g == nil {
+		g = &group{name: name, size: cfg.Size, boxes: make([]*mailbox, cfg.Size)}
+		for i := range g.boxes {
+			g.boxes[i] = newMailbox()
+		}
+		board.groups[name] = g
+	}
+	if g.size != cfg.Size {
+		board.Unlock()
+		return nil, xdev.Errf(DeviceName, "init", "group %q has size %d, not %d", name, g.size, cfg.Size)
+	}
+	g.joined++
+	board.Unlock()
+
+	d.cfg = cfg
+	d.grp = g
+	d.box = g.boxes[cfg.Rank]
+	d.pids = make([]xdev.ProcessID, cfg.Size)
+	for i := range d.pids {
+		d.pids[i] = xdev.ProcessID{UUID: uint64(i)}
+	}
+	d.self = d.pids[cfg.Rank]
+	d.initDone = true
+	return append([]xdev.ProcessID(nil), d.pids...), nil
+}
+
+// ID returns this process's ProcessID.
+func (d *Device) ID() xdev.ProcessID { return d.self }
+
+// Finish closes this rank's mailbox; the group is released when every
+// member has finished.
+func (d *Device) Finish() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.finished || !d.initDone {
+		d.finished = true
+		return nil
+	}
+	d.finished = true
+	d.box.mu.Lock()
+	d.box.closed = true
+	d.box.cond.Broadcast()
+	d.box.mu.Unlock()
+	d.cq.Close()
+
+	board.Lock()
+	d.grp.joined--
+	if d.grp.joined == 0 {
+		delete(board.groups, d.grp.name)
+	}
+	board.Unlock()
+	return nil
+}
+
+// SendOverhead reports the per-message device overhead (none: headers
+// never hit a wire).
+func (d *Device) SendOverhead() int { return 0 }
+
+// RecvOverhead reports the per-message device overhead.
+func (d *Device) RecvOverhead() int { return 0 }
+
+// request implements xdev.Request.
+type request struct {
+	dev        *Device
+	buf        *mpjbuf.Buffer
+	done       chan struct{}
+	status     xdev.Status
+	err        error
+	mu         sync.Mutex
+	attachment any
+}
+
+func (d *Device) newRequest(buf *mpjbuf.Buffer) *request {
+	return &request{dev: d, buf: buf, done: make(chan struct{})}
+}
+
+func (r *request) complete(st xdev.Status, err error) {
+	r.status = st
+	r.err = err
+	close(r.done)
+	r.dev.cq.Push(r)
+}
+
+// Wait blocks until the request completes.
+func (r *request) Wait() (xdev.Status, error) {
+	<-r.done
+	r.dev.cq.Collect(r)
+	return r.status, r.err
+}
+
+// Test reports completion without blocking.
+func (r *request) Test() (xdev.Status, bool, error) {
+	select {
+	case <-r.done:
+		r.dev.cq.Collect(r)
+		return r.status, true, r.err
+	default:
+		return xdev.Status{}, false, nil
+	}
+}
+
+// SetAttachment stores opaque upper-layer state on the request.
+func (r *request) SetAttachment(v any) {
+	r.mu.Lock()
+	r.attachment = v
+	r.mu.Unlock()
+}
+
+// Attachment returns the value stored by SetAttachment.
+func (r *request) Attachment() any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.attachment
+}
+
+func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int, sync bool) (*request, error) {
+	if !d.initDone || d.finished {
+		return nil, xdev.Errf(DeviceName, "isend", "device not ready")
+	}
+	if dst.UUID >= uint64(len(d.grp.boxes)) {
+		return nil, xdev.Errf(DeviceName, "isend", "unknown process %v", dst)
+	}
+	box := d.grp.boxes[dst.UUID]
+	sreq := d.newRequest(nil)
+	env := match.Concrete{Ctx: int32(context), Tag: int32(tag), Src: uint64(d.cfg.Rank)}
+	st := xdev.Status{Source: d.self, Tag: tag, Bytes: buf.WireLen()}
+
+	box.mu.Lock()
+	if box.closed {
+		box.mu.Unlock()
+		return nil, xdev.Errf(DeviceName, "isend", "destination mailbox closed")
+	}
+	if rreq, ok := box.posted.Match(env); ok {
+		box.mu.Unlock()
+		err := rreq.buf.LoadWire(buf.Wire())
+		rreq.complete(xdev.Status{Source: d.self, Tag: tag, Bytes: buf.WireLen()}, err)
+		sreq.complete(st, nil)
+		return sreq, nil
+	}
+	arr := &arrival{src: uint64(d.cfg.Rank), tag: int32(tag), wireLen: buf.WireLen(), data: buf.Wire()}
+	if sync {
+		arr.syncReq = sreq
+	}
+	box.arrived.Add(env, arr)
+	box.cond.Broadcast()
+	box.mu.Unlock()
+	if !sync {
+		sreq.complete(st, nil)
+	}
+	return sreq, nil
+}
+
+// ISend starts a standard-mode non-blocking send.
+func (d *Device) ISend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int) (xdev.Request, error) {
+	return d.isend(buf, dst, tag, context, false)
+}
+
+// Send is the blocking standard-mode send.
+func (d *Device) Send(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int) error {
+	r, err := d.isend(buf, dst, tag, context, false)
+	if err != nil {
+		return err
+	}
+	_, err = r.Wait()
+	return err
+}
+
+// ISsend starts a synchronous-mode non-blocking send.
+func (d *Device) ISsend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int) (xdev.Request, error) {
+	return d.isend(buf, dst, tag, context, true)
+}
+
+// Ssend is the blocking synchronous-mode send.
+func (d *Device) Ssend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int) error {
+	r, err := d.isend(buf, dst, tag, context, true)
+	if err != nil {
+		return err
+	}
+	_, err = r.Wait()
+	return err
+}
+
+func (d *Device) pattern(src xdev.ProcessID, tag, context int) (match.Pattern, error) {
+	p := match.Pattern{Ctx: int32(context)}
+	if tag == xdev.AnyTag {
+		p.Tag = match.AnyTag
+	} else {
+		p.Tag = int32(tag)
+	}
+	if src.IsAnySource() {
+		p.Src = match.AnySource
+	} else {
+		if src.UUID >= uint64(d.cfg.Size) {
+			return p, xdev.Errf(DeviceName, "recv", "unknown process %v", src)
+		}
+		p.Src = src.UUID
+	}
+	return p, nil
+}
+
+// IRecv posts a non-blocking receive.
+func (d *Device) IRecv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int) (xdev.Request, error) {
+	if !d.initDone || d.finished {
+		return nil, xdev.Errf(DeviceName, "irecv", "device not ready")
+	}
+	p, err := d.pattern(src, tag, context)
+	if err != nil {
+		return nil, err
+	}
+	req := d.newRequest(buf)
+	d.box.mu.Lock()
+	if arr, ok := d.box.arrived.Match(p); ok {
+		d.box.mu.Unlock()
+		st := xdev.Status{Source: d.pids[arr.src], Tag: int(arr.tag), Bytes: arr.wireLen}
+		err := buf.LoadWire(arr.data)
+		if arr.syncReq != nil {
+			arr.syncReq.complete(st, nil)
+		}
+		req.complete(st, err)
+		return req, nil
+	}
+	d.box.posted.Add(p, req)
+	d.box.mu.Unlock()
+	return req, nil
+}
+
+// Recv blocks until a matching message has been received.
+func (d *Device) Recv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int) (xdev.Status, error) {
+	r, err := d.IRecv(buf, src, tag, context)
+	if err != nil {
+		return xdev.Status{}, err
+	}
+	return r.Wait()
+}
+
+// IProbe checks for a matching message without receiving it.
+func (d *Device) IProbe(src xdev.ProcessID, tag, context int) (xdev.Status, bool, error) {
+	p, err := d.pattern(src, tag, context)
+	if err != nil {
+		return xdev.Status{}, false, err
+	}
+	d.box.mu.Lock()
+	defer d.box.mu.Unlock()
+	arr, ok := d.box.arrived.Peek(p)
+	if !ok {
+		return xdev.Status{}, false, nil
+	}
+	return xdev.Status{Source: d.pids[arr.src], Tag: int(arr.tag), Bytes: arr.wireLen}, true, nil
+}
+
+// Probe blocks until a matching message is available.
+func (d *Device) Probe(src xdev.ProcessID, tag, context int) (xdev.Status, error) {
+	p, err := d.pattern(src, tag, context)
+	if err != nil {
+		return xdev.Status{}, err
+	}
+	d.box.mu.Lock()
+	defer d.box.mu.Unlock()
+	for {
+		if arr, ok := d.box.arrived.Peek(p); ok {
+			return xdev.Status{Source: d.pids[arr.src], Tag: int(arr.tag), Bytes: arr.wireLen}, nil
+		}
+		if d.box.closed {
+			return xdev.Status{}, fmt.Errorf("smpdev: probe: %w", ErrDeviceClosed)
+		}
+		d.box.cond.Wait()
+	}
+}
+
+// Peek blocks until some request completes and returns it.
+func (d *Device) Peek() (xdev.Request, error) {
+	r, err := d.cq.Peek()
+	if err != nil {
+		return nil, ErrDeviceClosed
+	}
+	return r, nil
+}
+
+var _ xdev.Device = (*Device)(nil)

@@ -1,0 +1,112 @@
+package smpdev
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mpj/internal/devtest"
+	"mpj/internal/xdev"
+)
+
+var groupCounter atomic.Int64
+
+func runner(t *testing.T, n int, fn func(d xdev.Device, rank int, pids []xdev.ProcessID)) {
+	t.Helper()
+	group := fmt.Sprintf("smpdev-test-%d", groupCounter.Add(1))
+	devs := make([]*Device, n)
+	pidLists := make([][]xdev.ProcessID, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		devs[i] = New()
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			pidLists[rank], errs[rank] = devs[rank].Init(xdev.Config{Rank: rank, Size: n, Group: group})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d init: %v", i, err)
+		}
+	}
+	defer func() {
+		for _, d := range devs {
+			d.Finish()
+		}
+	}()
+	var jobWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		jobWG.Add(1)
+		go func(rank int) {
+			defer jobWG.Done()
+			fn(devs[rank], rank, pidLists[rank])
+		}(i)
+	}
+	jobWG.Wait()
+}
+
+func TestConformance(t *testing.T) {
+	devtest.RunConformance(t, runner, devtest.Options{HasPeek: true})
+}
+
+func TestGroupSizeMismatch(t *testing.T) {
+	group := fmt.Sprintf("smpdev-mismatch-%d", groupCounter.Add(1))
+	a := New()
+	if _, err := a.Init(xdev.Config{Rank: 0, Size: 2, Group: group}); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Finish()
+	b := New()
+	if _, err := b.Init(xdev.Config{Rank: 0, Size: 3, Group: group}); err == nil {
+		t.Fatal("size mismatch accepted")
+		b.Finish()
+	}
+}
+
+func TestGroupReleasedAfterAllFinish(t *testing.T) {
+	group := fmt.Sprintf("smpdev-release-%d", groupCounter.Add(1))
+	a, b := New(), New()
+	if _, err := a.Init(xdev.Config{Rank: 0, Size: 2, Group: group}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Init(xdev.Config{Rank: 1, Size: 2, Group: group}); err != nil {
+		t.Fatal(err)
+	}
+	a.Finish()
+	b.Finish()
+	// The name must be reusable with a different size now.
+	c := New()
+	if _, err := c.Init(xdev.Config{Rank: 0, Size: 1, Group: group}); err != nil {
+		t.Fatalf("group not released: %v", err)
+	}
+	c.Finish()
+}
+
+func TestSendAfterFinish(t *testing.T) {
+	group := fmt.Sprintf("smpdev-closed-%d", groupCounter.Add(1))
+	d := New()
+	if _, err := d.Init(xdev.Config{Rank: 0, Size: 1, Group: group}); err != nil {
+		t.Fatal(err)
+	}
+	d.Finish()
+	if _, err := d.ISend(nil, xdev.ProcessID{UUID: 0}, 0, 0); err == nil {
+		t.Fatal("send accepted after Finish")
+	}
+	if _, err := d.IRecv(nil, xdev.ProcessID{UUID: 0}, 0, 0); err == nil {
+		t.Fatal("recv accepted after Finish")
+	}
+}
+
+func TestDeviceRegistry(t *testing.T) {
+	d, err := xdev.NewInstance(DeviceName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.(*Device); !ok {
+		t.Fatalf("registry returned %T", d)
+	}
+}

@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Pipe returns a connected pair of in-memory full-duplex connections.
+// Each direction buffers up to bufSize bytes, emulating a kernel socket
+// buffer: writers block only when the buffer is full, unlike net.Pipe
+// whose unbuffered rendezvous semantics distort protocol behaviour.
+func Pipe(bufSize int) (net.Conn, net.Conn) {
+	ab := newRing(bufSize) // a writes, b reads
+	ba := newRing(bufSize) // b writes, a reads
+	a := &pipeConn{r: ba, w: ab, local: "pipe-a", remote: "pipe-b"}
+	b := &pipeConn{r: ab, w: ba, local: "pipe-b", remote: "pipe-a"}
+	return a, b
+}
+
+// ring is a blocking byte ring buffer shared by one writer side and one
+// reader side of a pipe direction.
+type ring struct {
+	mu     sync.Mutex
+	nempty *sync.Cond // signaled when data becomes available
+	nfull  *sync.Cond // signaled when space becomes available
+	buf    []byte
+	start  int // read position
+	n      int // bytes buffered
+	closed bool
+}
+
+func newRing(size int) *ring {
+	if size <= 0 {
+		size = 64 << 10
+	}
+	r := &ring{buf: make([]byte, size)}
+	r.nempty = sync.NewCond(&r.mu)
+	r.nfull = sync.NewCond(&r.mu)
+	return r
+}
+
+func (r *ring) write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		r.mu.Lock()
+		for r.n == len(r.buf) && !r.closed {
+			r.nfull.Wait()
+		}
+		if r.closed {
+			r.mu.Unlock()
+			return total, io.ErrClosedPipe
+		}
+		space := len(r.buf) - r.n
+		k := min(space, len(p))
+		// Copy in up to two runs around the wrap point.
+		wpos := (r.start + r.n) % len(r.buf)
+		run1 := min(k, len(r.buf)-wpos)
+		copy(r.buf[wpos:], p[:run1])
+		copy(r.buf, p[run1:k])
+		r.n += k
+		r.nempty.Signal()
+		r.mu.Unlock()
+		p = p[k:]
+		total += k
+	}
+	return total, nil
+}
+
+func (r *ring) read(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.n == 0 && !r.closed {
+		r.nempty.Wait()
+	}
+	if r.n == 0 && r.closed {
+		return 0, io.EOF
+	}
+	k := min(r.n, len(p))
+	run1 := min(k, len(r.buf)-r.start)
+	copy(p, r.buf[r.start:r.start+run1])
+	copy(p[run1:], r.buf[:k-run1])
+	r.start = (r.start + k) % len(r.buf)
+	r.n -= k
+	r.nfull.Signal()
+	return k, nil
+}
+
+func (r *ring) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.nempty.Broadcast()
+	r.nfull.Broadcast()
+	r.mu.Unlock()
+}
+
+type pipeConn struct {
+	r, w          *ring
+	local, remote pipeAddr
+	closeOnce     sync.Once
+}
+
+type pipeAddr string
+
+func (a pipeAddr) Network() string { return "pipe" }
+func (a pipeAddr) String() string  { return string(a) }
+
+func (c *pipeConn) Read(p []byte) (int, error)  { return c.r.read(p) }
+func (c *pipeConn) Write(p []byte) (int, error) { return c.w.write(p) }
+
+func (c *pipeConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.w.close()
+		c.r.close()
+	})
+	return nil
+}
+
+func (c *pipeConn) LocalAddr() net.Addr  { return c.local }
+func (c *pipeConn) RemoteAddr() net.Addr { return c.remote }
+
+// Deadlines are not used by the devices in this repository.
+func (c *pipeConn) SetDeadline(time.Time) error      { return nil }
+func (c *pipeConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *pipeConn) SetWriteDeadline(time.Time) error { return nil }

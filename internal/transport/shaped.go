@@ -1,0 +1,156 @@
+package transport
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ShapedPipe returns a connected pair of in-memory connections whose
+// data transfer models a physical link: writes occupy the link for
+// len/bandwidth seconds and each byte becomes readable only latency
+// seconds after its transmission finishes. Up to bufSize bytes may be
+// in flight per direction before writers block (the socket-buffer
+// analogue the paper tunes to 512 KiB on Gigabit Ethernet).
+//
+// latency is the one-way delay in seconds; bandwidth is in bytes per
+// second. Zero values disable the respective delay.
+func ShapedPipe(bufSize int, latency, bandwidth float64) (net.Conn, net.Conn) {
+	ab := newShapedQueue(bufSize, latency, bandwidth)
+	ba := newShapedQueue(bufSize, latency, bandwidth)
+	a := &shapedConn{r: ba, w: ab, local: "shaped-a", remote: "shaped-b"}
+	b := &shapedConn{r: ab, w: ba, local: "shaped-b", remote: "shaped-a"}
+	return a, b
+}
+
+// chunk is a unit of shaped data: readable once the wall clock reaches
+// ready.
+type chunk struct {
+	data  []byte
+	ready time.Time
+}
+
+type shapedQueue struct {
+	mu        sync.Mutex
+	nempty    *sync.Cond
+	nfull     *sync.Cond
+	queue     []chunk
+	buffered  int // bytes in queue (written, not yet read)
+	bufSize   int
+	latency   time.Duration
+	bandwidth float64 // bytes/second; 0 = infinite
+	linkFree  time.Time
+	closed    bool
+}
+
+func newShapedQueue(bufSize int, latency, bandwidth float64) *shapedQueue {
+	if bufSize <= 0 {
+		bufSize = 64 << 10
+	}
+	q := &shapedQueue{
+		bufSize:   bufSize,
+		latency:   time.Duration(latency * float64(time.Second)),
+		bandwidth: bandwidth,
+	}
+	q.nempty = sync.NewCond(&q.mu)
+	q.nfull = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *shapedQueue) write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		q.mu.Lock()
+		for q.buffered >= q.bufSize && !q.closed {
+			q.nfull.Wait()
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return total, io.ErrClosedPipe
+		}
+		k := min(q.bufSize-q.buffered, len(p))
+		now := time.Now()
+		start := q.linkFree
+		if start.Before(now) {
+			start = now
+		}
+		var tx time.Duration
+		if q.bandwidth > 0 {
+			tx = time.Duration(float64(k) / q.bandwidth * float64(time.Second))
+		}
+		q.linkFree = start.Add(tx)
+		c := chunk{data: append([]byte(nil), p[:k]...), ready: q.linkFree.Add(q.latency)}
+		q.queue = append(q.queue, c)
+		q.buffered += k
+		q.nempty.Signal()
+		q.mu.Unlock()
+		p = p[k:]
+		total += k
+		// The sender's buffer admission already models backpressure;
+		// transmission itself proceeds asynchronously, like a NIC DMA.
+	}
+	return total, nil
+}
+
+func (q *shapedQueue) read(p []byte) (int, error) {
+	for {
+		q.mu.Lock()
+		for len(q.queue) == 0 && !q.closed {
+			q.nempty.Wait()
+		}
+		if len(q.queue) == 0 && q.closed {
+			q.mu.Unlock()
+			return 0, io.EOF
+		}
+		c := &q.queue[0]
+		wait := time.Until(c.ready)
+		if wait > 0 {
+			q.mu.Unlock()
+			time.Sleep(wait)
+			continue
+		}
+		k := min(len(c.data), len(p))
+		copy(p, c.data[:k])
+		c.data = c.data[k:]
+		if len(c.data) == 0 {
+			q.queue = q.queue[1:]
+		}
+		q.buffered -= k
+		q.nfull.Signal()
+		q.mu.Unlock()
+		return k, nil
+	}
+}
+
+func (q *shapedQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.nempty.Broadcast()
+	q.nfull.Broadcast()
+	q.mu.Unlock()
+}
+
+type shapedConn struct {
+	r, w          *shapedQueue
+	local, remote pipeAddr
+	closeOnce     sync.Once
+}
+
+func (c *shapedConn) Read(p []byte) (int, error)  { return c.r.read(p) }
+func (c *shapedConn) Write(p []byte) (int, error) { return c.w.write(p) }
+
+func (c *shapedConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.w.close()
+		c.r.close()
+	})
+	return nil
+}
+
+func (c *shapedConn) LocalAddr() net.Addr  { return c.local }
+func (c *shapedConn) RemoteAddr() net.Addr { return c.remote }
+
+func (c *shapedConn) SetDeadline(time.Time) error      { return nil }
+func (c *shapedConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *shapedConn) SetWriteDeadline(time.Time) error { return nil }

@@ -1,0 +1,336 @@
+package transport
+
+import (
+	"bytes"
+	"crypto/rand"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testConnPair(t *testing.T, a, b net.Conn) {
+	t.Helper()
+	defer a.Close()
+	defer b.Close()
+
+	msg := make([]byte, 1<<18)
+	if _, err := rand.Read(msg); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := a.Write(msg); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	wg.Wait()
+	if !bytes.Equal(got, msg) {
+		t.Fatal("payload corrupted in transit")
+	}
+}
+
+func TestPipeTransfersLargePayload(t *testing.T) {
+	a, b := Pipe(4096) // force many wraps
+	testConnPair(t, a, b)
+}
+
+func TestPipeBidirectional(t *testing.T) {
+	a, b := Pipe(1024)
+	defer a.Close()
+	defer b.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(b, buf); err != nil {
+			t.Errorf("b read: %v", err)
+		}
+		if _, err := b.Write([]byte("world")); err != nil {
+			t.Errorf("b write: %v", err)
+		}
+	}()
+	if _, err := a.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "world" {
+		t.Fatalf("got %q", buf)
+	}
+	<-done
+}
+
+func TestPipeCloseUnblocksReader(t *testing.T) {
+	a, b := Pipe(64)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Read(make([]byte, 1))
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-errc:
+		if err != io.EOF {
+			t.Fatalf("read after close: %v, want EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader not unblocked by close")
+	}
+}
+
+func TestPipeCloseUnblocksWriter(t *testing.T) {
+	a, b := Pipe(8)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Write(make([]byte, 1024)) // exceeds buffer; will block
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Close()
+	a.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("write to closed pipe succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer not unblocked by close")
+	}
+}
+
+func TestQuickPipeRoundTrip(t *testing.T) {
+	f := func(payload []byte, bufSize uint16) bool {
+		a, b := Pipe(int(bufSize%512) + 1)
+		defer a.Close()
+		defer b.Close()
+		go func() {
+			a.Write(payload)
+			a.Close()
+		}()
+		got, err := io.ReadAll(b)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInProcListenDialAccept(t *testing.T) {
+	tr := NewInProc(0)
+	l, err := tr.Listen("node0:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	acc := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		acc <- c
+	}()
+	client, err := tr.Dial("node0:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-acc
+	testConnPair(t, client, server)
+}
+
+func TestInProcDialUnknownAddress(t *testing.T) {
+	tr := NewInProc(0)
+	if _, err := tr.Dial("nowhere:9"); err == nil {
+		t.Fatal("expected connection refused")
+	}
+}
+
+func TestInProcDuplicateListen(t *testing.T) {
+	tr := NewInProc(0)
+	l, err := tr.Listen("a:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := tr.Listen("a:0"); err == nil {
+		t.Fatal("expected address-in-use error")
+	}
+}
+
+func TestInProcListenerCloseReleasesAddress(t *testing.T) {
+	tr := NewInProc(0)
+	l, err := tr.Listen("a:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := tr.Listen("a:0")
+	if err != nil {
+		t.Fatalf("address not released after close: %v", err)
+	}
+	l2.Close()
+	if _, err := tr.Dial("a:0"); err == nil {
+		t.Fatal("dial to closed listener should fail")
+	}
+}
+
+func TestTCPTransport(t *testing.T) {
+	tr := TCP{}
+	l, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	defer l.Close()
+	acc := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			acc <- c
+		}
+	}()
+	client, err := tr.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-acc
+	testConnPair(t, client, server)
+}
+
+func TestShapedPipeLatency(t *testing.T) {
+	const latency = 20 * time.Millisecond
+	a, b := ShapedPipe(1<<20, latency.Seconds(), 0)
+	defer a.Close()
+	defer b.Close()
+
+	start := time.Now()
+	go a.Write([]byte("x"))
+	if _, err := io.ReadFull(b, make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < latency {
+		t.Fatalf("one-byte transfer took %v, want >= %v", elapsed, latency)
+	}
+	if elapsed > 20*latency {
+		t.Fatalf("one-byte transfer took %v, suspiciously long", elapsed)
+	}
+}
+
+func TestShapedPipeBandwidth(t *testing.T) {
+	// 1 MiB at 100 MiB/s should take ~10 ms.
+	const size = 1 << 20
+	const bw = 100 << 20
+	a, b := ShapedPipe(1<<22, 0, bw)
+	defer a.Close()
+	defer b.Close()
+
+	start := time.Now()
+	go a.Write(make([]byte, size))
+	if _, err := io.ReadFull(b, make([]byte, size)); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	want := time.Duration(float64(size) / float64(bw) * float64(time.Second))
+	if elapsed < want {
+		t.Fatalf("transfer took %v, want >= %v", elapsed, want)
+	}
+}
+
+func TestShapedPipeDataIntegrity(t *testing.T) {
+	a, b := ShapedPipe(4096, 100e-6, 1<<30)
+	testConnPair(t, a, b)
+}
+
+func TestShapedTransport(t *testing.T) {
+	tr := NewShaped(0, 1e-3, 1<<30)
+	l, err := tr.Listen("n:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		io.Copy(c, c) // echo
+	}()
+	c, err := tr.Dial("n:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if rtt := time.Since(start); rtt < 2*time.Millisecond {
+		t.Fatalf("round trip %v, want >= 2ms (two one-way latencies)", rtt)
+	}
+}
+
+func BenchmarkPipeThroughput(b *testing.B) {
+	a, c := Pipe(256 << 10)
+	defer a.Close()
+	defer c.Close()
+	const chunk = 64 << 10
+	payload := make([]byte, chunk)
+	go func() {
+		buf := make([]byte, chunk)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	b.SetBytes(chunk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestShapedPipeBackpressure(t *testing.T) {
+	// With a tiny in-flight buffer, a writer must block until the
+	// reader drains.
+	a, b := ShapedPipe(16, 0, 0)
+	defer a.Close()
+	defer b.Close()
+	wrote := make(chan struct{})
+	go func() {
+		a.Write(make([]byte, 64)) // 4x the buffer
+		close(wrote)
+	}()
+	select {
+	case <-wrote:
+		t.Fatal("write of 64 bytes completed against a 16-byte window without a reader")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, err := io.ReadFull(b, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-wrote:
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer did not complete after drain")
+	}
+}

@@ -1,0 +1,15 @@
+package xdev
+
+import "net"
+
+// Transport abstracts the byte-stream fabric beneath a network device.
+// Implementations provide real TCP, in-process pipes for single-process
+// jobs, and throttled links that emulate a target fabric's latency and
+// bandwidth (see internal/transport and internal/netsim).
+type Transport interface {
+	// Listen opens a listener on addr. Devices accept peer connections
+	// from it for the life of the job.
+	Listen(addr string) (net.Listener, error)
+	// Dial connects to a peer's listener.
+	Dial(addr string) (net.Conn, error)
+}

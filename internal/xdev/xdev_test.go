@@ -1,0 +1,59 @@
+package xdev
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestProcessIDString(t *testing.T) {
+	if got := (ProcessID{UUID: 3}).String(); got != "pid(3)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := AnySource.String(); got != "ANY_SOURCE" {
+		t.Errorf("AnySource.String = %q", got)
+	}
+	if !AnySource.IsAnySource() || (ProcessID{UUID: 0}).IsAnySource() {
+		t.Error("IsAnySource misbehaves")
+	}
+}
+
+func TestErrorWrapping(t *testing.T) {
+	cause := errors.New("boom")
+	e := &Error{Dev: "testdev", Op: "send", Err: cause}
+	if !strings.Contains(e.Error(), "testdev") || !strings.Contains(e.Error(), "send") {
+		t.Errorf("Error() = %q", e.Error())
+	}
+	if !errors.Is(e, cause) {
+		t.Error("Unwrap does not reach the cause")
+	}
+	e2 := Errf("d", "op", "code %d", 42)
+	if !strings.Contains(e2.Error(), "code 42") {
+		t.Errorf("Errf = %q", e2.Error())
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	if _, err := NewInstance("definitely-not-registered"); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	Register("xdev-test-dup", func() Device { return nil })
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register("xdev-test-dup", func() Device { return nil })
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+}

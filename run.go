@@ -1,0 +1,176 @@
+package mpj
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"mpj/internal/core"
+	"mpj/internal/netsim"
+	"mpj/internal/transport"
+	"mpj/internal/xdev"
+)
+
+// Options configures how a job's processes communicate.
+type Options struct {
+	// Device selects the communication device: "niodev" (default),
+	// "mxdev", "smpdev" or "ibisdev".
+	Device string
+	// EagerLimit overrides the eager→rendezvous switch point in bytes
+	// (niodev only; default 128 KiB, the paper's TCP figure).
+	EagerLimit int
+	// Fabric, when non-empty, runs niodev over an in-memory link shaped
+	// to the named fabric ("fast", "gige", "mx") — wall-clock latency
+	// and bandwidth emulation (see internal/netsim).
+	Fabric string
+	// ThreadLevel is the requested MPI thread level; the provided
+	// level is always ThreadMultiple.
+	ThreadLevel ThreadLevel
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{Device: "niodev", ThreadLevel: ThreadMultiple}
+	if o != nil {
+		if o.Device != "" {
+			out.Device = o.Device
+		}
+		out.EagerLimit = o.EagerLimit
+		out.Fabric = o.Fabric
+		out.ThreadLevel = o.ThreadLevel
+	}
+	return out
+}
+
+var localJobCounter atomic.Int64
+
+// RunLocal runs an n-rank job inside the calling process: each rank is
+// a goroutine with its own Process handle, wired through the selected
+// device (in-memory transport for niodev). This is the SMP scenario
+// the paper's thread-safety design targets, and the test harness.
+//
+// RunLocal returns the first error any rank's body returned, after all
+// ranks have finished and finalized.
+func RunLocal(n int, body func(p *Process) error) error {
+	return RunLocalOpts(n, nil, body)
+}
+
+// RunLocalOpts is RunLocal with explicit Options.
+func RunLocalOpts(n int, opts *Options, body func(p *Process) error) error {
+	if n < 1 {
+		return fmt.Errorf("mpj: RunLocal needs at least 1 rank, got %d", n)
+	}
+	o := opts.withDefaults()
+	job := fmt.Sprintf("mpj-local-%d", localJobCounter.Add(1))
+
+	var dialer xdev.Transport
+	switch {
+	case o.Fabric != "":
+		f, err := netsim.FabricByName(o.Fabric)
+		if err != nil {
+			return err
+		}
+		dialer = transport.NewShaped(f.SocketBufBytes, f.LatencyUS*1e-6, f.BytesPerSecond())
+	default:
+		dialer = transport.NewInProc(0)
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("%s/rank-%d", job, i)
+	}
+
+	procs := make([]*Process, n)
+	initErrs := make([]error, n)
+	var initWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		initWG.Add(1)
+		go func(rank int) {
+			defer initWG.Done()
+			dev, err := xdev.NewInstance(o.Device)
+			if err != nil {
+				initErrs[rank] = err
+				return
+			}
+			cfg := xdev.Config{
+				Rank: rank, Size: n, Addrs: addrs,
+				Dialer: dialer, EagerLimit: o.EagerLimit, Group: job,
+			}
+			procs[rank], _, initErrs[rank] = core.InitThread(dev, cfg, o.ThreadLevel)
+		}(i)
+	}
+	initWG.Wait()
+	for i, err := range initErrs {
+		if err != nil {
+			for _, p := range procs {
+				if p != nil {
+					p.Finalize()
+				}
+			}
+			return fmt.Errorf("mpj: rank %d init: %w", i, err)
+		}
+	}
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[rank] = fmt.Errorf("mpj: rank %d panicked: %v", rank, r)
+				}
+			}()
+			errs[rank] = body(procs[rank])
+		}(i)
+	}
+	wg.Wait()
+	for _, p := range procs {
+		p.Finalize()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("mpj: rank %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Environment variables used by the mpjrun/mpjdaemon bootstrap.
+const (
+	EnvRank   = "MPJ_RANK"
+	EnvSize   = "MPJ_SIZE"
+	EnvAddrs  = "MPJ_ADDRS"
+	EnvDevice = "MPJ_DEVICE"
+)
+
+// InitFromEnv joins the multi-process job described by the MPJ_*
+// environment variables that mpjrun/mpjdaemon set when spawning
+// processes (paper §IV-D). The transport is real TCP.
+func InitFromEnv() (*Process, error) {
+	rank, err := strconv.Atoi(os.Getenv(EnvRank))
+	if err != nil {
+		return nil, fmt.Errorf("mpj: bad or missing %s: %w", EnvRank, err)
+	}
+	size, err := strconv.Atoi(os.Getenv(EnvSize))
+	if err != nil {
+		return nil, fmt.Errorf("mpj: bad or missing %s: %w", EnvSize, err)
+	}
+	addrs := strings.Split(os.Getenv(EnvAddrs), ",")
+	if len(addrs) != size {
+		return nil, fmt.Errorf("mpj: %s lists %d addresses for job size %d", EnvAddrs, len(addrs), size)
+	}
+	device := os.Getenv(EnvDevice)
+	if device == "" {
+		device = "niodev"
+	}
+	dev, err := xdev.NewInstance(device)
+	if err != nil {
+		return nil, err
+	}
+	return core.Init(dev, xdev.Config{
+		Rank: rank, Size: size, Addrs: addrs, Dialer: transport.TCP{},
+	})
+}
