@@ -94,6 +94,23 @@ func BenchmarkPingPongSmpdev(b *testing.B) {
 	benchPingPong(b, 1<<10, &Options{Device: "smpdev"})
 }
 
+// BenchmarkTracingOverhead measures what the mpe tracing subsystem
+// costs on the 1 KiB ping-pong. "off" is the default path: the device
+// Recorder is mpe.Nop and every hot-path hook sits behind a single
+// Enabled() check, so it must stay within noise (<2%) of the
+// pre-instrumentation baseline. "on" records every protocol event into
+// the per-rank ring and feeds the latency histograms. EXPERIMENTS.md
+// records the measured numbers.
+func BenchmarkTracingOverhead(b *testing.B) {
+	const size = 1 << 10
+	b.Run("off", func(b *testing.B) {
+		benchPingPong(b, size, &Options{Device: "niodev"})
+	})
+	b.Run("on", func(b *testing.B) {
+		benchPingPong(b, size, &Options{Device: "niodev", Tracing: true, TraceDir: b.TempDir()})
+	})
+}
+
 // ---- §V-E packing overhead ablation: MPJE-with-packing vs raw ----
 
 // BenchmarkPackedTransfer sends doubles through the full MPJ path

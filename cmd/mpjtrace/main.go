@@ -1,0 +1,121 @@
+// Command mpjtrace inspects the per-rank trace files that mpj's event
+// tracing writes (Options.Tracing / mpj.WithTracing / MPJ_TRACE=1).
+//
+// Usage:
+//
+//	mpjtrace [-dir mpjtrace-out] [-rank N] [-summary] [-chrome out.json]
+//
+// With -summary (the default when -chrome is not given) it prints each
+// rank's device counters, event counts and completion-latency
+// percentiles per message-size bucket. With -chrome it merges every
+// rank onto a shared wall-clock timeline and writes Chrome trace_event
+// JSON loadable in chrome://tracing or https://ui.perfetto.dev.
+//
+// -demo runs a traced 4-rank job (eager and rendezvous ping-pongs plus
+// collectives) into -dir first, so the tool can be tried without an
+// instrumented application:
+//
+//	go run ./cmd/mpjtrace -demo -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpj"
+	"mpj/internal/mpe"
+)
+
+func main() {
+	dir := flag.String("dir", mpe.DefaultTraceDir, "trace directory to read (and write, with -demo)")
+	rank := flag.Int("rank", -1, "restrict output to one rank (-1 = all ranks)")
+	summary := flag.Bool("summary", false, "print per-rank counters, event counts and latency percentiles")
+	chrome := flag.String("chrome", "", "write merged Chrome trace_event JSON to this file")
+	demo := flag.Bool("demo", false, "first run a traced 4-rank demo job into -dir")
+	flag.Parse()
+
+	if *demo {
+		if err := runDemo(*dir); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mpjtrace: demo job traced into %s\n", *dir)
+	}
+
+	files, err := mpe.ReadTraceDir(*dir)
+	if err != nil {
+		fatal(err)
+	}
+
+	wrote := false
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fatal(err)
+		}
+		if err := mpe.WriteChromeTrace(f, files, *rank); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mpjtrace: wrote %s (%d ranks)\n", *chrome, len(files))
+		wrote = true
+	}
+	if *summary || !wrote {
+		if err := mpe.WriteSummary(os.Stdout, files, *rank); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpjtrace:", err)
+	os.Exit(1)
+}
+
+// runDemo traces a small 4-rank job exercising both wire protocols
+// (eager and rendezvous ping-pongs) and a few collectives.
+func runDemo(dir string) error {
+	const (
+		small = 1 << 10   // eager
+		large = 256 << 10 // rendezvous on niodev's default limit
+	)
+	return mpj.RunLocalOpts(4, mpj.WithTracing(dir), func(p *mpj.Process) error {
+		w := p.World()
+		me, n := w.Rank(), w.Size()
+		peer := me ^ 1 // 0<->1, 2<->3
+		for _, size := range []int{small, large} {
+			buf := make([]byte, size)
+			for iter := 0; iter < 4; iter++ {
+				if me%2 == 0 {
+					if err := w.Send(buf, 0, size, mpj.BYTE, peer, iter); err != nil {
+						return err
+					}
+					if _, err := w.Recv(buf, 0, size, mpj.BYTE, peer, iter); err != nil {
+						return err
+					}
+				} else {
+					if _, err := w.Recv(buf, 0, size, mpj.BYTE, peer, iter); err != nil {
+						return err
+					}
+					if err := w.Send(buf, 0, size, mpj.BYTE, peer, iter); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if err := w.Barrier(); err != nil {
+			return err
+		}
+		sum := make([]int64, 1)
+		if err := w.Allreduce([]int64{int64(me)}, 0, sum, 0, 1, mpj.LONG, mpj.SUM); err != nil {
+			return err
+		}
+		if want := int64(n * (n - 1) / 2); sum[0] != want {
+			return fmt.Errorf("demo: allreduce got %d, want %d", sum[0], want)
+		}
+		return w.Bcast(make([]byte, 64), 0, 64, mpj.BYTE, 0)
+	})
+}

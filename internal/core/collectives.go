@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"mpj/internal/mpe"
 	"mpj/internal/mpjbuf"
 	"mpj/internal/mpjdev"
 )
@@ -29,6 +30,23 @@ const (
 	tagSplit
 	tagBarrierRound // base for dissemination rounds; keep last
 )
+
+// nopPhase is the shared deferred value when tracing is off, keeping
+// the disabled path allocation-free.
+var nopPhase = func() {}
+
+// phase opens a CollectivePhase span covering one collective call,
+// tagged with the communicator's collective context id; the returned
+// func closes it and is meant to be deferred.
+func (c *Comm) phase(kind int32) func() {
+	rec := c.p.rec
+	if !rec.Enabled() {
+		return nopPhase
+	}
+	start := rec.Now()
+	ctx := int32(c.coll.Context())
+	return func() { rec.Span(mpe.CollectivePhase, -1, kind, ctx, 0, start) }
+}
 
 // ---- collective-context point-to-point helpers ----
 
@@ -218,6 +236,7 @@ func localCopy(src any, soff, scount int, sdt *Datatype, dst any, doff, dcount i
 // Barrier blocks until all processes in the communicator have entered
 // it (dissemination algorithm, log2(n) rounds).
 func (c *Intracomm) Barrier() error {
+	defer c.phase(mpe.CollBarrier)()
 	n := c.Size()
 	rank := c.Rank()
 	round := 0
@@ -243,6 +262,7 @@ func (c *Intracomm) Barrier() error {
 // Bcast broadcasts count items of dt from root's buf to every process
 // (binomial tree).
 func (c *Intracomm) Bcast(buf any, offset, count int, dt *Datatype, root int) error {
+	defer c.phase(mpe.CollBcast)()
 	n := c.Size()
 	if root < 0 || root >= n {
 		return fmt.Errorf("core: Bcast: root %d out of range", root)
@@ -293,6 +313,7 @@ func (c *Intracomm) Bcast(buf any, offset, count int, dt *Datatype, root int) er
 // receive-at-root, which moves each byte only once.
 func (c *Intracomm) Gather(sendbuf any, soff, scount int, sdt *Datatype,
 	recvbuf any, roff, rcount int, rdt *Datatype, root int) error {
+	defer c.phase(mpe.CollGather)()
 	n := c.Size()
 	if root < 0 || root >= n {
 		return fmt.Errorf("core: Gather: root %d out of range", root)
@@ -324,6 +345,7 @@ func (c *Intracomm) Gather(sendbuf any, soff, scount int, sdt *Datatype,
 // root stores them at item displacement displs[i] (counts[i] items).
 func (c *Intracomm) Gatherv(sendbuf any, soff, scount int, sdt *Datatype,
 	recvbuf any, roff int, rcounts, displs []int, rdt *Datatype, root int) error {
+	defer c.phase(mpe.CollGatherv)()
 	n := c.Size()
 	rank := c.Rank()
 	if root < 0 || root >= n {
@@ -354,6 +376,7 @@ func (c *Intracomm) Gatherv(sendbuf any, soff, scount int, sdt *Datatype,
 // sendbuf, rank i receiving the block at item offset i*scount.
 func (c *Intracomm) Scatter(sendbuf any, soff, scount int, sdt *Datatype,
 	recvbuf any, roff, rcount int, rdt *Datatype, root int) error {
+	defer c.phase(mpe.CollScatter)()
 	n := c.Size()
 	counts := make([]int, n)
 	displs := make([]int, n)
@@ -367,6 +390,7 @@ func (c *Intracomm) Scatter(sendbuf any, soff, scount int, sdt *Datatype,
 // Scatterv distributes varying counts from root.
 func (c *Intracomm) Scatterv(sendbuf any, soff int, scounts, displs []int, sdt *Datatype,
 	recvbuf any, roff, rcount int, rdt *Datatype, root int) error {
+	defer c.phase(mpe.CollScatterv)()
 	n := c.Size()
 	rank := c.Rank()
 	if root < 0 || root >= n {
@@ -397,6 +421,7 @@ func (c *Intracomm) Scatterv(sendbuf any, soff int, scounts, displs []int, sdt *
 // recvbuf (gather to rank 0, then broadcast).
 func (c *Intracomm) Allgather(sendbuf any, soff, scount int, sdt *Datatype,
 	recvbuf any, roff, rcount int, rdt *Datatype) error {
+	defer c.phase(mpe.CollAllgather)()
 	if err := c.Gather(sendbuf, soff, scount, sdt, recvbuf, roff, rcount, rdt, 0); err != nil {
 		return err
 	}
@@ -407,6 +432,7 @@ func (c *Intracomm) Allgather(sendbuf any, soff, scount int, sdt *Datatype,
 // bandwidth-optimal ring; small ones by gather + per-block broadcast.
 func (c *Intracomm) Allgatherv(sendbuf any, soff, scount int, sdt *Datatype,
 	recvbuf any, roff int, rcounts, displs []int, rdt *Datatype) error {
+	defer c.phase(mpe.CollAllgatherv)()
 	n := c.Size()
 	if len(rcounts) != n || len(displs) != n {
 		return fmt.Errorf("core: Allgatherv: need %d counts/displs, have %d/%d", n, len(rcounts), len(displs))
@@ -436,6 +462,7 @@ func (c *Intracomm) Allgatherv(sendbuf any, soff, scount int, sdt *Datatype,
 // receives one from each (pairwise exchange schedule).
 func (c *Intracomm) Alltoall(sendbuf any, soff, scount int, sdt *Datatype,
 	recvbuf any, roff, rcount int, rdt *Datatype) error {
+	defer c.phase(mpe.CollAlltoall)()
 	n := c.Size()
 	scounts := make([]int, n)
 	sdispls := make([]int, n)
@@ -451,6 +478,7 @@ func (c *Intracomm) Alltoall(sendbuf any, soff, scount int, sdt *Datatype,
 // Alltoallv is the varying-count Alltoall.
 func (c *Intracomm) Alltoallv(sendbuf any, soff int, scounts, sdispls []int, sdt *Datatype,
 	recvbuf any, roff int, rcounts, rdispls []int, rdt *Datatype) error {
+	defer c.phase(mpe.CollAlltoallv)()
 	n := c.Size()
 	rank := c.Rank()
 	if len(scounts) != n || len(sdispls) != n || len(rcounts) != n || len(rdispls) != n {
@@ -484,6 +512,7 @@ func (c *Intracomm) Alltoallv(sendbuf any, soff int, scounts, sdispls []int, sdt
 // ops, rank-ordered fold otherwise).
 func (c *Intracomm) Reduce(sendbuf any, soff int, recvbuf any, roff, count int,
 	dt *Datatype, op *Op, root int) error {
+	defer c.phase(mpe.CollReduce)()
 	n := c.Size()
 	rank := c.Rank()
 	if root < 0 || root >= n {
@@ -566,6 +595,7 @@ func (c *Intracomm) Reduce(sendbuf any, soff int, recvbuf any, roff, count int,
 // reduce followed by a broadcast.
 func (c *Intracomm) Allreduce(sendbuf any, soff int, recvbuf any, roff, count int,
 	dt *Datatype, op *Op) error {
+	defer c.phase(mpe.CollAllreduce)()
 	if !op.commute {
 		if err := c.Reduce(sendbuf, soff, recvbuf, roff, count, dt, op, 0); err != nil {
 			return err
@@ -590,6 +620,7 @@ func (c *Intracomm) Allreduce(sendbuf any, soff int, recvbuf any, roff, count in
 // result: rank i receives recvcounts[i] items.
 func (c *Intracomm) ReduceScatter(sendbuf any, soff int, recvbuf any, roff int,
 	recvcounts []int, dt *Datatype, op *Op) error {
+	defer c.phase(mpe.CollReduceScatter)()
 	n := c.Size()
 	if len(recvcounts) != n {
 		return fmt.Errorf("core: ReduceScatter: need %d counts, have %d", n, len(recvcounts))
@@ -621,6 +652,7 @@ func (c *Intracomm) ReduceScatter(sendbuf any, soff int, recvbuf any, roff int,
 // buf_0 op buf_1 op ... op buf_i (linear chain).
 func (c *Intracomm) Scan(sendbuf any, soff int, recvbuf any, roff, count int,
 	dt *Datatype, op *Op) error {
+	defer c.phase(mpe.CollScan)()
 	n := c.Size()
 	rank := c.Rank()
 	acc, err := toScratch(sendbuf, soff, count, dt)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"mpj/internal/mpe"
 	"mpj/internal/mpjdev"
 	"mpj/internal/xdev"
 )
@@ -50,9 +51,12 @@ type Process struct {
 	world    *Intracomm
 	provided ThreadLevel
 
+	rec mpe.Recorder
+
 	mu        sync.Mutex
 	nextCtx   int
 	finalized bool
+	finHooks  []func()
 
 	// Buffered-send pool (MPI_Buffer_attach).
 	bsendMu    sync.Mutex
@@ -80,7 +84,7 @@ func InitThread(dev xdev.Device, cfg xdev.Config, required ThreadLevel) (*Proces
 	if err != nil {
 		return nil, 0, err
 	}
-	p := &Process{dev: dev, pids: pids, provided: ThreadMultiple}
+	p := &Process{dev: dev, pids: pids, provided: ThreadMultiple, rec: mpe.RecorderOf(dev)}
 	world, err := p.newIntracomm(NewGroup(pids), cfg.Rank)
 	if err != nil {
 		dev.Finish()
@@ -105,6 +109,19 @@ func (p *Process) QueryThread() ThreadLevel { return p.provided }
 // Device exposes the underlying communication device.
 func (p *Process) Device() xdev.Device { return p.dev }
 
+// AddFinalizeHook registers fn to run when Finalize is called, after
+// the device has shut down — the device's progress goroutines have
+// quiesced by then, so trace collectors observe a stable recorder and
+// final counter values. Hooks run in registration order; adding a hook
+// after Finalize is a no-op.
+func (p *Process) AddFinalizeHook(fn func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.finalized {
+		p.finHooks = append(p.finHooks, fn)
+	}
+}
+
 // Finalize shuts down the process's communication (MPI_Finalize).
 func (p *Process) Finalize() error {
 	p.mu.Lock()
@@ -113,8 +130,14 @@ func (p *Process) Finalize() error {
 		return nil
 	}
 	p.finalized = true
+	hooks := p.finHooks
+	p.finHooks = nil
 	p.mu.Unlock()
-	return p.dev.Finish()
+	err := p.dev.Finish()
+	for _, fn := range hooks {
+		fn()
+	}
+	return err
 }
 
 // Finalized reports whether Finalize has been called.

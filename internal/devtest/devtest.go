@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"mpj/internal/mpe"
 	"mpj/internal/mpjbuf"
 	"mpj/internal/xdev"
 )
@@ -24,6 +25,10 @@ type Options struct {
 	// LargeN is the element count used for the large-message test
 	// (large enough to cross protocol switch points where relevant).
 	LargeN int
+	// RendezvousAt is the wire-length threshold (bytes) at which the
+	// device switches from eager to rendezvous accounting; 0 means the
+	// device has no rendezvous path and counts every send as eager.
+	RendezvousAt int
 }
 
 // RunConformance runs the full suite.
@@ -41,6 +46,7 @@ func RunConformance(t *testing.T, run JobRunner, opts Options) {
 	t.Run("SelfMessage", func(t *testing.T) { testSelf(t, run) })
 	t.Run("Probe", func(t *testing.T) { testProbe(t, run) })
 	t.Run("ConcurrentTraffic", func(t *testing.T) { testConcurrent(t, run) })
+	t.Run("Counters", func(t *testing.T) { testCounters(t, run, opts.RendezvousAt) })
 	if opts.HasPeek {
 		t.Run("Peek", func(t *testing.T) { testPeek(t, run) })
 	}
@@ -303,6 +309,117 @@ func testConcurrent(t *testing.T, run JobRunner) {
 			}(g)
 		}
 		wg.Wait()
+	})
+}
+
+// testCounters runs a fixed message script — K unexpected eager sends,
+// then N eager and M rendezvous sends into pre-posted receives — and
+// asserts every device reports the same mpe counters for it:
+//
+//	rank 0 (sender):   EagerSent = K+N, RndvSent = M (all eager when
+//	                   the device has no rendezvous path), plus the
+//	                   matched go-ahead receive;
+//	rank 1 (receiver): Unexpected = K, Matched = N+M, EagerSent = 1.
+//
+// Matched/Unexpected count the arrival-time matching decision; a
+// parked unexpected message consumed by a later receive does not
+// become Matched. This is the cross-device contract mpjtrace's
+// summaries rely on.
+func testCounters(t *testing.T, run JobRunner, rendezvousAt int) {
+	const (
+		nEager      = 3
+		mRndv       = 2
+		kUnexpected = 2
+	)
+	smallVals := []int64{1, 2, 3}
+	largeElems := 32 << 10 // 256 KiB payload
+	if rendezvousAt > 0 {
+		largeElems = rendezvousAt / 8 * 2 // safely past the switch point
+	}
+	run(t, 2, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		src, ok := d.(mpe.StatsSource)
+		if !ok {
+			t.Errorf("device %T does not expose Stats()", d)
+			return
+		}
+		if rank == 0 {
+			for i := 0; i < kUnexpected; i++ {
+				send(t, d, pids[1], 100+i, smallVals)
+			}
+			recv(t, d, pids[1], 99, 1) // go-ahead: receives are posted
+			for i := 0; i < nEager; i++ {
+				send(t, d, pids[1], i, smallVals)
+			}
+			big := make([]int64, largeElems)
+			for i := 0; i < mRndv; i++ {
+				send(t, d, pids[1], 10+i, big)
+			}
+			st := src.Stats()
+			wantEager, wantRndv := uint64(kUnexpected+nEager), uint64(mRndv)
+			if rendezvousAt == 0 {
+				wantEager, wantRndv = wantEager+wantRndv, 0
+			}
+			if st.EagerSent != wantEager || st.RndvSent != wantRndv {
+				t.Errorf("rank 0 sends: eager=%d rndv=%d, want eager=%d rndv=%d",
+					st.EagerSent, st.RndvSent, wantEager, wantRndv)
+			}
+			if st.BytesSent == 0 {
+				t.Error("rank 0: BytesSent = 0")
+			}
+			if st.Matched != 1 || st.Unexpected != 0 {
+				t.Errorf("rank 0 matching: matched=%d unexpected=%d, want the go-ahead matched",
+					st.Matched, st.Unexpected)
+			}
+			return
+		}
+		// Rank 1: wait for the K messages to arrive unposted.
+		for i := 0; i < kUnexpected; i++ {
+			for {
+				_, ok, err := d.IProbe(pids[0], 100+i, 0)
+				if err != nil {
+					t.Errorf("iprobe: %v", err)
+					return
+				}
+				if ok {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		// Post the N+M receives, let them register, then release the
+		// sender so their messages arrive matched.
+		var wg sync.WaitGroup
+		post := func(tag, n int) {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				recv(t, d, pids[0], tag, n)
+			}()
+		}
+		for i := 0; i < nEager; i++ {
+			post(i, len(smallVals))
+		}
+		for i := 0; i < mRndv; i++ {
+			post(10+i, largeElems)
+		}
+		time.Sleep(100 * time.Millisecond)
+		send(t, d, pids[0], 99, []int64{0})
+		wg.Wait()
+		// Consuming the parked unexpected messages must not count as
+		// Matched.
+		for i := 0; i < kUnexpected; i++ {
+			recv(t, d, pids[0], 100+i, len(smallVals))
+		}
+		st := src.Stats()
+		if st.Unexpected != kUnexpected {
+			t.Errorf("rank 1: unexpected=%d, want %d", st.Unexpected, kUnexpected)
+		}
+		if st.Matched != nEager+mRndv {
+			t.Errorf("rank 1: matched=%d, want %d", st.Matched, nEager+mRndv)
+		}
+		if st.EagerSent != 1 {
+			t.Errorf("rank 1: eagerSent=%d, want 1 (the go-ahead)", st.EagerSent)
+		}
 	})
 }
 

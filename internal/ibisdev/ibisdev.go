@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mpj/internal/mpe"
 	"mpj/internal/mpjbuf"
 	"mpj/internal/smpdev"
 	"mpj/internal/xdev"
@@ -91,6 +92,13 @@ func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
 
 // ID returns this process's ProcessID.
 func (d *Device) ID() xdev.ProcessID { return d.inner.ID() }
+
+// Stats returns the counters of the inner transport device.
+func (d *Device) Stats() mpe.CounterSnapshot { return d.inner.Stats() }
+
+// Recorder exposes the inner device's event recorder
+// (mpe.Instrumented).
+func (d *Device) Recorder() mpe.Recorder { return d.inner.Recorder() }
 
 // Finish shuts the device down.
 func (d *Device) Finish() error { return d.inner.Finish() }

@@ -1,0 +1,256 @@
+package mpe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (chrome://tracing, https://ui.perfetto.dev). ts/dur are in
+// microseconds; pid groups a rank's events into one track.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+func category(t EventType) string {
+	switch t {
+	case SendBegin, SendEnd, RecvPosted, RecvMatched, RecvUnexpected:
+		return "request"
+	case EagerOut, RendezvousRTS, RendezvousRTR, RendezvousData:
+		return "protocol"
+	case CollectivePhase:
+		return "collective"
+	case WaitanyPark, WaitanyWake:
+		return "waitany"
+	}
+	return "other"
+}
+
+func eventName(ev Event) string {
+	if ev.Type == CollectivePhase {
+		return "Coll:" + CollName(ev.Tag)
+	}
+	return ev.Type.String()
+}
+
+// WriteChromeTrace merges the per-rank traces onto a shared timeline
+// (aligned by each rank's epoch wall clock) and writes a Chrome
+// trace_event JSON document. onlyRank < 0 keeps all ranks.
+func WriteChromeTrace(w io.Writer, files []*TraceFile, onlyRank int) error {
+	if len(files) == 0 {
+		return fmt.Errorf("mpe: no trace files")
+	}
+	// The earliest epoch is t=0 of the merged timeline; each rank's
+	// events shift by its wall-clock offset from it.
+	base := files[0].EpochWallNS
+	for _, tf := range files {
+		if tf.EpochWallNS < base {
+			base = tf.EpochWallNS
+		}
+	}
+	var out []chromeEvent
+	for _, tf := range files {
+		if onlyRank >= 0 && tf.Rank != onlyRank {
+			continue
+		}
+		offset := tf.EpochWallNS - base
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", PID: tf.Rank, TID: 0,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d (%s)", tf.Rank, tf.Device)},
+		})
+		for _, ev := range tf.Events {
+			ce := chromeEvent{
+				Name: eventName(ev),
+				Cat:  category(ev.Type),
+				TS:   float64(ev.At+offset) / 1e3,
+				PID:  tf.Rank,
+				TID:  0,
+				Args: map[string]any{},
+			}
+			if ev.Peer >= 0 {
+				ce.Args["peer"] = ev.Peer
+			}
+			if ev.Type != CollectivePhase {
+				ce.Args["tag"] = ev.Tag
+			}
+			if ev.Ctx >= 0 {
+				ce.Args["ctx"] = ev.Ctx
+			}
+			if ev.Bytes > 0 {
+				ce.Args["bytes"] = ev.Bytes
+			}
+			if ev.Dur > 0 {
+				ce.Ph = "X"
+				ce.Dur = float64(ev.Dur) / 1e3
+			} else {
+				ce.Ph = "i"
+				ce.Scope = "t"
+			}
+			out = append(out, ce)
+		}
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: out, DisplayTimeUnit: "ns"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteSummary writes a plain-text report of the merged traces:
+// per-rank counters, event counts by type, and exact per-size-bucket
+// latency percentiles computed from the retained completion spans.
+func WriteSummary(w io.Writer, files []*TraceFile, onlyRank int) error {
+	if len(files) == 0 {
+		return fmt.Errorf("mpe: no trace files")
+	}
+	kept := files[:0:0]
+	for _, tf := range files {
+		if onlyRank < 0 || tf.Rank == onlyRank {
+			kept = append(kept, tf)
+		}
+	}
+	if len(kept) == 0 {
+		return fmt.Errorf("mpe: no trace for rank %d", onlyRank)
+	}
+
+	fmt.Fprintf(w, "mpjtrace summary: %d rank(s)\n", len(kept))
+	var total CounterSnapshot
+	haveCounters := false
+	for _, tf := range kept {
+		fmt.Fprintf(w, "\nrank %d", tf.Rank)
+		if tf.Device != "" {
+			fmt.Fprintf(w, " (%s)", tf.Device)
+		}
+		fmt.Fprintf(w, ": %d events", len(tf.Events))
+		if tf.Overwritten > 0 {
+			fmt.Fprintf(w, " (+%d overwritten)", tf.Overwritten)
+		}
+		fmt.Fprintln(w)
+		if tf.Counters != nil {
+			haveCounters = true
+			total = total.Add(*tf.Counters)
+			c := tf.Counters
+			fmt.Fprintf(w, "  counters: eager=%d rndv=%d bytesSent=%d matched=%d unexpected=%d\n",
+				c.EagerSent, c.RndvSent, c.BytesSent, c.Matched, c.Unexpected)
+		}
+		byType := map[EventType]int{}
+		for _, ev := range tf.Events {
+			byType[ev.Type]++
+		}
+		types := make([]EventType, 0, len(byType))
+		for t := range byType {
+			types = append(types, t)
+		}
+		sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+		for _, t := range types {
+			fmt.Fprintf(w, "  %-16s %d\n", t, byType[t])
+		}
+	}
+	if haveCounters && len(kept) > 1 {
+		fmt.Fprintf(w, "\nall ranks: eager=%d rndv=%d bytesSent=%d matched=%d unexpected=%d\n",
+			total.EagerSent, total.RndvSent, total.BytesSent, total.Matched, total.Unexpected)
+	}
+
+	writeLatencyTable(w, kept, SendEnd, "send completion latency")
+	writeLatencyTable(w, kept, RecvMatched, "recv completion latency")
+	writeCollectives(w, kept)
+	return nil
+}
+
+// writeLatencyTable prints exact percentiles per message-size bucket
+// for the given span type, computed by sorting the retained span
+// durations (the histograms carry the same data with bucket
+// resolution; the retained events allow exact numbers).
+func writeLatencyTable(w io.Writer, files []*TraceFile, typ EventType, title string) {
+	bySize := map[int][]int64{}
+	for _, tf := range files {
+		for _, ev := range tf.Events {
+			if ev.Type == typ && ev.Dur > 0 {
+				b := SizeBucket(ev.Bytes)
+				bySize[b] = append(bySize[b], ev.Dur)
+			}
+		}
+	}
+	if len(bySize) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%s (per message-size bucket):\n", title)
+	fmt.Fprintf(w, "  %-8s %8s %12s %12s %12s\n", "size", "count", "p50", "p95", "max")
+	for b := 0; b < sizeBucketCount; b++ {
+		durs := bySize[b]
+		if len(durs) == 0 {
+			continue
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		p50 := durs[len(durs)*50/100]
+		p95 := durs[len(durs)*95/100]
+		max := durs[len(durs)-1]
+		fmt.Fprintf(w, "  %-8s %8d %12s %12s %12s\n",
+			SizeBucketLabel(b), len(durs), fmtNS(p50), fmtNS(p95), fmtNS(max))
+	}
+}
+
+func writeCollectives(w io.Writer, files []*TraceFile) {
+	type stat struct {
+		n   int
+		sum int64
+		max int64
+	}
+	byKind := map[int32]*stat{}
+	for _, tf := range files {
+		for _, ev := range tf.Events {
+			if ev.Type != CollectivePhase {
+				continue
+			}
+			s := byKind[ev.Tag]
+			if s == nil {
+				s = &stat{}
+				byKind[ev.Tag] = s
+			}
+			s.n++
+			s.sum += ev.Dur
+			if ev.Dur > s.max {
+				s.max = ev.Dur
+			}
+		}
+	}
+	if len(byKind) == 0 {
+		return
+	}
+	kinds := make([]int32, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	fmt.Fprintf(w, "\ncollective phases (all ranks):\n")
+	fmt.Fprintf(w, "  %-14s %8s %12s %12s\n", "collective", "calls", "mean", "max")
+	for _, k := range kinds {
+		s := byKind[k]
+		fmt.Fprintf(w, "  %-14s %8d %12s %12s\n",
+			CollName(k), s.n, fmtNS(s.sum/int64(s.n)), fmtNS(s.max))
+	}
+}
+
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

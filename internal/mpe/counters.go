@@ -1,0 +1,54 @@
+package mpe
+
+import "sync/atomic"
+
+// Counters aggregates a device's protocol activity with atomic fields,
+// shared by all devices (superseding the niodev-private statCounters).
+// Send-side counters are incremented by the sending device; Unexpected
+// and Matched by the device on whose side the matching happened.
+type Counters struct {
+	// EagerSent counts sends that took the eager protocol.
+	EagerSent atomic.Uint64
+	// RndvSent counts sends that took the rendezvous protocol.
+	RndvSent atomic.Uint64
+	// BytesSent totals payload bytes handed to the transport.
+	BytesSent atomic.Uint64
+	// Unexpected counts arrivals parked with no posted receive.
+	Unexpected atomic.Uint64
+	// Matched counts arrivals that found a posted receive.
+	Matched atomic.Uint64
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (c *Counters) Snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		EagerSent:  c.EagerSent.Load(),
+		RndvSent:   c.RndvSent.Load(),
+		BytesSent:  c.BytesSent.Load(),
+		Unexpected: c.Unexpected.Load(),
+		Matched:    c.Matched.Load(),
+	}
+}
+
+// CounterSnapshot is a point-in-time copy of Counters. Field names
+// keep compatibility with the original niodev.Stats so existing
+// assertions keep working unchanged.
+type CounterSnapshot struct {
+	EagerSent  uint64 `json:"eagerSent"`
+	RndvSent   uint64 `json:"rndvSent"`
+	BytesSent  uint64 `json:"bytesSent"`
+	Unexpected uint64 `json:"unexpected"`
+	Matched    uint64 `json:"matched"`
+}
+
+// Add returns the field-wise sum of two snapshots (used when a device
+// aggregates sub-component counters, and by the merge step).
+func (s CounterSnapshot) Add(o CounterSnapshot) CounterSnapshot {
+	return CounterSnapshot{
+		EagerSent:  s.EagerSent + o.EagerSent,
+		RndvSent:   s.RndvSent + o.RndvSent,
+		BytesSent:  s.BytesSent + o.BytesSent,
+		Unexpected: s.Unexpected + o.Unexpected,
+		Matched:    s.Matched + o.Matched,
+	}
+}

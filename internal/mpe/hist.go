@@ -1,0 +1,174 @@
+package mpe
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Message-size buckets for latency histograms. Protocol behaviour is
+// size-driven (eager vs rendezvous around 128 KiB), so latencies are
+// only comparable within a size class.
+const (
+	sizeBucketCount = 5
+	durBucketCount  = 40 // log2 ns buckets: covers ~1ns .. ~9min
+)
+
+var sizeBucketTops = [sizeBucketCount]int64{256, 4 << 10, 64 << 10, 1 << 20, 1<<63 - 1}
+
+var sizeBucketLabels = [sizeBucketCount]string{
+	"<=256B", "<=4KiB", "<=64KiB", "<=1MiB", ">1MiB",
+}
+
+// SizeBucket returns the histogram bucket index for a payload length.
+func SizeBucket(bytes int64) int {
+	for i, top := range sizeBucketTops {
+		if bytes <= top {
+			return i
+		}
+	}
+	return sizeBucketCount - 1
+}
+
+// SizeBucketLabel names a size bucket for display.
+func SizeBucketLabel(i int) string {
+	if i >= 0 && i < sizeBucketCount {
+		return sizeBucketLabels[i]
+	}
+	return fmt.Sprintf("bucket(%d)", i)
+}
+
+// Histogram accumulates operation latencies in log2-nanosecond buckets
+// per message-size class, with atomic counters so recording never
+// locks.
+type Histogram struct {
+	counts [sizeBucketCount][durBucketCount]atomic.Uint64
+	sum    [sizeBucketCount]atomic.Int64
+	max    [sizeBucketCount]atomic.Int64
+	n      [sizeBucketCount]atomic.Uint64
+}
+
+func durBucket(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := 0
+	for v := ns; v > 1 && b < durBucketCount-1; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Observe records one operation of the given payload size taking ns
+// nanoseconds.
+func (h *Histogram) Observe(bytes, ns int64) {
+	s := SizeBucket(bytes)
+	h.counts[s][durBucket(ns)].Add(1)
+	h.sum[s].Add(ns)
+	h.n[s].Add(1)
+	for {
+		m := h.max[s].Load()
+		if ns <= m || h.max[s].CompareAndSwap(m, ns) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a plain-value copy of the histogram.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var out HistSnapshot
+	for s := 0; s < sizeBucketCount; s++ {
+		b := &out.Buckets[s]
+		b.Label = sizeBucketLabels[s]
+		b.Count = h.n[s].Load()
+		b.SumNS = h.sum[s].Load()
+		b.MaxNS = h.max[s].Load()
+		for d := 0; d < durBucketCount; d++ {
+			b.Counts[d] = h.counts[s][d].Load()
+		}
+	}
+	return out
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram, serializable to
+// the per-rank trace file.
+type HistSnapshot struct {
+	Buckets [sizeBucketCount]HistBucket `json:"buckets"`
+}
+
+// HistBucket is one message-size class of a HistSnapshot.
+type HistBucket struct {
+	Label  string                 `json:"label"`
+	Count  uint64                 `json:"count"`
+	SumNS  int64                  `json:"sumNs"`
+	MaxNS  int64                  `json:"maxNs"`
+	Counts [durBucketCount]uint64 `json:"counts"`
+}
+
+// Merge returns the bucket-wise sum of two snapshots (used when
+// merging ranks).
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	var out HistSnapshot
+	for i := range out.Buckets {
+		a, b := s.Buckets[i], o.Buckets[i]
+		m := &out.Buckets[i]
+		m.Label = sizeBucketLabels[i]
+		m.Count = a.Count + b.Count
+		m.SumNS = a.SumNS + b.SumNS
+		m.MaxNS = a.MaxNS
+		if b.MaxNS > m.MaxNS {
+			m.MaxNS = b.MaxNS
+		}
+		for d := range m.Counts {
+			m.Counts[d] = a.Counts[d] + b.Counts[d]
+		}
+	}
+	return out
+}
+
+// Percentile returns an upper bound on the q-th percentile latency
+// (q in [0,100]) for size bucket s, in nanoseconds. The bound is the
+// top of the log2 duration bucket containing the q-th observation, so
+// it is at most 2x the true value. Returns 0 when the bucket is empty.
+func (s HistSnapshot) Percentile(bucket int, q float64) int64 {
+	if bucket < 0 || bucket >= sizeBucketCount {
+		return 0
+	}
+	b := s.Buckets[bucket]
+	if b.Count == 0 {
+		return 0
+	}
+	rank := uint64(q / 100 * float64(b.Count))
+	if rank >= b.Count {
+		rank = b.Count - 1
+	}
+	var seen uint64
+	for d, c := range b.Counts {
+		seen += c
+		if seen > rank {
+			// Bucket d holds durations in [2^d, 2^(d+1)) ns (d=0
+			// also catches <=1ns); report the bucket top, clamped
+			// to the observed max.
+			top := int64(1)
+			if d > 0 {
+				top = int64(1) << uint(d+1)
+			}
+			if b.MaxNS > 0 && top > b.MaxNS {
+				top = b.MaxNS
+			}
+			return top
+		}
+	}
+	return b.MaxNS
+}
+
+// MeanNS returns the mean latency for size bucket s, or 0 when empty.
+func (s HistSnapshot) MeanNS(bucket int) int64 {
+	if bucket < 0 || bucket >= sizeBucketCount {
+		return 0
+	}
+	b := s.Buckets[bucket]
+	if b.Count == 0 {
+		return 0
+	}
+	return b.SumNS / int64(b.Count)
+}

@@ -1,0 +1,246 @@
+// Package mpe is the event tracing and metrics subsystem of this MPJ
+// Express reproduction — the analogue of the MPE-style instrumentation
+// layer the original MPJ Express later grew for its parallel debugger
+// and profiler (Akhtar & Shafi, arXiv:1408.6347). It gives every layer
+// of the stack a common, low-overhead way to record what the progress
+// engine actually did:
+//
+//   - the device layer records protocol state transitions (eager data
+//     out, rendezvous RTS/RTR/data, matched vs unexpected arrivals);
+//   - the mpjdev layer records request lifecycle and the park/wake of
+//     the peek-based Waitany;
+//   - the core layer records collective phases, tagged with the
+//     communicator's collective context id.
+//
+// Events land in a per-rank, lock-free-ish overwriting ring buffer
+// (Ring); send/receive completion latencies additionally feed
+// per-message-size-bucket histograms (Histogram); devices aggregate
+// protocol activity in shared atomic Counters. When tracing is off the
+// layers hold a Nop Recorder, whose methods are empty — the entire
+// cost of the disabled subsystem is a predicted-not-taken Enabled()
+// check on the hot paths.
+//
+// A finished rank serializes its view as a TraceFile (one JSON file
+// per rank); cmd/mpjtrace merges the per-rank files on a common
+// wall-clock timeline and renders them as a Chrome trace_event JSON
+// (chrome://tracing, https://ui.perfetto.dev) or a plain-text summary.
+//
+// The package is stdlib-only and sits below every other package in the
+// repository: xdev carries a Recorder in its Config, so any device can
+// be instrumented without new dependencies.
+package mpe
+
+import "fmt"
+
+// EventType identifies what happened. The set covers the protocol and
+// request machinery of the paper's Figs. 3–8 plus the Waitany queue of
+// §IV-E.1 and the collective phases of the high level.
+type EventType uint8
+
+// Event types recorded by the instrumented layers.
+const (
+	// EvNone is the zero EventType; it is never recorded.
+	EvNone EventType = iota
+	// SendBegin marks entry into a device send operation.
+	SendBegin
+	// SendEnd is a span from SendBegin to send-request completion.
+	SendEnd
+	// RecvPosted marks a receive joining the posted-receive set.
+	RecvPosted
+	// RecvMatched is a span from RecvPosted to delivery into the
+	// user buffer.
+	RecvMatched
+	// RecvUnexpected marks an arrival (eager payload or rendezvous
+	// RTS envelope) parked in the unexpected queue.
+	RecvUnexpected
+	// EagerOut marks eager-protocol data written to the wire.
+	EagerOut
+	// RendezvousRTS marks a READY_TO_SEND control message sent.
+	RendezvousRTS
+	// RendezvousRTR marks a READY_TO_RECV answer sent.
+	RendezvousRTR
+	// RendezvousData marks rendezvous payload written by the forked
+	// writer goroutine.
+	RendezvousData
+	// CollectivePhase is a span covering one collective call; the
+	// event's Tag carries the collective kind (see CollName) and its
+	// Ctx the communicator's collective context id.
+	CollectivePhase
+	// WaitanyPark marks a Waitany caller blocking on the device's
+	// peek queue.
+	WaitanyPark
+	// WaitanyWake is a span from WaitanyPark to wake-up.
+	WaitanyWake
+
+	eventTypeCount
+)
+
+var eventNames = [eventTypeCount]string{
+	EvNone:          "None",
+	SendBegin:       "SendBegin",
+	SendEnd:         "SendEnd",
+	RecvPosted:      "RecvPosted",
+	RecvMatched:     "RecvMatched",
+	RecvUnexpected:  "RecvUnexpected",
+	EagerOut:        "EagerOut",
+	RendezvousRTS:   "RendezvousRTS",
+	RendezvousRTR:   "RendezvousRTR",
+	RendezvousData:  "RendezvousData",
+	CollectivePhase: "CollectivePhase",
+	WaitanyPark:     "WaitanyPark",
+	WaitanyWake:     "WaitanyWake",
+}
+
+// String returns the event type's name.
+func (t EventType) String() string {
+	if int(t) < len(eventNames) && eventNames[t] != "" {
+		return eventNames[t]
+	}
+	return fmt.Sprintf("EventType(%d)", uint8(t))
+}
+
+// MarshalText serializes the type as its name (used by the JSON trace
+// files, keeping them human-readable).
+func (t EventType) MarshalText() ([]byte, error) { return []byte(t.String()), nil }
+
+// UnmarshalText parses an event type name.
+func (t *EventType) UnmarshalText(b []byte) error {
+	s := string(b)
+	for i, n := range eventNames {
+		if n == s {
+			*t = EventType(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("mpe: unknown event type %q", s)
+}
+
+// Event is one timestamped record in a rank's ring.
+type Event struct {
+	// Type says what happened.
+	Type EventType `json:"t"`
+	// Peer is the peer process slot, or -1 when not applicable
+	// (wildcard receives, collective phases, Waitany).
+	Peer int32 `json:"peer"`
+	// Tag is the message tag. For CollectivePhase events it carries
+	// the collective kind instead (see CollName).
+	Tag int32 `json:"tag"`
+	// Ctx is the matching context id, or -1 when not applicable.
+	Ctx int32 `json:"ctx"`
+	// Bytes is the wire payload length involved, if any.
+	Bytes int64 `json:"n,omitempty"`
+	// At is the event (or span start) time in nanoseconds since the
+	// recording tracer's epoch.
+	At int64 `json:"at"`
+	// Dur is the span duration in nanoseconds; 0 for instantaneous
+	// events.
+	Dur int64 `json:"dur,omitempty"`
+}
+
+// Recorder is the hook interface the instrumented layers record
+// through. Implementations must be safe for concurrent use; all
+// methods must be cheap enough for protocol hot paths.
+//
+// Layers guard their instrumentation with Enabled() so that argument
+// marshalling (timestamps, slot lookups) is not paid when tracing is
+// off.
+type Recorder interface {
+	// Enabled reports whether events are being kept.
+	Enabled() bool
+	// Now returns the recorder's clock: nanoseconds since its epoch.
+	Now() int64
+	// Event records an instantaneous event.
+	Event(t EventType, peer, tag, ctx int32, bytes int64)
+	// Span records an event that began at start (a value previously
+	// obtained from Now) and finished now.
+	Span(t EventType, peer, tag, ctx int32, bytes int64, start int64)
+}
+
+// Nop is the disabled Recorder: every method is an empty shell the
+// compiler can see through. It is the value layers hold when tracing
+// is off.
+type Nop struct{}
+
+// Enabled reports false: no events are kept.
+func (Nop) Enabled() bool { return false }
+
+// Now returns 0.
+func (Nop) Now() int64 { return 0 }
+
+// Event discards the event.
+func (Nop) Event(EventType, int32, int32, int32, int64) {}
+
+// Span discards the span.
+func (Nop) Span(EventType, int32, int32, int32, int64, int64) {}
+
+// Instrumented is implemented by devices that expose their Recorder,
+// letting upper layers (mpjdev, core) record into the same per-rank
+// stream the device records into.
+type Instrumented interface {
+	Recorder() Recorder
+}
+
+// RecorderOf returns v's Recorder if v is Instrumented (and its
+// recorder non-nil), and Nop otherwise.
+func RecorderOf(v any) Recorder {
+	if ins, ok := v.(Instrumented); ok {
+		if r := ins.Recorder(); r != nil {
+			return r
+		}
+	}
+	return Nop{}
+}
+
+// StatsSource is implemented by devices that expose aggregated
+// activity counters (all in-tree devices do).
+type StatsSource interface {
+	Stats() CounterSnapshot
+}
+
+// DefaultTraceDir is where traced jobs write per-rank trace files when
+// no directory is configured, and where cmd/mpjtrace looks by default.
+const DefaultTraceDir = "mpjtrace-out"
+
+// Collective kinds carried in the Tag of CollectivePhase events.
+const (
+	CollBarrier int32 = iota + 1
+	CollBcast
+	CollGather
+	CollGatherv
+	CollScatter
+	CollScatterv
+	CollAllgather
+	CollAllgatherv
+	CollAlltoall
+	CollAlltoallv
+	CollReduce
+	CollAllreduce
+	CollReduceScatter
+	CollScan
+)
+
+var collNames = map[int32]string{
+	CollBarrier:       "Barrier",
+	CollBcast:         "Bcast",
+	CollGather:        "Gather",
+	CollGatherv:       "Gatherv",
+	CollScatter:       "Scatter",
+	CollScatterv:      "Scatterv",
+	CollAllgather:     "Allgather",
+	CollAllgatherv:    "Allgatherv",
+	CollAlltoall:      "Alltoall",
+	CollAlltoallv:     "Alltoallv",
+	CollReduce:        "Reduce",
+	CollAllreduce:     "Allreduce",
+	CollReduceScatter: "ReduceScatter",
+	CollScan:          "Scan",
+}
+
+// CollName names a collective kind code (the Tag of a CollectivePhase
+// event).
+func CollName(kind int32) string {
+	if n, ok := collNames[kind]; ok {
+		return n
+	}
+	return fmt.Sprintf("Collective(%d)", kind)
+}

@@ -1,0 +1,348 @@
+package mpe
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingOrderAndWrap(t *testing.T) {
+	r := NewRing(16)
+	if r.Cap() != 16 {
+		t.Fatalf("Cap = %d, want 16", r.Cap())
+	}
+	for i := 0; i < 40; i++ {
+		r.Put(Event{Type: SendBegin, Tag: int32(i)})
+	}
+	evs := r.Snapshot()
+	if len(evs) != 16 {
+		t.Fatalf("Snapshot len = %d, want 16", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int32(40 - 16 + i); ev.Tag != want {
+			t.Errorf("event %d tag = %d, want %d", i, ev.Tag, want)
+		}
+	}
+	if r.Overwritten() != 24 {
+		t.Errorf("Overwritten = %d, want 24", r.Overwritten())
+	}
+	if r.Len() != 16 {
+		t.Errorf("Len = %d, want 16", r.Len())
+	}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	if got := NewRing(0).Cap(); got != 16 {
+		t.Errorf("Cap(0) = %d, want 16", got)
+	}
+	if got := NewRing(100).Cap(); got != 128 {
+		t.Errorf("Cap(100) = %d, want 128", got)
+	}
+}
+
+// TestRingConcurrent hammers a deliberately tiny ring from many
+// goroutines — the multi-goroutine workload the race detector must
+// accept (ProgressionTest-style; every conformance job exercises it
+// again through the instrumented devices).
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	const goroutines = 8
+	const perG = 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Put(Event{Type: EagerOut, Peer: int32(g), Tag: int32(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	evs := r.Snapshot()
+	if len(evs) != 64 {
+		t.Fatalf("Snapshot len = %d, want 64", len(evs))
+	}
+	if want := uint64(goroutines*perG - 64); r.Overwritten() != want {
+		t.Errorf("Overwritten = %d, want %d", r.Overwritten(), want)
+	}
+	// Per-writer tags must appear in increasing order: the ring must
+	// not duplicate or reorder one goroutine's events.
+	last := map[int32]int32{}
+	for _, ev := range evs {
+		if prev, ok := last[ev.Peer]; ok && ev.Tag <= prev {
+			t.Fatalf("writer %d events out of order: %d after %d", ev.Peer, ev.Tag, prev)
+		}
+		last[ev.Peer] = ev.Tag
+	}
+}
+
+// TestTracerConcurrent drives the full Recorder surface (events,
+// spans, both histograms) concurrently, then snapshots — the workload
+// the -race CI job runs.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(0, 256)
+	var ctr Counters
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2_000; i++ {
+				start := tr.Now()
+				tr.Event(RecvPosted, int32(g), int32(i), 0, 64)
+				tr.Span(SendEnd, int32(g), int32(i), 0, int64(i%(2<<20)), start)
+				tr.Span(RecvMatched, int32(g), int32(i), 0, 512, start)
+				ctr.EagerSent.Add(1)
+				ctr.BytesSent.Add(64)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if !tr.Enabled() {
+		t.Fatal("tracer not enabled")
+	}
+	if got := ctr.Snapshot().EagerSent; got != 16_000 {
+		t.Errorf("EagerSent = %d, want 16000", got)
+	}
+	sh := tr.SendHist()
+	var n uint64
+	for _, b := range sh.Buckets {
+		n += b.Count
+	}
+	if n != 16_000 {
+		t.Errorf("send hist observations = %d, want 16000", n)
+	}
+	if len(tr.Events()) != 256 {
+		t.Errorf("retained = %d, want 256", len(tr.Events()))
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	// 100 observations in the <=256B bucket: 1µs .. 100µs.
+	for i := 1; i <= 100; i++ {
+		h.Observe(100, int64(i)*1000)
+	}
+	s := h.Snapshot()
+	b := s.Buckets[SizeBucket(100)]
+	if b.Count != 100 {
+		t.Fatalf("count = %d, want 100", b.Count)
+	}
+	if b.MaxNS != 100_000 {
+		t.Errorf("max = %d, want 100000", b.MaxNS)
+	}
+	p50 := s.Percentile(SizeBucket(100), 50)
+	// Upper bound from log2 buckets: true p50 is ~50µs, bound must be
+	// within [50µs, 100µs] and never exceed the recorded max.
+	if p50 < 50_000 || p50 > 128_000 {
+		t.Errorf("p50 bound = %d, want within [50000, 128000]", p50)
+	}
+	if p95 := s.Percentile(SizeBucket(100), 95); p95 < p50 {
+		t.Errorf("p95 %d < p50 %d", p95, p50)
+	}
+	if mean := s.MeanNS(SizeBucket(100)); mean != 50_500 {
+		t.Errorf("mean = %d, want 50500", mean)
+	}
+	if got := s.Percentile(SizeBucket(1<<21), 50); got != 0 {
+		t.Errorf("empty bucket percentile = %d, want 0", got)
+	}
+}
+
+func TestSizeBuckets(t *testing.T) {
+	cases := []struct {
+		bytes int64
+		label string
+	}{
+		{0, "<=256B"}, {256, "<=256B"}, {257, "<=4KiB"},
+		{4 << 10, "<=4KiB"}, {64 << 10, "<=64KiB"},
+		{1 << 20, "<=1MiB"}, {1<<20 + 1, ">1MiB"},
+	}
+	for _, c := range cases {
+		if got := SizeBucketLabel(SizeBucket(c.bytes)); got != c.label {
+			t.Errorf("SizeBucket(%d) = %s, want %s", c.bytes, got, c.label)
+		}
+	}
+}
+
+func TestEventTypeTextRoundTrip(t *testing.T) {
+	for typ := SendBegin; typ < eventTypeCount; typ++ {
+		b, err := typ.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back EventType
+		if err := back.UnmarshalText(b); err != nil {
+			t.Fatal(err)
+		}
+		if back != typ {
+			t.Errorf("round trip %v -> %v", typ, back)
+		}
+	}
+	var bad EventType
+	if err := bad.UnmarshalText([]byte("Nope")); err == nil {
+		t.Error("expected error for unknown name")
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	tr := NewTracer(3, 64)
+	start := tr.Now()
+	tr.Event(RecvUnexpected, 1, 7, 0, 128)
+	tr.Span(SendEnd, 1, 7, 0, 128, start)
+	tf := tr.File()
+	tf.Device = "niodev"
+	tf.Size = 4
+	cs := (&Counters{}).Snapshot()
+	tf.Counters = &cs
+
+	dir := t.TempDir()
+	if err := WriteFile(dir, tf); err != nil {
+		t.Fatal(err)
+	}
+	files, err := ReadTraceDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("got %d files", len(files))
+	}
+	got := files[0]
+	if got.Rank != 3 || got.Device != "niodev" || got.Size != 4 {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Events) != 2 {
+		t.Fatalf("events = %d, want 2", len(got.Events))
+	}
+	if got.Events[0].Type != RecvUnexpected || got.Events[1].Type != SendEnd {
+		t.Errorf("event types: %v %v", got.Events[0].Type, got.Events[1].Type)
+	}
+	if got.Events[1].Dur < 0 {
+		t.Errorf("span dur = %d", got.Events[1].Dur)
+	}
+	if got.EpochWallNS == 0 {
+		t.Error("epoch wall clock missing")
+	}
+}
+
+func TestReadTraceDirEmpty(t *testing.T) {
+	if _, err := ReadTraceDir(t.TempDir()); err == nil {
+		t.Error("expected error for empty dir")
+	}
+}
+
+func TestChromeTraceValidJSON(t *testing.T) {
+	mk := func(rank int, wall int64) *TraceFile {
+		tr := NewTracer(rank, 64)
+		s := tr.Now()
+		tr.Event(EagerOut, 1-int32(rank), 0, 0, 64)
+		tr.Span(SendEnd, 1-int32(rank), 0, 0, 64, s)
+		tr.Span(CollectivePhase, -1, CollBarrier, 1, 0, s)
+		tf := tr.File()
+		tf.EpochWallNS = wall
+		tf.Device = "smpdev"
+		return tf
+	}
+	files := []*TraceFile{mk(0, 1000), mk(1, 5000)}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, files, -1); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	pids := map[float64]bool{}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		pids[ev["pid"].(float64)] = true
+		names[ev["name"].(string)] = true
+		if ph := ev["ph"].(string); ph != "M" && ph != "X" && ph != "i" {
+			t.Errorf("unexpected ph %q", ph)
+		}
+	}
+	if len(pids) < 2 {
+		t.Errorf("events from %d ranks, want >= 2", len(pids))
+	}
+	for _, want := range []string{"EagerOut", "SendEnd", "Coll:Barrier"} {
+		if !names[want] {
+			t.Errorf("missing event name %q", want)
+		}
+	}
+	// Rank filter keeps only the requested pid.
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, files, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev["pid"].(float64) != 1 {
+			t.Errorf("rank filter leaked pid %v", ev["pid"])
+		}
+	}
+}
+
+func TestSummaryOutput(t *testing.T) {
+	tr := NewTracer(0, 256)
+	for i := 0; i < 10; i++ {
+		s := tr.Now()
+		time.Sleep(time.Microsecond)
+		tr.Span(SendEnd, 1, int32(i), 0, 100, s)
+		tr.Span(RecvMatched, 1, int32(i), 0, 200<<10, s)
+		tr.Span(CollectivePhase, -1, CollAllreduce, 1, 0, s)
+	}
+	tf := tr.File()
+	tf.Device = "niodev"
+	cs := CounterSnapshot{EagerSent: 10, Matched: 10, BytesSent: 1000}
+	tf.Counters = &cs
+
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, []*TraceFile{tf}, -1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"rank 0 (niodev)",
+		"eager=10",
+		"send completion latency",
+		"<=256B",
+		"recv completion latency",
+		"<=1MiB",
+		"p50", "p95", "max",
+		"Allreduce",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q in:\n%s", want, out)
+		}
+	}
+	if err := WriteSummary(&buf, []*TraceFile{tf}, 5); err == nil {
+		t.Error("expected error for absent rank filter")
+	}
+}
+
+func TestNopRecorder(t *testing.T) {
+	var r Recorder = Nop{}
+	if r.Enabled() {
+		t.Error("Nop enabled")
+	}
+	r.Event(SendBegin, 0, 0, 0, 0)
+	r.Span(SendEnd, 0, 0, 0, 0, r.Now())
+	if RecorderOf(42) != (Nop{}) {
+		t.Error("RecorderOf non-instrumented != Nop")
+	}
+}
+
+func TestCounterSnapshotAdd(t *testing.T) {
+	a := CounterSnapshot{EagerSent: 1, RndvSent: 2, BytesSent: 3, Unexpected: 4, Matched: 5}
+	b := a.Add(a)
+	if b.EagerSent != 2 || b.RndvSent != 4 || b.BytesSent != 6 || b.Unexpected != 8 || b.Matched != 10 {
+		t.Errorf("Add = %+v", b)
+	}
+}

@@ -1,0 +1,107 @@
+package mpe
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Ring is a bounded, overwriting event buffer safe for concurrent
+// writers (the application threads and progress-engine goroutines of
+// one rank). Writers claim a unique logical position with a single
+// atomic add; each slot carries a sequence number so that a writer on
+// lap k+1 does not touch the slot payload until the lap-k writer's
+// release-store has published it — two writers never race on the same
+// slot's event.
+//
+// When the ring is full the oldest events are overwritten — tracing
+// must never block or abort the traffic it observes. Overwritten()
+// reports how many events were lost that way.
+//
+// Snapshot is only valid at quiescence (no concurrent Put), which is
+// how traces are read: after the rank's job body returned and its
+// device finished.
+type Ring struct {
+	slots []slot
+	mask  uint64
+	pos   atomic.Uint64 // next logical write position
+}
+
+type slot struct {
+	// seq == p means the slot is ready for the writer holding
+	// logical position p (writers at p and p+cap share a slot but
+	// never overlap: the p+cap writer waits for seq to become
+	// p+cap, stored by the p writer after its payload write).
+	seq atomic.Uint64
+	ev  Event
+}
+
+// NewRing returns a ring holding up to capacity events; capacity is
+// rounded up to a power of two (minimum 16).
+func NewRing(capacity int) *Ring {
+	n := 16
+	for n < capacity {
+		n <<= 1
+	}
+	r := &Ring{slots: make([]slot, n), mask: uint64(n - 1)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap returns the ring's capacity in events.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Put records ev, overwriting the oldest retained event if the ring
+// is full.
+func (r *Ring) Put(ev Event) {
+	p := r.pos.Add(1) - 1
+	s := &r.slots[p&r.mask]
+	// Wait out the (instruction-scale) window where the previous
+	// lap's writer has claimed the slot but not yet published it.
+	for s.seq.Load() != p {
+		runtime.Gosched()
+	}
+	s.ev = ev
+	s.seq.Store(p + uint64(len(r.slots)))
+}
+
+// Overwritten reports how many events were lost to ring wrap.
+func (r *Ring) Overwritten() uint64 {
+	if p := r.pos.Load(); p > uint64(len(r.slots)) {
+		return p - uint64(len(r.slots))
+	}
+	return 0
+}
+
+// Len reports how many events the ring currently retains.
+func (r *Ring) Len() int {
+	n := r.pos.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Snapshot returns the retained events in record order (oldest first).
+// It must only be called at quiescence: every goroutine that might Put
+// has finished (and its completion observed, establishing
+// happens-before with this call).
+func (r *Ring) Snapshot() []Event {
+	pos := r.pos.Load()
+	n := uint64(len(r.slots))
+	start := uint64(0)
+	if pos > n {
+		start = pos - n
+	}
+	out := make([]Event, 0, pos-start)
+	for p := start; p < pos; p++ {
+		s := &r.slots[p&r.mask]
+		// At quiescence every claimed slot has been published; keep
+		// the check anyway so misuse degrades to a gap, not garbage.
+		if s.seq.Load() == p+n {
+			out = append(out, s.ev)
+		}
+	}
+	return out
+}

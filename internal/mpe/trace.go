@@ -1,0 +1,99 @@
+package mpe
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// TraceFile is one rank's serialized trace: what NewTracer recorded,
+// plus the device counters, written as `rank-N.trace.json` in the
+// trace directory when the rank finalizes.
+type TraceFile struct {
+	// Rank is the recording process's world rank.
+	Rank int `json:"rank"`
+	// Size is the world size of the job, when known.
+	Size int `json:"size,omitempty"`
+	// Device names the xdev device the rank ran on.
+	Device string `json:"device,omitempty"`
+	// EpochWallNS is the wall-clock UnixNano of the tracer's epoch;
+	// the merge step uses it to place ranks on a shared timeline.
+	EpochWallNS int64 `json:"epochWallNs"`
+	// Overwritten is how many events were lost to ring wrap.
+	Overwritten uint64 `json:"overwritten,omitempty"`
+	// Counters is the device's counter snapshot at finalize.
+	Counters *CounterSnapshot `json:"counters,omitempty"`
+	// SendHist / RecvHist are the completion-latency histograms.
+	SendHist HistSnapshot `json:"sendHist"`
+	RecvHist HistSnapshot `json:"recvHist"`
+	// Events is the retained event stream, oldest first.
+	Events []Event `json:"events"`
+}
+
+// File assembles the tracer's state into a TraceFile. Only valid at
+// quiescence.
+func (t *Tracer) File() *TraceFile {
+	return &TraceFile{
+		Rank:        t.rank,
+		EpochWallNS: t.epochWall,
+		Overwritten: t.Overwritten(),
+		SendHist:    t.SendHist(),
+		RecvHist:    t.RecvHist(),
+		Events:      t.Events(),
+	}
+}
+
+// TraceFileName returns the file name used for a rank's trace inside a
+// trace directory.
+func TraceFileName(rank int) string {
+	return fmt.Sprintf("rank-%d.trace.json", rank)
+}
+
+// WriteFile serializes tf into dir (created if needed) under the
+// conventional per-rank name.
+func WriteFile(dir string, tf *TraceFile) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("mpe: create trace dir: %w", err)
+	}
+	data, err := json.MarshalIndent(tf, "", " ")
+	if err != nil {
+		return fmt.Errorf("mpe: marshal trace: %w", err)
+	}
+	path := filepath.Join(dir, TraceFileName(tf.Rank))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("mpe: write trace: %w", err)
+	}
+	return nil
+}
+
+// ReadTraceDir loads every per-rank trace file in dir, sorted by rank.
+func ReadTraceDir(dir string) ([]*TraceFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("mpe: read trace dir: %w", err)
+	}
+	var files []*TraceFile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".trace.json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("mpe: read %s: %w", name, err)
+		}
+		tf := new(TraceFile)
+		if err := json.Unmarshal(data, tf); err != nil {
+			return nil, fmt.Errorf("mpe: parse %s: %w", name, err)
+		}
+		files = append(files, tf)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("mpe: no *.trace.json files in %s", dir)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].Rank < files[j].Rank })
+	return files, nil
+}

@@ -1,0 +1,87 @@
+package mpe
+
+import "time"
+
+// DefaultRingCapacity is the per-rank event capacity when the caller
+// doesn't choose one (64Ki events ≈ 4 MiB).
+const DefaultRingCapacity = 1 << 16
+
+// Tracer is the enabled Recorder: one per rank, shared by every layer
+// of that rank's stack (device, mpjdev, core). Events go into an
+// overwriting Ring; send and receive completion spans additionally
+// feed latency histograms.
+//
+// Timestamps are monotonic nanoseconds since the tracer's epoch
+// (time.Since is monotonic-clock based in Go), with the epoch's wall
+// clock kept alongside so the merge step can align ranks — including
+// ranks from separate OS processes — on a shared timeline.
+type Tracer struct {
+	rank      int
+	epoch     time.Time
+	epochWall int64 // UnixNano of epoch
+	ring      *Ring
+	sendHist  Histogram
+	recvHist  Histogram
+}
+
+// NewTracer returns an enabled tracer for the given rank holding up to
+// capacity events (DefaultRingCapacity if capacity <= 0).
+func NewTracer(rank, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	now := time.Now()
+	return &Tracer{
+		rank:      rank,
+		epoch:     now,
+		epochWall: now.UnixNano(),
+		ring:      NewRing(capacity),
+	}
+}
+
+// Rank returns the rank this tracer records for.
+func (t *Tracer) Rank() int { return t.rank }
+
+// Enabled reports true: events are being kept.
+func (t *Tracer) Enabled() bool { return true }
+
+// Now returns nanoseconds since the tracer's epoch on the monotonic
+// clock.
+func (t *Tracer) Now() int64 { return int64(time.Since(t.epoch)) }
+
+// Event records an instantaneous event.
+func (t *Tracer) Event(typ EventType, peer, tag, ctx int32, bytes int64) {
+	t.ring.Put(Event{Type: typ, Peer: peer, Tag: tag, Ctx: ctx, Bytes: bytes, At: t.Now()})
+}
+
+// Span records an event that began at start (from Now) and finished
+// now. SendEnd and RecvMatched spans also feed the latency histograms.
+func (t *Tracer) Span(typ EventType, peer, tag, ctx int32, bytes int64, start int64) {
+	end := t.Now()
+	dur := end - start
+	if dur < 0 {
+		dur = 0
+	}
+	t.ring.Put(Event{Type: typ, Peer: peer, Tag: tag, Ctx: ctx, Bytes: bytes, At: start, Dur: dur})
+	switch typ {
+	case SendEnd:
+		t.sendHist.Observe(bytes, dur)
+	case RecvMatched:
+		t.recvHist.Observe(bytes, dur)
+	}
+}
+
+// SendHist returns a snapshot of the send-completion latency
+// histogram.
+func (t *Tracer) SendHist() HistSnapshot { return t.sendHist.Snapshot() }
+
+// RecvHist returns a snapshot of the receive-completion latency
+// histogram.
+func (t *Tracer) RecvHist() HistSnapshot { return t.recvHist.Snapshot() }
+
+// Events returns the retained events oldest-first. Only valid at
+// quiescence (see Ring.Snapshot).
+func (t *Tracer) Events() []Event { return t.ring.Snapshot() }
+
+// Overwritten reports how many events were lost to ring wrap.
+func (t *Tracer) Overwritten() uint64 { return t.ring.Overwritten() }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"mpj/internal/mpe"
 	"mpj/internal/xdev"
 )
 
@@ -178,6 +179,17 @@ func WaitAny(reqs []*Request) (int, Status, error) {
 			clear()
 			return i, st, nil
 		}
+	}
+
+	// The slow path parks on the device's peek queue; record the park
+	// and, on return, the park-to-wake span.
+	rec := mpe.RecorderOf(dev)
+	if rec.Enabled() {
+		parked := rec.Now()
+		rec.Event(mpe.WaitanyPark, -1, int32(len(reqs)), -1, 0)
+		defer func() {
+			rec.Span(mpe.WaitanyWake, -1, int32(len(reqs)), -1, 0, parked)
+		}()
 	}
 
 	q := queueFor(dev)

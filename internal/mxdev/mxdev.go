@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"mpj/internal/mpe"
 	"mpj/internal/mpjbuf"
 	"mpj/internal/mxsim"
 	"mpj/internal/xdev"
@@ -23,6 +24,11 @@ import (
 
 // DeviceName is the registry name of this device.
 const DeviceName = "mxdev"
+
+// DefaultEagerLimit is the eager/rendezvous accounting threshold. MX
+// handles the protocols internally; the device mirrors the library's
+// switch point in its counters so all devices report the same shape.
+const DefaultEagerLimit = 128 << 10
 
 func init() {
 	xdev.Register(DeviceName, func() xdev.Device { return New() })
@@ -58,19 +64,37 @@ func tagOf(info uint64) int { return int(int32(uint32(info >> 16))) }
 
 // Device is the MX-backed xdev device.
 type Device struct {
-	cfg   xdev.Config
-	self  xdev.ProcessID
-	pids  []xdev.ProcessID
-	ep    *mxsim.Endpoint
-	addrs []mxsim.EndpointAddr
+	cfg        xdev.Config
+	self       xdev.ProcessID
+	pids       []xdev.ProcessID
+	ep         *mxsim.Endpoint
+	addrs      []mxsim.EndpointAddr
+	eagerLimit int
 
 	mu       sync.Mutex
 	initDone bool
 	finished bool
+
+	stats mpe.Counters
+	rec   mpe.Recorder
 }
 
 // New returns an uninitialized mxdev device.
-func New() *Device { return &Device{} }
+func New() *Device { return &Device{rec: mpe.Nop{}} }
+
+// Stats returns a snapshot of the device's activity counters. The
+// matched/unexpected split comes from the MX endpoint, where matching
+// happens.
+func (d *Device) Stats() mpe.CounterSnapshot {
+	s := d.stats.Snapshot()
+	if d.ep != nil {
+		s.Matched, s.Unexpected = d.ep.MatchStats()
+	}
+	return s
+}
+
+// Recorder exposes the device's event recorder (mpe.Instrumented).
+func (d *Device) Recorder() mpe.Recorder { return d.rec }
 
 // Init opens this process's MX endpoint in the job's group and connects
 // to every peer endpoint (mx_init / mx_open_endpoint / mx_connect).
@@ -95,6 +119,13 @@ func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
 		return nil, &xdev.Error{Dev: DeviceName, Op: "open endpoint", Err: err}
 	}
 	d.cfg = cfg
+	if cfg.Recorder != nil {
+		d.rec = cfg.Recorder
+	}
+	d.eagerLimit = cfg.EagerLimit
+	if d.eagerLimit <= 0 {
+		d.eagerLimit = DefaultEagerLimit
+	}
 	d.ep = ep
 	d.pids = make([]xdev.ProcessID, cfg.Size)
 	d.addrs = make([]mxsim.EndpointAddr, cfg.Size)
@@ -156,8 +187,38 @@ type request struct {
 	once sync.Once
 	err  error
 
+	// Tracing envelope: completion is observed on whichever thread
+	// first Waits/Tests successfully, so the span records under a
+	// Once. t0 < 0 means untraced.
+	t0       int64
+	send     bool
+	peer     int32
+	tag      int32
+	ctx      int32
+	spanOnce sync.Once
+
 	mu         sync.Mutex
 	attachment any
+}
+
+func (r *request) trace(send bool, peer, tag, ctx int32) {
+	r.t0 = r.dev.rec.Now()
+	r.send, r.peer, r.tag, r.ctx = send, peer, tag, ctx
+}
+
+// recordSpan closes the request's SendEnd/RecvMatched span the first
+// time its completion is observed.
+func (r *request) recordSpan(st xdev.Status) {
+	if r.t0 < 0 {
+		return
+	}
+	r.spanOnce.Do(func() {
+		typ := mpe.RecvMatched
+		if r.send {
+			typ = mpe.SendEnd
+		}
+		r.dev.rec.Span(typ, r.peer, r.tag, r.ctx, int64(st.Bytes), r.t0)
+	})
 }
 
 func (r *request) finishRecv() {
@@ -183,7 +244,9 @@ func (r *request) Wait() (xdev.Status, error) {
 		return xdev.Status{}, err
 	}
 	r.finishRecv()
-	return r.statusOf(st), r.err
+	xst := r.statusOf(st)
+	r.recordSpan(xst)
+	return xst, r.err
 }
 
 // Test reports completion without blocking.
@@ -193,7 +256,9 @@ func (r *request) Test() (xdev.Status, bool, error) {
 		return xdev.Status{}, ok, err
 	}
 	r.finishRecv()
-	return r.statusOf(st), true, r.err
+	xst := r.statusOf(st)
+	r.recordSpan(xst)
+	return xst, true, r.err
 }
 
 // SetAttachment stores opaque upper-layer state on the request.
@@ -215,7 +280,18 @@ func (d *Device) send(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int, 
 		return nil, xdev.Errf(DeviceName, "send", "unknown process %v", dst)
 	}
 	info := matchInfo(int32(context), int32(tag), uint32(d.cfg.Rank))
-	req := &request{dev: d}
+	req := &request{dev: d, t0: -1}
+	wireLen := buf.WireLen()
+	if wireLen <= d.eagerLimit {
+		d.stats.EagerSent.Add(1)
+	} else {
+		d.stats.RndvSent.Add(1)
+	}
+	d.stats.BytesSent.Add(uint64(wireLen))
+	if d.rec.Enabled() {
+		req.trace(true, int32(dst.UUID), int32(tag), int32(context))
+		d.rec.Event(mpe.SendBegin, int32(dst.UUID), int32(tag), int32(context), int64(wireLen))
+	}
 	var (
 		mxReq *mxsim.Request
 		err   error
@@ -265,7 +341,15 @@ func (d *Device) Ssend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int)
 // IRecv posts a non-blocking receive.
 func (d *Device) IRecv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int) (xdev.Request, error) {
 	info, mask := matchPattern(int32(context), tag, src)
-	req := &request{dev: d, buf: buf}
+	req := &request{dev: d, buf: buf, t0: -1}
+	if d.rec.Enabled() {
+		peer := int32(-1)
+		if !src.IsAnySource() {
+			peer = int32(src.UUID)
+		}
+		req.trace(false, peer, int32(tag), int32(context))
+		d.rec.Event(mpe.RecvPosted, peer, int32(tag), int32(context), 0)
+	}
 	mxReq, err := d.ep.IRecv(info, mask, req)
 	if err != nil {
 		return nil, &xdev.Error{Dev: DeviceName, Op: "irecv", Err: err}

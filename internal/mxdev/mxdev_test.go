@@ -50,7 +50,7 @@ func runner(t *testing.T, n int, fn func(d xdev.Device, rank int, pids []xdev.Pr
 }
 
 func TestConformance(t *testing.T) {
-	devtest.RunConformance(t, runner, devtest.Options{HasPeek: true})
+	devtest.RunConformance(t, runner, devtest.Options{HasPeek: true, RendezvousAt: DefaultEagerLimit})
 }
 
 func TestMatchInfoRoundTrip(t *testing.T) {

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mpj/internal/cqueue"
 )
@@ -148,7 +149,19 @@ type Endpoint struct {
 	unexpected []*message
 	closed     bool
 
+	// Match accounting, as MX firmware counters would report it:
+	// arrivals that found a posted receive vs arrivals parked in the
+	// unexpected queue.
+	nMatched    atomic.Uint64
+	nUnexpected atomic.Uint64
+
 	cq *cqueue.Queue[*Request]
+}
+
+// MatchStats reports how many arrivals found a posted receive and how
+// many were parked in the unexpected queue.
+func (ep *Endpoint) MatchStats() (matched, unexpected uint64) {
+	return ep.nMatched.Load(), ep.nUnexpected.Load()
 }
 
 // OpenEndpoint opens endpoint id within the named group
@@ -293,6 +306,7 @@ func (ep *Endpoint) deliver(m *message) {
 		if p.matches(m) {
 			ep.posted = append(ep.posted[:i], ep.posted[i+1:]...)
 			ep.mu.Unlock()
+			ep.nMatched.Add(1)
 			st := Status{Source: m.src, MatchInfo: m.matchInfo, Bytes: len(m.data)}
 			p.req.complete(st, m.data, nil)
 			if m.sreq != nil {
@@ -301,6 +315,7 @@ func (ep *Endpoint) deliver(m *message) {
 			return
 		}
 	}
+	ep.nUnexpected.Add(1)
 	ep.unexpected = append(ep.unexpected, m)
 	ep.cond.Broadcast()
 	ep.mu.Unlock()

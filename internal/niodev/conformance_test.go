@@ -63,7 +63,7 @@ func conformanceRunner(tr func() xdev.Transport) devtest.JobRunner {
 func TestConformanceInProc(t *testing.T) {
 	devtest.RunConformance(t,
 		conformanceRunner(func() xdev.Transport { return transport.NewInProc(0) }),
-		devtest.Options{HasPeek: true})
+		devtest.Options{HasPeek: true, RendezvousAt: DefaultEagerLimit})
 }
 
 // TestConformanceTCP runs the same suite over real loopback sockets —
@@ -119,5 +119,5 @@ func TestConformanceTCP(t *testing.T) {
 			}(i)
 		}
 		jobWG.Wait()
-	}, devtest.Options{HasPeek: true, LargeN: 60_000})
+	}, devtest.Options{HasPeek: true, LargeN: 60_000, RendezvousAt: DefaultEagerLimit})
 }

@@ -40,6 +40,7 @@ import (
 
 	"mpj/internal/cqueue"
 	"mpj/internal/match"
+	"mpj/internal/mpe"
 	"mpj/internal/transport"
 	"mpj/internal/xdev"
 )
@@ -98,7 +99,8 @@ type Device struct {
 	closed    atomic.Bool
 	initDone  bool
 
-	stats statCounters
+	stats mpe.Counters
+	rec   mpe.Recorder
 }
 
 type rndvKey struct {
@@ -115,6 +117,7 @@ func New() *Device {
 		pendingRndv:  make(map[uint64]*request),
 		pendingSync:  make(map[uint64]*request),
 		completions:  cqueue.New[*request](),
+		rec:          mpe.Nop{},
 	}
 	d.rcond = sync.NewCond(&d.rmu)
 	return d
@@ -134,6 +137,9 @@ func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
 		return nil, xdev.Errf(DeviceName, "init", "rank %d out of range [0,%d)", cfg.Rank, cfg.Size)
 	}
 	d.cfg = cfg
+	if cfg.Recorder != nil {
+		d.rec = cfg.Recorder
+	}
 	d.eagerLimit = cfg.EagerLimit
 	if d.eagerLimit <= 0 {
 		d.eagerLimit = DefaultEagerLimit

@@ -7,6 +7,7 @@ import (
 	"net"
 
 	"mpj/internal/match"
+	"mpj/internal/mpe"
 	"mpj/internal/mpjbuf"
 	"mpj/internal/xdev"
 )
@@ -123,6 +124,10 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 	}
 	req := d.newRequest(sendReq, buf)
 	wireLen := buf.WireLen()
+	if d.rec.Enabled() {
+		req.trace(int32(slot), int32(tag), int32(context))
+		d.rec.Event(mpe.SendBegin, int32(slot), int32(tag), int32(context), int64(wireLen))
+	}
 
 	if slot == d.cfg.Rank {
 		d.deliverSelf(buf, tag, context, sync, req)
@@ -142,8 +147,8 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 			d.pendingSync[seq] = req
 			d.smu.Unlock()
 		}
-		d.stats.eagerSent.Add(1)
-		d.stats.bytesSent.Add(uint64(wireLen))
+		d.stats.EagerSent.Add(1)
+		d.stats.BytesSent.Add(uint64(wireLen))
 		h := header{typ: typ, src: uint32(d.cfg.Rank), tag: int32(tag), ctx: int32(context), seq: seq, wireLen: uint64(wireLen)}
 		if err := d.writeMsg(slot, h, buf.Segments()); err != nil {
 			if sync {
@@ -152,6 +157,9 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 				d.smu.Unlock()
 			}
 			return nil, &xdev.Error{Dev: DeviceName, Op: "eager send", Err: err}
+		}
+		if d.rec.Enabled() {
+			d.rec.Event(mpe.EagerOut, int32(slot), int32(tag), int32(context), int64(wireLen))
 		}
 		if !sync {
 			req.complete(xdev.Status{Source: d.self, Tag: tag, Bytes: wireLen}, nil)
@@ -163,8 +171,8 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 	// then announce with READY_TO_SEND. The send-communication-sets
 	// lock and the destination channel lock are taken one after the
 	// other, never nested, so sends to other destinations don't block.
-	d.stats.rndvSent.Add(1)
-	d.stats.bytesSent.Add(uint64(wireLen))
+	d.stats.RndvSent.Add(1)
+	d.stats.BytesSent.Add(uint64(wireLen))
 	seq := d.seq.Add(1)
 	req.sendTag, req.sendCtx = int32(tag), int32(context)
 	d.smu.Lock()
@@ -176,6 +184,9 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 		delete(d.pendingRndv, seq)
 		d.smu.Unlock()
 		return nil, &xdev.Error{Dev: DeviceName, Op: "rendezvous RTS", Err: err}
+	}
+	if d.rec.Enabled() {
+		d.rec.Event(mpe.RendezvousRTS, int32(slot), int32(tag), int32(context), int64(wireLen))
 	}
 	return req, nil
 }
@@ -215,16 +226,21 @@ func (d *Device) Ssend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int)
 func (d *Device) deliverSelf(buf *mpjbuf.Buffer, tag, context int, sync bool, sreq *request) {
 	env := match.Concrete{Ctx: int32(context), Tag: int32(tag), Src: uint64(d.cfg.Rank)}
 	st := xdev.Status{Source: d.self, Tag: tag, Bytes: buf.WireLen()}
-	d.stats.eagerSent.Add(1)
-	d.stats.bytesSent.Add(uint64(buf.WireLen()))
+	d.stats.EagerSent.Add(1)
+	d.stats.BytesSent.Add(uint64(buf.WireLen()))
 
 	d.rmu.Lock()
 	if rreq, ok := d.posted.Match(env); ok {
 		d.rmu.Unlock()
+		d.stats.Matched.Add(1)
 		err := rreq.buf.LoadWire(buf.Wire())
 		rreq.complete(st, err)
 		sreq.complete(st, nil)
 		return
+	}
+	d.stats.Unexpected.Add(1)
+	if d.rec.Enabled() {
+		d.rec.Event(mpe.RecvUnexpected, int32(d.cfg.Rank), int32(tag), int32(context), int64(buf.WireLen()))
 	}
 	arr := &arrival{
 		src: uint32(d.cfg.Rank), tag: int32(tag), ctx: int32(context),
@@ -272,6 +288,14 @@ func (d *Device) IRecv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int)
 		return nil, err
 	}
 	req := d.newRequest(recvReq, buf)
+	if d.rec.Enabled() {
+		peer := int32(-1)
+		if !src.IsAnySource() {
+			peer = int32(p.Src)
+		}
+		req.trace(peer, int32(tag), int32(context))
+		d.rec.Event(mpe.RecvPosted, peer, int32(tag), int32(context), 0)
+	}
 
 	d.rmu.Lock()
 	arr, ok := d.arrived.Match(p)
@@ -291,6 +315,9 @@ func (d *Device) IRecv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int)
 			delete(d.rndvIncoming, rndvKey{arr.src, arr.seq})
 			d.rmu.Unlock()
 			return nil, &xdev.Error{Dev: DeviceName, Op: "rendezvous RTR", Err: err}
+		}
+		if d.rec.Enabled() {
+			d.rec.Event(mpe.RendezvousRTR, int32(arr.src), arr.tag, arr.ctx, int64(arr.wireLen))
 		}
 		return req, nil
 	}
@@ -399,7 +426,7 @@ func (d *Device) handleEager(conn net.Conn, h header) error {
 	req, ok := d.posted.Match(env)
 	if ok {
 		d.rmu.Unlock()
-		d.stats.matched.Add(1)
+		d.stats.Matched.Add(1)
 		// Matched: receive directly into the user buffer (Fig. 5).
 		err := req.buf.LoadWireFrom(conn, int(h.wireLen))
 		if h.typ == msgEagerSync {
@@ -427,7 +454,7 @@ func (d *Device) handleEager(conn net.Conn, h header) error {
 	d.rmu.Lock()
 	if req, ok := d.posted.Match(env); ok {
 		d.rmu.Unlock()
-		d.stats.matched.Add(1)
+		d.stats.Matched.Add(1)
 		err := req.buf.LoadWire(data)
 		if h.typ == msgEagerSync {
 			ackErr := d.writeMsg(int(h.src), header{typ: msgAck, src: uint32(d.cfg.Rank), seq: h.seq}, nil)
@@ -438,7 +465,10 @@ func (d *Device) handleEager(conn net.Conn, h header) error {
 		req.complete(st, err)
 		return nil
 	}
-	d.stats.unexpected.Add(1)
+	d.stats.Unexpected.Add(1)
+	if d.rec.Enabled() {
+		d.rec.Event(mpe.RecvUnexpected, int32(h.src), h.tag, h.ctx, int64(h.wireLen))
+	}
 	d.arrived.Add(env, &arrival{
 		src: h.src, tag: h.tag, ctx: h.ctx, seq: h.seq,
 		wireLen: int(h.wireLen), sync: h.typ == msgEagerSync, data: data,
@@ -453,7 +483,7 @@ func (d *Device) handleRTS(h header) {
 	d.rmu.Lock()
 	req, ok := d.posted.Match(env)
 	if ok {
-		d.stats.matched.Add(1)
+		d.stats.Matched.Add(1)
 		d.rndvIncoming[rndvKey{h.src, h.seq}] = req
 		d.rmu.Unlock()
 		// Matched: the input handler answers READY_TO_RECV (Fig. 8).
@@ -462,10 +492,17 @@ func (d *Device) handleRTS(h header) {
 			delete(d.rndvIncoming, rndvKey{h.src, h.seq})
 			d.rmu.Unlock()
 			req.complete(xdev.Status{}, err)
+			return
+		}
+		if d.rec.Enabled() {
+			d.rec.Event(mpe.RendezvousRTR, int32(h.src), h.tag, h.ctx, int64(h.wireLen))
 		}
 		return
 	}
-	d.stats.unexpected.Add(1)
+	d.stats.Unexpected.Add(1)
+	if d.rec.Enabled() {
+		d.rec.Event(mpe.RecvUnexpected, int32(h.src), h.tag, h.ctx, int64(h.wireLen))
+	}
 	d.arrived.Add(env, &arrival{
 		src: h.src, tag: h.tag, ctx: h.ctx, seq: h.seq,
 		wireLen: int(h.wireLen), rndv: true,
@@ -496,6 +533,9 @@ func (d *Device) handleRTR(h header) {
 			seq: h.seq, wireLen: uint64(wireLen),
 		}
 		err := d.writeMsg(dst, dh, req.buf.Segments())
+		if err == nil && d.rec.Enabled() {
+			d.rec.Event(mpe.RendezvousData, int32(dst), req.sendTag, req.sendCtx, int64(wireLen))
+		}
 		req.complete(xdev.Status{Source: d.self, Bytes: wireLen}, err)
 	}()
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 
+	"mpj/internal/mpe"
 	"mpj/internal/mpjbuf"
 	"mpj/internal/xdev"
 )
@@ -32,6 +33,15 @@ type request struct {
 	sendTag int32
 	sendCtx int32
 
+	// Tracing envelope: the operation's start time (recorder clock),
+	// peer slot, tag, and context, set at creation when tracing is on
+	// so complete() can close the SendEnd/RecvMatched span. t0 < 0
+	// means untraced.
+	t0   int64
+	peer int32
+	tag  int32
+	ctx  int32
+
 	mu         sync.Mutex
 	attachment any
 
@@ -41,12 +51,26 @@ type request struct {
 }
 
 func (d *Device) newRequest(kind reqKind, buf *mpjbuf.Buffer) *request {
-	return &request{dev: d, kind: kind, buf: buf, done: make(chan struct{})}
+	return &request{dev: d, kind: kind, buf: buf, t0: -1, done: make(chan struct{})}
+}
+
+// trace stamps the request with its tracing envelope (recorder clock
+// start, peer slot, tag, context). Only called when tracing is on.
+func (r *request) trace(peer, tag, ctx int32) {
+	r.t0 = r.dev.rec.Now()
+	r.peer, r.tag, r.ctx = peer, tag, ctx
 }
 
 // complete records the outcome and publishes the request to the
 // completion queue. It is safe to call at most once.
 func (r *request) complete(st xdev.Status, err error) {
+	if r.t0 >= 0 {
+		typ := mpe.SendEnd
+		if r.kind == recvReq {
+			typ = mpe.RecvMatched
+		}
+		r.dev.rec.Span(typ, r.peer, r.tag, r.ctx, int64(st.Bytes), r.t0)
+	}
 	r.status = st
 	r.err = err
 	close(r.done)

@@ -1,40 +1,17 @@
 package niodev
 
-import "sync/atomic"
+import "mpj/internal/mpe"
 
-// Stats counts device activity, usable for tuning and for verifying
-// protocol selection (eager vs rendezvous) in tests and benchmarks.
-type Stats struct {
-	// EagerSent counts standard/synchronous sends that used the eager
-	// protocol (including self-deliveries).
-	EagerSent uint64
-	// RndvSent counts sends that used the rendezvous protocol.
-	RndvSent uint64
-	// BytesSent is the total wire payload of initiated sends.
-	BytesSent uint64
-	// Unexpected counts messages (or RTS envelopes) that arrived
-	// before a matching receive was posted.
-	Unexpected uint64
-	// Matched counts arrivals that found a posted receive immediately.
-	Matched uint64
-}
-
-// statCounters is the device-internal atomic representation.
-type statCounters struct {
-	eagerSent  atomic.Uint64
-	rndvSent   atomic.Uint64
-	bytesSent  atomic.Uint64
-	unexpected atomic.Uint64
-	matched    atomic.Uint64
-}
+// Stats is a snapshot of the device's activity counters, usable for
+// tuning and for verifying protocol selection (eager vs rendezvous) in
+// tests and benchmarks. It is the shared mpe.CounterSnapshot type —
+// every device in the repository reports the same shape.
+type Stats = mpe.CounterSnapshot
 
 // Stats returns a snapshot of the device's activity counters.
-func (d *Device) Stats() Stats {
-	return Stats{
-		EagerSent:  d.stats.eagerSent.Load(),
-		RndvSent:   d.stats.rndvSent.Load(),
-		BytesSent:  d.stats.bytesSent.Load(),
-		Unexpected: d.stats.unexpected.Load(),
-		Matched:    d.stats.matched.Load(),
-	}
-}
+func (d *Device) Stats() Stats { return d.stats.Snapshot() }
+
+// Recorder exposes the device's event recorder so upper layers
+// (mpjdev, core) record into the same per-rank stream
+// (mpe.Instrumented).
+func (d *Device) Recorder() mpe.Recorder { return d.rec }

@@ -13,6 +13,7 @@ import (
 
 	"mpj/internal/cqueue"
 	"mpj/internal/match"
+	"mpj/internal/mpe"
 	"mpj/internal/mpjbuf"
 	"mpj/internal/xdev"
 )
@@ -41,13 +42,18 @@ type group struct {
 	joined int
 }
 
-// mailbox is the per-rank receive side.
+// mailbox is the per-rank receive side. Matching happens on the
+// sender's thread, so receive-side counters and the owner's event
+// recorder live here: the sender attributes Matched/Unexpected to the
+// destination rank, as a network device's input handler would.
 type mailbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	posted  *match.PatternSet[*request]
 	arrived *match.ItemSet[*arrival]
 	closed  bool
+	ctr     mpe.Counters
+	rec     mpe.Recorder // owner's recorder; set at Init under mu
 }
 
 func newMailbox() *mailbox {
@@ -79,10 +85,26 @@ type Device struct {
 	mu       sync.Mutex
 	initDone bool
 	finished bool
+
+	stats mpe.Counters // send-side counters; receive side is in box.ctr
+	rec   mpe.Recorder
 }
 
 // New returns an uninitialized smpdev device.
-func New() *Device { return &Device{cq: cqueue.New[*request]()} }
+func New() *Device { return &Device{cq: cqueue.New[*request](), rec: mpe.Nop{}} }
+
+// Stats returns a snapshot of the device's activity counters: its
+// send-side counters plus the receive-side counters of its mailbox.
+func (d *Device) Stats() mpe.CounterSnapshot {
+	s := d.stats.Snapshot()
+	if d.box != nil {
+		s = s.Add(d.box.ctr.Snapshot())
+	}
+	return s
+}
+
+// Recorder exposes the device's event recorder (mpe.Instrumented).
+func (d *Device) Recorder() mpe.Recorder { return d.rec }
 
 // Init joins (and if necessary creates) the in-process group named by
 // cfg.Group, claiming the mailbox for cfg.Rank.
@@ -119,8 +141,14 @@ func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
 	board.Unlock()
 
 	d.cfg = cfg
+	if cfg.Recorder != nil {
+		d.rec = cfg.Recorder
+	}
 	d.grp = g
 	d.box = g.boxes[cfg.Rank]
+	d.box.mu.Lock()
+	d.box.rec = d.rec
+	d.box.mu.Unlock()
 	d.pids = make([]xdev.ProcessID, cfg.Size)
 	for i := range d.pids {
 		d.pids[i] = xdev.ProcessID{UUID: uint64(i)}
@@ -174,13 +202,32 @@ type request struct {
 	err        error
 	mu         sync.Mutex
 	attachment any
+
+	// Tracing envelope (see niodev): t0 < 0 means untraced.
+	t0   int64
+	send bool
+	peer int32
+	tag  int32
+	ctx  int32
 }
 
 func (d *Device) newRequest(buf *mpjbuf.Buffer) *request {
-	return &request{dev: d, buf: buf, done: make(chan struct{})}
+	return &request{dev: d, buf: buf, t0: -1, done: make(chan struct{})}
+}
+
+func (r *request) trace(send bool, peer, tag, ctx int32) {
+	r.t0 = r.dev.rec.Now()
+	r.send, r.peer, r.tag, r.ctx = send, peer, tag, ctx
 }
 
 func (r *request) complete(st xdev.Status, err error) {
+	if r.t0 >= 0 {
+		typ := mpe.RecvMatched
+		if r.send {
+			typ = mpe.SendEnd
+		}
+		r.dev.rec.Span(typ, r.peer, r.tag, r.ctx, int64(st.Bytes), r.t0)
+	}
 	r.status = st
 	r.err = err
 	close(r.done)
@@ -231,17 +278,33 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 	env := match.Concrete{Ctx: int32(context), Tag: int32(tag), Src: uint64(d.cfg.Rank)}
 	st := xdev.Status{Source: d.self, Tag: tag, Bytes: buf.WireLen()}
 
+	wireLen := buf.WireLen()
+	if d.rec.Enabled() {
+		sreq.trace(true, int32(dst.UUID), int32(tag), int32(context))
+		d.rec.Event(mpe.SendBegin, int32(dst.UUID), int32(tag), int32(context), int64(wireLen))
+	}
+	d.stats.EagerSent.Add(1)
+	d.stats.BytesSent.Add(uint64(wireLen))
+
 	box.mu.Lock()
 	if box.closed {
 		box.mu.Unlock()
 		return nil, xdev.Errf(DeviceName, "isend", "destination mailbox closed")
 	}
 	if rreq, ok := box.posted.Match(env); ok {
+		box.ctr.Matched.Add(1)
 		box.mu.Unlock()
 		err := rreq.buf.LoadWire(buf.Wire())
 		rreq.complete(xdev.Status{Source: d.self, Tag: tag, Bytes: buf.WireLen()}, err)
+		if d.rec.Enabled() {
+			d.rec.Event(mpe.EagerOut, int32(dst.UUID), int32(tag), int32(context), int64(wireLen))
+		}
 		sreq.complete(st, nil)
 		return sreq, nil
+	}
+	box.ctr.Unexpected.Add(1)
+	if box.rec != nil && box.rec.Enabled() {
+		box.rec.Event(mpe.RecvUnexpected, int32(d.cfg.Rank), int32(tag), int32(context), int64(wireLen))
 	}
 	arr := &arrival{src: uint64(d.cfg.Rank), tag: int32(tag), wireLen: buf.WireLen(), data: buf.Wire()}
 	if sync {
@@ -250,6 +313,9 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 	box.arrived.Add(env, arr)
 	box.cond.Broadcast()
 	box.mu.Unlock()
+	if d.rec.Enabled() {
+		d.rec.Event(mpe.EagerOut, int32(dst.UUID), int32(tag), int32(context), int64(wireLen))
+	}
 	if !sync {
 		sreq.complete(st, nil)
 	}
@@ -314,6 +380,14 @@ func (d *Device) IRecv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int)
 		return nil, err
 	}
 	req := d.newRequest(buf)
+	if d.rec.Enabled() {
+		peer := int32(-1)
+		if !src.IsAnySource() {
+			peer = int32(p.Src)
+		}
+		req.trace(false, peer, int32(tag), int32(context))
+		d.rec.Event(mpe.RecvPosted, peer, int32(tag), int32(context), 0)
+	}
 	d.box.mu.Lock()
 	if arr, ok := d.box.arrived.Match(p); ok {
 		d.box.mu.Unlock()

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"sync"
 
+	"mpj/internal/mpe"
 	"mpj/internal/mpjbuf"
 )
 
@@ -98,6 +99,10 @@ type Config struct {
 	// Group names an in-process job namespace for devices (smpdev,
 	// mxdev) that rendezvous through process-local registries.
 	Group string
+	// Recorder receives protocol and request-lifecycle events from
+	// the device and the layers above it (see internal/mpe). Nil
+	// means tracing is disabled; devices substitute mpe.Nop.
+	Recorder mpe.Recorder
 }
 
 // Device is the xdev API of paper Fig. 2. All methods are safe for

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"mpj/internal/core"
+	"mpj/internal/mpe"
 	"mpj/internal/netsim"
 	"mpj/internal/transport"
 	"mpj/internal/xdev"
@@ -29,6 +30,19 @@ type Options struct {
 	// ThreadLevel is the requested MPI thread level; the provided
 	// level is always ThreadMultiple.
 	ThreadLevel ThreadLevel
+	// Tracing enables the mpe event-tracing subsystem: every rank
+	// records protocol and request-lifecycle events plus latency
+	// histograms, and writes `rank-N.trace.json` into TraceDir at
+	// finalize. Inspect the output with `go run ./cmd/mpjtrace`.
+	// Tracing is also switched on by setting MPJ_TRACE=1 in the
+	// environment. When off, the hooks compile down to no-ops.
+	Tracing bool
+	// TraceDir is the directory per-rank trace files are written to.
+	// Empty selects $MPJ_TRACE_DIR, or "mpjtrace-out" if that is unset.
+	TraceDir string
+	// TraceEvents caps the per-rank event ring (oldest events are
+	// overwritten past the cap); 0 selects mpe.DefaultRingCapacity.
+	TraceEvents int
 }
 
 func (o *Options) withDefaults() Options {
@@ -40,8 +54,37 @@ func (o *Options) withDefaults() Options {
 		out.EagerLimit = o.EagerLimit
 		out.Fabric = o.Fabric
 		out.ThreadLevel = o.ThreadLevel
+		out.Tracing = o.Tracing
+		out.TraceDir = o.TraceDir
+		out.TraceEvents = o.TraceEvents
+	}
+	if !out.Tracing {
+		out.Tracing = envTraceOn()
+	}
+	if out.TraceDir == "" {
+		out.TraceDir = os.Getenv(EnvTraceDir)
+	}
+	if out.TraceDir == "" {
+		out.TraceDir = mpe.DefaultTraceDir
 	}
 	return out
+}
+
+// WithTracing returns Options that enable event tracing into dir
+// (empty dir selects the default directory). Pass the result to
+// RunLocalOpts; combine with other options by setting Tracing/TraceDir
+// on your own Options value instead.
+func WithTracing(dir string) *Options {
+	return &Options{Tracing: true, TraceDir: dir}
+}
+
+// envTraceOn reports whether MPJ_TRACE requests tracing.
+func envTraceOn() bool {
+	switch strings.ToLower(os.Getenv(EnvTrace)) {
+	case "", "0", "false", "off", "no":
+		return false
+	}
+	return true
 }
 
 var localJobCounter atomic.Int64
@@ -97,7 +140,15 @@ func RunLocalOpts(n int, opts *Options, body func(p *Process) error) error {
 				Rank: rank, Size: n, Addrs: addrs,
 				Dialer: dialer, EagerLimit: o.EagerLimit, Group: job,
 			}
+			var tr *mpe.Tracer
+			if o.Tracing {
+				tr = mpe.NewTracer(rank, o.TraceEvents)
+				cfg.Recorder = tr
+			}
 			procs[rank], _, initErrs[rank] = core.InitThread(dev, cfg, o.ThreadLevel)
+			if initErrs[rank] == nil && tr != nil {
+				installTraceHook(procs[rank], tr, dev, o.Device, n, o.TraceDir)
+			}
 		}(i)
 	}
 	initWG.Wait()
@@ -138,12 +189,36 @@ func RunLocalOpts(n int, opts *Options, body func(p *Process) error) error {
 	return nil
 }
 
+// installTraceHook arranges for the rank's trace file to be written
+// when the process finalizes. Finalize hooks run after the device has
+// shut down, so the tracer is quiescent and the device counters final.
+func installTraceHook(p *Process, tr *mpe.Tracer, dev xdev.Device, device string, size int, dir string) {
+	p.AddFinalizeHook(func() {
+		tf := tr.File()
+		tf.Device = device
+		tf.Size = size
+		if src, ok := dev.(mpe.StatsSource); ok {
+			cs := src.Stats()
+			tf.Counters = &cs
+		}
+		if err := mpe.WriteFile(dir, tf); err != nil {
+			fmt.Fprintf(os.Stderr, "mpj: rank %d: %v\n", tr.Rank(), err)
+		}
+	})
+}
+
 // Environment variables used by the mpjrun/mpjdaemon bootstrap.
 const (
 	EnvRank   = "MPJ_RANK"
 	EnvSize   = "MPJ_SIZE"
 	EnvAddrs  = "MPJ_ADDRS"
 	EnvDevice = "MPJ_DEVICE"
+
+	// EnvTrace switches event tracing on for any value other than
+	// "", "0", "false", "off" or "no"; EnvTraceDir overrides where the
+	// per-rank trace files go.
+	EnvTrace    = "MPJ_TRACE"
+	EnvTraceDir = "MPJ_TRACE_DIR"
 )
 
 // InitFromEnv joins the multi-process job described by the MPJ_*
@@ -170,7 +245,24 @@ func InitFromEnv() (*Process, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.Init(dev, xdev.Config{
+	cfg := xdev.Config{
 		Rank: rank, Size: size, Addrs: addrs, Dialer: transport.TCP{},
-	})
+	}
+	var tr *mpe.Tracer
+	if envTraceOn() {
+		tr = mpe.NewTracer(rank, 0)
+		cfg.Recorder = tr
+	}
+	p, err := core.Init(dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if tr != nil {
+		dir := os.Getenv(EnvTraceDir)
+		if dir == "" {
+			dir = mpe.DefaultTraceDir
+		}
+		installTraceHook(p, tr, dev, device, size, dir)
+	}
+	return p, nil
 }

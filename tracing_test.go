@@ -1,0 +1,164 @@
+package mpj_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mpj"
+	"mpj/internal/mpe"
+)
+
+// runTracedJob runs a 4-rank job with tracing into dir: eager and
+// rendezvous ping-pongs plus a barrier and an allreduce.
+func runTracedJob(t *testing.T, dir string) {
+	t.Helper()
+	err := mpj.RunLocalOpts(4, mpj.WithTracing(dir), func(p *mpj.Process) error {
+		w := p.World()
+		me := w.Rank()
+		peer := me ^ 1
+		for _, size := range []int{1 << 10, 256 << 10} {
+			buf := make([]byte, size)
+			for iter := 0; iter < 3; iter++ {
+				if me%2 == 0 {
+					if err := w.Send(buf, 0, size, mpj.BYTE, peer, iter); err != nil {
+						return err
+					}
+					if _, err := w.Recv(buf, 0, size, mpj.BYTE, peer, iter); err != nil {
+						return err
+					}
+				} else {
+					if _, err := w.Recv(buf, 0, size, mpj.BYTE, peer, iter); err != nil {
+						return err
+					}
+					if err := w.Send(buf, 0, size, mpj.BYTE, peer, iter); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if err := w.Barrier(); err != nil {
+			return err
+		}
+		sum := make([]int64, 1)
+		return w.Allreduce([]int64{int64(me)}, 0, sum, 0, 1, mpj.LONG, mpj.SUM)
+	})
+	if err != nil {
+		t.Fatalf("traced job: %v", err)
+	}
+}
+
+func TestTracingEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	runTracedJob(t, dir)
+
+	files, err := mpe.ReadTraceDir(dir)
+	if err != nil {
+		t.Fatalf("ReadTraceDir: %v", err)
+	}
+	if len(files) != 4 {
+		t.Fatalf("got %d trace files, want 4", len(files))
+	}
+	for _, tf := range files {
+		if tf.Device != "niodev" {
+			t.Errorf("rank %d: device %q, want niodev", tf.Rank, tf.Device)
+		}
+		if tf.Size != 4 {
+			t.Errorf("rank %d: size %d, want 4", tf.Rank, tf.Size)
+		}
+		if tf.Counters == nil {
+			t.Fatalf("rank %d: no counters", tf.Rank)
+		}
+		if tf.Counters.EagerSent == 0 || tf.Counters.RndvSent == 0 {
+			t.Errorf("rank %d: counters %+v, want both eager and rendezvous sends", tf.Rank, *tf.Counters)
+		}
+		if len(tf.Events) == 0 {
+			t.Errorf("rank %d: no events", tf.Rank)
+		}
+	}
+
+	// The merged Chrome trace must be valid JSON with every rank as a
+	// pid and at least 3 distinct event types.
+	var buf bytes.Buffer
+	if err := mpe.WriteChromeTrace(&buf, files, -1); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	pids := map[int]bool{}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		pids[e.Pid] = true
+		names[e.Name] = true
+	}
+	if len(pids) < 2 {
+		t.Errorf("chrome trace covers %d ranks, want >= 2", len(pids))
+	}
+	if len(names) < 3 {
+		t.Errorf("chrome trace has %d event types (%v), want >= 3", len(names), names)
+	}
+	for _, want := range []string{"SendEnd", "RecvMatched", "EagerOut", "RendezvousRTS"} {
+		if !names[want] {
+			t.Errorf("chrome trace missing event type %s (have %v)", want, names)
+		}
+	}
+
+	// The summary must include latency percentiles per size bucket.
+	buf.Reset()
+	if err := mpe.WriteSummary(&buf, files, -1); err != nil {
+		t.Fatalf("WriteSummary: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"p50", "p95", "send completion latency", "<=4KiB", "<=1MiB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTracingEnvActivation checks the MPJ_TRACE / MPJ_TRACE_DIR
+// environment toggles used by mpjrun-launched processes.
+func TestTracingEnvActivation(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv(mpj.EnvTrace, "1")
+	t.Setenv(mpj.EnvTraceDir, dir)
+	err := mpj.RunLocal(2, func(p *mpj.Process) error {
+		return p.World().Barrier()
+	})
+	if err != nil {
+		t.Fatalf("RunLocal: %v", err)
+	}
+	files, err := mpe.ReadTraceDir(dir)
+	if err != nil {
+		t.Fatalf("ReadTraceDir: %v", err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("got %d trace files, want 2", len(files))
+	}
+}
+
+// TestTracingOffWritesNothing ensures the default path stays untraced.
+func TestTracingOffWritesNothing(t *testing.T) {
+	dir := t.TempDir()
+	err := mpj.RunLocalOpts(2, &mpj.Options{TraceDir: dir}, func(p *mpj.Process) error {
+		return p.World().Barrier()
+	})
+	if err != nil {
+		t.Fatalf("RunLocal: %v", err)
+	}
+	if _, err := mpe.ReadTraceDir(dir); err == nil {
+		t.Fatal("trace files written with tracing disabled")
+	}
+}
