@@ -63,6 +63,12 @@ func (c *Comm) Process() *Process { return c.p }
 // here means identical groups, not handle identity).
 func (c *Comm) Compare(other *Comm) int { return c.group.Compare(other.group) }
 
+// Abort terminates the job with the given error code (MPI_Abort): the
+// abort is broadcast to the other ranks when the device supports it,
+// and every local pending operation fails with an error satisfying
+// errors.Is(err, xdev.ErrAborted).
+func (c *Comm) Abort(code int) error { return c.ptp.Abort(code) }
+
 // Request is an in-flight non-blocking operation at the API level. For
 // receives it defers unpacking into the user buffer until completion
 // is observed.

@@ -1,0 +1,127 @@
+package devtest
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mpj/internal/mpjbuf"
+	"mpj/internal/xdev"
+)
+
+// ChaosOptions tailors the failure-semantics suite to device
+// capabilities.
+type ChaosOptions struct {
+	// HasPeek enables the blocked-Peek teardown test.
+	HasPeek bool
+}
+
+// chaosTimeout bounds how long a blocked call may take to surface its
+// failure; anything slower counts as a hang.
+const chaosTimeout = 10 * time.Second
+
+// RunChaos runs the failure-semantics conformance suite. The contract
+// it checks, on every device: blocking calls return typed errors —
+// never hang — when the device is finished underneath them or a peer
+// rank dies mid-job.
+func RunChaos(t *testing.T, run JobRunner, opts ChaosOptions) {
+	t.Run("FinishUnblocksRecv", func(t *testing.T) { testFinishUnblocksRecv(t, run) })
+	if opts.HasPeek {
+		t.Run("FinishUnblocksPeek", func(t *testing.T) { testFinishUnblocksPeek(t, run) })
+	}
+	t.Run("KillOneRank", func(t *testing.T) { testKillOneRank(t, run) })
+}
+
+// closedOrLost reports whether err carries one of the sentinels a
+// torn-down operation may legitimately surface.
+func closedOrLost(err error) bool {
+	return errors.Is(err, xdev.ErrDeviceClosed) ||
+		errors.Is(err, xdev.ErrPeerLost) ||
+		errors.Is(err, xdev.ErrAborted)
+}
+
+// testFinishUnblocksRecv: Finish while another goroutine is blocked in
+// Recv must fail that receive with a typed error instead of leaving it
+// wedged (the teardown path an aborting job depends on).
+func testFinishUnblocksRecv(t *testing.T, run JobRunner) {
+	run(t, 2, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		if rank == 0 {
+			return // never sends: rank 1's receive can only end via Finish
+		}
+		errc := make(chan error, 1)
+		go func() {
+			buf := mpjbuf.New(0)
+			_, err := d.Recv(buf, pids[0], 42, 0)
+			errc <- err
+		}()
+		time.Sleep(50 * time.Millisecond) // let the receive block
+		d.Finish()
+		select {
+		case err := <-errc:
+			if err == nil {
+				t.Error("recv on finished device returned nil error")
+			} else if !closedOrLost(err) {
+				t.Errorf("recv error %v is not a typed closed/lost/aborted error", err)
+			}
+		case <-time.After(chaosTimeout):
+			t.Error("recv still blocked after Finish")
+		}
+	})
+}
+
+// testFinishUnblocksPeek: a goroutine blocked in Peek (the primitive
+// beneath Waitany) must wake with an error when the device finishes.
+func testFinishUnblocksPeek(t *testing.T, run JobRunner) {
+	run(t, 1, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		errc := make(chan error, 1)
+		go func() {
+			_, err := d.Peek()
+			errc <- err
+		}()
+		time.Sleep(50 * time.Millisecond)
+		d.Finish()
+		select {
+		case err := <-errc:
+			if err == nil {
+				t.Error("peek on finished device returned a request")
+			}
+		case <-time.After(chaosTimeout):
+			t.Error("peek still blocked after Finish")
+		}
+	})
+}
+
+// testKillOneRank: after real traffic proves the job wired, one rank
+// dies while every survivor is blocked receiving from it. Each
+// survivor's receive must fail with an error wrapping xdev.ErrPeerLost
+// within the timeout — the job tears down instead of hanging.
+func testKillOneRank(t *testing.T, run JobRunner) {
+	const victim = 0
+	run(t, 4, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		n := len(pids)
+		send(t, d, pids[(rank+1)%n], 1, []int64{int64(rank)})
+		recv(t, d, pids[(rank-1+n)%n], 1, 1)
+
+		if rank == victim {
+			time.Sleep(100 * time.Millisecond) // let survivors block first
+			d.Finish()
+			return
+		}
+		errc := make(chan error, 1)
+		go func() {
+			buf := mpjbuf.New(0)
+			_, err := d.Recv(buf, pids[victim], 99, 0)
+			errc <- err
+		}()
+		select {
+		case err := <-errc:
+			if err == nil {
+				t.Errorf("rank %d: recv from dead rank returned nil error", rank)
+			} else if !errors.Is(err, xdev.ErrPeerLost) {
+				t.Errorf("rank %d: recv error %v does not wrap ErrPeerLost", rank, err)
+			}
+		case <-time.After(chaosTimeout):
+			t.Errorf("rank %d: recv from dead rank still blocked", rank)
+		}
+	})
+}

@@ -103,6 +103,11 @@ func (d *Device) Recorder() mpe.Recorder { return d.inner.Recorder() }
 // Finish shuts the device down.
 func (d *Device) Finish() error { return d.inner.Finish() }
 
+// Abort tears the whole job down with the given code by delegating to
+// the inner transport device (xdev.Aborter). Receive workers blocked
+// in their probe loop observe the abort as an IProbe error and exit.
+func (d *Device) Abort(code int) error { return d.inner.Abort(code) }
+
 // SendOverhead reports the per-message device overhead in bytes.
 func (d *Device) SendOverhead() int { return d.inner.SendOverhead() }
 

@@ -20,6 +20,8 @@
 // communication-set lock, exactly as in the paper's pseudocode.
 package match
 
+import "sort"
+
 // Wildcard values within a Pattern.
 const (
 	// AnyTag matches any message tag.
@@ -135,6 +137,31 @@ func (s *PatternSet[T]) Match(c Concrete) (v T, ok bool) {
 // Len reports the number of live (unmatched) patterns.
 func (s *PatternSet[T]) Len() int { return s.live }
 
+// TakeFunc removes and returns every live pattern accepted by pred, in
+// posting order. The failure paths use it to drain receives that can no
+// longer complete (dead source, device shutdown).
+func (s *PatternSet[T]) TakeFunc(pred func(Pattern, T) bool) []T {
+	var taken []*entry[T]
+	for k, q := range s.buckets {
+		for _, e := range q.items {
+			if e == nil || e.taken {
+				continue
+			}
+			if pred(k, e.value) {
+				e.taken = true
+				s.live--
+				taken = append(taken, e)
+			}
+		}
+	}
+	sortEntries(taken)
+	out := make([]T, len(taken))
+	for i, e := range taken {
+		out[i] = e.value
+	}
+	return out
+}
+
 // ItemSet holds arrived message envelopes. Each item is indexed under
 // all four keys that could match it, so pattern probes are O(1).
 type ItemSet[T any] struct {
@@ -195,3 +222,35 @@ func (s *ItemSet[T]) Peek(p Pattern) (v T, ok bool) {
 
 // Len reports the number of live (unmatched) items.
 func (s *ItemSet[T]) Len() int { return s.live }
+
+// TakeFunc removes and returns every live item accepted by pred, in
+// arrival order. Each item is indexed under four keys sharing one
+// entry, so the taken flag both removes and deduplicates.
+func (s *ItemSet[T]) TakeFunc(pred func(T) bool) []T {
+	var taken []*entry[T]
+	seen := map[*entry[T]]bool{}
+	for _, q := range s.buckets {
+		for _, e := range q.items {
+			if e == nil || e.taken || seen[e] {
+				continue
+			}
+			seen[e] = true
+			if pred(e.value) {
+				e.taken = true
+				s.live--
+				taken = append(taken, e)
+			}
+		}
+	}
+	sortEntries(taken)
+	out := make([]T, len(taken))
+	for i, e := range taken {
+		out[i] = e.value
+	}
+	return out
+}
+
+// sortEntries orders drained entries by their posting/arrival sequence.
+func sortEntries[T any](es []*entry[T]) {
+	sort.Slice(es, func(i, j int) bool { return es[i].seq < es[j].seq })
+}

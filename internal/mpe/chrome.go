@@ -32,6 +32,8 @@ func category(t EventType) string {
 		return "collective"
 	case WaitanyPark, WaitanyWake:
 		return "waitany"
+	case PeerLost, FrameCorrupt, Aborted:
+		return "failure"
 	}
 	return "other"
 }
@@ -143,6 +145,10 @@ func WriteSummary(w io.Writer, files []*TraceFile, onlyRank int) error {
 			c := tf.Counters
 			fmt.Fprintf(w, "  counters: eager=%d rndv=%d bytesSent=%d matched=%d unexpected=%d\n",
 				c.EagerSent, c.RndvSent, c.BytesSent, c.Matched, c.Unexpected)
+			if c.PeersLost+c.FramesCorrupt+c.RequestsFailed > 0 {
+				fmt.Fprintf(w, "  failures: peersLost=%d framesCorrupt=%d requestsFailed=%d\n",
+					c.PeersLost, c.FramesCorrupt, c.RequestsFailed)
+			}
 		}
 		byType := map[EventType]int{}
 		for _, ev := range tf.Events {
@@ -160,6 +166,10 @@ func WriteSummary(w io.Writer, files []*TraceFile, onlyRank int) error {
 	if haveCounters && len(kept) > 1 {
 		fmt.Fprintf(w, "\nall ranks: eager=%d rndv=%d bytesSent=%d matched=%d unexpected=%d\n",
 			total.EagerSent, total.RndvSent, total.BytesSent, total.Matched, total.Unexpected)
+		if total.PeersLost+total.FramesCorrupt+total.RequestsFailed > 0 {
+			fmt.Fprintf(w, "all ranks failures: peersLost=%d framesCorrupt=%d requestsFailed=%d\n",
+				total.PeersLost, total.FramesCorrupt, total.RequestsFailed)
+		}
 	}
 
 	writeLatencyTable(w, kept, SendEnd, "send completion latency")

@@ -5,7 +5,8 @@ import "sync/atomic"
 // Counters aggregates a device's protocol activity with atomic fields,
 // shared by all devices (superseding the niodev-private statCounters).
 // Send-side counters are incremented by the sending device; Unexpected
-// and Matched by the device on whose side the matching happened.
+// and Matched by the device on whose side the matching happened; the
+// failure counters by whichever side detected the failure.
 type Counters struct {
 	// EagerSent counts sends that took the eager protocol.
 	EagerSent atomic.Uint64
@@ -17,16 +18,28 @@ type Counters struct {
 	Unexpected atomic.Uint64
 	// Matched counts arrivals that found a posted receive.
 	Matched atomic.Uint64
+	// PeersLost counts peer processes declared dead after a
+	// connection-level failure (read/write error, EOF, corruption).
+	PeersLost atomic.Uint64
+	// FramesCorrupt counts wire frames rejected by the integrity check
+	// (niodev's negotiated CRC32).
+	FramesCorrupt atomic.Uint64
+	// RequestsFailed counts requests completed with an error (peer
+	// death, device close, abort, corruption).
+	RequestsFailed atomic.Uint64
 }
 
 // Snapshot returns a plain-value copy of the counters.
 func (c *Counters) Snapshot() CounterSnapshot {
 	return CounterSnapshot{
-		EagerSent:  c.EagerSent.Load(),
-		RndvSent:   c.RndvSent.Load(),
-		BytesSent:  c.BytesSent.Load(),
-		Unexpected: c.Unexpected.Load(),
-		Matched:    c.Matched.Load(),
+		EagerSent:      c.EagerSent.Load(),
+		RndvSent:       c.RndvSent.Load(),
+		BytesSent:      c.BytesSent.Load(),
+		Unexpected:     c.Unexpected.Load(),
+		Matched:        c.Matched.Load(),
+		PeersLost:      c.PeersLost.Load(),
+		FramesCorrupt:  c.FramesCorrupt.Load(),
+		RequestsFailed: c.RequestsFailed.Load(),
 	}
 }
 
@@ -34,21 +47,27 @@ func (c *Counters) Snapshot() CounterSnapshot {
 // keep compatibility with the original niodev.Stats so existing
 // assertions keep working unchanged.
 type CounterSnapshot struct {
-	EagerSent  uint64 `json:"eagerSent"`
-	RndvSent   uint64 `json:"rndvSent"`
-	BytesSent  uint64 `json:"bytesSent"`
-	Unexpected uint64 `json:"unexpected"`
-	Matched    uint64 `json:"matched"`
+	EagerSent      uint64 `json:"eagerSent"`
+	RndvSent       uint64 `json:"rndvSent"`
+	BytesSent      uint64 `json:"bytesSent"`
+	Unexpected     uint64 `json:"unexpected"`
+	Matched        uint64 `json:"matched"`
+	PeersLost      uint64 `json:"peersLost,omitempty"`
+	FramesCorrupt  uint64 `json:"framesCorrupt,omitempty"`
+	RequestsFailed uint64 `json:"requestsFailed,omitempty"`
 }
 
 // Add returns the field-wise sum of two snapshots (used when a device
 // aggregates sub-component counters, and by the merge step).
 func (s CounterSnapshot) Add(o CounterSnapshot) CounterSnapshot {
 	return CounterSnapshot{
-		EagerSent:  s.EagerSent + o.EagerSent,
-		RndvSent:   s.RndvSent + o.RndvSent,
-		BytesSent:  s.BytesSent + o.BytesSent,
-		Unexpected: s.Unexpected + o.Unexpected,
-		Matched:    s.Matched + o.Matched,
+		EagerSent:      s.EagerSent + o.EagerSent,
+		RndvSent:       s.RndvSent + o.RndvSent,
+		BytesSent:      s.BytesSent + o.BytesSent,
+		Unexpected:     s.Unexpected + o.Unexpected,
+		Matched:        s.Matched + o.Matched,
+		PeersLost:      s.PeersLost + o.PeersLost,
+		FramesCorrupt:  s.FramesCorrupt + o.FramesCorrupt,
+		RequestsFailed: s.RequestsFailed + o.RequestsFailed,
 	}
 }

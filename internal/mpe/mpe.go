@@ -71,6 +71,15 @@ const (
 	WaitanyPark
 	// WaitanyWake is a span from WaitanyPark to wake-up.
 	WaitanyWake
+	// PeerLost marks a peer declared dead after a connection-level
+	// failure; Peer carries the dead slot.
+	PeerLost
+	// FrameCorrupt marks a wire frame rejected by the integrity check;
+	// Peer carries the sending slot.
+	FrameCorrupt
+	// Aborted marks a job abort, local or remote; Tag carries the
+	// abort code and Peer the initiating slot.
+	Aborted
 
 	eventTypeCount
 )
@@ -89,6 +98,9 @@ var eventNames = [eventTypeCount]string{
 	CollectivePhase: "CollectivePhase",
 	WaitanyPark:     "WaitanyPark",
 	WaitanyWake:     "WaitanyWake",
+	PeerLost:        "PeerLost",
+	FrameCorrupt:    "FrameCorrupt",
+	Aborted:         "Aborted",
 }
 
 // String returns the event type's name.

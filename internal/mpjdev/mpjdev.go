@@ -92,6 +92,18 @@ func (c *Comm) Context() int { return c.context }
 // Device exposes the underlying xdev device.
 func (c *Comm) Device() xdev.Device { return c.dev }
 
+// Abort tears the whole job down with the given code. When the device
+// implements xdev.Aborter the abort is broadcast, so remote ranks'
+// blocked operations fail with xdev.AbortError promptly; otherwise the
+// local device is finished, which fails local pending operations and
+// surfaces at remote ranks as peer loss on fabrics that detect it.
+func (c *Comm) Abort(code int) error {
+	if a, ok := c.dev.(xdev.Aborter); ok {
+		return a.Abort(code)
+	}
+	return c.dev.Finish()
+}
+
 func (c *Comm) pidOf(rank int) (xdev.ProcessID, error) {
 	if rank == AnySource {
 		return xdev.AnySource, nil

@@ -1,6 +1,7 @@
 package mpjdev
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -561,5 +562,34 @@ func TestWaitAnyChurnStress(t *testing.T) {
 			}(g)
 		}
 		wg.Wait()
+	})
+}
+
+// TestAbortWakesBlockedRecv checks the MPI_Abort path end to end over
+// smpdev: one rank aborts the job while the other is blocked in Recv;
+// the blocked rank must wake with an error wrapping xdev.ErrAborted
+// carrying the abort code, not hang.
+func TestAbortWakesBlockedRecv(t *testing.T) {
+	runJob(t, 2, func(c *Comm, rank int) {
+		if rank == 1 {
+			buf := mpjbuf.New(0)
+			_, err := c.Recv(buf, 0, 7)
+			if err == nil {
+				t.Error("recv survived abort with nil error")
+				return
+			}
+			if !errors.Is(err, xdev.ErrAborted) {
+				t.Errorf("recv error %v does not wrap ErrAborted", err)
+			}
+			var ab *xdev.AbortError
+			if !errors.As(err, &ab) || ab.Code != 3 {
+				t.Errorf("recv error %v does not carry abort code 3", err)
+			}
+			return
+		}
+		time.Sleep(50 * time.Millisecond) // let rank 1 block in Recv
+		if err := c.Abort(3); err != nil {
+			t.Errorf("abort: %v", err)
+		}
 	})
 }

@@ -25,6 +25,15 @@ type Daemon struct {
 	jobs   map[string][]*exec.Cmd
 	closed bool
 	wg     sync.WaitGroup
+
+	// Failure handling (see failure.go): jobs already torn down after
+	// a rank failure, jobs with a live heartbeat monitor, and the
+	// heartbeat policy set by SetHeartbeat.
+	failed     map[string]bool
+	monitors   map[string]bool
+	hbInterval time.Duration
+	hbMisses   int
+	stop       chan struct{}
 }
 
 // NewDaemon starts a daemon listening on addr ("host:port"; port 0
@@ -42,7 +51,13 @@ func NewDaemon(addr, scratchDir string) (*Daemon, error) {
 			return nil, err
 		}
 	}
-	d := &Daemon{listener: l, scratch: scratchDir, jobs: make(map[string][]*exec.Cmd)}
+	d := &Daemon{
+		listener: l, scratch: scratchDir,
+		jobs:     make(map[string][]*exec.Cmd),
+		failed:   make(map[string]bool),
+		monitors: make(map[string]bool),
+		stop:     make(chan struct{}),
+	}
 	d.wg.Add(1)
 	go d.serve()
 	return d, nil
@@ -59,6 +74,7 @@ func (d *Daemon) Close() error {
 		return nil
 	}
 	d.closed = true
+	close(d.stop)
 	for _, cmds := range d.jobs {
 		for _, c := range cmds {
 			if c.Process != nil {
@@ -223,6 +239,7 @@ func (d *Daemon) start(c *conn, spec *StartSpec) {
 	}
 	d.jobs[spec.JobID] = append(d.jobs[spec.JobID], cmd)
 	d.mu.Unlock()
+	d.maybeMonitor(spec.JobID, spec.PeerDaemons)
 
 	c.sendEvent(&Event{Kind: "started", Rank: spec.Rank})
 
@@ -240,6 +257,12 @@ func (d *Daemon) start(c *conn, spec *StartSpec) {
 		}
 	}
 	d.forget(spec.JobID, cmd)
+	if code != 0 {
+		// One rank failing dooms the job: kill its other local ranks
+		// and tell the peer daemons, so survivors blocked on the dead
+		// rank are torn down instead of hanging.
+		d.failJob(spec.JobID, spec.PeerDaemons)
+	}
 	c.sendEvent(&Event{Kind: "exit", Rank: spec.Rank, Code: code})
 }
 

@@ -1,0 +1,158 @@
+package mpjrt
+
+import (
+	"net"
+	"time"
+
+	"mpj/internal/transport"
+)
+
+// This file is the runtime's failure handling: when one rank of a job
+// exits nonzero the remaining ranks are killed instead of being left
+// to hang on vanished peers, and daemons heartbeat each other so a
+// dead compute node takes its jobs' surviving ranks down with it.
+
+// dialBackoff dials addr, retrying with jittered exponential backoff
+// until the budget runs out. It replaces fixed-interval retry loops so
+// simultaneous dialers (every rank of a job starting at once) spread
+// out instead of stampeding.
+func dialBackoff(addr string, budget time.Duration, seed int64) (net.Conn, error) {
+	bo := transport.NewBackoff(5*time.Millisecond, 500*time.Millisecond, seed)
+	deadline := time.Now().Add(budget)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			remaining = time.Millisecond
+		}
+		conn, err := net.DialTimeout("tcp", addr, remaining)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(bo.Next())
+	}
+}
+
+// killWithRetry asks the daemon at addr to kill jobID, retrying the
+// dial briefly — the peer may be momentarily unreachable without being
+// dead. Errors are dropped: a daemon that cannot be told is either
+// gone (its node took the ranks with it) or will learn via heartbeat.
+func killWithRetry(addr, jobID string, seed int64) {
+	raw, err := dialBackoff(addr, 2*time.Second, seed)
+	if err != nil {
+		return
+	}
+	c := newConn(raw)
+	defer c.close()
+	if err := c.sendRequest(&Request{Kind: "kill", JobID: jobID}); err != nil {
+		return
+	}
+	c.recvEvent()
+}
+
+// SetHeartbeat enables inter-daemon heartbeat monitoring for jobs
+// started after the call: while a job with peer daemons is live, this
+// daemon pings each peer every interval, and after misses consecutive
+// failures from one peer it presumes that node dead and tears the
+// job's local ranks down. A zero interval (the default) disables
+// monitoring.
+func (d *Daemon) SetHeartbeat(interval time.Duration, misses int) {
+	d.mu.Lock()
+	d.hbInterval, d.hbMisses = interval, misses
+	d.mu.Unlock()
+}
+
+// failJob tears jobID down after a rank failure: the job's local
+// processes are killed and every peer daemon is asked (best effort,
+// with retry) to do the same. Only the first failure of a job acts —
+// the kills it causes make other ranks of the job exit nonzero too,
+// and those exits must not re-broadcast.
+func (d *Daemon) failJob(jobID string, peers []string) {
+	d.mu.Lock()
+	if d.closed || d.failed[jobID] {
+		d.mu.Unlock()
+		return
+	}
+	d.failed[jobID] = true
+	d.mu.Unlock()
+	d.kill(jobID)
+	self := d.Addr()
+	for i, p := range peers {
+		if p == "" || p == self {
+			continue
+		}
+		// Fire and forget: teardown must not block the exit handler,
+		// and each notifier gives up after its own dial budget.
+		go killWithRetry(p, jobID, int64(i)+1)
+	}
+}
+
+// maybeMonitor starts the heartbeat monitor for jobID if monitoring is
+// enabled, the job spans peer daemons, and no monitor is running yet.
+func (d *Daemon) maybeMonitor(jobID string, peers []string) {
+	others := false
+	for _, p := range peers {
+		if p != "" && p != d.Addr() {
+			others = true
+			break
+		}
+	}
+	d.mu.Lock()
+	if d.closed || d.hbInterval <= 0 || !others || d.monitors[jobID] {
+		d.mu.Unlock()
+		return
+	}
+	d.monitors[jobID] = true
+	interval, misses := d.hbInterval, d.hbMisses
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go d.monitorJob(jobID, peers, interval, misses)
+}
+
+// monitorJob pings the job's peer daemons until the job ends, the
+// daemon closes, or a peer misses too many heartbeats — in which case
+// the job's local ranks are killed and the surviving peers notified.
+func (d *Daemon) monitorJob(jobID string, peers []string, interval time.Duration, maxMisses int) {
+	defer d.wg.Done()
+	defer func() {
+		d.mu.Lock()
+		delete(d.monitors, jobID)
+		d.mu.Unlock()
+	}()
+	if maxMisses < 1 {
+		maxMisses = 1
+	}
+	self := d.Addr()
+	missed := make(map[string]int, len(peers))
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+		}
+		d.mu.Lock()
+		_, live := d.jobs[jobID]
+		d.mu.Unlock()
+		if !live {
+			return
+		}
+		for _, p := range peers {
+			if p == "" || p == self {
+				continue
+			}
+			if err := Ping(p, interval); err != nil {
+				missed[p]++
+				if missed[p] >= maxMisses {
+					d.failJob(jobID, peers)
+					return
+				}
+			} else {
+				missed[p] = 0
+			}
+		}
+	}
+}

@@ -42,6 +42,15 @@ func TestHelperProcess(t *testing.T) {
 		os.Exit(0)
 	case "fail":
 		os.Exit(3)
+	case "failrank0":
+		// Rank 0 dies quickly; every other rank would sleep forever —
+		// unless the runtime tears the job down.
+		if os.Getenv("MPJ_RANK") == "0" {
+			time.Sleep(100 * time.Millisecond)
+			os.Exit(3)
+		}
+		time.Sleep(30 * time.Second)
+		os.Exit(0)
 	case "sleep":
 		time.Sleep(30 * time.Second)
 		os.Exit(0)
@@ -390,5 +399,121 @@ func TestRunAcrossTwoDaemons(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// startRaw drives the daemon protocol directly (no Run client), so
+// daemon-side behaviour can be tested without client teardown in play.
+func startRaw(t *testing.T, d *Daemon, spec *StartSpec) *conn {
+	t.Helper()
+	raw, err := net.Dial("tcp", d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newConn(raw)
+	t.Cleanup(func() { c.close() })
+	if err := c.sendRequest(&Request{Kind: "start", Start: spec}); err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := c.recvEvent(); err != nil || ev.Kind != "started" {
+		t.Fatalf("ev=%+v err=%v", ev, err)
+	}
+	return c
+}
+
+// awaitExit waits for the stream's exit event.
+func awaitExit(t *testing.T, c *conn, timeout time.Duration) *Event {
+	t.Helper()
+	evc := make(chan *Event, 1)
+	go func() {
+		for {
+			ev, err := c.recvEvent()
+			if err != nil {
+				evc <- nil
+				return
+			}
+			if ev.Kind == "exit" {
+				evc <- ev
+				return
+			}
+		}
+	}()
+	select {
+	case ev := <-evc:
+		return ev
+	case <-time.After(timeout):
+		t.Fatal("no exit event")
+		return nil
+	}
+}
+
+// TestRunTearsDownJobOnRankFailure is the end-to-end job teardown
+// property: one rank of a two-daemon job exits nonzero and the other
+// rank (asleep for 30s) must be killed promptly rather than running
+// out its sleep.
+func TestRunTearsDownJobOnRankFailure(t *testing.T) {
+	d1 := startDaemon(t)
+	d2 := startDaemon(t)
+	var out bytes.Buffer
+	start := time.Now()
+	res, err := Run(helperJob(2, []string{d1.Addr(), d2.Addr()}, "failrank0", testBasePort(), &out))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("teardown took %v; surviving rank ran out its sleep", elapsed)
+	}
+	if res.ExitCodes[0] != 3 {
+		t.Fatalf("exit codes %v, want rank 0 = 3", res.ExitCodes)
+	}
+	if res.ExitCodes[1] == 0 {
+		t.Fatalf("exit codes %v: killed rank 1 reported success", res.ExitCodes)
+	}
+}
+
+// TestDaemonNotifiesPeerDaemonsOnFailure exercises the daemon-side
+// path alone: a rank failing on one daemon must reach across and kill
+// the job's ranks on peer daemons, with no mpjrun client involved.
+func TestDaemonNotifiesPeerDaemonsOnFailure(t *testing.T) {
+	d1 := startDaemon(t)
+	d2 := startDaemon(t)
+	peers := []string{d1.Addr(), d2.Addr()}
+	sleeper := startRaw(t, d2, &StartSpec{
+		JobID: "peerfail", Rank: 1, Size: 2, Addrs: []string{"127.0.0.1:1", "127.0.0.1:2"},
+		Path: os.Args[0], Args: []string{"-test.run=^TestHelperProcess$"},
+		Env: []string{"MPJRT_HELPER=sleep"}, PeerDaemons: peers,
+	})
+	failer := startRaw(t, d1, &StartSpec{
+		JobID: "peerfail", Rank: 0, Size: 2, Addrs: []string{"127.0.0.1:1", "127.0.0.1:2"},
+		Path: os.Args[0], Args: []string{"-test.run=^TestHelperProcess$"},
+		Env: []string{"MPJRT_HELPER=fail"}, PeerDaemons: peers,
+	})
+	if ev := awaitExit(t, failer, 10*time.Second); ev == nil || ev.Code != 3 {
+		t.Fatalf("failing rank: %+v", ev)
+	}
+	if ev := awaitExit(t, sleeper, 10*time.Second); ev != nil && ev.Code == 0 {
+		t.Fatalf("sleeping rank survived peer failure: %+v", ev)
+	}
+}
+
+// TestHeartbeatKillsOrphanedJob: a daemon whose heartbeat peer stops
+// answering must presume the node dead and kill the job's local ranks.
+func TestHeartbeatKillsOrphanedJob(t *testing.T) {
+	d1 := startDaemon(t)
+	d1.SetHeartbeat(50*time.Millisecond, 3)
+	d2, err := NewDaemon("127.0.0.1:0", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sleeper := startRaw(t, d1, &StartSpec{
+		JobID: "orphan", Rank: 0, Size: 2, Addrs: []string{"127.0.0.1:1", "127.0.0.1:2"},
+		Path: os.Args[0], Args: []string{"-test.run=^TestHelperProcess$"},
+		Env: []string{"MPJRT_HELPER=sleep"}, PeerDaemons: []string{d1.Addr(), d2.Addr()},
+	})
+	// The peer daemon dies; after enough missed heartbeats d1 must
+	// tear the job down.
+	d2.Close()
+	if ev := awaitExit(t, sleeper, 10*time.Second); ev != nil && ev.Code == 0 {
+		t.Fatalf("orphaned rank reported success: %+v", ev)
 	}
 }

@@ -45,6 +45,12 @@ type StartSpec struct {
 	Env []string
 	// Dir is the working directory ("" = daemon's).
 	Dir string
+	// PeerDaemons lists every daemon address hosting ranks of this
+	// job. If this process exits nonzero, its daemon kills the job's
+	// other local ranks and asks each peer daemon to do the same; with
+	// heartbeating enabled the daemons also monitor each other for the
+	// job's lifetime.
+	PeerDaemons []string
 }
 
 // Request is the client→daemon envelope.

@@ -149,13 +149,31 @@ func Run(job Job) (*Result, error) {
 	var outMu sync.Mutex
 	var wg sync.WaitGroup
 
+	// On the first rank failure, kill the whole job on every daemon so
+	// surviving ranks blocked on the failed one are torn down promptly
+	// instead of waiting for their own timeouts.
+	var killOnce sync.Once
+	var killWG sync.WaitGroup
+	teardown := func() {
+		killOnce.Do(func() {
+			for i, dn := range job.Daemons {
+				killWG.Add(1)
+				go func(addr string, seed int64) {
+					defer killWG.Done()
+					killWithRetry(addr, jobID, seed)
+				}(dn, int64(i)+1)
+			}
+		})
+	}
+
 	for rank := 0; rank < job.NP; rank++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			raw, err := net.DialTimeout("tcp", daemonOf[rank], 10*time.Second)
+			raw, err := dialBackoff(daemonOf[rank], 10*time.Second, int64(rank)+1)
 			if err != nil {
 				errs[rank] = fmt.Errorf("daemon %s: %w", daemonOf[rank], err)
+				teardown()
 				return
 			}
 			c := newConn(raw)
@@ -163,6 +181,7 @@ func Run(job Job) (*Result, error) {
 			spec := &StartSpec{
 				JobID: jobID, Rank: rank, Size: job.NP, Addrs: addrs,
 				Device: job.Device, Args: job.Args, Env: job.Env,
+				PeerDaemons: job.Daemons,
 			}
 			if fetchURL != "" {
 				spec.FetchURL = fetchURL
@@ -177,6 +196,7 @@ func Run(job Job) (*Result, error) {
 				ev, err := c.recvEvent()
 				if err != nil {
 					errs[rank] = fmt.Errorf("rank %d: connection lost: %w", rank, err)
+					teardown()
 					return
 				}
 				switch ev.Kind {
@@ -189,18 +209,24 @@ func Run(job Job) (*Result, error) {
 					}
 				case "exit":
 					res.ExitCodes[rank] = ev.Code
+					if ev.Code != 0 {
+						teardown()
+					}
 					return
 				case "error":
 					errs[rank] = fmt.Errorf("rank %d: %s", rank, ev.Err)
+					teardown()
 					return
 				default:
 					errs[rank] = fmt.Errorf("rank %d: unexpected event %q", rank, ev.Kind)
+					teardown()
 					return
 				}
 			}
 		}(rank)
 	}
 	wg.Wait()
+	killWG.Wait()
 
 	var failures []string
 	for rank, err := range errs {
@@ -209,10 +235,6 @@ func Run(job Job) (*Result, error) {
 		}
 	}
 	if len(failures) > 0 {
-		// Make sure stragglers die.
-		for _, d := range job.Daemons {
-			Kill(d, jobID)
-		}
 		return res, fmt.Errorf("mpjrt: %s", strings.Join(failures, "; "))
 	}
 	return res, nil

@@ -13,12 +13,14 @@
 package mxdev
 
 import (
+	"errors"
 	"sync"
 	"time"
 
 	"mpj/internal/mpe"
 	"mpj/internal/mpjbuf"
 	"mpj/internal/mxsim"
+	"mpj/internal/transport"
 	"mpj/internal/xdev"
 )
 
@@ -61,6 +63,23 @@ func matchPattern(ctx int32, tag int, src xdev.ProcessID) (info, mask uint64) {
 }
 
 func tagOf(info uint64) int { return int(int32(uint32(info >> 16))) }
+
+// mapErr translates mxsim library errors into the device-agnostic xdev
+// taxonomy: a closed local endpoint becomes xdev.ErrDeviceClosed, a
+// closed remote endpoint becomes xdev.ErrPeerLost. Other errors pass
+// through unchanged.
+func mapErr(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	switch {
+	case errors.Is(err, mxsim.ErrPeerClosed):
+		return &xdev.Error{Dev: DeviceName, Op: op, Err: errors.Join(xdev.ErrPeerLost, err)}
+	case errors.Is(err, mxsim.ErrEndpointClosed):
+		return &xdev.Error{Dev: DeviceName, Op: op, Err: errors.Join(xdev.ErrDeviceClosed, err)}
+	}
+	return err
+}
 
 // Device is the MX-backed xdev device.
 type Device struct {
@@ -134,9 +153,13 @@ func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
 	}
 	d.self = d.pids[cfg.Rank]
 
-	// Peers open their endpoints concurrently; retry briefly.
+	// Peers open their endpoints concurrently; retry with jittered
+	// exponential backoff, seeded per (rank, slot) so simultaneous
+	// dialers desynchronize deterministically.
 	deadline := time.Now().Add(30 * time.Second)
 	for slot := 0; slot < cfg.Size; slot++ {
+		bo := transport.NewBackoff(time.Millisecond, 100*time.Millisecond,
+			int64(cfg.Rank)*int64(cfg.Size)+int64(slot)+1)
 		for {
 			addr, err := ep.Connect(uint32(slot))
 			if err == nil {
@@ -147,7 +170,7 @@ func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
 				ep.Close()
 				return nil, &xdev.Error{Dev: DeviceName, Op: "connect", Err: err}
 			}
-			time.Sleep(time.Millisecond)
+			time.Sleep(bo.Next())
 		}
 	}
 	d.initDone = true
@@ -196,6 +219,7 @@ type request struct {
 	tag      int32
 	ctx      int32
 	spanOnce sync.Once
+	failOnce sync.Once
 
 	mu         sync.Mutex
 	attachment any
@@ -237,11 +261,18 @@ func (r *request) statusOf(st mxsim.Status) xdev.Status {
 	}
 }
 
+// fail records the request's failure (once) and maps the library
+// error into the xdev taxonomy.
+func (r *request) fail(op string, err error) error {
+	r.failOnce.Do(func() { r.dev.stats.RequestsFailed.Add(1) })
+	return mapErr(op, err)
+}
+
 // Wait blocks until the operation completes.
 func (r *request) Wait() (xdev.Status, error) {
 	st, err := r.mx.Wait()
 	if err != nil {
-		return xdev.Status{}, err
+		return xdev.Status{}, r.fail("wait", err)
 	}
 	r.finishRecv()
 	xst := r.statusOf(st)
@@ -253,6 +284,9 @@ func (r *request) Wait() (xdev.Status, error) {
 func (r *request) Test() (xdev.Status, bool, error) {
 	st, ok, err := r.mx.Test()
 	if !ok || err != nil {
+		if err != nil {
+			err = r.fail("test", err)
+		}
 		return xdev.Status{}, ok, err
 	}
 	r.finishRecv()
@@ -302,6 +336,10 @@ func (d *Device) send(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int, 
 		mxReq, err = d.ep.ISend(buf.Segments(), d.addrs[dst.UUID], info, req)
 	}
 	if err != nil {
+		if e := mapErr("isend", err); e != err {
+			d.stats.RequestsFailed.Add(1)
+			return nil, e
+		}
 		return nil, &xdev.Error{Dev: DeviceName, Op: "isend", Err: err}
 	}
 	req.mx = mxReq
@@ -350,8 +388,22 @@ func (d *Device) IRecv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int)
 		req.trace(false, peer, int32(tag), int32(context))
 		d.rec.Event(mpe.RecvPosted, peer, int32(tag), int32(context), 0)
 	}
-	mxReq, err := d.ep.IRecv(info, mask, req)
+	var (
+		mxReq *mxsim.Request
+		err   error
+	)
+	if src.IsAnySource() {
+		mxReq, err = d.ep.IRecv(info, mask, req)
+	} else {
+		// Pin the receive on its sender so the library fails it with
+		// ErrPeerClosed if that endpoint closes before a match.
+		mxReq, err = d.ep.IRecvFrom(info, mask, uint32(src.UUID), req)
+	}
 	if err != nil {
+		if e := mapErr("irecv", err); e != err {
+			d.stats.RequestsFailed.Add(1)
+			return nil, e
+		}
 		return nil, &xdev.Error{Dev: DeviceName, Op: "irecv", Err: err}
 	}
 	req.mx = mxReq
@@ -372,7 +424,7 @@ func (d *Device) IProbe(src xdev.ProcessID, tag, context int) (xdev.Status, bool
 	info, mask := matchPattern(int32(context), tag, src)
 	st, ok, err := d.ep.IProbe(info, mask)
 	if !ok || err != nil {
-		return xdev.Status{}, ok, err
+		return xdev.Status{}, ok, mapErr("iprobe", err)
 	}
 	return xdev.Status{
 		Source: xdev.ProcessID{UUID: uint64(st.Source)},
@@ -386,7 +438,7 @@ func (d *Device) Probe(src xdev.ProcessID, tag, context int) (xdev.Status, error
 	info, mask := matchPattern(int32(context), tag, src)
 	st, err := d.ep.Probe(info, mask)
 	if err != nil {
-		return xdev.Status{}, err
+		return xdev.Status{}, mapErr("probe", err)
 	}
 	return xdev.Status{
 		Source: xdev.ProcessID{UUID: uint64(st.Source)},
@@ -399,7 +451,7 @@ func (d *Device) Probe(src xdev.ProcessID, tag, context int) (xdev.Status, error
 func (d *Device) Peek() (xdev.Request, error) {
 	mxReq, err := d.ep.Peek()
 	if err != nil {
-		return nil, err
+		return nil, mapErr("peek", err)
 	}
 	req, _ := mxReq.Context().(*request)
 	if req == nil {

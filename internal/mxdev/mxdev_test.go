@@ -142,3 +142,9 @@ func TestFinishIdempotent(t *testing.T) {
 		}
 	})
 }
+
+// TestChaosConformance runs the shared failure-semantics suite:
+// blocked calls must fail typed, not hang, under Finish and peer death.
+func TestChaosConformance(t *testing.T) {
+	devtest.RunChaos(t, runner, devtest.ChaosOptions{HasPeek: true})
+}

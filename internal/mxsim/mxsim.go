@@ -36,6 +36,12 @@ const MatchAll = ^uint64(0)
 // ErrEndpointClosed is returned for operations on a closed endpoint.
 var ErrEndpointClosed = errors.New("mxsim: endpoint closed")
 
+// ErrPeerClosed is returned for operations that can only be completed
+// by a remote endpoint that has been closed: sends addressed to it,
+// synchronous sends parked unmatched in its unexpected queue, and
+// receives pinned (via IRecvFrom) on messages from it.
+var ErrPeerClosed = errors.New("mxsim: peer endpoint closed")
+
 // fabric is the process-global "NIC": a namespace of endpoint groups.
 var fabric = struct {
 	sync.Mutex
@@ -127,10 +133,14 @@ type message struct {
 	sreq      *Request // synchronous sender awaiting match
 }
 
-// postedRecv is a pending receive.
+// postedRecv is a pending receive. src pins the receive on a specific
+// sender (-1 accepts any): the pin is how the library knows which
+// receives to fail when a peer endpoint closes, since it cannot decode
+// the caller's matchInfo bit layout.
 type postedRecv struct {
 	matchInfo uint64
 	matchMask uint64
+	src       int64
 	req       *Request
 }
 
@@ -199,7 +209,11 @@ func (ep *Endpoint) Connect(id uint32) (EndpointAddr, error) {
 }
 
 // Close shuts the endpoint down, failing outstanding requests
-// (mx_close_endpoint).
+// (mx_close_endpoint). Synchronous senders still parked unmatched in
+// the unexpected queue are failed with ErrPeerClosed — their message
+// can never be matched now — and every surviving endpoint in the group
+// is told, so receives pinned on this endpoint fail instead of waiting
+// forever.
 func (ep *Endpoint) Close() error {
 	fabric.Lock()
 	if g := fabric.groups[ep.group]; g != nil && g[ep.id] == ep {
@@ -207,6 +221,10 @@ func (ep *Endpoint) Close() error {
 		if len(g) == 0 {
 			delete(fabric.groups, ep.group)
 		}
+	}
+	var peers []*Endpoint
+	for _, p := range fabric.groups[ep.group] {
+		peers = append(peers, p)
 	}
 	fabric.Unlock()
 
@@ -218,6 +236,7 @@ func (ep *Endpoint) Close() error {
 	ep.closed = true
 	posted := ep.posted
 	ep.posted = nil
+	unexpected := ep.unexpected
 	ep.unexpected = nil
 	ep.cond.Broadcast()
 	ep.mu.Unlock()
@@ -225,8 +244,38 @@ func (ep *Endpoint) Close() error {
 	for _, p := range posted {
 		p.req.complete(Status{}, nil, ErrEndpointClosed)
 	}
+	for _, m := range unexpected {
+		if m.sreq != nil {
+			m.sreq.complete(Status{}, nil, fmt.Errorf("mxsim: ssend unmatched at close: %w", ErrPeerClosed))
+		}
+	}
 	ep.cq.Close()
+	for _, p := range peers {
+		p.peerClosed(ep.id)
+	}
 	return nil
+}
+
+// peerClosed fails this endpoint's posted receives pinned on the
+// closed endpoint src. Unexpected messages already received from src
+// stay deliverable (the data is here), and unpinned receives stay
+// posted — another sender may satisfy them.
+func (ep *Endpoint) peerClosed(src uint32) {
+	ep.mu.Lock()
+	var victims []*postedRecv
+	kept := ep.posted[:0]
+	for _, p := range ep.posted {
+		if p.src >= 0 && uint32(p.src) == src {
+			victims = append(victims, p)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	ep.posted = kept
+	ep.mu.Unlock()
+	for _, p := range victims {
+		p.req.complete(Status{}, nil, fmt.Errorf("mxsim: recv from endpoint %d: %w", src, ErrPeerClosed))
+	}
 }
 
 func (ep *Endpoint) resolve(dst EndpointAddr) (*Endpoint, error) {
@@ -234,7 +283,7 @@ func (ep *Endpoint) resolve(dst EndpointAddr) (*Endpoint, error) {
 	defer fabric.Unlock()
 	g := fabric.groups[dst.group]
 	if g == nil || g[dst.id] == nil {
-		return nil, fmt.Errorf("mxsim: send: endpoint %v not open", dst)
+		return nil, fmt.Errorf("mxsim: send: endpoint %v not open: %w", dst, ErrPeerClosed)
 	}
 	return g[dst.id], nil
 }
@@ -298,7 +347,7 @@ func (ep *Endpoint) deliver(m *message) {
 	if ep.closed {
 		ep.mu.Unlock()
 		if m.sreq != nil {
-			m.sreq.complete(Status{}, nil, fmt.Errorf("mxsim: peer endpoint closed"))
+			m.sreq.complete(Status{}, nil, fmt.Errorf("mxsim: deliver: %w", ErrPeerClosed))
 		}
 		return
 	}
@@ -324,8 +373,20 @@ func (ep *Endpoint) deliver(m *message) {
 // IRecv posts a non-blocking receive for messages whose match
 // information equals matchInfo under matchMask (mx_irecv).
 func (ep *Endpoint) IRecv(matchInfo, matchMask uint64, context any) (*Request, error) {
+	return ep.irecv(matchInfo, matchMask, -1, context)
+}
+
+// IRecvFrom posts a receive pinned on sender src: if src's endpoint
+// closes before a match, the receive fails with ErrPeerClosed rather
+// than waiting forever. The pin is advisory metadata for failure
+// propagation; matching itself is still matchInfo/matchMask.
+func (ep *Endpoint) IRecvFrom(matchInfo, matchMask uint64, src uint32, context any) (*Request, error) {
+	return ep.irecv(matchInfo, matchMask, int64(src), context)
+}
+
+func (ep *Endpoint) irecv(matchInfo, matchMask uint64, src int64, context any) (*Request, error) {
 	req := &Request{ep: ep, isRecv: true, done: make(chan struct{}), context: context}
-	p := &postedRecv{matchInfo: matchInfo, matchMask: matchMask, req: req}
+	p := &postedRecv{matchInfo: matchInfo, matchMask: matchMask, src: src, req: req}
 
 	ep.mu.Lock()
 	if ep.closed {
@@ -342,6 +403,21 @@ func (ep *Endpoint) IRecv(matchInfo, matchMask uint64, context any) (*Request, e
 				m.sreq.complete(st, nil, nil)
 			}
 			return req, nil
+		}
+	}
+	if src >= 0 {
+		// A pinned receive must not park when its sender is already
+		// gone: the peerClosed notification for src has either run
+		// (this receive would never be failed) or is about to run
+		// against the posted set as it is now. Close removes the
+		// endpoint from the fabric before notifying, so checking
+		// membership under ep.mu closes the race either way.
+		fabric.Lock()
+		open := fabric.groups[ep.group][uint32(src)] != nil
+		fabric.Unlock()
+		if !open {
+			ep.mu.Unlock()
+			return nil, fmt.Errorf("mxsim: recv from endpoint %d: %w", src, ErrPeerClosed)
 		}
 	}
 	ep.posted = append(ep.posted, p)

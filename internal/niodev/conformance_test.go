@@ -121,3 +121,11 @@ func TestConformanceTCP(t *testing.T) {
 		jobWG.Wait()
 	}, devtest.Options{HasPeek: true, LargeN: 60_000, RendezvousAt: DefaultEagerLimit})
 }
+
+/// TestChaosConformanceInProc runs the shared failure-semantics suite:
+// blocked calls must fail typed, not hang, under Finish and peer death.
+func TestChaosConformanceInProc(t *testing.T) {
+	devtest.RunChaos(t,
+		conformanceRunner(func() xdev.Transport { return transport.NewInProc(0) }),
+		devtest.ChaosOptions{HasPeek: true})
+}

@@ -99,6 +99,13 @@ type Device struct {
 	closed    atomic.Bool
 	initDone  bool
 
+	// Failure state: pmu guards the write-connection table, the
+	// per-slot death errors, and the abort record.
+	pmu      sync.Mutex
+	peerDead []error // per-slot death cause; nil = alive
+	aborted  error   // *xdev.AbortError once the job aborted
+	crcOut   bool    // compute frame checksums on outgoing frames
+
 	stats mpe.Counters
 	rec   mpe.Recorder
 }
@@ -155,6 +162,8 @@ func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
 	d.self = d.pids[cfg.Rank]
 	d.wmu = make([]sync.Mutex, cfg.Size)
 	d.wconn = make([]net.Conn, cfg.Size)
+	d.peerDead = make([]error, cfg.Size)
+	d.crcOut = !cfg.DisableChecksum
 
 	if cfg.Size > 1 {
 		if len(cfg.Addrs) != cfg.Size {
@@ -173,12 +182,12 @@ func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
 			if slot == cfg.Rank {
 				continue
 			}
-			conn, err := d.dialPeer(cfg.Addrs[slot])
+			conn, err := d.dialPeer(cfg.Addrs[slot], slot)
 			if err != nil {
 				d.Finish()
 				return nil, &xdev.Error{Dev: DeviceName, Op: "connect to slot " + fmt.Sprint(slot), Err: err}
 			}
-			d.wconn[slot] = conn
+			d.setWriteConn(slot, conn)
 		}
 		// Wait for every peer's write channel to reach us, so the job
 		// is fully wired before Init returns anywhere.
@@ -191,22 +200,31 @@ func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
 	return append([]xdev.ProcessID(nil), d.pids...), nil
 }
 
-// dialPeer dials addr, retrying until the peer's listener is up, and
-// introduces itself with a hello frame.
-func (d *Device) dialPeer(addr string) (net.Conn, error) {
+// dialPeer dials addr, retrying with jittered exponential backoff
+// until the peer's listener is up, and introduces itself with a hello
+// frame advertising this side's checksum setting.
+func (d *Device) dialPeer(addr string, slot int) (net.Conn, error) {
+	var flags uint32
+	if d.crcOut {
+		flags |= helloFlagCRC
+	}
+	// Seed from (rank, slot) so simultaneous dialers desynchronize
+	// deterministically.
+	bo := transport.NewBackoff(2*time.Millisecond, 250*time.Millisecond,
+		int64(d.cfg.Rank)*int64(d.cfg.Size)+int64(slot)+1)
 	deadline := time.Now().Add(connectTimeout)
 	var lastErr error
 	for time.Now().Before(deadline) {
 		conn, err := d.tr.Dial(addr)
 		if err == nil {
-			if err := writeHello(conn, uint32(d.cfg.Rank)); err != nil {
+			if err := writeHello(conn, uint32(d.cfg.Rank), flags); err != nil {
 				conn.Close()
 				return nil, err
 			}
 			return conn, nil
 		}
 		lastErr = err
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(bo.Next())
 	}
 	return nil, fmt.Errorf("gave up after %v: %w", connectTimeout, lastErr)
 }
@@ -221,7 +239,7 @@ func (d *Device) acceptLoop() {
 		d.handlerWG.Add(1)
 		go func() {
 			defer d.handlerWG.Done()
-			slot, err := readHello(conn)
+			slot, flags, err := readHello(conn)
 			if err != nil || int(slot) >= d.cfg.Size {
 				conn.Close()
 				return
@@ -235,22 +253,26 @@ func (d *Device) acceptLoop() {
 				return
 			}
 			d.inboundWG.Done()
-			d.inputHandler(conn, slot)
+			d.inputHandler(conn, slot, flags&helloFlagCRC != 0)
 		}()
 	}
 }
 
-// waitTimeout waits for wg or fails after the timeout.
+// waitTimeout waits for wg or fails after the timeout. The explicit
+// Timer (instead of time.After) is stopped on the success path so the
+// common case does not leak a pending timer for the full timeout.
 func waitTimeout(wg *sync.WaitGroup, timeout time.Duration) error {
 	done := make(chan struct{})
 	go func() {
 		wg.Wait()
 		close(done)
 	}()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
 	select {
 	case <-done:
 		return nil
-	case <-time.After(timeout):
+	case <-t.C:
 		return fmt.Errorf("timed out after %v", timeout)
 	}
 }
@@ -267,31 +289,46 @@ func (d *Device) RecvOverhead() int { return headerLen }
 // EagerLimit reports the active protocol switch point.
 func (d *Device) EagerLimit() int { return d.eagerLimit }
 
-// Finish closes connections and the listener and wakes all blocked
-// callers with errors.
+// Finish closes connections and the listener, fails every pending
+// request with a device-closed error, and wakes all blocked callers —
+// a Recv or Wait outstanding at Finish returns an error rather than
+// hanging. Live peers are sent a goodbye frame first, so they treat
+// this rank's departure as graceful rather than a failure.
 func (d *Device) Finish() error {
-	if d.closed.Swap(true) {
-		return nil
-	}
-	if d.listener != nil {
-		d.listener.Close()
-	}
-	for _, c := range d.wconn {
-		if c != nil {
-			c.Close()
-		}
-	}
-	d.rcmu.Lock()
-	for _, c := range d.rconns {
-		c.Close()
-	}
-	d.rcmu.Unlock()
-	d.completions.Close()
-	d.rmu.Lock()
-	d.rcond.Broadcast()
-	d.rmu.Unlock()
-	d.handlerWG.Wait()
+	d.sayGoodbye()
+	d.shutdown(ErrDeviceClosed, true)
 	return nil
+}
+
+// sayGoodbye broadcasts a best-effort bye frame to every live peer.
+// Writes run concurrently under a short bound so a wedged write
+// channel cannot turn Finish into a hang: shutdown closes the
+// connections immediately afterwards, failing any straggler, and that
+// peer simply sees EOF (a loss) instead of the bye.
+func (d *Device) sayGoodbye() {
+	if d.closed.Load() || len(d.pids) == 0 {
+		return
+	}
+	h := header{typ: msgBye, src: uint32(d.cfg.Rank)}
+	var wg sync.WaitGroup
+	for slot := range d.pids {
+		if slot == d.cfg.Rank || d.peerErr(slot) != nil {
+			continue
+		}
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			_ = d.writeMsg(slot, h, nil)
+		}(slot)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	t := time.NewTimer(100 * time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-done:
+	case <-t.C:
+	}
 }
 
 func (d *Device) slotOf(p xdev.ProcessID) (int, error) {

@@ -3,6 +3,7 @@ package niodev
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 
@@ -20,61 +21,130 @@ const (
 	msgRTR       = 4 // rendezvous READY_TO_RECV
 	msgRndvData  = 5 // rendezvous payload
 	msgAck       = 6 // eager-sync matched acknowledgement
+	msgAbort     = 7 // job abort broadcast; tag carries the abort code
+	msgBye       = 8 // graceful departure: the sender finished cleanly
 )
 
 // headerLen is the fixed wire header:
-// type(1) pad(3) src(4) tag(4) ctx(4) seq(8) wireLen(8).
-const headerLen = 32
+// type(1) flags(1) pad(2) src(4) tag(4) ctx(4) seq(8) wireLen(8)
+// payCRC(4) hdrCRC(4).
+//
+// hdrCRC covers bytes [0:36) and payCRC the payload bytes, both
+// CRC-32C (Castagnoli); they are computed only when the sender
+// negotiated checksums in its hello (flags bit 0), and zero otherwise.
+const headerLen = 40
+
+// hdrFlagCRC marks a frame whose payCRC/hdrCRC fields are valid.
+const hdrFlagCRC = 0x01
 
 const helloMagic = 0x4d504a45 // "MPJE"
 
+// helloFlagCRC advertises in the hello handshake that every frame on
+// this connection carries CRC-32C integrity checksums. The receiver
+// then treats a frame without the flag — or with a mismatching
+// checksum — as corrupt.
+const helloFlagCRC = 0x01
+
+// castagnoli is the CRC-32C table shared by all frame checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 type header struct {
 	typ     uint8
+	flags   uint8
 	src     uint32
 	tag     int32
 	ctx     int32
 	seq     uint64
 	wireLen uint64
+	payCRC  uint32
 }
 
 func (h header) encode(dst []byte) {
 	dst[0] = h.typ
-	dst[1], dst[2], dst[3] = 0, 0, 0
+	dst[1] = h.flags
+	dst[2], dst[3] = 0, 0
 	binary.BigEndian.PutUint32(dst[4:8], h.src)
 	binary.BigEndian.PutUint32(dst[8:12], uint32(h.tag))
 	binary.BigEndian.PutUint32(dst[12:16], uint32(h.ctx))
 	binary.BigEndian.PutUint64(dst[16:24], h.seq)
 	binary.BigEndian.PutUint64(dst[24:32], h.wireLen)
+	binary.BigEndian.PutUint32(dst[32:36], h.payCRC)
+	var hdrCRC uint32
+	if h.flags&hdrFlagCRC != 0 {
+		hdrCRC = crc32.Checksum(dst[0:36], castagnoli)
+	}
+	binary.BigEndian.PutUint32(dst[36:40], hdrCRC)
 }
 
 func decodeHeader(src []byte) header {
 	return header{
 		typ:     src[0],
+		flags:   src[1],
 		src:     binary.BigEndian.Uint32(src[4:8]),
 		tag:     int32(binary.BigEndian.Uint32(src[8:12])),
 		ctx:     int32(binary.BigEndian.Uint32(src[12:16])),
 		seq:     binary.BigEndian.Uint64(src[16:24]),
 		wireLen: binary.BigEndian.Uint64(src[24:32]),
+		payCRC:  binary.BigEndian.Uint32(src[32:36]),
 	}
 }
 
-func writeHello(c net.Conn, slot uint32) error {
-	var b [8]byte
+// verifyHeader checks the integrity of a raw frame header read from a
+// connection whose hello negotiated checksums.
+func verifyHeader(raw []byte) error {
+	if raw[1]&hdrFlagCRC == 0 {
+		return fmt.Errorf("niodev: frame missing negotiated checksum: %w", xdev.ErrCorruptFrame)
+	}
+	want := binary.BigEndian.Uint32(raw[36:40])
+	if got := crc32.Checksum(raw[0:36], castagnoli); got != want {
+		return fmt.Errorf("niodev: header checksum mismatch (got %#x want %#x): %w",
+			got, want, xdev.ErrCorruptFrame)
+	}
+	return nil
+}
+
+func writeHello(c net.Conn, slot uint32, flags uint32) error {
+	var b [12]byte
 	binary.BigEndian.PutUint32(b[0:4], helloMagic)
 	binary.BigEndian.PutUint32(b[4:8], slot)
+	binary.BigEndian.PutUint32(b[8:12], flags)
 	_, err := c.Write(b[:])
 	return err
 }
 
-func readHello(c net.Conn) (uint32, error) {
-	var b [8]byte
+func readHello(c net.Conn) (slot, flags uint32, err error) {
+	var b [12]byte
 	if _, err := io.ReadFull(c, b[:]); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if binary.BigEndian.Uint32(b[0:4]) != helloMagic {
-		return 0, fmt.Errorf("niodev: bad hello magic")
+		return 0, 0, fmt.Errorf("niodev: bad hello magic")
 	}
-	return binary.BigEndian.Uint32(b[4:8]), nil
+	return binary.BigEndian.Uint32(b[4:8]), binary.BigEndian.Uint32(b[8:12]), nil
+}
+
+// crcReader accumulates a CRC-32C over everything read through it, so
+// payloads streamed straight into user buffers can still be verified.
+type crcReader struct {
+	r   io.Reader
+	sum uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.sum = crc32.Update(c.sum, castagnoli, p[:n])
+	}
+	return n, err
+}
+
+// payloadCRC checksums a payload's segments as one stream.
+func payloadCRC(segments [][]byte) uint32 {
+	var sum uint32
+	for _, s := range segments {
+		sum = crc32.Update(sum, castagnoli, s)
+	}
+	return sum
 }
 
 // arrival is an unexpected (not-yet-matched) message recorded in the
@@ -98,13 +168,17 @@ type arrival struct {
 func (d *Device) writeMsg(slot int, h header, segments [][]byte) error {
 	bufs := make(net.Buffers, 0, 1+len(segments))
 	hdr := make([]byte, headerLen)
+	if d.crcOut {
+		h.flags |= hdrFlagCRC
+		h.payCRC = payloadCRC(segments)
+	}
 	h.encode(hdr)
 	bufs = append(bufs, hdr)
 	bufs = append(bufs, segments...)
 
 	d.wmu[slot].Lock()
 	defer d.wmu[slot].Unlock()
-	conn := d.wconn[slot]
+	conn := d.writeConn(slot)
 	if conn == nil {
 		return xdev.Errf(DeviceName, "write", "no channel to slot %d", slot)
 	}
@@ -115,14 +189,18 @@ func (d *Device) writeMsg(slot int, h header, segments [][]byte) error {
 // isend implements the four send modes. sync selects synchronous
 // completion semantics (Ssend/ISsend).
 func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int, sync bool) (*request, error) {
-	if d.closed.Load() {
-		return nil, xdev.Errf(DeviceName, "isend", "device closed")
+	if err := d.opErr("isend"); err != nil {
+		return nil, err
 	}
 	slot, err := d.slotOf(dst)
 	if err != nil {
 		return nil, err
 	}
+	if err := d.peerErr(slot); err != nil {
+		return nil, err
+	}
 	req := d.newRequest(sendReq, buf)
+	req.dest = int32(slot)
 	wireLen := buf.WireLen()
 	if d.rec.Enabled() {
 		req.trace(int32(slot), int32(tag), int32(context))
@@ -153,10 +231,17 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 		if err := d.writeMsg(slot, h, buf.Segments()); err != nil {
 			if sync {
 				d.smu.Lock()
+				_, mine := d.pendingSync[seq]
 				delete(d.pendingSync, seq)
 				d.smu.Unlock()
+				if !mine {
+					// The peer-death drain already owned and completed
+					// this request; hand it back so Wait reports that.
+					return req, nil
+				}
 			}
-			return nil, &xdev.Error{Dev: DeviceName, Op: "eager send", Err: err}
+			d.markPeerDead(slot, err)
+			return nil, d.peerLost(slot, err)
 		}
 		if d.rec.Enabled() {
 			d.rec.Event(mpe.EagerOut, int32(slot), int32(tag), int32(context), int64(wireLen))
@@ -181,9 +266,14 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 	h := header{typ: msgRTS, src: uint32(d.cfg.Rank), tag: int32(tag), ctx: int32(context), seq: seq, wireLen: uint64(wireLen)}
 	if err := d.writeMsg(slot, h, nil); err != nil {
 		d.smu.Lock()
+		_, mine := d.pendingRndv[seq]
 		delete(d.pendingRndv, seq)
 		d.smu.Unlock()
-		return nil, &xdev.Error{Dev: DeviceName, Op: "rendezvous RTS", Err: err}
+		if !mine {
+			return req, nil // completed by the peer-death drain
+		}
+		d.markPeerDead(slot, err)
+		return nil, d.peerLost(slot, err)
 	}
 	if d.rec.Enabled() {
 		d.rec.Event(mpe.RendezvousRTS, int32(slot), int32(tag), int32(context), int64(wireLen))
@@ -279,9 +369,14 @@ func (d *Device) pattern(src xdev.ProcessID, tag, context int) (match.Pattern, e
 // IRecv posts a non-blocking receive (paper Figs. 4 and 7). If an
 // unexpected message already matches, it is consumed immediately;
 // otherwise the request joins the pending-recv-request-set.
+//
+// A receive pinned to a peer already known dead fails fast with the
+// peer's death error — unless a matching message arrived before the
+// peer died, which is still delivered. ANY_SOURCE receives stay posted
+// as long as any peer could satisfy them.
 func (d *Device) IRecv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int) (xdev.Request, error) {
-	if d.closed.Load() {
-		return nil, xdev.Errf(DeviceName, "irecv", "device closed")
+	if err := d.opErr("irecv"); err != nil {
+		return nil, err
 	}
 	p, err := d.pattern(src, tag, context)
 	if err != nil {
@@ -300,6 +395,12 @@ func (d *Device) IRecv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int)
 	d.rmu.Lock()
 	arr, ok := d.arrived.Match(p)
 	if !ok {
+		if p.Src != match.AnySource {
+			if err := d.peerErr(int(p.Src)); err != nil {
+				d.rmu.Unlock()
+				return nil, err
+			}
+		}
 		d.posted.Add(p, req)
 		d.rmu.Unlock()
 		return req, nil
@@ -312,8 +413,12 @@ func (d *Device) IRecv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int)
 		h := header{typ: msgRTR, src: uint32(d.cfg.Rank), seq: arr.seq}
 		if err := d.writeMsg(int(arr.src), h, nil); err != nil {
 			d.rmu.Lock()
+			_, mine := d.rndvIncoming[rndvKey{arr.src, arr.seq}]
 			delete(d.rndvIncoming, rndvKey{arr.src, arr.seq})
 			d.rmu.Unlock()
+			if !mine {
+				return req, nil // completed by the peer-death drain
+			}
 			return nil, &xdev.Error{Dev: DeviceName, Op: "rendezvous RTR", Err: err}
 		}
 		if d.rec.Enabled() {
@@ -360,12 +465,22 @@ func (d *Device) IProbe(src xdev.ProcessID, tag, context int) (xdev.Status, bool
 	defer d.rmu.Unlock()
 	arr, ok := d.arrived.Peek(p)
 	if !ok {
+		if err := d.opErr("iprobe"); err != nil {
+			return xdev.Status{}, false, err
+		}
+		if p.Src != match.AnySource {
+			if err := d.peerErr(int(p.Src)); err != nil {
+				return xdev.Status{}, false, err
+			}
+		}
 		return xdev.Status{}, false, nil
 	}
 	return xdev.Status{Source: d.pids[arr.src], Tag: int(arr.tag), Bytes: arr.wireLen}, true, nil
 }
 
-// Probe blocks until a matching message is available.
+// Probe blocks until a matching message is available. It fails instead
+// of blocking forever when the device closes, the job aborts, or a
+// pinned source dies with no buffered match left.
 func (d *Device) Probe(src xdev.ProcessID, tag, context int) (xdev.Status, error) {
 	p, err := d.pattern(src, tag, context)
 	if err != nil {
@@ -377,8 +492,13 @@ func (d *Device) Probe(src xdev.ProcessID, tag, context int) (xdev.Status, error
 		if arr, ok := d.arrived.Peek(p); ok {
 			return xdev.Status{Source: d.pids[arr.src], Tag: int(arr.tag), Bytes: arr.wireLen}, nil
 		}
-		if d.closed.Load() {
-			return xdev.Status{}, xdev.Errf(DeviceName, "probe", "device closed")
+		if err := d.opErr("probe"); err != nil {
+			return xdev.Status{}, err
+		}
+		if p.Src != match.AnySource {
+			if err := d.peerErr(int(p.Src)); err != nil {
+				return xdev.Status{}, err
+			}
 		}
 		d.rcond.Wait()
 	}
@@ -389,36 +509,82 @@ func (d *Device) Probe(src xdev.ProcessID, tag, context int) (xdev.Status, error
 // pseudocode (Figs. 5 and 8): it must never block on anything except
 // reading its own channel, so rendezvous data sends are forked onto
 // their own goroutines.
-func (d *Device) inputHandler(conn net.Conn, src uint32) {
-	defer conn.Close()
+//
+// When the loop exits on an error while the device is still live, the
+// peer is declared dead: its pending requests fail with ErrPeerLost
+// and blocked waiters wake (the failure-detection half of the device).
+func (d *Device) inputHandler(conn net.Conn, src uint32, crc bool) {
+	err := d.readLoop(conn, src, crc)
+	conn.Close()
+	if err != nil && !d.closed.Load() {
+		d.markPeerDead(int(src), err)
+	}
+}
+
+func (d *Device) readLoop(conn net.Conn, src uint32, crc bool) error {
 	hdr := make([]byte, headerLen)
 	for {
 		if _, err := io.ReadFull(conn, hdr); err != nil {
-			return // connection closed (Finish or peer exit)
+			return err // connection closed (Finish, abort, or peer exit)
+		}
+		if crc {
+			if err := verifyHeader(hdr); err != nil {
+				d.noteCorrupt(src, err)
+				return err
+			}
 		}
 		h := decodeHeader(hdr)
 		switch h.typ {
 		case msgEager, msgEagerSync:
-			if err := d.handleEager(conn, h); err != nil {
-				return
+			if err := d.handleEager(conn, h, crc); err != nil {
+				return err
 			}
 		case msgRTS:
 			d.handleRTS(h)
 		case msgRTR:
 			d.handleRTR(h)
 		case msgRndvData:
-			if err := d.handleRndvData(conn, h); err != nil {
-				return
+			if err := d.handleRndvData(conn, h, crc); err != nil {
+				return err
 			}
 		case msgAck:
 			d.handleAck(h)
+		case msgAbort:
+			d.handleAbort(h)
+			return nil // device is tearing down; the conn is closing
+		case msgBye:
+			// Graceful departure: the peer finished cleanly. Requests
+			// pinned on it fail the same way as on a crash (it can no
+			// longer complete anything), but this is not a failure —
+			// no PeersLost accounting.
+			d.markPeerGone(int(src), fmt.Errorf("niodev: peer %d finished", src), true)
+			return nil
 		default:
-			return // protocol error: drop the connection
+			// Protocol error: drop the connection.
+			return fmt.Errorf("niodev: unknown message type %d from slot %d", h.typ, src)
 		}
 	}
 }
 
-func (d *Device) handleEager(conn net.Conn, h header) error {
+// noteCorrupt records a frame rejected by the integrity check.
+func (d *Device) noteCorrupt(src uint32, err error) {
+	d.stats.FramesCorrupt.Add(1)
+	if d.rec.Enabled() {
+		d.rec.Event(mpe.FrameCorrupt, int32(src), -1, -1, 0)
+	}
+	_ = err
+}
+
+// checkPayload verifies a streamed payload's CRC after the read.
+func checkPayload(crc bool, sum uint32, h header) error {
+	if !crc || sum == h.payCRC {
+		return nil
+	}
+	return fmt.Errorf("niodev: payload checksum mismatch (got %#x want %#x): %w",
+		sum, h.payCRC, xdev.ErrCorruptFrame)
+}
+
+func (d *Device) handleEager(conn net.Conn, h header, crc bool) error {
 	env := match.Concrete{Ctx: h.ctx, Tag: h.tag, Src: uint64(h.src)}
 	st := xdev.Status{Source: d.pids[h.src], Tag: int(h.tag), Bytes: int(h.wireLen)}
 
@@ -427,12 +593,25 @@ func (d *Device) handleEager(conn net.Conn, h header) error {
 	if ok {
 		d.rmu.Unlock()
 		d.stats.Matched.Add(1)
-		// Matched: receive directly into the user buffer (Fig. 5).
-		err := req.buf.LoadWireFrom(conn, int(h.wireLen))
-		if h.typ == msgEagerSync {
-			ackErr := d.writeMsg(int(h.src), header{typ: msgAck, src: uint32(d.cfg.Rank), seq: h.seq}, nil)
-			if err == nil {
-				err = ackErr
+		// Matched: receive directly into the user buffer (Fig. 5). The
+		// crcReader checksums the stream on the way through so even the
+		// zero-copy path is integrity checked.
+		cr := &crcReader{r: conn}
+		err := req.buf.LoadWireFrom(cr, int(h.wireLen))
+		if err == nil {
+			err = checkPayload(crc, cr.sum, h)
+			if err != nil {
+				d.noteCorrupt(h.src, err)
+			}
+		}
+		if err != nil {
+			// Torn or corrupt frame: the peer is about to be declared
+			// dead (the read loop exits on the returned error), so this
+			// receive fails in the same peer-lost shape.
+			err = d.peerLost(int(h.src), err)
+		} else if h.typ == msgEagerSync {
+			if ackErr := d.writeMsg(int(h.src), header{typ: msgAck, src: uint32(d.cfg.Rank), seq: h.seq}, nil); ackErr != nil {
+				err = d.peerLost(int(h.src), ackErr)
 			}
 		}
 		req.complete(st, err)
@@ -449,6 +628,10 @@ func (d *Device) handleEager(conn net.Conn, h header) error {
 	d.rmu.Unlock()
 	data := make([]byte, h.wireLen)
 	if _, err := io.ReadFull(conn, data); err != nil {
+		return err
+	}
+	if err := checkPayload(crc, crc32.Checksum(data, castagnoli), h); err != nil {
+		d.noteCorrupt(h.src, err)
 		return err
 	}
 	d.rmu.Lock()
@@ -489,9 +672,15 @@ func (d *Device) handleRTS(h header) {
 		// Matched: the input handler answers READY_TO_RECV (Fig. 8).
 		if err := d.writeMsg(int(h.src), header{typ: msgRTR, src: uint32(d.cfg.Rank), seq: h.seq}, nil); err != nil {
 			d.rmu.Lock()
+			_, mine := d.rndvIncoming[rndvKey{h.src, h.seq}]
 			delete(d.rndvIncoming, rndvKey{h.src, h.seq})
 			d.rmu.Unlock()
-			req.complete(xdev.Status{}, err)
+			if mine {
+				req.complete(xdev.Status{}, d.peerLost(int(h.src), err))
+			}
+			// The write channel to the peer is broken; declare it dead
+			// so everything else pinned on it fails too.
+			d.markPeerDead(int(h.src), err)
 			return
 		}
 		if d.rec.Enabled() {
@@ -517,7 +706,7 @@ func (d *Device) handleRTR(h header) {
 	delete(d.pendingRndv, h.seq)
 	d.smu.Unlock()
 	if req == nil {
-		return // duplicate or raced with Finish
+		return // duplicate, or drained by peer death / shutdown
 	}
 	// Fork a rendezvous writer so the input handler never blocks on a
 	// bulk write — otherwise two processes simultaneously sending large
@@ -536,11 +725,16 @@ func (d *Device) handleRTR(h header) {
 		if err == nil && d.rec.Enabled() {
 			d.rec.Event(mpe.RendezvousData, int32(dst), req.sendTag, req.sendCtx, int64(wireLen))
 		}
+		if err != nil {
+			// Write failure mid-rendezvous: the channel to dst is gone.
+			d.markPeerDead(dst, err)
+			err = d.peerLost(dst, err)
+		}
 		req.complete(xdev.Status{Source: d.self, Bytes: wireLen}, err)
 	}()
 }
 
-func (d *Device) handleRndvData(conn net.Conn, h header) error {
+func (d *Device) handleRndvData(conn net.Conn, h header, crc bool) error {
 	d.rmu.Lock()
 	req := d.rndvIncoming[rndvKey{h.src, h.seq}]
 	delete(d.rndvIncoming, rndvKey{h.src, h.seq})
@@ -549,7 +743,20 @@ func (d *Device) handleRndvData(conn net.Conn, h header) error {
 		// Protocol violation: data for an unknown rendezvous.
 		return fmt.Errorf("niodev: rendezvous data for unknown seq %d from slot %d", h.seq, h.src)
 	}
-	err := req.buf.LoadWireFrom(conn, int(h.wireLen))
+	cr := &crcReader{r: conn}
+	err := req.buf.LoadWireFrom(cr, int(h.wireLen))
+	if err == nil {
+		err = checkPayload(crc, cr.sum, h)
+		if err != nil {
+			d.noteCorrupt(h.src, err)
+		}
+	}
+	if err != nil {
+		// The rendezvous data stream died or failed its checksum: the
+		// read loop exits on the returned error and declares the peer
+		// dead, so the waiting receive fails in the same shape.
+		err = d.peerLost(int(h.src), err)
+	}
 	req.complete(xdev.Status{Source: d.pids[h.src], Tag: int(h.tag), Bytes: int(h.wireLen)}, err)
 	return err
 }

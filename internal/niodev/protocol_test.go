@@ -1,6 +1,7 @@
 package niodev
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 	"time"
@@ -27,16 +28,19 @@ func TestHelloRoundTrip(t *testing.T) {
 	defer a.Close()
 	defer b.Close()
 	go func() {
-		if err := writeHello(a, 42); err != nil {
+		if err := writeHello(a, 42, helloFlagCRC); err != nil {
 			t.Errorf("writeHello: %v", err)
 		}
 	}()
-	slot, err := readHello(b)
+	slot, flags, err := readHello(b)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if slot != 42 {
 		t.Fatalf("slot = %d", slot)
+	}
+	if flags&helloFlagCRC == 0 {
+		t.Fatalf("flags = %#x, want CRC bit set", flags)
 	}
 }
 
@@ -44,8 +48,8 @@ func TestHelloBadMagic(t *testing.T) {
 	a, b := transport.Pipe(64)
 	defer a.Close()
 	defer b.Close()
-	go a.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 1})
-	if _, err := readHello(b); err == nil {
+	go a.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 1, 0, 0, 0, 0})
+	if _, _, err := readHello(b); err == nil {
 		t.Fatal("bad magic accepted")
 	}
 }
@@ -70,23 +74,36 @@ func TestInputHandlerDropsUnknownMessageType(t *testing.T) {
 	defer devs[1].Finish()
 
 	// Inject a garbage frame on rank 0's write channel to rank 1: rank
-	// 1's input handler must drop the connection without panicking.
+	// 1's input handler must reject it (the hello negotiated checksums,
+	// and this frame has none), count it as corrupt, and declare rank 0
+	// dead rather than silently processing garbage.
 	hdr := make([]byte, headerLen)
 	hdr[0] = 0xff
 	devs[0].wmu[1].Lock()
-	devs[0].wconn[1].Write(hdr)
+	devs[0].writeConn(1).Write(hdr)
 	devs[0].wmu[1].Unlock()
-	time.Sleep(50 * time.Millisecond)
 
-	// Rank 1 -> rank 0 still works (the reverse channel is intact).
+	deadline := time.Now().Add(5 * time.Second)
+	for devs[1].peerErr(0) == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("rank 1 never declared rank 0 dead")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := devs[1].Stats().FramesCorrupt; got != 1 {
+		t.Fatalf("FramesCorrupt = %d, want 1", got)
+	}
+	if !errors.Is(devs[1].peerErr(0), xdev.ErrPeerLost) {
+		t.Fatalf("peer error %v does not wrap ErrPeerLost", devs[1].peerErr(0))
+	}
+	if !errors.Is(devs[1].peerErr(0), xdev.ErrCorruptFrame) {
+		t.Fatalf("peer error %v does not wrap ErrCorruptFrame", devs[1].peerErr(0))
+	}
+	// New operations naming the dead peer fail fast on rank 1.
 	buf := mpjbuf.New(16)
 	buf.WriteInts([]int32{5}, 0, 1)
-	if err := devs[1].Send(buf, xdev.ProcessID{UUID: 0}, 0, 0); err != nil {
-		t.Fatal(err)
-	}
-	rb := mpjbuf.New(0)
-	if _, err := devs[0].Recv(rb, xdev.ProcessID{UUID: 1}, 0, 0); err != nil {
-		t.Fatal(err)
+	if err := devs[1].Send(buf, xdev.ProcessID{UUID: 0}, 0, 0); !errors.Is(err, xdev.ErrPeerLost) {
+		t.Fatalf("send to dead peer: %v, want ErrPeerLost", err)
 	}
 }
 

@@ -1,7 +1,7 @@
 package niodev
 
 import (
-	"errors"
+	"fmt"
 	"sync"
 
 	"mpj/internal/mpe"
@@ -10,8 +10,9 @@ import (
 )
 
 // ErrDeviceClosed is returned by operations outstanding when the device
-// is finished.
-var ErrDeviceClosed = errors.New("niodev: device closed")
+// is finished. It wraps xdev.ErrDeviceClosed, so device-agnostic
+// callers can test with errors.Is against the xdev sentinel.
+var ErrDeviceClosed = fmt.Errorf("niodev: %w", xdev.ErrDeviceClosed)
 
 type reqKind uint8
 
@@ -32,6 +33,9 @@ type request struct {
 	// can repeat the envelope for the receiver's status.
 	sendTag int32
 	sendCtx int32
+	// dest is the destination slot of a send request (-1 otherwise),
+	// so the peer-death drain can find sends addressed to a dead peer.
+	dest int32
 
 	// Tracing envelope: the operation's start time (recorder clock),
 	// peer slot, tag, and context, set at creation when tracing is on
@@ -51,7 +55,7 @@ type request struct {
 }
 
 func (d *Device) newRequest(kind reqKind, buf *mpjbuf.Buffer) *request {
-	return &request{dev: d, kind: kind, buf: buf, t0: -1, done: make(chan struct{})}
+	return &request{dev: d, kind: kind, buf: buf, t0: -1, dest: -1, done: make(chan struct{})}
 }
 
 // trace stamps the request with its tracing envelope (recorder clock
@@ -64,6 +68,9 @@ func (r *request) trace(peer, tag, ctx int32) {
 // complete records the outcome and publishes the request to the
 // completion queue. It is safe to call at most once.
 func (r *request) complete(st xdev.Status, err error) {
+	if err != nil {
+		r.dev.stats.RequestsFailed.Add(1)
+	}
 	if r.t0 >= 0 {
 		typ := mpe.SendEnd
 		if r.kind == recvReq {
@@ -114,6 +121,9 @@ func (r *request) Attachment() any {
 func (d *Device) Peek() (xdev.Request, error) {
 	r, err := d.completions.Peek()
 	if err != nil {
+		if e := d.opErr("peek"); e != nil {
+			return nil, e
+		}
 		return nil, ErrDeviceClosed
 	}
 	return r, nil

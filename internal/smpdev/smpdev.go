@@ -7,9 +7,9 @@
 package smpdev
 
 import (
-	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mpj/internal/cqueue"
 	"mpj/internal/match"
@@ -21,8 +21,9 @@ import (
 // DeviceName is the registry name of this device.
 const DeviceName = "smpdev"
 
-// ErrDeviceClosed is returned for operations on a finished device.
-var ErrDeviceClosed = errors.New("smpdev: device closed")
+// ErrDeviceClosed is returned for operations on a finished device. It
+// wraps xdev.ErrDeviceClosed for device-agnostic errors.Is tests.
+var ErrDeviceClosed = fmt.Errorf("smpdev: %w", xdev.ErrDeviceClosed)
 
 func init() {
 	xdev.Register(DeviceName, func() xdev.Device { return New() })
@@ -52,14 +53,23 @@ type mailbox struct {
 	posted  *match.PatternSet[*request]
 	arrived *match.ItemSet[*arrival]
 	closed  bool
+	// dead records source ranks that left the group (or died) with the
+	// propagated error, so receives pinned on them fail instead of
+	// waiting forever. Buffered arrivals from a dead source remain
+	// deliverable.
+	dead map[uint64]error
+	// aborted is the job-wide abort error, set on every box by Abort.
+	aborted error
 	ctr     mpe.Counters
 	rec     mpe.Recorder // owner's recorder; set at Init under mu
+	owner   *Device      // owning device; set at Init under mu
 }
 
 func newMailbox() *mailbox {
 	m := &mailbox{
 		posted:  match.NewPatternSet[*request](),
 		arrived: match.NewItemSet[*arrival](),
+		dead:    make(map[uint64]error),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m
@@ -84,7 +94,9 @@ type Device struct {
 	cq       *cqueue.Queue[*request]
 	mu       sync.Mutex
 	initDone bool
-	finished bool
+	// finished is atomic: operations check it lock-free on their fast
+	// path while Finish (possibly on another goroutine) sets it.
+	finished atomic.Bool
 
 	stats mpe.Counters // send-side counters; receive side is in box.ctr
 	rec   mpe.Recorder
@@ -148,6 +160,7 @@ func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
 	d.box = g.boxes[cfg.Rank]
 	d.box.mu.Lock()
 	d.box.rec = d.rec
+	d.box.owner = d
 	d.box.mu.Unlock()
 	d.pids = make([]xdev.ProcessID, cfg.Size)
 	for i := range d.pids {
@@ -161,21 +174,61 @@ func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
 // ID returns this process's ProcessID.
 func (d *Device) ID() xdev.ProcessID { return d.self }
 
-// Finish closes this rank's mailbox; the group is released when every
-// member has finished.
+// Finish closes this rank's mailbox, fails its pending requests so no
+// blocked caller hangs, and propagates this rank's departure to the
+// rest of the group: receives other ranks have pinned on this rank
+// fail with an error wrapping xdev.ErrPeerLost. The group is released
+// when every member has finished.
 func (d *Device) Finish() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.finished || !d.initDone {
-		d.finished = true
+	if d.finished.Swap(true) || !d.initDone {
 		return nil
 	}
-	d.finished = true
+
+	closedErr := &xdev.Error{Dev: DeviceName, Op: "finish", Err: ErrDeviceClosed}
 	d.box.mu.Lock()
 	d.box.closed = true
+	victims := d.box.posted.TakeFunc(func(match.Pattern, *request) bool { return true })
+	// Synchronous senders parked unmatched in this mailbox will never
+	// be matched now; their Ssend fails with the receiver's departure.
+	var syncs []*request
+	for _, a := range d.box.arrived.TakeFunc(func(a *arrival) bool { return a.syncReq != nil }) {
+		syncs = append(syncs, a.syncReq)
+	}
 	d.box.cond.Broadcast()
 	d.box.mu.Unlock()
+	for _, r := range victims {
+		r.complete(xdev.Status{}, closedErr)
+	}
+	peerLost := &xdev.Error{
+		Dev: DeviceName,
+		Op:  fmt.Sprintf("peer %d", d.cfg.Rank),
+		Err: fmt.Errorf("rank %d finished: %w", d.cfg.Rank, xdev.ErrPeerLost),
+	}
+	for _, r := range syncs {
+		r.complete(xdev.Status{}, peerLost)
+	}
 	d.cq.Close()
+
+	// Tell the survivors: receives pinned on this rank cannot complete.
+	for slot, box := range d.grp.boxes {
+		if slot == d.cfg.Rank {
+			continue
+		}
+		box.mu.Lock()
+		if box.dead[uint64(d.cfg.Rank)] == nil {
+			box.dead[uint64(d.cfg.Rank)] = peerLost
+		}
+		pinned := box.posted.TakeFunc(func(p match.Pattern, _ *request) bool {
+			return p.Src == uint64(d.cfg.Rank)
+		})
+		box.cond.Broadcast()
+		box.mu.Unlock()
+		for _, r := range pinned {
+			r.complete(xdev.Status{}, peerLost)
+		}
+	}
 
 	board.Lock()
 	d.grp.joined--
@@ -183,6 +236,41 @@ func (d *Device) Finish() error {
 		delete(board.groups, d.grp.name)
 	}
 	board.Unlock()
+	return nil
+}
+
+// Abort tears the whole group down with the given code: every member's
+// pending requests fail with an *xdev.AbortError and their blocked
+// Recv/Probe/Peek callers wake. Implements xdev.Aborter.
+func (d *Device) Abort(code int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.initDone || d.finished.Load() {
+		return nil
+	}
+	ab := &xdev.AbortError{Code: code, From: d.cfg.Rank}
+	if d.rec.Enabled() {
+		d.rec.Event(mpe.Aborted, int32(d.cfg.Rank), int32(code), -1, 0)
+	}
+	for _, box := range d.grp.boxes {
+		box.mu.Lock()
+		if box.aborted == nil {
+			box.aborted = ab
+		}
+		victims := box.posted.TakeFunc(func(match.Pattern, *request) bool { return true })
+		for _, a := range box.arrived.TakeFunc(func(a *arrival) bool { return a.syncReq != nil }) {
+			victims = append(victims, a.syncReq)
+		}
+		owner := box.owner
+		box.cond.Broadcast()
+		box.mu.Unlock()
+		for _, r := range victims {
+			r.complete(xdev.Status{}, ab)
+		}
+		if owner != nil {
+			owner.cq.Close()
+		}
+	}
 	return nil
 }
 
@@ -221,6 +309,9 @@ func (r *request) trace(send bool, peer, tag, ctx int32) {
 }
 
 func (r *request) complete(st xdev.Status, err error) {
+	if err != nil {
+		r.dev.stats.RequestsFailed.Add(1)
+	}
 	if r.t0 >= 0 {
 		typ := mpe.RecvMatched
 		if r.send {
@@ -267,7 +358,7 @@ func (r *request) Attachment() any {
 }
 
 func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int, sync bool) (*request, error) {
-	if !d.initDone || d.finished {
+	if !d.initDone || d.finished.Load() {
 		return nil, xdev.Errf(DeviceName, "isend", "device not ready")
 	}
 	if dst.UUID >= uint64(len(d.grp.boxes)) {
@@ -287,9 +378,17 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 	d.stats.BytesSent.Add(uint64(wireLen))
 
 	box.mu.Lock()
+	if box.aborted != nil {
+		ab := box.aborted
+		box.mu.Unlock()
+		return nil, ab
+	}
 	if box.closed {
 		box.mu.Unlock()
-		return nil, xdev.Errf(DeviceName, "isend", "destination mailbox closed")
+		return nil, &xdev.Error{
+			Dev: DeviceName, Op: "isend",
+			Err: fmt.Errorf("destination mailbox %d closed: %w", dst.UUID, xdev.ErrPeerLost),
+		}
 	}
 	if rreq, ok := box.posted.Match(env); ok {
 		box.ctr.Matched.Add(1)
@@ -372,7 +471,7 @@ func (d *Device) pattern(src xdev.ProcessID, tag, context int) (match.Pattern, e
 
 // IRecv posts a non-blocking receive.
 func (d *Device) IRecv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int) (xdev.Request, error) {
-	if !d.initDone || d.finished {
+	if !d.initDone || d.finished.Load() {
 		return nil, xdev.Errf(DeviceName, "irecv", "device not ready")
 	}
 	p, err := d.pattern(src, tag, context)
@@ -399,6 +498,16 @@ func (d *Device) IRecv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int)
 		req.complete(st, err)
 		return req, nil
 	}
+	if ab := d.box.aborted; ab != nil {
+		d.box.mu.Unlock()
+		return nil, ab
+	}
+	if p.Src != match.AnySource {
+		if err := d.box.dead[p.Src]; err != nil {
+			d.box.mu.Unlock()
+			return nil, err
+		}
+	}
 	d.box.posted.Add(p, req)
 	d.box.mu.Unlock()
 	return req, nil
@@ -423,6 +532,17 @@ func (d *Device) IProbe(src xdev.ProcessID, tag, context int) (xdev.Status, bool
 	defer d.box.mu.Unlock()
 	arr, ok := d.box.arrived.Peek(p)
 	if !ok {
+		if ab := d.box.aborted; ab != nil {
+			return xdev.Status{}, false, ab
+		}
+		if d.box.closed {
+			return xdev.Status{}, false, fmt.Errorf("smpdev: iprobe: %w", ErrDeviceClosed)
+		}
+		if p.Src != match.AnySource {
+			if err := d.box.dead[p.Src]; err != nil {
+				return xdev.Status{}, false, err
+			}
+		}
 		return xdev.Status{}, false, nil
 	}
 	return xdev.Status{Source: d.pids[arr.src], Tag: int(arr.tag), Bytes: arr.wireLen}, true, nil
@@ -440,8 +560,16 @@ func (d *Device) Probe(src xdev.ProcessID, tag, context int) (xdev.Status, error
 		if arr, ok := d.box.arrived.Peek(p); ok {
 			return xdev.Status{Source: d.pids[arr.src], Tag: int(arr.tag), Bytes: arr.wireLen}, nil
 		}
+		if ab := d.box.aborted; ab != nil {
+			return xdev.Status{}, ab
+		}
 		if d.box.closed {
 			return xdev.Status{}, fmt.Errorf("smpdev: probe: %w", ErrDeviceClosed)
+		}
+		if p.Src != match.AnySource {
+			if err := d.box.dead[p.Src]; err != nil {
+				return xdev.Status{}, err
+			}
 		}
 		d.box.cond.Wait()
 	}
@@ -451,6 +579,14 @@ func (d *Device) Probe(src xdev.ProcessID, tag, context int) (xdev.Status, error
 func (d *Device) Peek() (xdev.Request, error) {
 	r, err := d.cq.Peek()
 	if err != nil {
+		if d.box != nil {
+			d.box.mu.Lock()
+			ab := d.box.aborted
+			d.box.mu.Unlock()
+			if ab != nil {
+				return nil, ab
+			}
+		}
 		return nil, ErrDeviceClosed
 	}
 	return r, nil

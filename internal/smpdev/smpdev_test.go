@@ -110,3 +110,9 @@ func TestDeviceRegistry(t *testing.T) {
 		t.Fatalf("registry returned %T", d)
 	}
 }
+
+// TestChaosConformance runs the shared failure-semantics suite:
+// blocked calls must fail typed, not hang, under Finish and peer death.
+func TestChaosConformance(t *testing.T) {
+	devtest.RunChaos(t, runner, devtest.ChaosOptions{HasPeek: true})
+}

@@ -1,0 +1,80 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff produces jittered exponential retry delays: each call to
+// Next returns a delay drawn uniformly from [cur/2, cur], after which
+// the ceiling doubles up to Max ("equal jitter"). The jitter
+// desynchronizes peers that start retrying at the same instant — the
+// thundering-herd problem the fixed-interval dial loops this helper
+// replaces would otherwise have at scale.
+//
+// A Backoff is safe for use by a single goroutine; create one per
+// retry loop. The seed makes the delay sequence deterministic, which
+// the chaos tests rely on.
+type Backoff struct {
+	// Min is the initial delay ceiling (0 selects 2ms).
+	Min time.Duration
+	// Max caps the delay ceiling (0 selects 1s).
+	Max time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	cur time.Duration
+}
+
+// NewBackoff returns a Backoff with the given bounds and seed.
+func NewBackoff(min, max time.Duration, seed int64) *Backoff {
+	return &Backoff{Min: min, Max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (b *Backoff) bounds() (time.Duration, time.Duration) {
+	min, max := b.Min, b.Max
+	if min <= 0 {
+		min = 2 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	if max < min {
+		max = min
+	}
+	return min, max
+}
+
+// Next returns the next delay and advances the exponential schedule.
+func (b *Backoff) Next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	min, max := b.bounds()
+	if b.rng == nil {
+		b.rng = rand.New(rand.NewSource(1))
+	}
+	if b.cur <= 0 {
+		b.cur = min
+	}
+	cur := b.cur
+	if b.cur < max {
+		b.cur *= 2
+		if b.cur > max {
+			b.cur = max
+		}
+	}
+	half := cur / 2
+	if half <= 0 {
+		return cur
+	}
+	return half + time.Duration(b.rng.Int63n(int64(half)+1))
+}
+
+// Reset returns the schedule to its initial delay (for loops that
+// alternate between healthy and failing phases).
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	b.cur = 0
+	b.mu.Unlock()
+}

@@ -1,0 +1,253 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	a := NewBackoff(2*time.Millisecond, 50*time.Millisecond, 7)
+	b := NewBackoff(2*time.Millisecond, 50*time.Millisecond, 7)
+	prevCeil := time.Duration(0)
+	for i := 0; i < 12; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("step %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		if da < time.Millisecond || da > 50*time.Millisecond {
+			t.Fatalf("step %d: delay %v outside [min/2, max]", i, da)
+		}
+		if da > prevCeil {
+			prevCeil = da
+		}
+	}
+	if prevCeil < 20*time.Millisecond {
+		t.Fatalf("schedule never grew: peak delay %v", prevCeil)
+	}
+}
+
+func TestBackoffReset(t *testing.T) {
+	b := NewBackoff(4*time.Millisecond, time.Second, 1)
+	for i := 0; i < 8; i++ {
+		b.Next()
+	}
+	b.Reset()
+	if d := b.Next(); d > 4*time.Millisecond {
+		t.Fatalf("after Reset, first delay %v exceeds Min", d)
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	if d := b.Next(); d <= 0 || d > 2*time.Millisecond {
+		t.Fatalf("zero-value first delay %v outside (0, 2ms]", d)
+	}
+}
+
+func TestFaultyDialRefusals(t *testing.T) {
+	inner := NewInProc(0)
+	ln, err := inner.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	f := NewFaulty(inner, FaultPlan{Seed: 1, DialRefusals: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := f.Dial("srv"); err == nil {
+			t.Fatalf("attempt %d: expected refusal", i+1)
+		}
+	}
+	c, err := f.Dial("srv")
+	if err != nil {
+		t.Fatalf("attempt 3: %v", err)
+	}
+	c.Close()
+	if got := f.Dials("srv"); got != 3 {
+		t.Fatalf("Dials = %d, want 3", got)
+	}
+}
+
+// faultyPair dials through a Faulty transport and returns the faulted
+// client conn plus the raw server side.
+func faultyPair(t *testing.T, plan FaultPlan) (client, server net.Conn) {
+	t.Helper()
+	inner := NewInProc(0)
+	ln, err := inner.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		server, _ = ln.Accept()
+	}()
+	client, err = NewFaulty(inner, plan).Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	return client, server
+}
+
+func TestFaultyResetAfterBytes(t *testing.T) {
+	client, server := faultyPair(t, FaultPlan{Seed: 3, ResetAfterBytes: 64})
+	defer server.Close()
+	buf := make([]byte, 16)
+	var total int
+	var lastErr error
+	for i := 0; i < 100; i++ {
+		n, err := client.Write(buf)
+		total += n
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("no reset after 1600 bytes with ResetAfterBytes=64")
+	}
+	if !strings.Contains(lastErr.Error(), "connection reset") {
+		t.Fatalf("unexpected error: %v", lastErr)
+	}
+	// Threshold jitter keeps the cut within ±25% of the plan.
+	if total < 32 || total > 96 {
+		t.Fatalf("reset after %d bytes, want within [48, 80]±", total)
+	}
+	// The peer's read side eventually errors too (conn was closed).
+	server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	drain := make([]byte, 256)
+	for {
+		_, err := server.Read(drain)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !strings.Contains(err.Error(), "closed") {
+				t.Fatalf("server read error = %v, want EOF/closed", err)
+			}
+			break
+		}
+	}
+}
+
+func TestFaultyResetDeterministicPerSeed(t *testing.T) {
+	cut := func(seed int64) int {
+		client, server := faultyPair(t, FaultPlan{Seed: seed, ResetAfterBytes: 200})
+		defer client.Close()
+		defer server.Close()
+		go io.Copy(io.Discard, server)
+		var total int
+		one := []byte{0xab}
+		for i := 0; i < 1000; i++ {
+			n, err := client.Write(one)
+			total += n
+			if err != nil {
+				return total
+			}
+		}
+		t.Fatal("never reset")
+		return -1
+	}
+	a1, a2 := cut(5), cut(5)
+	if a1 != a2 {
+		t.Fatalf("same seed cut at %d then %d bytes", a1, a2)
+	}
+}
+
+func TestFaultyDropAfterBytes(t *testing.T) {
+	client, server := faultyPair(t, FaultPlan{Seed: 2, DropAfterBytes: 32})
+	defer client.Close()
+	defer server.Close()
+
+	received := make(chan int, 1)
+	go func() {
+		n, _ := io.Copy(io.Discard, server)
+		received <- int(n)
+	}()
+
+	buf := make([]byte, 8)
+	for i := 0; i < 50; i++ {
+		if n, err := client.Write(buf); err != nil || n != len(buf) {
+			t.Fatalf("write %d: n=%d err=%v (drops must look like success)", i, n, err)
+		}
+	}
+	client.Close()
+	select {
+	case n := <-received:
+		// 400 bytes written, threshold ~32±25%: the peer saw only the
+		// pre-partition prefix.
+		if n < 24 || n > 40 {
+			t.Fatalf("peer received %d bytes, want ~32", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server read never finished")
+	}
+}
+
+func TestFaultyCorruptAfterBytes(t *testing.T) {
+	client, server := faultyPair(t, FaultPlan{Seed: 4, CorruptAfterBytes: 1})
+	defer client.Close()
+	defer server.Close()
+
+	done := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(server)
+		done <- b
+	}()
+	// First write passes (threshold ≥ 1 byte written); subsequent
+	// writes have their first byte's low bit flipped.
+	msgs := [][]byte{{0x10, 0x20}, {0x30, 0x40}, {0x50, 0x60}}
+	for _, m := range msgs {
+		if _, err := client.Write(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client.Close()
+	select {
+	case got := <-done:
+		want := []byte{0x10, 0x20, 0x31, 0x40, 0x51, 0x60}
+		if len(got) != len(want) {
+			t.Fatalf("received %x, want %x", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("byte %d: got %#x want %#x (full: %x)", i, got[i], want[i], got)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server read never finished")
+	}
+}
+
+func TestFaultyStalls(t *testing.T) {
+	client, server := faultyPair(t, FaultPlan{Seed: 6, StallWrites: 20 * time.Millisecond})
+	defer client.Close()
+	defer server.Close()
+	go io.Copy(io.Discard, server)
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if _, err := client.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := time.Since(start); d < 60*time.Millisecond {
+		t.Fatalf("3 stalled writes took %v, want ≥60ms", d)
+	}
+}

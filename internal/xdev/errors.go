@@ -1,0 +1,56 @@
+package xdev
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Failure taxonomy shared by every device. Devices wrap these sentinels
+// (directly or via errors.Join) so upper layers and applications can
+// classify failures with errors.Is regardless of which device produced
+// them:
+//
+//   - ErrPeerLost: a specific peer process died or its connection broke.
+//     Every pending request addressed to that peer fails with it, and
+//     new operations naming the peer fail immediately.
+//   - ErrDeviceClosed: the local device was finished while the
+//     operation was pending (or before it was issued).
+//   - ErrCorruptFrame: frame integrity checking (niodev's negotiated
+//     CRC32) detected wire corruption. The connection is treated as
+//     compromised, so the error usually appears joined with ErrPeerLost.
+//   - ErrAborted: the job was torn down by Comm.Abort, locally or by a
+//     remote rank's abort control frame.
+var (
+	ErrPeerLost     = errors.New("xdev: peer lost")
+	ErrDeviceClosed = errors.New("xdev: device closed")
+	ErrCorruptFrame = errors.New("xdev: corrupt frame")
+	ErrAborted      = errors.New("xdev: job aborted")
+)
+
+// AbortError carries the application-supplied code of an Abort and the
+// slot of the process that initiated it. errors.Is(err, ErrAborted)
+// matches it.
+type AbortError struct {
+	// Code is the code passed to Abort.
+	Code int
+	// From is the job slot that initiated the abort (-1 if unknown).
+	From int
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("xdev: job aborted with code %d by slot %d", e.Code, e.From)
+}
+
+// Is makes AbortError match the ErrAborted sentinel.
+func (e *AbortError) Is(target error) bool { return target == ErrAborted }
+
+// Aborter is implemented by devices that can broadcast an abort to the
+// rest of the job (a control frame, a group notification) before
+// tearing down locally. Devices without native support are simply
+// finished by the layer above.
+type Aborter interface {
+	// Abort notifies every reachable peer that the job is aborting with
+	// the given code, then fails all pending local requests with an
+	// AbortError. The device remains finishable afterwards.
+	Abort(code int) error
+}

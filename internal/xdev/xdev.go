@@ -103,6 +103,12 @@ type Config struct {
 	// the device and the layers above it (see internal/mpe). Nil
 	// means tracing is disabled; devices substitute mpe.Nop.
 	Recorder mpe.Recorder
+	// DisableChecksum turns off per-frame integrity checksums on
+	// devices that support them (niodev's CRC32C). Checksums are on by
+	// default; each side advertises its setting in the connection
+	// handshake, and a frame is only verified when its sender computed
+	// the checksum.
+	DisableChecksum bool
 }
 
 // Device is the xdev API of paper Fig. 2. All methods are safe for
