@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"mpj/internal/devcore"
 	"mpj/internal/mpjbuf"
 	"mpj/internal/mpjdev"
 )
@@ -130,10 +131,13 @@ func (r *Request) Test() (*Status, bool, error) {
 // ---- blocking point-to-point ----
 
 // Send performs a blocking standard-mode send of count items of dt
-// from buf starting at offset.
+// from buf starting at offset. The wire buffer is pooled: the blocking
+// call does not return until the device is done with it, so it can be
+// recycled immediately after.
 func (c *Comm) Send(buf any, offset, count int, dt *Datatype, dst, tag int) error {
-	b, err := pack(buf, offset, count, dt)
-	if err != nil {
+	b := devcore.GetBuffer()
+	defer devcore.PutBuffer(b)
+	if err := packInto(b, buf, offset, count, dt); err != nil {
 		return err
 	}
 	return c.ptp.Send(b, dst, tag)
@@ -142,8 +146,9 @@ func (c *Comm) Send(buf any, offset, count int, dt *Datatype, dst, tag int) erro
 // Ssend performs a blocking synchronous-mode send: it returns only
 // after the receiver has matched the message.
 func (c *Comm) Ssend(buf any, offset, count int, dt *Datatype, dst, tag int) error {
-	b, err := pack(buf, offset, count, dt)
-	if err != nil {
+	b := devcore.GetBuffer()
+	defer devcore.PutBuffer(b)
+	if err := packInto(b, buf, offset, count, dt); err != nil {
 		return err
 	}
 	return c.ptp.Ssend(b, dst, tag)
@@ -166,7 +171,8 @@ func (c *Comm) Bsend(buf any, offset, count int, dt *Datatype, dst, tag int) err
 // Recv blocks until a matching message arrives and unpacks up to count
 // items of dt into buf at offset.
 func (c *Comm) Recv(buf any, offset, count int, dt *Datatype, src, tag int) (*Status, error) {
-	b := mpjbuf.New(0)
+	b := devcore.GetBuffer()
+	defer devcore.PutBuffer(b)
 	st, err := c.ptp.Recv(b, src, tag)
 	if err != nil {
 		return nil, err

@@ -131,23 +131,37 @@ scatter:
 // pack serializes count items of dt from buf (starting at offset) into
 // a fresh wire buffer.
 func pack(buf any, offset, count int, dt *Datatype) (*mpjbuf.Buffer, error) {
-	if dt == nil {
-		return nil, fmt.Errorf("core: nil datatype")
+	b := mpjbuf.New(0)
+	if err := packInto(b, buf, offset, count, dt); err != nil {
+		return nil, err
 	}
+	return b, nil
+}
+
+// packInto serializes count items of dt from buf (starting at offset)
+// into b, which must be fresh or Reset — the blocking paths reuse
+// pooled buffers through here. The section payload size is known up
+// front, so the buffer is presized exactly: a pooled buffer whose
+// retained capacity is too small (or a message past mpjbuf's retention
+// bound) costs one allocation, not a doubling overshoot.
+func packInto(b *mpjbuf.Buffer, buf any, offset, count int, dt *Datatype) error {
+	if dt == nil {
+		return fmt.Errorf("core: nil datatype")
+	}
+	b.Grow(count*dt.Size()*max(dt.base.Size(), 1) + 16)
 	n, err := bufferElems(buf)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if err := span(dt, offset, count, n, "pack "+dt.name); err != nil {
-		return nil, err
+		return err
 	}
-	b := mpjbuf.New(count*dt.Size()*max(dt.base.Size(), 1) + 16)
 	if dt.fields != nil {
 		s, ok := buf.([]any)
 		if !ok {
-			return nil, fmt.Errorf("core: struct datatype requires []any buffer, have %T", buf)
+			return fmt.Errorf("core: struct datatype requires []any buffer, have %T", buf)
 		}
-		return b, packStruct(b, s, offset, count, dt)
+		return packStruct(b, s, offset, count, dt)
 	}
 	switch s := buf.(type) {
 	case []byte:
@@ -192,10 +206,7 @@ func pack(buf any, offset, count int, dt *Datatype) (*mpjbuf.Buffer, error) {
 	default:
 		err = fmt.Errorf("core: unsupported buffer type %T", buf)
 	}
-	if err != nil {
-		return nil, err
-	}
-	return b, nil
+	return err
 }
 
 func packEmpty(b *mpjbuf.Buffer, dt *Datatype) error {

@@ -1,0 +1,82 @@
+package devcore
+
+// PendingKey identifies a request parked in a protocol pending set:
+// Peer is the slot whose action completes it (a rendezvous send waits
+// on its destination's READY_TO_RECV; a receive that answered an RTS
+// waits on the source's data; a sync send waits on the destination's
+// ACK), Seq the protocol exchange's sequence number.
+type PendingKey struct {
+	Peer uint64
+	Seq  uint64
+}
+
+// PendingSet is a core-registered parking lot for requests mid
+// protocol exchange. Registration puts it under the core's failure
+// propagation: FailPeer drains entries keyed on the lost slot, and
+// Shutdown drains everything. Add fails fast once the keyed peer is
+// dead or the core closed, so a request can never park after the drain
+// that would have freed it.
+type PendingSet struct {
+	c *Core
+	m map[PendingKey]*Request
+}
+
+// NewPendingSet returns a pending set registered for this core's
+// failure drains.
+func (c *Core) NewPendingSet() *PendingSet {
+	s := &PendingSet{c: c, m: make(map[PendingKey]*Request)}
+	c.mu.Lock()
+	c.pending = append(c.pending, s)
+	c.mu.Unlock()
+	return s
+}
+
+// Add parks r under k. It fails with the recorded death error if
+// k.Peer is already dead, and with the abort cause or ErrClosed if the
+// core is down — the caller owns r again and decides how it fails.
+func (s *PendingSet) Add(k PendingKey, r *Request) error {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.aborted != nil {
+		return c.failErr()
+	}
+	if err := c.peerDead[k.Peer]; err != nil {
+		return err
+	}
+	s.m[k] = r
+	return nil
+}
+
+// Take removes and returns the request parked under k. ok=false means
+// someone else (a drain, or a racing protocol path) already owns it —
+// the "mine" recheck of the ownership-transfer discipline.
+func (s *PendingSet) Take(k PendingKey) (*Request, bool) {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	r, ok := s.m[k]
+	if ok {
+		delete(s.m, k)
+	}
+	return r, ok
+}
+
+// Len returns the number of parked requests (for tests).
+func (s *PendingSet) Len() int {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	return len(s.m)
+}
+
+// drainLocked removes and returns every request whose key satisfies
+// pred. Caller holds c.mu.
+func (s *PendingSet) drainLocked(pred func(PendingKey) bool) []*Request {
+	var out []*Request
+	for k, r := range s.m {
+		if pred(k) {
+			delete(s.m, k)
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package devcore
+
+import (
+	"sync"
+
+	"mpj/internal/mpe"
+	"mpj/internal/mpjbuf"
+	"mpj/internal/xdev"
+)
+
+// Kind distinguishes send from receive requests; completion spans are
+// recorded as SendEnd or RecvMatched accordingly.
+type Kind uint8
+
+// Request kinds.
+const (
+	SendReq Kind = iota
+	RecvReq
+)
+
+// Request is the core's request object. It implements xdev.Request
+// directly — a request is completed exactly once; completion places it
+// on the core's completion queue where it stays until collected by
+// Wait, Test or Peek (the Myrinet eXpress completion-queue discipline
+// that makes peek() possible).
+type Request struct {
+	c    *Core
+	kind Kind
+
+	// Buf is the message buffer: the user's receive buffer for
+	// receives, the packed send buffer for sends.
+	Buf *mpjbuf.Buffer
+
+	// SendTag and SendCtx label a rendezvous send so the data header
+	// can repeat the envelope for the receiver's status.
+	SendTag int32
+	SendCtx int32
+
+	// Pin is the slot a receive is pinned on when that is not
+	// expressible in the match pattern (mxsim's IRecvFrom advisory,
+	// where match bits and sender identity are independent); -1 when
+	// unpinned. FailPeer fails receives pinned on the lost slot.
+	Pin int64
+
+	// Owner is an optional device-side wrapper back-pointer for devices
+	// that cannot return the core request directly (mxsim returns its
+	// own Request type).
+	Owner any
+
+	// Tracing envelope: the operation's start time (recorder clock),
+	// peer slot, tag, and context, set at creation when tracing is on
+	// so Complete can close the SendEnd/RecvMatched span. t0 < 0 means
+	// untraced.
+	t0   int64
+	peer int32
+	tag  int32
+	ctx  int32
+
+	mu         sync.Mutex
+	attachment any
+
+	done   chan struct{}
+	status xdev.Status
+	err    error
+}
+
+// NewRequest returns a fresh, incomplete request on this core.
+func (c *Core) NewRequest(kind Kind, buf *mpjbuf.Buffer) *Request {
+	return &Request{c: c, kind: kind, Buf: buf, t0: -1, Pin: -1, done: make(chan struct{})}
+}
+
+// Trace stamps the request with its tracing envelope (recorder clock
+// start, peer slot, tag, context). Only call when tracing is on.
+func (r *Request) Trace(peer, tag, ctx int32) {
+	r.t0 = r.c.rec.Now()
+	r.peer, r.tag, r.ctx = peer, tag, ctx
+}
+
+// Complete records the outcome and publishes the request to its core's
+// completion queue. It is safe to call at most once; the ownership-
+// transfer discipline (whoever removes a request from a shared set
+// completes it) guarantees that.
+func (r *Request) Complete(st xdev.Status, err error) {
+	if err != nil {
+		r.c.Counters.RequestsFailed.Add(1)
+	}
+	if r.t0 >= 0 {
+		typ := mpe.SendEnd
+		if r.kind == RecvReq {
+			typ = mpe.RecvMatched
+		}
+		r.c.rec.Span(typ, r.peer, r.tag, r.ctx, int64(st.Bytes), r.t0)
+	}
+	r.status = st
+	r.err = err
+	close(r.done)
+	r.c.cq.Push(r)
+}
+
+// Done reports (without blocking) whether the request has completed.
+func (r *Request) Done() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns the completion error; only valid after completion.
+func (r *Request) Err() error { return r.err }
+
+// Status returns the completion status; only valid after completion.
+func (r *Request) Status() xdev.Status { return r.status }
+
+// Wait blocks until the request completes.
+func (r *Request) Wait() (xdev.Status, error) {
+	<-r.done
+	r.c.cq.Collect(r)
+	return r.status, r.err
+}
+
+// Test reports whether the request has completed, without blocking.
+func (r *Request) Test() (xdev.Status, bool, error) {
+	select {
+	case <-r.done:
+		r.c.cq.Collect(r)
+		return r.status, true, r.err
+	default:
+		return xdev.Status{}, false, nil
+	}
+}
+
+// SetAttachment stores opaque upper-layer state on the request.
+func (r *Request) SetAttachment(v any) {
+	r.mu.Lock()
+	r.attachment = v
+	r.mu.Unlock()
+}
+
+// Attachment returns the value stored by SetAttachment.
+func (r *Request) Attachment() any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.attachment
+}
+
+var _ xdev.Request = (*Request)(nil)

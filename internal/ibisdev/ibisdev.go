@@ -15,6 +15,13 @@
 //
 // It is NOT a reimplementation of the real Ibis runtime; it reproduces
 // just the structural properties the paper contrasts against.
+//
+// The device rides on smpdev mailboxes, so its matching, completion
+// and failure semantics come transitively from the shared progress
+// core (internal/devcore); only the per-operation worker threading
+// above it is Ibis-flavoured. Because receive workers poll, the order
+// in which two same-matching receives reach the engine is not their
+// posting order (devtest's RelaxedPostedOrder).
 package ibisdev
 
 import (

@@ -52,7 +52,10 @@ func runner(t *testing.T, n int, fn func(d xdev.Device, rank int, pids []xdev.Pr
 }
 
 func TestConformance(t *testing.T) {
-	devtest.RunConformance(t, runner, devtest.Options{HasPeek: false})
+	// RelaxedPostedOrder: receives are serviced by polling worker
+	// threads, so which of two same-matching receives reaches the
+	// progress engine first is not the posting order.
+	devtest.RunConformance(t, runner, devtest.Options{HasPeek: false, RelaxedPostedOrder: true})
 }
 
 // TestThreadCeiling reproduces the paper's §VI observation: MPJ/Ibis

@@ -135,6 +135,42 @@ func (b *Buffer) Clear() {
 	b.mode = writing
 }
 
+// maxRetain bounds the backing memory a Reset buffer keeps: a buffer
+// that carried an unusually large message once should not pin that
+// much capacity while it sits in a reuse pool.
+const maxRetain = 1 << 20
+
+// Reset prepares the buffer for reuse as if freshly allocated: like
+// Clear it empties both sections and returns to write mode retaining
+// the static section's capacity, but it additionally releases
+// oversized backing arrays (beyond 1 MiB per section) so a pooled
+// buffer's footprint stays bounded. This is the reuse entry point for
+// send/receive paths that would otherwise allocate a new Buffer per
+// message.
+func (b *Buffer) Reset() {
+	if cap(b.static) > maxRetain {
+		b.static = nil
+	}
+	if b.dynamic.Cap() > maxRetain {
+		b.dynamic = bytes.Buffer{}
+	}
+	b.Clear()
+}
+
+// Grow ensures the static section can absorb n more bytes without
+// reallocating. Unlike the doubling growth of the write path, Grow
+// allocates exactly the requested capacity: callers pass a
+// message-size hint up front so a large pack costs one allocation
+// instead of a geometric overshoot.
+func (b *Buffer) Grow(n int) {
+	if n <= 0 || len(b.static)+n <= cap(b.static) {
+		return
+	}
+	ns := make([]byte, len(b.static), len(b.static)+n)
+	copy(ns, b.static)
+	b.static = ns
+}
+
 // Commit switches the buffer from write mode to read mode. Reads start
 // from the first section. Commit of an already-committed buffer rewinds
 // the static read cursor but cannot rewind object decoding.
@@ -518,13 +554,25 @@ func (b *Buffer) Segments() [][]byte {
 }
 
 // Wire returns the buffer's wire encoding as a single byte slice. It
-// copies; devices that can gather should prefer Segments.
+// copies; devices that can gather should prefer Segments, and callers
+// that already hold destination storage should prefer EncodeWire.
 func (b *Buffer) Wire() []byte {
-	out := make([]byte, 0, b.WireLen())
-	for _, seg := range b.Segments() {
-		out = append(out, seg...)
-	}
+	out := make([]byte, b.WireLen())
+	b.EncodeWire(out)
 	return out
+}
+
+// EncodeWire writes the buffer's wire encoding into dst, which must be
+// at least WireLen() bytes, and returns the number of bytes written.
+// Unlike Wire it allocates nothing, so the destination can come from a
+// pool.
+func (b *Buffer) EncodeWire(dst []byte) int {
+	binary.BigEndian.PutUint32(dst[0:4], uint32(len(b.static)))
+	binary.BigEndian.PutUint32(dst[4:8], uint32(b.dynamic.Len()))
+	n := wireHeaderLen
+	n += copy(dst[n:], b.static)
+	n += copy(dst[n:], b.dynamic.Bytes())
+	return n
 }
 
 // LoadWireFrom reads a wire encoding of exactly wireLen bytes directly

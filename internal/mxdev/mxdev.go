@@ -9,7 +9,11 @@
 //     staging copy at the device boundary (the JNI-copy avoidance the
 //     paper attributes to direct byte buffers);
 //   - message matching is delegated to MX 64-bit match information:
-//     context (16 bits) | tag (32 bits) | source (16 bits).
+//     context (16 bits) | tag (32 bits) | source (16 bits). Inside
+//     mxsim those bits map onto the shared progress core's four-key
+//     engine (internal/devcore) through the matchbits adapter, so this
+//     device, like the others, carries no matching/completion/failure
+//     machinery of its own — only the MX binding and send accounting.
 package mxdev
 
 import (

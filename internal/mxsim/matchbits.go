@@ -1,0 +1,68 @@
+package mxsim
+
+import (
+	"fmt"
+
+	"mpj/internal/match"
+)
+
+// MX matches on 64-bit match information under a receive-side mask.
+// The shared progress core (internal/devcore) matches on the paper's
+// four keys instead, so this adapter maps between the two using the
+// field layout mxdev documents:
+//
+//	context (16 bits, 48..63) | tag (32 bits, 16..47) | source (16 bits, 0..15)
+//
+// Masks are field-granular: within each field the mask must be all-set
+// (match the field exactly) or, for the tag and source fields,
+// all-clear (wildcard). The context field is the communication-context
+// key of the four-key scheme and has no wildcard, so its mask bits
+// must always be set. MatchAll is the fully concrete mask. A mask that
+// splits a field is rejected — the four-key engine cannot express a
+// partial-field wildcard.
+const (
+	ctxShift = 48
+	tagShift = 16
+
+	ctxFieldMask = uint64(0xffff) << ctxShift
+	tagFieldMask = uint64(0xffffffff) << tagShift
+	srcFieldMask = uint64(0xffff)
+)
+
+// decodeConcrete splits send-side match information into the four-key
+// envelope. The source key carries the encoded source field (not the
+// sending endpoint's id; the two coincide under mxdev's encoding).
+func decodeConcrete(info uint64) match.Concrete {
+	return match.Concrete{
+		Ctx: int32(info >> ctxShift),
+		Tag: int32(uint32(info >> tagShift)),
+		Src: info & srcFieldMask,
+	}
+}
+
+// decodePattern splits receive-side (info, mask) into a four-key
+// pattern, rejecting masks the key scheme cannot express.
+func decodePattern(info, mask uint64) (match.Pattern, error) {
+	var p match.Pattern
+	if mask&ctxFieldMask != ctxFieldMask {
+		return p, fmt.Errorf("mxsim: match mask %#x must cover the full context field", mask)
+	}
+	p.Ctx = int32(info >> ctxShift)
+	switch mask & tagFieldMask {
+	case tagFieldMask:
+		p.Tag = int32(uint32(info >> tagShift))
+	case 0:
+		p.Tag = match.AnyTag
+	default:
+		return p, fmt.Errorf("mxsim: match mask %#x splits the tag field", mask)
+	}
+	switch mask & srcFieldMask {
+	case srcFieldMask:
+		p.Src = info & srcFieldMask
+	case 0:
+		p.Src = match.AnySource
+	default:
+		return p, fmt.Errorf("mxsim: match mask %#x splits the source field", mask)
+	}
+	return p, nil
+}

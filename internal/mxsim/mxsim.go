@@ -17,6 +17,13 @@
 //     blocking peek that returns the most recently completed request —
 //     the operation MPJ Express borrows for Waitany (§IV-E.1).
 //
+// Matching, the unexpected queue, the completion queue, and peer-close
+// propagation live in the shared progress core (internal/devcore); the
+// 64-bit match information maps onto the core's four-key scheme
+// through the matchbits adapter, which constrains masks to field
+// granularity. An endpoint is a thin shell: a fabric identity plus its
+// core.
+//
 // All operations are safe for concurrent use from multiple goroutines;
 // MX's thread safety is one of the paper's reasons for choosing it.
 package mxsim
@@ -25,9 +32,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
-	"mpj/internal/cqueue"
+	"mpj/internal/devcore"
+	"mpj/internal/xdev"
 )
 
 // MatchAll is the receive mask that accepts any match information.
@@ -71,16 +78,33 @@ type Status struct {
 	Bytes int
 }
 
-// Request is an in-flight MX operation (mx_request_t).
+// Request is an in-flight MX operation (mx_request_t): an MX-shaped
+// view over a core request. The MX status and payload are set by
+// whichever goroutine completes the operation, before the core request
+// completes, so observing completion (Wait, Test, Peek) establishes
+// the happens-before that makes them readable.
 type Request struct {
 	ep      *Endpoint
-	isRecv  bool
-	done    chan struct{}
+	dr      *devcore.Request
 	status  Status
-	err     error
 	data    []byte // receive payload, valid once done
-	context any
 	mu      sync.Mutex
+	context any
+}
+
+func (ep *Endpoint) newRequest(kind devcore.Kind, context any) *Request {
+	r := &Request{ep: ep, context: context}
+	r.dr = ep.core.NewRequest(kind, nil)
+	r.dr.Owner = r
+	return r
+}
+
+// complete publishes the MX-level outcome and completes the underlying
+// core request (which pushes it onto the completion queue).
+func (r *Request) complete(st Status, data []byte, err error) {
+	r.status = st
+	r.data = data
+	r.dr.Complete(xdev.Status{Bytes: st.Bytes}, err)
 }
 
 // Context returns the opaque context value supplied at post time
@@ -100,85 +124,40 @@ func (r *Request) Data() []byte { return r.data }
 
 // Wait blocks until the operation completes (mx_wait).
 func (r *Request) Wait() (Status, error) {
-	<-r.done
-	r.ep.cq.Collect(r)
-	return r.status, r.err
+	_, err := r.dr.Wait()
+	return r.status, err
 }
 
 // Test reports completion without blocking (mx_test).
 func (r *Request) Test() (Status, bool, error) {
-	select {
-	case <-r.done:
-		r.ep.cq.Collect(r)
-		return r.status, true, r.err
-	default:
-		return Status{}, false, nil
+	_, ok, err := r.dr.Test()
+	if !ok {
+		return Status{}, false, err
 	}
+	return r.status, true, err
 }
 
-func (r *Request) complete(st Status, data []byte, err error) {
-	r.status = st
-	r.data = data
-	r.err = err
-	close(r.done)
-	r.ep.cq.Push(r)
-}
-
-// message is an in-flight transmission held in the unexpected queue.
-type message struct {
-	src       uint32
-	matchInfo uint64
-	data      []byte
-	sync      bool
-	sreq      *Request // synchronous sender awaiting match
-}
-
-// postedRecv is a pending receive. src pins the receive on a specific
-// sender (-1 accepts any): the pin is how the library knows which
-// receives to fail when a peer endpoint closes, since it cannot decode
-// the caller's matchInfo bit layout.
-type postedRecv struct {
-	matchInfo uint64
-	matchMask uint64
-	src       int64
-	req       *Request
-}
-
-func (p *postedRecv) matches(m *message) bool {
-	return m.matchInfo&p.matchMask == p.matchInfo&p.matchMask
-}
-
-// Endpoint is an open MX endpoint (mx_endpoint_t).
+// Endpoint is an open MX endpoint (mx_endpoint_t): its fabric identity
+// plus a progress core holding the posted/unexpected queues and the
+// completion queue.
 type Endpoint struct {
 	group string
 	id    uint32
-
-	mu         sync.Mutex
-	cond       *sync.Cond // arrival of unexpected messages (for probe)
-	posted     []*postedRecv
-	unexpected []*message
-	closed     bool
-
-	// Match accounting, as MX firmware counters would report it:
-	// arrivals that found a posted receive vs arrivals parked in the
-	// unexpected queue.
-	nMatched    atomic.Uint64
-	nUnexpected atomic.Uint64
-
-	cq *cqueue.Queue[*Request]
+	core  *devcore.Core
 }
 
 // MatchStats reports how many arrivals found a posted receive and how
-// many were parked in the unexpected queue.
+// many were parked in the unexpected queue, as MX firmware counters
+// would report it.
 func (ep *Endpoint) MatchStats() (matched, unexpected uint64) {
-	return ep.nMatched.Load(), ep.nUnexpected.Load()
+	return ep.core.Counters.Matched.Load(), ep.core.Counters.Unexpected.Load()
 }
 
 // OpenEndpoint opens endpoint id within the named group
 // (mx_open_endpoint). Ids must be unique within a group.
 func OpenEndpoint(group string, id uint32) (*Endpoint, error) {
-	ep := &Endpoint{group: group, id: id, cq: cqueue.New[*Request]()}
-	ep.cond = sync.NewCond(&ep.mu)
+	ep := &Endpoint{group: group, id: id, core: devcore.New("mxsim")}
+	ep.core.SetClosedErr(func(string) error { return ErrEndpointClosed })
 	fabric.Lock()
 	defer fabric.Unlock()
 	g := fabric.groups[group]
@@ -213,7 +192,8 @@ func (ep *Endpoint) Connect(id uint32) (EndpointAddr, error) {
 // the unexpected queue are failed with ErrPeerClosed — their message
 // can never be matched now — and every surviving endpoint in the group
 // is told, so receives pinned on this endpoint fail instead of waiting
-// forever.
+// forever. The fabric entry goes first: an IRecvFrom racing with the
+// notifications sees the endpoint gone and fails fast.
 func (ep *Endpoint) Close() error {
 	fabric.Lock()
 	if g := fabric.groups[ep.group]; g != nil && g[ep.id] == ep {
@@ -228,28 +208,9 @@ func (ep *Endpoint) Close() error {
 	}
 	fabric.Unlock()
 
-	ep.mu.Lock()
-	if ep.closed {
-		ep.mu.Unlock()
+	if !ep.core.Shutdown(ErrEndpointClosed, fmt.Errorf("mxsim: ssend unmatched at close: %w", ErrPeerClosed)) {
 		return nil
 	}
-	ep.closed = true
-	posted := ep.posted
-	ep.posted = nil
-	unexpected := ep.unexpected
-	ep.unexpected = nil
-	ep.cond.Broadcast()
-	ep.mu.Unlock()
-
-	for _, p := range posted {
-		p.req.complete(Status{}, nil, ErrEndpointClosed)
-	}
-	for _, m := range unexpected {
-		if m.sreq != nil {
-			m.sreq.complete(Status{}, nil, fmt.Errorf("mxsim: ssend unmatched at close: %w", ErrPeerClosed))
-		}
-	}
-	ep.cq.Close()
 	for _, p := range peers {
 		p.peerClosed(ep.id)
 	}
@@ -259,23 +220,14 @@ func (ep *Endpoint) Close() error {
 // peerClosed fails this endpoint's posted receives pinned on the
 // closed endpoint src. Unexpected messages already received from src
 // stay deliverable (the data is here), and unpinned receives stay
-// posted — another sender may satisfy them.
+// posted — another sender may satisfy them. The failure is graceful
+// and non-sticky: endpoint ids are reopenable, so src must not be
+// remembered as dead.
 func (ep *Endpoint) peerClosed(src uint32) {
-	ep.mu.Lock()
-	var victims []*postedRecv
-	kept := ep.posted[:0]
-	for _, p := range ep.posted {
-		if p.src >= 0 && uint32(p.src) == src {
-			victims = append(victims, p)
-		} else {
-			kept = append(kept, p)
-		}
-	}
-	ep.posted = kept
-	ep.mu.Unlock()
-	for _, p := range victims {
-		p.req.complete(Status{}, nil, fmt.Errorf("mxsim: recv from endpoint %d: %w", src, ErrPeerClosed))
-	}
+	ep.core.FailPeer(uint64(src), devcore.PeerFail{
+		Err:      fmt.Errorf("mxsim: recv from endpoint %d: %w", src, ErrPeerClosed),
+		Graceful: true,
+	})
 }
 
 func (ep *Endpoint) resolve(dst EndpointAddr) (*Endpoint, error) {
@@ -316,62 +268,55 @@ func (ep *Endpoint) ISsend(segments [][]byte, dst EndpointAddr, matchInfo uint64
 }
 
 func (ep *Endpoint) send(segments [][]byte, dst EndpointAddr, matchInfo uint64, context any, sync bool) (*Request, error) {
-	ep.mu.Lock()
-	if ep.closed {
-		ep.mu.Unlock()
+	if ep.core.Closed() {
 		return nil, ErrEndpointClosed
 	}
-	ep.mu.Unlock()
-
 	rep, err := ep.resolve(dst)
 	if err != nil {
 		return nil, err
 	}
-	sreq := &Request{ep: ep, done: make(chan struct{}), context: context}
-	msg := &message{src: ep.id, matchInfo: matchInfo, data: gather(segments), sync: sync}
-	st := Status{Source: ep.id, MatchInfo: matchInfo, Bytes: len(msg.data)}
+	sreq := ep.newRequest(devcore.SendReq, context)
+	data := gather(segments)
+	st := Status{Source: ep.id, MatchInfo: matchInfo, Bytes: len(data)}
+	arr := &devcore.Arrival{
+		Src:       uint64(ep.id),
+		WireLen:   len(data),
+		Sync:      sync,
+		Data:      data,
+		MatchInfo: matchInfo,
+	}
 	if sync {
-		msg.sreq = sreq
+		arr.SyncReq = sreq.dr
 	}
 
-	rep.deliver(msg)
+	// The destination core's matching runs on this (the sender's)
+	// thread, as MX firmware would on message arrival.
+	rdr, matched, err := rep.core.MatchOrPark(decodeConcrete(matchInfo), arr)
+	if err != nil {
+		// The destination closed between resolve and delivery.
+		if sync {
+			sreq.complete(Status{}, nil, fmt.Errorf("mxsim: deliver: %w", ErrPeerClosed))
+			return sreq, nil
+		}
+		sreq.complete(st, nil, nil)
+		return sreq, nil
+	}
+	if matched {
+		rw := rdr.Owner.(*Request)
+		rw.complete(st, data, nil)
+		if sync {
+			sreq.complete(st, nil, nil)
+		}
+	}
 	if !sync {
 		sreq.complete(st, nil, nil)
 	}
 	return sreq, nil
 }
 
-// deliver runs the receiving side's matching, as MX firmware would.
-func (ep *Endpoint) deliver(m *message) {
-	ep.mu.Lock()
-	if ep.closed {
-		ep.mu.Unlock()
-		if m.sreq != nil {
-			m.sreq.complete(Status{}, nil, fmt.Errorf("mxsim: deliver: %w", ErrPeerClosed))
-		}
-		return
-	}
-	for i, p := range ep.posted {
-		if p.matches(m) {
-			ep.posted = append(ep.posted[:i], ep.posted[i+1:]...)
-			ep.mu.Unlock()
-			ep.nMatched.Add(1)
-			st := Status{Source: m.src, MatchInfo: m.matchInfo, Bytes: len(m.data)}
-			p.req.complete(st, m.data, nil)
-			if m.sreq != nil {
-				m.sreq.complete(Status{Source: m.src, MatchInfo: m.matchInfo, Bytes: len(m.data)}, nil, nil)
-			}
-			return
-		}
-	}
-	ep.nUnexpected.Add(1)
-	ep.unexpected = append(ep.unexpected, m)
-	ep.cond.Broadcast()
-	ep.mu.Unlock()
-}
-
 // IRecv posts a non-blocking receive for messages whose match
-// information equals matchInfo under matchMask (mx_irecv).
+// information equals matchInfo under matchMask (mx_irecv). The mask
+// must be field-granular (see the matchbits adapter).
 func (ep *Endpoint) IRecv(matchInfo, matchMask uint64, context any) (*Request, error) {
 	return ep.irecv(matchInfo, matchMask, -1, context)
 }
@@ -385,86 +330,88 @@ func (ep *Endpoint) IRecvFrom(matchInfo, matchMask uint64, src uint32, context a
 }
 
 func (ep *Endpoint) irecv(matchInfo, matchMask uint64, src int64, context any) (*Request, error) {
-	req := &Request{ep: ep, isRecv: true, done: make(chan struct{}), context: context}
-	p := &postedRecv{matchInfo: matchInfo, matchMask: matchMask, src: src, req: req}
-
-	ep.mu.Lock()
-	if ep.closed {
-		ep.mu.Unlock()
+	if ep.core.Closed() {
 		return nil, ErrEndpointClosed
 	}
-	for i, m := range ep.unexpected {
-		if p.matches(m) {
-			ep.unexpected = append(ep.unexpected[:i], ep.unexpected[i+1:]...)
-			ep.mu.Unlock()
-			st := Status{Source: m.src, MatchInfo: m.matchInfo, Bytes: len(m.data)}
-			req.complete(st, m.data, nil)
-			if m.sreq != nil {
-				m.sreq.complete(st, nil, nil)
-			}
-			return req, nil
-		}
+	p, err := decodePattern(matchInfo, matchMask)
+	if err != nil {
+		return nil, err
 	}
+	req := ep.newRequest(devcore.RecvReq, context)
+	req.dr.Pin = src
+	var pinAlive func() error
 	if src >= 0 {
 		// A pinned receive must not park when its sender is already
-		// gone: the peerClosed notification for src has either run
-		// (this receive would never be failed) or is about to run
-		// against the posted set as it is now. Close removes the
-		// endpoint from the fabric before notifying, so checking
-		// membership under ep.mu closes the race either way.
-		fabric.Lock()
-		open := fabric.groups[ep.group][uint32(src)] != nil
-		fabric.Unlock()
-		if !open {
-			ep.mu.Unlock()
-			return nil, fmt.Errorf("mxsim: recv from endpoint %d: %w", src, ErrPeerClosed)
+		// gone: Close removes the endpoint from the fabric before
+		// notifying peers, so checking fabric membership under the core
+		// lock closes the race with the peerClosed drain either way.
+		pinAlive = func() error {
+			fabric.Lock()
+			open := fabric.groups[ep.group][uint32(src)] != nil
+			fabric.Unlock()
+			if !open {
+				return fmt.Errorf("mxsim: recv from endpoint %d: %w", src, ErrPeerClosed)
+			}
+			return nil
 		}
 	}
-	ep.posted = append(ep.posted, p)
-	ep.mu.Unlock()
+	arr, err := ep.core.PostRecv(p, req.dr, pinAlive)
+	if err != nil {
+		return nil, err
+	}
+	if arr != nil {
+		st := Status{Source: uint32(arr.Src), MatchInfo: arr.MatchInfo, Bytes: len(arr.Data)}
+		req.complete(st, arr.Data, nil)
+		if arr.SyncReq != nil {
+			arr.SyncReq.Owner.(*Request).complete(st, nil, nil)
+		}
+	}
 	return req, nil
 }
 
 // IProbe checks for an unexpected message matching matchInfo/matchMask
 // without consuming it (mx_iprobe).
 func (ep *Endpoint) IProbe(matchInfo, matchMask uint64) (Status, bool, error) {
-	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	if ep.closed {
+	if ep.core.Closed() {
 		return Status{}, false, ErrEndpointClosed
 	}
-	for _, m := range ep.unexpected {
-		if m.matchInfo&matchMask == matchInfo&matchMask {
-			return Status{Source: m.src, MatchInfo: m.matchInfo, Bytes: len(m.data)}, true, nil
-		}
+	p, err := decodePattern(matchInfo, matchMask)
+	if err != nil {
+		return Status{}, false, err
 	}
-	return Status{}, false, nil
+	arr, err := ep.core.IProbe(p, "iprobe")
+	if err != nil {
+		return Status{}, false, err
+	}
+	if arr == nil {
+		return Status{}, false, nil
+	}
+	return Status{Source: uint32(arr.Src), MatchInfo: arr.MatchInfo, Bytes: len(arr.Data)}, true, nil
 }
 
 // Probe blocks until a matching unexpected message is available
 // (mx_probe).
 func (ep *Endpoint) Probe(matchInfo, matchMask uint64) (Status, error) {
-	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	for {
-		if ep.closed {
-			return Status{}, ErrEndpointClosed
-		}
-		for _, m := range ep.unexpected {
-			if m.matchInfo&matchMask == matchInfo&matchMask {
-				return Status{Source: m.src, MatchInfo: m.matchInfo, Bytes: len(m.data)}, nil
-			}
-		}
-		ep.cond.Wait()
+	if ep.core.Closed() {
+		return Status{}, ErrEndpointClosed
 	}
+	p, err := decodePattern(matchInfo, matchMask)
+	if err != nil {
+		return Status{}, err
+	}
+	arr, err := ep.core.Probe(p, "probe")
+	if err != nil {
+		return Status{}, err
+	}
+	return Status{Source: uint32(arr.Src), MatchInfo: arr.MatchInfo, Bytes: len(arr.Data)}, nil
 }
 
 // Peek blocks until some request on this endpoint completes and
 // returns it (mx_peek, the primitive behind Waitany).
 func (ep *Endpoint) Peek() (*Request, error) {
-	r, err := ep.cq.Peek()
+	dr, err := ep.core.Peek()
 	if err != nil {
 		return nil, ErrEndpointClosed
 	}
-	return r, nil
+	return dr.Owner.(*Request), nil
 }

@@ -81,13 +81,13 @@ func TestRecvPostedFirst(t *testing.T) {
 
 func TestMatchMask(t *testing.T) {
 	a, b, _, bAddr := openPair(t)
-	// Send with matchInfo whose high 32 bits are 0xAAAA_BBBB.
-	const info = uint64(0xAAAABBBB) << 32
-	if _, err := a.ISend([][]byte{[]byte("m")}, bAddr, info|99, nil); err != nil {
+	// Send with 0xAAAA_BBBB in the tag field and 99 in the source field.
+	const info = uint64(0xAAAABBBB)<<16 | 99
+	if _, err := a.ISend([][]byte{[]byte("m")}, bAddr, info, nil); err != nil {
 		t.Fatal(err)
 	}
-	// Receive masking off the low 32 bits: matches any low word.
-	rreq, err := b.IRecv(info, ^uint64(0xFFFFFFFF), nil)
+	// Receive masking off the source field: matches any source value.
+	rreq, err := b.IRecv(uint64(0xAAAABBBB)<<16, ^uint64(0xFFFF), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,16 +95,21 @@ func TestMatchMask(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.MatchInfo != info|99 {
+	if st.MatchInfo != info {
 		t.Fatalf("matchInfo = %x", st.MatchInfo)
 	}
-	// A non-matching receive must stay pending.
-	r2, err := b.IRecv(uint64(0xDEAD)<<32, ^uint64(0xFFFFFFFF), nil)
+	// A non-matching receive (different tag field) must stay pending.
+	r2, err := b.IRecv(uint64(0xDEAD)<<16, ^uint64(0xFFFF), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, ok, _ := r2.Test(); ok {
 		t.Fatal("mask matched wrong message")
+	}
+	// A mask splitting a field is not expressible in the four-key
+	// matching scheme and must be rejected.
+	if _, err := b.IRecv(info, ^uint64(0xFF), nil); err == nil {
+		t.Fatal("partial-field mask accepted")
 	}
 }
 

@@ -5,22 +5,18 @@ import (
 	"fmt"
 	"net"
 
-	"mpj/internal/match"
+	"mpj/internal/devcore"
 	"mpj/internal/mpe"
 	"mpj/internal/xdev"
 )
 
 // This file is the device's failure model: peer-death detection and
 // propagation, job abort, and the shutdown path shared by Finish and
-// Abort.
-//
-// The ownership-transfer discipline that keeps requests completed
-// exactly once: a request parked in a shared set (posted receives,
-// rndvIncoming, pendingRndv, pendingSync) is completed by whoever
-// removes it from that set under the set's lock. The drains below
-// remove-then-complete; the protocol error paths re-check presence
-// ("mine") before completing, and treat absence as "someone else
-// already finished this request".
+// Abort. The propagation itself — draining posted receives, pending
+// protocol exchanges, and parked synchronous senders, and waking
+// blocked waiters — lives in devcore; this file decides *when* a peer
+// is gone and what error shape its loss carries, and tears down the
+// transport (connections, listener) around the core's drain.
 
 // writeConn returns the write channel to slot under the connection
 // table lock. The table is mutated by Init (while input handlers may
@@ -40,28 +36,17 @@ func (d *Device) setWriteConn(slot int, c net.Conn) {
 
 // peerErr returns the death error of slot, or nil while it is alive.
 func (d *Device) peerErr(slot int) error {
-	d.pmu.Lock()
-	defer d.pmu.Unlock()
-	if slot >= 0 && slot < len(d.peerDead) {
-		return d.peerDead[slot]
+	if slot < 0 || slot >= len(d.pids) {
+		return nil
 	}
-	return nil
+	return d.core.PeerErr(uint64(slot))
 }
 
 // opErr gates new operations: it returns the job's abort error if the
 // job aborted, a device-closed error if the device finished, and nil
 // while the device is live.
 func (d *Device) opErr(op string) error {
-	d.pmu.Lock()
-	aborted := d.aborted
-	d.pmu.Unlock()
-	if aborted != nil {
-		return aborted
-	}
-	if d.closed.Load() {
-		return &xdev.Error{Dev: DeviceName, Op: op, Err: xdev.ErrDeviceClosed}
-	}
-	return nil
+	return d.core.OpErr(op)
 }
 
 // peerLost wraps cause in the death-error shape markPeerDead records,
@@ -93,20 +78,8 @@ func (d *Device) markPeerGone(slot int, cause error, graceful bool) {
 		return
 	}
 	err := d.peerLost(slot, cause)
-	d.pmu.Lock()
-	if d.peerDead[slot] != nil || d.closed.Load() {
-		d.pmu.Unlock()
-		return
-	}
-	d.peerDead[slot] = err
-	wc := d.wconn[slot]
-	d.pmu.Unlock()
-
-	if !graceful {
-		d.stats.PeersLost.Add(1)
-		if d.rec.Enabled() {
-			d.rec.Event(mpe.PeerLost, int32(slot), -1, -1, 0)
-		}
+	first := d.core.FailPeer(uint64(slot), devcore.PeerFail{Err: err, Graceful: graceful, Sticky: true})
+	if first && !graceful {
 		// Close the write channel so writers blocked mid-frame and
 		// future writeMsg calls fail instead of wedging. Close is safe
 		// against a concurrent Write; taking wmu here could deadlock
@@ -114,56 +87,9 @@ func (d *Device) markPeerGone(slot int, cause error, graceful bool) {
 		// still draining byes in its shutdown window, and closing our
 		// half would feed it an EOF it miscounts as our death — its own
 		// shutdown closes both ends moments later anyway.
-		if wc != nil {
+		if wc := d.writeConn(slot); wc != nil {
 			wc.Close()
 		}
-	}
-	d.failPendingFor(slot, err)
-}
-
-// failPendingFor completes every pending request that can only be
-// finished by the dead peer.
-func (d *Device) failPendingFor(slot int, err error) {
-	var victims []*request
-
-	d.rmu.Lock()
-	// Receives pinned on the dead source. ANY_SOURCE receives stay
-	// posted: a live peer (or self) may still satisfy them.
-	victims = append(victims, d.posted.TakeFunc(func(p match.Pattern, _ *request) bool {
-		return p.Src == uint64(slot)
-	})...)
-	// Receives that answered the dead peer's RTS and are waiting for
-	// rendezvous data that will never come.
-	for k, r := range d.rndvIncoming {
-		if k.src == uint32(slot) {
-			delete(d.rndvIncoming, k)
-			victims = append(victims, r)
-		}
-	}
-	// Rendezvous announcements from the dead peer can never be
-	// completed; drop them so they stop matching probes and receives.
-	// Fully buffered eager payloads stay deliverable.
-	d.arrived.TakeFunc(func(a *arrival) bool { return a.rndv && a.src == uint32(slot) })
-	d.rcond.Broadcast()
-	d.rmu.Unlock()
-
-	d.smu.Lock()
-	for seq, r := range d.pendingRndv {
-		if r.dest == int32(slot) {
-			delete(d.pendingRndv, seq)
-			victims = append(victims, r)
-		}
-	}
-	for seq, r := range d.pendingSync {
-		if r.dest == int32(slot) {
-			delete(d.pendingSync, seq)
-			victims = append(victims, r)
-		}
-	}
-	d.smu.Unlock()
-
-	for _, r := range victims {
-		r.complete(xdev.Status{}, err)
 	}
 }
 
@@ -195,56 +121,23 @@ func (d *Device) handleAbort(h header) {
 }
 
 func (d *Device) abortLocal(ab *xdev.AbortError, wait bool) {
-	d.pmu.Lock()
-	if d.aborted == nil {
-		d.aborted = ab
-	}
-	d.pmu.Unlock()
+	d.core.SetAborted(ab)
 	if d.rec.Enabled() {
 		d.rec.Event(mpe.Aborted, int32(ab.From), int32(ab.Code), -1, 0)
 	}
 	d.shutdown(ab, wait)
 }
 
-// shutdown closes the device, failing every pending request with
-// failErr so no caller is left blocked. Pending requests are failed
-// before the completion queue closes, so Peek/Waitany drain them as
-// (errored) completions rather than losing them.
+// shutdown closes the device: the core fails every pending request
+// with failErr (before the completion queue closes, so Peek/Waitany
+// drain them as errored completions rather than losing them), then the
+// transport is torn down — listener, write channels, read channels.
 func (d *Device) shutdown(failErr error, wait bool) {
 	if d.closed.Swap(true) {
 		return
 	}
+	d.core.Shutdown(failErr, failErr)
 
-	// Fail everything still parked in the communication sets.
-	var victims []*request
-	d.rmu.Lock()
-	victims = append(victims, d.posted.TakeFunc(func(match.Pattern, *request) bool { return true })...)
-	for k, r := range d.rndvIncoming {
-		delete(d.rndvIncoming, k)
-		victims = append(victims, r)
-	}
-	// Self-delivery synchronous senders parked in the arrived set are
-	// still waiting for a matching receive that will never come.
-	for _, a := range d.arrived.TakeFunc(func(a *arrival) bool { return a.syncReq != nil }) {
-		victims = append(victims, a.syncReq)
-	}
-	d.rcond.Broadcast()
-	d.rmu.Unlock()
-	d.smu.Lock()
-	for seq, r := range d.pendingRndv {
-		delete(d.pendingRndv, seq)
-		victims = append(victims, r)
-	}
-	for seq, r := range d.pendingSync {
-		delete(d.pendingSync, seq)
-		victims = append(victims, r)
-	}
-	d.smu.Unlock()
-	for _, r := range victims {
-		r.complete(xdev.Status{}, failErr)
-	}
-
-	d.completions.Close()
 	if d.listener != nil {
 		d.listener.Close()
 	}
@@ -261,9 +154,6 @@ func (d *Device) shutdown(failErr error, wait bool) {
 		c.Close()
 	}
 	d.rcmu.Unlock()
-	d.rmu.Lock()
-	d.rcond.Broadcast()
-	d.rmu.Unlock()
 	if wait {
 		d.handlerWG.Wait()
 	}

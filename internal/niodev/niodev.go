@@ -38,8 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"mpj/internal/cqueue"
-	"mpj/internal/match"
+	"mpj/internal/devcore"
 	"mpj/internal/mpe"
 	"mpj/internal/transport"
 	"mpj/internal/xdev"
@@ -73,21 +72,17 @@ type Device struct {
 	wmu   []sync.Mutex
 	wconn []net.Conn
 
-	// receive-communication-sets (one lock, as in the pseudocode).
-	rmu          sync.Mutex
-	rcond        *sync.Cond // signaled when a new arrival is recorded
-	posted       *match.PatternSet[*request]
-	arrived      *match.ItemSet[*arrival]
-	rndvIncoming map[rndvKey]*request
+	// core is the shared progress engine: the receive-communication
+	// sets (posted + arrived under the paper's single lock), the
+	// completion queue, and peer-death/abort propagation all live
+	// there. The device contributes only the TCP transport binding.
+	core *devcore.Core
 
-	// send-communication-sets.
-	smu         sync.Mutex
-	pendingRndv map[uint64]*request // seq -> send awaiting READY_TO_RECV
-	pendingSync map[uint64]*request // seq -> eager-sync send awaiting ACK
-
-	seq atomic.Uint64
-
-	completions *cqueue.Queue[*request]
+	// Protocol pending sets, registered with the core so its failure
+	// drains cover them. Keys are (peer slot, protocol sequence).
+	pendingRndv  *devcore.PendingSet // send awaiting READY_TO_RECV
+	pendingSync  *devcore.PendingSet // eager-sync send awaiting ACK
+	rndvIncoming *devcore.PendingSet // receive awaiting rendezvous data
 
 	// Inbound (read) channels accepted from peers, closed by Finish so
 	// input handlers terminate without waiting for the peer to exit.
@@ -99,34 +94,23 @@ type Device struct {
 	closed    atomic.Bool
 	initDone  bool
 
-	// Failure state: pmu guards the write-connection table, the
-	// per-slot death errors, and the abort record.
-	pmu      sync.Mutex
-	peerDead []error // per-slot death cause; nil = alive
-	aborted  error   // *xdev.AbortError once the job aborted
-	crcOut   bool    // compute frame checksums on outgoing frames
+	// pmu guards the write-connection table, mutated by Init while
+	// input handlers may already be failing peers.
+	pmu    sync.Mutex
+	crcOut bool // compute frame checksums on outgoing frames
 
-	stats mpe.Counters
-	rec   mpe.Recorder
-}
-
-type rndvKey struct {
-	src uint32
-	seq uint64
+	rec mpe.Recorder
 }
 
 // New returns an uninitialized niodev device.
 func New() *Device {
 	d := &Device{
-		posted:       match.NewPatternSet[*request](),
-		arrived:      match.NewItemSet[*arrival](),
-		rndvIncoming: make(map[rndvKey]*request),
-		pendingRndv:  make(map[uint64]*request),
-		pendingSync:  make(map[uint64]*request),
-		completions:  cqueue.New[*request](),
-		rec:          mpe.Nop{},
+		core: devcore.New(DeviceName),
+		rec:  mpe.Nop{},
 	}
-	d.rcond = sync.NewCond(&d.rmu)
+	d.pendingRndv = d.core.NewPendingSet()
+	d.pendingSync = d.core.NewPendingSet()
+	d.rndvIncoming = d.core.NewPendingSet()
 	return d
 }
 
@@ -146,6 +130,7 @@ func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
 	d.cfg = cfg
 	if cfg.Recorder != nil {
 		d.rec = cfg.Recorder
+		d.core.SetRecorder(cfg.Recorder)
 	}
 	d.eagerLimit = cfg.EagerLimit
 	if d.eagerLimit <= 0 {
@@ -162,7 +147,6 @@ func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
 	d.self = d.pids[cfg.Rank]
 	d.wmu = make([]sync.Mutex, cfg.Size)
 	d.wconn = make([]net.Conn, cfg.Size)
-	d.peerDead = make([]error, cfg.Size)
 	d.crcOut = !cfg.DisableChecksum
 
 	if cfg.Size > 1 {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package niodev
+
+const raceEnabled = false

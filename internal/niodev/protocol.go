@@ -6,7 +6,9 @@ import (
 	"hash/crc32"
 	"io"
 	"net"
+	"sync"
 
+	"mpj/internal/devcore"
 	"mpj/internal/match"
 	"mpj/internal/mpe"
 	"mpj/internal/mpjbuf"
@@ -147,48 +149,52 @@ func payloadCRC(segments [][]byte) uint32 {
 	return sum
 }
 
-// arrival is an unexpected (not-yet-matched) message recorded in the
-// arrived set: either a fully buffered eager payload or a rendezvous
-// READY_TO_SEND envelope.
-type arrival struct {
-	src     uint32
-	tag     int32
-	ctx     int32
-	seq     uint64
-	wireLen int
-	sync    bool
-	rndv    bool     // true: RTS envelope, data not here yet
-	data    []byte   // eager payload (wire form)
-	syncReq *request // self-delivery synchronous sender awaiting match
-}
-
 // writeMsg writes a header and optional payload segments to dst's write
 // channel under the per-destination lock (the paper's "lock dest
-// channel / send / unlock").
+// channel / send / unlock"). The header comes from the devcore slice
+// pool: the write is synchronous, so the slice can be recycled as soon
+// as WriteTo returns.
 func (d *Device) writeMsg(slot int, h header, segments [][]byte) error {
-	bufs := make(net.Buffers, 0, 1+len(segments))
-	hdr := make([]byte, headerLen)
+	hdr := devcore.GetSlice(headerLen)
 	if d.crcOut {
 		h.flags |= hdrFlagCRC
 		h.payCRC = payloadCRC(segments)
 	}
 	h.encode(hdr)
-	bufs = append(bufs, hdr)
-	bufs = append(bufs, segments...)
 
 	d.wmu[slot].Lock()
-	defer d.wmu[slot].Unlock()
 	conn := d.writeConn(slot)
-	if conn == nil {
-		return xdev.Errf(DeviceName, "write", "no channel to slot %d", slot)
+	var err error
+	switch {
+	case conn == nil:
+		err = xdev.Errf(DeviceName, "write", "no channel to slot %d", slot)
+	case len(segments) == 0:
+		_, err = conn.Write(hdr)
+	default:
+		bp := gatherPool.Get().(*net.Buffers)
+		orig := append(append((*bp)[:0], hdr), segments...)
+		bufs := orig
+		_, err = bufs.WriteTo(conn) // consumes bufs; orig keeps the backing
+		clear(orig)
+		*bp = orig[:0]
+		gatherPool.Put(bp)
 	}
-	_, err := bufs.WriteTo(conn)
+	d.wmu[slot].Unlock()
+	devcore.PutSlice(hdr)
 	return err
 }
 
+// gatherPool recycles the vectored-write gather lists of writeMsg so
+// the steady-state frame path does not allocate. Entries are cleared
+// before reuse so pooled lists do not pin payload slices.
+var gatherPool = sync.Pool{New: func() any {
+	b := make(net.Buffers, 0, 4)
+	return &b
+}}
+
 // isend implements the four send modes. sync selects synchronous
 // completion semantics (Ssend/ISsend).
-func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int, sync bool) (*request, error) {
+func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int, sync bool) (*devcore.Request, error) {
 	if err := d.opErr("isend"); err != nil {
 		return nil, err
 	}
@@ -199,11 +205,10 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 	if err := d.peerErr(slot); err != nil {
 		return nil, err
 	}
-	req := d.newRequest(sendReq, buf)
-	req.dest = int32(slot)
+	req := d.core.NewRequest(devcore.SendReq, buf)
 	wireLen := buf.WireLen()
 	if d.rec.Enabled() {
-		req.trace(int32(slot), int32(tag), int32(context))
+		req.Trace(int32(slot), int32(tag), int32(context))
 		d.rec.Event(mpe.SendBegin, int32(slot), int32(tag), int32(context), int64(wireLen))
 	}
 
@@ -220,21 +225,17 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 		var seq uint64
 		if sync {
 			typ = msgEagerSync
-			seq = d.seq.Add(1)
-			d.smu.Lock()
-			d.pendingSync[seq] = req
-			d.smu.Unlock()
+			seq = d.core.NextSeq()
+			if err := d.pendingSync.Add(devcore.PendingKey{Peer: uint64(slot), Seq: seq}, req); err != nil {
+				return nil, err // peer death or shutdown raced the gate checks
+			}
 		}
-		d.stats.EagerSent.Add(1)
-		d.stats.BytesSent.Add(uint64(wireLen))
+		d.core.Counters.EagerSent.Add(1)
+		d.core.Counters.BytesSent.Add(uint64(wireLen))
 		h := header{typ: typ, src: uint32(d.cfg.Rank), tag: int32(tag), ctx: int32(context), seq: seq, wireLen: uint64(wireLen)}
 		if err := d.writeMsg(slot, h, buf.Segments()); err != nil {
 			if sync {
-				d.smu.Lock()
-				_, mine := d.pendingSync[seq]
-				delete(d.pendingSync, seq)
-				d.smu.Unlock()
-				if !mine {
+				if _, mine := d.pendingSync.Take(devcore.PendingKey{Peer: uint64(slot), Seq: seq}); !mine {
 					// The peer-death drain already owned and completed
 					// this request; hand it back so Wait reports that.
 					return req, nil
@@ -247,29 +248,25 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 			d.rec.Event(mpe.EagerOut, int32(slot), int32(tag), int32(context), int64(wireLen))
 		}
 		if !sync {
-			req.complete(xdev.Status{Source: d.self, Tag: tag, Bytes: wireLen}, nil)
+			req.Complete(xdev.Status{Source: d.self, Tag: tag, Bytes: wireLen}, nil)
 		}
 		return req, nil
 	}
 
 	// Rendezvous protocol (paper Fig. 6): register the pending send,
-	// then announce with READY_TO_SEND. The send-communication-sets
-	// lock and the destination channel lock are taken one after the
-	// other, never nested, so sends to other destinations don't block.
-	d.stats.RndvSent.Add(1)
-	d.stats.BytesSent.Add(uint64(wireLen))
-	seq := d.seq.Add(1)
-	req.sendTag, req.sendCtx = int32(tag), int32(context)
-	d.smu.Lock()
-	d.pendingRndv[seq] = req
-	d.smu.Unlock()
+	// then announce with READY_TO_SEND. The core lock and the
+	// destination channel lock are taken one after the other, never
+	// nested, so sends to other destinations don't block.
+	d.core.Counters.RndvSent.Add(1)
+	d.core.Counters.BytesSent.Add(uint64(wireLen))
+	seq := d.core.NextSeq()
+	req.SendTag, req.SendCtx = int32(tag), int32(context)
+	if err := d.pendingRndv.Add(devcore.PendingKey{Peer: uint64(slot), Seq: seq}, req); err != nil {
+		return nil, err // peer death or shutdown raced the gate checks
+	}
 	h := header{typ: msgRTS, src: uint32(d.cfg.Rank), tag: int32(tag), ctx: int32(context), seq: seq, wireLen: uint64(wireLen)}
 	if err := d.writeMsg(slot, h, nil); err != nil {
-		d.smu.Lock()
-		_, mine := d.pendingRndv[seq]
-		delete(d.pendingRndv, seq)
-		d.smu.Unlock()
-		if !mine {
+		if _, mine := d.pendingRndv.Take(devcore.PendingKey{Peer: uint64(slot), Seq: seq}); !mine {
 			return req, nil // completed by the peer-death drain
 		}
 		d.markPeerDead(slot, err)
@@ -313,37 +310,39 @@ func (d *Device) Ssend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int)
 
 // deliverSelf routes a send whose destination is this process through
 // the matching engine without touching the network.
-func (d *Device) deliverSelf(buf *mpjbuf.Buffer, tag, context int, sync bool, sreq *request) {
+func (d *Device) deliverSelf(buf *mpjbuf.Buffer, tag, context int, sync bool, sreq *devcore.Request) {
 	env := match.Concrete{Ctx: int32(context), Tag: int32(tag), Src: uint64(d.cfg.Rank)}
 	st := xdev.Status{Source: d.self, Tag: tag, Bytes: buf.WireLen()}
-	d.stats.EagerSent.Add(1)
-	d.stats.BytesSent.Add(uint64(buf.WireLen()))
+	d.core.Counters.EagerSent.Add(1)
+	d.core.Counters.BytesSent.Add(uint64(buf.WireLen()))
 
-	d.rmu.Lock()
-	if rreq, ok := d.posted.Match(env); ok {
-		d.rmu.Unlock()
-		d.stats.Matched.Add(1)
-		err := rreq.buf.LoadWire(buf.Wire())
-		rreq.complete(st, err)
-		sreq.complete(st, nil)
-		return
-	}
-	d.stats.Unexpected.Add(1)
-	if d.rec.Enabled() {
-		d.rec.Event(mpe.RecvUnexpected, int32(d.cfg.Rank), int32(tag), int32(context), int64(buf.WireLen()))
-	}
-	arr := &arrival{
-		src: uint32(d.cfg.Rank), tag: int32(tag), ctx: int32(context),
-		wireLen: buf.WireLen(), data: buf.Wire(),
+	arr := &devcore.Arrival{
+		Src: uint64(d.cfg.Rank), Tag: int32(tag), Ctx: int32(context),
+		WireLen: buf.WireLen(), Data: devcore.WireCopy(buf),
 	}
 	if sync {
-		arr.syncReq = sreq
+		arr.SyncReq = sreq
 	}
-	d.arrived.Add(env, arr)
-	d.rcond.Broadcast()
-	d.rmu.Unlock()
+	rreq, matched, err := d.core.MatchOrPark(env, arr)
+	if err != nil {
+		// Shutdown or abort raced the isend gate: nothing parked, so the
+		// sender completes with the failure instead of hanging.
+		devcore.PutSlice(arr.Data)
+		if ferr := d.opErr("isend"); ferr != nil {
+			err = ferr
+		}
+		sreq.Complete(xdev.Status{}, err)
+		return
+	}
+	if matched {
+		loadErr := rreq.Buf.LoadWire(arr.Data)
+		devcore.PutSlice(arr.Data)
+		rreq.Complete(st, loadErr)
+		sreq.Complete(st, nil)
+		return
+	}
 	if !sync {
-		sreq.complete(st, nil)
+		sreq.Complete(st, nil)
 	}
 }
 
@@ -382,67 +381,64 @@ func (d *Device) IRecv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int)
 	if err != nil {
 		return nil, err
 	}
-	req := d.newRequest(recvReq, buf)
+	req := d.core.NewRequest(devcore.RecvReq, buf)
 	if d.rec.Enabled() {
 		peer := int32(-1)
 		if !src.IsAnySource() {
 			peer = int32(p.Src)
 		}
-		req.trace(peer, int32(tag), int32(context))
+		req.Trace(peer, int32(tag), int32(context))
 		d.rec.Event(mpe.RecvPosted, peer, int32(tag), int32(context), 0)
 	}
 
-	d.rmu.Lock()
-	arr, ok := d.arrived.Match(p)
-	if !ok {
-		if p.Src != match.AnySource {
-			if err := d.peerErr(int(p.Src)); err != nil {
-				d.rmu.Unlock()
-				return nil, err
-			}
-		}
-		d.posted.Add(p, req)
-		d.rmu.Unlock()
-		return req, nil
+	arr, err := d.core.PostRecv(p, req, nil)
+	if err != nil {
+		return nil, err
 	}
-	if arr.rndv {
+	if arr == nil {
+		return req, nil // posted; an arrival or drain completes it
+	}
+	if arr.Rndv {
 		// Rendezvous announced but unmatched until now: the user thread
 		// (not the input handler) sends READY_TO_RECV, per Fig. 7.
-		d.rndvIncoming[rndvKey{arr.src, arr.seq}] = req
-		d.rmu.Unlock()
-		h := header{typ: msgRTR, src: uint32(d.cfg.Rank), seq: arr.seq}
-		if err := d.writeMsg(int(arr.src), h, nil); err != nil {
-			d.rmu.Lock()
-			_, mine := d.rndvIncoming[rndvKey{arr.src, arr.seq}]
-			delete(d.rndvIncoming, rndvKey{arr.src, arr.seq})
-			d.rmu.Unlock()
-			if !mine {
+		k := devcore.PendingKey{Peer: arr.Src, Seq: arr.Seq}
+		if err := d.rndvIncoming.Add(k, req); err != nil {
+			// The announcing peer died (or the device closed) between the
+			// match and the registration; fail the receive the same way
+			// the drain would have.
+			req.Complete(xdev.Status{}, err)
+			return req, nil
+		}
+		h := header{typ: msgRTR, src: uint32(d.cfg.Rank), seq: arr.Seq}
+		if err := d.writeMsg(int(arr.Src), h, nil); err != nil {
+			if _, mine := d.rndvIncoming.Take(k); !mine {
 				return req, nil // completed by the peer-death drain
 			}
 			return nil, &xdev.Error{Dev: DeviceName, Op: "rendezvous RTR", Err: err}
 		}
 		if d.rec.Enabled() {
-			d.rec.Event(mpe.RendezvousRTR, int32(arr.src), arr.tag, arr.ctx, int64(arr.wireLen))
+			d.rec.Event(mpe.RendezvousRTR, int32(arr.Src), arr.Tag, arr.Ctx, int64(arr.WireLen))
 		}
 		return req, nil
 	}
-	d.rmu.Unlock()
 
 	// Buffered eager message: copy from the device-level input buffer
-	// into the user buffer (Fig. 4).
-	st := xdev.Status{Source: d.pids[arr.src], Tag: int(arr.tag), Bytes: arr.wireLen}
-	loadErr := buf.LoadWire(arr.data)
+	// into the user buffer (Fig. 4), recycling the staging slice.
+	st := xdev.Status{Source: d.pids[arr.Src], Tag: int(arr.Tag), Bytes: arr.WireLen}
+	loadErr := buf.LoadWire(arr.Data)
+	devcore.PutSlice(arr.Data)
+	arr.Data = nil
 	switch {
-	case arr.syncReq != nil:
-		arr.syncReq.complete(st, nil) // self synchronous sender
-	case arr.sync:
-		h := header{typ: msgAck, src: uint32(d.cfg.Rank), seq: arr.seq}
-		if err := d.writeMsg(int(arr.src), h, nil); err != nil {
-			req.complete(st, err)
+	case arr.SyncReq != nil:
+		arr.SyncReq.Complete(st, nil) // self synchronous sender
+	case arr.Sync:
+		h := header{typ: msgAck, src: uint32(d.cfg.Rank), seq: arr.Seq}
+		if err := d.writeMsg(int(arr.Src), h, nil); err != nil {
+			req.Complete(st, err)
 			return req, nil
 		}
 	}
-	req.complete(st, loadErr)
+	req.Complete(st, loadErr)
 	return req, nil
 }
 
@@ -461,21 +457,14 @@ func (d *Device) IProbe(src xdev.ProcessID, tag, context int) (xdev.Status, bool
 	if err != nil {
 		return xdev.Status{}, false, err
 	}
-	d.rmu.Lock()
-	defer d.rmu.Unlock()
-	arr, ok := d.arrived.Peek(p)
-	if !ok {
-		if err := d.opErr("iprobe"); err != nil {
-			return xdev.Status{}, false, err
-		}
-		if p.Src != match.AnySource {
-			if err := d.peerErr(int(p.Src)); err != nil {
-				return xdev.Status{}, false, err
-			}
-		}
+	arr, err := d.core.IProbe(p, "iprobe")
+	if err != nil {
+		return xdev.Status{}, false, err
+	}
+	if arr == nil {
 		return xdev.Status{}, false, nil
 	}
-	return xdev.Status{Source: d.pids[arr.src], Tag: int(arr.tag), Bytes: arr.wireLen}, true, nil
+	return xdev.Status{Source: d.pids[arr.Src], Tag: int(arr.Tag), Bytes: arr.WireLen}, true, nil
 }
 
 // Probe blocks until a matching message is available. It fails instead
@@ -486,22 +475,11 @@ func (d *Device) Probe(src xdev.ProcessID, tag, context int) (xdev.Status, error
 	if err != nil {
 		return xdev.Status{}, err
 	}
-	d.rmu.Lock()
-	defer d.rmu.Unlock()
-	for {
-		if arr, ok := d.arrived.Peek(p); ok {
-			return xdev.Status{Source: d.pids[arr.src], Tag: int(arr.tag), Bytes: arr.wireLen}, nil
-		}
-		if err := d.opErr("probe"); err != nil {
-			return xdev.Status{}, err
-		}
-		if p.Src != match.AnySource {
-			if err := d.peerErr(int(p.Src)); err != nil {
-				return xdev.Status{}, err
-			}
-		}
-		d.rcond.Wait()
+	arr, err := d.core.Probe(p, "probe")
+	if err != nil {
+		return xdev.Status{}, err
 	}
+	return xdev.Status{Source: d.pids[arr.Src], Tag: int(arr.Tag), Bytes: arr.WireLen}, nil
 }
 
 // inputHandler is the progress engine for one inbound connection (read
@@ -568,7 +546,7 @@ func (d *Device) readLoop(conn net.Conn, src uint32, crc bool) error {
 
 // noteCorrupt records a frame rejected by the integrity check.
 func (d *Device) noteCorrupt(src uint32, err error) {
-	d.stats.FramesCorrupt.Add(1)
+	d.core.Counters.FramesCorrupt.Add(1)
 	if d.rec.Enabled() {
 		d.rec.Event(mpe.FrameCorrupt, int32(src), -1, -1, 0)
 	}
@@ -588,16 +566,12 @@ func (d *Device) handleEager(conn net.Conn, h header, crc bool) error {
 	env := match.Concrete{Ctx: h.ctx, Tag: h.tag, Src: uint64(h.src)}
 	st := xdev.Status{Source: d.pids[h.src], Tag: int(h.tag), Bytes: int(h.wireLen)}
 
-	d.rmu.Lock()
-	req, ok := d.posted.Match(env)
-	if ok {
-		d.rmu.Unlock()
-		d.stats.Matched.Add(1)
+	if req, ok := d.core.MatchPosted(env); ok {
 		// Matched: receive directly into the user buffer (Fig. 5). The
 		// crcReader checksums the stream on the way through so even the
 		// zero-copy path is integrity checked.
 		cr := &crcReader{r: conn}
-		err := req.buf.LoadWireFrom(cr, int(h.wireLen))
+		err := req.Buf.LoadWireFrom(cr, int(h.wireLen))
 		if err == nil {
 			err = checkPayload(crc, cr.sum, h)
 			if err != nil {
@@ -614,98 +588,88 @@ func (d *Device) handleEager(conn net.Conn, h header, crc bool) error {
 				err = d.peerLost(int(h.src), ackErr)
 			}
 		}
-		req.complete(st, err)
+		req.Complete(st, err)
 		if err != nil {
 			return err
 		}
 		return nil
 	}
-	// Unmatched: receive into a device input buffer (the eager
-	// protocol's unlimited-device-memory assumption). The lock is not
-	// held across the network read — other connections' matching must
-	// proceed while this payload drains — so the match is retried
-	// afterwards in case a receive was posted meanwhile.
-	d.rmu.Unlock()
-	data := make([]byte, h.wireLen)
+	// Unmatched: receive into a pooled device input buffer (the eager
+	// protocol's unlimited-device-memory assumption). The core lock is
+	// not held across the network read — other connections' matching
+	// must proceed while this payload drains — so MatchOrPark retries
+	// the match afterwards in case a receive was posted meanwhile.
+	data := devcore.GetSlice(int(h.wireLen))
 	if _, err := io.ReadFull(conn, data); err != nil {
+		devcore.PutSlice(data)
 		return err
 	}
 	if err := checkPayload(crc, crc32.Checksum(data, castagnoli), h); err != nil {
+		devcore.PutSlice(data)
 		d.noteCorrupt(h.src, err)
 		return err
 	}
-	d.rmu.Lock()
-	if req, ok := d.posted.Match(env); ok {
-		d.rmu.Unlock()
-		d.stats.Matched.Add(1)
-		err := req.buf.LoadWire(data)
-		if h.typ == msgEagerSync {
-			ackErr := d.writeMsg(int(h.src), header{typ: msgAck, src: uint32(d.cfg.Rank), seq: h.seq}, nil)
-			if err == nil {
-				err = ackErr
-			}
-		}
-		req.complete(st, err)
+	arr := &devcore.Arrival{
+		Src: uint64(h.src), Tag: h.tag, Ctx: h.ctx, Seq: h.seq,
+		WireLen: int(h.wireLen), Sync: h.typ == msgEagerSync, Data: data,
+	}
+	req, matched, err := d.core.MatchOrPark(env, arr)
+	if err != nil {
+		// Device closing: drop the message; the sender learns of our
+		// departure through its own failure detection.
+		devcore.PutSlice(data)
 		return nil
 	}
-	d.stats.Unexpected.Add(1)
-	if d.rec.Enabled() {
-		d.rec.Event(mpe.RecvUnexpected, int32(h.src), h.tag, h.ctx, int64(h.wireLen))
+	if matched {
+		loadErr := req.Buf.LoadWire(data)
+		devcore.PutSlice(data)
+		if h.typ == msgEagerSync {
+			ackErr := d.writeMsg(int(h.src), header{typ: msgAck, src: uint32(d.cfg.Rank), seq: h.seq}, nil)
+			if loadErr == nil {
+				loadErr = ackErr
+			}
+		}
+		req.Complete(st, loadErr)
 	}
-	d.arrived.Add(env, &arrival{
-		src: h.src, tag: h.tag, ctx: h.ctx, seq: h.seq,
-		wireLen: int(h.wireLen), sync: h.typ == msgEagerSync, data: data,
-	})
-	d.rcond.Broadcast()
-	d.rmu.Unlock()
 	return nil
 }
 
 func (d *Device) handleRTS(h header) {
 	env := match.Concrete{Ctx: h.ctx, Tag: h.tag, Src: uint64(h.src)}
-	d.rmu.Lock()
-	req, ok := d.posted.Match(env)
-	if ok {
-		d.stats.Matched.Add(1)
-		d.rndvIncoming[rndvKey{h.src, h.seq}] = req
-		d.rmu.Unlock()
-		// Matched: the input handler answers READY_TO_RECV (Fig. 8).
-		if err := d.writeMsg(int(h.src), header{typ: msgRTR, src: uint32(d.cfg.Rank), seq: h.seq}, nil); err != nil {
-			d.rmu.Lock()
-			_, mine := d.rndvIncoming[rndvKey{h.src, h.seq}]
-			delete(d.rndvIncoming, rndvKey{h.src, h.seq})
-			d.rmu.Unlock()
-			if mine {
-				req.complete(xdev.Status{}, d.peerLost(int(h.src), err))
-			}
-			// The write channel to the peer is broken; declare it dead
-			// so everything else pinned on it fails too.
-			d.markPeerDead(int(h.src), err)
-			return
-		}
-		if d.rec.Enabled() {
-			d.rec.Event(mpe.RendezvousRTR, int32(h.src), h.tag, h.ctx, int64(h.wireLen))
-		}
+	arr := &devcore.Arrival{
+		Src: uint64(h.src), Tag: h.tag, Ctx: h.ctx, Seq: h.seq,
+		WireLen: int(h.wireLen), Rndv: true,
+	}
+	req, matched, err := d.core.MatchOrPark(env, arr)
+	if err != nil {
+		return // closing; the announcing sender fails via peer death
+	}
+	if !matched {
+		return // parked; a future receive answers the RTS
+	}
+	// Matched: the input handler answers READY_TO_RECV (Fig. 8).
+	k := devcore.PendingKey{Peer: uint64(h.src), Seq: h.seq}
+	if err := d.rndvIncoming.Add(k, req); err != nil {
+		req.Complete(xdev.Status{}, err)
 		return
 	}
-	d.stats.Unexpected.Add(1)
-	if d.rec.Enabled() {
-		d.rec.Event(mpe.RecvUnexpected, int32(h.src), h.tag, h.ctx, int64(h.wireLen))
+	if err := d.writeMsg(int(h.src), header{typ: msgRTR, src: uint32(d.cfg.Rank), seq: h.seq}, nil); err != nil {
+		if _, mine := d.rndvIncoming.Take(k); mine {
+			req.Complete(xdev.Status{}, d.peerLost(int(h.src), err))
+		}
+		// The write channel to the peer is broken; declare it dead
+		// so everything else pinned on it fails too.
+		d.markPeerDead(int(h.src), err)
+		return
 	}
-	d.arrived.Add(env, &arrival{
-		src: h.src, tag: h.tag, ctx: h.ctx, seq: h.seq,
-		wireLen: int(h.wireLen), rndv: true,
-	})
-	d.rcond.Broadcast()
-	d.rmu.Unlock()
+	if d.rec.Enabled() {
+		d.rec.Event(mpe.RendezvousRTR, int32(h.src), h.tag, h.ctx, int64(h.wireLen))
+	}
 }
 
 func (d *Device) handleRTR(h header) {
-	d.smu.Lock()
-	req := d.pendingRndv[h.seq]
-	delete(d.pendingRndv, h.seq)
-	d.smu.Unlock()
-	if req == nil {
+	req, ok := d.pendingRndv.Take(devcore.PendingKey{Peer: uint64(h.src), Seq: h.seq})
+	if !ok {
 		return // duplicate, or drained by peer death / shutdown
 	}
 	// Fork a rendezvous writer so the input handler never blocks on a
@@ -715,36 +679,33 @@ func (d *Device) handleRTR(h header) {
 	d.handlerWG.Add(1)
 	go func() {
 		defer d.handlerWG.Done()
-		wireLen := req.buf.WireLen()
+		wireLen := req.Buf.WireLen()
 		dh := header{
 			typ: msgRndvData, src: uint32(d.cfg.Rank),
-			tag: req.sendTag, ctx: req.sendCtx,
+			tag: req.SendTag, ctx: req.SendCtx,
 			seq: h.seq, wireLen: uint64(wireLen),
 		}
-		err := d.writeMsg(dst, dh, req.buf.Segments())
+		err := d.writeMsg(dst, dh, req.Buf.Segments())
 		if err == nil && d.rec.Enabled() {
-			d.rec.Event(mpe.RendezvousData, int32(dst), req.sendTag, req.sendCtx, int64(wireLen))
+			d.rec.Event(mpe.RendezvousData, int32(dst), req.SendTag, req.SendCtx, int64(wireLen))
 		}
 		if err != nil {
 			// Write failure mid-rendezvous: the channel to dst is gone.
 			d.markPeerDead(dst, err)
 			err = d.peerLost(dst, err)
 		}
-		req.complete(xdev.Status{Source: d.self, Bytes: wireLen}, err)
+		req.Complete(xdev.Status{Source: d.self, Bytes: wireLen}, err)
 	}()
 }
 
 func (d *Device) handleRndvData(conn net.Conn, h header, crc bool) error {
-	d.rmu.Lock()
-	req := d.rndvIncoming[rndvKey{h.src, h.seq}]
-	delete(d.rndvIncoming, rndvKey{h.src, h.seq})
-	d.rmu.Unlock()
-	if req == nil {
+	req, ok := d.rndvIncoming.Take(devcore.PendingKey{Peer: uint64(h.src), Seq: h.seq})
+	if !ok {
 		// Protocol violation: data for an unknown rendezvous.
 		return fmt.Errorf("niodev: rendezvous data for unknown seq %d from slot %d", h.seq, h.src)
 	}
 	cr := &crcReader{r: conn}
-	err := req.buf.LoadWireFrom(cr, int(h.wireLen))
+	err := req.Buf.LoadWireFrom(cr, int(h.wireLen))
 	if err == nil {
 		err = checkPayload(crc, cr.sum, h)
 		if err != nil {
@@ -757,17 +718,14 @@ func (d *Device) handleRndvData(conn net.Conn, h header, crc bool) error {
 		// dead, so the waiting receive fails in the same shape.
 		err = d.peerLost(int(h.src), err)
 	}
-	req.complete(xdev.Status{Source: d.pids[h.src], Tag: int(h.tag), Bytes: int(h.wireLen)}, err)
+	req.Complete(xdev.Status{Source: d.pids[h.src], Tag: int(h.tag), Bytes: int(h.wireLen)}, err)
 	return err
 }
 
 func (d *Device) handleAck(h header) {
-	d.smu.Lock()
-	req := d.pendingSync[h.seq]
-	delete(d.pendingSync, h.seq)
-	d.smu.Unlock()
-	if req == nil {
+	req, ok := d.pendingSync.Take(devcore.PendingKey{Peer: uint64(h.src), Seq: h.seq})
+	if !ok {
 		return
 	}
-	req.complete(xdev.Status{Source: d.self, Bytes: req.buf.WireLen()}, nil)
+	req.Complete(xdev.Status{Source: d.self, Bytes: req.Buf.WireLen()}, nil)
 }

@@ -2,10 +2,7 @@ package niodev
 
 import (
 	"fmt"
-	"sync"
 
-	"mpj/internal/mpe"
-	"mpj/internal/mpjbuf"
 	"mpj/internal/xdev"
 )
 
@@ -14,117 +11,17 @@ import (
 // callers can test with errors.Is against the xdev sentinel.
 var ErrDeviceClosed = fmt.Errorf("niodev: %w", xdev.ErrDeviceClosed)
 
-type reqKind uint8
-
-const (
-	sendReq reqKind = iota
-	recvReq
-)
-
-// request implements xdev.Request. A request is completed exactly once;
-// completion places it on the device's completion queue where it stays
-// until collected by Wait, Test or Peek (the Myrinet eXpress
-// completion-queue discipline that makes peek() possible).
-type request struct {
-	dev  *Device
-	kind reqKind
-	buf  *mpjbuf.Buffer
-	// sendTag and sendCtx label a rendezvous send so the data header
-	// can repeat the envelope for the receiver's status.
-	sendTag int32
-	sendCtx int32
-	// dest is the destination slot of a send request (-1 otherwise),
-	// so the peer-death drain can find sends addressed to a dead peer.
-	dest int32
-
-	// Tracing envelope: the operation's start time (recorder clock),
-	// peer slot, tag, and context, set at creation when tracing is on
-	// so complete() can close the SendEnd/RecvMatched span. t0 < 0
-	// means untraced.
-	t0   int64
-	peer int32
-	tag  int32
-	ctx  int32
-
-	mu         sync.Mutex
-	attachment any
-
-	done   chan struct{}
-	status xdev.Status
-	err    error
-}
-
-func (d *Device) newRequest(kind reqKind, buf *mpjbuf.Buffer) *request {
-	return &request{dev: d, kind: kind, buf: buf, t0: -1, dest: -1, done: make(chan struct{})}
-}
-
-// trace stamps the request with its tracing envelope (recorder clock
-// start, peer slot, tag, context). Only called when tracing is on.
-func (r *request) trace(peer, tag, ctx int32) {
-	r.t0 = r.dev.rec.Now()
-	r.peer, r.tag, r.ctx = peer, tag, ctx
-}
-
-// complete records the outcome and publishes the request to the
-// completion queue. It is safe to call at most once.
-func (r *request) complete(st xdev.Status, err error) {
-	if err != nil {
-		r.dev.stats.RequestsFailed.Add(1)
-	}
-	if r.t0 >= 0 {
-		typ := mpe.SendEnd
-		if r.kind == recvReq {
-			typ = mpe.RecvMatched
-		}
-		r.dev.rec.Span(typ, r.peer, r.tag, r.ctx, int64(st.Bytes), r.t0)
-	}
-	r.status = st
-	r.err = err
-	close(r.done)
-	r.dev.completions.Push(r)
-}
-
-// Wait blocks until the request completes.
-func (r *request) Wait() (xdev.Status, error) {
-	<-r.done
-	r.dev.completions.Collect(r)
-	return r.status, r.err
-}
-
-// Test reports whether the request has completed, without blocking.
-func (r *request) Test() (xdev.Status, bool, error) {
-	select {
-	case <-r.done:
-		r.dev.completions.Collect(r)
-		return r.status, true, r.err
-	default:
-		return xdev.Status{}, false, nil
-	}
-}
-
-// SetAttachment stores opaque upper-layer state on the request.
-func (r *request) SetAttachment(v any) {
-	r.mu.Lock()
-	r.attachment = v
-	r.mu.Unlock()
-}
-
-// Attachment returns the value stored by SetAttachment.
-func (r *request) Attachment() any {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.attachment
-}
+// The request type itself lives in devcore: niodev requests are
+// *devcore.Request values completed exactly once through the core's
+// completion queue (the Myrinet eXpress completion-queue discipline
+// that makes peek() possible).
 
 // Peek blocks until some request completes and returns it (paper
 // §IV-E.1; the primitive beneath mpjdev's Waitany).
 func (d *Device) Peek() (xdev.Request, error) {
-	r, err := d.completions.Peek()
+	r, err := d.core.Peek()
 	if err != nil {
-		if e := d.opErr("peek"); e != nil {
-			return nil, e
-		}
-		return nil, ErrDeviceClosed
+		return nil, err
 	}
 	return r, nil
 }

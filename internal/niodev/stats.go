@@ -8,8 +8,9 @@ import "mpj/internal/mpe"
 // every device in the repository reports the same shape.
 type Stats = mpe.CounterSnapshot
 
-// Stats returns a snapshot of the device's activity counters.
-func (d *Device) Stats() Stats { return d.stats.Snapshot() }
+// Stats returns a snapshot of the device's activity counters, which
+// live in the shared progress core.
+func (d *Device) Stats() Stats { return d.core.Counters.Snapshot() }
 
 // Recorder exposes the device's event recorder so upper layers
 // (mpjdev, core) record into the same per-rank stream

@@ -1,0 +1,71 @@
+package smpdev
+
+import (
+	"fmt"
+	"testing"
+
+	"mpj/internal/mpjbuf"
+	"mpj/internal/xdev"
+)
+
+// BenchmarkManyOutstandingReceives measures matching cost with a deep
+// posted-receive set: the receiver keeps `depth` receives outstanding
+// on distinct tags and the sender satisfies the most recently posted
+// one, which a linear scan reaches only after walking every older
+// entry. The four-key engine in devcore makes the lookup O(1) in the
+// depth, so ns/op should be flat across sub-benchmarks.
+func BenchmarkManyOutstandingReceives(b *testing.B) {
+	for _, depth := range []int{1, 64, 512, 4096} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			group := fmt.Sprintf("smpdev-bench-%d", groupCounter.Add(1))
+			snd, rcv := New(), New()
+			done := make(chan error, 1)
+			go func() {
+				_, err := rcv.Init(xdev.Config{Rank: 1, Size: 2, Group: group})
+				done <- err
+			}()
+			pids, err := snd.Init(xdev.Config{Rank: 0, Size: 2, Group: group})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+			defer snd.Finish()
+			defer rcv.Finish()
+
+			// Hot tag depth-1 is the newest posted receive; tags
+			// [0,depth-1) stay outstanding for the whole run.
+			cold := make([]xdev.Request, 0, depth-1)
+			for tag := 0; tag < depth-1; tag++ {
+				r, err := rcv.IRecv(mpjbuf.New(0), pids[0], tag, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cold = append(cold, r)
+			}
+			hotTag := depth - 1
+			payload := mpjbuf.New(16)
+			if err := payload.WriteLongs([]int64{1}, 0, 1); err != nil {
+				b.Fatal(err)
+			}
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rb := mpjbuf.New(0)
+				rreq, err := rcv.IRecv(rb, pids[0], hotTag, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := snd.Send(payload, pids[1], hotTag, 0); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := rreq.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			_ = cold
+		})
+	}
+}

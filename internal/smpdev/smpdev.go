@@ -2,16 +2,26 @@
 // single OS process — the SMP-cluster scenario that motivates the
 // paper's emphasis on thread safety (§I), and the "shared memory
 // device" its future work anticipates. Messages move by a single
-// in-memory copy of the buffer's wire form; matching uses the same
-// four-key engine as niodev; peek/completion semantics are identical.
+// in-memory copy of the buffer's wire form.
+//
+// The device is a thin binding over the shared progress core
+// (internal/devcore): each rank's mailbox IS a devcore.Core, holding
+// the four-key matching engine, the completion queue, and the
+// peer-death/abort propagation. Matching happens on the sender's
+// thread against the destination rank's core — the in-process
+// equivalent of a network device's input handler — so receive-side
+// counters (Matched/Unexpected) and unexpected-arrival events land on
+// the destination core, while a request always completes into its
+// creator's core.
 package smpdev
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
-	"mpj/internal/cqueue"
+	"mpj/internal/devcore"
 	"mpj/internal/match"
 	"mpj/internal/mpe"
 	"mpj/internal/mpjbuf"
@@ -35,53 +45,28 @@ var board = struct {
 	groups map[string]*group
 }{groups: make(map[string]*group)}
 
-// group is one SMP job: a set of mailboxes indexed by rank.
+// group is one SMP job: a progress core per rank, created together so
+// senders can deliver into a rank's core before that rank has joined.
 type group struct {
 	name   string
 	size   int
-	boxes  []*mailbox
+	cores  []*devcore.Core
 	joined int
 }
 
-// mailbox is the per-rank receive side. Matching happens on the
-// sender's thread, so receive-side counters and the owner's event
-// recorder live here: the sender attributes Matched/Unexpected to the
-// destination rank, as a network device's input handler would.
-type mailbox struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	posted  *match.PatternSet[*request]
-	arrived *match.ItemSet[*arrival]
-	closed  bool
-	// dead records source ranks that left the group (or died) with the
-	// propagated error, so receives pinned on them fail instead of
-	// waiting forever. Buffered arrivals from a dead source remain
-	// deliverable.
-	dead map[uint64]error
-	// aborted is the job-wide abort error, set on every box by Abort.
-	aborted error
-	ctr     mpe.Counters
-	rec     mpe.Recorder // owner's recorder; set at Init under mu
-	owner   *Device      // owning device; set at Init under mu
-}
-
-func newMailbox() *mailbox {
-	m := &mailbox{
-		posted:  match.NewPatternSet[*request](),
-		arrived: match.NewItemSet[*arrival](),
-		dead:    make(map[uint64]error),
+func newGroup(name string, size int) *group {
+	g := &group{name: name, size: size, cores: make([]*devcore.Core, size)}
+	for i := range g.cores {
+		c := devcore.New(DeviceName)
+		c.SetClosedErr(func(op string) error {
+			if op == "peek" {
+				return ErrDeviceClosed
+			}
+			return fmt.Errorf("smpdev: %s: %w", op, ErrDeviceClosed)
+		})
+		g.cores[i] = c
 	}
-	m.cond = sync.NewCond(&m.mu)
-	return m
-}
-
-// arrival is an unmatched message parked in a mailbox.
-type arrival struct {
-	src     uint64
-	tag     int32
-	wireLen int
-	data    []byte
-	syncReq *request // synchronous sender awaiting match, if any
+	return g
 }
 
 // Device implements xdev.Device for in-process ranks.
@@ -90,36 +75,34 @@ type Device struct {
 	self     xdev.ProcessID
 	pids     []xdev.ProcessID
 	grp      *group
-	box      *mailbox
-	cq       *cqueue.Queue[*request]
+	core     *devcore.Core // this rank's mailbox core
 	mu       sync.Mutex
 	initDone bool
 	// finished is atomic: operations check it lock-free on their fast
 	// path while Finish (possibly on another goroutine) sets it.
 	finished atomic.Bool
 
-	stats mpe.Counters // send-side counters; receive side is in box.ctr
-	rec   mpe.Recorder
+	rec mpe.Recorder
 }
 
 // New returns an uninitialized smpdev device.
-func New() *Device { return &Device{cq: cqueue.New[*request](), rec: mpe.Nop{}} }
+func New() *Device { return &Device{rec: mpe.Nop{}} }
 
-// Stats returns a snapshot of the device's activity counters: its
-// send-side counters plus the receive-side counters of its mailbox.
+// Stats returns a snapshot of the device's activity counters: its own
+// sends plus the receive-side activity other ranks recorded into this
+// rank's core.
 func (d *Device) Stats() mpe.CounterSnapshot {
-	s := d.stats.Snapshot()
-	if d.box != nil {
-		s = s.Add(d.box.ctr.Snapshot())
+	if d.core == nil {
+		return mpe.CounterSnapshot{}
 	}
-	return s
+	return d.core.Counters.Snapshot()
 }
 
 // Recorder exposes the device's event recorder (mpe.Instrumented).
 func (d *Device) Recorder() mpe.Recorder { return d.rec }
 
 // Init joins (and if necessary creates) the in-process group named by
-// cfg.Group, claiming the mailbox for cfg.Rank.
+// cfg.Group, claiming the core for cfg.Rank.
 func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -139,10 +122,7 @@ func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
 	board.Lock()
 	g := board.groups[name]
 	if g == nil {
-		g = &group{name: name, size: cfg.Size, boxes: make([]*mailbox, cfg.Size)}
-		for i := range g.boxes {
-			g.boxes[i] = newMailbox()
-		}
+		g = newGroup(name, cfg.Size)
 		board.groups[name] = g
 	}
 	if g.size != cfg.Size {
@@ -157,11 +137,8 @@ func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
 		d.rec = cfg.Recorder
 	}
 	d.grp = g
-	d.box = g.boxes[cfg.Rank]
-	d.box.mu.Lock()
-	d.box.rec = d.rec
-	d.box.owner = d
-	d.box.mu.Unlock()
+	d.core = g.cores[cfg.Rank]
+	d.core.SetRecorder(d.rec)
 	d.pids = make([]xdev.ProcessID, cfg.Size)
 	for i := range d.pids {
 		d.pids[i] = xdev.ProcessID{UUID: uint64(i)}
@@ -174,7 +151,7 @@ func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
 // ID returns this process's ProcessID.
 func (d *Device) ID() xdev.ProcessID { return d.self }
 
-// Finish closes this rank's mailbox, fails its pending requests so no
+// Finish closes this rank's core, fails its pending requests so no
 // blocked caller hangs, and propagates this rank's departure to the
 // rest of the group: receives other ranks have pinned on this rank
 // fail with an error wrapping xdev.ErrPeerLost. The group is released
@@ -187,47 +164,23 @@ func (d *Device) Finish() error {
 	}
 
 	closedErr := &xdev.Error{Dev: DeviceName, Op: "finish", Err: ErrDeviceClosed}
-	d.box.mu.Lock()
-	d.box.closed = true
-	victims := d.box.posted.TakeFunc(func(match.Pattern, *request) bool { return true })
-	// Synchronous senders parked unmatched in this mailbox will never
-	// be matched now; their Ssend fails with the receiver's departure.
-	var syncs []*request
-	for _, a := range d.box.arrived.TakeFunc(func(a *arrival) bool { return a.syncReq != nil }) {
-		syncs = append(syncs, a.syncReq)
-	}
-	d.box.cond.Broadcast()
-	d.box.mu.Unlock()
-	for _, r := range victims {
-		r.complete(xdev.Status{}, closedErr)
-	}
 	peerLost := &xdev.Error{
 		Dev: DeviceName,
 		Op:  fmt.Sprintf("peer %d", d.cfg.Rank),
 		Err: fmt.Errorf("rank %d finished: %w", d.cfg.Rank, xdev.ErrPeerLost),
 	}
-	for _, r := range syncs {
-		r.complete(xdev.Status{}, peerLost)
-	}
-	d.cq.Close()
+	// Posted receives fail as device-closed; synchronous senders parked
+	// unmatched in this mailbox will never be matched now — their Ssend
+	// fails with the receiver's departure.
+	d.core.Shutdown(closedErr, peerLost)
 
 	// Tell the survivors: receives pinned on this rank cannot complete.
-	for slot, box := range d.grp.boxes {
+	// The departure is graceful — propagated, but not counted a loss.
+	for slot, c := range d.grp.cores {
 		if slot == d.cfg.Rank {
 			continue
 		}
-		box.mu.Lock()
-		if box.dead[uint64(d.cfg.Rank)] == nil {
-			box.dead[uint64(d.cfg.Rank)] = peerLost
-		}
-		pinned := box.posted.TakeFunc(func(p match.Pattern, _ *request) bool {
-			return p.Src == uint64(d.cfg.Rank)
-		})
-		box.cond.Broadcast()
-		box.mu.Unlock()
-		for _, r := range pinned {
-			r.complete(xdev.Status{}, peerLost)
-		}
+		c.FailPeer(uint64(d.cfg.Rank), devcore.PeerFail{Err: peerLost, Graceful: true, Sticky: true})
 	}
 
 	board.Lock()
@@ -252,24 +205,9 @@ func (d *Device) Abort(code int) error {
 	if d.rec.Enabled() {
 		d.rec.Event(mpe.Aborted, int32(d.cfg.Rank), int32(code), -1, 0)
 	}
-	for _, box := range d.grp.boxes {
-		box.mu.Lock()
-		if box.aborted == nil {
-			box.aborted = ab
-		}
-		victims := box.posted.TakeFunc(func(match.Pattern, *request) bool { return true })
-		for _, a := range box.arrived.TakeFunc(func(a *arrival) bool { return a.syncReq != nil }) {
-			victims = append(victims, a.syncReq)
-		}
-		owner := box.owner
-		box.cond.Broadcast()
-		box.mu.Unlock()
-		for _, r := range victims {
-			r.complete(xdev.Status{}, ab)
-		}
-		if owner != nil {
-			owner.cq.Close()
-		}
+	for _, c := range d.grp.cores {
+		c.SetAborted(ab)
+		c.Shutdown(ab, ab)
 	}
 	return nil
 }
@@ -281,142 +219,61 @@ func (d *Device) SendOverhead() int { return 0 }
 // RecvOverhead reports the per-message device overhead.
 func (d *Device) RecvOverhead() int { return 0 }
 
-// request implements xdev.Request.
-type request struct {
-	dev        *Device
-	buf        *mpjbuf.Buffer
-	done       chan struct{}
-	status     xdev.Status
-	err        error
-	mu         sync.Mutex
-	attachment any
-
-	// Tracing envelope (see niodev): t0 < 0 means untraced.
-	t0   int64
-	send bool
-	peer int32
-	tag  int32
-	ctx  int32
-}
-
-func (d *Device) newRequest(buf *mpjbuf.Buffer) *request {
-	return &request{dev: d, buf: buf, t0: -1, done: make(chan struct{})}
-}
-
-func (r *request) trace(send bool, peer, tag, ctx int32) {
-	r.t0 = r.dev.rec.Now()
-	r.send, r.peer, r.tag, r.ctx = send, peer, tag, ctx
-}
-
-func (r *request) complete(st xdev.Status, err error) {
-	if err != nil {
-		r.dev.stats.RequestsFailed.Add(1)
-	}
-	if r.t0 >= 0 {
-		typ := mpe.RecvMatched
-		if r.send {
-			typ = mpe.SendEnd
-		}
-		r.dev.rec.Span(typ, r.peer, r.tag, r.ctx, int64(st.Bytes), r.t0)
-	}
-	r.status = st
-	r.err = err
-	close(r.done)
-	r.dev.cq.Push(r)
-}
-
-// Wait blocks until the request completes.
-func (r *request) Wait() (xdev.Status, error) {
-	<-r.done
-	r.dev.cq.Collect(r)
-	return r.status, r.err
-}
-
-// Test reports completion without blocking.
-func (r *request) Test() (xdev.Status, bool, error) {
-	select {
-	case <-r.done:
-		r.dev.cq.Collect(r)
-		return r.status, true, r.err
-	default:
-		return xdev.Status{}, false, nil
-	}
-}
-
-// SetAttachment stores opaque upper-layer state on the request.
-func (r *request) SetAttachment(v any) {
-	r.mu.Lock()
-	r.attachment = v
-	r.mu.Unlock()
-}
-
-// Attachment returns the value stored by SetAttachment.
-func (r *request) Attachment() any {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.attachment
-}
-
-func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int, sync bool) (*request, error) {
+func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int, sync bool) (*devcore.Request, error) {
 	if !d.initDone || d.finished.Load() {
 		return nil, xdev.Errf(DeviceName, "isend", "device not ready")
 	}
-	if dst.UUID >= uint64(len(d.grp.boxes)) {
+	if dst.UUID >= uint64(len(d.grp.cores)) {
 		return nil, xdev.Errf(DeviceName, "isend", "unknown process %v", dst)
 	}
-	box := d.grp.boxes[dst.UUID]
-	sreq := d.newRequest(nil)
+	dstCore := d.grp.cores[dst.UUID]
+	sreq := d.core.NewRequest(devcore.SendReq, nil)
 	env := match.Concrete{Ctx: int32(context), Tag: int32(tag), Src: uint64(d.cfg.Rank)}
-	st := xdev.Status{Source: d.self, Tag: tag, Bytes: buf.WireLen()}
-
 	wireLen := buf.WireLen()
+	st := xdev.Status{Source: d.self, Tag: tag, Bytes: wireLen}
+
 	if d.rec.Enabled() {
-		sreq.trace(true, int32(dst.UUID), int32(tag), int32(context))
+		sreq.Trace(int32(dst.UUID), int32(tag), int32(context))
 		d.rec.Event(mpe.SendBegin, int32(dst.UUID), int32(tag), int32(context), int64(wireLen))
 	}
-	d.stats.EagerSent.Add(1)
-	d.stats.BytesSent.Add(uint64(wireLen))
+	d.core.Counters.EagerSent.Add(1)
+	d.core.Counters.BytesSent.Add(uint64(wireLen))
 
-	box.mu.Lock()
-	if box.aborted != nil {
-		ab := box.aborted
-		box.mu.Unlock()
-		return nil, ab
+	// One in-memory copy of the wire form, from a pooled slice; the
+	// destination core matches it on this (the sender's) thread.
+	arr := &devcore.Arrival{
+		Src: uint64(d.cfg.Rank), Tag: int32(tag), Ctx: int32(context),
+		WireLen: wireLen, Data: devcore.WireCopy(buf),
 	}
-	if box.closed {
-		box.mu.Unlock()
-		return nil, &xdev.Error{
-			Dev: DeviceName, Op: "isend",
-			Err: fmt.Errorf("destination mailbox %d closed: %w", dst.UUID, xdev.ErrPeerLost),
+	if sync {
+		arr.SyncReq = sreq
+	}
+	rreq, matched, err := dstCore.MatchOrPark(env, arr)
+	if err != nil {
+		devcore.PutSlice(arr.Data)
+		if errors.Is(err, devcore.ErrClosed) {
+			return nil, &xdev.Error{
+				Dev: DeviceName, Op: "isend",
+				Err: fmt.Errorf("destination mailbox %d closed: %w", dst.UUID, xdev.ErrPeerLost),
+			}
 		}
+		return nil, err // job aborted
 	}
-	if rreq, ok := box.posted.Match(env); ok {
-		box.ctr.Matched.Add(1)
-		box.mu.Unlock()
-		err := rreq.buf.LoadWire(buf.Wire())
-		rreq.complete(xdev.Status{Source: d.self, Tag: tag, Bytes: buf.WireLen()}, err)
+	if matched {
+		lerr := rreq.Buf.LoadWire(arr.Data)
+		devcore.PutSlice(arr.Data)
+		rreq.Complete(xdev.Status{Source: d.self, Tag: tag, Bytes: wireLen}, lerr)
 		if d.rec.Enabled() {
 			d.rec.Event(mpe.EagerOut, int32(dst.UUID), int32(tag), int32(context), int64(wireLen))
 		}
-		sreq.complete(st, nil)
+		sreq.Complete(st, nil)
 		return sreq, nil
 	}
-	box.ctr.Unexpected.Add(1)
-	if box.rec != nil && box.rec.Enabled() {
-		box.rec.Event(mpe.RecvUnexpected, int32(d.cfg.Rank), int32(tag), int32(context), int64(wireLen))
-	}
-	arr := &arrival{src: uint64(d.cfg.Rank), tag: int32(tag), wireLen: buf.WireLen(), data: buf.Wire()}
-	if sync {
-		arr.syncReq = sreq
-	}
-	box.arrived.Add(env, arr)
-	box.cond.Broadcast()
-	box.mu.Unlock()
 	if d.rec.Enabled() {
 		d.rec.Event(mpe.EagerOut, int32(dst.UUID), int32(tag), int32(context), int64(wireLen))
 	}
 	if !sync {
-		sreq.complete(st, nil)
+		sreq.Complete(st, nil)
 	}
 	return sreq, nil
 }
@@ -478,38 +335,30 @@ func (d *Device) IRecv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int)
 	if err != nil {
 		return nil, err
 	}
-	req := d.newRequest(buf)
+	req := d.core.NewRequest(devcore.RecvReq, buf)
 	if d.rec.Enabled() {
 		peer := int32(-1)
 		if !src.IsAnySource() {
 			peer = int32(p.Src)
 		}
-		req.trace(false, peer, int32(tag), int32(context))
+		req.Trace(peer, int32(tag), int32(context))
 		d.rec.Event(mpe.RecvPosted, peer, int32(tag), int32(context), 0)
 	}
-	d.box.mu.Lock()
-	if arr, ok := d.box.arrived.Match(p); ok {
-		d.box.mu.Unlock()
-		st := xdev.Status{Source: d.pids[arr.src], Tag: int(arr.tag), Bytes: arr.wireLen}
-		err := buf.LoadWire(arr.data)
-		if arr.syncReq != nil {
-			arr.syncReq.complete(st, nil)
-		}
-		req.complete(st, err)
+	arr, err := d.core.PostRecv(p, req, nil)
+	if err != nil {
+		return nil, err
+	}
+	if arr == nil {
 		return req, nil
 	}
-	if ab := d.box.aborted; ab != nil {
-		d.box.mu.Unlock()
-		return nil, ab
+	st := xdev.Status{Source: d.pids[arr.Src], Tag: int(arr.Tag), Bytes: arr.WireLen}
+	lerr := buf.LoadWire(arr.Data)
+	devcore.PutSlice(arr.Data)
+	arr.Data = nil
+	if arr.SyncReq != nil {
+		arr.SyncReq.Complete(st, nil)
 	}
-	if p.Src != match.AnySource {
-		if err := d.box.dead[p.Src]; err != nil {
-			d.box.mu.Unlock()
-			return nil, err
-		}
-	}
-	d.box.posted.Add(p, req)
-	d.box.mu.Unlock()
+	req.Complete(st, lerr)
 	return req, nil
 }
 
@@ -528,24 +377,14 @@ func (d *Device) IProbe(src xdev.ProcessID, tag, context int) (xdev.Status, bool
 	if err != nil {
 		return xdev.Status{}, false, err
 	}
-	d.box.mu.Lock()
-	defer d.box.mu.Unlock()
-	arr, ok := d.box.arrived.Peek(p)
-	if !ok {
-		if ab := d.box.aborted; ab != nil {
-			return xdev.Status{}, false, ab
-		}
-		if d.box.closed {
-			return xdev.Status{}, false, fmt.Errorf("smpdev: iprobe: %w", ErrDeviceClosed)
-		}
-		if p.Src != match.AnySource {
-			if err := d.box.dead[p.Src]; err != nil {
-				return xdev.Status{}, false, err
-			}
-		}
+	arr, err := d.core.IProbe(p, "iprobe")
+	if err != nil {
+		return xdev.Status{}, false, err
+	}
+	if arr == nil {
 		return xdev.Status{}, false, nil
 	}
-	return xdev.Status{Source: d.pids[arr.src], Tag: int(arr.tag), Bytes: arr.wireLen}, true, nil
+	return xdev.Status{Source: d.pids[arr.Src], Tag: int(arr.Tag), Bytes: arr.WireLen}, true, nil
 }
 
 // Probe blocks until a matching message is available.
@@ -554,40 +393,21 @@ func (d *Device) Probe(src xdev.ProcessID, tag, context int) (xdev.Status, error
 	if err != nil {
 		return xdev.Status{}, err
 	}
-	d.box.mu.Lock()
-	defer d.box.mu.Unlock()
-	for {
-		if arr, ok := d.box.arrived.Peek(p); ok {
-			return xdev.Status{Source: d.pids[arr.src], Tag: int(arr.tag), Bytes: arr.wireLen}, nil
-		}
-		if ab := d.box.aborted; ab != nil {
-			return xdev.Status{}, ab
-		}
-		if d.box.closed {
-			return xdev.Status{}, fmt.Errorf("smpdev: probe: %w", ErrDeviceClosed)
-		}
-		if p.Src != match.AnySource {
-			if err := d.box.dead[p.Src]; err != nil {
-				return xdev.Status{}, err
-			}
-		}
-		d.box.cond.Wait()
+	arr, err := d.core.Probe(p, "probe")
+	if err != nil {
+		return xdev.Status{}, err
 	}
+	return xdev.Status{Source: d.pids[arr.Src], Tag: int(arr.Tag), Bytes: arr.WireLen}, nil
 }
 
 // Peek blocks until some request completes and returns it.
 func (d *Device) Peek() (xdev.Request, error) {
-	r, err := d.cq.Peek()
-	if err != nil {
-		if d.box != nil {
-			d.box.mu.Lock()
-			ab := d.box.aborted
-			d.box.mu.Unlock()
-			if ab != nil {
-				return nil, ab
-			}
-		}
+	if d.core == nil {
 		return nil, ErrDeviceClosed
+	}
+	r, err := d.core.Peek()
+	if err != nil {
+		return nil, err
 	}
 	return r, nil
 }
