@@ -116,6 +116,38 @@ func runDemo(dir string) error {
 		if want := int64(n * (n - 1) / 2); sum[0] != want {
 			return fmt.Errorf("demo: allreduce got %d, want %d", sum[0], want)
 		}
-		return w.Bcast(make([]byte, 64), 0, 64, mpj.BYTE, 0)
+		if err := w.Bcast(make([]byte, 64), 0, 64, mpj.BYTE, 0); err != nil {
+			return err
+		}
+		// Large payloads take the segmented paths: a pipelined Bcast
+		// and a reduce-scatter+allgather Allreduce, so the summary's
+		// segment counters and algorithm table have something to show.
+		wide := make([]byte, large)
+		if me == 0 {
+			for i := range wide {
+				wide[i] = byte(i)
+			}
+		}
+		if err := w.Bcast(wide, 0, large, mpj.BYTE, 0); err != nil {
+			return err
+		}
+		for i := 0; i < large; i += large / 7 {
+			if wide[i] != byte(i) {
+				return fmt.Errorf("demo: bcast byte %d corrupted", i)
+			}
+		}
+		const elems = 32 << 10 // 256 KiB of int64: above the RSAG threshold
+		vec := make([]int64, elems)
+		for i := range vec {
+			vec[i] = int64(me + i)
+		}
+		out := make([]int64, elems)
+		if err := w.Allreduce(vec, 0, out, 0, elems, mpj.LONG, mpj.SUM); err != nil {
+			return err
+		}
+		if want := int64(n*(n-1)/2) + int64(n)*7; out[7] != want {
+			return fmt.Errorf("demo: large allreduce got %d, want %d", out[7], want)
+		}
+		return nil
 	})
 }

@@ -1,30 +1,244 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mpj/internal/mpe"
+)
 
 // Collective algorithm variants. Like production MPI libraries, the
 // high-level operations pick an algorithm from message size, group
 // size and operator properties:
 //
-//   - Allreduce uses recursive doubling for commutative operators
-//     (log2(n) rounds, each rank ends with the result — half the
-//     rounds of reduce+broadcast) and falls back to a rank-ordered
-//     reduce+broadcast for non-commutative ones;
+//   - Bcast pipelines large payloads down the binomial tree in
+//     segments (O(depth·seg + msg) instead of O(depth·msg)), and
+//     sends small ones whole;
+//   - Reduce folds large commutative payloads segment-by-segment down
+//     the same tree; non-commutative ops use a streamed rank-ordered
+//     fold at the root with bounded memory;
+//   - Allreduce uses recursive doubling for small commutative
+//     payloads (log2(n) rounds, each rank ends with the result) and a
+//     Rabenseifner-style reduce-scatter + allgather above
+//     rsagThresholdBytes (each byte crosses the wire O(1) times); it
+//     falls back to a rank-ordered reduce+broadcast for
+//     non-commutative ones;
+//   - Scatter/Gather stream large per-rank blocks in windowed
+//     segments so several peers are in flight at once;
 //   - Allgather/Allgatherv switch to a ring (bandwidth-optimal, n-1
 //     neighbour exchanges) once the gathered payload is large, and use
 //     gather+broadcast below that (latency-optimal for small data).
 //
 // The internal/core benchmarks compare the variants directly.
 
-// Allreduce tags live beside the other collective tags.
+// Allreduce tags live beside the other collective tags. tagSegBase
+// opens the per-segment tag space: segment i of a pipelined stream
+// travels under tagSegBase+i, so windowed receives stay correctly
+// paired even on devices that relax posted-order matching (ibisdev).
+// Nothing else allocates tags above tagSegBase.
 const (
 	tagAllreduceRD = tagBarrierRound + 64
 	tagRing        = tagBarrierRound + 65
+	tagAllreduceRS = tagBarrierRound + 66 // RSAG reduce-scatter phase
+	tagAllreduceAG = tagBarrierRound + 67 // RSAG allgather phase
+	tagSegBase     = tagBarrierRound + 128
 )
 
 // ringThresholdBytes is the gathered-payload size above which
 // Allgatherv uses the ring algorithm.
 const ringThresholdBytes = 16 << 10
+
+// rsagThresholdBytes is the payload size above which commutative
+// Allreduce switches from recursive doubling to reduce-scatter +
+// allgather.
+const rsagThresholdBytes = 64 << 10
+
+// Environment knobs for collective tuning. They must be set to the
+// same values on every rank of a job: segment size changes the number
+// of messages a collective exchanges.
+const (
+	// EnvCollSegment sets the pipeline segment size in bytes
+	// (default 32 KiB).
+	EnvCollSegment = "MPJ_COLL_SEGMENT"
+	// EnvCollAlgo forces an algorithm family instead of the size-based
+	// table: auto (default), flat, pipeline, rd, rsag.
+	EnvCollAlgo = "MPJ_COLL_ALGO"
+)
+
+const (
+	defaultSegmentBytes = 32 << 10
+	defaultCollWindow   = 4
+
+	// pipelineReduceMaxRanks bounds the comm size for the pipelined
+	// reduce. Unlike the pipelined broadcast — which packs once at the
+	// root and forwards wire buffers verbatim — a reduce must unpack,
+	// fold and repack at every level, so a deeper tree multiplies the
+	// per-segment message count with no repack to save; past this size
+	// the flat binomial's fewer, larger messages win.
+	pipelineReduceMaxRanks = 8
+)
+
+// collForce is a forced algorithm family from MPJ_COLL_ALGO.
+type collForce uint8
+
+const (
+	forceAuto collForce = iota
+	forceFlat           // store-and-forward / unsegmented everywhere
+	forcePipeline
+	forceRD
+	forceRSAG
+)
+
+// collTuning carries the segmentation knobs read once at startup.
+// Tests overwrite collCfg between worlds (never while one is running).
+type collTuning struct {
+	segBytes int // pipeline segment size
+	window   int // outstanding segments per stream
+	force    collForce
+}
+
+func loadCollTuning() collTuning {
+	t := collTuning{segBytes: defaultSegmentBytes, window: defaultCollWindow}
+	if v := os.Getenv(EnvCollSegment); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			t.segBytes = n
+		}
+	}
+	switch strings.ToLower(os.Getenv(EnvCollAlgo)) {
+	case "flat", "store-forward":
+		t.force = forceFlat
+	case "pipeline", "pipelined":
+		t.force = forcePipeline
+	case "rd", "recursive-doubling":
+		t.force = forceRD
+	case "rsag", "reduce-scatter-allgather":
+		t.force = forceRSAG
+	}
+	return t
+}
+
+var collCfg = loadCollTuning()
+
+// payloadBytes is the contiguous wire size of count items of dt.
+func payloadBytes(count int, dt *Datatype) int {
+	return count * dt.Size() * max(dt.Base().Size(), 1)
+}
+
+// segmentable reports whether a payload of dt may move as segments:
+// OBJECT elements have no fixed wire size and struct types interleave
+// base types, so both always travel whole.
+func segmentable(dt *Datatype) bool {
+	return dt.fields == nil && dt.Base() != OBJECT.Base()
+}
+
+// chooseBcast picks the broadcast variant from the payload size.
+func (c *Intracomm) chooseBcast(bytes int, dt *Datatype) int32 {
+	if c.Size() == 1 || !segmentable(dt) {
+		return mpe.AlgoStoreForward
+	}
+	switch collCfg.force {
+	case forceFlat:
+		return mpe.AlgoStoreForward
+	case forcePipeline:
+		if bytes > 0 {
+			return mpe.AlgoPipelined
+		}
+		return mpe.AlgoStoreForward
+	}
+	if bytes > collCfg.segBytes {
+		return mpe.AlgoPipelined
+	}
+	return mpe.AlgoStoreForward
+}
+
+// chooseReduce picks the reduce variant. Non-commutative ops always
+// take the streamed rank-ordered fold (bounded memory at the root)
+// unless flat is forced; commutative ops pipeline large payloads down
+// the binomial tree when the op can be applied per segment and the
+// comm is small enough that the extra per-segment messages pay off.
+func (c *Intracomm) chooseReduce(bytes int, dt *Datatype, op *Op) int32 {
+	if !op.commute {
+		if collCfg.force == forceFlat {
+			return mpe.AlgoStoreForward
+		}
+		return mpe.AlgoStreamedFold
+	}
+	if c.Size() == 1 || !segmentable(dt) || op.atom <= 0 {
+		return mpe.AlgoStoreForward
+	}
+	switch collCfg.force {
+	case forceFlat:
+		return mpe.AlgoStoreForward
+	case forcePipeline:
+		if bytes > 0 {
+			return mpe.AlgoPipelined
+		}
+		return mpe.AlgoStoreForward
+	}
+	if bytes > collCfg.segBytes && c.Size() <= pipelineReduceMaxRanks {
+		return mpe.AlgoPipelined
+	}
+	return mpe.AlgoStoreForward
+}
+
+// chooseAllreduce picks between recursive doubling and reduce-scatter
+// + allgather for commutative ops (non-commutative Allreduce never
+// reaches it — that path is reduce+broadcast). RSAG splits the vector
+// across ranks, so it needs a segmentable payload, an op that allows
+// atom-aligned splitting, and enough elements to give every rank a
+// stripe.
+func (c *Intracomm) chooseAllreduce(bytes, elems int, dt *Datatype, op *Op) int32 {
+	rsagOK := segmentable(dt) && op.atom > 0 && c.Size() >= 4
+	if rsagOK {
+		pof2 := 1
+		for pof2*2 <= c.Size() {
+			pof2 *= 2
+		}
+		rsagOK = elems >= pof2*op.atom
+	}
+	switch collCfg.force {
+	case forceFlat, forceRD:
+		return mpe.AlgoRecursiveDoubling
+	case forceRSAG, forcePipeline:
+		if rsagOK {
+			return mpe.AlgoReduceScatterAllgather
+		}
+		return mpe.AlgoRecursiveDoubling
+	}
+	if rsagOK && bytes >= rsagThresholdBytes {
+		return mpe.AlgoReduceScatterAllgather
+	}
+	return mpe.AlgoRecursiveDoubling
+}
+
+// chooseBlockStream decides whether one root↔peer block of a scatter
+// or gather moves as a single message or as a windowed segment
+// stream. Root and peer compute this independently from their own
+// count/datatype, which MPI requires to describe the same bytes, so
+// the two sides always agree.
+func chooseBlockStream(bytes int, dt *Datatype) bool {
+	if !segmentable(dt) {
+		return false
+	}
+	switch collCfg.force {
+	case forceFlat:
+		return false
+	case forcePipeline:
+		return bytes > 0
+	}
+	return bytes > collCfg.segBytes
+}
+
+// recordAlgo emits a CollectiveAlgo event so traces show which variant
+// each collective picked.
+func (c *Comm) recordAlgo(kind, algo int32, bytes int) {
+	rec := c.p.rec
+	if rec.Enabled() {
+		rec.Event(mpe.CollectiveAlgo, algo, kind, int32(c.coll.Context()), int64(bytes))
+	}
+}
 
 // allreduceRD performs recursive-doubling allreduce over a contiguous
 // scratch slice in place. Requires a commutative op.
@@ -41,7 +255,24 @@ func (c *Intracomm) allreduceRD(scratch any, elems int, bdt *Datatype, op *Op) e
 	}
 	rem := n - pof2
 
-	recvTmp := func() (any, error) { return allocLike(scratch, elems) }
+	// One receive temp serves every round (pooled for []byte payloads).
+	var tmp any
+	var putTmp func()
+	recvTmp := func() (any, error) {
+		if tmp == nil {
+			var err error
+			tmp, putTmp, err = tempLike(scratch, elems)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return tmp, nil
+	}
+	defer func() {
+		if putTmp != nil {
+			putTmp()
+		}
+	}()
 
 	// Fold the ranks beyond the largest power of two into the core:
 	// even ranks below 2*rem contribute to their odd neighbour and sit
@@ -53,14 +284,14 @@ func (c *Intracomm) allreduceRD(scratch any, elems int, bdt *Datatype, op *Op) e
 			return err
 		}
 	case rank < 2*rem:
-		tmp, err := recvTmp()
+		t, err := recvTmp()
 		if err != nil {
 			return err
 		}
-		if err := c.collRecv(tmp, 0, elems, bdt, rank-1, tagAllreduceRD); err != nil {
+		if err := c.collRecv(t, 0, elems, bdt, rank-1, tagAllreduceRD); err != nil {
 			return err
 		}
-		if err := op.apply(tmp, scratch); err != nil {
+		if err := op.apply(t, scratch); err != nil {
 			return err
 		}
 		newRank = rank / 2
@@ -77,21 +308,22 @@ func (c *Intracomm) allreduceRD(scratch any, elems int, bdt *Datatype, op *Op) e
 		}
 		for mask := 1; mask < pof2; mask <<= 1 {
 			partner := toReal(newRank ^ mask)
-			req, err := c.collIsend(scratch, 0, elems, bdt, partner, tagAllreduceRD)
+			req, sb, err := c.collIsend(scratch, 0, elems, bdt, partner, tagAllreduceRD)
 			if err != nil {
 				return err
 			}
-			tmp, err := recvTmp()
+			t, err := recvTmp()
 			if err != nil {
 				return err
 			}
-			if err := c.collRecv(tmp, 0, elems, bdt, partner, tagAllreduceRD); err != nil {
+			if err := c.collRecv(t, 0, elems, bdt, partner, tagAllreduceRD); err != nil {
 				return err
 			}
 			if _, err := req.Wait(); err != nil {
 				return err
 			}
-			if err := op.apply(tmp, scratch); err != nil {
+			putSendBuf(sb)
+			if err := op.apply(t, scratch); err != nil {
 				return err
 			}
 		}
@@ -119,7 +351,7 @@ func (c *Intracomm) allgathervRing(recvbuf any, roff int, rcounts, displs []int,
 	for s := 0; s < n-1; s++ {
 		sendIdx := (rank - s + n) % n
 		recvIdx := (rank - s - 1 + n) % n
-		req, err := c.collIsend(recvbuf, roff+displs[sendIdx]*rdt.extent, rcounts[sendIdx], rdt, right, tagRing)
+		req, sb, err := c.collIsend(recvbuf, roff+displs[sendIdx]*rdt.extent, rcounts[sendIdx], rdt, right, tagRing)
 		if err != nil {
 			return fmt.Errorf("core: ring allgather step %d: %w", s, err)
 		}
@@ -129,6 +361,152 @@ func (c *Intracomm) allgathervRing(recvbuf any, roff int, rcounts, displs []int,
 		if _, err := req.Wait(); err != nil {
 			return err
 		}
+		putSendBuf(sb)
+	}
+	return nil
+}
+
+// allreduceRSAG is the Rabenseifner-style allreduce for large
+// commutative payloads, in place over a contiguous scratch slice: a
+// recursive-halving reduce-scatter leaves each core rank owning a
+// fully reduced stripe of the vector, and a recursive-doubling
+// allgather reassembles the stripes. Each byte crosses the wire O(1)
+// times instead of the O(log n) of recursive doubling, which wins once
+// bandwidth dominates. Requires a commutative op with a positive
+// segment atom and elems >= pof2*atom (chooseAllreduce guarantees
+// both).
+func (c *Intracomm) allreduceRSAG(scratch any, elems int, bdt *Datatype, op *Op) error {
+	n := c.Size()
+	rank := c.Rank()
+	if n == 1 {
+		return nil
+	}
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	rem := n - pof2
+	atom := op.atom
+
+	// Fold the ranks beyond the largest power of two into the core,
+	// exactly as in allreduceRD.
+	newRank := -1
+	switch {
+	case rank < 2*rem && rank%2 == 0:
+		if err := c.collSend(scratch, 0, elems, bdt, rank+1, tagAllreduceRS); err != nil {
+			return err
+		}
+	case rank < 2*rem:
+		t, putT, err := tempLike(scratch, elems)
+		if err != nil {
+			return err
+		}
+		if err := c.collRecv(t, 0, elems, bdt, rank-1, tagAllreduceRS); err != nil {
+			putT()
+			return err
+		}
+		err = op.apply(t, scratch)
+		putT()
+		if err != nil {
+			return err
+		}
+		newRank = rank / 2
+	default:
+		newRank = rank - rem
+	}
+
+	if newRank != -1 {
+		toReal := func(nr int) int {
+			if nr < rem {
+				return nr*2 + 1
+			}
+			return nr + rem
+		}
+
+		// Recursive-halving reduce-scatter: each round trades half of
+		// the current region with the partner and folds the kept half.
+		// Splits land on atom boundaries so per-segment ops stay valid.
+		type region struct{ lo, hi int }
+		hist := make([]region, 0, 8) // regions before each halving, replayed in reverse by the allgather
+		lo, hi := 0, elems
+		tmp, putTmp, err := tempLike(scratch, (elems+1)/2+atom)
+		if err != nil {
+			return err
+		}
+		defer putTmp()
+		for mask := pof2 >> 1; mask >= 1; mask >>= 1 {
+			partner := toReal(newRank ^ mask)
+			mid := lo + (hi-lo)/2
+			mid -= (mid - lo) % atom
+			var keepLo, keepHi, sendLo, sendHi int
+			if newRank&mask == 0 {
+				keepLo, keepHi = lo, mid
+				sendLo, sendHi = mid, hi
+			} else {
+				keepLo, keepHi = mid, hi
+				sendLo, sendHi = lo, mid
+			}
+			hist = append(hist, region{lo, hi})
+			req, sb, err := c.collIsend(scratch, sendLo, sendHi-sendLo, bdt, partner, tagAllreduceRS)
+			if err != nil {
+				return err
+			}
+			keep := keepHi - keepLo
+			if err := c.collRecv(tmp, 0, keep, bdt, partner, tagAllreduceRS); err != nil {
+				return err
+			}
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+			putSendBuf(sb)
+			in, err := sliceRegion(tmp, 0, keep)
+			if err != nil {
+				return err
+			}
+			out, err := sliceRegion(scratch, keepLo, keep)
+			if err != nil {
+				return err
+			}
+			if err := op.apply(in, out); err != nil {
+				return err
+			}
+			lo, hi = keepLo, keepHi
+		}
+
+		// Recursive-doubling allgather, replaying the halvings in
+		// reverse: each round trades the owned stripe for the
+		// partner's sibling stripe of the enclosing region.
+		for i := len(hist) - 1; i >= 0; i-- {
+			mask := pof2 >> (i + 1)
+			partner := toReal(newRank ^ mask)
+			r := hist[i]
+			mid := r.lo + (r.hi-r.lo)/2
+			mid -= (mid - r.lo) % atom
+			otherLo, otherHi := mid, r.hi
+			if lo != r.lo {
+				otherLo, otherHi = r.lo, mid
+			}
+			req, sb, err := c.collIsend(scratch, lo, hi-lo, bdt, partner, tagAllreduceAG)
+			if err != nil {
+				return err
+			}
+			if err := c.collRecv(scratch, otherLo, otherHi-otherLo, bdt, partner, tagAllreduceAG); err != nil {
+				return err
+			}
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+			putSendBuf(sb)
+			lo, hi = r.lo, r.hi
+		}
+	}
+
+	// Unfold: the core hands results back to the folded-out ranks.
+	if rank < 2*rem {
+		if rank%2 != 0 {
+			return c.collSend(scratch, 0, elems, bdt, rank-1, tagAllreduceRS)
+		}
+		return c.collRecv(scratch, 0, elems, bdt, rank+1, tagAllreduceRS)
 	}
 	return nil
 }

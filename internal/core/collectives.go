@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"mpj/internal/devcore"
 	"mpj/internal/mpe"
 	"mpj/internal/mpjbuf"
 	"mpj/internal/mpjdev"
@@ -51,23 +52,34 @@ func (c *Comm) phase(kind int32) func() {
 // ---- collective-context point-to-point helpers ----
 
 func (c *Comm) collSend(buf any, offset, count int, dt *Datatype, dst, tag int) error {
-	b, err := pack(buf, offset, count, dt)
-	if err != nil {
+	b := devcore.GetBuffer()
+	defer devcore.PutBuffer(b)
+	if err := packInto(b, buf, offset, count, dt); err != nil {
 		return err
 	}
 	return c.coll.Send(b, dst, tag)
 }
 
-func (c *Comm) collIsend(buf any, offset, count int, dt *Datatype, dst, tag int) (*mpjdev.Request, error) {
-	b, err := pack(buf, offset, count, dt)
-	if err != nil {
-		return nil, err
+// collIsend packs into a pooled wire buffer and starts the send. The
+// caller must hand the returned buffer to putSendBuf after the
+// request's Wait succeeds (the device may still read it before then).
+func (c *Comm) collIsend(buf any, offset, count int, dt *Datatype, dst, tag int) (*mpjdev.Request, *mpjbuf.Buffer, error) {
+	b := devcore.GetBuffer()
+	if err := packInto(b, buf, offset, count, dt); err != nil {
+		devcore.PutBuffer(b)
+		return nil, nil, err
 	}
-	return c.coll.Isend(b, dst, tag)
+	req, err := c.coll.Isend(b, dst, tag)
+	if err != nil {
+		devcore.PutBuffer(b)
+		return nil, nil, err
+	}
+	return req, b, nil
 }
 
 func (c *Comm) collRecv(buf any, offset, count int, dt *Datatype, src, tag int) error {
-	b := mpjbuf.New(0)
+	b := devcore.GetBuffer()
+	defer devcore.PutBuffer(b)
 	if _, err := c.coll.Recv(b, src, tag); err != nil {
 		return err
 	}
@@ -244,7 +256,7 @@ func (c *Intracomm) Barrier() error {
 		dst := (rank + k) % n
 		src := (rank - k + n) % n
 		tag := tagBarrierRound + round
-		req, err := c.collIsend([]byte{1}, 0, 1, BYTE, dst, tag)
+		req, sb, err := c.collIsend([]byte{1}, 0, 1, BYTE, dst, tag)
 		if err != nil {
 			return fmt.Errorf("core: Barrier: %w", err)
 		}
@@ -254,13 +266,15 @@ func (c *Intracomm) Barrier() error {
 		if _, err := req.Wait(); err != nil {
 			return fmt.Errorf("core: Barrier: %w", err)
 		}
+		putSendBuf(sb)
 		round++
 	}
 	return nil
 }
 
 // Bcast broadcasts count items of dt from root's buf to every process
-// (binomial tree).
+// (binomial tree; payloads above the segment size are pipelined down
+// the tree in windowed segments).
 func (c *Intracomm) Bcast(buf any, offset, count int, dt *Datatype, root int) error {
 	defer c.phase(mpe.CollBcast)()
 	n := c.Size()
@@ -268,6 +282,15 @@ func (c *Intracomm) Bcast(buf any, offset, count int, dt *Datatype, root int) er
 		return fmt.Errorf("core: Bcast: root %d out of range", root)
 	}
 	if n == 1 {
+		return nil
+	}
+	bytes := payloadBytes(count, dt)
+	algo := c.chooseBcast(bytes, dt)
+	c.recordAlgo(mpe.CollBcast, algo, bytes)
+	if algo == mpe.AlgoPipelined {
+		if err := c.bcastPipelined(buf, offset, count, dt, root); err != nil {
+			return fmt.Errorf("core: Bcast: %w", err)
+		}
 		return nil
 	}
 	rank := c.Rank()
@@ -320,8 +343,10 @@ func (c *Intracomm) Gather(sendbuf any, soff, scount int, sdt *Datatype,
 	}
 	// Algorithm choice must agree across ranks: decide from the send
 	// signature, which MPI requires to match the receive signature.
-	blockBytes := scount * sdt.Size() * max(sdt.Base().Size(), 1)
-	if n >= 4 && sdt.Base() != OBJECT.Base() && blockBytes > 0 && blockBytes <= binomialGatherThresholdBytes {
+	blockBytes := payloadBytes(scount, sdt)
+	if collCfg.force != forcePipeline && n >= 4 && sdt.Base() != OBJECT.Base() &&
+		blockBytes > 0 && blockBytes <= binomialGatherThresholdBytes {
+		c.recordAlgo(mpe.CollGather, mpe.AlgoBinomialGather, blockBytes*n)
 		scratch, err := toScratch(sendbuf, soff, scount, sdt)
 		if err != nil {
 			return err
@@ -343,6 +368,8 @@ func (c *Intracomm) Gather(sendbuf any, soff, scount int, sdt *Datatype,
 
 // Gatherv collects varying counts: rank i contributes scount items and
 // root stores them at item displacement displs[i] (counts[i] items).
+// Blocks above the segment size stream to the root in windowed
+// segments, several peers in flight at once; the rest arrive whole.
 func (c *Intracomm) Gatherv(sendbuf any, soff, scount int, sdt *Datatype,
 	recvbuf any, roff int, rcounts, displs []int, rdt *Datatype, root int) error {
 	defer c.phase(mpe.CollGatherv)()
@@ -352,11 +379,40 @@ func (c *Intracomm) Gatherv(sendbuf any, soff, scount int, sdt *Datatype,
 		return fmt.Errorf("core: Gatherv: root %d out of range", root)
 	}
 	if rank != root {
+		// Stream-or-whole must agree with the root's per-block choice;
+		// both sides compute it from their own (matching) signatures.
+		if chooseBlockStream(payloadBytes(scount, sdt), sdt) {
+			c.recordAlgo(mpe.CollGatherv, mpe.AlgoPipelined, payloadBytes(scount, sdt))
+			if err := c.streamBlockSend(sendbuf, soff, scount, sdt, root); err != nil {
+				return fmt.Errorf("core: Gatherv stream to root: %w", err)
+			}
+			return nil
+		}
+		c.recordAlgo(mpe.CollGatherv, mpe.AlgoStoreForward, payloadBytes(scount, sdt))
 		return c.collSend(sendbuf, soff, scount, sdt, root, tagGather)
 	}
 	if len(rcounts) != n || len(displs) != n {
 		return fmt.Errorf("core: Gatherv: need %d counts/displs, have %d/%d", n, len(rcounts), len(displs))
 	}
+	// Whole-block peers are serviced in rank order as before; the
+	// streamed peers' windows then run concurrently until drained.
+	var blocks []*blockStream
+	for i := 0; i < n; i++ {
+		if i == rank || !chooseBlockStream(payloadBytes(rcounts[i], rdt), rdt) {
+			continue
+		}
+		at := roff + displs[i]*rdt.extent
+		b, err := newBlockStream(recvbuf, at, rcounts[i], rdt, i, true)
+		if err != nil {
+			return fmt.Errorf("core: Gatherv from %d: %w", i, err)
+		}
+		blocks = append(blocks, b)
+	}
+	algo := mpe.AlgoStoreForward
+	if len(blocks) > 0 {
+		algo = mpe.AlgoPipelined
+	}
+	c.recordAlgo(mpe.CollGatherv, algo, gatheredBytes(rcounts, rdt))
 	for i := 0; i < n; i++ {
 		at := roff + displs[i]*rdt.extent
 		if i == rank {
@@ -365,8 +421,16 @@ func (c *Intracomm) Gatherv(sendbuf any, soff, scount int, sdt *Datatype,
 			}
 			continue
 		}
+		if chooseBlockStream(payloadBytes(rcounts[i], rdt), rdt) {
+			continue
+		}
 		if err := c.collRecv(recvbuf, at, rcounts[i], rdt, i, tagGather); err != nil {
 			return fmt.Errorf("core: Gatherv from %d: %w", i, err)
+		}
+	}
+	if len(blocks) > 0 {
+		if err := c.streamBlocksIn(blocks); err != nil {
+			return fmt.Errorf("core: Gatherv streams: %w", err)
 		}
 	}
 	return nil
@@ -387,7 +451,9 @@ func (c *Intracomm) Scatter(sendbuf any, soff, scount int, sdt *Datatype,
 	return c.Scatterv(sendbuf, soff, counts, displs, sdt, recvbuf, roff, rcount, rdt, root)
 }
 
-// Scatterv distributes varying counts from root.
+// Scatterv distributes varying counts from root. Blocks above the
+// segment size leave the root as windowed segment streams, all
+// destinations' pipelines filling concurrently; the rest go whole.
 func (c *Intracomm) Scatterv(sendbuf any, soff int, scounts, displs []int, sdt *Datatype,
 	recvbuf any, roff, rcount int, rdt *Datatype, root int) error {
 	defer c.phase(mpe.CollScatterv)()
@@ -397,11 +463,20 @@ func (c *Intracomm) Scatterv(sendbuf any, soff int, scounts, displs []int, sdt *
 		return fmt.Errorf("core: Scatterv: root %d out of range", root)
 	}
 	if rank != root {
+		if chooseBlockStream(payloadBytes(rcount, rdt), rdt) {
+			c.recordAlgo(mpe.CollScatterv, mpe.AlgoPipelined, payloadBytes(rcount, rdt))
+			if err := c.streamBlockRecv(recvbuf, roff, rcount, rdt, root); err != nil {
+				return fmt.Errorf("core: Scatterv stream from root: %w", err)
+			}
+			return nil
+		}
+		c.recordAlgo(mpe.CollScatterv, mpe.AlgoStoreForward, payloadBytes(rcount, rdt))
 		return c.collRecv(recvbuf, roff, rcount, rdt, root, tagScatter)
 	}
 	if len(scounts) != n || len(displs) != n {
 		return fmt.Errorf("core: Scatterv: need %d counts/displs, have %d/%d", n, len(scounts), len(displs))
 	}
+	var blocks []*blockStream
 	for i := 0; i < n; i++ {
 		at := soff + displs[i]*sdt.extent
 		if i == rank {
@@ -410,8 +485,26 @@ func (c *Intracomm) Scatterv(sendbuf any, soff int, scounts, displs []int, sdt *
 			}
 			continue
 		}
+		if chooseBlockStream(payloadBytes(scounts[i], sdt), sdt) {
+			b, err := newBlockStream(sendbuf, at, scounts[i], sdt, i, false)
+			if err != nil {
+				return fmt.Errorf("core: Scatterv to %d: %w", i, err)
+			}
+			blocks = append(blocks, b)
+			continue
+		}
 		if err := c.collSend(sendbuf, at, scounts[i], sdt, i, tagScatter); err != nil {
 			return fmt.Errorf("core: Scatterv to %d: %w", i, err)
+		}
+	}
+	algo := mpe.AlgoStoreForward
+	if len(blocks) > 0 {
+		algo = mpe.AlgoPipelined
+	}
+	c.recordAlgo(mpe.CollScatterv, algo, gatheredBytes(scounts, sdt))
+	if len(blocks) > 0 {
+		if err := c.streamBlocksOut(blocks); err != nil {
+			return fmt.Errorf("core: Scatterv streams: %w", err)
 		}
 	}
 	return nil
@@ -438,6 +531,7 @@ func (c *Intracomm) Allgatherv(sendbuf any, soff, scount int, sdt *Datatype,
 		return fmt.Errorf("core: Allgatherv: need %d counts/displs, have %d/%d", n, len(rcounts), len(displs))
 	}
 	if n > 2 && gatheredBytes(rcounts, rdt) >= ringThresholdBytes {
+		c.recordAlgo(mpe.CollAllgatherv, mpe.AlgoRing, gatheredBytes(rcounts, rdt))
 		rank := c.Rank()
 		at := roff + displs[rank]*rdt.extent
 		if err := localCopy(sendbuf, soff, scount, sdt, recvbuf, at, rcounts[rank], rdt); err != nil {
@@ -445,6 +539,7 @@ func (c *Intracomm) Allgatherv(sendbuf any, soff, scount int, sdt *Datatype,
 		}
 		return c.allgathervRing(recvbuf, roff, rcounts, displs, rdt)
 	}
+	c.recordAlgo(mpe.CollAllgatherv, mpe.AlgoStoreForward, gatheredBytes(rcounts, rdt))
 	if err := c.Gatherv(sendbuf, soff, scount, sdt, recvbuf, roff, rcounts, displs, rdt, 0); err != nil {
 		return err
 	}
@@ -493,7 +588,7 @@ func (c *Intracomm) Alltoallv(sendbuf any, soff int, scounts, sdispls []int, sdt
 	for k := 1; k < n; k++ {
 		dst := (rank + k) % n
 		src := (rank - k + n) % n
-		req, err := c.collIsend(sendbuf, soff+sdispls[dst]*sdt.extent, scounts[dst], sdt, dst, tagAlltoall)
+		req, sb, err := c.collIsend(sendbuf, soff+sdispls[dst]*sdt.extent, scounts[dst], sdt, dst, tagAlltoall)
 		if err != nil {
 			return fmt.Errorf("core: Alltoallv send to %d: %w", dst, err)
 		}
@@ -503,13 +598,17 @@ func (c *Intracomm) Alltoallv(sendbuf any, soff int, scounts, sdispls []int, sdt
 		if _, err := req.Wait(); err != nil {
 			return err
 		}
+		putSendBuf(sb)
 	}
 	return nil
 }
 
 // Reduce combines count items of dt from every process with op,
-// leaving the result in root's recvbuf (binomial tree for commutative
-// ops, rank-ordered fold otherwise).
+// leaving the result in root's recvbuf. Commutative ops ride a
+// binomial tree, pipelined per segment above the segment size;
+// non-commutative ops use a streamed rank-ordered fold whose root
+// memory is bounded by the window, falling back to the buffer-all
+// flat fold only when flat is forced.
 func (c *Intracomm) Reduce(sendbuf any, soff int, recvbuf any, roff, count int,
 	dt *Datatype, op *Op, root int) error {
 	defer c.phase(mpe.CollReduce)()
@@ -527,6 +626,22 @@ func (c *Intracomm) Reduce(sendbuf any, soff int, recvbuf any, roff, count int,
 		return err
 	}
 	elems := count * dt.Size()
+
+	bytes := payloadBytes(count, dt)
+	algo := c.chooseReduce(bytes, dt, op)
+	c.recordAlgo(mpe.CollReduce, algo, bytes)
+	switch algo {
+	case mpe.AlgoStreamedFold:
+		if err := c.reduceStreamedFold(scratch, elems, bdt, op, recvbuf, roff, count, dt, root); err != nil {
+			return fmt.Errorf("core: Reduce: %w", err)
+		}
+		return nil
+	case mpe.AlgoPipelined:
+		if err := c.reducePipelined(scratch, elems, bdt, op, recvbuf, roff, count, dt, root); err != nil {
+			return fmt.Errorf("core: Reduce: %w", err)
+		}
+		return nil
+	}
 
 	if !op.commute {
 		// Order-preserving fold at the root.
@@ -591,12 +706,14 @@ func (c *Intracomm) Reduce(sendbuf any, soff int, recvbuf any, roff, count int,
 
 // Allreduce combines like Reduce and distributes the result to every
 // process. Commutative operators use recursive doubling (log2(n)
-// exchange rounds); non-commutative ones fall back to the rank-ordered
-// reduce followed by a broadcast.
+// exchange rounds) for small payloads and a Rabenseifner-style
+// reduce-scatter + allgather once bandwidth dominates; non-commutative
+// ones fall back to the rank-ordered reduce followed by a broadcast.
 func (c *Intracomm) Allreduce(sendbuf any, soff int, recvbuf any, roff, count int,
 	dt *Datatype, op *Op) error {
 	defer c.phase(mpe.CollAllreduce)()
 	if !op.commute {
+		c.recordAlgo(mpe.CollAllreduce, mpe.AlgoStoreForward, payloadBytes(count, dt))
 		if err := c.Reduce(sendbuf, soff, recvbuf, roff, count, dt, op, 0); err != nil {
 			return err
 		}
@@ -610,7 +727,15 @@ func (c *Intracomm) Allreduce(sendbuf any, soff int, recvbuf any, roff, count in
 	if err != nil {
 		return err
 	}
-	if err := c.allreduceRD(scratch, count*dt.Size(), bdt, op); err != nil {
+	elems := count * dt.Size()
+	bytes := payloadBytes(count, dt)
+	algo := c.chooseAllreduce(bytes, elems, dt, op)
+	c.recordAlgo(mpe.CollAllreduce, algo, bytes)
+	if algo == mpe.AlgoReduceScatterAllgather {
+		if err := c.allreduceRSAG(scratch, elems, bdt, op); err != nil {
+			return fmt.Errorf("core: Allreduce: %w", err)
+		}
+	} else if err := c.allreduceRD(scratch, elems, bdt, op); err != nil {
 		return err
 	}
 	return fromScratch(scratch, recvbuf, roff, count, dt)

@@ -11,13 +11,38 @@ type Op struct {
 	name    string
 	commute bool
 	apply   func(in, inout any) error
+	// atom is the number of consecutive base elements the op combines
+	// as one indivisible group: 1 for element-wise ops, 2 for the
+	// (value,index) pairs of MAXLOC/MINLOC. Segmented reduction
+	// algorithms only split messages at atom boundaries; atom 0 marks
+	// an op that must see the whole message in one application (the
+	// default for user ops, whose structure is unknown).
+	atom int
 }
 
 // NewOp wraps a user-defined reduction function (MPI_Op_create). The
 // function receives two equal-length slices of the buffer's element
 // type ([]int32, []float64, ...) and must accumulate into inout.
+//
+// A user op is applied to whole messages by default, which keeps any
+// interpretation of the slice valid but disables segmented reduction
+// algorithms; declare a SegmentAtom to re-enable them.
 func NewOp(fn func(in, inout any) error, commute bool) *Op {
 	return &Op{name: "USER", commute: commute, apply: fn}
+}
+
+// SegmentAtom returns a copy of the op declaring that it combines
+// independent groups of atom consecutive base elements, so reductions
+// may apply it to any atom-aligned sub-range of the message. This lets
+// the segmented/pipelined reduction algorithms split large payloads;
+// atom <= 0 restores whole-message application.
+func (o *Op) SegmentAtom(atom int) *Op {
+	cp := *o
+	if atom < 0 {
+		atom = 0
+	}
+	cp.atom = atom
+	return &cp
 }
 
 // String returns the op's name.
@@ -221,3 +246,14 @@ var (
 	MINLOC = &Op{name: "MINLOC", commute: true, apply: locApply("MINLOC",
 		func(a, b float64) bool { return a < b })}
 )
+
+func init() {
+	// The arithmetic/bit/logical built-ins are element-wise; the LOC
+	// ops combine (value,index) pairs. Segmented reductions split
+	// messages only at these boundaries.
+	for _, o := range []*Op{MAX, MIN, SUM, PROD, LAND, LOR, LXOR, BAND, BOR, BXOR} {
+		o.atom = 1
+	}
+	MAXLOC.atom = 2
+	MINLOC.atom = 2
+}

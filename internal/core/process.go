@@ -52,6 +52,10 @@ type Process struct {
 	provided ThreadLevel
 
 	rec mpe.Recorder
+	// counters points at the device's live counter block when the
+	// device exposes one (mpe.CounterSource), or at a shared discard
+	// block otherwise — never nil, so hot paths bump unconditionally.
+	counters *mpe.Counters
 
 	mu        sync.Mutex
 	nextCtx   int
@@ -84,7 +88,7 @@ func InitThread(dev xdev.Device, cfg xdev.Config, required ThreadLevel) (*Proces
 	if err != nil {
 		return nil, 0, err
 	}
-	p := &Process{dev: dev, pids: pids, provided: ThreadMultiple, rec: mpe.RecorderOf(dev)}
+	p := &Process{dev: dev, pids: pids, provided: ThreadMultiple, rec: mpe.RecorderOf(dev), counters: mpe.CountersOf(dev)}
 	world, err := p.newIntracomm(NewGroup(pids), cfg.Rank)
 	if err != nil {
 		dev.Finish()

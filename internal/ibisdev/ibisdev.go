@@ -103,6 +103,10 @@ func (d *Device) ID() xdev.ProcessID { return d.inner.ID() }
 // Stats returns the counters of the inner transport device.
 func (d *Device) Stats() mpe.CounterSnapshot { return d.inner.Stats() }
 
+// CountersRef exposes the inner transport device's live counter block
+// (mpe.CounterSource).
+func (d *Device) CountersRef() *mpe.Counters { return d.inner.CountersRef() }
+
 // Recorder exposes the inner device's event recorder
 // (mpe.Instrumented).
 func (d *Device) Recorder() mpe.Recorder { return d.inner.Recorder() }

@@ -28,7 +28,7 @@ func category(t EventType) string {
 		return "request"
 	case EagerOut, RendezvousRTS, RendezvousRTR, RendezvousData:
 		return "protocol"
-	case CollectivePhase:
+	case CollectivePhase, CollectiveAlgo:
 		return "collective"
 	case WaitanyPark, WaitanyWake:
 		return "waitany"
@@ -39,8 +39,11 @@ func category(t EventType) string {
 }
 
 func eventName(ev Event) string {
-	if ev.Type == CollectivePhase {
+	switch ev.Type {
+	case CollectivePhase:
 		return "Coll:" + CollName(ev.Tag)
+	case CollectiveAlgo:
+		return "Algo:" + CollName(ev.Tag) + "=" + AlgoName(ev.Peer)
 	}
 	return ev.Type.String()
 }
@@ -79,10 +82,12 @@ func WriteChromeTrace(w io.Writer, files []*TraceFile, onlyRank int) error {
 				TID:  0,
 				Args: map[string]any{},
 			}
-			if ev.Peer >= 0 {
+			if ev.Type == CollectiveAlgo {
+				ce.Args["algo"] = AlgoName(ev.Peer)
+			} else if ev.Peer >= 0 {
 				ce.Args["peer"] = ev.Peer
 			}
-			if ev.Type != CollectivePhase {
+			if ev.Type != CollectivePhase && ev.Type != CollectiveAlgo {
 				ce.Args["tag"] = ev.Tag
 			}
 			if ev.Ctx >= 0 {
@@ -145,6 +150,10 @@ func WriteSummary(w io.Writer, files []*TraceFile, onlyRank int) error {
 			c := tf.Counters
 			fmt.Fprintf(w, "  counters: eager=%d rndv=%d bytesSent=%d matched=%d unexpected=%d\n",
 				c.EagerSent, c.RndvSent, c.BytesSent, c.Matched, c.Unexpected)
+			if c.CollSegsSent+c.CollSegsRecv > 0 {
+				fmt.Fprintf(w, "  collectives: segsSent=%d segsRecv=%d\n",
+					c.CollSegsSent, c.CollSegsRecv)
+			}
 			if c.PeersLost+c.FramesCorrupt+c.RequestsFailed > 0 {
 				fmt.Fprintf(w, "  failures: peersLost=%d framesCorrupt=%d requestsFailed=%d\n",
 					c.PeersLost, c.FramesCorrupt, c.RequestsFailed)
@@ -166,6 +175,10 @@ func WriteSummary(w io.Writer, files []*TraceFile, onlyRank int) error {
 	if haveCounters && len(kept) > 1 {
 		fmt.Fprintf(w, "\nall ranks: eager=%d rndv=%d bytesSent=%d matched=%d unexpected=%d\n",
 			total.EagerSent, total.RndvSent, total.BytesSent, total.Matched, total.Unexpected)
+		if total.CollSegsSent+total.CollSegsRecv > 0 {
+			fmt.Fprintf(w, "all ranks collectives: segsSent=%d segsRecv=%d\n",
+				total.CollSegsSent, total.CollSegsRecv)
+		}
 		if total.PeersLost+total.FramesCorrupt+total.RequestsFailed > 0 {
 			fmt.Fprintf(w, "all ranks failures: peersLost=%d framesCorrupt=%d requestsFailed=%d\n",
 				total.PeersLost, total.FramesCorrupt, total.RequestsFailed)
@@ -175,6 +188,7 @@ func WriteSummary(w io.Writer, files []*TraceFile, onlyRank int) error {
 	writeLatencyTable(w, kept, SendEnd, "send completion latency")
 	writeLatencyTable(w, kept, RecvMatched, "recv completion latency")
 	writeCollectives(w, kept)
+	writeCollAlgos(w, kept)
 	return nil
 }
 
@@ -249,6 +263,66 @@ func writeCollectives(w io.Writer, files []*TraceFile) {
 		s := byKind[k]
 		fmt.Fprintf(w, "  %-14s %8d %12s %12s\n",
 			CollName(k), s.n, fmtNS(s.sum/int64(s.n)), fmtNS(s.max))
+	}
+}
+
+// writeCollAlgos tabulates which algorithm variant each collective
+// selected (CollectiveAlgo events), per kind, with call counts and the
+// payload-size range the choice covered.
+func writeCollAlgos(w io.Writer, files []*TraceFile) {
+	type key struct {
+		kind int32
+		algo int32
+	}
+	type stat struct {
+		n        int
+		minBytes int64
+		maxBytes int64
+	}
+	byChoice := map[key]*stat{}
+	for _, tf := range files {
+		for _, ev := range tf.Events {
+			if ev.Type != CollectiveAlgo {
+				continue
+			}
+			k := key{kind: ev.Tag, algo: ev.Peer}
+			s := byChoice[k]
+			if s == nil {
+				s = &stat{minBytes: ev.Bytes, maxBytes: ev.Bytes}
+				byChoice[k] = s
+			}
+			s.n++
+			if ev.Bytes < s.minBytes {
+				s.minBytes = ev.Bytes
+			}
+			if ev.Bytes > s.maxBytes {
+				s.maxBytes = ev.Bytes
+			}
+		}
+	}
+	if len(byChoice) == 0 {
+		return
+	}
+	keys := make([]key, 0, len(byChoice))
+	for k := range byChoice {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].kind != keys[j].kind {
+			return keys[i].kind < keys[j].kind
+		}
+		return keys[i].algo < keys[j].algo
+	})
+	fmt.Fprintf(w, "\ncollective algorithm choices (all ranks):\n")
+	fmt.Fprintf(w, "  %-14s %-26s %8s %20s\n", "collective", "algorithm", "calls", "payload bytes")
+	for _, k := range keys {
+		s := byChoice[k]
+		sizes := fmt.Sprintf("%d", s.minBytes)
+		if s.maxBytes != s.minBytes {
+			sizes = fmt.Sprintf("%d-%d", s.minBytes, s.maxBytes)
+		}
+		fmt.Fprintf(w, "  %-14s %-26s %8d %20s\n",
+			CollName(k.kind), AlgoName(k.algo), s.n, sizes)
 	}
 }
 

@@ -27,6 +27,12 @@ type Counters struct {
 	// RequestsFailed counts requests completed with an error (peer
 	// death, device close, abort, corruption).
 	RequestsFailed atomic.Uint64
+	// CollSegsSent counts pipeline segments sent by segmented
+	// collectives (incremented by the core layer).
+	CollSegsSent atomic.Uint64
+	// CollSegsRecv counts pipeline segments received by segmented
+	// collectives (incremented by the core layer).
+	CollSegsRecv atomic.Uint64
 }
 
 // Snapshot returns a plain-value copy of the counters.
@@ -40,6 +46,8 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		PeersLost:      c.PeersLost.Load(),
 		FramesCorrupt:  c.FramesCorrupt.Load(),
 		RequestsFailed: c.RequestsFailed.Load(),
+		CollSegsSent:   c.CollSegsSent.Load(),
+		CollSegsRecv:   c.CollSegsRecv.Load(),
 	}
 }
 
@@ -55,6 +63,8 @@ type CounterSnapshot struct {
 	PeersLost      uint64 `json:"peersLost,omitempty"`
 	FramesCorrupt  uint64 `json:"framesCorrupt,omitempty"`
 	RequestsFailed uint64 `json:"requestsFailed,omitempty"`
+	CollSegsSent   uint64 `json:"collSegsSent,omitempty"`
+	CollSegsRecv   uint64 `json:"collSegsRecv,omitempty"`
 }
 
 // Add returns the field-wise sum of two snapshots (used when a device
@@ -69,5 +79,7 @@ func (s CounterSnapshot) Add(o CounterSnapshot) CounterSnapshot {
 		PeersLost:      s.PeersLost + o.PeersLost,
 		FramesCorrupt:  s.FramesCorrupt + o.FramesCorrupt,
 		RequestsFailed: s.RequestsFailed + o.RequestsFailed,
+		CollSegsSent:   s.CollSegsSent + o.CollSegsSent,
+		CollSegsRecv:   s.CollSegsRecv + o.CollSegsRecv,
 	}
 }

@@ -66,6 +66,11 @@ const (
 	// event's Tag carries the collective kind (see CollName) and its
 	// Ctx the communicator's collective context id.
 	CollectivePhase
+	// CollectiveAlgo marks the algorithm a collective call selected:
+	// Tag carries the collective kind (CollName), Peer the algorithm
+	// code (AlgoName), Bytes the payload size the decision was made
+	// from, and Ctx the collective context id.
+	CollectiveAlgo
 	// WaitanyPark marks a Waitany caller blocking on the device's
 	// peek queue.
 	WaitanyPark
@@ -96,6 +101,7 @@ var eventNames = [eventTypeCount]string{
 	RendezvousRTR:   "RendezvousRTR",
 	RendezvousData:  "RendezvousData",
 	CollectivePhase: "CollectivePhase",
+	CollectiveAlgo:  "CollectiveAlgo",
 	WaitanyPark:     "WaitanyPark",
 	WaitanyWake:     "WaitanyWake",
 	PeerLost:        "PeerLost",
@@ -255,4 +261,71 @@ func CollName(kind int32) string {
 		return n
 	}
 	return fmt.Sprintf("Collective(%d)", kind)
+}
+
+// Collective algorithm codes carried in the Peer of CollectiveAlgo
+// events: which variant the size × comm-size × commutativity selection
+// table picked for one call.
+const (
+	// AlgoStoreForward is the unsegmented baseline: a blocking tree or
+	// linear exchange that forwards whole messages.
+	AlgoStoreForward int32 = iota + 1
+	// AlgoPipelined is a segmented tree: each segment is forwarded (or
+	// folded) as soon as it arrives, overlapping transfer levels.
+	AlgoPipelined
+	// AlgoRecursiveDoubling is the log2(n)-round allreduce exchange.
+	AlgoRecursiveDoubling
+	// AlgoReduceScatterAllgather is the Rabenseifner-style large-message
+	// allreduce: recursive-halving reduce-scatter + recursive-doubling
+	// allgather.
+	AlgoReduceScatterAllgather
+	// AlgoRing is the bandwidth-optimal n-1 step neighbour exchange.
+	AlgoRing
+	// AlgoBinomialGather is the small-block binomial gather tree.
+	AlgoBinomialGather
+	// AlgoStreamedFold is the non-commutative reduce at the root: a
+	// bounded window of segment receives folded in rank order.
+	AlgoStreamedFold
+)
+
+var algoNames = map[int32]string{
+	AlgoStoreForward:           "store-forward",
+	AlgoPipelined:              "pipelined",
+	AlgoRecursiveDoubling:      "recursive-doubling",
+	AlgoReduceScatterAllgather: "reduce-scatter-allgather",
+	AlgoRing:                   "ring",
+	AlgoBinomialGather:         "binomial-gather",
+	AlgoStreamedFold:           "streamed-fold",
+}
+
+// AlgoName names a collective algorithm code (the Peer of a
+// CollectiveAlgo event).
+func AlgoName(code int32) string {
+	if n, ok := algoNames[code]; ok {
+		return n
+	}
+	return fmt.Sprintf("Algo(%d)", code)
+}
+
+// CounterSource is implemented by devices that expose their live
+// Counters, letting upper layers (the core collectives) account
+// activity into the same per-rank counters the device reports through
+// Stats.
+type CounterSource interface {
+	CountersRef() *Counters
+}
+
+// discardCounters absorbs counter traffic for devices that do not
+// expose theirs; the values are never read.
+var discardCounters Counters
+
+// CountersOf returns v's live Counters if v is a CounterSource (and
+// the reference non-nil), and a shared discard instance otherwise.
+func CountersOf(v any) *Counters {
+	if cs, ok := v.(CounterSource); ok {
+		if c := cs.CountersRef(); c != nil {
+			return c
+		}
+	}
+	return &discardCounters
 }

@@ -119,6 +119,10 @@ func (d *Device) Stats() mpe.CounterSnapshot {
 // Recorder exposes the device's event recorder (mpe.Instrumented).
 func (d *Device) Recorder() mpe.Recorder { return d.rec }
 
+// CountersRef exposes the live counter block (mpe.CounterSource) so
+// upper layers account into the same counters Stats reports.
+func (d *Device) CountersRef() *mpe.Counters { return &d.stats }
+
 // Init opens this process's MX endpoint in the job's group and connects
 // to every peer endpoint (mx_init / mx_open_endpoint / mx_connect).
 func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {

@@ -12,6 +12,15 @@ type Stats = mpe.CounterSnapshot
 // live in the shared progress core.
 func (d *Device) Stats() Stats { return d.core.Counters.Snapshot() }
 
+// CountersRef exposes the live counter block (mpe.CounterSource) so
+// upper layers account into the same counters Stats reports.
+func (d *Device) CountersRef() *mpe.Counters {
+	if d.core == nil {
+		return nil
+	}
+	return &d.core.Counters
+}
+
 // Recorder exposes the device's event recorder so upper layers
 // (mpjdev, core) record into the same per-rank stream
 // (mpe.Instrumented).

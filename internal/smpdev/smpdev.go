@@ -101,6 +101,16 @@ func (d *Device) Stats() mpe.CounterSnapshot {
 // Recorder exposes the device's event recorder (mpe.Instrumented).
 func (d *Device) Recorder() mpe.Recorder { return d.rec }
 
+// CountersRef exposes the live counter block (mpe.CounterSource) so
+// upper layers account into the same counters Stats reports. Nil until
+// Init.
+func (d *Device) CountersRef() *mpe.Counters {
+	if d.core == nil {
+		return nil
+	}
+	return &d.core.Counters
+}
+
 // Init joins (and if necessary creates) the in-process group named by
 // cfg.Group, claiming the core for cfg.Rank.
 func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {

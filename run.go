@@ -219,6 +219,15 @@ const (
 	// per-rank trace files go.
 	EnvTrace    = "MPJ_TRACE"
 	EnvTraceDir = "MPJ_TRACE_DIR"
+
+	// EnvCollSegment sets the collective pipeline segment size in
+	// bytes (default 32 KiB) and EnvCollAlgo forces an algorithm
+	// family (auto, flat, pipeline, rd, rsag) instead of the
+	// size-tuned selection table. Both must be set identically on
+	// every rank of a job: they change the number and shape of the
+	// messages a collective exchanges.
+	EnvCollSegment = core.EnvCollSegment
+	EnvCollAlgo    = core.EnvCollAlgo
 )
 
 // InitFromEnv joins the multi-process job described by the MPJ_*
