@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	mpjdaemon [-addr :10000] [-scratch DIR]
+//	mpjdaemon [-addr :10000] [-scratch DIR] [-metrics :9100]
+//
+// With -metrics the daemon also serves an HTTP endpoint aggregating
+// the live telemetry (/metrics, /introspect) of every rank it has
+// started with MPJ_METRICS_ADDR set.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":10000", "listen address")
 	scratch := flag.String("scratch", "", "download directory for remotely loaded programs (default: temp dir)")
+	metrics := flag.String("metrics", "", "serve aggregated rank telemetry on this host:port (\":0\" picks a port)")
 	flag.Parse()
 
 	d, err := mpjrt.NewDaemon(*addr, *scratch)
@@ -30,6 +35,15 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("mpjdaemon listening on %s\n", d.Addr())
+	if *metrics != "" {
+		maddr, err := d.ServeMetrics(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpjdaemon:", err)
+			d.Close()
+			os.Exit(1)
+		}
+		fmt.Printf("mpjdaemon metrics at http://%s/metrics\n", maddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

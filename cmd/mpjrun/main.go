@@ -6,12 +6,14 @@
 // Usage:
 //
 //	mpjrun -np 4 -daemons host1:10000,host2:10000 [-dev niodev]
-//	       [-baseport 20000] [-remote] program [args...]
+//	       [-baseport 20000] [-remote] [-metrics :9090] program [args...]
 //
 // With -remote the program binary is served over HTTP from this
 // machine and downloaded by the daemons (remote loading, Fig. 9b);
 // otherwise daemons execute the path from their local or shared
-// filesystem (local loading, Fig. 9a).
+// filesystem (local loading, Fig. 9a). With -metrics each rank serves
+// live telemetry (MPJ_METRICS_ADDR) on its node at baseport+1000+rank
+// and mpjrun aggregates all of them at the given address.
 package main
 
 import (
@@ -30,6 +32,7 @@ func main() {
 	dev := flag.String("dev", "niodev", "communication device")
 	basePort := flag.Int("baseport", 20000, "first rank listen port")
 	remote := flag.Bool("remote", false, "serve the binary over HTTP to the daemons (remote loading)")
+	metrics := flag.String("metrics", "", "serve job-level live telemetry on this host:port (\":0\" picks a port); ranks serve theirs on baseport+1000+rank")
 	ping := flag.Bool("ping", false, "check that every daemon is reachable, then exit")
 	status := flag.Bool("status", false, "print every daemon's running jobs, then exit")
 	flag.Parse()
@@ -75,6 +78,12 @@ func main() {
 		BasePort:   *basePort,
 		RemoteLoad: *remote,
 		Output:     os.Stdout,
+	}
+	if *metrics != "" {
+		// Rank listen ports start at baseport; rank telemetry ports
+		// start one block of 1000 above, keeping the two ranges apart.
+		job.MetricsBasePort = *basePort + 1000
+		job.MetricsAddr = *metrics
 	}
 	res, err := mpjrt.Run(job)
 	if err != nil {

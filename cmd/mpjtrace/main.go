@@ -3,25 +3,37 @@
 //
 // Usage:
 //
-//	mpjtrace [-dir mpjtrace-out] [-rank N] [-summary] [-chrome out.json]
+//	mpjtrace [-dir mpjtrace-out] [-rank N] [-summary] [-merge]
+//	         [-chrome out.json] [-o FILE]
 //
-// With -summary (the default when -chrome is not given) it prints each
-// rank's device counters, event counts and completion-latency
-// percentiles per message-size bucket. With -chrome it merges every
-// rank onto a shared wall-clock timeline and writes Chrome trace_event
-// JSON loadable in chrome://tracing or https://ui.perfetto.dev.
+// With -summary (the default when no other output is selected) it
+// prints each rank's device counters, event counts and
+// completion-latency percentiles per message-size bucket. With -chrome
+// it merges every rank onto a shared wall-clock timeline and writes
+// Chrome trace_event JSON loadable in chrome://tracing or
+// https://ui.perfetto.dev.
+//
+// With -merge it correlates the ranks' traces message by message: each
+// send is matched to its receive via the (sender, sequence) identity
+// every device stamps, per-rank clock offsets are estimated from the
+// message timestamps, and the tool prints wire-latency percentiles,
+// late-sender/late-receiver counts and a collective critical-path
+// report. Combined with -chrome, the output gains flow arrows
+// connecting each matched send to its receive.
 //
 // -demo runs a traced 4-rank job (eager and rendezvous ping-pongs plus
-// collectives) into -dir first, so the tool can be tried without an
-// instrumented application:
+// collectives) first, so the tool can be tried without an instrumented
+// application. Unless -o names a directory for it, the demo traces
+// into a fresh directory under the system temp dir:
 //
-//	go run ./cmd/mpjtrace -demo -summary
+//	go run ./cmd/mpjtrace -demo -merge
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"mpj"
 	"mpj/internal/mpe"
@@ -31,20 +43,41 @@ func main() {
 	dir := flag.String("dir", mpe.DefaultTraceDir, "trace directory to read (and write, with -demo)")
 	rank := flag.Int("rank", -1, "restrict output to one rank (-1 = all ranks)")
 	summary := flag.Bool("summary", false, "print per-rank counters, event counts and latency percentiles")
+	merge := flag.Bool("merge", false, "correlate sends with receives across ranks and report latency and critical paths")
 	chrome := flag.String("chrome", "", "write merged Chrome trace_event JSON to this file")
-	demo := flag.Bool("demo", false, "first run a traced 4-rank demo job into -dir")
+	out := flag.String("o", "", "with -demo: directory to trace the demo job into (default: under the system temp dir)")
+	demo := flag.Bool("demo", false, "first run a traced 4-rank demo job")
 	flag.Parse()
 
 	if *demo {
-		if err := runDemo(*dir); err != nil {
+		demoDir := *out
+		if demoDir == "" {
+			// Keep demo output out of the working tree unless the user
+			// asked for a specific place.
+			td, err := os.MkdirTemp("", "mpjtrace-demo-")
+			if err != nil {
+				fatal(err)
+			}
+			demoDir = filepath.Join(td, "mpjtrace-out")
+		}
+		if err := runDemo(demoDir); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "mpjtrace: demo job traced into %s\n", *dir)
+		fmt.Fprintf(os.Stderr, "mpjtrace: demo job traced into %s\n", demoDir)
+		*dir = demoDir
 	}
 
 	files, err := mpe.ReadTraceDir(*dir)
 	if err != nil {
 		fatal(err)
+	}
+
+	var merged *mpe.Merged
+	if *merge || *chrome != "" {
+		merged, err = mpe.MergeTraces(files)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	wrote := false
@@ -53,7 +86,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := mpe.WriteChromeTrace(f, files, *rank); err != nil {
+		if *merge {
+			err = merged.WriteMergedChrome(f)
+		} else {
+			err = mpe.WriteChromeTrace(f, files, *rank)
+		}
+		if err != nil {
 			f.Close()
 			fatal(err)
 		}
@@ -61,6 +99,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "mpjtrace: wrote %s (%d ranks)\n", *chrome, len(files))
+		wrote = true
+	}
+	if *merge {
+		if err := merged.WriteReport(os.Stdout); err != nil {
+			fatal(err)
+		}
 		wrote = true
 	}
 	if *summary || !wrote {

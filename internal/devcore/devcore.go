@@ -209,16 +209,18 @@ func (c *Core) failErr() error {
 }
 
 // MatchPosted finds and removes the earliest-posted receive matching
-// the envelope, counting the arrival-time match. It does not park
-// anything on a miss — for protocols that must read the payload before
-// deciding (niodev's eager path reads into the user buffer on a hit,
-// into device memory on a miss).
-func (c *Core) MatchPosted(env match.Concrete) (*Request, bool) {
+// the envelope, counting the arrival-time match and stamping the
+// message's seq onto the traced request. It does not park anything on
+// a miss — for protocols that must read the payload before deciding
+// (niodev's eager path reads into the user buffer on a hit, into
+// device memory on a miss).
+func (c *Core) MatchPosted(env match.Concrete, seq uint64) (*Request, bool) {
 	c.mu.Lock()
 	req, ok := c.posted.Match(env)
 	c.mu.Unlock()
 	if ok {
 		c.Counters.Matched.Add(1)
+		req.stampMatch(env.Src, seq)
 	}
 	return req, ok
 }
@@ -240,6 +242,7 @@ func (c *Core) MatchOrPark(env match.Concrete, a *Arrival) (*Request, bool, erro
 	if req, ok := c.posted.Match(env); ok {
 		c.mu.Unlock()
 		c.Counters.Matched.Add(1)
+		req.stampMatch(a.Src, a.Seq)
 		return req, true, nil
 	}
 	rec := c.rec
@@ -248,7 +251,7 @@ func (c *Core) MatchOrPark(env match.Concrete, a *Arrival) (*Request, bool, erro
 	c.mu.Unlock()
 	c.Counters.Unexpected.Add(1)
 	if rec.Enabled() {
-		rec.Event(mpe.RecvUnexpected, int32(a.Src), a.Tag, a.Ctx, int64(a.WireLen))
+		rec.EventSeq(mpe.RecvUnexpected, int32(a.Src), a.Tag, a.Ctx, int64(a.WireLen), a.Seq)
 	}
 	return nil, false, nil
 }
@@ -268,6 +271,7 @@ func (c *Core) PostRecv(p match.Pattern, req *Request, pinAlive func() error) (*
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if a, ok := c.arrived.Match(p); ok {
+		req.stampMatch(a.Src, a.Seq)
 		return a, nil
 	}
 	if c.aborted != nil {

@@ -144,7 +144,7 @@ func TestShutdownDrainsEverything(t *testing.T) {
 	syncErr := errors.New("sync fail")
 	posted := c.NewRequest(RecvReq, nil)
 	c.PostRecv(pat(1, 1, 0), posted, nil)
-	pend := c.NewPendingSet()
+	pend := c.NewPendingSet("test")
 	pending := c.NewRequest(SendReq, nil)
 	if err := pend.Add(PendingKey{Peer: 2, Seq: 1}, pending); err != nil {
 		t.Fatalf("PendingSet.Add: %v", err)
@@ -235,7 +235,7 @@ func TestPendingSetFailFastOnDeadPeer(t *testing.T) {
 	c := New("test")
 	boom := errors.New("boom")
 	c.FailPeer(7, PeerFail{Err: boom, Sticky: true})
-	pend := c.NewPendingSet()
+	pend := c.NewPendingSet("test")
 	if err := pend.Add(PendingKey{Peer: 7, Seq: 1}, c.NewRequest(SendReq, nil)); !errors.Is(err, boom) {
 		t.Fatalf("Add keyed on dead peer err = %v, want boom", err)
 	}

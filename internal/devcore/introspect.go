@@ -1,0 +1,61 @@
+package devcore
+
+import "sort"
+
+// PendingState is one named protocol pending set's live depth.
+type PendingState struct {
+	Name string `json:"name"`
+	Len  int    `json:"len"`
+}
+
+// PeerState is one slot's recorded death, as seen by this core.
+type PeerState struct {
+	Slot uint64 `json:"slot"`
+	Err  string `json:"err"`
+}
+
+// CoreState is a point-in-time snapshot of the progress engine for the
+// live-telemetry introspection endpoint: queue depths, in-flight
+// protocol exchanges, and failure state, all read under the core lock.
+type CoreState struct {
+	Device string `json:"device"`
+	// Posted is the depth of the posted-receive set; Unexpected the
+	// depth of the arrived-but-unmatched set.
+	Posted     int `json:"posted"`
+	Unexpected int `json:"unexpected"`
+	// Pending lists each registered protocol pending set (rendezvous
+	// sends awaiting RTR, receives awaiting rendezvous data, sync
+	// sends awaiting ACK, ...) with its depth.
+	Pending []PendingState `json:"pending,omitempty"`
+	// PeersDead lists slots with recorded (sticky) death errors.
+	PeersDead []PeerState `json:"peersDead,omitempty"`
+	Aborted   string      `json:"aborted,omitempty"`
+	Closed    bool        `json:"closed"`
+	// Seq is the last sequence number handed out — total seq-stamped
+	// messages originated by this rank.
+	Seq uint64 `json:"seq"`
+}
+
+// Introspect snapshots the core's live state.
+func (c *Core) Introspect() CoreState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CoreState{
+		Device:     c.dev,
+		Posted:     c.posted.Len(),
+		Unexpected: c.arrived.Len(),
+		Closed:     c.closed,
+		Seq:        c.seq.Load(),
+	}
+	for _, s := range c.pending {
+		st.Pending = append(st.Pending, PendingState{Name: s.name, Len: len(s.m)})
+	}
+	for slot, err := range c.peerDead {
+		st.PeersDead = append(st.PeersDead, PeerState{Slot: slot, Err: err.Error()})
+	}
+	sort.Slice(st.PeersDead, func(i, j int) bool { return st.PeersDead[i].Slot < st.PeersDead[j].Slot })
+	if c.aborted != nil {
+		st.Aborted = c.aborted.Error()
+	}
+	return st
+}

@@ -17,19 +17,24 @@ type PendingKey struct {
 // dead or the core closed, so a request can never park after the drain
 // that would have freed it.
 type PendingSet struct {
-	c *Core
-	m map[PendingKey]*Request
+	c    *Core
+	name string
+	m    map[PendingKey]*Request
 }
 
 // NewPendingSet returns a pending set registered for this core's
-// failure drains.
-func (c *Core) NewPendingSet() *PendingSet {
-	s := &PendingSet{c: c, m: make(map[PendingKey]*Request)}
+// failure drains. The name labels the set in Introspect output
+// ("rndv-send", "sync-send", ...).
+func (c *Core) NewPendingSet(name string) *PendingSet {
+	s := &PendingSet{c: c, name: name, m: make(map[PendingKey]*Request)}
 	c.mu.Lock()
 	c.pending = append(c.pending, s)
 	c.mu.Unlock()
 	return s
 }
+
+// Name returns the label given at creation.
+func (s *PendingSet) Name() string { return s.name }
 
 // Add parks r under k. It fails with the recorded death error if
 // k.Peer is already dead, and with the abort cause or ErrClosed if the

@@ -50,11 +50,13 @@ type Request struct {
 	// Tracing envelope: the operation's start time (recorder clock),
 	// peer slot, tag, and context, set at creation when tracing is on
 	// so Complete can close the SendEnd/RecvMatched span. t0 < 0 means
-	// untraced.
+	// untraced. seq is the message's per-sender sequence number — the
+	// cross-rank correlation key the completion span carries.
 	t0   int64
 	peer int32
 	tag  int32
 	ctx  int32
+	seq  uint64
 
 	mu         sync.Mutex
 	attachment any
@@ -76,6 +78,34 @@ func (r *Request) Trace(peer, tag, ctx int32) {
 	r.peer, r.tag, r.ctx = peer, tag, ctx
 }
 
+// TraceSeq additionally stamps the message's per-sender sequence
+// number (the send side knows it at creation).
+func (r *Request) TraceSeq(peer, tag, ctx int32, seq uint64) {
+	r.Trace(peer, tag, ctx)
+	r.seq = seq
+}
+
+// SetSeq stamps the sequence number on an already-traced request —
+// the send side uses it when the seq is drawn after request creation.
+// No-op when untraced.
+func (r *Request) SetSeq(seq uint64) {
+	if r.t0 >= 0 {
+		r.seq = seq
+	}
+}
+
+// stampMatch rewrites a traced receive's envelope with the matched
+// message's actual source and sequence number. Receives posted with
+// ANY_SOURCE carry the wildcard as peer until the match resolves it;
+// the seq only exists on the sender's side of the wire until now.
+func (r *Request) stampMatch(src uint64, seq uint64) {
+	if r == nil || r.t0 < 0 {
+		return
+	}
+	r.peer = int32(src)
+	r.seq = seq
+}
+
 // Complete records the outcome and publishes the request to its core's
 // completion queue. It is safe to call at most once; the ownership-
 // transfer discipline (whoever removes a request from a shared set
@@ -89,7 +119,7 @@ func (r *Request) Complete(st xdev.Status, err error) {
 		if r.kind == RecvReq {
 			typ = mpe.RecvMatched
 		}
-		r.c.rec.Span(typ, r.peer, r.tag, r.ctx, int64(st.Bytes), r.t0)
+		r.c.rec.SpanSeq(typ, r.peer, r.tag, r.ctx, int64(st.Bytes), r.t0, r.seq)
 	}
 	r.status = st
 	r.err = err

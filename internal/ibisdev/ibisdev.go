@@ -111,6 +111,10 @@ func (d *Device) CountersRef() *mpe.Counters { return d.inner.CountersRef() }
 // (mpe.Instrumented).
 func (d *Device) Recorder() mpe.Recorder { return d.inner.Recorder() }
 
+// Introspect exposes the inner transport device's live progress-engine
+// state for the telemetry /introspect endpoint.
+func (d *Device) Introspect() any { return d.inner.Introspect() }
+
 // Finish shuts the device down.
 func (d *Device) Finish() error { return d.inner.Finish() }
 

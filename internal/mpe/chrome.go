@@ -19,6 +19,8 @@ type chromeEvent struct {
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
 	Scope string         `json:"s,omitempty"`
+	ID    int64          `json:"id,omitempty"`
+	BP    string         `json:"bp,omitempty"`
 	Args  map[string]any `json:"args,omitempty"`
 }
 
@@ -52,6 +54,44 @@ func eventName(ev Event) string {
 // (aligned by each rank's epoch wall clock) and writes a Chrome
 // trace_event JSON document. onlyRank < 0 keeps all ranks.
 func WriteChromeTrace(w io.Writer, files []*TraceFile, onlyRank int) error {
+	return writeChromeTrace(w, files, onlyRank, nil)
+}
+
+// chromeKeyed pairs a renderable event with the sort key that makes
+// repeated exports of the same trace byte-identical: timestamp, then
+// rank, then the message sequence number, then ring position.
+type chromeKeyed struct {
+	atNS int64
+	rank int
+	seq  uint64
+	pos  int
+	ce   chromeEvent
+}
+
+// sortChromeEvents orders events deterministically: by merged-timeline
+// timestamp, tie-broken on rank, then message seq, then the event's
+// position in its rank's ring (a stable, reproducible order — map
+// iteration or input interleaving can never change the output).
+func sortChromeEvents(evs []chromeKeyed) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.atNS != b.atNS {
+			return a.atNS < b.atNS
+		}
+		if a.rank != b.rank {
+			return a.rank < b.rank
+		}
+		if a.seq != b.seq {
+			return a.seq < b.seq
+		}
+		return a.pos < b.pos
+	})
+}
+
+// writeChromeTrace renders the merged timeline; extra (already keyed)
+// events — the -merge mode's flow arrows — are sorted into the same
+// stream.
+func writeChromeTrace(w io.Writer, files []*TraceFile, onlyRank int, extra []chromeKeyed) error {
 	if len(files) == 0 {
 		return fmt.Errorf("mpe: no trace files")
 	}
@@ -63,17 +103,18 @@ func WriteChromeTrace(w io.Writer, files []*TraceFile, onlyRank int) error {
 			base = tf.EpochWallNS
 		}
 	}
-	var out []chromeEvent
+	var meta []chromeEvent
+	var keyed []chromeKeyed
 	for _, tf := range files {
 		if onlyRank >= 0 && tf.Rank != onlyRank {
 			continue
 		}
 		offset := tf.EpochWallNS - base
-		out = append(out, chromeEvent{
+		meta = append(meta, chromeEvent{
 			Name: "process_name", Ph: "M", PID: tf.Rank, TID: 0,
 			Args: map[string]any{"name": fmt.Sprintf("rank %d (%s)", tf.Rank, tf.Device)},
 		})
-		for _, ev := range tf.Events {
+		for pos, ev := range tf.Events {
 			ce := chromeEvent{
 				Name: eventName(ev),
 				Cat:  category(ev.Type),
@@ -96,6 +137,9 @@ func WriteChromeTrace(w io.Writer, files []*TraceFile, onlyRank int) error {
 			if ev.Bytes > 0 {
 				ce.Args["bytes"] = ev.Bytes
 			}
+			if ev.Seq > 0 {
+				ce.Args["seq"] = ev.Seq
+			}
 			if ev.Dur > 0 {
 				ce.Ph = "X"
 				ce.Dur = float64(ev.Dur) / 1e3
@@ -103,8 +147,16 @@ func WriteChromeTrace(w io.Writer, files []*TraceFile, onlyRank int) error {
 				ce.Ph = "i"
 				ce.Scope = "t"
 			}
-			out = append(out, ce)
+			keyed = append(keyed, chromeKeyed{
+				atNS: ev.At + offset, rank: tf.Rank, seq: ev.Seq, pos: pos, ce: ce,
+			})
 		}
+	}
+	keyed = append(keyed, extra...)
+	sortChromeEvents(keyed)
+	out := meta
+	for _, k := range keyed {
+		out = append(out, k.ce)
 	}
 	doc := struct {
 		TraceEvents     []chromeEvent `json:"traceEvents"`

@@ -147,7 +147,11 @@ func (s HistSnapshot) Percentile(bucket int, q float64) int64 {
 		if seen > rank {
 			// Bucket d holds durations in [2^d, 2^(d+1)) ns (d=0
 			// also catches <=1ns); report the bucket top, clamped
-			// to the observed max.
+			// to the observed max. The last bucket is open-ended,
+			// so its only honest bound is the max itself.
+			if d == durBucketCount-1 {
+				return b.MaxNS
+			}
 			top := int64(1)
 			if d > 0 {
 				top = int64(1) << uint(d+1)

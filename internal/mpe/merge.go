@@ -1,0 +1,415 @@
+package mpe
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Cross-rank trace correlation.
+//
+// Each sender stamps every message with a per-sender sequence number
+// (devcore.Core.NextSeq); the pair (sender rank, seq) identifies one
+// message on both sides of the wire. MergeTraces joins every rank's
+// SendEnd span to the matching RecvMatched span on the receiver,
+// estimates per-rank clock offsets from the message graph itself, and
+// derives per-message wire latency, late-sender/late-receiver
+// classification, and a critical-path view of collectives.
+
+// msgKey identifies one message across rank files.
+type msgKey struct {
+	src int
+	seq uint64
+}
+
+// MatchedMessage is one point-to-point message seen on both its
+// sender's and its receiver's timeline. All times are nanoseconds on
+// the merged, clock-corrected timeline (t=0 at the earliest rank
+// epoch).
+type MatchedMessage struct {
+	Src, Dst int
+	Seq      uint64
+	Tag, Ctx int32
+	Bytes    int64
+	// SendBeginNS..SendEndNS is the sender-side completion span;
+	// RecvPostNS..RecvDeliverNS the receiver-side one.
+	SendBeginNS, SendEndNS    int64
+	RecvPostNS, RecvDeliverNS int64
+	// LatencyNS is RecvDeliverNS - SendBeginNS (clamped at 0): the
+	// wire + matching latency of this message after clock correction.
+	LatencyNS int64
+	// LateSender: the receive was posted before the send began — the
+	// receiver sat waiting on the sender.
+	LateSender bool
+	// LateReceiver: the message arrived unexpected (no posted
+	// receive) — the receiver was behind the sender.
+	LateReceiver bool
+}
+
+// CollectiveOp is one instance of a collective across all ranks that
+// recorded a CollectivePhase span for it, identified by (context,
+// kind, per-rank occurrence index).
+type CollectiveOp struct {
+	Kind  int32
+	Ctx   int32
+	Index int // i-th (ctx,kind) collective on each rank
+	Ranks int // ranks that recorded this instance
+	// EnterSkewNS is max(start)-min(start) across ranks: how staggered
+	// the ranks entered the collective.
+	EnterSkewNS int64
+	// SpanNS is max(end)-min(start): the whole-job critical path of
+	// this instance. MeanDurNS is the mean per-rank time inside it.
+	SpanNS    int64
+	MeanDurNS int64
+	// LastEnterRank / LastExitRank bound the critical path: the rank
+	// that arrived last and the rank that finished last.
+	LastEnterRank int
+	LastExitRank  int
+}
+
+// Merged is the result of correlating all rank trace files.
+type Merged struct {
+	Files []*TraceFile
+	// Sends / Recvs count seq-stamped completion spans found.
+	Sends, Recvs int
+	Matched      []MatchedMessage
+	// UnmatchedSends counts seq-stamped sends with no receiver-side
+	// span (ring overwrite, abort, or a rank file missing).
+	UnmatchedSends int
+	// OffsetNS[r] is the correction added to rank r's wall-aligned
+	// timestamps; OffsetKnown[r] is false when rank r exchanged no
+	// bidirectional traffic connecting it to rank 0.
+	OffsetNS    map[int]int64
+	OffsetKnown map[int]bool
+	Collectives []CollectiveOp
+}
+
+// MatchRate returns matched sends as a fraction of all seq-stamped
+// sends (1.0 when there were none).
+func (m *Merged) MatchRate() float64 {
+	if m.Sends == 0 {
+		return 1.0
+	}
+	return float64(len(m.Matched)) / float64(m.Sends)
+}
+
+type sendRec struct {
+	dst        int
+	tag, ctx   int32
+	bytes      int64
+	begin, end int64
+}
+
+type recvRec struct {
+	rank          int
+	post, deliver int64
+}
+
+// MergeTraces correlates the per-rank trace files into one timeline.
+func MergeTraces(files []*TraceFile) (*Merged, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("mpe: no trace files")
+	}
+	base := files[0].EpochWallNS
+	for _, tf := range files {
+		if tf.EpochWallNS < base {
+			base = tf.EpochWallNS
+		}
+	}
+
+	sends := map[msgKey]sendRec{}
+	recvs := map[msgKey]recvRec{}
+	unexpected := map[msgKey]bool{}
+	nSends, nRecvs := 0, 0
+	for _, tf := range files {
+		wallOff := tf.EpochWallNS - base
+		for _, ev := range tf.Events {
+			if ev.Seq == 0 {
+				continue
+			}
+			switch ev.Type {
+			case SendEnd:
+				nSends++
+				sends[msgKey{src: tf.Rank, seq: ev.Seq}] = sendRec{
+					dst: int(ev.Peer), tag: ev.Tag, ctx: ev.Ctx, bytes: ev.Bytes,
+					begin: ev.At + wallOff, end: ev.At + ev.Dur + wallOff,
+				}
+			case RecvMatched:
+				nRecvs++
+				recvs[msgKey{src: int(ev.Peer), seq: ev.Seq}] = recvRec{
+					rank: tf.Rank, post: ev.At + wallOff, deliver: ev.At + ev.Dur + wallOff,
+				}
+			case RecvUnexpected:
+				unexpected[msgKey{src: int(ev.Peer), seq: ev.Seq}] = true
+			}
+		}
+	}
+
+	m := &Merged{
+		Files: files, Sends: nSends, Recvs: nRecvs,
+		OffsetNS: map[int]int64{}, OffsetKnown: map[int]bool{},
+	}
+	m.estimateOffsets(sends, recvs)
+
+	for key, s := range sends {
+		r, ok := recvs[key]
+		if !ok {
+			m.UnmatchedSends++
+			continue
+		}
+		srcOff, dstOff := m.OffsetNS[key.src], m.OffsetNS[r.rank]
+		mm := MatchedMessage{
+			Src: key.src, Dst: r.rank, Seq: key.seq,
+			Tag: s.tag, Ctx: s.ctx, Bytes: s.bytes,
+			SendBeginNS: s.begin + srcOff, SendEndNS: s.end + srcOff,
+			RecvPostNS: r.post + dstOff, RecvDeliverNS: r.deliver + dstOff,
+			LateReceiver: unexpected[key],
+		}
+		mm.LatencyNS = mm.RecvDeliverNS - mm.SendBeginNS
+		if mm.LatencyNS < 0 {
+			mm.LatencyNS = 0
+		}
+		mm.LateSender = mm.RecvPostNS < mm.SendBeginNS && !mm.LateReceiver
+		m.Matched = append(m.Matched, mm)
+	}
+	sort.Slice(m.Matched, func(i, j int) bool {
+		a, b := m.Matched[i], m.Matched[j]
+		if a.SendBeginNS != b.SendBeginNS {
+			return a.SendBeginNS < b.SendBeginNS
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Seq < b.Seq
+	})
+
+	m.collectCollectives(base)
+	return m, nil
+}
+
+// estimateOffsets computes per-rank clock corrections from the message
+// graph. For ranks a→b, the smallest observed (deliver_b - begin_a)
+// is minLatency + (err_b - err_a); with both directions available the
+// symmetrized half-difference cancels the latency term, leaving the
+// relative clock error — the classic NTP-style estimate. Errors
+// propagate from rank 0 (the anchor) by BFS over rank pairs with
+// bidirectional traffic.
+func (m *Merged) estimateOffsets(sends map[msgKey]sendRec, recvs map[msgKey]recvRec) {
+	type pair struct{ a, b int }
+	minDelta := map[pair]int64{}
+	for key, s := range sends {
+		r, ok := recvs[key]
+		if !ok || key.src == r.rank {
+			continue
+		}
+		p := pair{a: key.src, b: r.rank}
+		d := r.deliver - s.begin
+		if cur, ok := minDelta[p]; !ok || d < cur {
+			minDelta[p] = d
+		}
+	}
+
+	// err[b] - err[a] for pairs seen in both directions.
+	rel := map[pair]int64{}
+	ranks := map[int]bool{}
+	for _, tf := range m.Files {
+		ranks[tf.Rank] = true
+	}
+	for p, dab := range minDelta {
+		if dba, ok := minDelta[pair{a: p.b, b: p.a}]; ok {
+			rel[p] = (dab - dba) / 2
+		}
+	}
+
+	// BFS from rank 0; unreachable ranks keep offset 0, flagged
+	// unknown.
+	err := map[int]int64{0: 0}
+	queue := []int{0}
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		for p, d := range rel {
+			if p.a == a {
+				if _, seen := err[p.b]; !seen {
+					err[p.b] = err[a] + d
+					queue = append(queue, p.b)
+				}
+			}
+		}
+	}
+	for r := range ranks {
+		if e, ok := err[r]; ok {
+			m.OffsetNS[r] = -e
+			m.OffsetKnown[r] = true
+		} else {
+			m.OffsetNS[r] = 0
+			m.OffsetKnown[r] = r == 0
+		}
+	}
+}
+
+// collectCollectives groups CollectivePhase spans into per-instance
+// CollectiveOps: the i-th (ctx,kind) span on each rank belongs to the
+// same collective call, because collectives are ordered within a
+// communicator.
+func (m *Merged) collectCollectives(base int64) {
+	type instKey struct {
+		ctx, kind int32
+		index     int
+	}
+	type rankSpan struct {
+		rank       int
+		start, end int64
+	}
+	seen := map[instKey][]rankSpan{}
+	var order []instKey
+	for _, tf := range m.Files {
+		wallOff := tf.EpochWallNS - base
+		corr := m.OffsetNS[tf.Rank]
+		occ := map[[2]int32]int{}
+		for _, ev := range tf.Events {
+			if ev.Type != CollectivePhase {
+				continue
+			}
+			ok := [2]int32{ev.Ctx, ev.Tag}
+			k := instKey{ctx: ev.Ctx, kind: ev.Tag, index: occ[ok]}
+			occ[ok]++
+			if _, dup := seen[k]; !dup {
+				order = append(order, k)
+			}
+			start := ev.At + wallOff + corr
+			seen[k] = append(seen[k], rankSpan{rank: tf.Rank, start: start, end: start + ev.Dur})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.ctx != b.ctx {
+			return a.ctx < b.ctx
+		}
+		if a.index != b.index {
+			return a.index < b.index
+		}
+		return a.kind < b.kind
+	})
+	for _, k := range order {
+		spans := seen[k]
+		op := CollectiveOp{Kind: k.kind, Ctx: k.ctx, Index: k.index, Ranks: len(spans)}
+		minStart, maxStart, maxEnd := spans[0].start, spans[0].start, spans[0].end
+		op.LastEnterRank, op.LastExitRank = spans[0].rank, spans[0].rank
+		var sumDur int64
+		for _, s := range spans {
+			if s.start < minStart {
+				minStart = s.start
+			}
+			if s.start > maxStart {
+				maxStart = s.start
+				op.LastEnterRank = s.rank
+			}
+			if s.end > maxEnd {
+				maxEnd = s.end
+				op.LastExitRank = s.rank
+			}
+			sumDur += s.end - s.start
+		}
+		op.EnterSkewNS = maxStart - minStart
+		op.SpanNS = maxEnd - minStart
+		op.MeanDurNS = sumDur / int64(len(spans))
+		m.Collectives = append(m.Collectives, op)
+	}
+}
+
+// WriteMergedChrome writes the merged Chrome timeline with flow
+// ("arrow") events connecting each matched send to its receive, so the
+// viewer draws the message crossing ranks.
+func (m *Merged) WriteMergedChrome(w io.Writer) error {
+	var extra []chromeKeyed
+	for i, mm := range m.Matched {
+		id := int64(i + 1)
+		args := map[string]any{
+			"src": mm.Src, "dst": mm.Dst, "seq": mm.Seq,
+			"bytes": mm.Bytes, "latency_ns": mm.LatencyNS,
+		}
+		extra = append(extra,
+			chromeKeyed{
+				atNS: mm.SendBeginNS, rank: mm.Src, seq: mm.Seq,
+				ce: chromeEvent{
+					Name: "msg", Cat: "flow", Ph: "s", ID: id,
+					TS: float64(mm.SendBeginNS) / 1e3, PID: mm.Src, Args: args,
+				},
+			},
+			chromeKeyed{
+				atNS: mm.RecvDeliverNS, rank: mm.Dst, seq: mm.Seq,
+				ce: chromeEvent{
+					Name: "msg", Cat: "flow", Ph: "f", BP: "e", ID: id,
+					TS: float64(mm.RecvDeliverNS) / 1e3, PID: mm.Dst, Args: args,
+				},
+			},
+		)
+	}
+	return writeChromeTrace(w, m.Files, -1, extra)
+}
+
+// WriteReport writes the human-readable correlation report: match
+// rate, clock offsets, per-size wire latency percentiles, late
+// sender/receiver counts, and the collective critical-path table.
+func (m *Merged) WriteReport(w io.Writer) error {
+	fmt.Fprintf(w, "mpjtrace merge: %d rank(s), %d seq-stamped sends, %d recvs\n",
+		len(m.Files), m.Sends, m.Recvs)
+	fmt.Fprintf(w, "matched %d/%d sends (%.1f%%), %d unmatched\n",
+		len(m.Matched), m.Sends, m.MatchRate()*100, m.UnmatchedSends)
+
+	ranks := make([]int, 0, len(m.OffsetNS))
+	for r := range m.OffsetNS {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	fmt.Fprintf(w, "\nestimated clock offsets (vs rank 0):\n")
+	for _, r := range ranks {
+		mark := ""
+		if !m.OffsetKnown[r] {
+			mark = "  (no bidirectional traffic; assumed 0)"
+		}
+		fmt.Fprintf(w, "  rank %d: %+dns%s\n", r, m.OffsetNS[r], mark)
+	}
+
+	if len(m.Matched) > 0 {
+		bySize := map[int][]int64{}
+		lateSend, lateRecv := 0, 0
+		for _, mm := range m.Matched {
+			bySize[SizeBucket(mm.Bytes)] = append(bySize[SizeBucket(mm.Bytes)], mm.LatencyNS)
+			if mm.LateSender {
+				lateSend++
+			}
+			if mm.LateReceiver {
+				lateRecv++
+			}
+		}
+		fmt.Fprintf(w, "\nper-message wire latency (send begin -> recv deliver, clock-corrected):\n")
+		fmt.Fprintf(w, "  %-8s %8s %12s %12s %12s\n", "size", "count", "p50", "p95", "max")
+		for b := 0; b < sizeBucketCount; b++ {
+			durs := bySize[b]
+			if len(durs) == 0 {
+				continue
+			}
+			sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+			fmt.Fprintf(w, "  %-8s %8d %12s %12s %12s\n",
+				SizeBucketLabel(b), len(durs),
+				fmtNS(durs[len(durs)*50/100]), fmtNS(durs[len(durs)*95/100]), fmtNS(durs[len(durs)-1]))
+		}
+		fmt.Fprintf(w, "late senders (receiver waited): %d/%d; late receivers (unexpected arrival): %d/%d\n",
+			lateSend, len(m.Matched), lateRecv, len(m.Matched))
+	}
+
+	if len(m.Collectives) > 0 {
+		fmt.Fprintf(w, "\ncollective critical path (per instance, clock-corrected):\n")
+		fmt.Fprintf(w, "  %-14s %5s %6s %12s %12s %12s %10s %10s\n",
+			"collective", "ctx", "ranks", "enter-skew", "span", "mean-dur", "last-in", "last-out")
+		for _, op := range m.Collectives {
+			fmt.Fprintf(w, "  %-14s %5d %6d %12s %12s %12s %10d %10d\n",
+				CollName(op.Kind), op.Ctx, op.Ranks,
+				fmtNS(op.EnterSkewNS), fmtNS(op.SpanNS), fmtNS(op.MeanDurNS),
+				op.LastEnterRank, op.LastExitRank)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package mpe
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// syntheticTraces builds a 3-rank trace set with known ground truth:
+// rank 1's clock runs +500ns ahead of rank 0's and its epoch starts
+// 200ns later (so wall alignment and offset estimation are both
+// exercised); rank 2 exchanges no traffic at all. Messages (all true
+// wire latency 1000ns, so the symmetrized estimate is exact):
+//
+//	seq 1  rank0->rank1  plain (posted receive, sender first)
+//	seq 1  rank1->rank0  the reverse direction enabling the estimate
+//	seq 2  rank0->rank1  late sender: receive posted before send began
+//	seq 3  rank0->rank1  late receiver: arrival was unexpected
+//	seq 4  rank0->rank1  unmatched: no receiver-side span
+//
+// plus one Barrier CollectivePhase on ranks 0 and 1 with known skew.
+func syntheticTraces() []*TraceFile {
+	// Rank 1 local time = (true time) + 500 (clock error) - 200 (epoch
+	// wall offset, re-added by the merge's wall alignment).
+	r1 := func(trueNS int64) int64 { return trueNS + 500 - 200 }
+	rank0 := &TraceFile{
+		Rank: 0, Size: 3, Device: "test", EpochWallNS: 1_000_000,
+		Events: []Event{
+			{Type: SendEnd, Peer: 1, Tag: 1, Ctx: 1, Bytes: 100, At: 1000, Dur: 100, Seq: 1},
+			{Type: RecvMatched, Peer: 1, Tag: 2, Ctx: 1, Bytes: 100, At: 3900, Dur: 100, Seq: 1},
+			{Type: SendEnd, Peer: 1, Tag: 3, Ctx: 1, Bytes: 100, At: 5000, Dur: 100, Seq: 2},
+			{Type: SendEnd, Peer: 1, Tag: 4, Ctx: 1, Bytes: 5000, At: 7000, Dur: 100, Seq: 3},
+			{Type: SendEnd, Peer: 1, Tag: 5, Ctx: 1, Bytes: 100, At: 9000, Dur: 100, Seq: 4},
+			{Type: CollectivePhase, Peer: -1, Tag: CollBarrier, Ctx: 1, At: 9000, Dur: 500},
+		},
+	}
+	rank1 := &TraceFile{
+		Rank: 1, Size: 3, Device: "test", EpochWallNS: 1_000_200,
+		Events: []Event{
+			// seq 1 from rank 0: posted at true 1900, delivered at 2000.
+			{Type: RecvMatched, Peer: 0, Tag: 1, Ctx: 1, Bytes: 100, At: r1(1900), Dur: 100, Seq: 1},
+			// seq 1 to rank 0: began at true 3000.
+			{Type: SendEnd, Peer: 0, Tag: 2, Ctx: 1, Bytes: 100, At: r1(3000), Dur: 100, Seq: 1},
+			// seq 2: posted at true 4800 (before the send's 5000),
+			// delivered at 6000.
+			{Type: RecvMatched, Peer: 0, Tag: 3, Ctx: 1, Bytes: 100, At: r1(4800), Dur: 1200, Seq: 2},
+			// seq 3: arrived unexpected, then matched late.
+			{Type: RecvUnexpected, Peer: 0, Tag: 4, Ctx: 1, Bytes: 5000, At: r1(7500), Seq: 3},
+			{Type: RecvMatched, Peer: 0, Tag: 4, Ctx: 1, Bytes: 5000, At: r1(7800), Dur: 200, Seq: 3},
+			// Barrier entered at true 9200, left at 9700.
+			{Type: CollectivePhase, Peer: -1, Tag: CollBarrier, Ctx: 1, At: r1(9200), Dur: 500},
+		},
+	}
+	rank2 := &TraceFile{Rank: 2, Size: 3, Device: "test", EpochWallNS: 1_000_000}
+	return []*TraceFile{rank0, rank1, rank2}
+}
+
+func TestMergeTracesMatchingAndOffsets(t *testing.T) {
+	m, err := MergeTraces(syntheticTraces())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sends != 5 || m.Recvs != 4 {
+		t.Fatalf("sends/recvs = %d/%d, want 5/4", m.Sends, m.Recvs)
+	}
+	if len(m.Matched) != 4 || m.UnmatchedSends != 1 {
+		t.Fatalf("matched=%d unmatched=%d, want 4/1", len(m.Matched), m.UnmatchedSends)
+	}
+	if got := m.MatchRate(); got != 0.8 {
+		t.Errorf("MatchRate = %v, want 0.8", got)
+	}
+
+	// The symmetrized minimum-delta estimate recovers rank 1's +500ns
+	// clock error exactly (equal true latency in both directions).
+	if m.OffsetNS[0] != 0 || !m.OffsetKnown[0] {
+		t.Errorf("rank 0 offset = %d known=%v, want 0/true", m.OffsetNS[0], m.OffsetKnown[0])
+	}
+	if m.OffsetNS[1] != -500 || !m.OffsetKnown[1] {
+		t.Errorf("rank 1 offset = %d known=%v, want -500/true", m.OffsetNS[1], m.OffsetKnown[1])
+	}
+	if m.OffsetNS[2] != 0 || m.OffsetKnown[2] {
+		t.Errorf("rank 2 offset = %d known=%v, want 0/false (no traffic)", m.OffsetNS[2], m.OffsetKnown[2])
+	}
+
+	// Matched is sorted by corrected send begin: seq1 r0, seq1 r1,
+	// seq2, seq3.
+	byTag := map[int32]MatchedMessage{}
+	for _, mm := range m.Matched {
+		byTag[mm.Tag] = mm
+	}
+	first := byTag[1]
+	if first.Src != 0 || first.Dst != 1 || first.Seq != 1 {
+		t.Fatalf("first matched = %+v", first)
+	}
+	if first.SendBeginNS != 1000 || first.RecvDeliverNS != 2000 || first.LatencyNS != 1000 {
+		t.Errorf("seq1 corrected times: begin=%d deliver=%d latency=%d, want 1000/2000/1000",
+			first.SendBeginNS, first.RecvDeliverNS, first.LatencyNS)
+	}
+	if first.LateSender || first.LateReceiver {
+		t.Errorf("seq1 classified late: %+v", first)
+	}
+	if late := byTag[3]; !late.LateSender || late.LateReceiver {
+		t.Errorf("seq2 want late sender: %+v", late)
+	}
+	if unexp := byTag[4]; !unexp.LateReceiver || unexp.LateSender {
+		t.Errorf("seq3 want late receiver: %+v", unexp)
+	}
+
+	// One Barrier instance across two ranks with the known 200ns
+	// corrected enter skew and 700ns span.
+	if len(m.Collectives) != 1 {
+		t.Fatalf("collectives = %d, want 1", len(m.Collectives))
+	}
+	op := m.Collectives[0]
+	if op.Kind != CollBarrier || op.Ranks != 2 {
+		t.Fatalf("collective = %+v", op)
+	}
+	if op.EnterSkewNS != 200 || op.SpanNS != 700 || op.MeanDurNS != 500 {
+		t.Errorf("skew/span/mean = %d/%d/%d, want 200/700/500", op.EnterSkewNS, op.SpanNS, op.MeanDurNS)
+	}
+	if op.LastEnterRank != 1 || op.LastExitRank != 1 {
+		t.Errorf("last-in/out = %d/%d, want 1/1", op.LastEnterRank, op.LastExitRank)
+	}
+}
+
+func TestMergeTracesEmpty(t *testing.T) {
+	if _, err := MergeTraces(nil); err == nil {
+		t.Error("expected error for no files")
+	}
+	// Files with no seq-stamped events still merge (rate 1.0).
+	m, err := MergeTraces([]*TraceFile{{Rank: 0, EpochWallNS: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MatchRate() != 1.0 {
+		t.Errorf("MatchRate with no sends = %v, want 1.0", m.MatchRate())
+	}
+}
+
+func TestMergedChromeFlowEvents(t *testing.T) {
+	m, err := MergeTraces(syntheticTraces())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteMergedChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			ID  int64  `json:"id"`
+			BP  string `json:"bp"`
+			Cat string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	starts := map[int64]bool{}
+	finishes := map[int64]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "s":
+			starts[ev.ID] = true
+		case "f":
+			finishes[ev.ID] = true
+			if ev.BP != "e" {
+				t.Errorf("flow finish without bp=e: %+v", ev)
+			}
+		}
+	}
+	if len(starts) != len(m.Matched) || len(finishes) != len(m.Matched) {
+		t.Fatalf("flow pairs = %d starts / %d finishes, want %d each",
+			len(starts), len(finishes), len(m.Matched))
+	}
+	for id := range starts {
+		if !finishes[id] {
+			t.Errorf("flow id %d has no finish", id)
+		}
+	}
+}
+
+// TestChromeExportDeterministic re-exports the same traces and demands
+// byte-identical output — the exporter sorts by (timestamp, rank, seq)
+// rather than leaking map iteration order.
+func TestChromeExportDeterministic(t *testing.T) {
+	files := syntheticTraces()
+	export := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, files, -1); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	mergedExport := func() []byte {
+		m, err := MergeTraces(files)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.WriteMergedChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := export(), export()
+	if !bytes.Equal(a, b) {
+		t.Error("plain chrome export is not deterministic")
+	}
+	ma, mb := mergedExport(), mergedExport()
+	if !bytes.Equal(ma, mb) {
+		t.Error("merged chrome export is not deterministic")
+	}
+}
+
+func TestMergeReportOutput(t *testing.T) {
+	m, err := MergeTraces(syntheticTraces())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"matched 4/5 sends (80.0%)",
+		"rank 1: -500ns",
+		"no bidirectional traffic",
+		"per-message wire latency",
+		"late senders (receiver waited): 1/4",
+		"late receivers (unexpected arrival): 1/4",
+		"collective critical path",
+		"Barrier",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -153,6 +153,14 @@ type Event struct {
 	// Dur is the span duration in nanoseconds; 0 for instantaneous
 	// events.
 	Dur int64 `json:"dur,omitempty"`
+	// Seq is the message's protocol sequence number, unique per sending
+	// rank (drawn from the sender core's counter), or 0 when the event
+	// is not tied to one message. Together with the sending rank it
+	// identifies one message across rank trace files: the merge step
+	// (cmd/mpjtrace -merge) joins a SendEnd span on the sender with the
+	// RecvMatched span carrying the same (Peer=sender, Seq) on the
+	// receiver.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // Recorder is the hook interface the instrumented layers record
@@ -172,6 +180,12 @@ type Recorder interface {
 	// Span records an event that began at start (a value previously
 	// obtained from Now) and finished now.
 	Span(t EventType, peer, tag, ctx int32, bytes int64, start int64)
+	// EventSeq is Event carrying the message's per-sender sequence
+	// number, the cross-rank correlation key.
+	EventSeq(t EventType, peer, tag, ctx int32, bytes int64, seq uint64)
+	// SpanSeq is Span carrying the message's per-sender sequence
+	// number.
+	SpanSeq(t EventType, peer, tag, ctx int32, bytes int64, start int64, seq uint64)
 }
 
 // Nop is the disabled Recorder: every method is an empty shell the
@@ -190,6 +204,12 @@ func (Nop) Event(EventType, int32, int32, int32, int64) {}
 
 // Span discards the span.
 func (Nop) Span(EventType, int32, int32, int32, int64, int64) {}
+
+// EventSeq discards the event.
+func (Nop) EventSeq(EventType, int32, int32, int32, int64, uint64) {}
+
+// SpanSeq discards the span.
+func (Nop) SpanSeq(EventType, int32, int32, int32, int64, int64, uint64) {}
 
 // Instrumented is implemented by devices that expose their Recorder,
 // letting upper layers (mpjdev, core) record into the same per-rank

@@ -152,6 +152,92 @@ func TestHistogramPercentiles(t *testing.T) {
 	}
 }
 
+// TestHistogramEdgeCases pins the percentile bounds at the histogram's
+// extremes: no samples, one sample, and a duration past the last log2
+// bucket.
+func TestHistogramEdgeCases(t *testing.T) {
+	var empty Histogram
+	s := empty.Snapshot()
+	for _, q := range []float64{0, 50, 100} {
+		if got := s.Percentile(0, q); got != 0 {
+			t.Errorf("empty p%v = %d, want 0", q, got)
+		}
+	}
+	if s.MeanNS(0) != 0 {
+		t.Errorf("empty mean = %d, want 0", s.MeanNS(0))
+	}
+
+	var single Histogram
+	single.Observe(100, 3000)
+	s = single.Snapshot()
+	for _, q := range []float64{0, 50, 95, 100} {
+		// With one sample every percentile is the sample's bucket,
+		// whose top is clamped to the observed max.
+		if got := s.Percentile(SizeBucket(100), q); got != 3000 {
+			t.Errorf("single-sample p%v = %d, want 3000 (clamped max)", q, got)
+		}
+	}
+	if got := s.MeanNS(SizeBucket(100)); got != 3000 {
+		t.Errorf("single-sample mean = %d, want 3000", got)
+	}
+
+	// A duration beyond 2^39 ns saturates into the last bucket; the
+	// percentile must still come back as the recorded max, not a
+	// 2^(d+1) overflow.
+	var sat Histogram
+	huge := int64(1) << 45 // ~10h, far past the bucket range
+	sat.Observe(100, huge)
+	sat.Observe(100, huge+5)
+	s = sat.Snapshot()
+	b := s.Buckets[SizeBucket(100)]
+	if b.Counts[durBucketCount-1] != 2 {
+		t.Fatalf("saturated bucket count = %d, want 2", b.Counts[durBucketCount-1])
+	}
+	if got := s.Percentile(SizeBucket(100), 99); got != huge+5 {
+		t.Errorf("saturated p99 = %d, want %d", got, huge+5)
+	}
+	if b.MaxNS != huge+5 {
+		t.Errorf("saturated max = %d, want %d", b.MaxNS, huge+5)
+	}
+
+	// Zero and negative durations land in bucket 0 and report its top.
+	var zero Histogram
+	zero.Observe(100, 0)
+	zero.Observe(100, -7)
+	s = zero.Snapshot()
+	if got := s.Buckets[SizeBucket(100)].Count; got != 2 {
+		t.Errorf("zero-dur count = %d, want 2", got)
+	}
+	if got := s.Percentile(SizeBucket(100), 50); got < 0 || got > 1 {
+		t.Errorf("zero-dur p50 = %d, want within [0,1]", got)
+	}
+}
+
+// BenchmarkEventStamping measures the traced hot path one message pays:
+// a ring event plus a seq-stamped completion span (histogram observe
+// included). The untraced path is the Nop recorder, benchmarked for
+// contrast.
+func BenchmarkEventStamping(b *testing.B) {
+	b.Run("tracer", func(b *testing.B) {
+		tr := NewTracer(0, 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			start := tr.Now()
+			tr.EventSeq(EagerOut, 1, 0, 0, 1024, uint64(i)+1)
+			tr.SpanSeq(SendEnd, 1, 0, 0, 1024, start, uint64(i)+1)
+		}
+	})
+	b.Run("nop", func(b *testing.B) {
+		var r Recorder = Nop{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			start := r.Now()
+			r.EventSeq(EagerOut, 1, 0, 0, 1024, uint64(i)+1)
+			r.SpanSeq(SendEnd, 1, 0, 0, 1024, start, uint64(i)+1)
+		}
+	})
+}
+
 func TestSizeBuckets(t *testing.T) {
 	cases := []struct {
 		bytes int64

@@ -54,15 +54,27 @@ func (t *Tracer) Event(typ EventType, peer, tag, ctx int32, bytes int64) {
 	t.ring.Put(Event{Type: typ, Peer: peer, Tag: tag, Ctx: ctx, Bytes: bytes, At: t.Now()})
 }
 
+// EventSeq records an instantaneous event stamped with the message's
+// per-sender sequence number.
+func (t *Tracer) EventSeq(typ EventType, peer, tag, ctx int32, bytes int64, seq uint64) {
+	t.ring.Put(Event{Type: typ, Peer: peer, Tag: tag, Ctx: ctx, Bytes: bytes, At: t.Now(), Seq: seq})
+}
+
 // Span records an event that began at start (from Now) and finished
 // now. SendEnd and RecvMatched spans also feed the latency histograms.
 func (t *Tracer) Span(typ EventType, peer, tag, ctx int32, bytes int64, start int64) {
+	t.SpanSeq(typ, peer, tag, ctx, bytes, start, 0)
+}
+
+// SpanSeq is Span stamped with the message's per-sender sequence
+// number — the correlation key cmd/mpjtrace -merge joins rank files on.
+func (t *Tracer) SpanSeq(typ EventType, peer, tag, ctx int32, bytes int64, start int64, seq uint64) {
 	end := t.Now()
 	dur := end - start
 	if dur < 0 {
 		dur = 0
 	}
-	t.ring.Put(Event{Type: typ, Peer: peer, Tag: tag, Ctx: ctx, Bytes: bytes, At: start, Dur: dur})
+	t.ring.Put(Event{Type: typ, Peer: peer, Tag: tag, Ctx: ctx, Bytes: bytes, At: start, Dur: dur, Seq: seq})
 	switch typ {
 	case SendEnd:
 		t.sendHist.Observe(bytes, dur)

@@ -9,8 +9,11 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
+
+	"mpj/internal/telemetry"
 )
 
 // Daemon executes MPJ processes on behalf of mpjrun clients (the
@@ -25,6 +28,13 @@ type Daemon struct {
 	jobs   map[string][]*exec.Cmd
 	closed bool
 	wg     sync.WaitGroup
+
+	// Live telemetry (see internal/telemetry): ranks started with an
+	// MPJ_METRICS_ADDR in their spec env register as scrape targets of
+	// agg, and ServeMetrics exposes the aggregated job-level view.
+	agg        *telemetry.Aggregator
+	metricsSrv *http.Server
+	metricsLn  net.Listener
 
 	// Failure handling (see failure.go): jobs already torn down after
 	// a rank failure, jobs with a live heartbeat monitor, and the
@@ -57,6 +67,7 @@ func NewDaemon(addr, scratchDir string) (*Daemon, error) {
 		failed:   make(map[string]bool),
 		monitors: make(map[string]bool),
 		stop:     make(chan struct{}),
+		agg:      telemetry.NewAggregator(),
 	}
 	d.wg.Add(1)
 	go d.serve()
@@ -65,6 +76,43 @@ func NewDaemon(addr, scratchDir string) (*Daemon, error) {
 
 // Addr returns the daemon's listen address.
 func (d *Daemon) Addr() string { return d.listener.Addr().String() }
+
+// ServeMetrics starts an HTTP endpoint on addr (":0" picks a free
+// port) aggregating the telemetry of every rank this daemon has
+// started with a live MPJ_METRICS_ADDR. It returns the bound address.
+func (d *Daemon) ServeMetrics(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("mpjrt: metrics listen: %w", err)
+	}
+	srv := &http.Server{Handler: d.agg, ReadHeaderTimeout: 5 * time.Second}
+	d.mu.Lock()
+	d.metricsLn, d.metricsSrv = l, srv
+	d.mu.Unlock()
+	go srv.Serve(l)
+	return l.Addr().String(), nil
+}
+
+// MetricsAddr returns the metrics endpoint address, or "" when
+// ServeMetrics has not been called.
+func (d *Daemon) MetricsAddr() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.metricsLn == nil {
+		return ""
+	}
+	return d.metricsLn.Addr().String()
+}
+
+// metricsAddrOf extracts a rank's telemetry address from its spec env.
+func metricsAddrOf(env []string) string {
+	for _, kv := range env {
+		if v, ok := strings.CutPrefix(kv, "MPJ_METRICS_ADDR="); ok {
+			return v
+		}
+	}
+	return ""
+}
 
 // Close stops the daemon and kills any processes it started.
 func (d *Daemon) Close() error {
@@ -82,7 +130,11 @@ func (d *Daemon) Close() error {
 			}
 		}
 	}
+	srv := d.metricsSrv
 	d.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
 	d.listener.Close()
 	d.wg.Wait()
 	return nil
@@ -239,6 +291,11 @@ func (d *Daemon) start(c *conn, spec *StartSpec) {
 	}
 	d.jobs[spec.JobID] = append(d.jobs[spec.JobID], cmd)
 	d.mu.Unlock()
+	if maddr := metricsAddrOf(spec.Env); maddr != "" {
+		target := fmt.Sprintf("%s/rank-%d", spec.JobID, spec.Rank)
+		d.agg.Add(target, maddr)
+		defer d.agg.Remove(target)
+	}
 	d.maybeMonitor(spec.JobID, spec.PeerDaemons)
 
 	c.sendEvent(&Event{Kind: "started", Rank: spec.Rank})

@@ -3,7 +3,9 @@ package mpjrt
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"sync/atomic"
@@ -38,6 +40,23 @@ func TestHelperProcess(t *testing.T) {
 			os.Exit(1)
 		}
 		fmt.Printf("rank %d sum %d\n", w.Rank(), sum[0])
+		p.Finalize()
+		os.Exit(0)
+	case "mpihold":
+		// Like "mpi", but holds the job open after the exchange so the
+		// daemon's aggregated metrics endpoint can be scraped live.
+		p, err := mpj.InitFromEnv()
+		if err != nil {
+			fmt.Println("init error:", err)
+			os.Exit(1)
+		}
+		w := p.World()
+		sum := make([]int64, 1)
+		if err := w.Allreduce([]int64{int64(w.Rank())}, 0, sum, 0, 1, mpj.LONG, mpj.SUM); err != nil {
+			fmt.Println("allreduce error:", err)
+			os.Exit(1)
+		}
+		time.Sleep(2 * time.Second)
 		p.Finalize()
 		os.Exit(0)
 	case "fail":
@@ -128,6 +147,89 @@ func TestRunMultiProcessMPIJob(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("missing %q in output:\n%s", want, out.String())
 		}
+	}
+}
+
+func TestMetricsAddrOf(t *testing.T) {
+	env := []string{"FOO=bar", "MPJ_METRICS_ADDR=127.0.0.1:9999", "BAZ=1"}
+	if got := metricsAddrOf(env); got != "127.0.0.1:9999" {
+		t.Errorf("metricsAddrOf = %q", got)
+	}
+	if got := metricsAddrOf([]string{"FOO=bar"}); got != "" {
+		t.Errorf("metricsAddrOf without key = %q", got)
+	}
+}
+
+// TestDaemonAggregatedMetrics runs a 2-rank job with per-rank
+// telemetry and scrapes the daemon's aggregated endpoint while the
+// ranks are still alive: both ranks' counters must appear in one
+// exposition.
+func TestDaemonAggregatedMetrics(t *testing.T) {
+	d := startDaemon(t)
+	maddr, err := d.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MetricsAddr() != maddr {
+		t.Errorf("MetricsAddr = %q, want %q", d.MetricsAddr(), maddr)
+	}
+
+	base := testBasePort()
+	job := helperJob(2, []string{d.Addr()}, "mpihold", base, &bytes.Buffer{})
+	job.MetricsBasePort = base + 8
+
+	done := make(chan error, 1)
+	go func() {
+		res, err := Run(job)
+		if err == nil && res.Failed() {
+			err = fmt.Errorf("exit codes %v", res.ExitCodes)
+		}
+		done <- err
+	}()
+
+	// Poll the aggregate until both ranks' samples show up (the ranks
+	// hold the job open for 2s after their exchange).
+	deadline := time.Now().Add(10 * time.Second)
+	var body string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + maddr + "/metrics")
+		if err == nil {
+			b, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil {
+				body = string(b)
+				if strings.Contains(body, `mpj_eager_sent_total{rank="0"`) &&
+					strings.Contains(body, `mpj_eager_sent_total{rank="1"`) {
+					break
+				}
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !strings.Contains(body, `mpj_eager_sent_total{rank="0"`) ||
+		!strings.Contains(body, `mpj_eager_sent_total{rank="1"`) {
+		t.Errorf("aggregate never showed both ranks:\n%s", body)
+	}
+	if got := strings.Count(body, "# TYPE mpj_eager_sent_total"); got != 1 {
+		t.Errorf("family header repeated %d times", got)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("job: %v", err)
+	}
+	// After the job exits its targets deregister; the aggregate must
+	// degrade to an empty (not erroring) exposition.
+	resp, err := http.Get("http://" + maddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-job scrape: %s", resp.Status)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(b), "scrape error") {
+		t.Errorf("dead targets still registered:\n%s", b)
 	}
 }
 

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"mpj/internal/telemetry"
 )
 
 // Job describes an MPJ job for the mpjrun client module.
@@ -30,6 +32,15 @@ type Job struct {
 	// process so daemons download it (Fig. 9b) instead of loading it
 	// from their local filesystem (Fig. 9a).
 	RemoteLoad bool
+	// MetricsBasePort, when non-zero, turns on live telemetry: rank i
+	// serves its endpoints (MPJ_METRICS_ADDR) on its node at
+	// MetricsBasePort+i, and MetricsAddr — if also set — serves a
+	// job-level aggregation of every rank from this process.
+	MetricsBasePort int
+	// MetricsAddr is the host:port the job-level metrics aggregator
+	// listens on (":0" picks a free port). Ignored unless
+	// MetricsBasePort is set.
+	MetricsAddr string
 	// Env lists extra KEY=VALUE pairs for every process.
 	Env []string
 	// Output receives interleaved process output lines; nil discards.
@@ -134,6 +145,29 @@ func Run(job Job) (*Result, error) {
 		addrs[i] = net.JoinHostPort(hostOf(daemonOf[i]), fmt.Sprint(basePort+i))
 	}
 
+	// With metrics on, rank i serves telemetry on its node at
+	// MetricsBasePort+i, and this process aggregates all of them.
+	metricsOf := make([]string, job.NP)
+	if job.MetricsBasePort != 0 {
+		agg := telemetry.NewAggregator()
+		for i := 0; i < job.NP; i++ {
+			metricsOf[i] = net.JoinHostPort(hostOf(daemonOf[i]), fmt.Sprint(job.MetricsBasePort+i))
+			agg.Add(fmt.Sprintf("rank-%d", i), metricsOf[i])
+		}
+		if job.MetricsAddr != "" {
+			l, err := net.Listen("tcp", job.MetricsAddr)
+			if err != nil {
+				return nil, fmt.Errorf("mpjrt: metrics listen: %w", err)
+			}
+			srv := &http.Server{Handler: agg, ReadHeaderTimeout: 5 * time.Second}
+			go srv.Serve(l)
+			defer srv.Close()
+			if job.Output != nil {
+				fmt.Fprintf(job.Output, "[mpjrun] job metrics at http://%s/metrics\n", l.Addr())
+			}
+		}
+	}
+
 	fetchURL := ""
 	if job.RemoteLoad {
 		url, shutdown, err := serveBinary(job.Program)
@@ -182,6 +216,10 @@ func Run(job Job) (*Result, error) {
 				JobID: jobID, Rank: rank, Size: job.NP, Addrs: addrs,
 				Device: job.Device, Args: job.Args, Env: job.Env,
 				PeerDaemons: job.Daemons,
+			}
+			if metricsOf[rank] != "" {
+				spec.Env = append(append([]string(nil), job.Env...),
+					"MPJ_METRICS_ADDR="+metricsOf[rank])
 			}
 			if fetchURL != "" {
 				spec.FetchURL = fetchURL

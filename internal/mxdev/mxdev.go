@@ -123,6 +123,17 @@ func (d *Device) Recorder() mpe.Recorder { return d.rec }
 // upper layers account into the same counters Stats reports.
 func (d *Device) CountersRef() *mpe.Counters { return &d.stats }
 
+// Introspect snapshots the MX endpoint's progress-core state for the
+// telemetry /introspect endpoint.
+func (d *Device) Introspect() any {
+	if d.ep == nil {
+		return struct{}{}
+	}
+	return struct {
+		Core any `json:"core"`
+	}{Core: d.ep.Introspect()}
+}
+
 // Init opens this process's MX endpoint in the job's group and connects
 // to every peer endpoint (mx_init / mx_open_endpoint / mx_connect).
 func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
@@ -239,17 +250,22 @@ func (r *request) trace(send bool, peer, tag, ctx int32) {
 }
 
 // recordSpan closes the request's SendEnd/RecvMatched span the first
-// time its completion is observed.
-func (r *request) recordSpan(st xdev.Status) {
+// time its completion is observed. It takes the MX-level status so the
+// span carries the message's seq (the cross-rank correlation key) and,
+// for receives, the actual source in place of an ANY_SOURCE wildcard.
+func (r *request) recordSpan(st mxsim.Status) {
 	if r.t0 < 0 {
 		return
 	}
 	r.spanOnce.Do(func() {
 		typ := mpe.RecvMatched
+		peer := r.peer
 		if r.send {
 			typ = mpe.SendEnd
+		} else {
+			peer = int32(st.Source)
 		}
-		r.dev.rec.Span(typ, r.peer, r.tag, r.ctx, int64(st.Bytes), r.t0)
+		r.dev.rec.SpanSeq(typ, peer, r.tag, r.ctx, int64(st.Bytes), r.t0, st.Seq)
 	})
 }
 
@@ -283,9 +299,8 @@ func (r *request) Wait() (xdev.Status, error) {
 		return xdev.Status{}, r.fail("wait", err)
 	}
 	r.finishRecv()
-	xst := r.statusOf(st)
-	r.recordSpan(xst)
-	return xst, r.err
+	r.recordSpan(st)
+	return r.statusOf(st), r.err
 }
 
 // Test reports completion without blocking.
@@ -298,9 +313,8 @@ func (r *request) Test() (xdev.Status, bool, error) {
 		return xdev.Status{}, ok, err
 	}
 	r.finishRecv()
-	xst := r.statusOf(st)
-	r.recordSpan(xst)
-	return xst, true, r.err
+	r.recordSpan(st)
+	return r.statusOf(st), true, r.err
 }
 
 // SetAttachment stores opaque upper-layer state on the request.

@@ -76,6 +76,9 @@ type Status struct {
 	MatchInfo uint64
 	// Bytes is the total gathered message length.
 	Bytes int
+	// Seq is the message's per-sender sequence number, the cross-rank
+	// trace correlation key (unique per Source).
+	Seq uint64
 }
 
 // Request is an in-flight MX operation (mx_request_t): an MX-shaped
@@ -151,6 +154,12 @@ type Endpoint struct {
 // would report it.
 func (ep *Endpoint) MatchStats() (matched, unexpected uint64) {
 	return ep.core.Counters.Matched.Load(), ep.core.Counters.Unexpected.Load()
+}
+
+// Introspect snapshots the endpoint's progress-core state (queue
+// depths, seq counter) for live telemetry.
+func (ep *Endpoint) Introspect() devcore.CoreState {
+	return ep.core.Introspect()
 }
 
 // OpenEndpoint opens endpoint id within the named group
@@ -277,9 +286,11 @@ func (ep *Endpoint) send(segments [][]byte, dst EndpointAddr, matchInfo uint64, 
 	}
 	sreq := ep.newRequest(devcore.SendReq, context)
 	data := gather(segments)
-	st := Status{Source: ep.id, MatchInfo: matchInfo, Bytes: len(data)}
+	seq := ep.core.NextSeq()
+	st := Status{Source: ep.id, MatchInfo: matchInfo, Bytes: len(data), Seq: seq}
 	arr := &devcore.Arrival{
 		Src:       uint64(ep.id),
+		Seq:       seq,
 		WireLen:   len(data),
 		Sync:      sync,
 		Data:      data,
@@ -360,7 +371,7 @@ func (ep *Endpoint) irecv(matchInfo, matchMask uint64, src int64, context any) (
 		return nil, err
 	}
 	if arr != nil {
-		st := Status{Source: uint32(arr.Src), MatchInfo: arr.MatchInfo, Bytes: len(arr.Data)}
+		st := Status{Source: uint32(arr.Src), MatchInfo: arr.MatchInfo, Bytes: len(arr.Data), Seq: arr.Seq}
 		req.complete(st, arr.Data, nil)
 		if arr.SyncReq != nil {
 			arr.SyncReq.Owner.(*Request).complete(st, nil, nil)
@@ -386,7 +397,7 @@ func (ep *Endpoint) IProbe(matchInfo, matchMask uint64) (Status, bool, error) {
 	if arr == nil {
 		return Status{}, false, nil
 	}
-	return Status{Source: uint32(arr.Src), MatchInfo: arr.MatchInfo, Bytes: len(arr.Data)}, true, nil
+	return Status{Source: uint32(arr.Src), MatchInfo: arr.MatchInfo, Bytes: len(arr.Data), Seq: arr.Seq}, true, nil
 }
 
 // Probe blocks until a matching unexpected message is available
@@ -403,7 +414,7 @@ func (ep *Endpoint) Probe(matchInfo, matchMask uint64) (Status, error) {
 	if err != nil {
 		return Status{}, err
 	}
-	return Status{Source: uint32(arr.Src), MatchInfo: arr.MatchInfo, Bytes: len(arr.Data)}, nil
+	return Status{Source: uint32(arr.Src), MatchInfo: arr.MatchInfo, Bytes: len(arr.Data), Seq: arr.Seq}, nil
 }
 
 // Peek blocks until some request on this endpoint completes and

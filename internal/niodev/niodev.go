@@ -108,9 +108,9 @@ func New() *Device {
 		core: devcore.New(DeviceName),
 		rec:  mpe.Nop{},
 	}
-	d.pendingRndv = d.core.NewPendingSet()
-	d.pendingSync = d.core.NewPendingSet()
-	d.rndvIncoming = d.core.NewPendingSet()
+	d.pendingRndv = d.core.NewPendingSet("rndv-send")
+	d.pendingSync = d.core.NewPendingSet("sync-send")
+	d.rndvIncoming = d.core.NewPendingSet("rndv-recv")
 	return d
 }
 

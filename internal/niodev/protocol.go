@@ -229,7 +229,12 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 			if err := d.pendingSync.Add(devcore.PendingKey{Peer: uint64(slot), Seq: seq}, req); err != nil {
 				return nil, err // peer death or shutdown raced the gate checks
 			}
+		} else if d.rec.Enabled() {
+			// Plain eager frames only need a seq for cross-rank trace
+			// correlation, so the counter bump is paid only when tracing.
+			seq = d.core.NextSeq()
 		}
+		req.SetSeq(seq)
 		d.core.Counters.EagerSent.Add(1)
 		d.core.Counters.BytesSent.Add(uint64(wireLen))
 		h := header{typ: typ, src: uint32(d.cfg.Rank), tag: int32(tag), ctx: int32(context), seq: seq, wireLen: uint64(wireLen)}
@@ -245,7 +250,7 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 			return nil, d.peerLost(slot, err)
 		}
 		if d.rec.Enabled() {
-			d.rec.Event(mpe.EagerOut, int32(slot), int32(tag), int32(context), int64(wireLen))
+			d.rec.EventSeq(mpe.EagerOut, int32(slot), int32(tag), int32(context), int64(wireLen), seq)
 		}
 		if !sync {
 			req.Complete(xdev.Status{Source: d.self, Tag: tag, Bytes: wireLen}, nil)
@@ -260,6 +265,7 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 	d.core.Counters.RndvSent.Add(1)
 	d.core.Counters.BytesSent.Add(uint64(wireLen))
 	seq := d.core.NextSeq()
+	req.SetSeq(seq)
 	req.SendTag, req.SendCtx = int32(tag), int32(context)
 	if err := d.pendingRndv.Add(devcore.PendingKey{Peer: uint64(slot), Seq: seq}, req); err != nil {
 		return nil, err // peer death or shutdown raced the gate checks
@@ -273,7 +279,7 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 		return nil, d.peerLost(slot, err)
 	}
 	if d.rec.Enabled() {
-		d.rec.Event(mpe.RendezvousRTS, int32(slot), int32(tag), int32(context), int64(wireLen))
+		d.rec.EventSeq(mpe.RendezvousRTS, int32(slot), int32(tag), int32(context), int64(wireLen), seq)
 	}
 	return req, nil
 }
@@ -316,9 +322,14 @@ func (d *Device) deliverSelf(buf *mpjbuf.Buffer, tag, context int, sync bool, sr
 	d.core.Counters.EagerSent.Add(1)
 	d.core.Counters.BytesSent.Add(uint64(buf.WireLen()))
 
+	var seq uint64
+	if d.rec.Enabled() {
+		seq = d.core.NextSeq()
+		sreq.SetSeq(seq)
+	}
 	arr := &devcore.Arrival{
 		Src: uint64(d.cfg.Rank), Tag: int32(tag), Ctx: int32(context),
-		WireLen: buf.WireLen(), Data: devcore.WireCopy(buf),
+		Seq: seq, WireLen: buf.WireLen(), Data: devcore.WireCopy(buf),
 	}
 	if sync {
 		arr.SyncReq = sreq
@@ -417,7 +428,7 @@ func (d *Device) IRecv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int)
 			return nil, &xdev.Error{Dev: DeviceName, Op: "rendezvous RTR", Err: err}
 		}
 		if d.rec.Enabled() {
-			d.rec.Event(mpe.RendezvousRTR, int32(arr.Src), arr.Tag, arr.Ctx, int64(arr.WireLen))
+			d.rec.EventSeq(mpe.RendezvousRTR, int32(arr.Src), arr.Tag, arr.Ctx, int64(arr.WireLen), arr.Seq)
 		}
 		return req, nil
 	}
@@ -566,7 +577,7 @@ func (d *Device) handleEager(conn net.Conn, h header, crc bool) error {
 	env := match.Concrete{Ctx: h.ctx, Tag: h.tag, Src: uint64(h.src)}
 	st := xdev.Status{Source: d.pids[h.src], Tag: int(h.tag), Bytes: int(h.wireLen)}
 
-	if req, ok := d.core.MatchPosted(env); ok {
+	if req, ok := d.core.MatchPosted(env, h.seq); ok {
 		// Matched: receive directly into the user buffer (Fig. 5). The
 		// crcReader checksums the stream on the way through so even the
 		// zero-copy path is integrity checked.
@@ -663,7 +674,7 @@ func (d *Device) handleRTS(h header) {
 		return
 	}
 	if d.rec.Enabled() {
-		d.rec.Event(mpe.RendezvousRTR, int32(h.src), h.tag, h.ctx, int64(h.wireLen))
+		d.rec.EventSeq(mpe.RendezvousRTR, int32(h.src), h.tag, h.ctx, int64(h.wireLen), h.seq)
 	}
 }
 
@@ -687,7 +698,7 @@ func (d *Device) handleRTR(h header) {
 		}
 		err := d.writeMsg(dst, dh, req.Buf.Segments())
 		if err == nil && d.rec.Enabled() {
-			d.rec.Event(mpe.RendezvousData, int32(dst), req.SendTag, req.SendCtx, int64(wireLen))
+			d.rec.EventSeq(mpe.RendezvousData, int32(dst), req.SendTag, req.SendCtx, int64(wireLen), h.seq)
 		}
 		if err != nil {
 			// Write failure mid-rendezvous: the channel to dst is gone.

@@ -1,6 +1,9 @@
 package niodev
 
-import "mpj/internal/mpe"
+import (
+	"mpj/internal/devcore"
+	"mpj/internal/mpe"
+)
 
 // Stats is a snapshot of the device's activity counters, usable for
 // tuning and for verifying protocol selection (eager vs rendezvous) in
@@ -25,3 +28,35 @@ func (d *Device) CountersRef() *mpe.Counters {
 // (mpjdev, core) record into the same per-rank stream
 // (mpe.Instrumented).
 func (d *Device) Recorder() mpe.Recorder { return d.rec }
+
+// peerState is one peer's wire + liveness view for Introspect.
+type peerState struct {
+	Slot      int    `json:"slot"`
+	Connected bool   `json:"connected"`
+	Err       string `json:"err,omitempty"`
+}
+
+// introspection is the live-state dump the telemetry endpoint serves:
+// the progress core's queue depths plus this device's per-peer
+// connection and failure state.
+type introspection struct {
+	Core  devcore.CoreState `json:"core"`
+	Peers []peerState       `json:"peers,omitempty"`
+}
+
+// Introspect snapshots the device's live progress-engine and
+// connection state for the telemetry /introspect endpoint.
+func (d *Device) Introspect() any {
+	out := introspection{Core: d.core.Introspect()}
+	for slot := range d.pids {
+		if slot == d.cfg.Rank {
+			continue
+		}
+		ps := peerState{Slot: slot, Connected: d.writeConn(slot) != nil}
+		if err := d.core.PeerErr(uint64(slot)); err != nil {
+			ps.Err = err.Error()
+		}
+		out.Peers = append(out.Peers, ps)
+	}
+	return out
+}

@@ -111,6 +111,17 @@ func (d *Device) CountersRef() *mpe.Counters {
 	return &d.core.Counters
 }
 
+// Introspect snapshots this rank's mailbox core for the telemetry
+// /introspect endpoint.
+func (d *Device) Introspect() any {
+	if d.core == nil {
+		return struct{}{}
+	}
+	return struct {
+		Core devcore.CoreState `json:"core"`
+	}{Core: d.core.Introspect()}
+}
+
 // Init joins (and if necessary creates) the in-process group named by
 // cfg.Group, claiming the core for cfg.Rank.
 func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
@@ -242,8 +253,12 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 	wireLen := buf.WireLen()
 	st := xdev.Status{Source: d.self, Tag: tag, Bytes: wireLen}
 
+	var seq uint64
 	if d.rec.Enabled() {
-		sreq.Trace(int32(dst.UUID), int32(tag), int32(context))
+		// The seq only matters for cross-rank trace correlation, so the
+		// counter bump is paid only when tracing.
+		seq = d.core.NextSeq()
+		sreq.TraceSeq(int32(dst.UUID), int32(tag), int32(context), seq)
 		d.rec.Event(mpe.SendBegin, int32(dst.UUID), int32(tag), int32(context), int64(wireLen))
 	}
 	d.core.Counters.EagerSent.Add(1)
@@ -253,7 +268,7 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 	// destination core matches it on this (the sender's) thread.
 	arr := &devcore.Arrival{
 		Src: uint64(d.cfg.Rank), Tag: int32(tag), Ctx: int32(context),
-		WireLen: wireLen, Data: devcore.WireCopy(buf),
+		Seq: seq, WireLen: wireLen, Data: devcore.WireCopy(buf),
 	}
 	if sync {
 		arr.SyncReq = sreq
@@ -274,13 +289,13 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 		devcore.PutSlice(arr.Data)
 		rreq.Complete(xdev.Status{Source: d.self, Tag: tag, Bytes: wireLen}, lerr)
 		if d.rec.Enabled() {
-			d.rec.Event(mpe.EagerOut, int32(dst.UUID), int32(tag), int32(context), int64(wireLen))
+			d.rec.EventSeq(mpe.EagerOut, int32(dst.UUID), int32(tag), int32(context), int64(wireLen), seq)
 		}
 		sreq.Complete(st, nil)
 		return sreq, nil
 	}
 	if d.rec.Enabled() {
-		d.rec.Event(mpe.EagerOut, int32(dst.UUID), int32(tag), int32(context), int64(wireLen))
+		d.rec.EventSeq(mpe.EagerOut, int32(dst.UUID), int32(tag), int32(context), int64(wireLen), seq)
 	}
 	if !sync {
 		sreq.Complete(st, nil)

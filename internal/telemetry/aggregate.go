@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Aggregator merges several per-rank telemetry servers into one
+// job-level view: GET /metrics scrapes every registered target and
+// concatenates the expositions family by family, GET /introspect
+// returns a JSON object keyed by target name. The mpjrt daemon mounts
+// one per job; mpjrun -metrics serves one for the whole job from the
+// submitting host.
+type Aggregator struct {
+	mu      sync.Mutex
+	targets map[string]string // name -> base URL ("http://host:port")
+	client  *http.Client
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{
+		targets: make(map[string]string),
+		client:  &http.Client{Timeout: 5 * time.Second},
+	}
+}
+
+// Add registers (or replaces) a scrape target. addr is host:port; the
+// scheme is added here.
+func (a *Aggregator) Add(name, addr string) {
+	a.mu.Lock()
+	a.targets[name] = "http://" + addr
+	a.mu.Unlock()
+}
+
+// Remove drops a target.
+func (a *Aggregator) Remove(name string) {
+	a.mu.Lock()
+	delete(a.targets, name)
+	a.mu.Unlock()
+}
+
+// Targets returns the registered target names, sorted.
+func (a *Aggregator) Targets() []string {
+	a.mu.Lock()
+	names := make([]string, 0, len(a.targets))
+	for n := range a.targets {
+		names = append(names, n)
+	}
+	a.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+func (a *Aggregator) urlOf(name string) string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.targets[name]
+}
+
+// ServeHTTP serves /metrics and /introspect over the registered
+// targets. Unreachable targets are reported inline (a comment line in
+// /metrics, an error entry in /introspect) rather than failing the
+// whole scrape — a dead rank must not blind the survivors' telemetry.
+func (a *Aggregator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/metrics", "/":
+		a.serveMetrics(w)
+	case "/introspect":
+		a.serveIntrospect(w)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (a *Aggregator) fetch(name, path string) ([]byte, error) {
+	url := a.urlOf(name)
+	if url == "" {
+		return nil, fmt.Errorf("telemetry: unknown target %q", name)
+	}
+	resp, err := a.client.Get(url + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("telemetry: %s%s: %s", url, path, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func (a *Aggregator) serveMetrics(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var pages []string
+	for _, name := range a.Targets() {
+		body, err := a.fetch(name, "/metrics")
+		if err != nil {
+			fmt.Fprintf(w, "# scrape error: target %s: %v\n", name, err)
+			continue
+		}
+		pages = append(pages, string(body))
+	}
+	_, _ = io.WriteString(w, MergeExpositions(pages))
+}
+
+func (a *Aggregator) serveIntrospect(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	out := map[string]any{}
+	for _, name := range a.Targets() {
+		body, err := a.fetch(name, "/introspect")
+		if err != nil {
+			out[name] = map[string]string{"error": err.Error()}
+			continue
+		}
+		out[name] = json.RawMessage(body)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(out)
+}
+
+// MergeExpositions concatenates Prometheus text expositions family by
+// family: each metric family keeps one # HELP/# TYPE header (the first
+// seen) and collects every page's samples under it, in page order —
+// per-rank label sets keep the samples distinct. Families appear in
+// first-seen order, so merging identical page sets is deterministic.
+func MergeExpositions(pages []string) string {
+	type family struct {
+		header  []string
+		samples []string
+	}
+	byName := map[string]*family{}
+	var order []string
+	fam := func(name string) *family {
+		f := byName[name]
+		if f == nil {
+			f = &family{}
+			byName[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	for _, page := range pages {
+		for _, line := range strings.Split(page, "\n") {
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+				parts := strings.SplitN(line, " ", 4)
+				if len(parts) < 3 {
+					continue
+				}
+				f := fam(parts[2])
+				// Keep the first page's header only.
+				if !contains(f.header, line) && len(f.header) < 2 {
+					f.header = append(f.header, line)
+				}
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				continue
+			}
+			metric := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				metric = line[:i]
+			}
+			f := fam(baseName(metric))
+			f.samples = append(f.samples, line)
+		}
+	}
+	var b strings.Builder
+	for _, name := range order {
+		f := byName[name]
+		for _, h := range f.header {
+			b.WriteString(h)
+			b.WriteByte('\n')
+		}
+		for _, s := range f.samples {
+			b.WriteString(s)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

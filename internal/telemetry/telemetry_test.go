@@ -1,0 +1,302 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mpj/internal/mpe"
+)
+
+func testSources() []Source {
+	mk := func(rank int, eager, bytes uint64) Source {
+		return Source{
+			Rank: rank, Device: "testdev",
+			Stats: func() mpe.CounterSnapshot {
+				return mpe.CounterSnapshot{EagerSent: eager, BytesSent: bytes, Matched: eager}
+			},
+		}
+	}
+	return []Source{mk(1, 7, 700), mk(0, 3, 300)}
+}
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestMetricsMatchStats is the endpoint's contract: every sample on
+// /metrics equals the device's Stats() snapshot, rank-labelled and
+// rank-ordered.
+func TestMetricsMatchStats(t *testing.T) {
+	s := NewServer()
+	for _, src := range testSources() {
+		s.Register(src)
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	body := scrape(t, "http://"+addr+"/metrics")
+	for _, want := range []string{
+		"# HELP mpj_eager_sent_total",
+		"# TYPE mpj_eager_sent_total counter",
+		`mpj_eager_sent_total{rank="0",device="testdev"} 3`,
+		`mpj_eager_sent_total{rank="1",device="testdev"} 7`,
+		`mpj_bytes_sent_total{rank="0",device="testdev"} 300`,
+		`mpj_bytes_sent_total{rank="1",device="testdev"} 700`,
+		`mpj_recv_matched_total{rank="1",device="testdev"} 7`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+	// Rank 0's sample line must precede rank 1's despite registration
+	// order.
+	if strings.Index(body, `rank="0"`) > strings.Index(body, `rank="1"`) {
+		t.Error("samples not rank-ordered")
+	}
+}
+
+func TestMetricsHistograms(t *testing.T) {
+	var h mpe.Histogram
+	h.Observe(100, 1000)
+	h.Observe(100, 2000)
+	h.Observe(8<<10, 500)
+	src := Source{
+		Rank: 0, Device: "testdev",
+		Stats:    func() mpe.CounterSnapshot { return mpe.CounterSnapshot{} },
+		SendHist: h.Snapshot,
+		RecvHist: func() mpe.HistSnapshot { return mpe.HistSnapshot{} },
+	}
+	var b strings.Builder
+	WriteMetrics(&b, []Source{src})
+	body := b.String()
+	for _, want := range []string{
+		"# TYPE mpj_send_latency_ns histogram",
+		`mpj_send_latency_ns_bucket{rank="0",device="testdev",size="<=256B",le="+Inf"} 2`,
+		`mpj_send_latency_ns_sum{rank="0",device="testdev",size="<=256B"} 3000`,
+		`mpj_send_latency_ns_count{rank="0",device="testdev",size="<=256B"} 2`,
+		`mpj_send_latency_ns_count{rank="0",device="testdev",size="<=64KiB"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+	// Cumulative buckets must be monotone within each size class.
+	var last uint64
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.Contains(line, `size="<=256B",le=`) {
+			continue
+		}
+		var v uint64
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &v); err != nil {
+			t.Fatalf("unparsable sample %q", line)
+		}
+		if v < last {
+			t.Errorf("non-monotone cumulative bucket: %q after %d", line, last)
+		}
+		last = v
+	}
+}
+
+func TestIntrospectEndpoint(t *testing.T) {
+	s := NewServer()
+	s.Register(Source{
+		Rank: 2, Device: "testdev",
+		Stats:      func() mpe.CounterSnapshot { return mpe.CounterSnapshot{} },
+		Introspect: func() any { return map[string]int{"posted": 5} },
+	})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	body := scrape(t, "http://"+addr+"/introspect")
+	var doc struct {
+		Ranks map[string]struct {
+			Device string         `json:"device"`
+			State  map[string]int `json:"state"`
+		} `json:"ranks"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	r2, ok := doc.Ranks["2"]
+	if !ok {
+		t.Fatalf("rank 2 missing: %s", body)
+	}
+	if r2.Device != "testdev" || r2.State["posted"] != 5 {
+		t.Errorf("rank 2 = %+v", r2)
+	}
+}
+
+func TestServerPprofAndClose(t *testing.T) {
+	s := NewServer()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() != addr {
+		t.Errorf("Addr = %q, want %q", s.Addr(), addr)
+	}
+	if body := scrape(t, "http://"+addr+"/debug/pprof/cmdline"); body == "" {
+		t.Error("pprof cmdline empty")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second Close not idempotent:", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still serving after Close")
+	}
+}
+
+func TestAggregator(t *testing.T) {
+	mkServer := func(rank int, eager uint64) *Server {
+		s := NewServer()
+		s.Register(Source{
+			Rank: rank, Device: "testdev",
+			Stats: func() mpe.CounterSnapshot { return mpe.CounterSnapshot{EagerSent: eager} },
+		})
+		return s
+	}
+	s0, s1 := mkServer(0, 11), mkServer(1, 22)
+	a0, err := s0.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s0.Close()
+	a1, err := s1.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+
+	agg := NewAggregator()
+	agg.Add("rank-0", a0)
+	agg.Add("rank-1", a1)
+	agg.Add("rank-2", "127.0.0.1:1") // dead target
+	ts := httptest.NewServer(agg)
+	defer ts.Close()
+
+	body := scrape(t, ts.URL+"/metrics")
+	if !strings.Contains(body, `mpj_eager_sent_total{rank="0",device="testdev"} 11`) ||
+		!strings.Contains(body, `mpj_eager_sent_total{rank="1",device="testdev"} 22`) {
+		t.Errorf("aggregate missing rank samples:\n%s", body)
+	}
+	// One header per family even though both pages carried it.
+	if got := strings.Count(body, "# TYPE mpj_eager_sent_total"); got != 1 {
+		t.Errorf("family header repeated %d times", got)
+	}
+	// The dead target degrades to a comment, not a failed scrape.
+	if !strings.Contains(body, "# scrape error: target rank-2") {
+		t.Errorf("missing dead-target comment:\n%s", body)
+	}
+
+	intro := scrape(t, ts.URL+"/introspect")
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(intro), &doc); err != nil {
+		t.Fatalf("invalid introspect JSON: %v", err)
+	}
+	for _, name := range []string{"rank-0", "rank-1", "rank-2"} {
+		if _, ok := doc[name]; !ok {
+			t.Errorf("introspect missing target %s", name)
+		}
+	}
+
+	agg.Remove("rank-2")
+	if got := agg.Targets(); len(got) != 2 || got[0] != "rank-0" || got[1] != "rank-1" {
+		t.Errorf("Targets after Remove = %v", got)
+	}
+}
+
+func TestMergeExpositions(t *testing.T) {
+	page := func(rank int, v int) string {
+		return fmt.Sprintf("# HELP m_total help text\n# TYPE m_total counter\nm_total{rank=\"%d\"} %d\nm_ns_bucket{rank=\"%d\",le=\"+Inf\"} 1\nm_ns_sum{rank=\"%d\"} 5\n", rank, v, rank, rank)
+	}
+	merged := MergeExpositions([]string{page(0, 1), page(1, 2)})
+	if got := strings.Count(merged, "# HELP m_total"); got != 1 {
+		t.Errorf("HELP repeated %d times:\n%s", got, merged)
+	}
+	for _, want := range []string{`m_total{rank="0"} 1`, `m_total{rank="1"} 2`} {
+		if !strings.Contains(merged, want) {
+			t.Errorf("merged missing %q:\n%s", want, merged)
+		}
+	}
+	// _bucket/_sum lines group under one family, keeping samples of a
+	// family contiguous.
+	i0 := strings.Index(merged, `m_ns_bucket{rank="0"`)
+	i1 := strings.Index(merged, `m_ns_bucket{rank="1"`)
+	is := strings.Index(merged, `m_ns_sum{rank="0"`)
+	if i0 < 0 || i1 < 0 || is < 0 {
+		t.Fatalf("histogram lines missing:\n%s", merged)
+	}
+	if !(i0 < is && is < i1) {
+		t.Errorf("m_ns family not in page order (bucket0 < sum0 < bucket1):\n%s", merged)
+	}
+	if it := strings.LastIndex(merged, "m_total{"); it > i0 {
+		t.Errorf("families interleaved:\n%s", merged)
+	}
+	// Deterministic: merging the same pages twice is byte-identical.
+	if again := MergeExpositions([]string{page(0, 1), page(1, 2)}); again != merged {
+		t.Error("MergeExpositions not deterministic")
+	}
+}
+
+// BenchmarkMetricsEndpoint measures one full /metrics scrape over four
+// rank sources with live histograms — the cost a monitoring system
+// imposes per poll.
+func BenchmarkMetricsEndpoint(b *testing.B) {
+	var h mpe.Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i%(1<<20), i*100)
+	}
+	s := NewServer()
+	for r := 0; r < 4; r++ {
+		s.Register(Source{
+			Rank: r, Device: "niodev",
+			Stats: func() mpe.CounterSnapshot {
+				return mpe.CounterSnapshot{EagerSent: 123, BytesSent: 1 << 30}
+			},
+			SendHist: h.Snapshot,
+			RecvHist: h.Snapshot,
+		})
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	client := srv.Client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(srv.URL + "/metrics")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+}

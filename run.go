@@ -11,6 +11,7 @@ import (
 	"mpj/internal/core"
 	"mpj/internal/mpe"
 	"mpj/internal/netsim"
+	"mpj/internal/telemetry"
 	"mpj/internal/transport"
 	"mpj/internal/xdev"
 )
@@ -43,6 +44,15 @@ type Options struct {
 	// TraceEvents caps the per-rank event ring (oldest events are
 	// overwritten past the cap); 0 selects mpe.DefaultRingCapacity.
 	TraceEvents int
+	// MetricsAddr, when non-empty, serves live telemetry over HTTP on
+	// the given host:port (":0" picks a free port): /metrics exposes
+	// every mpe counter and latency histogram in Prometheus text
+	// format, /introspect dumps the progress engine's live state, and
+	// /debug/pprof/ serves the Go profiler. Also set by
+	// MPJ_METRICS_ADDR. In a RunLocal job one server carries all
+	// ranks; in a multi-process job each rank serves its own (mpjrun
+	// -metrics aggregates them).
+	MetricsAddr string
 }
 
 func (o *Options) withDefaults() Options {
@@ -57,9 +67,13 @@ func (o *Options) withDefaults() Options {
 		out.Tracing = o.Tracing
 		out.TraceDir = o.TraceDir
 		out.TraceEvents = o.TraceEvents
+		out.MetricsAddr = o.MetricsAddr
 	}
 	if !out.Tracing {
 		out.Tracing = envTraceOn()
+	}
+	if out.MetricsAddr == "" {
+		out.MetricsAddr = os.Getenv(EnvMetricsAddr)
 	}
 	if out.TraceDir == "" {
 		out.TraceDir = os.Getenv(EnvTraceDir)
@@ -125,6 +139,8 @@ func RunLocalOpts(n int, opts *Options, body func(p *Process) error) error {
 	}
 
 	procs := make([]*Process, n)
+	devs := make([]xdev.Device, n)
+	tracers := make([]*mpe.Tracer, n)
 	initErrs := make([]error, n)
 	var initWG sync.WaitGroup
 	for i := 0; i < n; i++ {
@@ -146,8 +162,11 @@ func RunLocalOpts(n int, opts *Options, body func(p *Process) error) error {
 				cfg.Recorder = tr
 			}
 			procs[rank], _, initErrs[rank] = core.InitThread(dev, cfg, o.ThreadLevel)
-			if initErrs[rank] == nil && tr != nil {
-				installTraceHook(procs[rank], tr, dev, o.Device, n, o.TraceDir)
+			if initErrs[rank] == nil {
+				devs[rank], tracers[rank] = dev, tr
+				if tr != nil {
+					installTraceHook(procs[rank], tr, dev, o.Device, n, o.TraceDir)
+				}
 			}
 		}(i)
 	}
@@ -161,6 +180,22 @@ func RunLocalOpts(n int, opts *Options, body func(p *Process) error) error {
 			}
 			return fmt.Errorf("mpj: rank %d init: %w", i, err)
 		}
+	}
+
+	// One telemetry server carries every in-process rank; it stays up
+	// until all ranks have finalized so late scrapes see final counters.
+	if o.MetricsAddr != "" {
+		ts := telemetry.NewServer()
+		for i := 0; i < n; i++ {
+			ts.Register(telemetrySource(i, o.Device, devs[i], tracers[i]))
+		}
+		if _, err := ts.Start(o.MetricsAddr); err != nil {
+			for _, p := range procs {
+				p.Finalize()
+			}
+			return err
+		}
+		defer ts.Close()
 	}
 
 	errs := make([]error, n)
@@ -187,6 +222,26 @@ func RunLocalOpts(n int, opts *Options, body func(p *Process) error) error {
 		}
 	}
 	return nil
+}
+
+// telemetrySource wires a rank's device (and tracer, when tracing)
+// into a telemetry.Source for the live endpoints.
+func telemetrySource(rank int, device string, dev xdev.Device, tr *mpe.Tracer) telemetry.Source {
+	src := telemetry.Source{
+		Rank: rank, Device: device,
+		Stats: func() mpe.CounterSnapshot { return mpe.CounterSnapshot{} },
+	}
+	if s, ok := dev.(mpe.StatsSource); ok {
+		src.Stats = s.Stats
+	}
+	if in, ok := dev.(telemetry.Introspector); ok {
+		src.Introspect = in.Introspect
+	}
+	if tr != nil {
+		src.SendHist = tr.SendHist
+		src.RecvHist = tr.RecvHist
+	}
+	return src
 }
 
 // installTraceHook arranges for the rank's trace file to be written
@@ -219,6 +274,12 @@ const (
 	// per-rank trace files go.
 	EnvTrace    = "MPJ_TRACE"
 	EnvTraceDir = "MPJ_TRACE_DIR"
+
+	// EnvMetricsAddr serves live telemetry (Prometheus /metrics,
+	// /introspect, /debug/pprof) on the given host:port while the job
+	// runs. mpjrun -metrics sets a distinct port per rank and
+	// aggregates them.
+	EnvMetricsAddr = "MPJ_METRICS_ADDR"
 
 	// EnvCollSegment sets the collective pipeline segment size in
 	// bytes (default 32 KiB) and EnvCollAlgo forces an algorithm
@@ -272,6 +333,15 @@ func InitFromEnv() (*Process, error) {
 			dir = mpe.DefaultTraceDir
 		}
 		installTraceHook(p, tr, dev, device, size, dir)
+	}
+	if addr := os.Getenv(EnvMetricsAddr); addr != "" {
+		ts := telemetry.NewServer()
+		ts.Register(telemetrySource(rank, device, dev, tr))
+		if _, err := ts.Start(addr); err != nil {
+			fmt.Fprintf(os.Stderr, "mpj: rank %d: %v\n", rank, err)
+		} else {
+			p.AddFinalizeHook(func() { ts.Close() })
+		}
 	}
 	return p, nil
 }

@@ -1,0 +1,166 @@
+package mpj_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"mpj"
+)
+
+// freePort reserves a listen address for the telemetry server; the
+// test closes the probe listener and hands the address to the job.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestLiveTelemetryEndpoints scrapes /metrics and /introspect while a
+// 4-rank job is still running (held open by a barrier) and checks that
+// the exposition carries every rank's counters — the live view must be
+// consistent with the devices' Stats(), not a post-mortem artifact.
+func TestLiveTelemetryEndpoints(t *testing.T) {
+	addr := freePort(t)
+	var scrapeOnce sync.Once
+	var metricsBody, introBody string
+	var scrapeErr error
+
+	err := mpj.RunLocalOpts(4, &mpj.Options{MetricsAddr: addr}, func(p *mpj.Process) error {
+		w := p.World()
+		me := w.Rank()
+		peer := me ^ 1
+		buf := make([]byte, 1<<10)
+		for iter := 0; iter < 3; iter++ {
+			if me%2 == 0 {
+				if err := w.Send(buf, 0, len(buf), mpj.BYTE, peer, iter); err != nil {
+					return err
+				}
+				if _, err := w.Recv(buf, 0, len(buf), mpj.BYTE, peer, iter); err != nil {
+					return err
+				}
+			} else {
+				if _, err := w.Recv(buf, 0, len(buf), mpj.BYTE, peer, iter); err != nil {
+					return err
+				}
+				if err := w.Send(buf, 0, len(buf), mpj.BYTE, peer, iter); err != nil {
+					return err
+				}
+			}
+		}
+		// First barrier: every rank has finished its sends. Rank 0
+		// scrapes in between; the closing barrier keeps the other
+		// ranks (and their devices) alive while it happens.
+		if err := w.Barrier(); err != nil {
+			return err
+		}
+		if me == 0 {
+			scrapeOnce.Do(func() {
+				get := func(path string) string {
+					resp, err := http.Get("http://" + addr + path)
+					if err != nil {
+						scrapeErr = err
+						return ""
+					}
+					defer resp.Body.Close()
+					b, err := io.ReadAll(resp.Body)
+					if err != nil {
+						scrapeErr = err
+						return ""
+					}
+					return string(b)
+				}
+				metricsBody = get("/metrics")
+				introBody = get("/introspect")
+			})
+		}
+		return w.Barrier()
+	})
+	if err != nil {
+		t.Fatalf("job: %v", err)
+	}
+	if scrapeErr != nil {
+		t.Fatalf("scrape: %v", scrapeErr)
+	}
+
+	// Every rank must appear with a non-zero eager-send counter: each
+	// sent 3 eager messages before the scrape.
+	for r := 0; r < 4; r++ {
+		want := fmt.Sprintf(`mpj_eager_sent_total{rank="%d",device="niodev"}`, r)
+		i := strings.Index(metricsBody, want)
+		if i < 0 {
+			t.Errorf("metrics missing %q", want)
+			continue
+		}
+		line := metricsBody[i:]
+		if j := strings.IndexByte(line, '\n'); j >= 0 {
+			line = line[:j]
+		}
+		if strings.HasSuffix(line, " 0") {
+			t.Errorf("rank %d eager counter still zero mid-job: %q", r, line)
+		}
+	}
+	if !strings.Contains(metricsBody, "# TYPE mpj_bytes_sent_total counter") {
+		t.Error("metrics missing bytes family header")
+	}
+
+	var doc struct {
+		Ranks map[string]struct {
+			Device string          `json:"device"`
+			State  json.RawMessage `json:"state"`
+		} `json:"ranks"`
+	}
+	if err := json.Unmarshal([]byte(introBody), &doc); err != nil {
+		t.Fatalf("introspect not valid JSON: %v\n%s", err, introBody)
+	}
+	if len(doc.Ranks) != 4 {
+		t.Fatalf("introspect covers %d ranks, want 4:\n%s", len(doc.Ranks), introBody)
+	}
+	for r, st := range doc.Ranks {
+		if st.Device != "niodev" {
+			t.Errorf("rank %s device = %q", r, st.Device)
+		}
+		if len(st.State) == 0 {
+			t.Errorf("rank %s has no introspection state", r)
+		}
+	}
+}
+
+// TestMetricsEnvActivation checks the MPJ_METRICS_ADDR toggle used by
+// mpjrun-launched processes.
+func TestMetricsEnvActivation(t *testing.T) {
+	addr := freePort(t)
+	t.Setenv(mpj.EnvMetricsAddr, addr)
+	var body string
+	err := mpj.RunLocal(2, func(p *mpj.Process) error {
+		if p.World().Rank() == 0 {
+			resp, err := http.Get("http://" + addr + "/metrics")
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				return err
+			}
+			body = string(b)
+		}
+		return p.World().Barrier()
+	})
+	if err != nil {
+		t.Fatalf("RunLocal: %v", err)
+	}
+	if !strings.Contains(body, "mpj_eager_sent_total") {
+		t.Errorf("env-activated metrics missing counters:\n%s", body)
+	}
+}

@@ -128,6 +128,85 @@ func TestTracingEndToEnd(t *testing.T) {
 	}
 }
 
+// TestTraceMergeCorrelation is the cross-rank correlation acceptance
+// check: over a traced 4-rank niodev job, at least 99% of seq-stamped
+// sends must find their receive, the merged Chrome export must carry
+// flow events, and the report must include the latency and
+// critical-path sections.
+func TestTraceMergeCorrelation(t *testing.T) {
+	dir := t.TempDir()
+	runTracedJob(t, dir)
+
+	files, err := mpe.ReadTraceDir(dir)
+	if err != nil {
+		t.Fatalf("ReadTraceDir: %v", err)
+	}
+	m, err := mpe.MergeTraces(files)
+	if err != nil {
+		t.Fatalf("MergeTraces: %v", err)
+	}
+	if m.Sends == 0 {
+		t.Fatal("no seq-stamped sends recorded")
+	}
+	if rate := m.MatchRate(); rate < 0.99 {
+		t.Errorf("match rate = %.3f (%d/%d), want >= 0.99", rate, len(m.Matched), m.Sends)
+	}
+	// All four ranks exchanged bidirectional traffic with their peer,
+	// so every offset must be estimated, not assumed.
+	for r := 0; r < 4; r++ {
+		if !m.OffsetKnown[r] {
+			t.Errorf("rank %d clock offset not estimated", r)
+		}
+	}
+	// Matched messages must carry sane corrected timelines.
+	for _, mm := range m.Matched {
+		if mm.SendEndNS < mm.SendBeginNS || mm.RecvDeliverNS < mm.RecvPostNS {
+			t.Fatalf("inverted span in %+v", mm)
+		}
+	}
+	if len(m.Collectives) == 0 {
+		t.Error("no collective instances correlated")
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteMergedChrome(&buf); err != nil {
+		t.Fatalf("WriteMergedChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("merged chrome trace invalid JSON: %v", err)
+	}
+	flows := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "s" || ev.Ph == "f" {
+			flows++
+		}
+	}
+	if want := 2 * len(m.Matched); flows != want {
+		t.Errorf("flow events = %d, want %d (2 per matched message)", flows, want)
+	}
+
+	buf.Reset()
+	if err := m.WriteReport(&buf); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"estimated clock offsets",
+		"per-message wire latency",
+		"collective critical path",
+		"Barrier", "Allreduce",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merge report missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestTracingEnvActivation checks the MPJ_TRACE / MPJ_TRACE_DIR
 // environment toggles used by mpjrun-launched processes.
 func TestTracingEnvActivation(t *testing.T) {
