@@ -1,0 +1,251 @@
+// Pagerank: push-style PageRank over one-sided RMA. Each rank owns a
+// block of nodes and exposes a contribution accumulator as an RMA
+// window; every iteration each rank batches the rank mass its nodes
+// push along out-edges into one dense vector per owner and delivers it
+// with a single Accumulate(SUM) — the owner never posts a receive.
+// Fences bracket the push epoch: zero, fence, push, fence, read. On
+// the shared-memory device each Accumulate is applied directly under
+// the window lock; across TCP it rides active-message frames.
+//
+// -mode msg runs the identical computation with two-sided delivery
+// (Isend the per-owner vector, Recv and fold size-1 vectors) for an
+// apples-to-apples comparison — see EXPERIMENTS.md.
+//
+//	go run ./examples/pagerank -nodes 2000 -iters 50 -np 4
+//	go run ./examples/pagerank -mode msg   # two-sided baseline
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"mpj"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 2000, "number of graph nodes")
+	iters := flag.Int("iters", 50, "maximum power iterations")
+	np := flag.Int("np", 4, "number of ranks")
+	damping := flag.Float64("damping", 0.85, "damping factor")
+	eps := flag.Float64("eps", 1e-6, "L1 convergence threshold (0 = always run -iters)")
+	mode := flag.String("mode", "rma", "delivery: rma (one-sided Accumulate) or msg (two-sided Isend/Recv)")
+	device := flag.String("device", "", "device override (default: RunLocal's default)")
+	flag.Parse()
+
+	if *mode != "rma" && *mode != "msg" {
+		log.Fatalf("unknown -mode %q (want rma or msg)", *mode)
+	}
+	err := mpj.RunLocalOpts(*np, &mpj.Options{Device: *device}, func(p *mpj.Process) error {
+		return pagerank(p, *nodes, *iters, *damping, *eps, *mode)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// owner block: nodes are split into contiguous blocks, the first
+// n%size ranks holding one extra node.
+func block(n, size, rank int) (lo, hi int) {
+	per, extra := n/size, n%size
+	lo = rank*per + min(rank, extra)
+	hi = lo + per
+	if rank < extra {
+		hi++
+	}
+	return lo, hi
+}
+
+func ownerOf(n, size, v int) int {
+	per, extra := n/size, n%size
+	if v < (per+1)*extra {
+		return v / (per + 1)
+	}
+	return extra + (v-(per+1)*extra)/per
+}
+
+// outEdges returns node u's out-neighbours: a deterministic synthetic
+// web graph (1..4 links per node, hash-scattered) so every run works
+// on the same graph regardless of rank count.
+func outEdges(n, u int) []int {
+	deg := 1 + u%4
+	dst := make([]int, deg)
+	for j := 0; j < deg; j++ {
+		h := uint64(u)*2654435761 + uint64(j)*40503 + 97
+		dst[j] = int(h % uint64(n))
+	}
+	return dst
+}
+
+func pagerank(p *mpj.Process, n, maxIters int, d, eps float64, mode string) error {
+	w := p.World()
+	size, rank := w.Size(), w.Rank()
+	lo, hi := block(n, size, rank)
+	local := hi - lo
+
+	// One-sided mode: the window is one float64 accumulator per owned
+	// node. Peers push rank mass into it with Accumulate; we never
+	// post a receive.
+	var win *mpj.Win
+	var contrib []byte
+	if mode == "rma" {
+		var err error
+		win, err = w.WinCreate(make([]byte, 8*local))
+		if err != nil {
+			return err
+		}
+		defer win.Free()
+		contrib = win.Buffer()
+	}
+
+	pr := make([]float64, local)
+	for i := range pr {
+		pr[i] = 1.0 / float64(n)
+	}
+
+	// Per-destination-rank staging: the full dense block each owner
+	// holds, filled locally and shipped as one message per owner.
+	push := make([][]float64, size)
+	pushBytes := make([][]byte, size)
+	for r := 0; r < size; r++ {
+		blo, bhi := block(n, size, r)
+		push[r] = make([]float64, bhi-blo)
+		if mode == "rma" {
+			pushBytes[r] = make([]byte, 8*(bhi-blo))
+		}
+	}
+	acc := make([]float64, local)  // folded contributions, both modes
+	tmp := make([]float64, local)  // msg mode receive staging
+	reqs := make([]*mpj.Request, 0, size)
+
+	start := time.Now()
+	iter := 0
+	for ; iter < maxIters; iter++ {
+		// Stage: scatter each owned node's mass over its out-edges
+		// into the per-owner dense vectors.
+		for r := range push {
+			for i := range push[r] {
+				push[r][i] = 0
+			}
+		}
+		for u := lo; u < hi; u++ {
+			dst := outEdges(n, u)
+			share := pr[u-lo] / float64(len(dst))
+			for _, v := range dst {
+				r := ownerOf(n, size, v)
+				rlo, _ := block(n, size, r)
+				push[r][v-rlo] += share
+			}
+		}
+
+		switch mode {
+		case "rma":
+			// Zero our accumulator. No push is in flight: peers push
+			// only between the two fences below, and the opening fence
+			// cannot complete until we join it — after this write.
+			for i := range contrib {
+				contrib[i] = 0
+			}
+			if err := win.Fence(); err != nil {
+				return err
+			}
+			// One Accumulate(SUM) per owner, self included — the
+			// self-targeted op takes the direct in-process path.
+			for r := 0; r < size; r++ {
+				b := pushBytes[r]
+				for i, x := range push[r] {
+					binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+				}
+				if err := win.Accumulate(b, r, 0, mpj.DOUBLE, mpj.SUM); err != nil {
+					return err
+				}
+			}
+			if err := win.Fence(); err != nil {
+				return err
+			}
+			for i := range acc {
+				acc[i] = math.Float64frombits(binary.LittleEndian.Uint64(contrib[8*i:]))
+			}
+
+		case "msg":
+			// Two-sided delivery of the same vectors: every peer gets
+			// its block Isent, and we fold size-1 received blocks —
+			// the receiver participation RMA eliminates.
+			reqs = reqs[:0]
+			for r := 0; r < size; r++ {
+				if r == rank {
+					continue
+				}
+				req, err := w.Isend(push[r], 0, len(push[r]), mpj.DOUBLE, r, 7)
+				if err != nil {
+					return err
+				}
+				reqs = append(reqs, req)
+			}
+			copy(acc, push[rank])
+			for k := 0; k < size-1; k++ {
+				if _, err := w.Recv(tmp, 0, local, mpj.DOUBLE, mpj.AnySource, 7); err != nil {
+					return err
+				}
+				for i, x := range tmp {
+					acc[i] += x
+				}
+			}
+			for _, req := range reqs {
+				if _, err := req.Wait(); err != nil {
+					return err
+				}
+			}
+		}
+
+		// Apply damping and measure movement.
+		delta := 0.0
+		base := (1 - d) / float64(n)
+		for i := 0; i < local; i++ {
+			next := base + d*acc[i]
+			delta += math.Abs(next - pr[i])
+			pr[i] = next
+		}
+		gdelta := make([]float64, 1)
+		if err := w.Allreduce([]float64{delta}, 0, gdelta, 0, 1, mpj.DOUBLE, mpj.SUM); err != nil {
+			return err
+		}
+		if gdelta[0] < eps {
+			iter++
+			break
+		}
+	}
+	elapsed := time.Since(start)
+
+	// Report: total mass (≈1 — every node has out-edges, so no rank
+	// leaks) and the highest-ranked node, gathered per-block.
+	sum := 0.0
+	maxVal, maxIdx := -1.0, -1
+	for i, x := range pr {
+		sum += x
+		if x > maxVal {
+			maxVal, maxIdx = x, lo+i
+		}
+	}
+	stats := []float64{sum, maxVal, float64(maxIdx)}
+	all := make([]float64, 3*size)
+	if err := w.Gather(stats, 0, 3, mpj.DOUBLE, all, 0, 3, mpj.DOUBLE, 0); err != nil {
+		return err
+	}
+	if rank == 0 {
+		total, topVal, topIdx := 0.0, -1.0, -1
+		for r := 0; r < size; r++ {
+			total += all[3*r]
+			if all[3*r+1] > topVal {
+				topVal, topIdx = all[3*r+1], int(all[3*r+2])
+			}
+		}
+		fmt.Printf("np=%d mode=%s: %d nodes, %d iterations in %.1f ms\n",
+			size, mode, n, iter, float64(elapsed.Microseconds())/1000)
+		fmt.Printf("pagerank mass %.3f, top node %d (%.5f)\n", total, topIdx, topVal)
+	}
+	return nil
+}

@@ -27,6 +27,7 @@ func TestExamplesRun(t *testing.T) {
 		{"nbody", []string{"run", "./examples/nbody", "-n", "128", "-steps", "3", "-np", "2"}, "kinetic energy"},
 		{"heat", []string{"run", "./examples/heat", "-grid", "32", "-iters", "60", "-np", "4"}, "average plate temperature"},
 		{"multithreaded", []string{"run", "./examples/multithreaded", "-goroutines", "3", "-msgs", "5"}, "MPI_THREAD_MULTIPLE verified"},
+		{"pagerank", []string{"run", "./examples/pagerank", "-nodes", "600", "-iters", "40", "-np", "3"}, "pagerank mass 1.000"},
 	}
 	for _, c := range cases {
 		c := c

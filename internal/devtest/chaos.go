@@ -30,6 +30,7 @@ func RunChaos(t *testing.T, run JobRunner, opts ChaosOptions) {
 		t.Run("FinishUnblocksPeek", func(t *testing.T) { testFinishUnblocksPeek(t, run) })
 	}
 	t.Run("KillOneRank", func(t *testing.T) { testKillOneRank(t, run) })
+	t.Run("KillDuringFence", func(t *testing.T) { testKillDuringFence(t, run) })
 }
 
 // closedOrLost reports whether err carries one of the sentinels a
@@ -95,6 +96,44 @@ func testFinishUnblocksPeek(t *testing.T, run JobRunner) {
 // dies while every survivor is blocked receiving from it. Each
 // survivor's receive must fail with an error wrapping xdev.ErrPeerLost
 // within the timeout — the job tears down instead of hanging.
+// testKillDuringFence: one rank dies mid-epoch, between a window's
+// creation and the next collective fence. Every survivor's Fence must
+// fail with an error wrapping xdev.ErrPeerLost within the timeout —
+// one-sided synchronization has the same no-hang contract as blocking
+// receives.
+func testKillDuringFence(t *testing.T, run JobRunner) {
+	const victim = 0
+	ctx := int(4096 + rmaCtxCounter.Add(1))
+	run(t, 3, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		// Window creation is collective and fences internally, so every
+		// rank — the victim included — holds a live window here.
+		w := newWin(t, d, rank, pids, ctx, make([]byte, 1024))
+
+		if rank == victim {
+			time.Sleep(100 * time.Millisecond) // let survivors enter the fence
+			d.Finish()                         // dies without Free: mid-epoch
+			return
+		}
+		errc := make(chan error, 1)
+		go func() {
+			// A put to a fellow survivor keeps the epoch non-trivial.
+			_ = w.Put(make([]byte, 64), 3-rank, 0)
+			errc <- w.Fence()
+		}()
+		select {
+		case err := <-errc:
+			if err == nil {
+				t.Errorf("rank %d: fence with dead peer returned nil error", rank)
+			} else if !errors.Is(err, xdev.ErrPeerLost) {
+				t.Errorf("rank %d: fence error %v does not wrap ErrPeerLost", rank, err)
+			}
+		case <-time.After(chaosTimeout):
+			t.Errorf("rank %d: fence still blocked after peer death", rank)
+		}
+		_ = w.Free() // teardown must not hang either: the window is failed
+	})
+}
+
 func testKillOneRank(t *testing.T, run JobRunner) {
 	const victim = 0
 	run(t, 4, func(d xdev.Device, rank int, pids []xdev.ProcessID) {

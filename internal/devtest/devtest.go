@@ -55,6 +55,7 @@ func RunConformance(t *testing.T, run JobRunner, opts Options) {
 	t.Run("Probe", func(t *testing.T) { testProbe(t, run) })
 	t.Run("ConcurrentTraffic", func(t *testing.T) { testConcurrent(t, run) })
 	t.Run("Counters", func(t *testing.T) { testCounters(t, run, opts.RendezvousAt) })
+	t.Run("RMA", func(t *testing.T) { testRMA(t, run) })
 	if opts.HasPeek {
 		t.Run("Peek", func(t *testing.T) { testPeek(t, run) })
 	}

@@ -1,0 +1,266 @@
+package devtest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync/atomic"
+	"testing"
+
+	"mpj/internal/mpjdev"
+	"mpj/internal/rma"
+	"mpj/internal/xdev"
+)
+
+// One-sided (RMA) conformance: windows, Put/Get bit-identity across
+// segment boundaries, commutative and non-commutative Accumulate,
+// fence epoch ordering, and shared-reader/exclusive-writer lock
+// consistency — the semantics internal/core's Win surface relies on,
+// exercised over whichever delivery path the device selects
+// (shared-memory direct on smpdev, active-message frames elsewhere).
+
+// rmaCtxCounter hands each RMA job a distinct matching context, far
+// above anything the point-to-point suite uses on context 0.
+var rmaCtxCounter atomic.Int64
+
+func testRMA(t *testing.T, run JobRunner) {
+	t.Run("PutGet", func(t *testing.T) { testRMAPutGet(t, run) })
+	t.Run("Accumulate", func(t *testing.T) { testRMAAccumulate(t, run) })
+	t.Run("FenceEpochs", func(t *testing.T) { testRMAFenceEpochs(t, run) })
+	t.Run("Locks", func(t *testing.T) { testRMALocks(t, run) })
+}
+
+// newWin builds a window over a private context for this job.
+func newWin(t *testing.T, d xdev.Device, rank int, pids []xdev.ProcessID, ctx int, buf []byte) *rma.Win {
+	t.Helper()
+	comm, err := mpjdev.NewComm(d, pids, rank, ctx)
+	if err != nil {
+		t.Fatalf("rank %d: comm: %v", rank, err)
+	}
+	w, err := rma.New(comm, buf, rma.Config{})
+	if err != nil {
+		t.Fatalf("rank %d: window create: %v", rank, err)
+	}
+	return w
+}
+
+func freeWin(t *testing.T, rank int, w *rma.Win) {
+	t.Helper()
+	if err := w.Free(); err != nil {
+		t.Errorf("rank %d: free: %v", rank, err)
+	}
+}
+
+// testRMAPutGet moves a large pattern one-sidedly and demands
+// bit-identity at the target and on the one-sided read back — the
+// transfer crosses the default segment size, so the AM path exercises
+// reassembly.
+func testRMAPutGet(t *testing.T, run JobRunner) {
+	ctx := int(4096 + rmaCtxCounter.Add(1))
+	const winBytes = 200 << 10
+	const n = 150 << 10
+	const off = 4096
+	pattern := func(i int) byte { return byte(i*31 + 7) }
+	run(t, 2, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		w := newWin(t, d, rank, pids, ctx, make([]byte, winBytes))
+		defer freeWin(t, rank, w)
+		if rank == 0 {
+			data := make([]byte, n)
+			for i := range data {
+				data[i] = pattern(i)
+			}
+			if err := w.Put(data, 1, off); err != nil {
+				t.Errorf("put: %v", err)
+			}
+			if err := w.Fence(); err != nil {
+				t.Errorf("fence: %v", err)
+				return
+			}
+			back := make([]byte, n)
+			if err := w.Get(back, 1, off); err != nil {
+				t.Errorf("get: %v", err)
+			} else if !bytes.Equal(back, data) {
+				t.Error("one-sided read back differs from put data")
+			}
+		} else {
+			if err := w.Fence(); err != nil {
+				t.Errorf("fence: %v", err)
+				return
+			}
+			win := w.Buffer()
+			for i := 0; i < n; i++ {
+				if win[off+i] != pattern(i) {
+					t.Errorf("target byte %d: got %d want %d", i, win[off+i], pattern(i))
+					break
+				}
+			}
+		}
+	})
+}
+
+// testRMAAccumulate checks a commutative cross-origin SUM reduction
+// and the non-commutative same-origin Replace-then-Sum ordering.
+func testRMAAccumulate(t *testing.T, run JobRunner) {
+	ctx := int(4096 + rmaCtxCounter.Add(1))
+	const ranks = 3
+	const slots = 512 // int64 slots in the commutative phase
+	const rounds = 5
+	le := binary.LittleEndian
+	run(t, ranks, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		w := newWin(t, d, rank, pids, ctx, make([]byte, 8*slots+8*ranks))
+		defer freeWin(t, rank, w)
+		// Phase 1 (commutative): every rank, including the target
+		// itself, sums (rank+1) into every slot of rank 0, rounds times.
+		contrib := make([]byte, 8*slots)
+		for i := 0; i < slots; i++ {
+			le.PutUint64(contrib[8*i:], uint64(rank+1))
+		}
+		for r := 0; r < rounds; r++ {
+			if err := w.Accumulate(contrib, 0, 0, rma.Int64, rma.Sum); err != nil {
+				t.Errorf("accumulate sum: %v", err)
+			}
+		}
+		if err := w.Fence(); err != nil {
+			t.Errorf("fence 1: %v", err)
+			return
+		}
+		if rank == 0 {
+			want := int64(rounds * ranks * (ranks + 1) / 2)
+			for i := 0; i < slots; i++ {
+				if got := int64(le.Uint64(w.Buffer()[8*i:])); got != want {
+					t.Errorf("slot %d: got %d want %d", i, got, want)
+					break
+				}
+			}
+		}
+		// Phase 2 (non-commutative): each origin owns one disjoint slot
+		// past the phase-1 region and issues Replace(1000+rank) then
+		// Sum(rank+1); same-origin ordering requires the sum to land on
+		// the replaced value.
+		slot := 8*slots + 8*rank
+		val := make([]byte, 8)
+		le.PutUint64(val, uint64(1000+rank))
+		if err := w.Accumulate(val, 0, slot, rma.Int64, rma.Replace); err != nil {
+			t.Errorf("accumulate replace: %v", err)
+		}
+		le.PutUint64(val, uint64(rank+1))
+		if err := w.Accumulate(val, 0, slot, rma.Int64, rma.Sum); err != nil {
+			t.Errorf("accumulate sum 2: %v", err)
+		}
+		if err := w.Fence(); err != nil {
+			t.Errorf("fence 2: %v", err)
+			return
+		}
+		if rank == 0 {
+			for r := 0; r < ranks; r++ {
+				want := int64(1000 + r + r + 1)
+				if got := int64(le.Uint64(w.Buffer()[8*slots+8*r:])); got != want {
+					t.Errorf("origin %d slot: got %d want %d (replace-then-sum order violated)", r, got, want)
+				}
+			}
+		}
+	})
+}
+
+// testRMAFenceEpochs drives several fence epochs and checks each
+// epoch's writes are exactly visible after its closing fence — no
+// stale value, no bleed-ahead from the next epoch.
+func testRMAFenceEpochs(t *testing.T, run JobRunner) {
+	ctx := int(4096 + rmaCtxCounter.Add(1))
+	const epochs = 5
+	le := binary.LittleEndian
+	run(t, 2, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		w := newWin(t, d, rank, pids, ctx, make([]byte, 16))
+		defer freeWin(t, rank, w)
+		val := make([]byte, 8)
+		for e := 1; e <= epochs; e++ {
+			if rank == 0 {
+				le.PutUint64(val, uint64(e))
+				if err := w.Put(val, 1, 0); err != nil {
+					t.Errorf("epoch %d put: %v", e, err)
+				}
+			}
+			if err := w.Fence(); err != nil {
+				t.Errorf("rank %d epoch %d fence: %v", rank, e, err)
+				return
+			}
+			if rank == 1 {
+				if got := le.Uint64(w.Buffer()); got != uint64(e) {
+					t.Errorf("after fence %d: window holds %d", e, got)
+				}
+			}
+			// The check above must complete before epoch e+1's put can
+			// land, so close the exposure epoch collectively.
+			if err := w.Fence(); err != nil {
+				t.Errorf("rank %d epoch %d exposure fence: %v", rank, e, err)
+				return
+			}
+		}
+	})
+}
+
+// testRMALocks runs an exclusive-lock writer against shared-lock
+// readers on rank 0's window: the writer updates two disjoint halves
+// inside one lock epoch, and no reader may ever observe the halves
+// disagreeing.
+func testRMALocks(t *testing.T, run JobRunner) {
+	ctx := int(4096 + rmaCtxCounter.Add(1))
+	const half = 2048
+	const gens = 15
+	const reads = 20
+	run(t, 4, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		w := newWin(t, d, rank, pids, ctx, make([]byte, 2*half))
+		defer freeWin(t, rank, w)
+		switch rank {
+		case 0:
+			// Target: its window is the battleground; it only
+			// participates in create/free.
+		case 1:
+			// Writer: generation g fills both halves with byte g under
+			// an exclusive lock.
+			buf := make([]byte, half)
+			for g := 1; g <= gens; g++ {
+				for i := range buf {
+					buf[i] = byte(g)
+				}
+				if err := w.Lock(0, false); err != nil {
+					t.Errorf("writer lock: %v", err)
+					return
+				}
+				if err := w.Put(buf, 0, 0); err != nil {
+					t.Errorf("writer put lo: %v", err)
+				}
+				if err := w.Put(buf, 0, half); err != nil {
+					t.Errorf("writer put hi: %v", err)
+				}
+				if err := w.Unlock(0); err != nil {
+					t.Errorf("writer unlock: %v", err)
+					return
+				}
+			}
+		default:
+			// Readers: under a shared lock the two halves must always
+			// carry the same generation.
+			got := make([]byte, 2*half)
+			for r := 0; r < reads; r++ {
+				if err := w.Lock(0, true); err != nil {
+					t.Errorf("reader lock: %v", err)
+					return
+				}
+				if err := w.Get(got, 0, 0); err != nil {
+					t.Errorf("reader get: %v", err)
+				}
+				if err := w.Unlock(0); err != nil {
+					t.Errorf("reader unlock: %v", err)
+					return
+				}
+				g := got[0]
+				for i := 1; i < 2*half; i++ {
+					if got[i] != g {
+						t.Errorf("read %d: byte %d is %d, byte 0 is %d (torn epoch)", r, i, got[i], g)
+						return
+					}
+				}
+			}
+		}
+	})
+}

@@ -115,6 +115,12 @@ func (d *Device) Recorder() mpe.Recorder { return d.inner.Recorder() }
 // state for the telemetry /introspect endpoint.
 func (d *Device) Introspect() any { return d.inner.Introspect() }
 
+// PeerErr reports the recorded death error of peer p, delegated to the
+// inner transport device (xdev.PeerChecker). ibisdev deliberately does
+// NOT delegate xdev.MemoryDomain: keeping the shared-memory window
+// path off exercises the active-message RMA delivery in-process.
+func (d *Device) PeerErr(p xdev.ProcessID) error { return d.inner.PeerErr(p) }
+
 // Finish shuts the device down.
 func (d *Device) Finish() error { return d.inner.Finish() }
 

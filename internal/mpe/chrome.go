@@ -206,6 +206,10 @@ func WriteSummary(w io.Writer, files []*TraceFile, onlyRank int) error {
 				fmt.Fprintf(w, "  collectives: segsSent=%d segsRecv=%d\n",
 					c.CollSegsSent, c.CollSegsRecv)
 			}
+			if c.RmaPuts+c.RmaGets+c.RmaAccs > 0 {
+				fmt.Fprintf(w, "  rma: puts=%d gets=%d accs=%d bytes=%d\n",
+					c.RmaPuts, c.RmaGets, c.RmaAccs, c.RmaBytes)
+			}
 			if c.PeersLost+c.FramesCorrupt+c.RequestsFailed > 0 {
 				fmt.Fprintf(w, "  failures: peersLost=%d framesCorrupt=%d requestsFailed=%d\n",
 					c.PeersLost, c.FramesCorrupt, c.RequestsFailed)
@@ -231,6 +235,10 @@ func WriteSummary(w io.Writer, files []*TraceFile, onlyRank int) error {
 			fmt.Fprintf(w, "all ranks collectives: segsSent=%d segsRecv=%d\n",
 				total.CollSegsSent, total.CollSegsRecv)
 		}
+		if total.RmaPuts+total.RmaGets+total.RmaAccs > 0 {
+			fmt.Fprintf(w, "all ranks rma: puts=%d gets=%d accs=%d bytes=%d\n",
+				total.RmaPuts, total.RmaGets, total.RmaAccs, total.RmaBytes)
+		}
 		if total.PeersLost+total.FramesCorrupt+total.RequestsFailed > 0 {
 			fmt.Fprintf(w, "all ranks failures: peersLost=%d framesCorrupt=%d requestsFailed=%d\n",
 				total.PeersLost, total.FramesCorrupt, total.RequestsFailed)
@@ -239,6 +247,7 @@ func WriteSummary(w io.Writer, files []*TraceFile, onlyRank int) error {
 
 	writeLatencyTable(w, kept, SendEnd, "send completion latency")
 	writeLatencyTable(w, kept, RecvMatched, "recv completion latency")
+	writeLatencyTable(w, kept, RmaFence, "rma fence epoch latency")
 	writeCollectives(w, kept)
 	writeCollAlgos(w, kept)
 	return nil

@@ -33,6 +33,15 @@ type Counters struct {
 	// CollSegsRecv counts pipeline segments received by segmented
 	// collectives (incremented by the core layer).
 	CollSegsRecv atomic.Uint64
+	// RmaPuts, RmaGets and RmaAccs count one-sided Put/Get/Accumulate
+	// operations issued by this rank as origin (incremented by
+	// internal/rma, once per user call regardless of segmentation).
+	RmaPuts atomic.Uint64
+	RmaGets atomic.Uint64
+	RmaAccs atomic.Uint64
+	// RmaBytes totals the payload bytes moved by one-sided operations
+	// this rank originated.
+	RmaBytes atomic.Uint64
 }
 
 // Snapshot returns a plain-value copy of the counters.
@@ -48,6 +57,10 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		RequestsFailed: c.RequestsFailed.Load(),
 		CollSegsSent:   c.CollSegsSent.Load(),
 		CollSegsRecv:   c.CollSegsRecv.Load(),
+		RmaPuts:        c.RmaPuts.Load(),
+		RmaGets:        c.RmaGets.Load(),
+		RmaAccs:        c.RmaAccs.Load(),
+		RmaBytes:       c.RmaBytes.Load(),
 	}
 }
 
@@ -65,6 +78,10 @@ type CounterSnapshot struct {
 	RequestsFailed uint64 `json:"requestsFailed,omitempty"`
 	CollSegsSent   uint64 `json:"collSegsSent,omitempty"`
 	CollSegsRecv   uint64 `json:"collSegsRecv,omitempty"`
+	RmaPuts        uint64 `json:"rmaPuts,omitempty"`
+	RmaGets        uint64 `json:"rmaGets,omitempty"`
+	RmaAccs        uint64 `json:"rmaAccs,omitempty"`
+	RmaBytes       uint64 `json:"rmaBytes,omitempty"`
 }
 
 // Add returns the field-wise sum of two snapshots (used when a device
@@ -81,5 +98,9 @@ func (s CounterSnapshot) Add(o CounterSnapshot) CounterSnapshot {
 		RequestsFailed: s.RequestsFailed + o.RequestsFailed,
 		CollSegsSent:   s.CollSegsSent + o.CollSegsSent,
 		CollSegsRecv:   s.CollSegsRecv + o.CollSegsRecv,
+		RmaPuts:        s.RmaPuts + o.RmaPuts,
+		RmaGets:        s.RmaGets + o.RmaGets,
+		RmaAccs:        s.RmaAccs + o.RmaAccs,
+		RmaBytes:       s.RmaBytes + o.RmaBytes,
 	}
 }

@@ -85,6 +85,16 @@ const (
 	// Aborted marks a job abort, local or remote; Tag carries the
 	// abort code and Peer the initiating slot.
 	Aborted
+	// RmaPut marks a one-sided Put issued at the origin; Peer carries
+	// the target rank, Bytes the payload length.
+	RmaPut
+	// RmaGet marks a one-sided Get issued at the origin.
+	RmaGet
+	// RmaAcc marks a one-sided Accumulate issued at the origin.
+	RmaAcc
+	// RmaFence is a span covering one Fence epoch-synchronization call;
+	// its duration feeds the epoch latency histogram.
+	RmaFence
 
 	eventTypeCount
 )
@@ -107,6 +117,10 @@ var eventNames = [eventTypeCount]string{
 	PeerLost:        "PeerLost",
 	FrameCorrupt:    "FrameCorrupt",
 	Aborted:         "Aborted",
+	RmaPut:          "RmaPut",
+	RmaGet:          "RmaGet",
+	RmaAcc:          "RmaAcc",
+	RmaFence:        "RmaFence",
 }
 
 // String returns the event type's name.

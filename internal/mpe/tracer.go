@@ -22,6 +22,7 @@ type Tracer struct {
 	ring      *Ring
 	sendHist  Histogram
 	recvHist  Histogram
+	rmaHist   Histogram
 }
 
 // NewTracer returns an enabled tracer for the given rank holding up to
@@ -80,6 +81,8 @@ func (t *Tracer) SpanSeq(typ EventType, peer, tag, ctx int32, bytes int64, start
 		t.sendHist.Observe(bytes, dur)
 	case RecvMatched:
 		t.recvHist.Observe(bytes, dur)
+	case RmaFence:
+		t.rmaHist.Observe(bytes, dur)
 	}
 }
 
@@ -90,6 +93,10 @@ func (t *Tracer) SendHist() HistSnapshot { return t.sendHist.Snapshot() }
 // RecvHist returns a snapshot of the receive-completion latency
 // histogram.
 func (t *Tracer) RecvHist() HistSnapshot { return t.recvHist.Snapshot() }
+
+// RmaHist returns a snapshot of the one-sided fence epoch latency
+// histogram (RmaFence span durations, bucketed by bytes drained).
+func (t *Tracer) RmaHist() HistSnapshot { return t.rmaHist.Snapshot() }
 
 // Events returns the retained events oldest-first. Only valid at
 // quiescence (see Ring.Snapshot).

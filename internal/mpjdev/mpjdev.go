@@ -92,6 +92,15 @@ func (c *Comm) Context() int { return c.context }
 // Device exposes the underlying xdev device.
 func (c *Comm) Device() xdev.Device { return c.dev }
 
+// PID returns the device-level ProcessID of the given rank, for layers
+// (internal/rma) that probe peer liveness through xdev.PeerChecker.
+func (c *Comm) PID(rank int) (xdev.ProcessID, bool) {
+	if rank < 0 || rank >= len(c.pids) {
+		return xdev.ProcessID{}, false
+	}
+	return c.pids[rank], true
+}
+
 // Abort tears the whole job down with the given code. When the device
 // implements xdev.Aborter the abort is broadcast, so remote ranks'
 // blocked operations fail with xdev.AbortError promptly; otherwise the

@@ -18,6 +18,7 @@ package mxdev
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -211,6 +212,30 @@ func (d *Device) Finish() error {
 		return d.ep.Close()
 	}
 	return nil
+}
+
+// PeerErr reports whether peer p is known to be gone
+// (xdev.PeerChecker). The mxsim library's death records are non-sticky
+// — endpoint ids are reopenable, so its progress core forgets closed
+// peers — which makes fabric membership the authoritative liveness
+// signal: Init proved every endpoint open, so a slot missing from the
+// fabric afterwards has closed.
+func (d *Device) PeerErr(p xdev.ProcessID) error {
+	d.mu.Lock()
+	ep, ok := d.ep, d.initDone && !d.finished
+	self := d.self
+	d.mu.Unlock()
+	if !ok || ep == nil || p == self || p.UUID >= uint64(len(d.pids)) {
+		return nil
+	}
+	if ep.PeerOpen(uint32(p.UUID)) {
+		return nil
+	}
+	return &xdev.Error{
+		Dev: DeviceName,
+		Op:  fmt.Sprintf("peer %d", p.UUID),
+		Err: errors.Join(xdev.ErrPeerLost, mxsim.ErrPeerClosed),
+	}
 }
 
 // SendOverhead reports the per-message device overhead in bytes; MX

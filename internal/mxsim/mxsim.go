@@ -239,6 +239,17 @@ func (ep *Endpoint) peerClosed(src uint32) {
 	})
 }
 
+// PeerOpen reports whether endpoint id is currently open in this
+// endpoint's group. Endpoint death records are deliberately non-sticky
+// (ids are reopenable), so fabric membership is the only liveness
+// signal the library offers; one-sided synchronization layers poll it.
+func (ep *Endpoint) PeerOpen(id uint32) bool {
+	fabric.Lock()
+	defer fabric.Unlock()
+	g := fabric.groups[ep.group]
+	return g != nil && g[id] != nil
+}
+
 func (ep *Endpoint) resolve(dst EndpointAddr) (*Endpoint, error) {
 	fabric.Lock()
 	defer fabric.Unlock()

@@ -42,6 +42,14 @@ func (d *Device) peerErr(slot int) error {
 	return d.core.PeerErr(uint64(slot))
 }
 
+// PeerErr reports the recorded death error of peer p, or nil while the
+// connection is believed healthy (xdev.PeerChecker). niodev's death
+// records are sticky: once a connection-level failure or a bye frame
+// declares a slot gone, it stays gone.
+func (d *Device) PeerErr(p xdev.ProcessID) error {
+	return d.peerErr(int(p.UUID))
+}
+
 // opErr gates new operations: it returns the job's abort error if the
 // job aborted, a device-closed error if the device finished, and nil
 // while the device is live.

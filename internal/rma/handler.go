@@ -1,0 +1,239 @@
+package rma
+
+import (
+	"fmt"
+
+	"mpj/internal/mpjbuf"
+	"mpj/internal/mpjdev"
+)
+
+// loop is the window's handler goroutine: the "agent" that makes
+// one-sided communication one-sided. It receives every frame addressed
+// to this rank on the window's context — data operations to apply to
+// the local region, synchronization traffic to count, replies to
+// release blocked origin calls — until a stop frame or a device-level
+// receive failure (Finish, Abort) retires it.
+//
+// The handler never blocks on another rank while holding w.mu, and
+// every send it issues is an eager-sized frame, so it cannot deadlock
+// against a peer's handler doing the same.
+func (w *Win) loop() {
+	defer close(w.hdone)
+	for {
+		buf := mpjbuf.New(frameWords * 8)
+		st, err := w.comm.Recv(buf, mpjdev.AnySource, rmaTag)
+		if err != nil {
+			w.fail(fmt.Errorf("rma: window handler: %w", err))
+			return
+		}
+		if w.handle(buf, st.Source) {
+			return
+		}
+	}
+}
+
+// handle dispatches one frame; it reports whether the handler should
+// exit.
+func (w *Win) handle(buf *mpjbuf.Buffer, src int) bool {
+	var hdr [frameWords]int64
+	if _, err := buf.ReadLongs(hdr[:], 0, frameWords); err != nil {
+		w.fail(fmt.Errorf("rma: corrupt frame from rank %d: %w", src, err))
+		return true
+	}
+	kind, id := hdr[0], uint64(hdr[1])
+	off, n := hdr[2], hdr[3]
+	a1, a2 := hdr[4], hdr[5]
+
+	switch kind {
+	case frStop:
+		return true
+
+	case frPut:
+		status := remoteOK
+		w.local.mu.Lock()
+		if off < 0 || n < 0 || off+n > int64(len(w.local.buf)) {
+			status = remoteRange
+		} else if _, err := buf.ReadBytes(w.local.buf[off:off+n], 0, int(n)); err != nil {
+			status = remoteApply
+		}
+		w.local.mu.Unlock()
+		w.reply(src, frAck, id, status)
+
+	case frAcc:
+		status := remoteOK
+		if off < 0 || n < 0 || off+n > int64(len(w.local.buf)) {
+			status = remoteRange
+		} else {
+			payload := make([]byte, n)
+			if _, err := buf.ReadBytes(payload, 0, int(n)); err != nil {
+				status = remoteApply
+			} else {
+				w.local.mu.Lock()
+				err := accumulate(w.local.buf[off:off+n], payload, ElemType(a1), AccOp(a2))
+				w.local.mu.Unlock()
+				if err != nil {
+					status = remoteApply
+				}
+			}
+		}
+		w.reply(src, frAck, id, status)
+
+	case frGet:
+		if off < 0 || n < 0 || off+n > int64(len(w.local.buf)) {
+			_ = w.sendFrame(src, frGetRep, id, 0, 0, remoteRange, 0, nil)
+			break
+		}
+		payload := make([]byte, n)
+		w.local.mu.Lock()
+		copy(payload, w.local.buf[off:off+n])
+		w.local.mu.Unlock()
+		_ = w.sendFrame(src, frGetRep, id, off, n, remoteOK, 0, payload)
+
+	case frGetRep:
+		w.mu.Lock()
+		wt := w.waits[id]
+		delete(w.waits, id)
+		w.mu.Unlock()
+		if wt == nil {
+			break // origin gave up on this reply (peer-death path)
+		}
+		if a1 != remoteOK {
+			wt.err = fmt.Errorf("rma: remote get from rank %d: %w", src, remoteErr(a1))
+		} else if _, err := buf.ReadBytes(wt.dst, 0, int(n)); err != nil {
+			wt.err = fmt.Errorf("rma: get reply from rank %d: %w", src, err)
+		}
+		close(wt.done)
+
+	case frAck:
+		w.mu.Lock()
+		if a1 != remoteOK && w.failed == nil {
+			w.failed = fmt.Errorf("rma: remote operation rejected by rank %d: %w", src, remoteErr(a1))
+		}
+		if w.pending[src] > 0 {
+			w.pending[src]--
+			w.pendTot--
+		}
+		w.bcastLocked()
+		w.mu.Unlock()
+
+	case frFence:
+		w.mu.Lock()
+		w.fences[a2]++
+		w.bcastLocked()
+		w.mu.Unlock()
+
+	case frLock:
+		shared := a1 == 1
+		grant := false
+		w.mu.Lock()
+		if w.grantableLocked(shared) {
+			w.takeLockLocked(src, shared)
+			grant = true
+		} else {
+			w.lkQ = append(w.lkQ, lockReq{src: src, opID: id, shared: shared})
+		}
+		w.mu.Unlock()
+		if grant {
+			w.reply(src, frGrant, id, remoteOK)
+		}
+
+	case frUnlock:
+		w.mu.Lock()
+		w.releaseLockLocked(src)
+		grants := w.promoteLocked()
+		w.mu.Unlock()
+		w.reply(src, frUnlockAck, id, remoteOK)
+		for _, g := range grants {
+			w.reply(g.src, frGrant, g.opID, remoteOK)
+		}
+
+	case frGrant, frUnlockAck:
+		w.mu.Lock()
+		wt := w.waits[id]
+		delete(w.waits, id)
+		w.mu.Unlock()
+		if wt == nil {
+			break
+		}
+		close(wt.done)
+
+	default:
+		w.fail(fmt.Errorf("rma: unknown frame kind %d from rank %d", kind, src))
+		return true
+	}
+	return false
+}
+
+// reply sends a header-only response frame; a failure means the origin
+// is gone, and its own liveness polling handles that.
+func (w *Win) reply(dst int, kind int64, id uint64, status int64) {
+	_ = w.sendFrame(dst, kind, id, 0, 0, status, 0, nil)
+}
+
+// remoteErr maps a wire status code to an error.
+func remoteErr(code int64) error {
+	switch code {
+	case remoteRange:
+		return ErrOutOfRange
+	case remoteApply:
+		return fmt.Errorf("apply failed")
+	}
+	return fmt.Errorf("status %d", code)
+}
+
+// Passive-target lock state machine. All four helpers run under w.mu;
+// grants are sent by the caller after the lock is dropped.
+
+// grantableLocked reports whether a fresh request can be granted now.
+// A non-empty queue always defers the request behind it (FIFO), which
+// is what keeps a stream of shared requests from starving a queued
+// exclusive one.
+func (w *Win) grantableLocked(shared bool) bool {
+	if len(w.lkQ) > 0 {
+		return false
+	}
+	if shared {
+		return w.exclHolder < 0
+	}
+	return w.exclHolder < 0 && len(w.sharedHolders) == 0
+}
+
+func (w *Win) takeLockLocked(src int, shared bool) {
+	if shared {
+		w.sharedHolders[src] = true
+	} else {
+		w.exclHolder = src
+	}
+}
+
+func (w *Win) releaseLockLocked(src int) {
+	if w.exclHolder == src {
+		w.exclHolder = -1
+		return
+	}
+	delete(w.sharedHolders, src)
+}
+
+// promoteLocked grants as many queued requests as the new state
+// admits: either one exclusive, or the leading run of shared
+// requests.
+func (w *Win) promoteLocked() []lockReq {
+	var out []lockReq
+	for len(w.lkQ) > 0 {
+		h := w.lkQ[0]
+		if h.shared {
+			if w.exclHolder >= 0 {
+				break
+			}
+			w.sharedHolders[h.src] = true
+		} else {
+			if w.exclHolder >= 0 || len(w.sharedHolders) > 0 {
+				break
+			}
+			w.exclHolder = h.src
+		}
+		out = append(out, h)
+		w.lkQ = w.lkQ[1:]
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package rma
+
+import (
+	"sync"
+
+	"mpj/internal/xdev"
+)
+
+// WinState is a point-in-time view of one window's rank-local state,
+// surfaced through the telemetry /introspect endpoint.
+type WinState struct {
+	// Context is the window's private matching context.
+	Context int `json:"ctx"`
+	// Bytes is the size of the locally exposed region.
+	Bytes int `json:"bytes"`
+	// SharedMem reports whether data operations take the direct
+	// shared-memory path.
+	SharedMem bool `json:"sharedMem"`
+	// Epoch counts completed fences.
+	Epoch int64 `json:"epoch"`
+	// PendingOps is the number of unacked outbound Put/Accumulate
+	// segments.
+	PendingOps int `json:"pendingOps"`
+	// ExclHolder is the rank holding this window's exclusive lock, -1
+	// when none.
+	ExclHolder int `json:"exclHolder"`
+	// SharedHolders is the number of ranks holding shared locks.
+	SharedHolders int `json:"sharedHolders"`
+	// QueuedLocks is the number of lock requests waiting at this
+	// window.
+	QueuedLocks int `json:"queuedLocks"`
+	// Failed carries the window's failure, when it has one.
+	Failed string `json:"failed,omitempty"`
+}
+
+// State snapshots the window.
+func (w *Win) State() WinState {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := WinState{
+		Context:       w.comm.Context(),
+		Bytes:         len(w.local.buf),
+		SharedMem:     w.shm != nil,
+		Epoch:         w.epoch,
+		PendingOps:    w.pendTot,
+		ExclHolder:    w.exclHolder,
+		SharedHolders: len(w.sharedHolders),
+		QueuedLocks:   len(w.lkQ),
+	}
+	if w.failed != nil {
+		st.Failed = w.failed.Error()
+	}
+	return st
+}
+
+// winReg tracks the live windows of each device instance so telemetry
+// can enumerate them without the core layer keeping its own list.
+var winReg = struct {
+	sync.Mutex
+	m map[xdev.Device][]*Win
+}{m: make(map[xdev.Device][]*Win)}
+
+func regAdd(dev xdev.Device, w *Win) {
+	winReg.Lock()
+	winReg.m[dev] = append(winReg.m[dev], w)
+	winReg.Unlock()
+}
+
+func regDel(dev xdev.Device, w *Win) {
+	winReg.Lock()
+	defer winReg.Unlock()
+	wins := winReg.m[dev]
+	for i, x := range wins {
+		if x == w {
+			wins = append(wins[:i], wins[i+1:]...)
+			break
+		}
+	}
+	if len(wins) == 0 {
+		delete(winReg.m, dev)
+		return
+	}
+	winReg.m[dev] = wins
+}
+
+// DeviceState snapshots every live window of dev (telemetry hook).
+func DeviceState(dev xdev.Device) []WinState {
+	winReg.Lock()
+	wins := append([]*Win(nil), winReg.m[dev]...)
+	winReg.Unlock()
+	out := make([]WinState, 0, len(wins))
+	for _, w := range wins {
+		out = append(out, w.State())
+	}
+	return out
+}

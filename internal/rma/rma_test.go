@@ -1,0 +1,334 @@
+package rma
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mpj/internal/ibisdev"
+	"mpj/internal/mpjdev"
+	"mpj/internal/smpdev"
+	"mpj/internal/xdev"
+)
+
+var groupCtr atomic.Int64
+
+// runWin runs an n-rank in-process job on the named device flavour,
+// creates one window of winBytes per rank, runs fn, and tears
+// everything down. "smp" exercises the shared-memory direct path,
+// "ibis" the active-message path (ibisdev rides smpdev but does not
+// expose xdev.MemoryDomain).
+func runWin(t *testing.T, flavour string, n, winBytes int, cfg Config, fn func(w *Win, rank int)) {
+	t.Helper()
+	group := fmt.Sprintf("rma-%s-%d", flavour, groupCtr.Add(1))
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = func() error {
+				var d xdev.Device
+				switch flavour {
+				case "smp":
+					d = smpdev.New()
+				case "ibis":
+					d = ibisdev.New()
+				default:
+					return fmt.Errorf("unknown flavour %q", flavour)
+				}
+				pids, err := d.Init(xdev.Config{Rank: rank, Size: n, Group: group})
+				if err != nil {
+					return fmt.Errorf("init: %w", err)
+				}
+				defer d.Finish()
+				comm, err := mpjdev.NewComm(d, pids, rank, 4096)
+				if err != nil {
+					return err
+				}
+				w, err := New(comm, make([]byte, winBytes), cfg)
+				if err != nil {
+					return fmt.Errorf("window create: %w", err)
+				}
+				fn(w, rank)
+				if err := w.Free(); err != nil {
+					return fmt.Errorf("free: %w", err)
+				}
+				return nil
+			}()
+		}(i)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestAccumulateApply(t *testing.T) {
+	le := binary.LittleEndian
+	i64 := func(vs ...int64) []byte {
+		b := make([]byte, 8*len(vs))
+		for i, v := range vs {
+			le.PutUint64(b[8*i:], uint64(v))
+		}
+		return b
+	}
+	cases := []struct {
+		name          string
+		dst, src, out []byte
+		et            ElemType
+		op            AccOp
+	}{
+		{"replace", i64(1, 2), i64(9, 8), i64(9, 8), Int64, Replace},
+		{"sum64", i64(1, -2), i64(10, 3), i64(11, 1), Int64, Sum},
+		{"prod64", i64(3, -4), i64(5, 2), i64(15, -8), Int64, Prod},
+		{"max64", i64(3, 9), i64(5, 2), i64(5, 9), Int64, Max},
+		{"min64", i64(3, 9), i64(5, 2), i64(3, 2), Int64, Min},
+		{"band", i64(0b1100), i64(0b1010), i64(0b1000), Int64, Band},
+		{"bor", i64(0b1100), i64(0b1010), i64(0b1110), Int64, Bor},
+		{"bxor", i64(0b1100), i64(0b1010), i64(0b0110), Int64, Bxor},
+		{"bytesum", []byte{1, 2}, []byte{3, 4}, []byte{4, 6}, Byte, Sum},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dst := append([]byte(nil), tc.dst...)
+			if err := accumulate(dst, tc.src, tc.et, tc.op); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dst, tc.out) {
+				t.Fatalf("got %v want %v", dst, tc.out)
+			}
+		})
+	}
+
+	t.Run("int32", func(t *testing.T) {
+		dst := make([]byte, 4)
+		src := make([]byte, 4)
+		neg := int32(-5)
+		le.PutUint32(dst, uint32(neg))
+		le.PutUint32(src, 7)
+		if err := accumulate(dst, src, Int32, Sum); err != nil {
+			t.Fatal(err)
+		}
+		if got := int32(le.Uint32(dst)); got != 2 {
+			t.Fatalf("got %d want 2", got)
+		}
+	})
+	t.Run("float64", func(t *testing.T) {
+		dst := make([]byte, 8)
+		src := make([]byte, 8)
+		le.PutUint64(dst, f64bits(1.5))
+		le.PutUint64(src, f64bits(2.25))
+		if err := accumulate(dst, src, Float64, Sum); err != nil {
+			t.Fatal(err)
+		}
+		if got := f64(le.Uint64(dst)); got != 3.75 {
+			t.Fatalf("got %v want 3.75", got)
+		}
+	})
+	t.Run("float32-band-rejected", func(t *testing.T) {
+		if err := accumulate(make([]byte, 4), make([]byte, 4), Float32, Band); err == nil {
+			t.Fatal("BAND over floats accepted")
+		}
+	})
+	t.Run("length-mismatch", func(t *testing.T) {
+		if err := accumulate(make([]byte, 8), make([]byte, 7), Int64, Sum); err == nil {
+			t.Fatal("ragged length accepted")
+		}
+	})
+}
+
+// testWindowOps drives the core Put/Get/Accumulate/Fence/Lock cycle;
+// shared between the direct and active-message paths.
+func testWindowOps(t *testing.T, flavour string) {
+	const winBytes = 200 << 10 // forces segmentation on the AM path
+	runWin(t, flavour, 2, winBytes, Config{}, func(w *Win, rank int) {
+		if sm := w.State().SharedMem; sm != (flavour == "smp") {
+			t.Errorf("rank %d: SharedMem=%v on %s", rank, sm, flavour)
+		}
+		// Epoch 1: rank 0 puts a large pattern into rank 1.
+		data := make([]byte, 150<<10)
+		if rank == 0 {
+			for i := range data {
+				data[i] = byte(i*31 + 7)
+			}
+			if err := w.Put(data, 1, 4096); err != nil {
+				t.Errorf("put: %v", err)
+			}
+		}
+		if err := w.Fence(); err != nil {
+			t.Errorf("rank %d fence 1: %v", rank, err)
+			return
+		}
+		if rank == 1 {
+			win := w.Buffer()
+			for i := range data {
+				if win[4096+i] != byte(i*31+7) {
+					t.Errorf("byte %d: got %d want %d", i, win[4096+i], byte(i*31+7))
+					break
+				}
+			}
+		}
+		// Rank 0 reads its data back one-sidedly: bit-identity round trip.
+		if rank == 0 {
+			back := make([]byte, len(data))
+			if err := w.Get(back, 1, 4096); err != nil {
+				t.Errorf("get: %v", err)
+			} else if !bytes.Equal(back, data) {
+				t.Error("get round trip differs from put data")
+			}
+		}
+		if err := w.Fence(); err != nil {
+			t.Errorf("rank %d fence 2: %v", rank, err)
+			return
+		}
+		// Epoch 3: both ranks accumulate into rank 0; same-origin
+		// Replace-then-Sum must apply in issue order.
+		le := binary.LittleEndian
+		val := make([]byte, 8)
+		le.PutUint64(val, uint64(100+rank))
+		if err := w.Accumulate(val, 0, 8*rank, Int64, Replace); err != nil {
+			t.Errorf("accumulate replace: %v", err)
+		}
+		le.PutUint64(val, 7)
+		if err := w.Accumulate(val, 0, 8*rank, Int64, Sum); err != nil {
+			t.Errorf("accumulate sum: %v", err)
+		}
+		if err := w.Fence(); err != nil {
+			t.Errorf("rank %d fence 3: %v", rank, err)
+			return
+		}
+		if rank == 0 {
+			for r := 0; r < 2; r++ {
+				if got := int64(le.Uint64(w.Buffer()[8*r:])); got != int64(107+r) {
+					t.Errorf("slot %d: got %d want %d", r, got, 107+r)
+				}
+			}
+		}
+		// Passive target: rank 1 writes rank 0's window under an
+		// exclusive lock; rank 0 waits on a fence-free flag.
+		if rank == 1 {
+			if err := w.Lock(0, false); err != nil {
+				t.Errorf("lock: %v", err)
+				return
+			}
+			le.PutUint64(val, 4242)
+			if err := w.Put(val, 0, 1024); err != nil {
+				t.Errorf("locked put: %v", err)
+			}
+			if err := w.Unlock(0); err != nil {
+				t.Errorf("unlock: %v", err)
+			}
+		}
+		if err := w.Fence(); err != nil {
+			t.Errorf("rank %d fence 4: %v", rank, err)
+			return
+		}
+		if rank == 0 {
+			if got := le.Uint64(w.Buffer()[1024:]); got != 4242 {
+				t.Errorf("locked put: got %d want 4242", got)
+			}
+		}
+	})
+}
+
+func TestWindowOpsShared(t *testing.T) { testWindowOps(t, "smp") }
+func TestWindowOpsAM(t *testing.T)     { testWindowOps(t, "ibis") }
+
+// TestSharedPutZeroAllocs pins the tentpole performance property: on a
+// shared-address-space device a Put is a lock + memcpy with zero
+// steady-state allocation.
+func TestSharedPutZeroAllocs(t *testing.T) {
+	runWin(t, "smp", 2, 1<<16, Config{}, func(w *Win, rank int) {
+		if rank != 0 {
+			return
+		}
+		data := make([]byte, 4096)
+		if err := w.Put(data, 1, 0); err != nil {
+			t.Fatalf("warmup put: %v", err)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			if err := w.Put(data, 1, 128); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("shared-memory Put: %.1f allocs/op, want 0", allocs)
+		}
+		got := make([]byte, 64)
+		allocsGet := testing.AllocsPerRun(200, func() {
+			if err := w.Get(got, 1, 128); err != nil {
+				t.Fatalf("get: %v", err)
+			}
+		})
+		if allocsGet != 0 {
+			t.Errorf("shared-memory Get: %.1f allocs/op, want 0", allocsGet)
+		}
+	})
+}
+
+func TestOutOfRange(t *testing.T) {
+	runWin(t, "smp", 2, 1024, Config{}, func(w *Win, rank int) {
+		if rank == 0 {
+			if err := w.Put(make([]byte, 64), 1, 1000); !errors.Is(err, ErrOutOfRange) {
+				t.Errorf("overrun put: err=%v, want ErrOutOfRange", err)
+			}
+			if err := w.Get(make([]byte, 2048), 1, 0); !errors.Is(err, ErrOutOfRange) {
+				t.Errorf("overrun get: err=%v, want ErrOutOfRange", err)
+			}
+			if err := w.Put(make([]byte, 8), 5, 0); err == nil {
+				t.Error("put to rank 5 of 2 accepted")
+			}
+		}
+	})
+}
+
+// TestAMOutOfRangeGet checks the remote bounds check on the message
+// path: the target rejects the access and the origin sees
+// ErrOutOfRange rather than corrupt data or a hang.
+func TestAMOutOfRangeGet(t *testing.T) {
+	runWin(t, "ibis", 2, 1024, Config{}, func(w *Win, rank int) {
+		if rank == 0 {
+			err := w.Get(make([]byte, 512), 1, 900)
+			if !errors.Is(err, ErrOutOfRange) {
+				t.Errorf("remote overrun get: err=%v, want ErrOutOfRange", err)
+			}
+		}
+	})
+}
+
+func TestLockQueueFIFO(t *testing.T) {
+	// Unit-level check of the lock state machine: a queued exclusive
+	// request blocks later shared requests (no reader starvation of the
+	// writer), and promotion grants the leading run.
+	w := &Win{exclHolder: -1, sharedHolders: make(map[int]bool)}
+	if !w.grantableLocked(true) {
+		t.Fatal("first shared not grantable")
+	}
+	w.takeLockLocked(1, true)
+	if w.grantableLocked(false) {
+		t.Fatal("exclusive grantable while shared held")
+	}
+	w.lkQ = append(w.lkQ, lockReq{src: 2, opID: 10, shared: false})
+	if w.grantableLocked(true) {
+		t.Fatal("shared grantable past queued exclusive")
+	}
+	w.lkQ = append(w.lkQ, lockReq{src: 3, opID: 11, shared: true})
+	w.lkQ = append(w.lkQ, lockReq{src: 4, opID: 12, shared: true})
+	w.releaseLockLocked(1)
+	g := w.promoteLocked()
+	if len(g) != 1 || g[0].src != 2 || g[0].shared {
+		t.Fatalf("promotion after release: %+v, want exclusive for rank 2", g)
+	}
+	w.releaseLockLocked(2)
+	g = w.promoteLocked()
+	if len(g) != 2 || g[0].src != 3 || g[1].src != 4 {
+		t.Fatalf("shared batch promotion: %+v, want ranks 3,4", g)
+	}
+}

@@ -1,0 +1,68 @@
+package rma
+
+import "sync"
+
+// region is one rank's exposed window memory. Every one-sided access —
+// local, shared-memory direct, or applied by the window's message
+// handler — happens under mu, which is what makes an individual Put,
+// Get or Accumulate atomic with respect to every other one on the same
+// window.
+type region struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+// shmGroup is the rendezvous for the windows of one WinCreate on a
+// shared-address-space device: each rank registers its region under
+// its rank index, and afterwards every rank reaches every region with
+// a plain slice access. Registration happens before the window's
+// initial fence and lookup after it, so the fence's message exchange
+// (through the device's own locks and channels) is the happens-before
+// edge that publishes the slice to all ranks.
+type shmGroup struct {
+	regions []*region
+	joined  int
+}
+
+// shmBoard is the process-global registry of window groups, keyed by
+// the device's memory domain plus the window's private context. Two
+// windows of the same communicator land on different contexts and
+// therefore different groups; ranks of unrelated jobs differ in
+// domain.
+var shmBoard = struct {
+	sync.Mutex
+	groups map[string]*shmGroup
+}{groups: make(map[string]*shmGroup)}
+
+// shmJoin registers rank's region under key and returns the group
+// shared by all ranks of the window.
+func shmJoin(key string, size, rank int, r *region) *shmGroup {
+	shmBoard.Lock()
+	defer shmBoard.Unlock()
+	g := shmBoard.groups[key]
+	if g == nil || len(g.regions) != size {
+		g = &shmGroup{regions: make([]*region, size)}
+		shmBoard.groups[key] = g
+	}
+	g.regions[rank] = r
+	g.joined++
+	return g
+}
+
+// shmLeave drops rank's registration, deleting the group once the last
+// rank leaves so a later window may reuse the context.
+func shmLeave(key string, rank int) {
+	shmBoard.Lock()
+	defer shmBoard.Unlock()
+	g := shmBoard.groups[key]
+	if g == nil {
+		return
+	}
+	if rank >= 0 && rank < len(g.regions) {
+		g.regions[rank] = nil
+	}
+	g.joined--
+	if g.joined <= 0 {
+		delete(shmBoard.groups, key)
+	}
+}

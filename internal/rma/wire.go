@@ -1,0 +1,228 @@
+package rma
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+func f32(b uint32) float32     { return math.Float32frombits(b) }
+func f32bits(f float32) uint32 { return math.Float32bits(f) }
+func f64(b uint64) float64     { return math.Float64frombits(b) }
+func f64bits(f float64) uint64 { return math.Float64bits(f) }
+
+// One-sided operations ride a single active-message frame shape on the
+// window's private matching context: a fixed header of six int64 words
+// followed by an optional byte payload, packed with the mpjbuf typed
+// sections so every device moves it like any other message.
+//
+//	[kind, opID, offset, length, aux1, aux2] + payload
+//
+// kind selects the decode; opID correlates a request with its reply;
+// offset/length address the target window in bytes; aux1/aux2 carry
+// kind-specific extras (element type + accumulate op, fence epoch,
+// lock mode, error codes). Large Put/Get transfers are split into
+// segments of at most Config.Segment payload bytes, each its own
+// frame, so frames stay under the devices' eager limits and a transfer
+// never monopolizes the target's handler.
+const (
+	frPut int64 = iota + 1
+	frGet
+	frAcc
+	frGetRep
+	frAck
+	frFence
+	frLock
+	frGrant
+	frUnlock
+	frUnlockAck
+	frStop // local handler shutdown, only ever self-addressed
+)
+
+// frameWords is the fixed header length in int64 words.
+const frameWords = 6
+
+// Remote status codes carried in a reply's aux1.
+const (
+	remoteOK int64 = iota
+	remoteRange
+	remoteApply
+)
+
+// AccOp identifies the combining operation of an Accumulate. The codes
+// are wire-stable: both sides of a job must agree on them.
+type AccOp uint8
+
+// Built-in accumulate operations (MPI_REPLACE, MPI_SUM, ...). Only
+// built-ins travel the wire; user-defined ops cannot be shipped to the
+// target.
+const (
+	Replace AccOp = iota + 1
+	Sum
+	Prod
+	Max
+	Min
+	Band
+	Bor
+	Bxor
+)
+
+var accOpNames = map[AccOp]string{
+	Replace: "REPLACE", Sum: "SUM", Prod: "PROD", Max: "MAX",
+	Min: "MIN", Band: "BAND", Bor: "BOR", Bxor: "BXOR",
+}
+
+// String names the accumulate op.
+func (o AccOp) String() string {
+	if n, ok := accOpNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("AccOp(%d)", uint8(o))
+}
+
+// ElemType identifies the element layout of an Accumulate payload.
+// Elements are little-endian in both the payload and the window.
+type ElemType uint8
+
+// Element types accumulate operations combine over.
+const (
+	Byte ElemType = iota + 1
+	Int32
+	Int64
+	Float32
+	Float64
+)
+
+// Size returns the element width in bytes.
+func (e ElemType) Size() int {
+	switch e {
+	case Byte:
+		return 1
+	case Int32, Float32:
+		return 4
+	case Int64, Float64:
+		return 8
+	}
+	return 0
+}
+
+var elemNames = map[ElemType]string{
+	Byte: "BYTE", Int32: "INT32", Int64: "INT64",
+	Float32: "FLOAT32", Float64: "FLOAT64",
+}
+
+// String names the element type.
+func (e ElemType) String() string {
+	if n, ok := elemNames[e]; ok {
+		return n
+	}
+	return fmt.Sprintf("ElemType(%d)", uint8(e))
+}
+
+func combineInt(target, in int64, op AccOp) (int64, error) {
+	switch op {
+	case Sum:
+		return target + in, nil
+	case Prod:
+		return target * in, nil
+	case Max:
+		if in > target {
+			return in, nil
+		}
+		return target, nil
+	case Min:
+		if in < target {
+			return in, nil
+		}
+		return target, nil
+	case Band:
+		return target & in, nil
+	case Bor:
+		return target | in, nil
+	case Bxor:
+		return target ^ in, nil
+	}
+	return 0, fmt.Errorf("rma: accumulate op %v unsupported for integers", op)
+}
+
+func combineFloat(target, in float64, op AccOp) (float64, error) {
+	switch op {
+	case Sum:
+		return target + in, nil
+	case Prod:
+		return target * in, nil
+	case Max:
+		if in > target {
+			return in, nil
+		}
+		return target, nil
+	case Min:
+		if in < target {
+			return in, nil
+		}
+		return target, nil
+	}
+	return 0, fmt.Errorf("rma: accumulate op %v unsupported for floats", op)
+}
+
+// accumulate combines src into dst element-wise: dst[i] = op(dst[i],
+// src[i]). The caller holds the target region's lock, so the
+// read-modify-write of each element is atomic with respect to every
+// other one-sided operation on the window.
+func accumulate(dst, src []byte, et ElemType, op AccOp) error {
+	w := et.Size()
+	if w == 0 {
+		return fmt.Errorf("rma: unknown element type %v", et)
+	}
+	if len(dst) != len(src) || len(src)%w != 0 {
+		return fmt.Errorf("rma: accumulate length %d not a multiple of %v elements", len(src), et)
+	}
+	if op == Replace {
+		copy(dst, src)
+		return nil
+	}
+	le := binary.LittleEndian
+	switch et {
+	case Byte:
+		for i := range src {
+			v, err := combineInt(int64(dst[i]), int64(src[i]), op)
+			if err != nil {
+				return err
+			}
+			dst[i] = byte(v)
+		}
+	case Int32:
+		for i := 0; i < len(src); i += 4 {
+			v, err := combineInt(int64(int32(le.Uint32(dst[i:]))), int64(int32(le.Uint32(src[i:]))), op)
+			if err != nil {
+				return err
+			}
+			le.PutUint32(dst[i:], uint32(int32(v)))
+		}
+	case Int64:
+		for i := 0; i < len(src); i += 8 {
+			v, err := combineInt(int64(le.Uint64(dst[i:])), int64(le.Uint64(src[i:])), op)
+			if err != nil {
+				return err
+			}
+			le.PutUint64(dst[i:], uint64(v))
+		}
+	case Float32:
+		for i := 0; i < len(src); i += 4 {
+			v, err := combineFloat(float64(f32(le.Uint32(dst[i:]))), float64(f32(le.Uint32(src[i:]))), op)
+			if err != nil {
+				return err
+			}
+			le.PutUint32(dst[i:], f32bits(float32(v)))
+		}
+	case Float64:
+		for i := 0; i < len(src); i += 8 {
+			v, err := combineFloat(f64(le.Uint64(dst[i:])), f64(le.Uint64(src[i:])), op)
+			if err != nil {
+				return err
+			}
+			le.PutUint64(dst[i:], f64bits(v))
+		}
+	}
+	return nil
+}

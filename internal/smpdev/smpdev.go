@@ -122,6 +122,31 @@ func (d *Device) Introspect() any {
 	}{Core: d.core.Introspect()}
 }
 
+// MemoryDomain names the in-process job namespace this device joined,
+// enabling the one-sided layer's zero-copy shared-memory delivery
+// (xdev.MemoryDomain): every rank of an smpdev job lives in this
+// process, so a window's memory is directly addressable by its peers.
+func (d *Device) MemoryDomain() (string, bool) {
+	if !d.initDone {
+		return "", false
+	}
+	name := d.cfg.Group
+	if name == "" {
+		name = "smp-default"
+	}
+	return DeviceName + "/" + name, true
+}
+
+// PeerErr reports the recorded death error of peer p, or nil while it
+// is alive (xdev.PeerChecker). Finish propagates departures as sticky
+// per-peer records on every survivor core, so the answer is stable.
+func (d *Device) PeerErr(p xdev.ProcessID) error {
+	if d.core == nil {
+		return nil
+	}
+	return d.core.PeerErr(p.UUID)
+}
+
 // Init joins (and if necessary creates) the in-process group named by
 // cfg.Group, claiming the core for cfg.Rank.
 func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {

@@ -43,6 +43,12 @@ type Source struct {
 	SendHist   func() mpe.HistSnapshot
 	RecvHist   func() mpe.HistSnapshot
 	Introspect func() any
+	// RmaHist reports the rank's RMA fence-epoch latency histogram
+	// (nil when not tracing).
+	RmaHist func() mpe.HistSnapshot
+	// RMA reports the rank's live one-sided window state (nil when the
+	// rank has no windows to report).
+	RMA func() any
 }
 
 // Introspector is implemented by devices that can dump their live
@@ -145,6 +151,11 @@ func (s *Server) serveIntrospect(w http.ResponseWriter, _ *http.Request) {
 		if src.Introspect != nil {
 			st["state"] = src.Introspect()
 		}
+		if src.RMA != nil {
+			if ws := src.RMA(); ws != nil {
+				st["rma"] = ws
+			}
+		}
 		out[fmt.Sprint(src.Rank)] = st
 	}
 	enc := json.NewEncoder(w)
@@ -167,6 +178,10 @@ var counterDefs = []struct {
 	{"mpj_requests_failed_total", "Requests completed with an error.", func(c mpe.CounterSnapshot) uint64 { return c.RequestsFailed }},
 	{"mpj_coll_segs_sent_total", "Pipeline segments sent by segmented collectives.", func(c mpe.CounterSnapshot) uint64 { return c.CollSegsSent }},
 	{"mpj_coll_segs_recv_total", "Pipeline segments received by segmented collectives.", func(c mpe.CounterSnapshot) uint64 { return c.CollSegsRecv }},
+	{"mpj_rma_puts_total", "One-sided Put operations issued as origin.", func(c mpe.CounterSnapshot) uint64 { return c.RmaPuts }},
+	{"mpj_rma_gets_total", "One-sided Get operations issued as origin.", func(c mpe.CounterSnapshot) uint64 { return c.RmaGets }},
+	{"mpj_rma_accs_total", "One-sided Accumulate operations issued as origin.", func(c mpe.CounterSnapshot) uint64 { return c.RmaAccs }},
+	{"mpj_rma_bytes_total", "Payload bytes moved by one-sided operations issued as origin.", func(c mpe.CounterSnapshot) uint64 { return c.RmaBytes }},
 }
 
 // WriteMetrics writes the Prometheus text exposition (format 0.0.4)
@@ -191,6 +206,9 @@ func WriteMetrics(w io.Writer, sources []Source) {
 	writeHistFamily(w, sources, "mpj_recv_latency_ns",
 		"Receive completion latency in nanoseconds, by message-size class.",
 		func(s Source) func() mpe.HistSnapshot { return s.RecvHist })
+	writeHistFamily(w, sources, "mpj_rma_fence_latency_ns",
+		"RMA fence epoch latency in nanoseconds, by epoch-bytes class.",
+		func(s Source) func() mpe.HistSnapshot { return s.RmaHist })
 }
 
 func writeHistFamily(w io.Writer, sources []Source, name, help string, pick func(Source) func() mpe.HistSnapshot) {

@@ -155,6 +155,29 @@ type Device interface {
 	Peek() (Request, error)
 }
 
+// MemoryDomain is an optional capability of devices whose job members
+// share one address space (smpdev). Such a device names its shared
+// domain, letting one-sided layers (internal/rma) rendezvous through a
+// process-local registry and complete Put/Get as direct memory copies
+// instead of active messages. Devices whose ranks may live in separate
+// processes must not implement it.
+type MemoryDomain interface {
+	// MemoryDomain returns a job-unique namespace shared by every rank
+	// of the job, and true. Returning false disables the shared-memory
+	// path (e.g. before Init).
+	MemoryDomain() (string, bool)
+}
+
+// PeerChecker is an optional capability of devices that can report
+// whether a specific peer is known to be gone. One-sided
+// synchronization (rma.Fence/Unlock) polls it so an epoch blocked on a
+// dead peer fails with an error wrapping ErrPeerLost instead of
+// hanging. A nil return means the peer is alive as far as the device
+// knows — it is not a liveness guarantee.
+type PeerChecker interface {
+	PeerErr(p ProcessID) error
+}
+
 // Error is the xdev error type (the Java XDevException).
 type Error struct {
 	Dev string // device name

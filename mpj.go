@@ -67,6 +67,17 @@ type (
 	Request = core.Request
 	// ThreadLevel is an MPI-2.0 thread-support level.
 	ThreadLevel = core.ThreadLevel
+	// Win is a one-sided communication window (MPI-2 RMA): each rank
+	// exposes a byte region that any rank reads, writes and combines
+	// into with Put/Get/Accumulate, synchronized by Fence or
+	// Lock/Unlock. Created with Intracomm.WinCreate.
+	Win = core.Win
+)
+
+// Lock types for Win.Lock (MPI_LOCK_SHARED / MPI_LOCK_EXCLUSIVE).
+const (
+	LockShared    = core.LockShared
+	LockExclusive = core.LockExclusive
 )
 
 // Wildcards and special ranks.
@@ -106,6 +117,10 @@ var (
 
 // Built-in reduction operations.
 var (
+	// REPLACE is the MPI_REPLACE accumulate op (Win.Accumulate only
+	// combines with built-in ops).
+	REPLACE = core.REPLACE
+
 	MAX    = core.MAX
 	MIN    = core.MIN
 	SUM    = core.SUM

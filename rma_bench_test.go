@@ -1,0 +1,155 @@
+package mpj
+
+// One-sided vs two-sided microbenchmarks (the ISSUE 6 tentpole's
+// headline numbers, recorded in EXPERIMENTS.md): Put/Get/Accumulate
+// against the equivalent Send/Recv exchange, on the shared-memory
+// device (direct delivery: Put is a mutex + memcpy) and on niodev
+// (active-message delivery: frames through the TCP stack). Small
+// stays under one segment; large crosses the 64 KiB segment size —
+// and, for the two-sided niodev baseline, the 128 KiB eager limit.
+
+import (
+	"fmt"
+	"testing"
+)
+
+var rmaBenchSizes = []struct {
+	name string
+	n    int
+}{
+	{"small-1KiB", 1 << 10},
+	{"large-256KiB", 256 << 10},
+}
+
+var rmaBenchDevices = []string{"smpdev", "niodev"}
+
+// benchRMAWin runs a 2-rank job with one window per rank: rank 0 runs
+// the timed body, rank 1 is a passive target that only matches the
+// body's fences (fences are collective — every rank must make the
+// same number of Fence calls). Free's internal fence then holds both
+// ranks in the job until the other is done.
+func benchRMAWin(b *testing.B, device string, winBytes, fences int, fn func(w *Win) error) {
+	b.Helper()
+	benchWorld(b, 2, &Options{Device: device}, func(p *Process) error {
+		w, err := p.World().WinCreate(make([]byte, winBytes))
+		if err != nil {
+			return err
+		}
+		if p.World().Rank() == 0 {
+			if err := fn(w); err != nil {
+				return err
+			}
+		} else {
+			for i := 0; i < fences; i++ {
+				if err := w.Fence(); err != nil {
+					return err
+				}
+			}
+		}
+		return w.Free()
+	})
+}
+
+func BenchmarkRMAPut(b *testing.B) {
+	for _, dev := range rmaBenchDevices {
+		for _, sz := range rmaBenchSizes {
+			b.Run(dev+"/"+sz.name, func(b *testing.B) {
+				b.SetBytes(int64(sz.n))
+				data := make([]byte, sz.n)
+				benchRMAWin(b, dev, sz.n, 1, func(w *Win) error {
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := w.Put(data, 1, 0); err != nil {
+							return err
+						}
+					}
+					// The closing fence is part of what a real epoch
+					// pays; keep it inside the timed region.
+					err := w.Fence()
+					b.StopTimer()
+					return err
+				})
+			})
+		}
+	}
+}
+
+func BenchmarkRMAGet(b *testing.B) {
+	for _, dev := range rmaBenchDevices {
+		for _, sz := range rmaBenchSizes {
+			b.Run(dev+"/"+sz.name, func(b *testing.B) {
+				b.SetBytes(int64(sz.n))
+				dst := make([]byte, sz.n)
+				benchRMAWin(b, dev, sz.n, 0, func(w *Win) error {
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := w.Get(dst, 1, 0); err != nil {
+							return err
+						}
+					}
+					b.StopTimer()
+					return nil
+				})
+			})
+		}
+	}
+}
+
+func BenchmarkRMAAccumulate(b *testing.B) {
+	const n = 1 << 10 // 128 int64 slots
+	for _, dev := range rmaBenchDevices {
+		b.Run(dev, func(b *testing.B) {
+			b.SetBytes(n)
+			data := make([]byte, n)
+			benchRMAWin(b, dev, n, 1, func(w *Win) error {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := w.Accumulate(data, 1, 0, LONG, SUM); err != nil {
+						return err
+					}
+				}
+				err := w.Fence()
+				b.StopTimer()
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkRMASendRecvBaseline is the two-sided equivalent of the Put
+// benchmark: the same bytes moved with Send on one side and a posted
+// Recv on the other — the receiver participation one-sided
+// communication eliminates.
+func BenchmarkRMASendRecvBaseline(b *testing.B) {
+	for _, dev := range rmaBenchDevices {
+		for _, sz := range rmaBenchSizes {
+			b.Run(fmt.Sprintf("%s/%s", dev, sz.name), func(b *testing.B) {
+				b.SetBytes(int64(sz.n))
+				benchWorld(b, 2, &Options{Device: dev}, func(p *Process) error {
+					w := p.World()
+					buf := make([]byte, sz.n)
+					// Only rank 0 touches the timer: b is not
+					// goroutine-safe and both ranks run this body.
+					if w.Rank() == 0 {
+						b.ResetTimer()
+					}
+					for i := 0; i < b.N; i++ {
+						if w.Rank() == 0 {
+							if err := w.Send(buf, 0, sz.n, BYTE, 1, 0); err != nil {
+								return err
+							}
+						} else {
+							if _, err := w.Recv(buf, 0, sz.n, BYTE, 0, 0); err != nil {
+								return err
+							}
+						}
+					}
+					if w.Rank() == 0 {
+						b.StopTimer()
+					}
+					return nil
+				})
+			})
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"mpj/internal/core"
 	"mpj/internal/mpe"
 	"mpj/internal/netsim"
+	"mpj/internal/rma"
 	"mpj/internal/telemetry"
 	"mpj/internal/transport"
 	"mpj/internal/xdev"
@@ -240,6 +241,14 @@ func telemetrySource(rank int, device string, dev xdev.Device, tr *mpe.Tracer) t
 	if tr != nil {
 		src.SendHist = tr.SendHist
 		src.RecvHist = tr.RecvHist
+		src.RmaHist = tr.RmaHist
+	}
+	src.RMA = func() any {
+		ws := rma.DeviceState(dev)
+		if len(ws) == 0 {
+			return nil
+		}
+		return ws
 	}
 	return src
 }
@@ -289,6 +298,11 @@ const (
 	// messages a collective exchanges.
 	EnvCollSegment = core.EnvCollSegment
 	EnvCollAlgo    = core.EnvCollAlgo
+
+	// EnvRmaSegment sets the payload size, in bytes, that one-sided
+	// (RMA) transfers are split into on the active-message path
+	// (default 64 KiB). It only shapes the issuing rank's own traffic.
+	EnvRmaSegment = core.EnvRmaSegment
 )
 
 // InitFromEnv joins the multi-process job described by the MPJ_*
