@@ -7,10 +7,16 @@
 // Usage:
 //
 //	mpjdaemon [-addr :10000] [-scratch DIR] [-metrics :9100]
+//	          [-hb-interval 2s] [-hb-misses 3]
 //
 // With -metrics the daemon also serves an HTTP endpoint aggregating
 // the live telemetry (/metrics, /introspect) of every rank it has
-// started with MPJ_METRICS_ADDR set.
+// started with MPJ_METRICS_ADDR set. With -hb-interval the daemon
+// heartbeats the peer daemons of each job it hosts and tears the
+// job's local ranks down after -hb-misses consecutive misses from one
+// peer (a dead compute node takes its jobs' survivors with it). The
+// flag defaults come from MPJ_HEARTBEAT_INTERVAL and
+// MPJ_HEARTBEAT_MISSES.
 package main
 
 import (
@@ -24,9 +30,16 @@ import (
 )
 
 func main() {
+	hbi, hbm, envErr := mpjrt.HeartbeatFromEnv()
+	if envErr != nil {
+		fmt.Fprintln(os.Stderr, "mpjdaemon:", envErr)
+		os.Exit(2)
+	}
 	addr := flag.String("addr", ":10000", "listen address")
 	scratch := flag.String("scratch", "", "download directory for remotely loaded programs (default: temp dir)")
 	metrics := flag.String("metrics", "", "serve aggregated rank telemetry on this host:port (\":0\" picks a port)")
+	hbInterval := flag.Duration("hb-interval", hbi, "ping each job's peer daemons at this interval; 0 disables (env MPJ_HEARTBEAT_INTERVAL)")
+	hbMisses := flag.Int("hb-misses", hbm, "consecutive missed heartbeats before a peer node is presumed dead (env MPJ_HEARTBEAT_MISSES)")
 	flag.Parse()
 
 	d, err := mpjrt.NewDaemon(*addr, *scratch)
@@ -35,6 +48,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("mpjdaemon listening on %s\n", d.Addr())
+	if *hbInterval > 0 {
+		d.SetHeartbeat(*hbInterval, *hbMisses)
+		fmt.Printf("mpjdaemon heartbeat every %s, %d misses tolerated\n", *hbInterval, *hbMisses)
+	}
 	if *metrics != "" {
 		maddr, err := d.ServeMetrics(*metrics)
 		if err != nil {

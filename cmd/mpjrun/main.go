@@ -6,14 +6,18 @@
 // Usage:
 //
 //	mpjrun -np 4 -daemons host1:10000,host2:10000 [-dev niodev]
-//	       [-baseport 20000] [-remote] [-metrics :9090] program [args...]
+//	       [-baseport 20000] [-remote] [-metrics :9090] [-ft]
+//	       [-hb-interval 2s] [-hb-misses 3] program [args...]
 //
 // With -remote the program binary is served over HTTP from this
 // machine and downloaded by the daemons (remote loading, Fig. 9b);
 // otherwise daemons execute the path from their local or shared
 // filesystem (local loading, Fig. 9a). With -metrics each rank serves
 // live telemetry (MPJ_METRICS_ADDR) on its node at baseport+1000+rank
-// and mpjrun aggregates all of them at the given address.
+// and mpjrun aggregates all of them at the given address. With -ft a
+// rank exiting nonzero is reported as a lost member instead of
+// killing the job: the surviving ranks keep running and are expected
+// to recover via comm.Revoke/Shrink (see DESIGN.md §10).
 package main
 
 import (
@@ -33,6 +37,9 @@ func main() {
 	basePort := flag.Int("baseport", 20000, "first rank listen port")
 	remote := flag.Bool("remote", false, "serve the binary over HTTP to the daemons (remote loading)")
 	metrics := flag.String("metrics", "", "serve job-level live telemetry on this host:port (\":0\" picks a port); ranks serve theirs on baseport+1000+rank")
+	ft := flag.Bool("ft", false, "fault-tolerant mode: a failed rank is reported as lost instead of killing the job; survivors shrink and continue")
+	hbInterval := flag.Duration("hb-interval", 0, "override the daemons' heartbeat interval for this job (0 = daemon default)")
+	hbMisses := flag.Int("hb-misses", 0, "override the daemons' tolerated consecutive heartbeat misses for this job (0 = daemon default)")
 	ping := flag.Bool("ping", false, "check that every daemon is reachable, then exit")
 	status := flag.Bool("status", false, "print every daemon's running jobs, then exit")
 	flag.Parse()
@@ -78,6 +85,10 @@ func main() {
 		BasePort:   *basePort,
 		RemoteLoad: *remote,
 		Output:     os.Stdout,
+
+		FT:                *ft,
+		HeartbeatInterval: *hbInterval,
+		HeartbeatMisses:   *hbMisses,
 	}
 	if *metrics != "" {
 		// Rank listen ports start at baseport; rank telemetry ports
@@ -90,8 +101,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mpjrun:", err)
 		os.Exit(1)
 	}
-	for _, code := range res.ExitCodes {
-		if code != 0 {
+	// A lost rank exits nonzero by definition; in fault-tolerant mode
+	// the job still succeeded if the survivors did.
+	lost := make(map[int]bool, len(res.Lost))
+	for _, r := range res.Lost {
+		lost[r] = true
+	}
+	for rank, code := range res.ExitCodes {
+		if code != 0 && !lost[rank] {
 			os.Exit(code)
 		}
 	}

@@ -6,9 +6,19 @@
 // with an Allreduce.
 //
 //	go run ./examples/heat -grid 96 -iters 200 -np 4
+//
+// With -ckpt the solver becomes fault tolerant: it takes a
+// coordinated checkpoint every few iterations, and when a rank dies
+// (simulate one with -kill/-kill-iter) the survivors revoke the
+// damaged communicator, shrink to a new one, restore the plate from
+// the last checkpoint, and converge anyway on fewer ranks:
+//
+//	go run ./examples/heat -ckpt /tmp/heat-ckpt -kill 1 -kill-iter 30
 package main
 
 import (
+	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -22,12 +32,21 @@ func main() {
 	iters := flag.Int("iters", 200, "maximum Jacobi iterations")
 	np := flag.Int("np", 4, "number of ranks")
 	eps := flag.Float64("eps", 1e-4, "convergence threshold")
+	ckptDir := flag.String("ckpt", "", "fault-tolerant mode: coordinated checkpoint directory")
+	ckptEvery := flag.Int("ckpt-every", 20, "iterations between checkpoints (with -ckpt)")
+	kill := flag.Int("kill", -1, "rank to kill mid-run, demonstrating recovery (with -ckpt)")
+	killIter := flag.Int("kill-iter", 30, "iteration at which -kill strikes")
 	flag.Parse()
 
-	err := mpj.RunLocal(*np, func(p *mpj.Process) error {
+	body := func(p *mpj.Process) error {
 		return solve(p, *gridN, *iters, *eps)
-	})
-	if err != nil {
+	}
+	if *ckptDir != "" {
+		body = func(p *mpj.Process) error {
+			return solveFT(p, *gridN, *iters, *eps, *ckptDir, *ckptEvery, *kill, *killIter)
+		}
+	}
+	if err := mpj.RunLocal(*np, body); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -177,6 +196,255 @@ func sendrecvOrNull(cart *mpj.CartComm,
 		}
 	}
 	return nil
+}
+
+// ----------------------------------------------------------------
+// Fault-tolerant mode (-ckpt): coordinated checkpoints plus ULFM
+// recovery. The global plate is the unit of state — blocks are carved
+// out of it on entry to a solve span and reassembled into it at every
+// checkpoint — so after a rank dies the survivors can re-decompose
+// the restored plate over whatever process grid they still form.
+
+// solveFT runs the Jacobi solver under the recovery loop: solve until
+// a rank dies, then Revoke the damaged communicator, Shrink to the
+// survivors, restore the plate from the newest checkpoint, and keep
+// going on fewer ranks.
+func solveFT(p *mpj.Process, n, maxIters int, eps float64, dir string, every, kill, killIter int) error {
+	if every < 1 {
+		every = 1
+	}
+	w := p.World()
+	plate := newPlate(n)
+	iter := 0
+	for {
+		// The compute communicator is created out here so the recovery
+		// path can revoke it: ULFM revocation is per communicator, and a
+		// survivor may be blocked on live grid neighbours that already
+		// aborted — only revoking the cart releases it.
+		dims, err := mpj.DimsCreate(w.Size(), []int{0, 0})
+		if err != nil {
+			return err
+		}
+		cart, err := w.CreateCart(dims, []bool{false, false}, false)
+		if err != nil {
+			return err
+		}
+		err = ftSpan(p, w, cart, dims, plate, &iter, n, maxIters, eps, dir, every, kill, killIter)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, mpj.ErrRevoked) && !errors.Is(err, mpj.ErrPeerLost) {
+			return err
+		}
+		// A rank died mid-span. Fence off the damaged communicators,
+		// agree on the survivors, and resume from the last checkpoint.
+		_ = cart.Revoke()
+		_ = w.Revoke()
+		nw, serr := w.Shrink()
+		if serr != nil {
+			return fmt.Errorf("shrink after rank loss: %w", serr)
+		}
+		id, lerr := mpj.LatestCheckpoint(dir)
+		if lerr != nil || id == "" {
+			return fmt.Errorf("no checkpoint to restore from (%v)", lerr)
+		}
+		snaps, rerr := mpj.RestoreCheckpoint(dir, id, w.Group(), nw)
+		if rerr != nil {
+			return fmt.Errorf("restore %s: %w", id, rerr)
+		}
+		plate, iter, rerr = spreadRestored(nw, snaps, n)
+		if rerr != nil {
+			return rerr
+		}
+		if nw.Rank() == 0 {
+			fmt.Printf("lost %d rank(s); %d survivors restored checkpoint %s, resuming at iteration %d\n",
+				w.Size()-nw.Size(), nw.Size(), id, iter)
+		}
+		w = nw
+	}
+}
+
+// ftSpan advances the solve on communicator w from *iter until it
+// converges, hits maxIters, or a communication error surfaces (the
+// caller treats peer-lost/revoked errors as a recovery trigger).
+func ftSpan(p *mpj.Process, w *mpj.Intracomm, cart *mpj.CartComm, dims []int, plate []float64, iter *int,
+	n, maxIters int, eps float64, dir string, every, kill, killIter int) error {
+	py, px := dims[0], dims[1]
+	if n%py != 0 || n%px != 0 {
+		return fmt.Errorf("grid %d not divisible by process grid %dx%d", n, py, px)
+	}
+	rows, cols := n/py, n/px
+	stride := cols + 2
+	coords := cart.MyCoords()
+	r0, c0 := coords[0]*rows, coords[1]*cols // block origin in the plate
+
+	at := func(i, j int) int { return i*stride + j }
+	cur := make([]float64, (rows+2)*stride)
+	next := make([]float64, (rows+2)*stride)
+	for i := 0; i < rows+2; i++ {
+		for j := 0; j < cols+2; j++ {
+			if gi, gj := r0+i-1, c0+j-1; gi >= 0 && gi < n && gj >= 0 && gj < n {
+				cur[at(i, j)] = plate[gi*n+gj]
+			}
+		}
+	}
+	// The heat source is a phantom row above the plate; it lives in the
+	// top blocks' halo, outside the checkpointed state, so pin it here
+	// as well as after every sweep.
+	if coords[0] == 0 {
+		for j := 0; j < stride; j++ {
+			cur[j] = 100.0
+		}
+	}
+	copy(next, cur)
+
+	// assemble reconstructs the global plate from every rank's block:
+	// each contributes its interior cells to a zero-filled buffer and a
+	// sum-Allreduce merges the disjoint blocks.
+	assemble := func() error {
+		buf := make([]float64, n*n)
+		for i := 1; i <= rows; i++ {
+			for j := 1; j <= cols; j++ {
+				buf[(r0+i-1)*n+(c0+j-1)] = cur[at(i, j)]
+			}
+		}
+		return w.Allreduce(buf, 0, plate, 0, n*n, mpj.DOUBLE, mpj.SUM)
+	}
+
+	colType, err := mpj.DOUBLE.Vector(rows, 1, stride)
+	if err != nil {
+		return err
+	}
+	up, down, err := shiftPair(cart, 0)
+	if err != nil {
+		return err
+	}
+	left, right, err := shiftPair(cart, 1)
+	if err != nil {
+		return err
+	}
+
+	for ; *iter < maxIters; *iter++ {
+		if *iter%every == 0 {
+			if err := assemble(); err != nil {
+				return err
+			}
+			var regions []mpj.CheckpointRegion
+			if w.Rank() == 0 {
+				regions = append(regions,
+					mpj.CheckpointRegion{Name: "plate", Data: plateBytes(plate)},
+					mpj.CheckpointRegion{Name: "iter", Data: iterBytes(*iter)})
+			}
+			if err := mpj.Checkpoint(w, dir, fmt.Sprintf("iter-%06d", *iter), regions...); err != nil {
+				return err
+			}
+		}
+		if p.Rank() == kill && *iter == killIter {
+			// The demo failure: this rank leaves the job abruptly. Its
+			// peers see typed peer-lost errors, not hangs.
+			p.Finalize()
+			return nil
+		}
+		if err := exchange(cart, cur[at(1, 1):], cur[at(0, 1):], cols, mpj.DOUBLE, up,
+			cur[at(rows, 1):], cur[at(rows+1, 1):], cols, mpj.DOUBLE, down); err != nil {
+			return err
+		}
+		if err := exchange(cart, cur[at(1, 1):], cur[at(1, 0):], 1, colType, left,
+			cur[at(1, cols):], cur[at(1, cols+1):], 1, colType, right); err != nil {
+			return err
+		}
+		diff := 0.0
+		for i := 1; i <= rows; i++ {
+			for j := 1; j <= cols; j++ {
+				v := 0.25 * (cur[at(i-1, j)] + cur[at(i+1, j)] + cur[at(i, j-1)] + cur[at(i, j+1)])
+				if d := math.Abs(v - cur[at(i, j)]); d > diff {
+					diff = d
+				}
+				next[at(i, j)] = v
+			}
+		}
+		cur, next = next, cur
+		if coords[0] == 0 {
+			for j := 0; j < stride; j++ {
+				cur[j] = 100.0
+			}
+		}
+		gdiff := make([]float64, 1)
+		if err := cart.Allreduce([]float64{diff}, 0, gdiff, 0, 1, mpj.DOUBLE, mpj.MAX); err != nil {
+			return err
+		}
+		if gdiff[0] < eps {
+			if cart.Rank() == 0 {
+				fmt.Printf("converged after %d iterations (max delta %.2e) on %d rank(s)\n",
+					*iter+1, gdiff[0], cart.Size())
+			}
+			return report(cart, cur, rows, cols, stride, n)
+		}
+	}
+	if cart.Rank() == 0 {
+		fmt.Printf("stopped after %d iterations on %d rank(s)\n", maxIters, cart.Size())
+	}
+	return report(cart, cur, rows, cols, stride, n)
+}
+
+// spreadRestored delivers the restored plate to every survivor: only
+// the rank that was dealt old rank 0's snapshot holds it, so a
+// sum-Allreduce with zeros elsewhere spreads plate and iteration in
+// one collective.
+func spreadRestored(nw *mpj.Intracomm, snaps map[int]*mpj.Snapshot, n int) ([]float64, int, error) {
+	contrib := make([]float64, n*n+1)
+	if s := snaps[0]; s != nil {
+		pl := bytesPlate(s.Regions["plate"])
+		if len(pl) != n*n {
+			return nil, 0, fmt.Errorf("checkpoint plate has %d cells, want %d", len(pl), n*n)
+		}
+		copy(contrib, pl)
+		contrib[n*n] = float64(bytesIter(s.Regions["iter"]))
+	}
+	out := make([]float64, n*n+1)
+	if err := nw.Allreduce(contrib, 0, out, 0, n*n+1, mpj.DOUBLE, mpj.SUM); err != nil {
+		return nil, 0, err
+	}
+	return out[: n*n : n*n], int(out[n*n]), nil
+}
+
+// newPlate returns the initial global plate: cold except the hot top
+// edge.
+func newPlate(n int) []float64 {
+	p := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		p[j] = 100.0
+	}
+	return p
+}
+
+func plateBytes(p []float64) []byte {
+	b := make([]byte, 8*len(p))
+	for i, v := range p {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+func bytesPlate(b []byte) []float64 {
+	p := make([]float64, len(b)/8)
+	for i := range p {
+		p[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return p
+}
+
+func iterBytes(it int) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(it))
+	return b[:]
+}
+
+func bytesIter(b []byte) int {
+	if len(b) < 8 {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint64(b))
 }
 
 // report gathers block means at rank 0 and prints the plate's average

@@ -117,8 +117,8 @@ func pagerank(p *mpj.Process, n, maxIters int, d, eps float64, mode string) erro
 			pushBytes[r] = make([]byte, 8*(bhi-blo))
 		}
 	}
-	acc := make([]float64, local)  // folded contributions, both modes
-	tmp := make([]float64, local)  // msg mode receive staging
+	acc := make([]float64, local) // folded contributions, both modes
+	tmp := make([]float64, local) // msg mode receive staging
 	reqs := make([]*mpj.Request, 0, size)
 
 	start := time.Now()

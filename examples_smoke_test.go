@@ -17,6 +17,7 @@ func TestExamplesRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("examples skipped in -short mode")
 	}
+	ckdir := t.TempDir()
 	cases := []struct {
 		name string
 		args []string
@@ -27,6 +28,11 @@ func TestExamplesRun(t *testing.T) {
 		{"nbody", []string{"run", "./examples/nbody", "-n", "128", "-steps", "3", "-np", "2"}, "kinetic energy"},
 		{"heat", []string{"run", "./examples/heat", "-grid", "32", "-iters", "60", "-np", "4"}, "average plate temperature"},
 		{"multithreaded", []string{"run", "./examples/multithreaded", "-goroutines", "3", "-msgs", "5"}, "MPI_THREAD_MULTIPLE verified"},
+		// 48 divides evenly over both the 2x2 start grid and the 3x1
+		// survivor grid after the kill.
+		{"heat-recovery", []string{"run", "./examples/heat", "-grid", "48", "-iters", "80", "-np", "4",
+			"-ckpt", ckdir, "-ckpt-every", "15", "-kill", "1", "-kill-iter", "25"},
+			"survivors restored checkpoint"},
 		{"pagerank", []string{"run", "./examples/pagerank", "-nodes", "600", "-iters", "40", "-np", "3"}, "pagerank mass 1.000"},
 	}
 	for _, c := range cases {

@@ -1,0 +1,67 @@
+package mpj
+
+import (
+	"mpj/internal/ckpt"
+	"mpj/internal/xdev"
+)
+
+// Fault tolerance. When a rank dies mid-job, operations touching it
+// fail with an error matching ErrPeerLost instead of hanging. The
+// survivors then run the ULFM recovery sequence on the damaged
+// communicator — all three operations are methods on Intracomm:
+//
+//	Revoke()  poison the communicator everywhere: every pending and
+//	          future operation on it fails with ErrRevoked
+//	Agree(f)  fault-tolerant agreement: the bitwise AND of every
+//	          survivor's flag word, uniform even under further deaths
+//	Shrink()  a fresh, fully working communicator over the survivors
+//
+// and typically restore application state from the last coordinated
+// checkpoint (Checkpoint / LatestCheckpoint / RestoreCheckpoint).
+// examples/heat -ckpt is a complete worked example, and multi-process
+// jobs opt in with mpjrun -ft, which reports a lost rank to the job
+// instead of tearing it down.
+var (
+	// ErrRevoked matches (errors.Is) every error produced by an
+	// operation on a revoked communicator.
+	ErrRevoked = xdev.ErrRevoked
+	// ErrPeerLost matches every error produced by an operation that
+	// failed because the peer process died.
+	ErrPeerLost = xdev.ErrPeerLost
+)
+
+// Checkpoint/restart surface, re-exported from the internal
+// implementation (see internal/ckpt for the file format).
+type (
+	// CheckpointRegion is one named piece of rank-local state included
+	// in a coordinated checkpoint.
+	CheckpointRegion = ckpt.Region
+	// Snapshot is one rank's state restored from a checkpoint.
+	Snapshot = ckpt.Snapshot
+)
+
+// Checkpoint takes a coordinated snapshot of the communicator into
+// dir/<id>: collective — barriers bracket the per-rank writes, and the
+// checkpoint only becomes visible (to LatestCheckpoint) once every
+// rank's CRC-protected snapshot file is durable. A rank with no
+// region data still participates by passing no regions.
+func Checkpoint(comm *Intracomm, dir, id string, regions ...CheckpointRegion) error {
+	return ckpt.Checkpoint(comm, dir, id, regions...)
+}
+
+// LatestCheckpoint returns the id of the newest completed checkpoint
+// under dir, or "" when none exists. Checkpoints interrupted
+// mid-write are ignored.
+func LatestCheckpoint(dir string) (string, error) {
+	return ckpt.Latest(dir)
+}
+
+// RestoreCheckpoint loads the snapshots this rank owns from
+// checkpoint id: its own pre-failure state — located by process
+// identity in old, the group of the communicator that took the
+// checkpoint — plus any orphaned snapshots of dead ranks dealt to it
+// round-robin. comm is the current (typically shrunken) communicator;
+// the result maps old ranks to snapshots.
+func RestoreCheckpoint(dir, id string, old *Group, comm *Intracomm) (map[int]*Snapshot, error) {
+	return ckpt.Restore(dir, id, old, comm)
+}

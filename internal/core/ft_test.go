@@ -1,0 +1,291 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mpj/internal/xdev"
+)
+
+// TestAgree checks plain agreement: the result is the bitwise AND of
+// every rank's contribution, identical everywhere.
+func TestAgree(t *testing.T) {
+	const n = 4
+	var mu sync.Mutex
+	got := make(map[int]int64)
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		flag := int64(0b1111) &^ (1 << uint(w.Rank())) // each rank clears its own bit
+		v, err := w.Agree(flag)
+		if err != nil {
+			t.Errorf("rank %d: Agree: %v", w.Rank(), err)
+			return
+		}
+		mu.Lock()
+		got[w.Rank()] = v
+		mu.Unlock()
+	})
+	for r, v := range got {
+		if v != 0 {
+			t.Errorf("rank %d: Agree = %#b, want 0 (AND of all contributions)", r, v)
+		}
+	}
+}
+
+// TestAgreeRepeated checks that consecutive agreement rounds stay in
+// step (sequence numbers align across ranks).
+func TestAgreeRepeated(t *testing.T) {
+	const n = 3
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		for round := 0; round < 5; round++ {
+			want := int64(^round)
+			v, err := w.Agree(want)
+			if err != nil {
+				t.Errorf("rank %d round %d: Agree: %v", w.Rank(), round, err)
+				return
+			}
+			if v != want {
+				t.Errorf("rank %d round %d: Agree = %d, want %d", w.Rank(), round, v, want)
+			}
+		}
+	})
+}
+
+// TestAgreeCoordinatorDies kills the epoch-0 coordinator (rank 0)
+// mid-protocol: the survivors have already sent it their contributions
+// and are waiting for its decision when it dies. They must rotate to
+// the next coordinator, recover via the query phase, and agree
+// uniformly — the dead rank's contribution is excluded.
+func TestAgreeCoordinatorDies(t *testing.T) {
+	const n = 4
+	var mu sync.Mutex
+	got := make(map[int]int64)
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		if w.Rank() == 0 {
+			// Let the survivors enter the protocol and block on this
+			// coordinator, then die without ever participating.
+			time.Sleep(100 * time.Millisecond)
+			p.Finalize()
+			return
+		}
+		v, err := w.Agree(int64(0b111000 | w.Rank()))
+		if err != nil {
+			t.Errorf("rank %d: Agree: %v", w.Rank(), err)
+			return
+		}
+		mu.Lock()
+		got[w.Rank()] = v
+		mu.Unlock()
+	})
+	if len(got) != n-1 {
+		t.Fatalf("only %d survivors returned, want %d", len(got), n-1)
+	}
+	var first int64
+	seen := false
+	for r, v := range got {
+		if !seen {
+			first, seen = v, true
+			continue
+		}
+		if v != first {
+			t.Errorf("rank %d: Agree = %d, disagrees with %d — agreement not uniform", r, v, first)
+		}
+	}
+	// AND of survivors' flags: 0b111000 | (1&2&3) = 0b111000.
+	if seen && first != 0b111000 {
+		t.Errorf("agreed value = %#b, want %#b", first, 0b111000)
+	}
+}
+
+// TestShrinkAfterRankLoss is the survivor-continues scenario: a rank
+// dies, the others revoke the damaged communicator, shrink it, and run
+// a collective on the result.
+func TestShrinkAfterRankLoss(t *testing.T) {
+	const n = 4
+	const victim = 2
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		if w.Rank() == victim {
+			p.Finalize()
+			return
+		}
+		// Wait until the device has recorded the death so the shrink
+		// excludes the victim deterministically.
+		pid, _ := w.Group().PID(victim)
+		deadline := time.Now().Add(5 * time.Second)
+		ck := p.Device().(xdev.PeerChecker)
+		for ck.PeerErr(pid) == nil {
+			if time.Now().After(deadline) {
+				t.Errorf("rank %d: victim death never detected", w.Rank())
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if err := w.Revoke(); err != nil {
+			t.Errorf("rank %d: Revoke: %v", w.Rank(), err)
+			return
+		}
+		nw, err := w.Shrink()
+		if err != nil {
+			t.Errorf("rank %d: Shrink: %v", w.Rank(), err)
+			return
+		}
+		if nw.Size() != n-1 {
+			t.Errorf("rank %d: shrunken size = %d, want %d", w.Rank(), nw.Size(), n-1)
+			return
+		}
+		// Old rank 3 must have become new rank 2 (survivors keep old order).
+		wantRank := w.Rank()
+		if w.Rank() > victim {
+			wantRank--
+		}
+		if nw.Rank() != wantRank {
+			t.Errorf("old rank %d: new rank = %d, want %d", w.Rank(), nw.Rank(), wantRank)
+		}
+		// The shrunken communicator must be fully operational.
+		in := []int64{int64(nw.Rank() + 1)}
+		out := []int64{0}
+		if err := nw.Allreduce(in, 0, out, 0, 1, LONG, SUM); err != nil {
+			t.Errorf("rank %d: Allreduce on shrunken comm: %v", w.Rank(), err)
+			return
+		}
+		if out[0] != 6 { // 1+2+3
+			t.Errorf("rank %d: Allreduce = %d, want 6", w.Rank(), out[0])
+		}
+	})
+}
+
+// TestRevokeFailsPendingAndFutureOps checks that Revoke poisons the
+// communicator everywhere: a receive already blocked on another rank
+// fails with ErrRevoked, as does any operation issued afterwards,
+// while a different communicator's traffic is untouched.
+func TestRevokeFailsPendingAndFutureOps(t *testing.T) {
+	const n = 3
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		other, err := w.Dup()
+		if err != nil {
+			t.Errorf("rank %d: Dup: %v", w.Rank(), err)
+			return
+		}
+		if w.Rank() == 1 {
+			// Block in a receive that no send will ever match; the
+			// remote revocation must fail it promptly.
+			buf := []int64{0}
+			_, err := w.Recv(buf, 0, 1, LONG, 0, 42)
+			if !errors.Is(err, xdev.ErrRevoked) {
+				t.Errorf("rank 1: pending Recv err = %v, want ErrRevoked", err)
+			}
+		} else if w.Rank() == 0 {
+			time.Sleep(50 * time.Millisecond) // let rank 1 block
+			if err := w.Revoke(); err != nil {
+				t.Errorf("rank 0: Revoke: %v", err)
+			}
+		}
+		// Everyone: future operations on the revoked communicator fail.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			err := w.Send([]int64{1}, 0, 1, LONG, (w.Rank()+1)%n, 7)
+			if errors.Is(err, xdev.ErrRevoked) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("rank %d: Send err = %v, want ErrRevoked", w.Rank(), err)
+				break
+			}
+			time.Sleep(time.Millisecond) // revocation still in flight
+		}
+		// A different communicator is unaffected.
+		in, out := []int64{1}, []int64{0}
+		if err := other.Allreduce(in, 0, out, 0, 1, LONG, SUM); err != nil {
+			t.Errorf("rank %d: Allreduce on separate comm after revoke: %v", w.Rank(), err)
+		} else if out[0] != n {
+			t.Errorf("rank %d: Allreduce = %d, want %d", w.Rank(), out[0], n)
+		}
+		// Shrink still works on a revoked communicator (no deaths, so
+		// the membership is unchanged but the contexts are fresh).
+		nw, err := w.Shrink()
+		if err != nil {
+			t.Errorf("rank %d: Shrink of revoked comm: %v", w.Rank(), err)
+			return
+		}
+		if nw.Size() != n || nw.Rank() != w.Rank() {
+			t.Errorf("rank %d: shrink of intact group changed shape: size %d rank %d", w.Rank(), nw.Size(), nw.Rank())
+		}
+		if err := nw.Barrier(); err != nil {
+			t.Errorf("rank %d: Barrier on replacement comm: %v", w.Rank(), err)
+		}
+	})
+}
+
+// TestRevokePoisonsWindow checks that revoking a communicator fails
+// one-sided epochs on its windows instead of letting them hang.
+func TestRevokePoisonsWindow(t *testing.T) {
+	const n = 3
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		win, err := w.WinCreate(make([]byte, 64))
+		if err != nil {
+			t.Errorf("rank %d: WinCreate: %v", w.Rank(), err)
+			return
+		}
+		if w.Rank() == 0 {
+			time.Sleep(50 * time.Millisecond) // let the others reach Fence
+			if err := w.Revoke(); err != nil {
+				t.Errorf("rank 0: Revoke: %v", err)
+			}
+			if err := win.Fence(); !errors.Is(err, xdev.ErrRevoked) {
+				t.Errorf("rank 0: Fence err = %v, want ErrRevoked", err)
+			}
+			return
+		}
+		// Ranks 1..n-1 fence immediately: rank 0 never will, so only the
+		// revocation can release them.
+		if err := win.Fence(); !errors.Is(err, xdev.ErrRevoked) {
+			t.Errorf("rank %d: Fence err = %v, want ErrRevoked", w.Rank(), err)
+		}
+	})
+}
+
+// TestAgreeUnderConcurrentCollectives runs agreement rounds on the
+// world concurrently with collectives on split communicators — the
+// -race coverage for the recovery path sharing a device with live
+// traffic.
+func TestAgreeUnderConcurrentCollectives(t *testing.T) {
+	const n = 4
+	const rounds = 8
+	runWorld(t, n, func(p *Process, w *Intracomm) {
+		half, err := w.Split(w.Rank()%2, w.Rank())
+		if err != nil {
+			t.Errorf("rank %d: Split: %v", w.Rank(), err)
+			return
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				in, out := []int64{int64(half.Rank() + 1)}, []int64{0}
+				if err := half.Allreduce(in, 0, out, 0, 1, LONG, SUM); err != nil {
+					t.Errorf("rank %d: split Allreduce: %v", w.Rank(), err)
+					return
+				}
+				if out[0] != 3 { // ranks 1+2 within each half
+					t.Errorf("rank %d: split Allreduce = %d, want 3", w.Rank(), out[0])
+					return
+				}
+			}
+		}()
+		for i := 0; i < rounds; i++ {
+			want := int64(i) | (1 << 40)
+			v, err := w.Agree(want)
+			if err != nil {
+				t.Errorf("rank %d: Agree round %d: %v", w.Rank(), i, err)
+				break
+			}
+			if v != want {
+				t.Errorf("rank %d: Agree round %d = %d, want %d", w.Rank(), i, v, want)
+				break
+			}
+		}
+		wg.Wait()
+	})
+}

@@ -62,6 +62,17 @@ type Process struct {
 	finalized bool
 	finHooks  []func()
 
+	// Fault-tolerance registries (see ft.go), keyed by a communicator's
+	// point-to-point context — communicator values may be copied (the
+	// topology communicators embed Intracomm by value), so per-comm
+	// mutable state lives here rather than in Comm. fts holds each
+	// communicator's lazily-started agreement state; wins the windows
+	// created on it, which Revoke poisons along with the contexts.
+	ftMu  sync.Mutex
+	fts   map[int]*ftState
+	winMu sync.Mutex
+	wins  map[int][]*Win
+
 	// Buffered-send pool (MPI_Buffer_attach).
 	bsendMu    sync.Mutex
 	bsendCap   int
@@ -96,6 +107,23 @@ func InitThread(dev xdev.Device, cfg xdev.Config, required ThreadLevel) (*Proces
 	}
 	p.world = world
 	return p, p.provided, nil
+}
+
+// Attach builds a Process over a device that is already initialized —
+// its Init has run and produced pids, of which the caller is rank. The
+// test harnesses use it to layer MPI semantics onto devices their
+// runners manage; Finalize still finishes the device.
+func Attach(dev xdev.Device, pids []xdev.ProcessID, rank int) (*Process, error) {
+	if rank < 0 || rank >= len(pids) {
+		return nil, fmt.Errorf("core: Attach: rank %d out of range [0,%d)", rank, len(pids))
+	}
+	p := &Process{dev: dev, pids: pids, provided: ThreadMultiple, rec: mpe.RecorderOf(dev), counters: mpe.CountersOf(dev)}
+	world, err := p.newIntracomm(NewGroup(pids), rank)
+	if err != nil {
+		return nil, err
+	}
+	p.world = world
+	return p, nil
 }
 
 // World returns the COMM_WORLD communicator.

@@ -109,6 +109,7 @@ func rmaOp(op *Op) (rma.AccOp, error) {
 type Win struct {
 	comm *Intracomm
 	w    *rma.Win
+	ctx  int // the window's private matching context
 }
 
 // WinCreate exposes buf as this rank's region of a new window
@@ -137,7 +138,15 @@ func (c *Intracomm) WinCreate(buf []byte) (*Win, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Win{comm: c, w: w}, nil
+	win := &Win{comm: c, w: w, ctx: ptpCtx}
+	c.p.winMu.Lock()
+	if c.p.wins == nil {
+		c.p.wins = make(map[int][]*Win)
+	}
+	key := c.ptp.Context()
+	c.p.wins[key] = append(c.p.wins[key], win)
+	c.p.winMu.Unlock()
+	return win, nil
 }
 
 // Buffer returns the locally exposed region.
@@ -200,4 +209,17 @@ func (w *Win) Unlock(target int) error { return w.w.Unlock(target) }
 // Free releases the window (MPI_Win_free). Collective: it fences
 // before teardown so no rank frees a region another rank is still
 // writing.
-func (w *Win) Free() error { return w.w.Free() }
+func (w *Win) Free() error {
+	p := w.comm.p
+	key := w.comm.ptp.Context()
+	p.winMu.Lock()
+	ws := p.wins[key]
+	for i, ww := range ws {
+		if ww == w {
+			p.wins[key] = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	p.winMu.Unlock()
+	return w.w.Free()
+}

@@ -94,8 +94,11 @@ type Core struct {
 	// peerDead records per-slot death errors (pre-shaped by the
 	// device); entries are only added under Sticky failures.
 	peerDead map[uint64]error
-	aborted  error
-	closed   bool
+	// revoked records per-context revocation errors (pre-shaped by the
+	// device); allocated lazily on first RevokeContext.
+	revoked map[int32]error
+	aborted error
+	closed  bool
 
 	seq atomic.Uint64
 
@@ -239,6 +242,14 @@ func (c *Core) MatchOrPark(env match.Concrete, a *Arrival) (*Request, bool, erro
 		c.mu.Unlock()
 		return nil, false, err
 	}
+	if err := c.revoked[env.Ctx]; err != nil {
+		c.mu.Unlock()
+		return nil, false, err
+	}
+	// Stamp the decoded envelope onto the arrival so context-keyed
+	// drains (RevokeContext) and trace events see it even on devices
+	// that deliver by match bits (mxsim).
+	a.Tag, a.Ctx = env.Tag, env.Ctx
 	if req, ok := c.posted.Match(env); ok {
 		c.mu.Unlock()
 		c.Counters.Matched.Add(1)
@@ -280,6 +291,9 @@ func (c *Core) PostRecv(p match.Pattern, req *Request, pinAlive func() error) (*
 	if c.closed {
 		return nil, c.closedErr("irecv")
 	}
+	if err := c.revoked[p.Ctx]; err != nil {
+		return nil, err
+	}
 	if p.Src != match.AnySource {
 		if err := c.peerDead[p.Src]; err != nil {
 			return nil, err
@@ -308,6 +322,9 @@ func (c *Core) IProbe(p match.Pattern, op string) (*Arrival, error) {
 	if c.closed {
 		return nil, c.closedErr(op)
 	}
+	if err := c.revoked[p.Ctx]; err != nil {
+		return nil, err
+	}
 	if p.Src != match.AnySource {
 		if err := c.peerDead[p.Src]; err != nil {
 			return nil, err
@@ -331,6 +348,9 @@ func (c *Core) Probe(p match.Pattern, op string) (*Arrival, error) {
 		}
 		if c.closed {
 			return nil, c.closedErr(op)
+		}
+		if err := c.revoked[p.Ctx]; err != nil {
+			return nil, err
 		}
 		if p.Src != match.AnySource {
 			if err := c.peerDead[p.Src]; err != nil {
@@ -384,7 +404,7 @@ func (c *Core) FailPeer(slot uint64, f PeerFail) bool {
 		return p.Src == slot || (r.Pin >= 0 && uint64(r.Pin) == slot)
 	})
 	for _, s := range c.pending {
-		victims = append(victims, s.drainLocked(func(k PendingKey) bool { return k.Peer == slot })...)
+		victims = append(victims, s.drainLocked(func(k PendingKey, _ *Request) bool { return k.Peer == slot })...)
 	}
 	c.arrived.TakeFunc(func(a *Arrival) bool { return a.Rndv && a.Src == slot })
 	rec := c.rec
@@ -420,7 +440,7 @@ func (c *Core) Shutdown(postedErr, parkedSyncErr error) bool {
 	c.closed = true
 	victims := c.posted.TakeFunc(func(match.Pattern, *Request) bool { return true })
 	for _, s := range c.pending {
-		victims = append(victims, s.drainLocked(func(PendingKey) bool { return true })...)
+		victims = append(victims, s.drainLocked(func(PendingKey, *Request) bool { return true })...)
 	}
 	var syncs []*Request
 	for _, a := range c.arrived.TakeFunc(func(a *Arrival) bool { return a.SyncReq != nil }) {

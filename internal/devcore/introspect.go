@@ -29,8 +29,11 @@ type CoreState struct {
 	Pending []PendingState `json:"pending,omitempty"`
 	// PeersDead lists slots with recorded (sticky) death errors.
 	PeersDead []PeerState `json:"peersDead,omitempty"`
-	Aborted   string      `json:"aborted,omitempty"`
-	Closed    bool        `json:"closed"`
+	// Revoked lists matching contexts poisoned by RevokeContext, in
+	// ascending order.
+	Revoked []int32 `json:"revoked,omitempty"`
+	Aborted string  `json:"aborted,omitempty"`
+	Closed  bool    `json:"closed"`
 	// Seq is the last sequence number handed out — total seq-stamped
 	// messages originated by this rank.
 	Seq uint64 `json:"seq"`
@@ -54,6 +57,10 @@ func (c *Core) Introspect() CoreState {
 		st.PeersDead = append(st.PeersDead, PeerState{Slot: slot, Err: err.Error()})
 	}
 	sort.Slice(st.PeersDead, func(i, j int) bool { return st.PeersDead[i].Slot < st.PeersDead[j].Slot })
+	for ctx := range c.revoked {
+		st.Revoked = append(st.Revoked, ctx)
+	}
+	sort.Slice(st.Revoked, func(i, j int) bool { return st.Revoked[i] < st.Revoked[j] })
 	if c.aborted != nil {
 		st.Aborted = c.aborted.Error()
 	}

@@ -49,6 +49,9 @@ func (s *PendingSet) Add(k PendingKey, r *Request) error {
 	if err := c.peerDead[k.Peer]; err != nil {
 		return err
 	}
+	if err := c.revoked[r.OpCtx]; err != nil {
+		return err
+	}
 	s.m[k] = r
 	return nil
 }
@@ -73,12 +76,12 @@ func (s *PendingSet) Len() int {
 	return len(s.m)
 }
 
-// drainLocked removes and returns every request whose key satisfies
-// pred. Caller holds c.mu.
-func (s *PendingSet) drainLocked(pred func(PendingKey) bool) []*Request {
+// drainLocked removes and returns every request whose key or request
+// satisfies pred. Caller holds c.mu.
+func (s *PendingSet) drainLocked(pred func(PendingKey, *Request) bool) []*Request {
 	var out []*Request
 	for k, r := range s.m {
-		if pred(k) {
+		if pred(k, r) {
 			delete(s.m, k)
 			out = append(out, r)
 		}

@@ -42,6 +42,11 @@ type Request struct {
 	// unpinned. FailPeer fails receives pinned on the lost slot.
 	Pin int64
 
+	// OpCtx is the matching context the operation runs on, stamped by
+	// the device so RevokeContext can drain pending-set entries by
+	// context; NoCtx when the device did not stamp one.
+	OpCtx int32
+
 	// Owner is an optional device-side wrapper back-pointer for devices
 	// that cannot return the core request directly (mxsim returns its
 	// own Request type).
@@ -68,7 +73,7 @@ type Request struct {
 
 // NewRequest returns a fresh, incomplete request on this core.
 func (c *Core) NewRequest(kind Kind, buf *mpjbuf.Buffer) *Request {
-	return &Request{c: c, kind: kind, Buf: buf, t0: -1, Pin: -1, done: make(chan struct{})}
+	return &Request{c: c, kind: kind, Buf: buf, t0: -1, Pin: -1, OpCtx: NoCtx, done: make(chan struct{})}
 }
 
 // Trace stamps the request with its tracing envelope (recorder clock

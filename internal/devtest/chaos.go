@@ -31,6 +31,7 @@ func RunChaos(t *testing.T, run JobRunner, opts ChaosOptions) {
 	}
 	t.Run("KillOneRank", func(t *testing.T) { testKillOneRank(t, run) })
 	t.Run("KillDuringFence", func(t *testing.T) { testKillDuringFence(t, run) })
+	t.Run("KillDuringLock", func(t *testing.T) { testKillDuringLock(t, run) })
 }
 
 // closedOrLost reports whether err carries one of the sentinels a
@@ -129,6 +130,57 @@ func testKillDuringFence(t *testing.T, run JobRunner) {
 			}
 		case <-time.After(chaosTimeout):
 			t.Errorf("rank %d: fence still blocked after peer death", rank)
+		}
+		_ = w.Free() // teardown must not hang either: the window is failed
+	})
+}
+
+// testKillDuringLock: passive-target epochs have the same no-hang
+// contract as fences. The victim dies after window creation; each
+// survivor then opens a lock epoch targeting the dead rank. The grant
+// can never arrive, so Lock (or the Unlock draining the epoch's
+// operations) must fail with an error wrapping xdev.ErrPeerLost within
+// the timeout instead of blocking.
+func testKillDuringLock(t *testing.T, run JobRunner) {
+	const victim = 0
+	ctx := int(4096 + rmaCtxCounter.Add(1))
+	run(t, 3, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		// Window creation is collective, so the victim participates and
+		// every rank holds a live window before the death.
+		w := newWin(t, d, rank, pids, ctx, make([]byte, 1024))
+
+		if rank == victim {
+			d.Finish() // dies holding its region: grants can never come
+			return
+		}
+		// Make the death observable before requesting the lock, so the
+		// epoch is pending against a peer that is already gone.
+		if ck, ok := d.(xdev.PeerChecker); ok {
+			deadline := time.Now().Add(chaosTimeout)
+			for ck.PeerErr(pids[victim]) == nil && !time.Now().After(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+		} else {
+			time.Sleep(200 * time.Millisecond)
+		}
+		errc := make(chan error, 1)
+		go func() {
+			err := w.Lock(victim, false)
+			if err == nil {
+				_ = w.Put(make([]byte, 64), victim, 0)
+				err = w.Unlock(victim)
+			}
+			errc <- err
+		}()
+		select {
+		case err := <-errc:
+			if err == nil {
+				t.Errorf("rank %d: lock epoch on dead rank returned nil error", rank)
+			} else if !errors.Is(err, xdev.ErrPeerLost) {
+				t.Errorf("rank %d: lock epoch error %v does not wrap ErrPeerLost", rank, err)
+			}
+		case <-time.After(chaosTimeout):
+			t.Errorf("rank %d: lock epoch still blocked after peer death", rank)
 		}
 		_ = w.Free() // teardown must not hang either: the window is failed
 	})

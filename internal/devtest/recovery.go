@@ -1,0 +1,339 @@
+package devtest
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mpj/internal/ckpt"
+	"mpj/internal/core"
+	"mpj/internal/xdev"
+)
+
+// Survivor-continues recovery conformance: one rank dies mid-operation
+// and the remaining ranks must observe a typed failure, revoke the
+// damaged communicator, agree on the surviving membership, shrink, and
+// keep computing on the result — the ULFM recovery contract of
+// internal/core, exercised over a real device. The suite layers core
+// onto the runner's already-initialized devices with core.Attach.
+
+// RunRecovery runs the recovery suite. The device must implement
+// xdev.PeerChecker and xdev.Revoker (all four in-tree devices do).
+func RunRecovery(t *testing.T, run JobRunner) {
+	t.Run("KillMidCollective", func(t *testing.T) { testRecoverMidCollective(t, run) })
+	t.Run("KillMidRendezvous", func(t *testing.T) { testRecoverMidRendezvous(t, run) })
+	t.Run("KillMidFence", func(t *testing.T) { testRecoverMidFence(t, run) })
+	t.Run("RestoreAfterLoss", func(t *testing.T) { testRecoverRestore(t, run) })
+}
+
+// attach layers MPI semantics onto the runner's device.
+func attach(t *testing.T, d xdev.Device, pids []xdev.ProcessID, rank int) *core.Intracomm {
+	t.Helper()
+	p, err := core.Attach(d, pids, rank)
+	if err != nil {
+		t.Errorf("rank %d: attach: %v", rank, err)
+		return nil
+	}
+	return p.World()
+}
+
+// ckptDir picks where a recovery test writes its checkpoints. By
+// default that is the test's own temp dir, reaped on completion; when
+// MPJ_CKPT_ARTIFACT_DIR is set (the CI recovery job), checkpoints land
+// in a per-test subdirectory of it instead so the manifests survive
+// the run and can be uploaded as artifacts.
+func ckptDir(t *testing.T) string {
+	t.Helper()
+	keep := os.Getenv("MPJ_CKPT_ARTIFACT_DIR")
+	if keep == "" {
+		return t.TempDir()
+	}
+	// Prefix with the test binary name: several device packages run the
+	// same-named conformance test concurrently under `go test ./...`.
+	dir := filepath.Join(keep,
+		filepath.Base(os.Args[0])+"_"+strings.ReplaceAll(t.Name(), "/", "_"))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("MPJ_CKPT_ARTIFACT_DIR: %v", err)
+	}
+	return dir
+}
+
+// awaitDeath blocks until the device reports pid dead.
+func awaitDeath(t *testing.T, rank int, d xdev.Device, pid xdev.ProcessID) bool {
+	t.Helper()
+	ck, ok := d.(xdev.PeerChecker)
+	if !ok {
+		t.Errorf("rank %d: device %T does not implement xdev.PeerChecker", rank, d)
+		return false
+	}
+	deadline := time.Now().Add(chaosTimeout)
+	for ck.PeerErr(pid) == nil {
+		if time.Now().After(deadline) {
+			t.Errorf("rank %d: peer death never detected", rank)
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}
+
+// revokedOrLost reports whether err is one of the two sentinels a
+// recovery-released operation may legitimately surface: the explicit
+// revocation, or the device noticing the dead peer first.
+func revokedOrLost(err error) bool {
+	return errors.Is(err, xdev.ErrRevoked) || errors.Is(err, xdev.ErrPeerLost)
+}
+
+// shrinkAndCheck shrinks the (already revoked) communicator and proves
+// the result fully operational with an Allreduce whose value depends
+// on every survivor, then an agreement round.
+func shrinkAndCheck(t *testing.T, w *core.Intracomm, survivors int) {
+	t.Helper()
+	nw, err := w.Shrink()
+	if err != nil {
+		t.Errorf("rank %d: Shrink: %v", w.Rank(), err)
+		return
+	}
+	if nw.Size() != survivors {
+		t.Errorf("rank %d: shrunken size = %d, want %d", w.Rank(), nw.Size(), survivors)
+		return
+	}
+	in, out := []int64{int64(nw.Rank() + 1)}, []int64{0}
+	if err := nw.Allreduce(in, 0, out, 0, 1, core.LONG, core.SUM); err != nil {
+		t.Errorf("rank %d: Allreduce on shrunken comm: %v", w.Rank(), err)
+		return
+	}
+	if want := int64(survivors * (survivors + 1) / 2); out[0] != want {
+		t.Errorf("rank %d: Allreduce = %d, want %d", w.Rank(), out[0], want)
+	}
+	// Agreement on the fresh communicator: AND of flags that each
+	// clear one distinct bit is zero.
+	all := int64(1)<<uint(survivors) - 1
+	v, err := nw.Agree(all &^ (1 << uint(nw.Rank())))
+	if err != nil {
+		t.Errorf("rank %d: Agree on shrunken comm: %v", w.Rank(), err)
+	} else if v != 0 {
+		t.Errorf("rank %d: Agree = %#b, want 0", w.Rank(), v)
+	}
+}
+
+// testRecoverMidCollective: the survivors are blocked inside a
+// collective the victim never joins when it dies. Revocation must
+// release every one of them — including ranks blocked on live peers
+// that already aborted the collective — and the shrunken communicator
+// must work.
+func testRecoverMidCollective(t *testing.T, run JobRunner) {
+	const n, victim = 4, 1
+	run(t, n, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		w := attach(t, d, pids, rank)
+		if w == nil {
+			return
+		}
+		if err := w.Barrier(); err != nil {
+			t.Errorf("rank %d: barrier: %v", rank, err)
+			return
+		}
+		if rank == victim {
+			time.Sleep(100 * time.Millisecond) // let survivors enter the collective
+			d.Finish()
+			return
+		}
+		errc := make(chan error, 1)
+		go func() {
+			in, out := []int64{1}, []int64{0}
+			errc <- w.Allreduce(in, 0, out, 0, 1, core.LONG, core.SUM)
+		}()
+		if !awaitDeath(t, rank, d, pids[victim]) {
+			return
+		}
+		if err := w.Revoke(); err != nil {
+			t.Errorf("rank %d: Revoke: %v", rank, err)
+			return
+		}
+		select {
+		case err := <-errc:
+			if err == nil {
+				t.Errorf("rank %d: collective with dead peer returned nil error", rank)
+			} else if !revokedOrLost(err) {
+				t.Errorf("rank %d: collective error %v is not revoked/peer-lost", rank, err)
+			}
+		case <-time.After(chaosTimeout):
+			t.Errorf("rank %d: collective still blocked after revoke", rank)
+			return
+		}
+		shrinkAndCheck(t, w, n-1)
+	})
+}
+
+// testRecoverMidRendezvous: rank 0 is blocked in a rendezvous-sized
+// send to the victim — which never posts the receive and dies — when
+// the survivors revoke. The send must complete (with a typed error or,
+// on an eager-buffering device, cleanly), never hang.
+func testRecoverMidRendezvous(t *testing.T, run JobRunner) {
+	const n, victim = 4, 2
+	run(t, n, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		w := attach(t, d, pids, rank)
+		if w == nil {
+			return
+		}
+		if err := w.Barrier(); err != nil {
+			t.Errorf("rank %d: barrier: %v", rank, err)
+			return
+		}
+		if rank == victim {
+			time.Sleep(150 * time.Millisecond) // stay alive until the send is in flight
+			d.Finish()
+			return
+		}
+		var sendc chan error
+		if rank == 0 {
+			sendc = make(chan error, 1)
+			go func() {
+				big := make([]int64, 256<<10) // 2 MiB: past every eager limit
+				sendc <- w.Send(big, 0, len(big), core.LONG, victim, 5)
+			}()
+		}
+		if !awaitDeath(t, rank, d, pids[victim]) {
+			return
+		}
+		if err := w.Revoke(); err != nil {
+			t.Errorf("rank %d: Revoke: %v", rank, err)
+			return
+		}
+		if sendc != nil {
+			select {
+			case err := <-sendc:
+				if err != nil && !revokedOrLost(err) {
+					t.Errorf("rank 0: rendezvous send error %v is not revoked/peer-lost", err)
+				}
+			case <-time.After(chaosTimeout):
+				t.Error("rank 0: rendezvous send to dead peer still blocked after revoke")
+				return
+			}
+		}
+		shrinkAndCheck(t, w, n-1)
+	})
+}
+
+// testRecoverMidFence: the survivors are blocked in a window fence the
+// victim never reaches. Revoking the communicator must poison the
+// window and fail the fence instead of letting it hang.
+func testRecoverMidFence(t *testing.T, run JobRunner) {
+	const n, victim = 3, 0
+	run(t, n, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		w := attach(t, d, pids, rank)
+		if w == nil {
+			return
+		}
+		// Window creation is collective and fences internally, so the
+		// victim participates here and every rank holds a live window.
+		win, err := w.WinCreate(make([]byte, 1024))
+		if err != nil {
+			t.Errorf("rank %d: WinCreate: %v", rank, err)
+			return
+		}
+		if rank == victim {
+			time.Sleep(100 * time.Millisecond) // let survivors enter the fence
+			d.Finish()
+			return
+		}
+		errc := make(chan error, 1)
+		go func() {
+			// A put to the fellow survivor keeps the epoch non-trivial.
+			_ = win.Put(make([]byte, 64), n-rank, 0)
+			errc <- win.Fence()
+		}()
+		if !awaitDeath(t, rank, d, pids[victim]) {
+			return
+		}
+		if err := w.Revoke(); err != nil {
+			t.Errorf("rank %d: Revoke: %v", rank, err)
+			return
+		}
+		select {
+		case err := <-errc:
+			if err == nil {
+				t.Errorf("rank %d: fence with dead peer returned nil error", rank)
+			} else if !revokedOrLost(err) {
+				t.Errorf("rank %d: fence error %v is not revoked/peer-lost", rank, err)
+			}
+		case <-time.After(chaosTimeout):
+			t.Errorf("rank %d: fence still blocked after revoke", rank)
+			return
+		}
+		shrinkAndCheck(t, w, n-1)
+	})
+}
+
+// testRecoverRestore is the full flight plan: coordinated checkpoint,
+// rank loss, revoke, shrink, restore — every survivor gets its own
+// pre-failure state back under its old rank number.
+func testRecoverRestore(t *testing.T, run JobRunner) {
+	const n, victim = 4, 1
+	dir := ckptDir(t)
+	state := func(rank int) []byte {
+		data := make([]byte, 128)
+		for i := range data {
+			data[i] = byte(rank*37 + i)
+		}
+		return data
+	}
+	run(t, n, func(d xdev.Device, rank int, pids []xdev.ProcessID) {
+		w := attach(t, d, pids, rank)
+		if w == nil {
+			return
+		}
+		// The victim dies the instant its Checkpoint returns, and a
+		// fast-detecting survivor may revoke while this rank is still in
+		// the exit barrier. The checkpoint is complete regardless — the
+		// victim cannot pass its exit barrier (and so cannot die) before
+		// the manifest is published — so a revoked/peer-lost exit here is
+		// part of the script, not a failure. Bailing instead would leave
+		// the other survivors deadlocked in Agree waiting for this rank.
+		err := ckpt.Checkpoint(w, dir, "s1", ckpt.Region{Name: "state", Data: state(rank)})
+		if rank == victim {
+			if err != nil {
+				t.Errorf("rank %d: Checkpoint: %v", rank, err)
+			}
+			d.Finish()
+			return
+		}
+		if err != nil && !revokedOrLost(err) {
+			t.Errorf("rank %d: Checkpoint: %v", rank, err)
+			return
+		}
+		if !awaitDeath(t, rank, d, pids[victim]) {
+			return
+		}
+		if err := w.Revoke(); err != nil {
+			t.Errorf("rank %d: Revoke: %v", rank, err)
+			return
+		}
+		nw, err := w.Shrink()
+		if err != nil {
+			t.Errorf("rank %d: Shrink: %v", rank, err)
+			return
+		}
+		id, err := ckpt.Latest(dir)
+		if err != nil || id != "s1" {
+			t.Errorf("rank %d: Latest = %q, %v", rank, id, err)
+			return
+		}
+		snaps, err := ckpt.Restore(dir, id, w.Group(), nw)
+		if err != nil {
+			t.Errorf("rank %d: Restore: %v", rank, err)
+			return
+		}
+		own := snaps[rank] // keyed by old rank
+		if own == nil {
+			t.Errorf("old rank %d (new %d): own snapshot missing", rank, nw.Rank())
+			return
+		}
+		if string(own.Regions["state"]) != string(state(rank)) {
+			t.Errorf("old rank %d: restored state mismatch", rank)
+		}
+	})
+}

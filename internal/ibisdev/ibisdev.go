@@ -129,6 +129,12 @@ func (d *Device) Finish() error { return d.inner.Finish() }
 // in their probe loop observe the abort as an IProbe error and exit.
 func (d *Device) Abort(code int) error { return d.inner.Abort(code) }
 
+// Revoke poisons a matching context job-wide by delegating to the
+// inner transport device (xdev.Revoker). Receive workers polling the
+// revoked context observe the revocation as an IProbe error and fail
+// their operation with it.
+func (d *Device) Revoke(context int) error { return d.inner.Revoke(context) }
+
 // SendOverhead reports the per-message device overhead in bytes.
 func (d *Device) SendOverhead() int { return d.inner.SendOverhead() }
 

@@ -173,3 +173,9 @@ func TestThreadsReleasedOnSend(t *testing.T) {
 func TestChaosConformance(t *testing.T) {
 	devtest.RunChaos(t, runner, devtest.ChaosOptions{HasPeek: false})
 }
+
+// TestRecoveryConformance runs the survivor-continues recovery suite:
+// kill a rank mid-operation, then Revoke/Shrink/Agree/Restore.
+func TestRecoveryConformance(t *testing.T) {
+	devtest.RunRecovery(t, runner)
+}

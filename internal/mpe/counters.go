@@ -42,6 +42,13 @@ type Counters struct {
 	// RmaBytes totals the payload bytes moved by one-sided operations
 	// this rank originated.
 	RmaBytes atomic.Uint64
+	// CommRevokes, CommShrinks and CommAgrees count fault-tolerance
+	// operations issued by this rank (incremented by the core layer):
+	// communicator revocations initiated locally, successful Shrink
+	// calls, and completed agreement rounds.
+	CommRevokes atomic.Uint64
+	CommShrinks atomic.Uint64
+	CommAgrees  atomic.Uint64
 }
 
 // Snapshot returns a plain-value copy of the counters.
@@ -61,6 +68,9 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		RmaGets:        c.RmaGets.Load(),
 		RmaAccs:        c.RmaAccs.Load(),
 		RmaBytes:       c.RmaBytes.Load(),
+		CommRevokes:    c.CommRevokes.Load(),
+		CommShrinks:    c.CommShrinks.Load(),
+		CommAgrees:     c.CommAgrees.Load(),
 	}
 }
 
@@ -82,6 +92,9 @@ type CounterSnapshot struct {
 	RmaGets        uint64 `json:"rmaGets,omitempty"`
 	RmaAccs        uint64 `json:"rmaAccs,omitempty"`
 	RmaBytes       uint64 `json:"rmaBytes,omitempty"`
+	CommRevokes    uint64 `json:"commRevokes,omitempty"`
+	CommShrinks    uint64 `json:"commShrinks,omitempty"`
+	CommAgrees     uint64 `json:"commAgrees,omitempty"`
 }
 
 // Add returns the field-wise sum of two snapshots (used when a device
@@ -102,5 +115,8 @@ func (s CounterSnapshot) Add(o CounterSnapshot) CounterSnapshot {
 		RmaGets:        s.RmaGets + o.RmaGets,
 		RmaAccs:        s.RmaAccs + o.RmaAccs,
 		RmaBytes:       s.RmaBytes + o.RmaBytes,
+		CommRevokes:    s.CommRevokes + o.CommRevokes,
+		CommShrinks:    s.CommShrinks + o.CommShrinks,
+		CommAgrees:     s.CommAgrees + o.CommAgrees,
 	}
 }

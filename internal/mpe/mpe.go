@@ -95,6 +95,14 @@ const (
 	// RmaFence is a span covering one Fence epoch-synchronization call;
 	// its duration feeds the epoch latency histogram.
 	RmaFence
+	// Revoked marks a matching context poisoned (ULFM revocation),
+	// locally or by a peer's broadcast; Ctx carries the context and
+	// Peer the rank the revocation arrived from (-1 when local).
+	Revoked
+	// Recovered is a span covering one Revoke→Shrink recovery sequence
+	// at the core layer; its duration feeds the recovery latency
+	// histogram. Ctx carries the revoked communicator's context.
+	Recovered
 
 	eventTypeCount
 )
@@ -121,6 +129,8 @@ var eventNames = [eventTypeCount]string{
 	RmaGet:          "RmaGet",
 	RmaAcc:          "RmaAcc",
 	RmaFence:        "RmaFence",
+	Revoked:         "Revoked",
+	Recovered:       "Recovered",
 }
 
 // String returns the event type's name.

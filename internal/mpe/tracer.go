@@ -23,6 +23,7 @@ type Tracer struct {
 	sendHist  Histogram
 	recvHist  Histogram
 	rmaHist   Histogram
+	recoHist  Histogram
 }
 
 // NewTracer returns an enabled tracer for the given rank holding up to
@@ -83,6 +84,8 @@ func (t *Tracer) SpanSeq(typ EventType, peer, tag, ctx int32, bytes int64, start
 		t.recvHist.Observe(bytes, dur)
 	case RmaFence:
 		t.rmaHist.Observe(bytes, dur)
+	case Recovered:
+		t.recoHist.Observe(bytes, dur)
 	}
 }
 
@@ -97,6 +100,11 @@ func (t *Tracer) RecvHist() HistSnapshot { return t.recvHist.Snapshot() }
 // RmaHist returns a snapshot of the one-sided fence epoch latency
 // histogram (RmaFence span durations, bucketed by bytes drained).
 func (t *Tracer) RmaHist() HistSnapshot { return t.rmaHist.Snapshot() }
+
+// RecoveryHist returns a snapshot of the fault-recovery latency
+// histogram (Recovered span durations — the Revoke-to-Shrink window —
+// bucketed by the number of ranks lost).
+func (t *Tracer) RecoveryHist() HistSnapshot { return t.recoHist.Snapshot() }
 
 // Events returns the retained events oldest-first. Only valid at
 // quiescence (see Ring.Snapshot).

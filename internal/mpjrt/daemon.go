@@ -296,7 +296,7 @@ func (d *Daemon) start(c *conn, spec *StartSpec) {
 		d.agg.Add(target, maddr)
 		defer d.agg.Remove(target)
 	}
-	d.maybeMonitor(spec.JobID, spec.PeerDaemons)
+	d.maybeMonitor(spec)
 
 	c.sendEvent(&Event{Kind: "started", Rank: spec.Rank})
 
@@ -315,10 +315,18 @@ func (d *Daemon) start(c *conn, spec *StartSpec) {
 	}
 	d.forget(spec.JobID, cmd)
 	if code != 0 {
-		// One rank failing dooms the job: kill its other local ranks
-		// and tell the peer daemons, so survivors blocked on the dead
-		// rank are torn down instead of hanging.
-		d.failJob(spec.JobID, spec.PeerDaemons)
+		if spec.FT {
+			// Fault-tolerant mode: a dead rank is a membership event,
+			// not a job failure. The survivors detect the loss at the
+			// device layer and recover (revoke/shrink/restore); tearing
+			// them down here would defeat that.
+			c.sendEvent(&Event{Kind: "memberlost", Rank: spec.Rank, Code: code})
+		} else {
+			// One rank failing dooms the job: kill its other local ranks
+			// and tell the peer daemons, so survivors blocked on the dead
+			// rank are torn down instead of hanging.
+			d.failJob(spec.JobID, spec.PeerDaemons)
+		}
 	}
 	c.sendEvent(&Event{Kind: "exit", Rank: spec.Rank, Code: code})
 }

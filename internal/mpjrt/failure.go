@@ -1,7 +1,11 @@
 package mpjrt
 
 import (
+	"context"
+	"fmt"
 	"net"
+	"os"
+	"strconv"
 	"time"
 
 	"mpj/internal/transport"
@@ -13,25 +17,25 @@ import (
 // dead compute node takes its jobs' surviving ranks down with it.
 
 // dialBackoff dials addr, retrying with jittered exponential backoff
-// until the budget runs out. It replaces fixed-interval retry loops so
-// simultaneous dialers (every rank of a job starting at once) spread
-// out instead of stampeding.
-func dialBackoff(addr string, budget time.Duration, seed int64) (net.Conn, error) {
+// until the budget runs out or ctx is cancelled. It replaces
+// fixed-interval retry loops so simultaneous dialers (every rank of a
+// job starting at once) spread out instead of stampeding.
+func dialBackoff(ctx context.Context, addr string, budget time.Duration, seed int64) (net.Conn, error) {
+	ctx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
 	bo := transport.NewBackoff(5*time.Millisecond, 500*time.Millisecond, seed)
-	deadline := time.Now().Add(budget)
+	var dialer net.Dialer
 	for {
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			remaining = time.Millisecond
-		}
-		conn, err := net.DialTimeout("tcp", addr, remaining)
+		conn, err := dialer.DialContext(ctx, "tcp", addr)
 		if err == nil {
 			return conn, nil
 		}
-		if time.Now().After(deadline) {
+		// Backoff, but give up immediately once the budget or the
+		// caller's context expires — the dial error is more useful to
+		// report than the cancellation.
+		if serr := bo.Sleep(ctx); serr != nil {
 			return nil, err
 		}
-		time.Sleep(bo.Next())
 	}
 }
 
@@ -40,7 +44,7 @@ func dialBackoff(addr string, budget time.Duration, seed int64) (net.Conn, error
 // dead. Errors are dropped: a daemon that cannot be told is either
 // gone (its node took the ranks with it) or will learn via heartbeat.
 func killWithRetry(addr, jobID string, seed int64) {
-	raw, err := dialBackoff(addr, 2*time.Second, seed)
+	raw, err := dialBackoff(context.Background(), addr, 2*time.Second, seed)
 	if err != nil {
 		return
 	}
@@ -50,6 +54,47 @@ func killWithRetry(addr, jobID string, seed int64) {
 		return
 	}
 	c.recvEvent()
+}
+
+// Environment variables configuring inter-daemon heartbeat monitoring.
+// mpjdaemon reads them at startup as the defaults for its -hb-interval
+// and -hb-misses flags.
+const (
+	// EnvHeartbeatInterval is a Go duration ("500ms", "2s") between
+	// pings to each peer daemon of a job; empty or "0" disables
+	// monitoring.
+	EnvHeartbeatInterval = "MPJ_HEARTBEAT_INTERVAL"
+	// EnvHeartbeatMisses is the number of consecutive missed
+	// heartbeats after which a peer node is presumed dead.
+	EnvHeartbeatMisses = "MPJ_HEARTBEAT_MISSES"
+)
+
+// DefaultHeartbeatMisses is the miss tolerance when
+// MPJ_HEARTBEAT_MISSES is unset.
+const DefaultHeartbeatMisses = 3
+
+// HeartbeatFromEnv reads the heartbeat policy from the environment: a
+// zero interval (the default) means monitoring is off.
+func HeartbeatFromEnv() (interval time.Duration, misses int, err error) {
+	if v := os.Getenv(EnvHeartbeatInterval); v != "" {
+		d, perr := time.ParseDuration(v)
+		if perr != nil {
+			return 0, 0, fmt.Errorf("mpjrt: bad %s %q: %w", EnvHeartbeatInterval, v, perr)
+		}
+		if d < 0 {
+			return 0, 0, fmt.Errorf("mpjrt: negative %s %q", EnvHeartbeatInterval, v)
+		}
+		interval = d
+	}
+	misses = DefaultHeartbeatMisses
+	if v := os.Getenv(EnvHeartbeatMisses); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil || n < 1 {
+			return 0, 0, fmt.Errorf("mpjrt: bad %s %q: want a positive integer", EnvHeartbeatMisses, v)
+		}
+		misses = n
+	}
+	return interval, misses, nil
 }
 
 // SetHeartbeat enables inter-daemon heartbeat monitoring for jobs
@@ -89,9 +134,18 @@ func (d *Daemon) failJob(jobID string, peers []string) {
 	}
 }
 
-// maybeMonitor starts the heartbeat monitor for jobID if monitoring is
-// enabled, the job spans peer daemons, and no monitor is running yet.
-func (d *Daemon) maybeMonitor(jobID string, peers []string) {
+// maybeMonitor starts the heartbeat monitor for the spec's job if
+// monitoring applies: an interval is configured (the daemon default
+// from SetHeartbeat, overridable per job by the spec), the job spans
+// peer daemons, and no monitor is running yet. Fault-tolerant jobs are
+// never monitored — their surviving ranks detect a dead node at the
+// device layer and recover, so killing them here would defeat the
+// point.
+func (d *Daemon) maybeMonitor(spec *StartSpec) {
+	if spec.FT {
+		return
+	}
+	jobID, peers := spec.JobID, spec.PeerDaemons
 	others := false
 	for _, p := range peers {
 		if p != "" && p != d.Addr() {
@@ -100,12 +154,18 @@ func (d *Daemon) maybeMonitor(jobID string, peers []string) {
 		}
 	}
 	d.mu.Lock()
-	if d.closed || d.hbInterval <= 0 || !others || d.monitors[jobID] {
+	interval, misses := d.hbInterval, d.hbMisses
+	if spec.HeartbeatInterval > 0 {
+		interval = spec.HeartbeatInterval
+	}
+	if spec.HeartbeatMisses > 0 {
+		misses = spec.HeartbeatMisses
+	}
+	if d.closed || interval <= 0 || !others || d.monitors[jobID] {
 		d.mu.Unlock()
 		return
 	}
 	d.monitors[jobID] = true
-	interval, misses := d.hbInterval, d.hbMisses
 	d.mu.Unlock()
 	d.wg.Add(1)
 	go d.monitorJob(jobID, peers, interval, misses)

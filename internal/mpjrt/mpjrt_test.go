@@ -61,6 +61,16 @@ func TestHelperProcess(t *testing.T) {
 		os.Exit(0)
 	case "fail":
 		os.Exit(3)
+	case "ftrank1":
+		// Rank 1 dies quickly; the others outlive it and exit clean —
+		// possible only if the runtime does NOT tear the job down.
+		if os.Getenv("MPJ_RANK") == "1" {
+			time.Sleep(100 * time.Millisecond)
+			os.Exit(3)
+		}
+		time.Sleep(1 * time.Second)
+		fmt.Printf("rank %s survived\n", os.Getenv("MPJ_RANK"))
+		os.Exit(0)
 	case "failrank0":
 		// Rank 0 dies quickly; every other rank would sleep forever —
 		// unless the runtime tears the job down.
@@ -570,6 +580,56 @@ func TestRunTearsDownJobOnRankFailure(t *testing.T) {
 	}
 	if res.ExitCodes[1] == 0 {
 		t.Fatalf("exit codes %v: killed rank 1 reported success", res.ExitCodes)
+	}
+}
+
+// TestRunFTReportsLostMember: in fault-tolerant mode a failing rank
+// must NOT tear the job down — the survivor runs to clean completion
+// and the loss is reported in Result.Lost.
+func TestRunFTReportsLostMember(t *testing.T) {
+	d1 := startDaemon(t)
+	d2 := startDaemon(t)
+	var out bytes.Buffer
+	job := helperJob(2, []string{d1.Addr(), d2.Addr()}, "ftrank1", testBasePort(), &out)
+	job.FT = true
+	res, err := Run(job)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.ExitCodes[0] != 0 {
+		t.Fatalf("exit codes %v: survivor was torn down", res.ExitCodes)
+	}
+	if res.ExitCodes[1] != 3 {
+		t.Fatalf("exit codes %v, want rank 1 = 3", res.ExitCodes)
+	}
+	if len(res.Lost) != 1 || res.Lost[0] != 1 {
+		t.Fatalf("Lost = %v, want [1]", res.Lost)
+	}
+	if res.Failed() {
+		t.Fatal("FT job with a clean survivor reported failure")
+	}
+	if !strings.Contains(out.String(), "rank 0 survived") {
+		t.Fatalf("survivor output missing:\n%s", out.String())
+	}
+}
+
+// TestHeartbeatFromEnv covers the MPJ_HEARTBEAT_* parsing, including
+// rejection of malformed values.
+func TestHeartbeatFromEnv(t *testing.T) {
+	t.Setenv(EnvHeartbeatInterval, "250ms")
+	t.Setenv(EnvHeartbeatMisses, "5")
+	iv, misses, err := HeartbeatFromEnv()
+	if err != nil || iv != 250*time.Millisecond || misses != 5 {
+		t.Fatalf("HeartbeatFromEnv = %v, %d, %v", iv, misses, err)
+	}
+	t.Setenv(EnvHeartbeatInterval, "soon")
+	if _, _, err := HeartbeatFromEnv(); err == nil {
+		t.Fatal("bad interval accepted")
+	}
+	t.Setenv(EnvHeartbeatInterval, "")
+	t.Setenv(EnvHeartbeatMisses, "0")
+	if _, _, err := HeartbeatFromEnv(); err == nil {
+		t.Fatal("zero misses accepted")
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"time"
 )
 
 // StartSpec asks a daemon to start one MPJ process.
@@ -51,6 +52,18 @@ type StartSpec struct {
 	// heartbeating enabled the daemons also monitor each other for the
 	// job's lifetime.
 	PeerDaemons []string
+	// FT marks the job fault tolerant: when this process exits
+	// nonzero, its daemon reports a "memberlost" event instead of
+	// killing the job's other ranks, leaving the survivors to revoke,
+	// shrink and restore (ULFM-style recovery). Heartbeat monitoring
+	// is also skipped for FT jobs — survivors detect dead peers at
+	// the device layer.
+	FT bool
+	// HeartbeatInterval and HeartbeatMisses, when positive, override
+	// the daemon's SetHeartbeat policy for this job (mpjrun
+	// -hb-interval / -hb-misses).
+	HeartbeatInterval time.Duration
+	HeartbeatMisses   int
 }
 
 // Request is the client→daemon envelope.
@@ -65,16 +78,17 @@ type Request struct {
 
 // Event is a daemon→client message. A "start" request yields a
 // "started" (or "error") event, then a stream of "output" events, then
-// one "exit" event.
+// one "exit" event. An FT job's nonzero exit is preceded by a
+// "memberlost" event.
 type Event struct {
-	// Kind: "started", "output", "exit", "error", "pong", "killed",
-	// "status".
+	// Kind: "started", "output", "exit", "memberlost", "error",
+	// "pong", "killed", "status".
 	Kind string
 	// Rank echoes the process rank.
 	Rank int
 	// Line is one line of combined stdout/stderr for Kind "output".
 	Line string
-	// Code is the exit code for Kind "exit".
+	// Code is the exit code for Kind "exit" and "memberlost".
 	Code int
 	// Err is the failure description for Kind "error".
 	Err string

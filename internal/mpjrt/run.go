@@ -1,11 +1,13 @@
 package mpjrt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -45,20 +47,38 @@ type Job struct {
 	Env []string
 	// Output receives interleaved process output lines; nil discards.
 	Output io.Writer
+	// FT runs the job in fault-tolerant mode: a rank exiting nonzero
+	// is reported as a lost member (Result.Lost) instead of tearing
+	// the whole job down, leaving the survivors to revoke, shrink and
+	// continue.
+	FT bool
+	// HeartbeatInterval and HeartbeatMisses, when positive, override
+	// each daemon's heartbeat policy for this job.
+	HeartbeatInterval time.Duration
+	HeartbeatMisses   int
 }
 
 // Result reports a finished job.
 type Result struct {
 	// ExitCodes holds each rank's exit code.
 	ExitCodes []int
+	// Lost lists ranks the daemons reported as lost members (FT mode
+	// only), in ascending order. A lost rank's exit code is nonzero
+	// but does not make the job a failure if the survivors succeeded.
+	Lost []int
 	// JobID is the identifier the job ran under.
 	JobID string
 }
 
-// Failed reports whether any rank exited non-zero.
+// Failed reports whether any rank exited non-zero, not counting ranks
+// reported lost in fault-tolerant mode.
 func (r *Result) Failed() bool {
-	for _, c := range r.ExitCodes {
-		if c != 0 {
+	lost := make(map[int]bool, len(r.Lost))
+	for _, rank := range r.Lost {
+		lost[rank] = true
+	}
+	for rank, c := range r.ExitCodes {
+		if c != 0 && !lost[rank] {
 			return true
 		}
 	}
@@ -181,6 +201,7 @@ func Run(job Job) (*Result, error) {
 	res := &Result{ExitCodes: make([]int, job.NP), JobID: jobID}
 	errs := make([]error, job.NP)
 	var outMu sync.Mutex
+	var lostMu sync.Mutex
 	var wg sync.WaitGroup
 
 	// On the first rank failure, kill the whole job on every daemon so
@@ -204,7 +225,7 @@ func Run(job Job) (*Result, error) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			raw, err := dialBackoff(daemonOf[rank], 10*time.Second, int64(rank)+1)
+			raw, err := dialBackoff(context.Background(), daemonOf[rank], 10*time.Second, int64(rank)+1)
 			if err != nil {
 				errs[rank] = fmt.Errorf("daemon %s: %w", daemonOf[rank], err)
 				teardown()
@@ -215,7 +236,10 @@ func Run(job Job) (*Result, error) {
 			spec := &StartSpec{
 				JobID: jobID, Rank: rank, Size: job.NP, Addrs: addrs,
 				Device: job.Device, Args: job.Args, Env: job.Env,
-				PeerDaemons: job.Daemons,
+				PeerDaemons:       job.Daemons,
+				FT:                job.FT,
+				HeartbeatInterval: job.HeartbeatInterval,
+				HeartbeatMisses:   job.HeartbeatMisses,
 			}
 			if metricsOf[rank] != "" {
 				spec.Env = append(append([]string(nil), job.Env...),
@@ -245,9 +269,18 @@ func Run(job Job) (*Result, error) {
 						fmt.Fprintf(job.Output, "[rank %d] %s\n", ev.Rank, ev.Line)
 						outMu.Unlock()
 					}
+				case "memberlost":
+					lostMu.Lock()
+					res.Lost = append(res.Lost, ev.Rank)
+					lostMu.Unlock()
+					if job.Output != nil {
+						outMu.Lock()
+						fmt.Fprintf(job.Output, "[mpjrun] rank %d lost (exit %d); survivors continue\n", ev.Rank, ev.Code)
+						outMu.Unlock()
+					}
 				case "exit":
 					res.ExitCodes[rank] = ev.Code
-					if ev.Code != 0 {
+					if ev.Code != 0 && !job.FT {
 						teardown()
 					}
 					return
@@ -265,6 +298,7 @@ func Run(job Job) (*Result, error) {
 	}
 	wg.Wait()
 	killWG.Wait()
+	sort.Ints(res.Lost)
 
 	var failures []string
 	for rank, err := range errs {

@@ -238,6 +238,26 @@ func (d *Device) PeerErr(p xdev.ProcessID) error {
 	}
 }
 
+// Revoke poisons the matching context on every endpoint of the job's
+// group (xdev.Revoker). The context maps through the same 16-bit
+// match-bits field sends and receives use, so negative recovery-channel
+// contexts revoke the encoding they actually matched under.
+func (d *Device) Revoke(context int) error {
+	d.mu.Lock()
+	ep, ok := d.ep, d.initDone && !d.finished
+	d.mu.Unlock()
+	if !ok || ep == nil {
+		return nil
+	}
+	ep.RevokeContext(int32(uint16(context)))
+	if d.rec.Enabled() {
+		d.rec.Event(mpe.Revoked, int32(d.cfg.Rank), -1, int32(context), 0)
+	}
+	return nil
+}
+
+var _ xdev.Revoker = (*Device)(nil)
+
 // SendOverhead reports the per-message device overhead in bytes; MX
 // carries the envelope out of band, so it is zero.
 func (d *Device) SendOverhead() int { return 0 }

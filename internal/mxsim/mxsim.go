@@ -239,6 +239,33 @@ func (ep *Endpoint) peerClosed(src uint32) {
 	})
 }
 
+// RevokeContext poisons matching context ctx on this endpoint and on
+// every endpoint currently open in its group: posted receives and
+// unmatched messages carrying the context fail with an error wrapping
+// xdev.ErrRevoked, and future operations on it fail fast. This is a
+// fabric extension beyond the real MX API — the simulated NIC plays
+// the role of a revocation broadcast — and it is idempotent per
+// endpoint, so concurrent revokers converge.
+func (ep *Endpoint) RevokeContext(ctx int32) {
+	fabric.Lock()
+	peers := make([]*Endpoint, 0, len(fabric.groups[ep.group]))
+	for _, p := range fabric.groups[ep.group] {
+		peers = append(peers, p)
+	}
+	fabric.Unlock()
+	err := fmt.Errorf("mxsim: matching context %d revoked: %w", ctx, xdev.ErrRevoked)
+	ep.core.RevokeContext(ctx, err) // self, even when already closed out of the fabric
+	for _, p := range peers {
+		if p != ep {
+			p.core.RevokeContext(ctx, err)
+		}
+	}
+}
+
+// CtxErr returns the revocation error recorded for ctx on this
+// endpoint, or nil while the context is live.
+func (ep *Endpoint) CtxErr(ctx int32) error { return ep.core.CtxErr(ctx) }
+
 // PeerOpen reports whether endpoint id is currently open in this
 // endpoint's group. Endpoint death records are deliberately non-sticky
 // (ids are reopenable), so fabric membership is the only liveness
@@ -291,6 +318,9 @@ func (ep *Endpoint) send(segments [][]byte, dst EndpointAddr, matchInfo uint64, 
 	if ep.core.Closed() {
 		return nil, ErrEndpointClosed
 	}
+	if err := ep.core.CtxErr(decodeConcrete(matchInfo).Ctx); err != nil {
+		return nil, err
+	}
 	rep, err := ep.resolve(dst)
 	if err != nil {
 		return nil, err
@@ -315,6 +345,13 @@ func (ep *Endpoint) send(segments [][]byte, dst EndpointAddr, matchInfo uint64, 
 	// thread, as MX firmware would on message arrival.
 	rdr, matched, err := rep.core.MatchOrPark(decodeConcrete(matchInfo), arr)
 	if err != nil {
+		if errors.Is(err, xdev.ErrRevoked) {
+			// The destination saw the revocation before this sender's own
+			// core did: the send fails with it rather than pretending the
+			// message was captured.
+			sreq.complete(Status{}, nil, err)
+			return sreq, nil
+		}
 		// The destination closed between resolve and delivery.
 		if sync {
 			sreq.complete(Status{}, nil, fmt.Errorf("mxsim: deliver: %w", ErrPeerClosed))

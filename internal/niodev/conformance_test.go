@@ -122,10 +122,17 @@ func TestConformanceTCP(t *testing.T) {
 	}, devtest.Options{HasPeek: true, LargeN: 60_000, RendezvousAt: DefaultEagerLimit})
 }
 
-/// TestChaosConformanceInProc runs the shared failure-semantics suite:
+// TestChaosConformanceInProc runs the shared failure-semantics suite:
 // blocked calls must fail typed, not hang, under Finish and peer death.
 func TestChaosConformanceInProc(t *testing.T) {
 	devtest.RunChaos(t,
 		conformanceRunner(func() xdev.Transport { return transport.NewInProc(0) }),
 		devtest.ChaosOptions{HasPeek: true})
+}
+
+// TestRecoveryConformanceInProc runs the survivor-continues recovery
+// suite: kill a rank mid-operation, then Revoke/Shrink/Agree/Restore.
+func TestRecoveryConformanceInProc(t *testing.T) {
+	devtest.RunRecovery(t,
+		conformanceRunner(func() xdev.Transport { return transport.NewInProc(0) }))
 }

@@ -25,6 +25,7 @@ const (
 	msgAck       = 6 // eager-sync matched acknowledgement
 	msgAbort     = 7 // job abort broadcast; tag carries the abort code
 	msgBye       = 8 // graceful departure: the sender finished cleanly
+	msgRevoke    = 9 // context revocation broadcast; ctx carries the context
 )
 
 // headerLen is the fixed wire header:
@@ -205,7 +206,11 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 	if err := d.peerErr(slot); err != nil {
 		return nil, err
 	}
+	if err := d.core.CtxErr(int32(context)); err != nil {
+		return nil, err
+	}
 	req := d.core.NewRequest(devcore.SendReq, buf)
+	req.OpCtx = int32(context)
 	wireLen := buf.WireLen()
 	if d.rec.Enabled() {
 		req.Trace(int32(slot), int32(tag), int32(context))
@@ -393,6 +398,7 @@ func (d *Device) IRecv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int)
 		return nil, err
 	}
 	req := d.core.NewRequest(devcore.RecvReq, buf)
+	req.OpCtx = int32(context)
 	if d.rec.Enabled() {
 		peer := int32(-1)
 		if !src.IsAnySource() {
@@ -541,6 +547,8 @@ func (d *Device) readLoop(conn net.Conn, src uint32, crc bool) error {
 		case msgAbort:
 			d.handleAbort(h)
 			return nil // device is tearing down; the conn is closing
+		case msgRevoke:
+			d.handleRevoke(h)
 		case msgBye:
 			// Graceful departure: the peer finished cleanly. Requests
 			// pinned on it fail the same way as on a crash (it can no

@@ -245,6 +245,15 @@ func (w *Win) fail(err error) {
 	w.mu.Unlock()
 }
 
+// Poison marks the window failed with err: every pending reply wait is
+// released and every blocked synchronization call (Fence, Lock,
+// Unlock, throttled Put/Accumulate) returns err instead of hanging.
+// Subsequent operations fail fast with the same error. The core layer
+// calls this when the window's communicator is revoked; the first
+// failure recorded on a window wins, so poisoning an already-failed
+// window is a no-op.
+func (w *Win) Poison(err error) { w.fail(err) }
+
 // peersErr polls liveness: of the given ranks, or of every rank in the
 // group when targets is nil. The device's death record is wrapped with
 // the window role so the failure names the peer.

@@ -258,6 +258,37 @@ func (d *Device) Abort(code int) error {
 	return nil
 }
 
+// Revoke poisons the matching context on every member's core: posted
+// receives, unmatched arrivals (and the synchronous senders parked
+// behind them) on the context fail with an error wrapping
+// xdev.ErrRevoked and future operations on it fail fast. Propagation
+// is direct — the board registry reaches every mailbox in-process, so
+// no broadcast protocol is needed. Implements xdev.Revoker.
+func (d *Device) Revoke(context int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.initDone || d.finished.Load() {
+		return nil
+	}
+	rerr := &xdev.Error{
+		Dev: DeviceName,
+		Op:  fmt.Sprintf("context %d", context),
+		Err: xdev.ErrRevoked,
+	}
+	first := false
+	for _, c := range d.grp.cores {
+		if c.RevokeContext(int32(context), rerr) {
+			first = true
+		}
+	}
+	if first && d.rec.Enabled() {
+		d.rec.Event(mpe.Revoked, int32(d.cfg.Rank), -1, int32(context), 0)
+	}
+	return nil
+}
+
+var _ xdev.Revoker = (*Device)(nil)
+
 // SendOverhead reports the per-message device overhead (none: headers
 // never hit a wire).
 func (d *Device) SendOverhead() int { return 0 }
@@ -271,6 +302,9 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 	}
 	if dst.UUID >= uint64(len(d.grp.cores)) {
 		return nil, xdev.Errf(DeviceName, "isend", "unknown process %v", dst)
+	}
+	if err := d.core.CtxErr(int32(context)); err != nil {
+		return nil, err
 	}
 	dstCore := d.grp.cores[dst.UUID]
 	sreq := d.core.NewRequest(devcore.SendReq, nil)

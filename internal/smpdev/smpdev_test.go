@@ -116,3 +116,9 @@ func TestDeviceRegistry(t *testing.T) {
 func TestChaosConformance(t *testing.T) {
 	devtest.RunChaos(t, runner, devtest.ChaosOptions{HasPeek: true})
 }
+
+// TestRecoveryConformance runs the survivor-continues recovery suite:
+// kill a rank mid-operation, then Revoke/Shrink/Agree/Restore.
+func TestRecoveryConformance(t *testing.T) {
+	devtest.RunRecovery(t, runner)
+}

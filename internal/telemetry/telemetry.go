@@ -46,6 +46,9 @@ type Source struct {
 	// RmaHist reports the rank's RMA fence-epoch latency histogram
 	// (nil when not tracing).
 	RmaHist func() mpe.HistSnapshot
+	// RecoveryHist reports the rank's fault-recovery latency histogram
+	// (Recovered spans; nil when not tracing).
+	RecoveryHist func() mpe.HistSnapshot
 	// RMA reports the rank's live one-sided window state (nil when the
 	// rank has no windows to report).
 	RMA func() any
@@ -182,6 +185,9 @@ var counterDefs = []struct {
 	{"mpj_rma_gets_total", "One-sided Get operations issued as origin.", func(c mpe.CounterSnapshot) uint64 { return c.RmaGets }},
 	{"mpj_rma_accs_total", "One-sided Accumulate operations issued as origin.", func(c mpe.CounterSnapshot) uint64 { return c.RmaAccs }},
 	{"mpj_rma_bytes_total", "Payload bytes moved by one-sided operations issued as origin.", func(c mpe.CounterSnapshot) uint64 { return c.RmaBytes }},
+	{"mpj_comm_revokes_total", "Communicator revocations initiated by this rank.", func(c mpe.CounterSnapshot) uint64 { return c.CommRevokes }},
+	{"mpj_comm_shrinks_total", "Successful communicator Shrink operations.", func(c mpe.CounterSnapshot) uint64 { return c.CommShrinks }},
+	{"mpj_comm_agrees_total", "Completed fault-tolerant agreement rounds.", func(c mpe.CounterSnapshot) uint64 { return c.CommAgrees }},
 }
 
 // WriteMetrics writes the Prometheus text exposition (format 0.0.4)
@@ -209,6 +215,9 @@ func WriteMetrics(w io.Writer, sources []Source) {
 	writeHistFamily(w, sources, "mpj_rma_fence_latency_ns",
 		"RMA fence epoch latency in nanoseconds, by epoch-bytes class.",
 		func(s Source) func() mpe.HistSnapshot { return s.RmaHist })
+	writeHistFamily(w, sources, "mpj_recovery_latency_ns",
+		"Fault-recovery (Shrink) latency in nanoseconds, by ranks-lost class.",
+		func(s Source) func() mpe.HistSnapshot { return s.RecoveryHist })
 }
 
 func writeHistFamily(w io.Writer, sources []Source, name, help string, pick func(Source) func() mpe.HistSnapshot) {

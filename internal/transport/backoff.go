@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"time"
@@ -69,6 +70,30 @@ func (b *Backoff) Next() time.Duration {
 		return cur
 	}
 	return half + time.Duration(b.rng.Int63n(int64(half)+1))
+}
+
+// Sleep blocks for the next delay in the schedule, returning early
+// with ctx's error if the context is cancelled first. It advances the
+// schedule either way, so a loop that is cancelled and later resumed
+// does not restart from the minimum delay. A nil ctx sleeps
+// unconditionally.
+func (b *Backoff) Sleep(ctx context.Context) error {
+	d := b.Next()
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Reset returns the schedule to its initial delay (for loops that

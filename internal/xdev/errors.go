@@ -20,11 +20,16 @@ import (
 //     compromised, so the error usually appears joined with ErrPeerLost.
 //   - ErrAborted: the job was torn down by Comm.Abort, locally or by a
 //     remote rank's abort control frame.
+//   - ErrRevoked: the communication context the operation used was
+//     revoked (ULFM-style) by some rank of its communicator. Unlike
+//     ErrAborted the device survives: other contexts keep working, so
+//     survivors can agree, shrink and continue on a new communicator.
 var (
 	ErrPeerLost     = errors.New("xdev: peer lost")
 	ErrDeviceClosed = errors.New("xdev: device closed")
 	ErrCorruptFrame = errors.New("xdev: corrupt frame")
 	ErrAborted      = errors.New("xdev: job aborted")
+	ErrRevoked      = errors.New("xdev: communicator revoked")
 )
 
 // AbortError carries the application-supplied code of an Abort and the
@@ -53,4 +58,18 @@ type Aborter interface {
 	// the given code, then fails all pending local requests with an
 	// AbortError. The device remains finishable afterwards.
 	Abort(code int) error
+}
+
+// Revoker is implemented by devices that can revoke a matching context
+// job-wide: every pending operation on that context — posted receives,
+// parked synchronous sends, unmatched arrivals, rendezvous in flight —
+// fails with an error wrapping ErrRevoked, locally and on every
+// reachable peer, and future operations on the context fail fast. Other
+// contexts are untouched; the device stays usable, which is what
+// separates revocation from Abort.
+type Revoker interface {
+	// Revoke poisons the given matching context everywhere. It is
+	// idempotent: revoking an already-revoked context is a no-op, which
+	// lets peers re-broadcast the revocation for reliability.
+	Revoke(context int) error
 }

@@ -1,0 +1,105 @@
+package mpj_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mpj"
+)
+
+// TestRecoveryLatencyReport measures the survivor-side cost of the
+// ULFM recovery sequence end to end — blocked-collective failure
+// detection, Revoke+Shrink, checkpoint restore — and prints the
+// figures recorded in EXPERIMENTS.md. Functional assertions keep it a
+// real test; run with -v to see the numbers.
+func TestRecoveryLatencyReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency report skipped in -short mode")
+	}
+	for _, device := range []string{"niodev", "smpdev"} {
+		device := device
+		t.Run(device, func(t *testing.T) {
+			const n, victim = 4, 1
+			dir := t.TempDir()
+			state := make([]byte, 1<<20) // 1 MiB of rank state
+			for i := range state {
+				state[i] = byte(i)
+			}
+			var mu sync.Mutex
+			var detect, shrink, restore time.Duration
+			record := func(d, s, r time.Duration) {
+				mu.Lock()
+				defer mu.Unlock()
+				if d > detect {
+					detect = d
+				}
+				if s > shrink {
+					shrink = s
+				}
+				if r > restore {
+					restore = r
+				}
+			}
+			err := mpj.RunLocalOpts(n, &mpj.Options{Device: device}, func(p *mpj.Process) error {
+				w := p.World()
+				if err := mpj.Checkpoint(w, dir, "s1",
+					mpj.CheckpointRegion{Name: "state", Data: state}); err != nil &&
+					!errors.Is(err, mpj.ErrRevoked) && !errors.Is(err, mpj.ErrPeerLost) {
+					return fmt.Errorf("checkpoint: %w", err)
+				}
+				if p.Rank() == victim {
+					p.Finalize()
+					return nil
+				}
+				// Detection: a collective involving the dead rank must
+				// fail typed rather than hang.
+				t0 := time.Now()
+				in, out := []int64{1}, []int64{0}
+				err := w.Allreduce(in, 0, out, 0, 1, mpj.LONG, mpj.SUM)
+				d := time.Since(t0)
+				if err == nil {
+					return fmt.Errorf("collective with dead rank returned nil")
+				}
+				if !errors.Is(err, mpj.ErrPeerLost) && !errors.Is(err, mpj.ErrRevoked) {
+					return fmt.Errorf("collective error not typed: %w", err)
+				}
+				if err := w.Revoke(); err != nil {
+					return fmt.Errorf("revoke: %w", err)
+				}
+				t1 := time.Now()
+				nw, err := w.Shrink()
+				if err != nil {
+					return fmt.Errorf("shrink: %w", err)
+				}
+				s := time.Since(t1)
+				if nw.Size() != n-1 {
+					return fmt.Errorf("shrunk to %d ranks, want %d", nw.Size(), n-1)
+				}
+				t2 := time.Now()
+				id, err := mpj.LatestCheckpoint(dir)
+				if err != nil || id == "" {
+					return fmt.Errorf("latest: %q, %v", id, err)
+				}
+				snaps, err := mpj.RestoreCheckpoint(dir, id, w.Group(), nw)
+				if err != nil {
+					return fmt.Errorf("restore: %w", err)
+				}
+				r := time.Since(t2)
+				if own := snaps[p.Rank()]; own == nil || len(own.Regions["state"]) != len(state) {
+					return fmt.Errorf("rank %d snapshot missing or truncated", p.Rank())
+				}
+				record(d, s, r)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s np=%d, 1 MiB/rank: detect(blocked Allreduce)=%v revoke+shrink=%v restore=%v",
+				device, n, detect.Round(10*time.Microsecond), shrink.Round(10*time.Microsecond),
+				restore.Round(10*time.Microsecond))
+		})
+	}
+}

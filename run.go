@@ -242,6 +242,7 @@ func telemetrySource(rank int, device string, dev xdev.Device, tr *mpe.Tracer) t
 		src.SendHist = tr.SendHist
 		src.RecvHist = tr.RecvHist
 		src.RmaHist = tr.RmaHist
+		src.RecoveryHist = tr.RecoveryHist
 	}
 	src.RMA = func() any {
 		ws := rma.DeviceState(dev)
