@@ -7,7 +7,8 @@
 //
 //	mpjrun -np 4 -daemons host1:10000,host2:10000 [-dev niodev]
 //	       [-baseport 20000] [-remote] [-metrics :9090] [-ft]
-//	       [-hb-interval 2s] [-hb-misses 3] program [args...]
+//	       [-nodemap 0,0,1,1] [-hb-interval 2s] [-hb-misses 3]
+//	       program [args...]
 //
 // With -remote the program binary is served over HTTP from this
 // machine and downloaded by the daemons (remote loading, Fig. 9b);
@@ -17,7 +18,10 @@
 // and mpjrun aggregates all of them at the given address. With -ft a
 // rank exiting nonzero is reported as a lost member instead of
 // killing the job: the surviving ranks keep running and are expected
-// to recover via comm.Revoke/Shrink (see DESIGN.md §10).
+// to recover via comm.Revoke/Shrink (see DESIGN.md §10). Every rank
+// is told the job's placement via MPJ_NODE_MAP — derived from daemon
+// hosts unless -nodemap overrides it — which the hybrid device and
+// the topology-aware collectives consume (see DESIGN.md §11).
 package main
 
 import (
@@ -37,6 +41,7 @@ func main() {
 	basePort := flag.Int("baseport", 20000, "first rank listen port")
 	remote := flag.Bool("remote", false, "serve the binary over HTTP to the daemons (remote loading)")
 	metrics := flag.String("metrics", "", "serve job-level live telemetry on this host:port (\":0\" picks a port); ranks serve theirs on baseport+1000+rank")
+	nodeMap := flag.String("nodemap", "", "rank->node placement exported as MPJ_NODE_MAP (e.g. 0,0,1,1 or nodeA:2,nodeB:2); empty derives it from daemon hosts")
 	ft := flag.Bool("ft", false, "fault-tolerant mode: a failed rank is reported as lost instead of killing the job; survivors shrink and continue")
 	hbInterval := flag.Duration("hb-interval", 0, "override the daemons' heartbeat interval for this job (0 = daemon default)")
 	hbMisses := flag.Int("hb-misses", 0, "override the daemons' tolerated consecutive heartbeat misses for this job (0 = daemon default)")
@@ -84,6 +89,7 @@ func main() {
 		Device:     *dev,
 		BasePort:   *basePort,
 		RemoteLoad: *remote,
+		NodeMap:    *nodeMap,
 		Output:     os.Stdout,
 
 		FT:                *ft,

@@ -3,6 +3,7 @@ package mpj
 // Link every communication device into the registry so Options.Device
 // and MPJ_DEVICE can select any of them by name.
 import (
+	_ "mpj/internal/hybriddev"
 	_ "mpj/internal/ibisdev"
 	_ "mpj/internal/mxdev"
 	_ "mpj/internal/niodev"

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"strconv"
@@ -55,6 +56,14 @@ const ringThresholdBytes = 16 << 10
 // allgather.
 const rsagThresholdBytes = 64 << 10
 
+// hierThresholdBytes is the payload size above which Bcast, Reduce and
+// Allreduce switch to the two-level node-leader algorithms when the
+// placement spans several nodes with several ranks each. Below it the
+// extra intra-node hops cost more than the saved wire messages; the
+// two-level perfmodel predicts the crossover per fabric, and the
+// collbench flat-vs-hierarchical comparison measures it.
+const hierThresholdBytes = 64 << 10
+
 // Environment knobs for collective tuning. They must be set to the
 // same values on every rank of a job: segment size changes the number
 // of messages a collective exchanges.
@@ -63,9 +72,17 @@ const (
 	// (default 32 KiB).
 	EnvCollSegment = "MPJ_COLL_SEGMENT"
 	// EnvCollAlgo forces an algorithm family instead of the size-based
-	// table: auto (default), flat, pipeline, rd, rsag.
+	// table: auto (default), flat, pipeline, rd, rsag, hier.
 	EnvCollAlgo = "MPJ_COLL_ALGO"
 )
+
+// ErrUnknownCollAlgo is returned by InitThread when MPJ_COLL_ALGO
+// names an algorithm family the library does not have. A typo must
+// fail loudly: silently falling back to the auto table would run a
+// different algorithm than the one the job was told to measure — and
+// since the knob must agree across ranks, one misspelled rank would
+// otherwise deadlock against the others mid-collective.
+var ErrUnknownCollAlgo = errors.New("core: unknown MPJ_COLL_ALGO algorithm")
 
 const (
 	defaultSegmentBytes = 32 << 10
@@ -89,7 +106,39 @@ const (
 	forcePipeline
 	forceRD
 	forceRSAG
+	forceHier // two-level node-leader algorithms wherever the topology allows
 )
+
+// parseCollForce maps an MPJ_COLL_ALGO value to its algorithm family.
+// Unknown names are a typed error (ErrUnknownCollAlgo) so InitThread
+// can refuse them instead of silently running something else.
+func parseCollForce(v string) (collForce, error) {
+	switch strings.ToLower(v) {
+	case "", "auto":
+		return forceAuto, nil
+	case "flat", "store-forward":
+		return forceFlat, nil
+	case "pipeline", "pipelined":
+		return forcePipeline, nil
+	case "rd", "recursive-doubling":
+		return forceRD, nil
+	case "rsag", "reduce-scatter-allgather":
+		return forceRSAG, nil
+	case "hier", "hierarchical":
+		return forceHier, nil
+	}
+	return forceAuto, fmt.Errorf("%w: %q (valid: auto, flat, pipeline, rd, rsag, hier)", ErrUnknownCollAlgo, v)
+}
+
+// validateCollEnv checks the collective tuning environment; InitThread
+// calls it so a job with a misspelled MPJ_COLL_ALGO fails at startup
+// with a typed error rather than running the wrong algorithm.
+func validateCollEnv() error {
+	if _, err := parseCollForce(os.Getenv(EnvCollAlgo)); err != nil {
+		return err
+	}
+	return nil
+}
 
 // collTuning carries the segmentation knobs read once at startup.
 // Tests overwrite collCfg between worlds (never while one is running).
@@ -106,15 +155,11 @@ func loadCollTuning() collTuning {
 			t.segBytes = n
 		}
 	}
-	switch strings.ToLower(os.Getenv(EnvCollAlgo)) {
-	case "flat", "store-forward":
-		t.force = forceFlat
-	case "pipeline", "pipelined":
-		t.force = forcePipeline
-	case "rd", "recursive-doubling":
-		t.force = forceRD
-	case "rsag", "reduce-scatter-allgather":
-		t.force = forceRSAG
+	// Unknown names keep forceAuto here — loadCollTuning runs at
+	// package init and cannot fail; InitThread rejects them with
+	// ErrUnknownCollAlgo via validateCollEnv before any traffic.
+	if f, err := parseCollForce(os.Getenv(EnvCollAlgo)); err == nil {
+		t.force = f
 	}
 	return t
 }
@@ -133,10 +178,37 @@ func segmentable(dt *Datatype) bool {
 	return dt.fields == nil && dt.Base() != OBJECT.Base()
 }
 
-// chooseBcast picks the broadcast variant from the payload size.
+// hierEligible reports whether the two-level node-leader algorithms
+// apply: the communicator spans several nodes, and — unless the user
+// forces them — each wire message saved pays for at least one
+// intra-node hop (some node holds several ranks) and the payload is
+// past the crossover. Every rank computes this from the same global
+// placement, so the choice agrees job-wide.
+func (c *Intracomm) hierEligible(bytes int) bool {
+	if c.Size() < 2 {
+		return false
+	}
+	switch collCfg.force {
+	case forceHier:
+		return c.topo().nNodes >= 2
+	case forceAuto:
+		if bytes < hierThresholdBytes {
+			return false
+		}
+		t := c.topo()
+		return t.nNodes >= 2 && t.ranksPerNode() >= 2
+	}
+	return false
+}
+
+// chooseBcast picks the broadcast variant from the payload size and
+// the node topology.
 func (c *Intracomm) chooseBcast(bytes int, dt *Datatype) int32 {
 	if c.Size() == 1 || !segmentable(dt) {
 		return mpe.AlgoStoreForward
+	}
+	if c.hierEligible(bytes) {
+		return mpe.AlgoHierarchical
 	}
 	switch collCfg.force {
 	case forceFlat:
@@ -168,6 +240,9 @@ func (c *Intracomm) chooseReduce(bytes int, dt *Datatype, op *Op) int32 {
 	if c.Size() == 1 || !segmentable(dt) || op.atom <= 0 {
 		return mpe.AlgoStoreForward
 	}
+	if c.hierEligible(bytes) {
+		return mpe.AlgoHierarchical
+	}
 	switch collCfg.force {
 	case forceFlat:
 		return mpe.AlgoStoreForward
@@ -197,6 +272,9 @@ func (c *Intracomm) chooseAllreduce(bytes, elems int, dt *Datatype, op *Op) int3
 			pof2 *= 2
 		}
 		rsagOK = elems >= pof2*op.atom
+	}
+	if segmentable(dt) && c.hierEligible(bytes) {
+		return mpe.AlgoHierarchical
 	}
 	switch collCfg.force {
 	case forceFlat, forceRD:
@@ -243,9 +321,17 @@ func (c *Comm) recordAlgo(kind, algo int32, bytes int) {
 // allreduceRD performs recursive-doubling allreduce over a contiguous
 // scratch slice in place. Requires a commutative op.
 func (c *Intracomm) allreduceRD(scratch any, elems int, bdt *Datatype, op *Op) error {
-	n := c.Size()
-	rank := c.Rank()
-	if n == 1 {
+	return c.allreduceRDOver(scratch, elems, bdt, op, c.allRanks())
+}
+
+// allreduceRDOver is allreduceRD over an explicit participant list
+// (comm ranks, same order on every caller): position in the list plays
+// the role of rank. The hierarchical allreduce runs it over the node
+// leaders; non-members return immediately.
+func (c *Intracomm) allreduceRDOver(scratch any, elems int, bdt *Datatype, op *Op, list []int) error {
+	n := len(list)
+	rank := rankIndex(list, c.Rank())
+	if n == 1 || rank < 0 {
 		return nil
 	}
 
@@ -280,7 +366,7 @@ func (c *Intracomm) allreduceRD(scratch any, elems int, bdt *Datatype, op *Op) e
 	newRank := -1
 	switch {
 	case rank < 2*rem && rank%2 == 0:
-		if err := c.collSend(scratch, 0, elems, bdt, rank+1, tagAllreduceRD); err != nil {
+		if err := c.collSend(scratch, 0, elems, bdt, list[rank+1], tagAllreduceRD); err != nil {
 			return err
 		}
 	case rank < 2*rem:
@@ -288,7 +374,7 @@ func (c *Intracomm) allreduceRD(scratch any, elems int, bdt *Datatype, op *Op) e
 		if err != nil {
 			return err
 		}
-		if err := c.collRecv(t, 0, elems, bdt, rank-1, tagAllreduceRD); err != nil {
+		if err := c.collRecv(t, 0, elems, bdt, list[rank-1], tagAllreduceRD); err != nil {
 			return err
 		}
 		if err := op.apply(t, scratch); err != nil {
@@ -307,7 +393,7 @@ func (c *Intracomm) allreduceRD(scratch any, elems int, bdt *Datatype, op *Op) e
 			return nr + rem
 		}
 		for mask := 1; mask < pof2; mask <<= 1 {
-			partner := toReal(newRank ^ mask)
+			partner := list[toReal(newRank^mask)]
 			req, sb, err := c.collIsend(scratch, 0, elems, bdt, partner, tagAllreduceRD)
 			if err != nil {
 				return err
@@ -332,9 +418,9 @@ func (c *Intracomm) allreduceRD(scratch any, elems int, bdt *Datatype, op *Op) e
 	// Unfold: the core hands results back to the folded-out ranks.
 	if rank < 2*rem {
 		if rank%2 != 0 {
-			return c.collSend(scratch, 0, elems, bdt, rank-1, tagAllreduceRD)
+			return c.collSend(scratch, 0, elems, bdt, list[rank-1], tagAllreduceRD)
 		}
-		return c.collRecv(scratch, 0, elems, bdt, rank+1, tagAllreduceRD)
+		return c.collRecv(scratch, 0, elems, bdt, list[rank+1], tagAllreduceRD)
 	}
 	return nil
 }
@@ -376,9 +462,17 @@ func (c *Intracomm) allgathervRing(recvbuf any, roff int, rcounts, displs []int,
 // segment atom and elems >= pof2*atom (chooseAllreduce guarantees
 // both).
 func (c *Intracomm) allreduceRSAG(scratch any, elems int, bdt *Datatype, op *Op) error {
-	n := c.Size()
-	rank := c.Rank()
-	if n == 1 {
+	return c.allreduceRSAGOver(scratch, elems, bdt, op, c.allRanks())
+}
+
+// allreduceRSAGOver is allreduceRSAG over an explicit participant list
+// (comm ranks, same order everywhere); position in the list plays the
+// role of rank. The hierarchical allreduce runs it over the node
+// leaders; non-members return immediately.
+func (c *Intracomm) allreduceRSAGOver(scratch any, elems int, bdt *Datatype, op *Op, list []int) error {
+	n := len(list)
+	rank := rankIndex(list, c.Rank())
+	if n == 1 || rank < 0 {
 		return nil
 	}
 	pof2 := 1
@@ -393,7 +487,7 @@ func (c *Intracomm) allreduceRSAG(scratch any, elems int, bdt *Datatype, op *Op)
 	newRank := -1
 	switch {
 	case rank < 2*rem && rank%2 == 0:
-		if err := c.collSend(scratch, 0, elems, bdt, rank+1, tagAllreduceRS); err != nil {
+		if err := c.collSend(scratch, 0, elems, bdt, list[rank+1], tagAllreduceRS); err != nil {
 			return err
 		}
 	case rank < 2*rem:
@@ -401,7 +495,7 @@ func (c *Intracomm) allreduceRSAG(scratch any, elems int, bdt *Datatype, op *Op)
 		if err != nil {
 			return err
 		}
-		if err := c.collRecv(t, 0, elems, bdt, rank-1, tagAllreduceRS); err != nil {
+		if err := c.collRecv(t, 0, elems, bdt, list[rank-1], tagAllreduceRS); err != nil {
 			putT()
 			return err
 		}
@@ -435,7 +529,7 @@ func (c *Intracomm) allreduceRSAG(scratch any, elems int, bdt *Datatype, op *Op)
 		}
 		defer putTmp()
 		for mask := pof2 >> 1; mask >= 1; mask >>= 1 {
-			partner := toReal(newRank ^ mask)
+			partner := list[toReal(newRank^mask)]
 			mid := lo + (hi-lo)/2
 			mid -= (mid - lo) % atom
 			var keepLo, keepHi, sendLo, sendHi int
@@ -478,7 +572,7 @@ func (c *Intracomm) allreduceRSAG(scratch any, elems int, bdt *Datatype, op *Op)
 		// partner's sibling stripe of the enclosing region.
 		for i := len(hist) - 1; i >= 0; i-- {
 			mask := pof2 >> (i + 1)
-			partner := toReal(newRank ^ mask)
+			partner := list[toReal(newRank^mask)]
 			r := hist[i]
 			mid := r.lo + (r.hi-r.lo)/2
 			mid -= (mid - r.lo) % atom
@@ -504,9 +598,9 @@ func (c *Intracomm) allreduceRSAG(scratch any, elems int, bdt *Datatype, op *Op)
 	// Unfold: the core hands results back to the folded-out ranks.
 	if rank < 2*rem {
 		if rank%2 != 0 {
-			return c.collSend(scratch, 0, elems, bdt, rank-1, tagAllreduceRS)
+			return c.collSend(scratch, 0, elems, bdt, list[rank-1], tagAllreduceRS)
 		}
-		return c.collRecv(scratch, 0, elems, bdt, rank+1, tagAllreduceRS)
+		return c.collRecv(scratch, 0, elems, bdt, list[rank+1], tagAllreduceRS)
 	}
 	return nil
 }

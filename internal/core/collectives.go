@@ -287,8 +287,14 @@ func (c *Intracomm) Bcast(buf any, offset, count int, dt *Datatype, root int) er
 	bytes := payloadBytes(count, dt)
 	algo := c.chooseBcast(bytes, dt)
 	c.recordAlgo(mpe.CollBcast, algo, bytes)
-	if algo == mpe.AlgoPipelined {
+	switch algo {
+	case mpe.AlgoPipelined:
 		if err := c.bcastPipelined(buf, offset, count, dt, root); err != nil {
+			return fmt.Errorf("core: Bcast: %w", err)
+		}
+		return nil
+	case mpe.AlgoHierarchical:
+		if err := c.bcastHier(buf, offset, count, dt, root); err != nil {
 			return fmt.Errorf("core: Bcast: %w", err)
 		}
 		return nil
@@ -641,6 +647,14 @@ func (c *Intracomm) Reduce(sendbuf any, soff int, recvbuf any, roff, count int,
 			return fmt.Errorf("core: Reduce: %w", err)
 		}
 		return nil
+	case mpe.AlgoHierarchical:
+		if err := c.reduceHier(scratch, elems, bdt, op, root); err != nil {
+			return fmt.Errorf("core: Reduce: %w", err)
+		}
+		if rank == root {
+			return fromScratch(scratch, recvbuf, roff, count, dt)
+		}
+		return nil
 	}
 
 	if !op.commute {
@@ -731,12 +745,19 @@ func (c *Intracomm) Allreduce(sendbuf any, soff int, recvbuf any, roff, count in
 	bytes := payloadBytes(count, dt)
 	algo := c.chooseAllreduce(bytes, elems, dt, op)
 	c.recordAlgo(mpe.CollAllreduce, algo, bytes)
-	if algo == mpe.AlgoReduceScatterAllgather {
+	switch algo {
+	case mpe.AlgoReduceScatterAllgather:
 		if err := c.allreduceRSAG(scratch, elems, bdt, op); err != nil {
 			return fmt.Errorf("core: Allreduce: %w", err)
 		}
-	} else if err := c.allreduceRD(scratch, elems, bdt, op); err != nil {
-		return err
+	case mpe.AlgoHierarchical:
+		if err := c.allreduceHier(scratch, elems, bdt, op); err != nil {
+			return fmt.Errorf("core: Allreduce: %w", err)
+		}
+	default:
+		if err := c.allreduceRD(scratch, elems, bdt, op); err != nil {
+			return err
+		}
 	}
 	return fromScratch(scratch, recvbuf, roff, count, dt)
 }

@@ -1,0 +1,170 @@
+package core
+
+import "fmt"
+
+// Hierarchical (topology-aware) collectives. When the job's placement
+// (MPJ_NODE_MAP) spans several nodes, the flat algorithms waste the
+// asymmetry the hybrid device exposes: an intra-node message is one
+// shared-memory copy while an inter-node message crosses the wire. The
+// two-level variants here restructure the communication so each node's
+// traffic folds locally and only the node leaders speak on the wire —
+// one inter-node message per node instead of one per rank:
+//
+//   - Bcast: a fused two-level tree — binomial over the node
+//     representatives (inter-node edges) with each node's binomial
+//     fan-out grafted under its representative — driven by the
+//     segmented pipeline engine, so segments stream from the root
+//     through the leaders into the leaves without a phase barrier;
+//   - Reduce: the same fused tree folded upward (commutative ops);
+//   - Allreduce: a pipelined intra-node fold to the leader, a
+//     Rabenseifner reduce-scatter+allgather (or recursive doubling
+//     when the vector cannot be striped) over the leaders, then a
+//     pipelined intra-node broadcast of the result.
+//
+// All phases are tag-disciplined point-to-point on the communicator's
+// own collective context — no sub-communicator is allocated per call.
+// The tree edges of the intra- and inter-node levels are disjoint
+// (representatives pair only with representatives across nodes,
+// members only within their node) and segment streams flow in one
+// direction per edge, so the levels cannot mismatch each other's
+// messages.
+//
+// The root's node is represented by the root itself (not its leader),
+// which saves the final leader→root hop in Reduce and the root→leader
+// hop in Bcast.
+
+// rankIndex locates rank in a participant list, -1 when absent.
+func rankIndex(list []int, rank int) int {
+	for i, r := range list {
+		if r == rank {
+			return i
+		}
+	}
+	return -1
+}
+
+// allRanks is the identity participant list — the whole communicator.
+func (c *Comm) allRanks() []int {
+	list := make([]int, c.Size())
+	for i := range list {
+		list[i] = i
+	}
+	return list
+}
+
+// treeOver computes rank's binomial-tree neighbours over an explicit
+// participant list rooted at list[rootIdx]: the parent segments arrive
+// from (-1 at the root or for non-members) and the children they are
+// forwarded to, largest subtree first — the same shape the flat
+// pipelined collectives use over the whole communicator.
+func treeOver(list []int, rootIdx, rank int) (parent int, children []int) {
+	n := len(list)
+	me := rankIndex(list, rank)
+	parent = -1
+	if n <= 1 || me < 0 {
+		return parent, nil
+	}
+	rel := (me - rootIdx + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			parent = list[(rel-mask+rootIdx)%n]
+			break
+		}
+		mask <<= 1
+	}
+	for m := mask >> 1; m > 0; m >>= 1 {
+		if rel+m < n {
+			children = append(children, list[(rel+m+rootIdx)%n])
+		}
+	}
+	return parent, children
+}
+
+// reps returns the per-node representative list in node-id order: each
+// node's leader, except the root's node which the root itself
+// represents.
+func (t commTopo) reps(root int) []int {
+	reps := append([]int(nil), t.leader...)
+	reps[t.nodeOf[root]] = root
+	return reps
+}
+
+// twoLevelTree fuses the inter-node representative tree and the
+// intra-node member trees into one rooted tree: a representative's
+// parent is its representative-tree parent (another node's rep, a wire
+// edge) and its children are its representative-tree children followed
+// by its intra-node children; every other rank hangs off its node's
+// member tree. Segment streams traverse the whole structure with no
+// barrier between the levels.
+func (c *Intracomm) twoLevelTree(t commTopo, root int) (parent int, children []int) {
+	rank := c.Rank()
+	reps := t.reps(root)
+	rep := reps[t.myNode]
+	members := t.members[t.myNode]
+	repIdx := rankIndex(members, rep)
+	if rank != rep {
+		return treeOver(members, repIdx, rank)
+	}
+	parent, children = treeOver(reps, t.nodeOf[root], rank)
+	_, intraKids := treeOver(members, repIdx, rank)
+	return parent, append(children, intraKids...)
+}
+
+// bcastHier is the two-level broadcast: the segmented pipeline run
+// over the fused representative+member tree.
+func (c *Intracomm) bcastHier(buf any, offset, count int, dt *Datatype, root int) error {
+	t := c.topo()
+	parent, children := c.twoLevelTree(t, root)
+	if err := c.bcastPipeTree(buf, offset, count, dt, parent, children); err != nil {
+		return fmt.Errorf("hierarchical bcast: %w", err)
+	}
+	return nil
+}
+
+// reduceHier is the two-level commutative reduce over contiguous
+// scratch: the same fused tree folded upward. The result lands in
+// root's scratch.
+func (c *Intracomm) reduceHier(scratch any, elems int, bdt *Datatype, op *Op, root int) error {
+	t := c.topo()
+	parent, children := c.twoLevelTree(t, root)
+	if err := c.reducePipeTree(scratch, elems, bdt, op, parent, children); err != nil {
+		return fmt.Errorf("hierarchical reduce: %w", err)
+	}
+	return nil
+}
+
+// allreduceHier is the two-level commutative allreduce over contiguous
+// scratch, in place on every rank: fold each node onto its leader
+// (pipelined member tree), allreduce across the leaders — Rabenseifner
+// reduce-scatter+allgather when the vector can be striped across them,
+// recursive doubling otherwise — and fan the result back out within
+// each node. Unlike Bcast/Reduce the leader phase needs every node's
+// full vector, so the intra and inter levels cannot fuse into one
+// tree; each phase is individually pipelined instead.
+func (c *Intracomm) allreduceHier(scratch any, elems int, bdt *Datatype, op *Op) error {
+	t := c.topo()
+	members := t.members[t.myNode]
+	parent, children := treeOver(members, 0, c.Rank())
+	if err := c.reducePipeTree(scratch, elems, bdt, op, parent, children); err != nil {
+		return fmt.Errorf("intra-node fold: %w", err)
+	}
+	if c.Rank() == t.leader[t.myNode] {
+		leaders := t.leader
+		pof2 := 1
+		for pof2*2 <= len(leaders) {
+			pof2 *= 2
+		}
+		if op.atom > 0 && elems >= pof2*op.atom && len(leaders) >= 2 {
+			if err := c.allreduceRSAGOver(scratch, elems, bdt, op, leaders); err != nil {
+				return fmt.Errorf("inter-node rsag: %w", err)
+			}
+		} else if err := c.allreduceRDOver(scratch, elems, bdt, op, leaders); err != nil {
+			return fmt.Errorf("inter-node rd: %w", err)
+		}
+	}
+	if err := c.bcastPipeTree(scratch, 0, elems, bdt, parent, children); err != nil {
+		return fmt.Errorf("intra-node bcast: %w", err)
+	}
+	return nil
+}

@@ -309,16 +309,6 @@ func (c *Intracomm) bcastPipelined(buf any, offset, count int, dt *Datatype, roo
 	rank := c.Rank()
 	rel := (rank - root + n) % n
 
-	view, writeback, err := contiguousView(buf, offset, count, dt, rel != 0)
-	if err != nil {
-		return err
-	}
-	bdt, err := baseDt(view)
-	if err != nil {
-		return err
-	}
-	plan := planSegments(count*dt.Size(), max(dt.Base().Size(), 1), 1)
-
 	// Tree neighbours, same shape as the flat Bcast: the parent sits at
 	// rel minus its lowest set bit; children at rel+m for every m below
 	// that bit (below the tree size for the root), largest subtree
@@ -338,6 +328,29 @@ func (c *Intracomm) bcastPipelined(buf any, offset, count int, dt *Datatype, roo
 			children = append(children, (rel+m+root)%n)
 		}
 	}
+	return c.bcastPipeTree(buf, offset, count, dt, parent, children)
+}
+
+// bcastPipeTree runs the segmented broadcast stream over an explicit
+// tree: parent is the rank segments arrive from (-1 at the root) and
+// children the ranks each segment is forwarded to. The hierarchical
+// broadcast feeds it a fused two-level tree (wire edges between node
+// representatives, shared-memory edges within each node), so segments
+// stream from the root through the leaders into the leaves with no
+// phase barrier in between.
+func (c *Intracomm) bcastPipeTree(buf any, offset, count int, dt *Datatype, parent int, children []int) error {
+	if parent < 0 && len(children) == 0 {
+		return nil
+	}
+	view, writeback, err := contiguousView(buf, offset, count, dt, parent >= 0)
+	if err != nil {
+		return err
+	}
+	bdt, err := baseDt(view)
+	if err != nil {
+		return err
+	}
+	plan := planSegments(count*dt.Size(), max(dt.Base().Size(), 1), 1)
 
 	// One packed wire buffer per segment, shared by every child send:
 	// the root packs each segment exactly once, and every other rank
@@ -345,7 +358,7 @@ func (c *Intracomm) bcastPipelined(buf any, offset, count int, dt *Datatype, roo
 	// tree packs once and each rank unpacks once, where the flat tree
 	// repacks on every edge.
 	fwd := newFwdWindow()
-	if rel == 0 {
+	if parent < 0 {
 		for s := 0; s < plan.segs; s++ {
 			off, cnt := plan.bounds(s)
 			b := devcore.GetBuffer()
@@ -408,7 +421,6 @@ func (c *Intracomm) reducePipelined(scratch any, elems int, bdt *Datatype, op *O
 	n := c.Size()
 	rank := c.Rank()
 	rel := (rank - root + n) % n
-	plan := planSegments(elems, max(bdt.Base().Size(), 1), op.atom)
 
 	parent := -1
 	var children []int
@@ -421,6 +433,27 @@ func (c *Intracomm) reducePipelined(scratch any, elems int, bdt *Datatype, op *O
 			children = append(children, ((rel|mask)+root)%n)
 		}
 	}
+	if err := c.reducePipeTree(scratch, elems, bdt, op, parent, children); err != nil {
+		return err
+	}
+	if parent < 0 {
+		return fromScratch(scratch, recvbuf, roff, count, dt)
+	}
+	return nil
+}
+
+// reducePipeTree runs the segmented commutative fold over an explicit
+// tree: each rank folds its children's segment streams into scratch
+// and forwards the folded segments to parent (-1 at the root, where
+// the result stays in scratch). The hierarchical reduce feeds it a
+// fused two-level tree, so a node representative folds its local
+// members and its downstream representatives in one overlapped stream.
+func (c *Intracomm) reducePipeTree(scratch any, elems int, bdt *Datatype, op *Op,
+	parent int, children []int) error {
+	if parent < 0 && len(children) == 0 {
+		return nil
+	}
+	plan := planSegments(elems, max(bdt.Base().Size(), 1), op.atom)
 
 	// Per-child receive streams unpack into window-sized rings of
 	// segment slots, allocated once and reused across all segments
@@ -493,7 +526,7 @@ func (c *Intracomm) reducePipelined(scratch any, elems int, bdt *Datatype, op *O
 	if ps != nil {
 		return ps.drain()
 	}
-	return fromScratch(scratch, recvbuf, roff, count, dt)
+	return nil
 }
 
 // reduceStreamedFold is the non-commutative Reduce: every rank streams

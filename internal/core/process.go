@@ -51,6 +51,13 @@ type Process struct {
 	world    *Intracomm
 	provided ThreadLevel
 
+	// nodeOf is the job's rank→node placement (xdev.Config.NodeOf):
+	// world slot i runs on node nodeOf[i]. nil means unknown, which
+	// every topology query treats as a single node — the collectives
+	// then never pick a hierarchical algorithm. Set at InitThread from
+	// the config, or by SetNodeMap for Attach-based harnesses.
+	nodeOf []int
+
 	rec mpe.Recorder
 	// counters points at the device's live counter block when the
 	// device exposes one (mpe.CounterSource), or at a shared discard
@@ -95,11 +102,17 @@ func InitThread(dev xdev.Device, cfg xdev.Config, required ThreadLevel) (*Proces
 	if required < ThreadSingle || required > ThreadMultiple {
 		return nil, 0, fmt.Errorf("core: invalid thread level %d", int(required))
 	}
+	if err := validateCollEnv(); err != nil {
+		return nil, 0, err
+	}
 	pids, err := dev.Init(cfg)
 	if err != nil {
 		return nil, 0, err
 	}
 	p := &Process{dev: dev, pids: pids, provided: ThreadMultiple, rec: mpe.RecorderOf(dev), counters: mpe.CountersOf(dev)}
+	if len(cfg.NodeOf) == len(pids) {
+		p.nodeOf = append([]int(nil), cfg.NodeOf...)
+	}
 	world, err := p.newIntracomm(NewGroup(pids), cfg.Rank)
 	if err != nil {
 		dev.Finish()
@@ -124,6 +137,27 @@ func Attach(dev xdev.Device, pids []xdev.ProcessID, rank int) (*Process, error) 
 	}
 	p.world = world
 	return p, nil
+}
+
+// SetNodeMap installs the job's rank→node placement after the fact,
+// for harnesses that build processes with Attach (which has no
+// xdev.Config to carry it). len(nodeOf) must be the world size; call
+// it before any collective runs — placement steers algorithm choice,
+// which must agree on every rank.
+func (p *Process) SetNodeMap(nodeOf []int) error {
+	if len(nodeOf) != len(p.pids) {
+		return fmt.Errorf("core: SetNodeMap: placement covers %d ranks, world has %d", len(nodeOf), len(p.pids))
+	}
+	p.nodeOf = append([]int(nil), nodeOf...)
+	return nil
+}
+
+// NodeMap returns the job's rank→node placement, or nil when unknown.
+func (p *Process) NodeMap() []int {
+	if p.nodeOf == nil {
+		return nil
+	}
+	return append([]int(nil), p.nodeOf...)
 }
 
 // World returns the COMM_WORLD communicator.

@@ -1,0 +1,120 @@
+package core
+
+// Node topology view of a communicator. The job's rank→node placement
+// (MPJ_NODE_MAP → xdev.Config.NodeOf → Process.nodeOf) restricted to a
+// communicator's group tells the collectives which members share a
+// node: messages between them are cheap (one in-process copy on the
+// hybrid device) while inter-node messages cross the wire. The
+// hierarchical algorithms in collhier.go exploit exactly that split —
+// fold within each node first, exchange once per node, fan back out.
+
+// commTopo is a communicator's placement, with node ids renumbered
+// densely in order of first appearance among the comm's ranks.
+type commTopo struct {
+	nodeOf  []int   // comm rank -> dense node id
+	myNode  int     // calling rank's node id
+	nNodes  int     // number of distinct nodes in the comm
+	leader  []int   // node id -> lowest comm rank on that node
+	members [][]int // node id -> comm ranks on that node, ascending
+}
+
+// topo builds the communicator's placement view. Unknown placement —
+// no node map, or group members outside it (dynamic pids) — collapses
+// to a single node, which keeps every topology-aware path degenerate
+// rather than wrong.
+func (c *Comm) topo() commTopo {
+	n := c.Size()
+	world := c.p.nodeOf
+	t := commTopo{nodeOf: make([]int, n)}
+	known := world != nil
+	if known {
+		for r := 0; r < n; r++ {
+			pid, err := c.group.PID(r)
+			if err != nil || pid.UUID >= uint64(len(world)) {
+				known = false
+				break
+			}
+			t.nodeOf[r] = world[pid.UUID]
+		}
+	}
+	if !known {
+		for r := range t.nodeOf {
+			t.nodeOf[r] = 0
+		}
+	}
+	ids := make(map[int]int)
+	for r, raw := range t.nodeOf {
+		id, ok := ids[raw]
+		if !ok {
+			id = len(ids)
+			ids[raw] = id
+			t.leader = append(t.leader, r)
+			t.members = append(t.members, nil)
+		}
+		t.nodeOf[r] = id
+		t.members[id] = append(t.members[id], r)
+	}
+	t.nNodes = len(ids)
+	t.myNode = t.nodeOf[c.Rank()]
+	return t
+}
+
+// ranksPerNode reports the size of the largest node.
+func (t *commTopo) ranksPerNode() int {
+	m := 0
+	for _, ms := range t.members {
+		if len(ms) > m {
+			m = len(ms)
+		}
+	}
+	return m
+}
+
+// NodeCount reports how many distinct nodes the communicator's members
+// occupy (1 when the placement is unknown).
+func (c *Comm) NodeCount() int {
+	t := c.topo()
+	return t.nNodes
+}
+
+// NodeOf reports the dense node id of a communicator rank (node ids
+// are numbered by first appearance in rank order). Out-of-range ranks
+// report -1.
+func (c *Comm) NodeOf(rank int) int {
+	if rank < 0 || rank >= c.Size() {
+		return -1
+	}
+	t := c.topo()
+	return t.nodeOf[rank]
+}
+
+// NodeLeader reports the comm rank of the calling rank's node leader:
+// the lowest rank sharing its node. A rank with IsNodeLeader() speaks
+// for its node in the inter-node phase of hierarchical collectives.
+func (c *Comm) NodeLeader() int {
+	t := c.topo()
+	return t.leader[t.myNode]
+}
+
+// IsNodeLeader reports whether the calling rank leads its node.
+func (c *Comm) IsNodeLeader() bool { return c.NodeLeader() == c.Rank() }
+
+// SplitByNode builds the intra-node sub-communicator: one new
+// communicator per node, each covering the ranks placed there, ranks
+// ordered as in c. Collective over c (it is a Split).
+func (c *Intracomm) SplitByNode() (*Intracomm, error) {
+	t := c.topo()
+	return c.Split(t.myNode, c.Rank())
+}
+
+// SplitNodeLeaders builds the inter-node sub-communicator over the
+// node leaders, ordered by node id; non-leaders get nil. Collective
+// over c.
+func (c *Intracomm) SplitNodeLeaders() (*Intracomm, error) {
+	t := c.topo()
+	color := Undefined
+	if t.leader[t.myNode] == c.Rank() {
+		color = 0
+	}
+	return c.Split(color, t.myNode)
+}

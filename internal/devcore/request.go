@@ -2,6 +2,7 @@ package devcore
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"mpj/internal/mpe"
 	"mpj/internal/mpjbuf"
@@ -63,6 +64,13 @@ type Request struct {
 	ctx  int32
 	seq  uint64
 
+	// claim arbitrates ownership of a request posted into more than
+	// one core at once (hybriddev's ANY_SOURCE dual-posting): whichever
+	// side removes the request from a shared set must win TryClaim
+	// before delivering, and the loser discards its stale copy. Nil —
+	// the single-core case — means TryClaim always succeeds.
+	claim *atomic.Bool
+
 	mu         sync.Mutex
 	attachment any
 
@@ -97,6 +105,28 @@ func (r *Request) SetSeq(seq uint64) {
 	if r.t0 >= 0 {
 		r.seq = seq
 	}
+}
+
+// EnableClaim arms the request for multi-core posting. Call before the
+// first PostRecv: from then on every match point and failure drain
+// takes the claim before completing or delivering into the request, so
+// two cores holding the same posted request complete it exactly once.
+func (r *Request) EnableClaim() { r.claim = new(atomic.Bool) }
+
+// TryClaim takes ownership of the request. It always succeeds on a
+// single-core request; on a claim-armed request only the first caller
+// wins, and the loser must not touch the request's buffer or complete
+// it.
+func (r *Request) TryClaim() bool {
+	if r.claim == nil {
+		return true
+	}
+	return r.claim.CompareAndSwap(false, true)
+}
+
+// claimed reports whether a claim-armed request has already been won.
+func (r *Request) claimed() bool {
+	return r.claim != nil && r.claim.Load()
 }
 
 // stampMatch rewrites a traced receive's envelope with the matched

@@ -63,11 +63,17 @@ func (c *Core) RevokeContext(ctx int32, err error) bool {
 			victims = append(victims, a.SyncReq)
 		}
 	}
+	notify := c.notify
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
 
 	for _, r := range victims {
-		r.Complete(xdev.Status{}, err)
+		if r.TryClaim() {
+			r.Complete(xdev.Status{}, err)
+		}
 	}
 	return true
 }

@@ -1,0 +1,133 @@
+package hybriddev
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mpj/internal/devtest"
+	"mpj/internal/niodev"
+	"mpj/internal/transport"
+	"mpj/internal/xdev"
+)
+
+var jobCounter atomic.Int64
+
+// mapper builds the node placement for an n-rank job.
+type mapper func(n int) []int
+
+// singleNode places every rank on one node: all traffic routes over
+// the shared-memory inner, no wire protocol in the data path.
+func singleNode(n int) []int { return make([]int, n) }
+
+// interleaved places rank i on node i%2: every adjacent pair is
+// inter-"node", so ranks 0 and 1 — the pair the conformance suite
+// hammers — always exercise the niodev path, while same-parity pairs
+// and the ANY_SOURCE tests keep the smp path and the cross-core
+// arbitration busy.
+func interleaved(n int) []int {
+	nodeOf := make([]int, n)
+	for i := range nodeOf {
+		nodeOf[i] = i % 2
+	}
+	return nodeOf
+}
+
+// conformanceRunner adapts the shared device suite: an in-process
+// colocated job with the given placement.
+func conformanceRunner(nodes mapper) devtest.JobRunner {
+	return func(t *testing.T, n int, fn func(d xdev.Device, rank int, pids []xdev.ProcessID)) {
+		t.Helper()
+		dialer := transport.NewInProc(0)
+		job := jobCounter.Add(1)
+		addrs := make([]string, n)
+		for i := range addrs {
+			addrs[i] = fmt.Sprintf("hyb-conf-%d-rank-%d", job, i)
+		}
+		group := fmt.Sprintf("hyb-conf-%d", job)
+		nodeOf := nodes(n)
+		devs := make([]*Device, n)
+		pidLists := make([][]xdev.ProcessID, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			devs[i] = New()
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				pidLists[rank], errs[rank] = devs[rank].Init(xdev.Config{
+					Rank: rank, Size: n, Addrs: addrs, Dialer: dialer,
+					Group: group, NodeOf: nodeOf, Colocated: true,
+				})
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("rank %d init: %v", i, err)
+			}
+		}
+		defer func() {
+			for _, d := range devs {
+				d.Finish()
+			}
+		}()
+		var jobWG sync.WaitGroup
+		for i := 0; i < n; i++ {
+			jobWG.Add(1)
+			go func(rank int) {
+				defer jobWG.Done()
+				fn(devs[rank], rank, pidLists[rank])
+			}(i)
+		}
+		jobWG.Wait()
+	}
+}
+
+// TestConformanceSingleNode: placement says one node, so the suite
+// runs entirely over the smp inner (eager-only, like smpdev itself).
+func TestConformanceSingleNode(t *testing.T) {
+	devtest.RunConformance(t, conformanceRunner(singleNode),
+		devtest.Options{HasPeek: true})
+}
+
+// TestConformanceTwoNodes: interleaved placement routes the suite's
+// rank-0↔rank-1 traffic over the wire inner (full eager/rendezvous
+// protocol) while wildcard receives dual-post across both cores.
+func TestConformanceTwoNodes(t *testing.T) {
+	devtest.RunConformance(t, conformanceRunner(interleaved),
+		devtest.Options{HasPeek: true, RendezvousAt: niodev.DefaultEagerLimit})
+}
+
+// Chaos: blocked calls must fail typed, not hang, under Finish and
+// peer death — on both placements.
+func TestChaosConformanceSingleNode(t *testing.T) {
+	devtest.RunChaos(t, conformanceRunner(singleNode),
+		devtest.ChaosOptions{HasPeek: true})
+}
+
+func TestChaosConformanceTwoNodes(t *testing.T) {
+	devtest.RunChaos(t, conformanceRunner(interleaved),
+		devtest.ChaosOptions{HasPeek: true})
+}
+
+// Recovery: kill a rank mid-operation, then Revoke/Shrink/Agree and
+// restore — the revoke must poison both inner transports.
+func TestRecoveryConformanceSingleNode(t *testing.T) {
+	devtest.RunRecovery(t, conformanceRunner(singleNode))
+}
+
+func TestRecoveryConformanceTwoNodes(t *testing.T) {
+	devtest.RunRecovery(t, conformanceRunner(interleaved))
+}
+
+// TestNodeMapValidation rejects a placement that does not cover the
+// job.
+func TestNodeMapValidation(t *testing.T) {
+	d := New()
+	_, err := d.Init(xdev.Config{Rank: 0, Size: 4, NodeOf: []int{0, 1}})
+	if err == nil {
+		t.Fatal("Init accepted a node map shorter than the job")
+	}
+}

@@ -330,6 +330,12 @@ const (
 	// AlgoStreamedFold is the non-commutative reduce at the root: a
 	// bounded window of segment receives folded in rank order.
 	AlgoStreamedFold
+	// AlgoHierarchical is the topology-aware two-level variant: an
+	// intra-node phase among the ranks of each node (shared-memory
+	// traffic on the hybrid device) bracketing an inter-node phase
+	// among the node leaders (one wire message per node instead of
+	// one per rank).
+	AlgoHierarchical
 )
 
 var algoNames = map[int32]string{
@@ -340,6 +346,7 @@ var algoNames = map[int32]string{
 	AlgoRing:                   "ring",
 	AlgoBinomialGather:         "binomial-gather",
 	AlgoStreamedFold:           "streamed-fold",
+	AlgoHierarchical:           "hierarchical",
 }
 
 // AlgoName names a collective algorithm code (the Peer of a

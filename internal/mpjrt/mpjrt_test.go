@@ -59,6 +59,9 @@ func TestHelperProcess(t *testing.T) {
 		time.Sleep(2 * time.Second)
 		p.Finalize()
 		os.Exit(0)
+	case "nodemap":
+		fmt.Printf("rank %s nodemap %s\n", os.Getenv("MPJ_RANK"), os.Getenv("MPJ_NODE_MAP"))
+		os.Exit(0)
 	case "fail":
 		os.Exit(3)
 	case "ftrank1":
@@ -270,6 +273,46 @@ func TestRunPropagatesExitCode(t *testing.T) {
 	}
 	if !res.Failed() || res.ExitCodes[0] != 3 {
 		t.Fatalf("exit codes %v", res.ExitCodes)
+	}
+}
+
+// TestRunExportsNodeMap: every rank's environment carries the job
+// placement. By default it is derived from daemon hosts (one local
+// daemon → every rank on node 0); an explicit Job.NodeMap is
+// canonicalised to the per-rank form before export; a map that does
+// not cover NP ranks is rejected up front.
+func TestRunExportsNodeMap(t *testing.T) {
+	d := startDaemon(t)
+
+	var out bytes.Buffer
+	res, err := Run(helperJob(2, []string{d.Addr()}, "nodemap", testBasePort(), &out))
+	if err != nil {
+		t.Fatalf("run: %v (output: %s)", err, out.String())
+	}
+	if res.Failed() {
+		t.Fatalf("exit codes %v", res.ExitCodes)
+	}
+	for rank := 0; rank < 2; rank++ {
+		want := fmt.Sprintf("rank %d nodemap 0,0", rank)
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in output:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	job := helperJob(2, []string{d.Addr()}, "nodemap", testBasePort(), &out)
+	job.NodeMap = "nodeA:1,nodeB:1"
+	if _, err := Run(job); err != nil {
+		t.Fatalf("run with explicit map: %v (output: %s)", err, out.String())
+	}
+	if !strings.Contains(out.String(), "rank 0 nodemap 0,1") {
+		t.Errorf("named map not canonicalised, output:\n%s", out.String())
+	}
+
+	job = helperJob(2, []string{d.Addr()}, "nodemap", testBasePort(), &out)
+	job.NodeMap = "0,1,1"
+	if _, err := Run(job); err == nil {
+		t.Error("node map covering 3 ranks accepted for a 2-rank job")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"mpj/internal/telemetry"
+	"mpj/internal/xdev"
 )
 
 // Job describes an MPJ job for the mpjrun client module.
@@ -45,6 +46,12 @@ type Job struct {
 	MetricsAddr string
 	// Env lists extra KEY=VALUE pairs for every process.
 	Env []string
+	// NodeMap overrides the rank->node placement exported to every
+	// rank as MPJ_NODE_MAP (any form xdev.ParseNodeMap accepts).
+	// Empty derives the placement from daemon assignment: ranks served
+	// by daemons on the same host share a node. Topology-aware devices
+	// (hybriddev) and the hierarchical collectives read it.
+	NodeMap string
 	// Output receives interleaved process output lines; nil discards.
 	Output io.Writer
 	// FT runs the job in fault-tolerant mode: a rank exiting nonzero
@@ -165,6 +172,34 @@ func Run(job Job) (*Result, error) {
 		addrs[i] = net.JoinHostPort(hostOf(daemonOf[i]), fmt.Sprint(basePort+i))
 	}
 
+	// Every rank learns the job's placement via MPJ_NODE_MAP: either
+	// the caller's explicit map or, by default, daemon-host identity —
+	// ranks whose daemons live on the same host share a node, so the
+	// hybrid device routes them over shared memory and the collectives
+	// can pick the hierarchical variants.
+	nodeMap := job.NodeMap
+	if nodeMap == "" {
+		hostID := make(map[string]int)
+		nodeOf := make([]int, job.NP)
+		for i, d := range daemonOf {
+			h := hostOf(d)
+			id, ok := hostID[h]
+			if !ok {
+				id = len(hostID)
+				hostID[h] = id
+			}
+			nodeOf[i] = id
+		}
+		nodeMap = xdev.FormatNodeMap(nodeOf)
+	} else if nodeOf, err := xdev.ParseNodeMap(nodeMap, job.NP); err != nil {
+		return nil, fmt.Errorf("mpjrt: %w", err)
+	} else {
+		// Re-render so every rank sees the canonical per-rank form
+		// regardless of which shorthand the caller used.
+		nodeMap = xdev.FormatNodeMap(nodeOf)
+	}
+	baseEnv := append(append([]string(nil), job.Env...), "MPJ_NODE_MAP="+nodeMap)
+
 	// With metrics on, rank i serves telemetry on its node at
 	// MetricsBasePort+i, and this process aggregates all of them.
 	metricsOf := make([]string, job.NP)
@@ -235,14 +270,14 @@ func Run(job Job) (*Result, error) {
 			defer c.close()
 			spec := &StartSpec{
 				JobID: jobID, Rank: rank, Size: job.NP, Addrs: addrs,
-				Device: job.Device, Args: job.Args, Env: job.Env,
+				Device: job.Device, Args: job.Args, Env: baseEnv,
 				PeerDaemons:       job.Daemons,
 				FT:                job.FT,
 				HeartbeatInterval: job.HeartbeatInterval,
 				HeartbeatMisses:   job.HeartbeatMisses,
 			}
 			if metricsOf[rank] != "" {
-				spec.Env = append(append([]string(nil), job.Env...),
+				spec.Env = append(append([]string(nil), baseEnv...),
 					"MPJ_METRICS_ADDR="+metricsOf[rank])
 			}
 			if fetchURL != "" {

@@ -100,6 +100,20 @@ func Myrinet2G() Fabric {
 	}
 }
 
+// SharedMemory models the intra-node path of a hybrid (smpdev-routed)
+// job: a process-internal handoff, no NIC. Latency is a cond-var
+// wakeup; bandwidth is a single-stream memcpy. It is the intra level
+// of perfmodel's two-level collective model.
+func SharedMemory() Fabric {
+	return Fabric{
+		Name:          "Shared Memory",
+		LatencyUS:     0.5,
+		BandwidthMbps: 48_000, // ~6 GB/s single-stream copy
+		Efficiency:    1.0,
+		ChunkBytes:    32 << 10,
+	}
+}
+
 // Fabrics returns the three modelled fabrics in paper order.
 func Fabrics() []Fabric {
 	return []Fabric{FastEthernet(), GigabitEthernet(), Myrinet2G()}

@@ -407,13 +407,28 @@ func (d *Device) IRecv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int)
 		req.Trace(peer, int32(tag), int32(context))
 		d.rec.Event(mpe.RecvPosted, peer, int32(tag), int32(context), 0)
 	}
-
-	arr, err := d.core.PostRecv(p, req, nil)
-	if err != nil {
+	if err := d.irecvReq(req, p); err != nil {
 		return nil, err
 	}
+	return req, nil
+}
+
+// irecvReq is the post-creation half of IRecv: it posts req under the
+// pattern, or consumes a matching parked arrival — answering a
+// rendezvous announcement with READY_TO_RECV, or delivering a buffered
+// eager payload. A nil return means the request's lifecycle is now in
+// the core's hands (posted, or already completed, possibly with a
+// recorded failure); a non-nil return means nothing happened to req
+// (devcore.ErrClaimed: a dual-posted request was won by the other core
+// first).
+func (d *Device) irecvReq(req *devcore.Request, p match.Pattern) error {
+	buf := req.Buf
+	arr, err := d.core.PostRecv(p, req, nil)
+	if err != nil {
+		return err
+	}
 	if arr == nil {
-		return req, nil // posted; an arrival or drain completes it
+		return nil // posted; an arrival or drain completes it
 	}
 	if arr.Rndv {
 		// Rendezvous announced but unmatched until now: the user thread
@@ -424,19 +439,20 @@ func (d *Device) IRecv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int)
 			// match and the registration; fail the receive the same way
 			// the drain would have.
 			req.Complete(xdev.Status{}, err)
-			return req, nil
+			return nil
 		}
 		h := header{typ: msgRTR, src: uint32(d.cfg.Rank), seq: arr.Seq}
 		if err := d.writeMsg(int(arr.Src), h, nil); err != nil {
 			if _, mine := d.rndvIncoming.Take(k); !mine {
-				return req, nil // completed by the peer-death drain
+				return nil // completed by the peer-death drain
 			}
-			return nil, &xdev.Error{Dev: DeviceName, Op: "rendezvous RTR", Err: err}
+			req.Complete(xdev.Status{}, &xdev.Error{Dev: DeviceName, Op: "rendezvous RTR", Err: err})
+			return nil
 		}
 		if d.rec.Enabled() {
 			d.rec.EventSeq(mpe.RendezvousRTR, int32(arr.Src), arr.Tag, arr.Ctx, int64(arr.WireLen), arr.Seq)
 		}
-		return req, nil
+		return nil
 	}
 
 	// Buffered eager message: copy from the device-level input buffer
@@ -452,12 +468,34 @@ func (d *Device) IRecv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int)
 		h := header{typ: msgAck, src: uint32(d.cfg.Rank), seq: arr.Seq}
 		if err := d.writeMsg(int(arr.Src), h, nil); err != nil {
 			req.Complete(st, err)
-			return req, nil
+			return nil
 		}
 	}
 	req.Complete(st, loadErr)
-	return req, nil
+	return nil
 }
+
+// PostRecvReq posts a receive on an externally created request — the
+// composition hook hybriddev uses to dual-post one ANY_SOURCE request
+// into this device and its shared-memory sibling. The caller owns
+// request creation and tracing; rendezvous and eager delivery behave
+// exactly as in IRecv. Returns devcore.ErrClaimed when the sibling
+// core won the request before this device could act (req untouched).
+func (d *Device) PostRecvReq(req *devcore.Request, src xdev.ProcessID, tag, context int) error {
+	if err := d.opErr("irecv"); err != nil {
+		return err
+	}
+	p, err := d.pattern(src, tag, context)
+	if err != nil {
+		return err
+	}
+	req.OpCtx = int32(context)
+	return d.irecvReq(req, p)
+}
+
+// Core exposes the device's progress core for composition (hybriddev's
+// shared completion queue and notification hooks).
+func (d *Device) Core() *devcore.Core { return d.core }
 
 // Recv blocks until a matching message has been received.
 func (d *Device) Recv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int) (xdev.Status, error) {

@@ -1,0 +1,110 @@
+package perfmodel
+
+import "testing"
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestTwoLevelGigE: on a real wire the hierarchical variants must win
+// across the whole sweep — every saved wire message costs ~100+ us of
+// software and 21 us of latency, while the intra hops it adds cost
+// ~2 us each.
+func TestTwoLevelGigE(t *testing.T) {
+	m := HybridGigE(4, 4)
+	for n := 1; n <= 16<<20; n *= 16 {
+		if f, h := m.FlatBcastUS(n), m.HierBcastUS(n); h >= f {
+			t.Errorf("GigE Bcast at %d B: hier %.1f us >= flat %.1f us", n, h, f)
+		}
+		if f, h := m.FlatAllreduceUS(n), m.HierAllreduceUS(n); h >= f {
+			t.Errorf("GigE Allreduce at %d B: hier %.1f us >= flat %.1f us", n, h, f)
+		}
+	}
+	if c := m.BcastCrossoverBytes(); c != 1 {
+		t.Errorf("GigE Bcast crossover = %d, want 1 (hier wins everywhere)", c)
+	}
+	if c := m.AllreduceCrossoverBytes(); c != 1 {
+		t.Errorf("GigE Allreduce crossover = %d, want 1 (hier wins everywhere)", c)
+	}
+}
+
+// TestTwoLevelDegenerate: sanity on a one-node placement — the
+// hierarchical predictions stay finite and positive (the selection
+// table never picks hier there anyway: hierEligible needs >= 2 nodes).
+func TestTwoLevelDegenerate(t *testing.T) {
+	m := HybridGigE(1, 8)
+	for _, n := range []int{64, 64 << 10, 4 << 20} {
+		if h := m.HierAllreduceUS(n); h <= 0 {
+			t.Errorf("1-node HierAllreduce(%d) = %.2f, want > 0", n, h)
+		}
+	}
+	if m.P() != 8 {
+		t.Errorf("P() = %d, want 8", m.P())
+	}
+}
+
+// TestTwoLevelInProc checks the model against the BenchmarkHybridColl
+// scattered-placement measurements recorded in EXPERIMENTS.md (np=16,
+// 2 nodes, one shared core): against a placement-blind flat whose
+// every edge is a wire edge, hier is predicted to win from the
+// smallest sizes (crossover 1, consistent with the measurement, where
+// hier already wins at the 64 KiB floor of the sweep), and the
+// absolute 4 MiB Allreduce predictions must land within 2x of the
+// measured ~303 ms flat / ~190 ms hier.
+func TestTwoLevelInProc(t *testing.T) {
+	m := HybridInProc(2, 8)
+	if c := m.AllreduceCrossoverBytes(); c != 1 {
+		t.Errorf("in-proc Allreduce crossover = %d, want 1", c)
+	}
+	if c := m.BcastCrossoverBytes(); c != 1 {
+		t.Errorf("in-proc Bcast crossover = %d, want 1", c)
+	}
+	const mib4 = 4 << 20
+	flat := m.FlatAllreduceUS(mib4)
+	hier := m.HierAllreduceUS(mib4)
+	if flat < 303_000/2 || flat > 303_000*2 {
+		t.Errorf("in-proc FlatAllreduce(4MiB) = %.0f us, want within 2x of 303000", flat)
+	}
+	if hier < 190_000/2 || hier > 190_000*2 {
+		t.Errorf("in-proc HierAllreduce(4MiB) = %.0f us, want within 2x of 190000", hier)
+	}
+	if s := SpeedupAt(m.FlatAllreduceUS, m.HierAllreduceUS, mib4); s < 1.1 {
+		t.Errorf("in-proc Allreduce speedup at 4 MiB = %.2fx, want >= 1.1x", s)
+	}
+	t.Logf("in-proc np=16 (2x8) predictions:")
+	for _, n := range []int{64 << 10, 1 << 20, 4 << 20} {
+		t.Logf("  %7d B: Allreduce flat %.0f us hier %.0f us (%.2fx) | Bcast flat %.0f us hier %.0f us (%.2fx)",
+			n, m.FlatAllreduceUS(n), m.HierAllreduceUS(n),
+			SpeedupAt(m.FlatAllreduceUS, m.HierAllreduceUS, n),
+			m.FlatBcastUS(n), m.HierBcastUS(n),
+			SpeedupAt(m.FlatBcastUS, m.HierBcastUS, n))
+	}
+}
+
+// TestCrossoverBytesStability: a pair of curves that cross, un-cross and
+// cross again must report the final stable crossover, not the first dip.
+func TestCrossoverBytesStability(t *testing.T) {
+	flat := func(n int) float64 { return float64(n) }
+	hier := func(n int) float64 {
+		switch {
+		case n < 4:
+			return float64(n) - 1 // early dip
+		case n < 1024:
+			return float64(n) + 1 // un-crosses
+		default:
+			return float64(n) / 2 // stable win
+		}
+	}
+	if c := CrossoverBytes(flat, hier); c != 1024 {
+		t.Errorf("crossover = %d, want 1024 (first size of the stable win)", c)
+	}
+	never := func(n int) float64 { return float64(n) * 2 }
+	if c := CrossoverBytes(flat, never); c != 0 {
+		t.Errorf("crossover with never-winning hier = %d, want 0", c)
+	}
+}

@@ -428,23 +428,53 @@ func (d *Device) IRecv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int)
 		req.Trace(peer, int32(tag), int32(context))
 		d.rec.Event(mpe.RecvPosted, peer, int32(tag), int32(context), 0)
 	}
-	arr, err := d.core.PostRecv(p, req, nil)
-	if err != nil {
+	if err := d.irecvReq(req, p); err != nil {
 		return nil, err
 	}
+	return req, nil
+}
+
+// irecvReq is the post-creation half of IRecv: post req, or deliver a
+// matching parked arrival into it. A nil return means the core now
+// owns the request's lifecycle; devcore.ErrClaimed means a dual-posted
+// request was won by the sibling core first (req untouched here).
+func (d *Device) irecvReq(req *devcore.Request, p match.Pattern) error {
+	arr, err := d.core.PostRecv(p, req, nil)
+	if err != nil {
+		return err
+	}
 	if arr == nil {
-		return req, nil
+		return nil
 	}
 	st := xdev.Status{Source: d.pids[arr.Src], Tag: int(arr.Tag), Bytes: arr.WireLen}
-	lerr := buf.LoadWire(arr.Data)
+	lerr := req.Buf.LoadWire(arr.Data)
 	devcore.PutSlice(arr.Data)
 	arr.Data = nil
 	if arr.SyncReq != nil {
 		arr.SyncReq.Complete(st, nil)
 	}
 	req.Complete(st, lerr)
-	return req, nil
+	return nil
 }
+
+// PostRecvReq posts a receive on an externally created request — the
+// composition hook hybriddev uses to dual-post one ANY_SOURCE request
+// into this device and its wire sibling. The caller owns request
+// creation and tracing.
+func (d *Device) PostRecvReq(req *devcore.Request, src xdev.ProcessID, tag, context int) error {
+	if !d.initDone || d.finished.Load() {
+		return xdev.Errf(DeviceName, "irecv", "device not ready")
+	}
+	p, err := d.pattern(src, tag, context)
+	if err != nil {
+		return err
+	}
+	return d.irecvReq(req, p)
+}
+
+// Core exposes this rank's mailbox core for composition (hybriddev's
+// shared completion queue and notification hooks).
+func (d *Device) Core() *devcore.Core { return d.core }
 
 // Recv blocks until a matching message has been received.
 func (d *Device) Recv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int) (xdev.Status, error) {

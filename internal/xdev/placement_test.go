@@ -1,0 +1,97 @@
+package xdev
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestParseNodeMap(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		size int
+		want []int
+	}{
+		{"per-rank list", "0,0,1,1", 4, []int{0, 0, 1, 1}},
+		{"uneven ranks per node", "0,0,0,1,1,2", 6, []int{0, 0, 0, 1, 1, 2}},
+		{"single node", "0,0,0,0", 4, []int{0, 0, 0, 0}},
+		{"one rank per node", "0,1,2,3", 4, []int{0, 1, 2, 3}},
+		{"interleaved round-robin", "0,1,0,1", 4, []int{0, 1, 0, 1}},
+		{"block form", "n0:2,n1:2", 4, []int{0, 0, 1, 1}},
+		{"block form uneven", "a:3,b:1", 4, []int{0, 0, 0, 1}},
+		{"block form single node", "only:4", 4, []int{0, 0, 0, 0}},
+		{"block form one rank per node", "a:1,b:1,c:1", 3, []int{0, 1, 2}},
+		{"sparse ids renumber densely", "7,7,9,9", 4, []int{0, 0, 1, 1}},
+		{"repeated block names merge", "a:1,b:1,a:1", 3, []int{0, 1, 0}},
+		{"whitespace tolerated", " 0 , 0 , 1 , 1 ", 4, []int{0, 0, 1, 1}},
+		{"no length check when size unknown", "0,1", 0, []int{0, 1}},
+		{"empty means unknown", "", 4, nil},
+		{"blank means unknown", "   ", 4, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseNodeMap(tc.in, tc.size)
+			if err != nil {
+				t.Fatalf("ParseNodeMap(%q, %d): %v", tc.in, tc.size, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("ParseNodeMap(%q, %d) = %v, want %v", tc.in, tc.size, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseNodeMapMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		size int
+	}{
+		{"wrong length", "0,0,1", 4},
+		{"too many entries", "0,0,1,1,2", 4},
+		{"empty entry", "0,,1,1", 4},
+		{"trailing comma", "0,0,1,1,", 4},
+		{"non-numeric id without count", "zero,one", 2},
+		{"block missing count", "n0:,n1:2", 4},
+		{"block zero count", "n0:0,n1:4", 4},
+		{"block negative count", "n0:-2,n1:6", 4},
+		{"block garbage count", "n0:two,n1:2", 4},
+		{"block empty name", ":2,n1:2", 4},
+		{"block wrong total", "n0:2,n1:3", 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseNodeMap(tc.in, tc.size)
+			if err == nil {
+				t.Fatalf("ParseNodeMap(%q, %d) accepted malformed input", tc.in, tc.size)
+			}
+			if !errors.Is(err, ErrBadNodeMap) {
+				t.Errorf("ParseNodeMap(%q, %d) error %v does not wrap ErrBadNodeMap", tc.in, tc.size, err)
+			}
+		})
+	}
+}
+
+func TestFormatNodeMapRoundTrip(t *testing.T) {
+	nodeOf := []int{0, 0, 1, 1, 2}
+	got, err := ParseNodeMap(FormatNodeMap(nodeOf), len(nodeOf))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if !reflect.DeepEqual(got, nodeOf) {
+		t.Errorf("round trip = %v, want %v", got, nodeOf)
+	}
+	if FormatNodeMap(nil) != "" {
+		t.Errorf("FormatNodeMap(nil) = %q, want empty", FormatNodeMap(nil))
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	if n := NodeCount([]int{0, 0, 1, 1}); n != 2 {
+		t.Errorf("NodeCount = %d, want 2", n)
+	}
+	if n := NodeCount(nil); n != 0 {
+		t.Errorf("NodeCount(nil) = %d, want 0", n)
+	}
+}

@@ -109,6 +109,19 @@ type Config struct {
 	// handshake, and a frame is only verified when its sender computed
 	// the checksum.
 	DisableChecksum bool
+	// NodeOf maps job slot -> node id (dense, 0-based; see
+	// ParseNodeMap), the placement the runtime derived from daemon
+	// assignment or MPJ_NODE_MAP. Topology-aware devices (hybriddev)
+	// route by it and topology-aware collectives build node-leader
+	// trees from it. Nil means placement is unknown: devices assume
+	// the degenerate topology natural to them.
+	NodeOf []int
+	// Colocated declares that every rank of the job runs in this OS
+	// process (RunLocal, in-process test runners). Only then may a
+	// composing device route node-local traffic over shared memory;
+	// it is never inferred, because a wrong guess would strand
+	// cross-process messages in a process-local mailbox.
+	Colocated bool
 }
 
 // Device is the xdev API of paper Fig. 2. All methods are safe for

@@ -20,8 +20,16 @@ import (
 // Options configures how a job's processes communicate.
 type Options struct {
 	// Device selects the communication device: "niodev" (default),
-	// "mxdev", "smpdev" or "ibisdev".
+	// "hybrid", "mxdev", "smpdev" or "ibisdev".
 	Device string
+	// NodeMap assigns ranks to nodes ("0,0,1,1" or "nodeA:2,nodeB:2",
+	// see MPJ_NODE_MAP). The hybrid device routes node-local traffic
+	// over shared memory, and the collectives switch to node-leader
+	// hierarchies when the placement spans several nodes. In RunLocal
+	// the placement is simulated — all ranks really share the process —
+	// which is how the topology-aware paths are tested and benchmarked.
+	// Empty reads MPJ_NODE_MAP; RunLocal then defaults to one node.
+	NodeMap string
 	// EagerLimit overrides the eager→rendezvous switch point in bytes
 	// (niodev only; default 128 KiB, the paper's TCP figure).
 	EagerLimit int
@@ -62,6 +70,7 @@ func (o *Options) withDefaults() Options {
 		if o.Device != "" {
 			out.Device = o.Device
 		}
+		out.NodeMap = o.NodeMap
 		out.EagerLimit = o.EagerLimit
 		out.Fabric = o.Fabric
 		out.ThreadLevel = o.ThreadLevel
@@ -81,6 +90,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.TraceDir == "" {
 		out.TraceDir = mpe.DefaultTraceDir
+	}
+	if out.NodeMap == "" {
+		out.NodeMap = os.Getenv(EnvNodeMap)
 	}
 	return out
 }
@@ -122,6 +134,10 @@ func RunLocalOpts(n int, opts *Options, body func(p *Process) error) error {
 	}
 	o := opts.withDefaults()
 	job := fmt.Sprintf("mpj-local-%d", localJobCounter.Add(1))
+	nodeOf, err := xdev.ParseNodeMap(o.NodeMap, n)
+	if err != nil {
+		return fmt.Errorf("mpj: node map: %w", err)
+	}
 
 	var dialer xdev.Transport
 	switch {
@@ -156,6 +172,7 @@ func RunLocalOpts(n int, opts *Options, body func(p *Process) error) error {
 			cfg := xdev.Config{
 				Rank: rank, Size: n, Addrs: addrs,
 				Dialer: dialer, EagerLimit: o.EagerLimit, Group: job,
+				NodeOf: nodeOf, Colocated: true,
 			}
 			var tr *mpe.Tracer
 			if o.Tracing {
@@ -279,6 +296,15 @@ const (
 	EnvAddrs  = "MPJ_ADDRS"
 	EnvDevice = "MPJ_DEVICE"
 
+	// EnvNodeMap carries the job's rank→node placement: a per-rank
+	// list ("0,0,1,1") or name:count blocks ("nodeA:2,nodeB:2").
+	// mpjrun derives it from the daemon assignment and sets it on
+	// every rank. The hybrid device routes node-local peers over
+	// shared memory, and the collective layer builds node-leader
+	// hierarchies from it. Unset means placement unknown: hybrid
+	// degrades to all-wire routing, collectives stay flat.
+	EnvNodeMap = "MPJ_NODE_MAP"
+
 	// EnvTrace switches event tracing on for any value other than
 	// "", "0", "false", "off" or "no"; EnvTraceDir overrides where the
 	// per-rank trace files go.
@@ -330,8 +356,13 @@ func InitFromEnv() (*Process, error) {
 	if err != nil {
 		return nil, err
 	}
+	nodeOf, err := xdev.ParseNodeMap(os.Getenv(EnvNodeMap), size)
+	if err != nil {
+		return nil, fmt.Errorf("mpj: %s: %w", EnvNodeMap, err)
+	}
 	cfg := xdev.Config{
 		Rank: rank, Size: size, Addrs: addrs, Dialer: transport.TCP{},
+		NodeOf: nodeOf,
 	}
 	var tr *mpe.Tracer
 	if envTraceOn() {
