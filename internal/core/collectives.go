@@ -145,7 +145,7 @@ func toScratch(buf any, offset, count int, dt *Datatype) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := span(dt, offset, count, n, "gather "+dt.name); err != nil {
+	if err := span(dt, offset, count, n, "gather"); err != nil {
 		return nil, err
 	}
 	scratch, err := allocLike(buf, count*dt.Size())
@@ -192,7 +192,7 @@ func fromScratch(scratch, buf any, offset, count int, dt *Datatype) error {
 	if err != nil {
 		return err
 	}
-	if err := span(dt, offset, count, n, "scatter "+dt.name); err != nil {
+	if err := span(dt, offset, count, n, "scatter"); err != nil {
 		return err
 	}
 	switch s := buf.(type) {

@@ -95,7 +95,7 @@ func contiguousView(buf any, offset, count int, dt *Datatype, needBack bool) (vi
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := span(dt, offset, count, n, "view "+dt.name); err != nil {
+		if err := span(dt, offset, count, n, "view"); err != nil {
 			return nil, nil, err
 		}
 		v, err := sliceRegion(buf, offset, count*dt.extent)

@@ -41,9 +41,12 @@ func bufferElems(buf any) (int, error) {
 
 // span returns the number of elements an operation of count items
 // touches, and validates the range against the buffer length.
+// span validates an (offset, count) range against the buffer length.
+// op is a constant verb; dt.name joins it only in the error formats, so
+// the hot path never concatenates strings.
 func span(dt *Datatype, offset, count, bufLen int, op string) error {
 	if count < 0 || offset < 0 {
-		return fmt.Errorf("core: %s: negative offset/count (%d, %d)", op, offset, count)
+		return fmt.Errorf("core: %s %s: negative offset/count (%d, %d)", op, dt.name, offset, count)
 	}
 	if count == 0 {
 		return nil
@@ -153,7 +156,7 @@ func packInto(b *mpjbuf.Buffer, buf any, offset, count int, dt *Datatype) error 
 	if err != nil {
 		return err
 	}
-	if err := span(dt, offset, count, n, "pack "+dt.name); err != nil {
+	if err := span(dt, offset, count, n, "pack"); err != nil {
 		return err
 	}
 	if dt.fields != nil {
@@ -260,7 +263,7 @@ func unpack(b *mpjbuf.Buffer, buf any, offset, count int, dt *Datatype) (int, er
 		}
 		return 0, fmt.Errorf("core: nil receive buffer for non-empty message (%d elements)", cnt)
 	}
-	if err := span(dt, offset, count, n, "unpack "+dt.name); err != nil {
+	if err := span(dt, offset, count, n, "unpack"); err != nil {
 		return 0, err
 	}
 	if dt.fields != nil {

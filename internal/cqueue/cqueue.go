@@ -3,10 +3,16 @@
 // collected by Wait, Test or a blocking Peek. The queue is what makes
 // an MX-style peek() — "return the most recently completed request" —
 // possible, and with it mpjdev's poll-free Waitany (paper §IV-E.1).
+//
+// The queue is intrusive: entries expose a membership slot (CQSlot)
+// the queue flips under its own lock, so a push is one append into a
+// reused slice ring — no per-entry node allocation, no side map — and
+// a collect is one bool write. On the message-rate path every request
+// passes through here twice (push at completion, collect at Wait), so
+// the per-entry constant matters.
 package cqueue
 
 import (
-	"container/list"
 	"errors"
 	"sync"
 )
@@ -14,19 +20,29 @@ import (
 // ErrClosed is returned by Peek once the queue is closed and drained.
 var ErrClosed = errors.New("cqueue: closed")
 
+// Entry is the intrusive contract: CQSlot returns a pointer to a bool
+// the queue owns while the entry is queued (true = pushed and not yet
+// collected). The slot is only touched under the queue's lock.
+type Entry interface {
+	comparable
+	CQSlot() *bool
+}
+
 // Queue is a completion queue of requests of type T. The zero value is
 // not ready; use New.
-type Queue[T comparable] struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	q      *list.List
-	elems  map[T]*list.Element
-	closed bool
+type Queue[T Entry] struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	items   []T // ring: live window is items[head:]
+	head    int
+	live    int // queued entries not yet collected
+	waiters int
+	closed  bool
 }
 
 // New returns an empty completion queue.
-func New[T comparable]() *Queue[T] {
-	c := &Queue[T]{q: list.New(), elems: make(map[T]*list.Element)}
+func New[T Entry]() *Queue[T] {
+	c := &Queue[T]{}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
@@ -36,48 +52,100 @@ func New[T comparable]() *Queue[T] {
 func (c *Queue[T]) Push(v T) {
 	c.mu.Lock()
 	if !c.closed {
-		c.elems[v] = c.q.PushBack(v)
+		if slot := v.CQSlot(); !*slot {
+			*slot = true
+			c.items = append(c.items, v)
+			c.live++
+		}
 	}
-	c.cond.Broadcast()
+	if c.waiters > 0 {
+		c.cond.Broadcast()
+	}
 	c.mu.Unlock()
 }
 
 // Collect removes v from the queue if it is still there. Wait and Test
 // call this so a request handed to the caller is no longer visible to
-// Peek.
+// Peek. The slice entry stays behind as a tombstone that Peek skips —
+// but tombstones must be reclaimed here too, not just in Peek: a
+// Wait-only workload (the message-rate path) never calls Peek, and
+// without compaction the ring grows one stale pointer per completion,
+// forever.
 func (c *Queue[T]) Collect(v T) {
 	c.mu.Lock()
-	if e, ok := c.elems[v]; ok {
-		c.q.Remove(e)
-		delete(c.elems, v)
+	if slot := v.CQSlot(); *slot {
+		*slot = false
+		c.live--
+		if c.live == 0 {
+			clear(c.items)
+			c.items = c.items[:0]
+			c.head = 0
+		} else if len(c.items)-c.head > 2*c.live+64 {
+			c.compact()
+		}
 	}
 	c.mu.Unlock()
+}
+
+// compact rewrites the live window in place, dropping tombstones.
+// Called under mu when tombstones outnumber live entries; amortized
+// O(1) per collect. Entries before head were already zeroed by Peek,
+// so everything in [head:len) is a valid (possibly tombstoned) entry.
+func (c *Queue[T]) compact() {
+	var zero T
+	w := 0
+	for i := c.head; i < len(c.items); i++ {
+		if v := c.items[i]; *v.CQSlot() {
+			c.items[w] = v
+			w++
+		}
+	}
+	for i := w; i < len(c.items); i++ {
+		c.items[i] = zero
+	}
+	c.items = c.items[:w]
+	c.head = 0
 }
 
 // Peek blocks until a completed request is available, removes it from
 // the queue and returns it. It returns ErrClosed once the queue has
 // been closed and emptied.
 func (c *Queue[T]) Peek() (T, error) {
+	var zero T
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for c.q.Len() == 0 && !c.closed {
-		c.cond.Wait()
+	for {
+		for c.live == 0 && !c.closed {
+			c.waiters++
+			c.cond.Wait()
+			c.waiters--
+		}
+		if c.live == 0 {
+			return zero, ErrClosed
+		}
+		for c.head < len(c.items) {
+			v := c.items[c.head]
+			c.items[c.head] = zero
+			c.head++
+			if c.head == len(c.items) {
+				c.items = c.items[:0]
+				c.head = 0
+			}
+			if slot := v.CQSlot(); *slot {
+				*slot = false
+				c.live--
+				return v, nil
+			}
+			// Tombstone: collected while queued; skip.
+		}
 	}
-	var zero T
-	if c.q.Len() == 0 {
-		return zero, ErrClosed
-	}
-	e := c.q.Front()
-	v := c.q.Remove(e).(T)
-	delete(c.elems, v)
-	return v, nil
 }
 
 // Len reports the number of uncollected completions.
 func (c *Queue[T]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.q.Len()
+	return c.live
 }
 
 // Close fails current and future Peek callers once the queue drains.

@@ -6,37 +6,56 @@ import (
 	"time"
 )
 
+// item is the minimal intrusive entry for tests.
+type item struct {
+	v    int
+	slot bool
+}
+
+func (i *item) CQSlot() *bool { return &i.slot }
+
+func items(n int) []*item {
+	out := make([]*item, n)
+	for i := range out {
+		out[i] = &item{v: i}
+	}
+	return out
+}
+
 func TestPushPeekOrder(t *testing.T) {
-	q := New[int]()
-	q.Push(1)
-	q.Push(2)
-	q.Push(3)
+	q := New[*item]()
+	it := items(4)
+	q.Push(it[1])
+	q.Push(it[2])
+	q.Push(it[3])
 	for want := 1; want <= 3; want++ {
 		got, err := q.Peek()
-		if err != nil || got != want {
-			t.Fatalf("Peek = (%d, %v), want %d", got, err, want)
+		if err != nil || got.v != want {
+			t.Fatalf("Peek = (%v, %v), want %d", got, err, want)
 		}
 	}
 }
 
 func TestCollectRemoves(t *testing.T) {
-	q := New[string]()
-	q.Push("a")
-	q.Push("b")
-	q.Collect("a")
+	q := New[*item]()
+	it := items(3)
+	q.Push(it[0])
+	q.Push(it[1])
+	q.Collect(it[0])
 	got, err := q.Peek()
-	if err != nil || got != "b" {
-		t.Fatalf("Peek = (%q, %v)", got, err)
+	if err != nil || got != it[1] {
+		t.Fatalf("Peek = (%v, %v)", got, err)
 	}
 	if q.Len() != 0 {
 		t.Fatalf("Len = %d", q.Len())
 	}
-	q.Collect("zzz") // collecting an absent value is a no-op
+	q.Collect(it[2]) // collecting an absent value is a no-op
 }
 
 func TestPeekBlocksUntilPush(t *testing.T) {
-	q := New[int]()
-	got := make(chan int, 1)
+	q := New[*item]()
+	seven := &item{v: 7}
+	got := make(chan *item, 1)
 	go func() {
 		v, err := q.Peek()
 		if err != nil {
@@ -45,11 +64,11 @@ func TestPeekBlocksUntilPush(t *testing.T) {
 		got <- v
 	}()
 	time.Sleep(10 * time.Millisecond)
-	q.Push(7)
+	q.Push(seven)
 	select {
 	case v := <-got:
-		if v != 7 {
-			t.Fatalf("got %d", v)
+		if v != seven {
+			t.Fatalf("got %v", v)
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("Peek never unblocked")
@@ -57,7 +76,7 @@ func TestPeekBlocksUntilPush(t *testing.T) {
 }
 
 func TestCloseUnblocksPeek(t *testing.T) {
-	q := New[int]()
+	q := New[*item]()
 	errc := make(chan error, 1)
 	go func() {
 		_, err := q.Peek()
@@ -73,28 +92,46 @@ func TestCloseUnblocksPeek(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("Close did not unblock Peek")
 	}
-	q.Push(1) // dropped, no panic
+	q.Push(&item{v: 1}) // dropped, no panic
 	if _, err := q.Peek(); err != ErrClosed {
 		t.Fatal("Peek after Close should fail")
 	}
 }
 
 func TestCloseDrainsExisting(t *testing.T) {
-	q := New[int]()
-	q.Push(5)
+	q := New[*item]()
+	five := &item{v: 5}
+	q.Push(five)
 	q.Close()
 	// Existing completions remain peekable after close.
-	if v, err := q.Peek(); err != nil || v != 5 {
-		t.Fatalf("Peek = (%d, %v)", v, err)
+	if v, err := q.Peek(); err != nil || v != five {
+		t.Fatalf("Peek = (%v, %v)", v, err)
 	}
 	if _, err := q.Peek(); err != ErrClosed {
 		t.Fatal("expected ErrClosed after drain")
 	}
 }
 
+func TestDoublePushIsIdempotent(t *testing.T) {
+	q := New[*item]()
+	one := &item{v: 1}
+	q.Push(one)
+	q.Push(one) // already queued: no duplicate entry
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d after double push", q.Len())
+	}
+	if v, err := q.Peek(); err != nil || v != one {
+		t.Fatalf("Peek = (%v, %v)", v, err)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after peek", q.Len())
+	}
+}
+
 func TestConcurrentPushPeek(t *testing.T) {
-	q := New[int]()
+	q := New[*item]()
 	const n = 500
+	it := items(n)
 	var wg sync.WaitGroup
 	seen := make([]bool, n)
 	var mu sync.Mutex
@@ -102,7 +139,7 @@ func TestConcurrentPushPeek(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			q.Push(i)
+			q.Push(it[i])
 		}(i)
 	}
 	for i := 0; i < n; i++ {
@@ -115,10 +152,10 @@ func TestConcurrentPushPeek(t *testing.T) {
 				return
 			}
 			mu.Lock()
-			if seen[v] {
-				t.Errorf("value %d peeked twice", v)
+			if seen[v.v] {
+				t.Errorf("value %d peeked twice", v.v)
 			}
-			seen[v] = true
+			seen[v.v] = true
 			mu.Unlock()
 		}()
 	}

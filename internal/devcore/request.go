@@ -1,6 +1,7 @@
 package devcore
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -74,14 +75,68 @@ type Request struct {
 	mu         sync.Mutex
 	attachment any
 
-	done   chan struct{}
+	// state is the completion flag (0 incomplete, 1 complete); status
+	// and err are published before it flips, so a load observing 1 may
+	// read them without further synchronization. parked is the wake
+	// channel, allocated lazily by the first waiter that actually needs
+	// to block: a request that completes before anyone parks — the
+	// common case for engine-mode sends, where the drainer finishes the
+	// frame within the waiter's brief spin — never allocates or closes
+	// a channel at all.
+	state  atomic.Uint32
+	parked atomic.Pointer[chan struct{}]
 	status xdev.Status
 	err    error
+
+	// cqSlot is the completion queue's intrusive membership flag,
+	// owned by cqueue under its lock (see cqueue.Entry).
+	cqSlot bool
 }
+
+// CQSlot implements cqueue.Entry.
+func (r *Request) CQSlot() *bool { return &r.cqSlot }
 
 // NewRequest returns a fresh, incomplete request on this core.
 func (c *Core) NewRequest(kind Kind, buf *mpjbuf.Buffer) *Request {
-	return &Request{c: c, kind: kind, Buf: buf, t0: -1, Pin: -1, OpCtx: NoCtx, done: make(chan struct{})}
+	return &Request{c: c, kind: kind, Buf: buf, t0: -1, Pin: -1, OpCtx: NoCtx}
+}
+
+// waitSpin is how many scheduler yields Wait burns before allocating a
+// park channel and blocking: long enough to cover an in-flight
+// completion (a drainer finishing the batch that carries this
+// request), short enough that a receive with no matching message goes
+// to sleep promptly.
+const waitSpin = 64
+
+// await blocks until the request completes: fast-path check, brief
+// adaptive spin, then park on a lazily-published channel. The
+// publish-then-recheck order pairs with Complete's flip-then-check so
+// a wake is never lost.
+func (r *Request) await() {
+	if r.state.Load() != 0 {
+		return
+	}
+	for i := 0; i < waitSpin; i++ {
+		runtime.Gosched()
+		if r.state.Load() != 0 {
+			return
+		}
+	}
+	ch := r.parked.Load()
+	if ch == nil {
+		nc := make(chan struct{})
+		if !r.parked.CompareAndSwap(nil, &nc) {
+			ch = r.parked.Load()
+		} else {
+			ch = &nc
+		}
+	}
+	if r.state.Load() != 0 {
+		// Complete raced the publish and may have missed the channel;
+		// the flag alone is authoritative.
+		return
+	}
+	<-*ch
 }
 
 // Trace stamps the request with its tracing envelope (recorder clock
@@ -158,18 +213,16 @@ func (r *Request) Complete(st xdev.Status, err error) {
 	}
 	r.status = st
 	r.err = err
-	close(r.done)
+	r.state.Store(1)
+	if ch := r.parked.Load(); ch != nil {
+		close(*ch)
+	}
 	r.c.cq.Push(r)
 }
 
 // Done reports (without blocking) whether the request has completed.
 func (r *Request) Done() bool {
-	select {
-	case <-r.done:
-		return true
-	default:
-		return false
-	}
+	return r.state.Load() != 0
 }
 
 // Err returns the completion error; only valid after completion.
@@ -180,20 +233,18 @@ func (r *Request) Status() xdev.Status { return r.status }
 
 // Wait blocks until the request completes.
 func (r *Request) Wait() (xdev.Status, error) {
-	<-r.done
+	r.await()
 	r.c.cq.Collect(r)
 	return r.status, r.err
 }
 
 // Test reports whether the request has completed, without blocking.
 func (r *Request) Test() (xdev.Status, bool, error) {
-	select {
-	case <-r.done:
+	if r.state.Load() != 0 {
 		r.c.cq.Collect(r)
 		return r.status, true, r.err
-	default:
-		return xdev.Status{}, false, nil
 	}
+	return xdev.Status{}, false, nil
 }
 
 // SetAttachment stores opaque upper-layer state on the request.

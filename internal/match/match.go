@@ -53,7 +53,7 @@ func (p Pattern) Matches(c Concrete) bool {
 }
 
 // keys returns the four probe keys for an envelope, most to least
-// specific.
+// specific. The index of each key is its wildcard class (see classOf).
 func (c Concrete) keys() [4]Pattern {
 	return [4]Pattern{
 		{c.Ctx, c.Tag, c.Src},
@@ -61,6 +61,20 @@ func (c Concrete) keys() [4]Pattern {
 		{c.Ctx, c.Tag, AnySource},
 		{c.Ctx, AnyTag, AnySource},
 	}
+}
+
+// classOf returns a pattern's wildcard class: bit 0 set for AnyTag,
+// bit 1 for AnySource. Class 0 is a fully concrete pattern. The class
+// of keys()[i] is i.
+func classOf(p Pattern) int {
+	cls := 0
+	if p.Tag == AnyTag {
+		cls |= 1
+	}
+	if p.Src == AnySource {
+		cls |= 2
+	}
+	return cls
 }
 
 type entry[T any] struct {
@@ -89,11 +103,15 @@ func (q *fifo[T]) head() *entry[T] {
 }
 
 // PatternSet holds posted receive patterns, each indexed under its own
-// (possibly wildcarded) key, in posting order.
+// (possibly wildcarded) key, in posting order. classes counts the live
+// patterns per wildcard class so a probe skips the map lookups for
+// classes nothing is posted under — in the common no-wildcard workload
+// an arriving message costs one map access, not four.
 type PatternSet[T any] struct {
 	seq     uint64
 	buckets map[Pattern]*fifo[T]
 	live    int
+	classes [4]int
 }
 
 // NewPatternSet returns an empty pattern set.
@@ -111,19 +129,25 @@ func (s *PatternSet[T]) Add(p Pattern, v T) {
 	s.seq++
 	q.push(&entry[T]{seq: s.seq, value: v})
 	s.live++
+	s.classes[classOf(p)]++
 }
 
 // Match finds, removes and returns the earliest-posted pattern that
 // accepts the envelope. ok is false when nothing matches.
 func (s *PatternSet[T]) Match(c Concrete) (v T, ok bool) {
 	var best *entry[T]
-	for _, k := range c.keys() {
+	bestCls := 0
+	for cls, k := range c.keys() {
+		if s.classes[cls] == 0 {
+			continue
+		}
 		q := s.buckets[k]
 		if q == nil {
 			continue
 		}
 		if e := q.head(); e != nil && (best == nil || e.seq < best.seq) {
 			best = e
+			bestCls = cls
 		}
 	}
 	if best == nil {
@@ -131,6 +155,7 @@ func (s *PatternSet[T]) Match(c Concrete) (v T, ok bool) {
 	}
 	best.taken = true
 	s.live--
+	s.classes[bestCls]--
 	return best.value, true
 }
 
@@ -150,6 +175,7 @@ func (s *PatternSet[T]) TakeFunc(pred func(Pattern, T) bool) []T {
 			if pred(k, e.value) {
 				e.taken = true
 				s.live--
+				s.classes[classOf(k)]--
 				taken = append(taken, e)
 			}
 		}
@@ -162,24 +188,36 @@ func (s *PatternSet[T]) TakeFunc(pred func(Pattern, T) bool) []T {
 	return out
 }
 
-// ItemSet holds arrived message envelopes. Each item is indexed under
-// all four keys that could match it, so pattern probes are O(1).
+// ItemSet holds arrived message envelopes. An item is always indexed
+// under its exact (class-0) key; the three wildcard-class indexes are
+// built lazily, the first time a probe of that class occurs. A
+// workload that never posts a wildcard receive — the message-rate hot
+// path — pays one map access and one push per unexpected message
+// instead of four of each, while ANY_TAG/ANY_SOURCE apps pay a
+// one-time O(n log n) index build and then the same O(1) probes as
+// before.
 type ItemSet[T any] struct {
 	seq     uint64
 	buckets map[Pattern]*fifo[T]
 	live    int
+	active  [4]bool
 }
 
 // NewItemSet returns an empty item set.
 func NewItemSet[T any]() *ItemSet[T] {
-	return &ItemSet[T]{buckets: make(map[Pattern]*fifo[T])}
+	s := &ItemSet[T]{buckets: make(map[Pattern]*fifo[T])}
+	s.active[0] = true
+	return s
 }
 
 // Add records an arrived envelope with its associated value.
 func (s *ItemSet[T]) Add(c Concrete, v T) {
 	s.seq++
 	e := &entry[T]{seq: s.seq, value: v}
-	for _, k := range c.keys() {
+	for cls, k := range c.keys() {
+		if !s.active[cls] {
+			continue
+		}
 		q := s.buckets[k]
 		if q == nil {
 			q = &fifo[T]{}
@@ -190,9 +228,46 @@ func (s *ItemSet[T]) Add(c Concrete, v T) {
 	s.live++
 }
 
+// activate builds the bucket index for a wildcard class from the live
+// entries. Every live entry sits in its exact bucket (class 0 is
+// always active), so enumerating class-0 buckets finds each exactly
+// once; sorting by seq restores arrival order within the new buckets.
+func (s *ItemSet[T]) activate(cls int) {
+	s.active[cls] = true
+	type pending struct {
+		e *entry[T]
+		k Pattern
+	}
+	var ps []pending
+	for k, q := range s.buckets {
+		if classOf(k) != 0 {
+			continue
+		}
+		for _, e := range q.items {
+			if e == nil || e.taken {
+				continue
+			}
+			ck := Concrete{Ctx: k.Ctx, Tag: k.Tag, Src: k.Src}.keys()[cls]
+			ps = append(ps, pending{e, ck})
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].e.seq < ps[j].e.seq })
+	for _, p := range ps {
+		q := s.buckets[p.k]
+		if q == nil {
+			q = &fifo[T]{}
+			s.buckets[p.k] = q
+		}
+		q.push(p.e)
+	}
+}
+
 // Match finds, removes and returns the earliest-arrived item accepted
 // by the pattern.
 func (s *ItemSet[T]) Match(p Pattern) (v T, ok bool) {
+	if cls := classOf(p); !s.active[cls] {
+		s.activate(cls)
+	}
 	q := s.buckets[p]
 	if q == nil {
 		return v, false
@@ -209,6 +284,9 @@ func (s *ItemSet[T]) Match(p Pattern) (v T, ok bool) {
 // Peek returns the earliest-arrived item accepted by the pattern
 // without removing it (the probe operation).
 func (s *ItemSet[T]) Peek(p Pattern) (v T, ok bool) {
+	if cls := classOf(p); !s.active[cls] {
+		s.activate(cls)
+	}
 	q := s.buckets[p]
 	if q == nil {
 		return v, false
@@ -224,7 +302,7 @@ func (s *ItemSet[T]) Peek(p Pattern) (v T, ok bool) {
 func (s *ItemSet[T]) Len() int { return s.live }
 
 // TakeFunc removes and returns every live item accepted by pred, in
-// arrival order. Each item is indexed under four keys sharing one
+// arrival order. An item may be indexed under several keys sharing one
 // entry, so the taken flag both removes and deduplicates.
 func (s *ItemSet[T]) TakeFunc(pred func(T) bool) []T {
 	var taken []*entry[T]

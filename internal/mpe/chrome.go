@@ -210,6 +210,12 @@ func WriteSummary(w io.Writer, files []*TraceFile, onlyRank int) error {
 				fmt.Fprintf(w, "  rma: puts=%d gets=%d accs=%d bytes=%d\n",
 					c.RmaPuts, c.RmaGets, c.RmaAccs, c.RmaBytes)
 			}
+			if c.SendBatches > 0 {
+				fmt.Fprintf(w, "  send engine: batches=%d frames=%d (%.2f frames/write, %.0f B/write)\n",
+					c.SendBatches, c.FramesCoalesced,
+					float64(c.FramesCoalesced)/float64(c.SendBatches),
+					float64(c.SendBatchBytes)/float64(c.SendBatches))
+			}
 			if c.PeersLost+c.FramesCorrupt+c.RequestsFailed > 0 {
 				fmt.Fprintf(w, "  failures: peersLost=%d framesCorrupt=%d requestsFailed=%d\n",
 					c.PeersLost, c.FramesCorrupt, c.RequestsFailed)
@@ -238,6 +244,12 @@ func WriteSummary(w io.Writer, files []*TraceFile, onlyRank int) error {
 		if total.RmaPuts+total.RmaGets+total.RmaAccs > 0 {
 			fmt.Fprintf(w, "all ranks rma: puts=%d gets=%d accs=%d bytes=%d\n",
 				total.RmaPuts, total.RmaGets, total.RmaAccs, total.RmaBytes)
+		}
+		if total.SendBatches > 0 {
+			fmt.Fprintf(w, "all ranks send engine: batches=%d frames=%d (%.2f frames/write, %.0f B/write)\n",
+				total.SendBatches, total.FramesCoalesced,
+				float64(total.FramesCoalesced)/float64(total.SendBatches),
+				float64(total.SendBatchBytes)/float64(total.SendBatches))
 		}
 		if total.PeersLost+total.FramesCorrupt+total.RequestsFailed > 0 {
 			fmt.Fprintf(w, "all ranks failures: peersLost=%d framesCorrupt=%d requestsFailed=%d\n",

@@ -42,6 +42,15 @@ type Counters struct {
 	// RmaBytes totals the payload bytes moved by one-sided operations
 	// this rank originated.
 	RmaBytes atomic.Uint64
+	// SendBatches counts wire writes issued by the asynchronous send
+	// engine (each one syscall, covering one coalesced batch), and
+	// FramesCoalesced the frames those batches carried — their ratio is
+	// the frames-per-syscall batching factor. SendBatchBytes totals the
+	// wire bytes (headers + payload) of those batches, so
+	// SendBatchBytes/SendBatches is the bytes-per-syscall ratio.
+	SendBatches     atomic.Uint64
+	FramesCoalesced atomic.Uint64
+	SendBatchBytes  atomic.Uint64
 	// CommRevokes, CommShrinks and CommAgrees count fault-tolerance
 	// operations issued by this rank (incremented by the core layer):
 	// communicator revocations initiated locally, successful Shrink
@@ -54,23 +63,26 @@ type Counters struct {
 // Snapshot returns a plain-value copy of the counters.
 func (c *Counters) Snapshot() CounterSnapshot {
 	return CounterSnapshot{
-		EagerSent:      c.EagerSent.Load(),
-		RndvSent:       c.RndvSent.Load(),
-		BytesSent:      c.BytesSent.Load(),
-		Unexpected:     c.Unexpected.Load(),
-		Matched:        c.Matched.Load(),
-		PeersLost:      c.PeersLost.Load(),
-		FramesCorrupt:  c.FramesCorrupt.Load(),
-		RequestsFailed: c.RequestsFailed.Load(),
-		CollSegsSent:   c.CollSegsSent.Load(),
-		CollSegsRecv:   c.CollSegsRecv.Load(),
-		RmaPuts:        c.RmaPuts.Load(),
-		RmaGets:        c.RmaGets.Load(),
-		RmaAccs:        c.RmaAccs.Load(),
-		RmaBytes:       c.RmaBytes.Load(),
-		CommRevokes:    c.CommRevokes.Load(),
-		CommShrinks:    c.CommShrinks.Load(),
-		CommAgrees:     c.CommAgrees.Load(),
+		EagerSent:       c.EagerSent.Load(),
+		RndvSent:        c.RndvSent.Load(),
+		BytesSent:       c.BytesSent.Load(),
+		Unexpected:      c.Unexpected.Load(),
+		Matched:         c.Matched.Load(),
+		PeersLost:       c.PeersLost.Load(),
+		FramesCorrupt:   c.FramesCorrupt.Load(),
+		RequestsFailed:  c.RequestsFailed.Load(),
+		CollSegsSent:    c.CollSegsSent.Load(),
+		CollSegsRecv:    c.CollSegsRecv.Load(),
+		RmaPuts:         c.RmaPuts.Load(),
+		RmaGets:         c.RmaGets.Load(),
+		RmaAccs:         c.RmaAccs.Load(),
+		RmaBytes:        c.RmaBytes.Load(),
+		SendBatches:     c.SendBatches.Load(),
+		FramesCoalesced: c.FramesCoalesced.Load(),
+		SendBatchBytes:  c.SendBatchBytes.Load(),
+		CommRevokes:     c.CommRevokes.Load(),
+		CommShrinks:     c.CommShrinks.Load(),
+		CommAgrees:      c.CommAgrees.Load(),
 	}
 }
 
@@ -78,45 +90,51 @@ func (c *Counters) Snapshot() CounterSnapshot {
 // keep compatibility with the original niodev.Stats so existing
 // assertions keep working unchanged.
 type CounterSnapshot struct {
-	EagerSent      uint64 `json:"eagerSent"`
-	RndvSent       uint64 `json:"rndvSent"`
-	BytesSent      uint64 `json:"bytesSent"`
-	Unexpected     uint64 `json:"unexpected"`
-	Matched        uint64 `json:"matched"`
-	PeersLost      uint64 `json:"peersLost,omitempty"`
-	FramesCorrupt  uint64 `json:"framesCorrupt,omitempty"`
-	RequestsFailed uint64 `json:"requestsFailed,omitempty"`
-	CollSegsSent   uint64 `json:"collSegsSent,omitempty"`
-	CollSegsRecv   uint64 `json:"collSegsRecv,omitempty"`
-	RmaPuts        uint64 `json:"rmaPuts,omitempty"`
-	RmaGets        uint64 `json:"rmaGets,omitempty"`
-	RmaAccs        uint64 `json:"rmaAccs,omitempty"`
-	RmaBytes       uint64 `json:"rmaBytes,omitempty"`
-	CommRevokes    uint64 `json:"commRevokes,omitempty"`
-	CommShrinks    uint64 `json:"commShrinks,omitempty"`
-	CommAgrees     uint64 `json:"commAgrees,omitempty"`
+	EagerSent       uint64 `json:"eagerSent"`
+	RndvSent        uint64 `json:"rndvSent"`
+	BytesSent       uint64 `json:"bytesSent"`
+	Unexpected      uint64 `json:"unexpected"`
+	Matched         uint64 `json:"matched"`
+	PeersLost       uint64 `json:"peersLost,omitempty"`
+	FramesCorrupt   uint64 `json:"framesCorrupt,omitempty"`
+	RequestsFailed  uint64 `json:"requestsFailed,omitempty"`
+	CollSegsSent    uint64 `json:"collSegsSent,omitempty"`
+	CollSegsRecv    uint64 `json:"collSegsRecv,omitempty"`
+	RmaPuts         uint64 `json:"rmaPuts,omitempty"`
+	RmaGets         uint64 `json:"rmaGets,omitempty"`
+	RmaAccs         uint64 `json:"rmaAccs,omitempty"`
+	RmaBytes        uint64 `json:"rmaBytes,omitempty"`
+	SendBatches     uint64 `json:"sendBatches,omitempty"`
+	FramesCoalesced uint64 `json:"framesCoalesced,omitempty"`
+	SendBatchBytes  uint64 `json:"sendBatchBytes,omitempty"`
+	CommRevokes     uint64 `json:"commRevokes,omitempty"`
+	CommShrinks     uint64 `json:"commShrinks,omitempty"`
+	CommAgrees      uint64 `json:"commAgrees,omitempty"`
 }
 
 // Add returns the field-wise sum of two snapshots (used when a device
 // aggregates sub-component counters, and by the merge step).
 func (s CounterSnapshot) Add(o CounterSnapshot) CounterSnapshot {
 	return CounterSnapshot{
-		EagerSent:      s.EagerSent + o.EagerSent,
-		RndvSent:       s.RndvSent + o.RndvSent,
-		BytesSent:      s.BytesSent + o.BytesSent,
-		Unexpected:     s.Unexpected + o.Unexpected,
-		Matched:        s.Matched + o.Matched,
-		PeersLost:      s.PeersLost + o.PeersLost,
-		FramesCorrupt:  s.FramesCorrupt + o.FramesCorrupt,
-		RequestsFailed: s.RequestsFailed + o.RequestsFailed,
-		CollSegsSent:   s.CollSegsSent + o.CollSegsSent,
-		CollSegsRecv:   s.CollSegsRecv + o.CollSegsRecv,
-		RmaPuts:        s.RmaPuts + o.RmaPuts,
-		RmaGets:        s.RmaGets + o.RmaGets,
-		RmaAccs:        s.RmaAccs + o.RmaAccs,
-		RmaBytes:       s.RmaBytes + o.RmaBytes,
-		CommRevokes:    s.CommRevokes + o.CommRevokes,
-		CommShrinks:    s.CommShrinks + o.CommShrinks,
-		CommAgrees:     s.CommAgrees + o.CommAgrees,
+		EagerSent:       s.EagerSent + o.EagerSent,
+		RndvSent:        s.RndvSent + o.RndvSent,
+		BytesSent:       s.BytesSent + o.BytesSent,
+		Unexpected:      s.Unexpected + o.Unexpected,
+		Matched:         s.Matched + o.Matched,
+		PeersLost:       s.PeersLost + o.PeersLost,
+		FramesCorrupt:   s.FramesCorrupt + o.FramesCorrupt,
+		RequestsFailed:  s.RequestsFailed + o.RequestsFailed,
+		CollSegsSent:    s.CollSegsSent + o.CollSegsSent,
+		CollSegsRecv:    s.CollSegsRecv + o.CollSegsRecv,
+		RmaPuts:         s.RmaPuts + o.RmaPuts,
+		RmaGets:         s.RmaGets + o.RmaGets,
+		RmaAccs:         s.RmaAccs + o.RmaAccs,
+		RmaBytes:        s.RmaBytes + o.RmaBytes,
+		SendBatches:     s.SendBatches + o.SendBatches,
+		FramesCoalesced: s.FramesCoalesced + o.FramesCoalesced,
+		SendBatchBytes:  s.SendBatchBytes + o.SendBatchBytes,
+		CommRevokes:     s.CommRevokes + o.CommRevokes,
+		CommShrinks:     s.CommShrinks + o.CommShrinks,
+		CommAgrees:      s.CommAgrees + o.CommAgrees,
 	}
 }

@@ -218,8 +218,10 @@ func (b *Buffer) putHeader(t Type, count int) []byte {
 // nextHeader consumes and validates the next section header in read
 // mode, returning the packed element region and count.
 func (b *Buffer) nextHeader(want Type, maxCount int) ([]byte, int, error) {
-	if err := b.ensureReading("read " + want.String()); err != nil {
-		return nil, 0, err
+	if b.mode != reading {
+		// The operand string is built only on this cold path: a concat
+		// in the hot path's argument list costs an allocation per read.
+		return nil, 0, fmt.Errorf("mpjbuf: read %s on uncommitted buffer", want)
 	}
 	if b.rpos+sectionHeaderLen > len(b.static) {
 		return nil, 0, fmt.Errorf("mpjbuf: read %s: buffer exhausted", want)

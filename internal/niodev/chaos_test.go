@@ -268,15 +268,19 @@ func TestChaosCorruptFrame(t *testing.T) {
 				})
 			})
 
-			// A few small eager sends guarantee at least one frame
-			// crosses the corruption threshold wherever the jitter
-			// landed. Sends may themselves error once the receiver has
-			// torn the connection down; that is fine.
-			for i := 0; i < 3; i++ {
+			// Small eager sends, paced so the send engine drains each one
+			// as its own wire write: corruption fires on the first write
+			// that STARTS past the threshold, so a single coalesced batch
+			// spanning it would sail through clean. Enough paced writes
+			// guarantee one begins beyond the jittered cut. Sends may
+			// themselves error once the receiver has torn the connection
+			// down; that is fine.
+			for i := 0; i < 8; i++ {
 				if err := chaosSend(devs[0], devs[0].pids[1], 4, []int64{int64(i)}); err != nil {
 					t.Logf("send %d after corruption: %v", i, err)
 					break
 				}
+				time.Sleep(2 * time.Millisecond)
 			}
 
 			deadline := time.Now().Add(10 * time.Second)

@@ -15,6 +15,13 @@ var jobCounter atomic.Int64
 
 // conformanceRunner adapts the shared device conformance suite.
 func conformanceRunner(tr func() xdev.Transport) devtest.JobRunner {
+	return conformanceRunnerCfg(tr, nil)
+}
+
+// conformanceRunnerCfg is conformanceRunner with a per-rank Config
+// mutator, used to pin the send-engine mode (and any future tunable)
+// for a whole suite run.
+func conformanceRunnerCfg(tr func() xdev.Transport, mutate func(*xdev.Config)) devtest.JobRunner {
 	return func(t *testing.T, n int, fn func(d xdev.Device, rank int, pids []xdev.ProcessID)) {
 		t.Helper()
 		dialer := tr()
@@ -32,9 +39,13 @@ func conformanceRunner(tr func() xdev.Transport) devtest.JobRunner {
 			wg.Add(1)
 			go func(rank int) {
 				defer wg.Done()
-				pidLists[rank], errs[rank] = devs[rank].Init(xdev.Config{
+				cfg := xdev.Config{
 					Rank: rank, Size: n, Addrs: addrs, Dialer: dialer,
-				})
+				}
+				if mutate != nil {
+					mutate(&cfg)
+				}
+				pidLists[rank], errs[rank] = devs[rank].Init(cfg)
 			}(i)
 		}
 		wg.Wait()
@@ -64,6 +75,25 @@ func TestConformanceInProc(t *testing.T) {
 	devtest.RunConformance(t,
 		conformanceRunner(func() xdev.Transport { return transport.NewInProc(0) }),
 		devtest.Options{HasPeek: true, RendezvousAt: DefaultEagerLimit})
+}
+
+// TestConformanceInProcDirect pins MPJ_SEND_ENGINE=direct: the
+// synchronous escape-hatch path must pass the same suite the default
+// engine path does.
+func TestConformanceInProcDirect(t *testing.T) {
+	devtest.RunConformance(t,
+		conformanceRunnerCfg(func() xdev.Transport { return transport.NewInProc(0) },
+			func(cfg *xdev.Config) { cfg.SendEngine = "direct" }),
+		devtest.Options{HasPeek: true, RendezvousAt: DefaultEagerLimit})
+}
+
+// TestChaosConformanceInProcDirect keeps the failure semantics of the
+// direct path covered alongside the engine default.
+func TestChaosConformanceInProcDirect(t *testing.T) {
+	devtest.RunChaos(t,
+		conformanceRunnerCfg(func() xdev.Transport { return transport.NewInProc(0) },
+			func(cfg *xdev.Config) { cfg.SendEngine = "direct" }),
+		devtest.ChaosOptions{HasPeek: true})
 }
 
 // TestConformanceTCP runs the same suite over real loopback sockets —

@@ -87,6 +87,14 @@ func (d *Device) markPeerGone(slot int, cause error, graceful bool) {
 	}
 	err := d.peerLost(slot, cause)
 	first := d.core.FailPeer(uint64(slot), devcore.PeerFail{Err: err, Graceful: graceful, Sticky: true})
+	if first && d.engine != nil {
+		// Poison the peer's send queue: enqueuers blocked on a full
+		// queue wake with the death error, queued frames fail their
+		// requests (nothing is silently dropped), and the drainer
+		// exits. A gracefully departed peer can no more receive queued
+		// frames than a crashed one, so both cases drain.
+		d.engine.failQueued(slot, err)
+	}
 	if first && !graceful {
 		// Close the write channel so writers blocked mid-frame and
 		// future writeMsg calls fail instead of wedging. Close is safe
@@ -145,6 +153,13 @@ func (d *Device) shutdown(failErr error, wait bool) {
 		return
 	}
 	d.core.Shutdown(failErr, failErr)
+	if d.engine != nil {
+		// Poison every send queue before the connections close: blocked
+		// enqueuers wake with failErr, queued frames fail their
+		// requests, and the drainers exit (they are joined by the
+		// handlerWG wait below).
+		d.engine.stop(failErr)
+	}
 
 	if d.listener != nil {
 		d.listener.Close()

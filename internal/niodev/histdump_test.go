@@ -1,0 +1,53 @@
+package niodev
+
+import (
+	"sync"
+	"testing"
+
+	"mpj/internal/xdev"
+)
+
+// TestDumpBatchHistogram is a data-collection harness, skipped unless
+// -run explicitly selects it with -v: blasts 8 senders x 5000 msgs of
+// 512B and logs the coalescing counters and frames-per-batch histogram.
+func TestDumpBatchHistogram(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("data-collection harness; run with -v")
+	}
+	const senders, msgs = 8, 5000
+	runJob(t, 2, xdev.Config{}, func(d *Device, rank int, pids []xdev.ProcessID) {
+		payload := make([]int32, 128) // 512B
+		if rank == 0 {
+			var wg sync.WaitGroup
+			for s := 0; s < senders; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					for i := 0; i < msgs; i++ {
+						sendInts(t, d, pids[1], 100+s, payload)
+					}
+				}(s)
+			}
+			wg.Wait()
+			st := d.Stats()
+			intro := d.Introspect().(introspection)
+			t.Logf("SendBatches=%d FramesCoalesced=%d SendBatchBytes=%d", st.SendBatches, st.FramesCoalesced, st.SendBatchBytes)
+			if st.SendBatches > 0 {
+				t.Logf("frames/batch=%.2f bytes/syscall=%.0f", float64(st.FramesCoalesced)/float64(st.SendBatches), float64(st.SendBatchBytes)/float64(st.SendBatches))
+			}
+			t.Logf("batchHist=%v", intro.SendEngine.BatchHist)
+			return
+		}
+		var wg sync.WaitGroup
+		for s := 0; s < senders; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				for i := 0; i < msgs; i++ {
+					recvInts(t, d, pids[0], 100+s, len(payload))
+				}
+			}(s)
+		}
+		wg.Wait()
+	})
+}

@@ -1,6 +1,7 @@
 package niodev
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -193,6 +194,79 @@ var gatherPool = sync.Pool{New: func() any {
 	return &b
 }}
 
+// newFrame builds a send-engine frame for h and segments, encoding the
+// header (with checksums when negotiated) into a pooled slice.
+func (d *Device) newFrame(h header, segments [][]byte, req *devcore.Request, st xdev.Status) *sendFrame {
+	hdr := devcore.GetSlice(headerLen)
+	if d.crcOut {
+		h.flags |= hdrFlagCRC
+		h.payCRC = payloadCRC(segments)
+	}
+	h.encode(hdr)
+	f := getFrame()
+	f.hdr = hdr
+	f.segs = append(f.segs, segments...)
+	for _, s := range segments {
+		f.wire += len(s)
+	}
+	f.req = req
+	f.st = st
+	return f
+}
+
+// send routes one protocol frame to slot — the single choke point the
+// two outbound paths share. In engine mode (the default) it enqueues
+// the frame on the peer's send queue and returns without touching the
+// network: the peer's drainer coalesces it into a batch, writes, and
+// completes req (if the frame carries one) with st. In direct mode
+// (MPJ_SEND_ENGINE=direct) it writes synchronously via writeMsg and
+// completes req inline.
+//
+// bounded selects backpressure: data frames from application threads
+// pass true and block while the peer's queue is full; control frames
+// (ACK, RTR) issued by input handlers pass false, because a handler
+// blocked on its own outbound queue is the classic two-sided
+// flow-control deadlock.
+//
+// The contract on error: req has NOT been completed, no frame was (or
+// will be) written, the peer's death has already been recorded where
+// the failure implies it, and the returned error is final — it
+// satisfies errors.Is for xdev.ErrPeerLost (or the device-closed /
+// abort shape). Callers only unwind their own registration state.
+func (d *Device) send(slot int, h header, segments [][]byte, req *devcore.Request, st xdev.Status, bounded bool) error {
+	if e := d.engine; e != nil {
+		q := e.queue(slot)
+		if q == nil {
+			return xdev.Errf(DeviceName, "send", "no queue for slot %d", slot)
+		}
+		f := d.newFrame(h, segments, req, st)
+		var err error
+		if bounded {
+			// May-block callers go through the caller-runs fast path:
+			// when the writer role is free the sender writes its own
+			// frame (plus anything queued) inline, skipping the drainer
+			// wake entirely.
+			err = e.sendApp(slot, q, f)
+		} else {
+			err = q.enqueue(f, false)
+		}
+		if err != nil {
+			f.req = nil // caller keeps ownership on the error path
+			putFrame(f)
+			return err
+		}
+		return nil
+	}
+	if err := d.writeMsg(slot, h, segments); err != nil {
+		d.markPeerDead(slot, err)
+		return d.peerLost(slot, err)
+	}
+	if req != nil {
+		req.Complete(st, nil)
+	}
+	return nil
+}
+
 // isend implements the four send modes. sync selects synchronous
 // completion semantics (Ssend/ISsend).
 func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int, sync bool) (*devcore.Request, error) {
@@ -243,7 +317,16 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 		d.core.Counters.EagerSent.Add(1)
 		d.core.Counters.BytesSent.Add(uint64(wireLen))
 		h := header{typ: typ, src: uint32(d.cfg.Rank), tag: int32(tag), ctx: int32(context), seq: seq, wireLen: uint64(wireLen)}
-		if err := d.writeMsg(slot, h, buf.Segments()); err != nil {
+		// A non-sync eager request rides the frame: the drainer (or the
+		// direct write) completes it once the data is on the wire —
+		// buffer ownership returns to the user at completion, exactly as
+		// before. A sync request's completion is the receiver's ACK, so
+		// its frame carries no request.
+		var freq *devcore.Request
+		if !sync {
+			freq = req
+		}
+		if err := d.send(slot, h, buf.Segments(), freq, xdev.Status{Source: d.self, Tag: tag, Bytes: wireLen}, true); err != nil {
 			if sync {
 				if _, mine := d.pendingSync.Take(devcore.PendingKey{Peer: uint64(slot), Seq: seq}); !mine {
 					// The peer-death drain already owned and completed
@@ -251,14 +334,10 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 					return req, nil
 				}
 			}
-			d.markPeerDead(slot, err)
-			return nil, d.peerLost(slot, err)
+			return nil, err
 		}
 		if d.rec.Enabled() {
 			d.rec.EventSeq(mpe.EagerOut, int32(slot), int32(tag), int32(context), int64(wireLen), seq)
-		}
-		if !sync {
-			req.Complete(xdev.Status{Source: d.self, Tag: tag, Bytes: wireLen}, nil)
 		}
 		return req, nil
 	}
@@ -276,12 +355,11 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 		return nil, err // peer death or shutdown raced the gate checks
 	}
 	h := header{typ: msgRTS, src: uint32(d.cfg.Rank), tag: int32(tag), ctx: int32(context), seq: seq, wireLen: uint64(wireLen)}
-	if err := d.writeMsg(slot, h, nil); err != nil {
+	if err := d.send(slot, h, nil, nil, xdev.Status{}, true); err != nil {
 		if _, mine := d.pendingRndv.Take(devcore.PendingKey{Peer: uint64(slot), Seq: seq}); !mine {
 			return req, nil // completed by the peer-death drain
 		}
-		d.markPeerDead(slot, err)
-		return nil, d.peerLost(slot, err)
+		return nil, err
 	}
 	if d.rec.Enabled() {
 		d.rec.EventSeq(mpe.RendezvousRTS, int32(slot), int32(tag), int32(context), int64(wireLen), seq)
@@ -442,7 +520,7 @@ func (d *Device) irecvReq(req *devcore.Request, p match.Pattern) error {
 			return nil
 		}
 		h := header{typ: msgRTR, src: uint32(d.cfg.Rank), seq: arr.Seq}
-		if err := d.writeMsg(int(arr.Src), h, nil); err != nil {
+		if err := d.send(int(arr.Src), h, nil, nil, xdev.Status{}, false); err != nil {
 			if _, mine := d.rndvIncoming.Take(k); !mine {
 				return nil // completed by the peer-death drain
 			}
@@ -466,7 +544,7 @@ func (d *Device) irecvReq(req *devcore.Request, p match.Pattern) error {
 		arr.SyncReq.Complete(st, nil) // self synchronous sender
 	case arr.Sync:
 		h := header{typ: msgAck, src: uint32(d.cfg.Rank), seq: arr.Seq}
-		if err := d.writeMsg(int(arr.Src), h, nil); err != nil {
+		if err := d.send(int(arr.Src), h, nil, nil, xdev.Status{}, false); err != nil {
 			req.Complete(st, err)
 			return nil
 		}
@@ -547,14 +625,21 @@ func (d *Device) Probe(src xdev.ProcessID, tag, context int) (xdev.Status, error
 // peer is declared dead: its pending requests fail with ErrPeerLost
 // and blocked waiters wake (the failure-detection half of the device).
 func (d *Device) inputHandler(conn net.Conn, src uint32, crc bool) {
-	err := d.readLoop(conn, src, crc)
+	// Inbound frames are read through a buffered reader sized to the
+	// send engine's batch cap: a coalesced batch from the peer arrives
+	// in one (or few) bulk reads instead of two reads per frame, the
+	// receive-side mirror of the vectored batch write. Payload reads at
+	// or above the buffer size bypass it (bufio passes large reads
+	// straight through when its buffer is empty), so rendezvous bulk
+	// data still streams zero-copy into user buffers.
+	err := d.readLoop(bufio.NewReaderSize(conn, 64<<10), src, crc)
 	conn.Close()
 	if err != nil && !d.closed.Load() {
 		d.markPeerDead(int(src), err)
 	}
 }
 
-func (d *Device) readLoop(conn net.Conn, src uint32, crc bool) error {
+func (d *Device) readLoop(conn io.Reader, src uint32, crc bool) error {
 	hdr := make([]byte, headerLen)
 	for {
 		if _, err := io.ReadFull(conn, hdr); err != nil {
@@ -619,7 +704,7 @@ func checkPayload(crc bool, sum uint32, h header) error {
 		sum, h.payCRC, xdev.ErrCorruptFrame)
 }
 
-func (d *Device) handleEager(conn net.Conn, h header, crc bool) error {
+func (d *Device) handleEager(conn io.Reader, h header, crc bool) error {
 	env := match.Concrete{Ctx: h.ctx, Tag: h.tag, Src: uint64(h.src)}
 	st := xdev.Status{Source: d.pids[h.src], Tag: int(h.tag), Bytes: int(h.wireLen)}
 
@@ -641,8 +726,11 @@ func (d *Device) handleEager(conn net.Conn, h header, crc bool) error {
 			// receive fails in the same peer-lost shape.
 			err = d.peerLost(int(h.src), err)
 		} else if h.typ == msgEagerSync {
-			if ackErr := d.writeMsg(int(h.src), header{typ: msgAck, src: uint32(d.cfg.Rank), seq: h.seq}, nil); ackErr != nil {
-				err = d.peerLost(int(h.src), ackErr)
+			// The matched-sync ACK is piggybacked: in engine mode it joins
+			// the next coalesced batch to h.src instead of paying its own
+			// write (satellite: no standalone ACK frames).
+			if ackErr := d.send(int(h.src), header{typ: msgAck, src: uint32(d.cfg.Rank), seq: h.seq}, nil, nil, xdev.Status{}, false); ackErr != nil {
+				err = ackErr
 			}
 		}
 		req.Complete(st, err)
@@ -681,7 +769,7 @@ func (d *Device) handleEager(conn net.Conn, h header, crc bool) error {
 		loadErr := req.Buf.LoadWire(data)
 		devcore.PutSlice(data)
 		if h.typ == msgEagerSync {
-			ackErr := d.writeMsg(int(h.src), header{typ: msgAck, src: uint32(d.cfg.Rank), seq: h.seq}, nil)
+			ackErr := d.send(int(h.src), header{typ: msgAck, src: uint32(d.cfg.Rank), seq: h.seq}, nil, nil, xdev.Status{}, false)
 			if loadErr == nil {
 				loadErr = ackErr
 			}
@@ -710,13 +798,10 @@ func (d *Device) handleRTS(h header) {
 		req.Complete(xdev.Status{}, err)
 		return
 	}
-	if err := d.writeMsg(int(h.src), header{typ: msgRTR, src: uint32(d.cfg.Rank), seq: h.seq}, nil); err != nil {
+	if err := d.send(int(h.src), header{typ: msgRTR, src: uint32(d.cfg.Rank), seq: h.seq}, nil, nil, xdev.Status{}, false); err != nil {
 		if _, mine := d.rndvIncoming.Take(k); mine {
-			req.Complete(xdev.Status{}, d.peerLost(int(h.src), err))
+			req.Complete(xdev.Status{}, err)
 		}
-		// The write channel to the peer is broken; declare it dead
-		// so everything else pinned on it fails too.
-		d.markPeerDead(int(h.src), err)
 		return
 	}
 	if d.rec.Enabled() {
@@ -730,8 +815,9 @@ func (d *Device) handleRTR(h header) {
 		return // duplicate, or drained by peer death / shutdown
 	}
 	// Fork a rendezvous writer so the input handler never blocks on a
-	// bulk write — otherwise two processes simultaneously sending large
-	// messages to each other could deadlock (paper §IV-A.2).
+	// bulk write or a full send queue — otherwise two processes
+	// simultaneously sending large messages to each other could
+	// deadlock (paper §IV-A.2).
 	dst := int(h.src)
 	d.handlerWG.Add(1)
 	go func() {
@@ -742,20 +828,20 @@ func (d *Device) handleRTR(h header) {
 			tag: req.SendTag, ctx: req.SendCtx,
 			seq: h.seq, wireLen: uint64(wireLen),
 		}
-		err := d.writeMsg(dst, dh, req.Buf.Segments())
-		if err == nil && d.rec.Enabled() {
+		// The frame carries the request: the drainer (or direct write)
+		// completes it once the payload is on the wire.
+		st := xdev.Status{Source: d.self, Bytes: wireLen}
+		if err := d.send(dst, dh, req.Buf.Segments(), req, st, true); err != nil {
+			req.Complete(xdev.Status{}, err)
+			return
+		}
+		if d.rec.Enabled() {
 			d.rec.EventSeq(mpe.RendezvousData, int32(dst), req.SendTag, req.SendCtx, int64(wireLen), h.seq)
 		}
-		if err != nil {
-			// Write failure mid-rendezvous: the channel to dst is gone.
-			d.markPeerDead(dst, err)
-			err = d.peerLost(dst, err)
-		}
-		req.Complete(xdev.Status{Source: d.self, Bytes: wireLen}, err)
 	}()
 }
 
-func (d *Device) handleRndvData(conn net.Conn, h header, crc bool) error {
+func (d *Device) handleRndvData(conn io.Reader, h header, crc bool) error {
 	req, ok := d.rndvIncoming.Take(devcore.PendingKey{Peer: uint64(h.src), Seq: h.seq})
 	if !ok {
 		// Protocol violation: data for an unknown rendezvous.

@@ -54,6 +54,21 @@ func TestHelloBadMagic(t *testing.T) {
 	}
 }
 
+// injectRaw writes raw bytes onto the write channel to slot under the
+// conn-ownership lock — the same lock the send engine's drainer takes
+// per batch — so injected garbage lands between engine batches, never
+// mid-frame.
+func (d *Device) injectRaw(slot int, raw []byte) error {
+	d.wmu[slot].Lock()
+	defer d.wmu[slot].Unlock()
+	conn := d.writeConn(slot)
+	if conn == nil {
+		return xdev.Errf(DeviceName, "inject", "no channel to slot %d", slot)
+	}
+	_, err := conn.Write(raw)
+	return err
+}
+
 func TestInputHandlerDropsUnknownMessageType(t *testing.T) {
 	tr := transport.NewInProc(0)
 	addrs := []string{"unk-0", "unk-1"}
@@ -79,9 +94,9 @@ func TestInputHandlerDropsUnknownMessageType(t *testing.T) {
 	// dead rather than silently processing garbage.
 	hdr := make([]byte, headerLen)
 	hdr[0] = 0xff
-	devs[0].wmu[1].Lock()
-	devs[0].writeConn(1).Write(hdr)
-	devs[0].wmu[1].Unlock()
+	if err := devs[0].injectRaw(1, hdr); err != nil {
+		t.Fatal(err)
+	}
 
 	deadline := time.Now().Add(5 * time.Second)
 	for devs[1].peerErr(0) == nil {
