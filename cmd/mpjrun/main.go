@@ -45,6 +45,8 @@ func main() {
 	ft := flag.Bool("ft", false, "fault-tolerant mode: a failed rank is reported as lost instead of killing the job; survivors shrink and continue")
 	hbInterval := flag.Duration("hb-interval", 0, "override the daemons' heartbeat interval for this job (0 = daemon default)")
 	hbMisses := flag.Int("hb-misses", 0, "override the daemons' tolerated consecutive heartbeat misses for this job (0 = daemon default)")
+	record := flag.String("record", "", "record per-rank decision logs into this directory (sets MPJ_RECORD on every rank)")
+	replayDir := flag.String("replay", "", "replay the decision logs in this directory, failing on divergence (sets MPJ_REPLAY on every rank)")
 	ping := flag.Bool("ping", false, "check that every daemon is reachable, then exit")
 	status := flag.Bool("status", false, "print every daemon's running jobs, then exit")
 	flag.Parse()
@@ -101,6 +103,15 @@ func main() {
 		// start one block of 1000 above, keeping the two ranges apart.
 		job.MetricsBasePort = *basePort + 1000
 		job.MetricsAddr = *metrics
+	}
+	// Decision-log directories travel to the ranks by environment; the
+	// paths must be visible on every daemon host (single host, or a
+	// shared filesystem).
+	if *record != "" {
+		job.Env = append(job.Env, "MPJ_RECORD="+*record)
+	}
+	if *replayDir != "" {
+		job.Env = append(job.Env, "MPJ_REPLAY="+*replayDir)
 	}
 	res, err := mpjrt.Run(job)
 	if err != nil {

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	mpjtrace [-dir mpjtrace-out] [-rank N] [-summary] [-merge]
-//	         [-chrome out.json] [-o FILE]
+//	         [-chrome out.json] [-decisions] [-o FILE]
+//	mpjtrace -replay RECDIR -- command args...
 //
 // With -summary (the default when no other output is selected) it
 // prints each rank's device counters, event counts and
@@ -20,6 +21,21 @@
 // late-sender/late-receiver counts and a collective critical-path
 // report. Combined with -chrome, the output gains flow arrows
 // connecting each matched send to its receive.
+//
+// With -decisions it prints the per-rank decision logs a recorded run
+// (MPJ_RECORD / Options.RecordDir) wrote into -dir: every wildcard
+// match resolution, completion-pop, hybrid claim arbitration and
+// agreement outcome, in the deterministic log order. When decision
+// logs sit next to trace files, -chrome also injects them as instant
+// events, sorted by (rank, decision index) so repeated exports of
+// logs written by racing threads are byte-identical.
+//
+// With -replay it re-runs the command after "--" against a recording:
+// MPJ_REPLAY is pointed at RECDIR (the library then enforces the
+// recorded decisions), MPJ_RECORD at a scratch directory, and the
+// observed logs are byte-compared against the recording — the exit
+// status is nonzero on divergence, with the first differing decision
+// printed per rank.
 //
 // -demo runs a traced 4-rank job (eager and rendezvous ping-pongs plus
 // collectives) first, so the tool can be tried without an instrumented
@@ -47,7 +63,16 @@ func main() {
 	chrome := flag.String("chrome", "", "write merged Chrome trace_event JSON to this file")
 	out := flag.String("o", "", "with -demo: directory to trace the demo job into (default: under the system temp dir)")
 	demo := flag.Bool("demo", false, "first run a traced 4-rank demo job")
+	decisions := flag.Bool("decisions", false, "print the per-rank decision logs (rank-*.decisions) in -dir")
+	replayRec := flag.String("replay", "", "replay the command after -- against the recording in this directory and diff the decision logs")
 	flag.Parse()
+
+	if *replayRec != "" {
+		if err := runReplay(*replayRec, flag.Args()); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *demo {
 		demoDir := *out
@@ -67,6 +92,19 @@ func main() {
 		*dir = demoDir
 	}
 
+	wrote := false
+	if *decisions {
+		if err := printDecisions(os.Stdout, *dir, *rank); err != nil {
+			fatal(err)
+		}
+		wrote = true
+		// Decision logs need no trace files; stop here unless another
+		// output mode wants them.
+		if !*summary && !*merge && *chrome == "" {
+			return
+		}
+	}
+
 	files, err := mpe.ReadTraceDir(*dir)
 	if err != nil {
 		fatal(err)
@@ -80,7 +118,6 @@ func main() {
 		}
 	}
 
-	wrote := false
 	if *chrome != "" {
 		f, err := os.Create(*chrome)
 		if err != nil {
@@ -89,7 +126,7 @@ func main() {
 		if *merge {
 			err = merged.WriteMergedChrome(f)
 		} else {
-			err = mpe.WriteChromeTrace(f, files, *rank)
+			err = mpe.WriteChromeTraceExtras(f, files, *rank, decisionExtras(*dir, *rank))
 		}
 		if err != nil {
 			f.Close()

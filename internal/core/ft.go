@@ -406,6 +406,20 @@ func (c *Comm) Agree(flag int64) (int64, error) {
 		return 0, err
 	}
 	c.p.counters.CommAgrees.Add(1)
+	// Record/verify the agreed value: agreement outcomes depend on which
+	// ranks were alive to contribute, a nondeterminism devcore never
+	// sees. A replayed run that agrees on a different word has diverged.
+	if s := c.p.replay; s != nil {
+		if s.Recording() {
+			c.p.counters.DecisionsRecorded.Add(1)
+		}
+		if s.Replaying() {
+			c.p.counters.DecisionsEnforced.Add(1)
+		}
+		if rerr := s.Agree(int64(c.ptp.Context()), v); rerr != nil {
+			return 0, rerr
+		}
+	}
 	return v, nil
 }
 

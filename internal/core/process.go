@@ -6,6 +6,7 @@ import (
 
 	"mpj/internal/mpe"
 	"mpj/internal/mpjdev"
+	"mpj/internal/replay"
 	"mpj/internal/xdev"
 )
 
@@ -59,6 +60,11 @@ type Process struct {
 	nodeOf []int
 
 	rec mpe.Recorder
+	// replay is the rank's record/replay session (nil when neither
+	// MPJ_RECORD nor MPJ_REPLAY is active). The device layer enforces
+	// matching and pop order; core only records/verifies agreement
+	// outcomes, which never reach devcore as match decisions.
+	replay *replay.Session
 	// counters points at the device's live counter block when the
 	// device exposes one (mpe.CounterSource), or at a shared discard
 	// block otherwise — never nil, so hot paths bump unconditionally.
@@ -109,7 +115,7 @@ func InitThread(dev xdev.Device, cfg xdev.Config, required ThreadLevel) (*Proces
 	if err != nil {
 		return nil, 0, err
 	}
-	p := &Process{dev: dev, pids: pids, provided: ThreadMultiple, rec: mpe.RecorderOf(dev), counters: mpe.CountersOf(dev)}
+	p := &Process{dev: dev, pids: pids, provided: ThreadMultiple, rec: mpe.RecorderOf(dev), counters: mpe.CountersOf(dev), replay: cfg.Replay}
 	if len(cfg.NodeOf) == len(pids) {
 		p.nodeOf = append([]int(nil), cfg.NodeOf...)
 	}

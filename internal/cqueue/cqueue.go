@@ -141,6 +141,34 @@ func (c *Queue[T]) Peek() (T, error) {
 	}
 }
 
+// TryPeek is the non-blocking Peek: it removes and returns a completed
+// request if one is queued. ok is false when the queue is empty (or
+// holds only tombstones); closed then reports whether the queue has
+// been closed, so a poller can distinguish "nothing yet" from "nothing
+// ever again". The replay-enforced pop path polls through here — it
+// must regain control between pops to compare completion identities
+// against the recorded order, which the blocking Peek cannot offer.
+func (c *Queue[T]) TryPeek() (v T, ok bool, closed bool) {
+	var zero T
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.head < len(c.items) {
+		e := c.items[c.head]
+		c.items[c.head] = zero
+		c.head++
+		if c.head == len(c.items) {
+			c.items = c.items[:0]
+			c.head = 0
+		}
+		if slot := e.CQSlot(); *slot {
+			*slot = false
+			c.live--
+			return e, true, c.closed
+		}
+	}
+	return zero, false, c.closed
+}
+
 // Len reports the number of uncollected completions.
 func (c *Queue[T]) Len() int {
 	c.mu.Lock()

@@ -35,6 +35,7 @@ import (
 	"mpj/internal/cqueue"
 	"mpj/internal/match"
 	"mpj/internal/mpe"
+	"mpj/internal/replay"
 	"mpj/internal/xdev"
 )
 
@@ -117,6 +118,11 @@ type Core struct {
 	Counters mpe.Counters
 
 	rec mpe.Recorder
+
+	// session is the rank's record/replay state (internal/replay); nil
+	// when record/replay is off, which keeps every tap below a single
+	// pointer load. Install at Init via SetReplay, before traffic.
+	session atomic.Pointer[replay.Session]
 
 	// closedErr shapes the error returned for operations finding the
 	// core closed; op is the operation name ("probe", "peek", ...).
@@ -260,6 +266,7 @@ func (c *Core) MatchPosted(env match.Concrete, seq uint64) (*Request, bool) {
 	if ok {
 		c.Counters.Matched.Add(1)
 		req.stampMatch(env.Src, seq)
+		c.replayMatched(req, env.Src, env.Tag, env.Ctx, seq)
 	}
 	return req, ok
 }
@@ -305,6 +312,7 @@ func (c *Core) MatchOrPark(env match.Concrete, a *Arrival) (*Request, bool, erro
 		c.mu.Unlock()
 		c.Counters.Matched.Add(1)
 		req.stampMatch(a.Src, a.Seq)
+		c.replayMatched(req, a.Src, a.Tag, a.Ctx, a.Seq)
 		return req, true, nil
 	}
 	rec := c.rec
@@ -340,6 +348,12 @@ func (c *Core) MatchOrPark(env match.Concrete, a *Arrival) (*Request, bool, erro
 func (c *Core) PostRecv(p match.Pattern, req *Request, pinAlive func() error) (*Arrival, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if s := c.session.Load(); s != nil {
+		var err error
+		if p, err = c.replayPostLocked(s, p, req); err != nil {
+			return nil, err
+		}
+	}
 	// Peek-then-claim-then-remove: the arrival is only consumed once
 	// the request is won, so a lost claim race strands nothing.
 	// ItemSet.Peek and ItemSet.Match return the same earliest entry,
@@ -350,6 +364,7 @@ func (c *Core) PostRecv(p match.Pattern, req *Request, pinAlive func() error) (*
 		}
 		c.arrived.Match(p)
 		req.stampMatch(a.Src, a.Seq)
+		c.replayMatched(req, a.Src, a.Tag, a.Ctx, a.Seq)
 		return a, nil
 	}
 	if req.claimed() {
@@ -434,16 +449,15 @@ func (c *Core) Probe(p match.Pattern, op string) (*Arrival, error) {
 // Peek blocks until some request completes and returns it — the
 // completion-queue primitive beneath mpjdev's Waitany (§IV-E.1). After
 // shutdown drains, it reports the abort cause or the closed shape.
+// With a record/replay session installed the pop is logged, and under
+// replay reordered to the recorded pop sequence (see peekSession).
 func (c *Core) Peek() (*Request, error) {
+	if s := c.session.Load(); s != nil {
+		return c.peekSession(s)
+	}
 	r, err := c.cq.Peek()
 	if err != nil {
-		c.mu.Lock()
-		aborted := c.aborted
-		c.mu.Unlock()
-		if aborted != nil {
-			return nil, aborted
-		}
-		return nil, c.closedErr("peek")
+		return nil, c.peekErr()
 	}
 	return r, nil
 }

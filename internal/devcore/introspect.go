@@ -1,6 +1,10 @@
 package devcore
 
-import "sort"
+import (
+	"sort"
+
+	"mpj/internal/replay"
+)
 
 // PendingState is one named protocol pending set's live depth.
 type PendingState struct {
@@ -37,6 +41,9 @@ type CoreState struct {
 	// Seq is the last sequence number handed out — total seq-stamped
 	// messages originated by this rank.
 	Seq uint64 `json:"seq"`
+	// Replay is the record/replay session state (mode, decision counts,
+	// stalls, first divergence); absent when record/replay is off.
+	Replay *replay.State `json:"replay,omitempty"`
 }
 
 // Introspect snapshots the core's live state.
@@ -63,6 +70,10 @@ func (c *Core) Introspect() CoreState {
 	sort.Slice(st.Revoked, func(i, j int) bool { return st.Revoked[i] < st.Revoked[j] })
 	if c.aborted != nil {
 		st.Aborted = c.aborted.Error()
+	}
+	if s := c.session.Load(); s != nil {
+		rs := s.State()
+		st.Replay = &rs
 	}
 	return st
 }

@@ -7,6 +7,7 @@ import (
 
 	"mpj/internal/mpe"
 	"mpj/internal/mpjbuf"
+	"mpj/internal/replay"
 	"mpj/internal/xdev"
 )
 
@@ -64,6 +65,23 @@ type Request struct {
 	tag  int32
 	ctx  int32
 	seq  uint64
+
+	// Replay identity: the request's envelope as the record/replay
+	// subsystem keys it. Unlike the tracing envelope above it is not
+	// gated on tracing being enabled — it is stamped whenever a replay
+	// session is active (sends at creation via SetReplayID, receives at
+	// PostRecv and re-stamped at match). rPeer is -1 for an unresolved
+	// ANY_SOURCE receive.
+	rPeer int64
+	rTag  int32
+	rCtx  int32
+	rSeq  uint64
+
+	// wdec is the open wildcard decision for a wildcard receive; cdec
+	// the dual-post arbitration decision hybriddev attached. Either is
+	// resolved (record) or verified (replay) when the request matches.
+	wdec *replay.Wildcard
+	cdec *replay.Claim
 
 	// claim arbitrates ownership of a request posted into more than
 	// one core at once (hybriddev's ANY_SOURCE dual-posting): whichever
@@ -159,6 +177,30 @@ func (r *Request) TraceSeq(peer, tag, ctx int32, seq uint64) {
 func (r *Request) SetSeq(seq uint64) {
 	if r.t0 >= 0 {
 		r.seq = seq
+	}
+}
+
+// SetReplayID stamps the replay envelope on a send request. Devices
+// call it at creation when a record/replay session is active, with the
+// same deterministic seq they drew from NextSeqSend.
+func (r *Request) SetReplayID(peer int64, tag, ctx int32, seq uint64) {
+	r.rPeer, r.rTag, r.rCtx, r.rSeq = peer, tag, ctx, seq
+}
+
+// SetClaimDecision attaches a dual-post arbitration decision; the core
+// resolves (and under replay verifies) it when the request matches.
+func (r *Request) SetClaimDecision(c *replay.Claim) { r.cdec = c }
+
+// popKey is the request's completion identity in the recorded pop
+// order: creating core, direction, and replay envelope.
+func (r *Request) popKey() replay.PopKey {
+	op := "send"
+	if r.kind == RecvReq {
+		op = "recv"
+	}
+	return replay.PopKey{
+		Dev: r.c.dev, Op: op,
+		Src: r.rPeer, Tag: int64(r.rTag), Ctx: int64(r.rCtx), Seq: r.rSeq,
 	}
 }
 

@@ -43,6 +43,7 @@ import (
 	"mpj/internal/mpe"
 	"mpj/internal/mpjbuf"
 	"mpj/internal/niodev"
+	"mpj/internal/replay"
 	"mpj/internal/smpdev"
 	"mpj/internal/xdev"
 )
@@ -66,6 +67,12 @@ type Device struct {
 
 	nio *niodev.Device
 	smp *smpdev.Device // nil unless the job is colocated
+
+	// session is the rank's record/replay session (nil when off). The
+	// same session rides cfg.Replay into both inner devices, so their
+	// merged completion queue is enforced as one pop stream; hybriddev
+	// itself records/enforces the dual-post claim arbitrations.
+	session *replay.Session
 
 	// local[slot] reports whether slot routes over the smp path.
 	// Self is always local when the smp inner exists, so a wildcard
@@ -127,6 +134,7 @@ func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
 	if cfg.Recorder != nil {
 		d.rec = cfg.Recorder
 	}
+	d.session = cfg.Replay
 	d.nodeOf = append([]int(nil), nodeOf...)
 	d.myNode = nodeOf[cfg.Rank]
 	d.nNodes = xdev.NodeCount(nodeOf)
@@ -249,11 +257,37 @@ func (d *Device) IRecv(buf *mpjbuf.Buffer, src xdev.ProcessID, tag, context int)
 
 	req := d.nio.Core().NewRequest(devcore.RecvReq, buf)
 	req.OpCtx = int32(context)
-	req.EnableClaim()
 	if d.rec.Enabled() {
 		req.Trace(-1, int32(tag), int32(context))
 		d.rec.Event(mpe.RecvPosted, -1, int32(tag), int32(context), 0)
 	}
+	// A record/replay session arbitrates the dual-post through a claim
+	// decision: recording logs which core won with what (src,seq), and
+	// replay short-circuits the race entirely — the request is posted
+	// only into the recorded winner, narrowed to the recorded envelope,
+	// and the match verifies the recorded (src,seq).
+	if cd := d.session.OpenClaim(); cd != nil {
+		req.SetClaimDecision(cd)
+		core := d.nio.Core()
+		if d.session.Recording() {
+			core.Counters.DecisionsRecorded.Add(1)
+		}
+		if cd.Enforce {
+			core.Counters.DecisionsEnforced.Add(1)
+			srcPid := xdev.ProcessID{UUID: uint64(cd.Src)}
+			var err error
+			if cd.Dev == smpdev.DeviceName {
+				err = d.smp.PostRecvReq(req, srcPid, int(cd.Tag), context)
+			} else {
+				err = d.nio.PostRecvReq(req, srcPid, int(cd.Tag), context)
+			}
+			if err != nil {
+				return nil, err
+			}
+			return req, nil
+		}
+	}
+	req.EnableClaim()
 	// Post shared-memory first: a parked local message completes the
 	// request immediately and the wire core never sees it.
 	if err := d.smp.PostRecvReq(req, src, tag, context); err != nil {
@@ -352,6 +386,10 @@ func (d *Device) Peek() (xdev.Request, error) {
 	}
 	return d.nio.Peek()
 }
+
+// ReplayActive reports whether a record/replay session is installed
+// (mpjdev's WaitAny skips its Test fast path while one is).
+func (d *Device) ReplayActive() bool { return d.session != nil }
 
 // Finish leaves the job on both transports: the shared-memory core
 // shuts down first (failing its pending requests and propagating this

@@ -162,6 +162,29 @@ func (s *PatternSet[T]) Match(c Concrete) (v T, ok bool) {
 // Len reports the number of live (unmatched) patterns.
 func (s *PatternSet[T]) Len() int { return s.live }
 
+// Recount recomputes the live total and per-class counts directly from
+// the buckets. The class counters are a probe-skipping cache; the
+// replay hold-release path recounts before probing so enforcement
+// never trusts a stale cache while it rewrites patterns the cache was
+// maintained under (ISSUE 10 stale live-count fix).
+func (s *PatternSet[T]) Recount() {
+	s.live = 0
+	s.classes = [4]int{}
+	for k, q := range s.buckets {
+		n := 0
+		for _, e := range q.items {
+			if e != nil && !e.taken {
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		s.live += n
+		s.classes[classOf(k)] += n
+	}
+}
+
 // TakeFunc removes and returns every live pattern accepted by pred, in
 // posting order. The failure paths use it to drain receives that can no
 // longer complete (dead source, device shutdown).
@@ -300,6 +323,23 @@ func (s *ItemSet[T]) Peek(p Pattern) (v T, ok bool) {
 
 // Len reports the number of live (unmatched) items.
 func (s *ItemSet[T]) Len() int { return s.live }
+
+// Recount recomputes the live count from the class-0 buckets (every
+// live item is indexed there exactly once). Companion to
+// PatternSet.Recount for the replay hold-release path.
+func (s *ItemSet[T]) Recount() {
+	s.live = 0
+	for k, q := range s.buckets {
+		if classOf(k) != 0 {
+			continue
+		}
+		for _, e := range q.items {
+			if e != nil && !e.taken {
+				s.live++
+			}
+		}
+	}
+}
 
 // TakeFunc removes and returns every live item accepted by pred, in
 // arrival order. An item may be indexed under several keys sharing one

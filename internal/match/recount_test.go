@@ -1,0 +1,60 @@
+package match
+
+import "testing"
+
+// TestPatternSetRecountHealsDrift simulates the stale live-count the
+// replay hold-release path can leave behind (ISSUE 10 satellite fix):
+// the counters drift from the buckets, Recount restores them, and the
+// lazy wildcard index probes correctly again.
+func TestPatternSetRecountHealsDrift(t *testing.T) {
+	s := NewPatternSet[int]()
+	s.Add(Pattern{Ctx: 1, Tag: 5, Src: 2}, 10)
+	s.Add(Pattern{Ctx: 1, Tag: AnyTag, Src: 2}, 11)
+	s.Add(Pattern{Ctx: 1, Tag: 5, Src: AnySource}, 12)
+	s.Add(Pattern{Ctx: 1, Tag: AnyTag, Src: AnySource}, 13)
+
+	// Drift the counters the way a missed decrement would.
+	s.live = 99
+	s.classes = [4]int{7, 7, 7, 7}
+
+	s.Recount()
+	if got := s.Len(); got != 4 {
+		t.Fatalf("Len after Recount = %d, want 4", got)
+	}
+	if s.classes != [4]int{1, 1, 1, 1} {
+		t.Fatalf("classes after Recount = %v, want [1 1 1 1]", s.classes)
+	}
+
+	// Every posted pattern must still match, most specific first.
+	want := []int{10, 11, 12, 13}
+	for i, w := range want {
+		v, ok := s.Match(Concrete{Ctx: 1, Tag: 5, Src: 2})
+		if !ok || v != w {
+			t.Fatalf("match %d = (%d,%v), want (%d,true)", i, v, ok, w)
+		}
+	}
+	s.Recount()
+	if got := s.Len(); got != 0 {
+		t.Fatalf("Len after draining = %d, want 0", got)
+	}
+}
+
+// TestItemSetRecountHealsDrift is the arrived-side counterpart.
+func TestItemSetRecountHealsDrift(t *testing.T) {
+	s := NewItemSet[int]()
+	s.Add(Concrete{Ctx: 1, Tag: 5, Src: 2}, 20)
+	s.Add(Concrete{Ctx: 1, Tag: 6, Src: 3}, 21)
+
+	s.live = -5
+	s.Recount()
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len after Recount = %d, want 2", got)
+	}
+	if v, ok := s.Match(Pattern{Ctx: 1, Tag: AnyTag, Src: AnySource}); !ok || v != 20 {
+		t.Fatalf("wildcard match = (%d,%v), want (20,true)", v, ok)
+	}
+	s.Recount()
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len after one take = %d, want 1", got)
+	}
+}

@@ -57,6 +57,42 @@ func WriteChromeTrace(w io.Writer, files []*TraceFile, onlyRank int) error {
 	return writeChromeTrace(w, files, onlyRank, nil)
 }
 
+// ChromeExtra is one externally-sourced instant event merged into a
+// Chrome trace export — mpjtrace injects per-rank replay decisions
+// this way. AtNS places it on the merged timeline (decision logs carry
+// no wall clock, so callers typically pass 0 and rely on the
+// tie-break); the (Rank, Pos) pair is the decision's stable identity,
+// so repeated exports over logs written by racing threads come out in
+// the same order.
+type ChromeExtra struct {
+	AtNS int64
+	Rank int
+	Seq  uint64
+	Pos  int // per-rank decision index — second sort key after rank
+	Name string
+	Cat  string
+	Args map[string]any
+}
+
+// WriteChromeTraceExtras is WriteChromeTrace with extra events sorted
+// into the merged stream by (timestamp, rank, seq, index).
+func WriteChromeTraceExtras(w io.Writer, files []*TraceFile, onlyRank int, extras []ChromeExtra) error {
+	var keyed []chromeKeyed
+	for _, e := range extras {
+		if onlyRank >= 0 && e.Rank != onlyRank {
+			continue
+		}
+		keyed = append(keyed, chromeKeyed{
+			atNS: e.AtNS, rank: e.Rank, seq: e.Seq, pos: e.Pos,
+			ce: chromeEvent{
+				Name: e.Name, Cat: e.Cat, Ph: "i", Scope: "t",
+				TS: float64(e.AtNS) / 1e3, PID: e.Rank, TID: 0, Args: e.Args,
+			},
+		})
+	}
+	return writeChromeTrace(w, files, onlyRank, keyed)
+}
+
 // chromeKeyed pairs a renderable event with the sort key that makes
 // repeated exports of the same trace byte-identical: timestamp, then
 // rank, then the message sequence number, then ring position.

@@ -58,6 +58,15 @@ type Counters struct {
 	CommRevokes atomic.Uint64
 	CommShrinks atomic.Uint64
 	CommAgrees  atomic.Uint64
+	// DecisionsRecorded counts nondeterministic decisions written to
+	// the record/replay decision log (wildcard resolutions, completion
+	// pops, claim arbitrations); DecisionsEnforced counts recorded
+	// decisions a replaying run enforced; ReplayStalls counts
+	// completions held past their pop because the recording ordered an
+	// earlier one (internal/replay).
+	DecisionsRecorded atomic.Uint64
+	DecisionsEnforced atomic.Uint64
+	ReplayStalls      atomic.Uint64
 }
 
 // Snapshot returns a plain-value copy of the counters.
@@ -83,6 +92,10 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		CommRevokes:     c.CommRevokes.Load(),
 		CommShrinks:     c.CommShrinks.Load(),
 		CommAgrees:      c.CommAgrees.Load(),
+
+		DecisionsRecorded: c.DecisionsRecorded.Load(),
+		DecisionsEnforced: c.DecisionsEnforced.Load(),
+		ReplayStalls:      c.ReplayStalls.Load(),
 	}
 }
 
@@ -110,6 +123,10 @@ type CounterSnapshot struct {
 	CommRevokes     uint64 `json:"commRevokes,omitempty"`
 	CommShrinks     uint64 `json:"commShrinks,omitempty"`
 	CommAgrees      uint64 `json:"commAgrees,omitempty"`
+
+	DecisionsRecorded uint64 `json:"decisionsRecorded,omitempty"`
+	DecisionsEnforced uint64 `json:"decisionsEnforced,omitempty"`
+	ReplayStalls      uint64 `json:"replayStalls,omitempty"`
 }
 
 // Add returns the field-wise sum of two snapshots (used when a device
@@ -136,5 +153,9 @@ func (s CounterSnapshot) Add(o CounterSnapshot) CounterSnapshot {
 		CommRevokes:     s.CommRevokes + o.CommRevokes,
 		CommShrinks:     s.CommShrinks + o.CommShrinks,
 		CommAgrees:      s.CommAgrees + o.CommAgrees,
+
+		DecisionsRecorded: s.DecisionsRecorded + o.DecisionsRecorded,
+		DecisionsEnforced: s.DecisionsEnforced + o.DecisionsEnforced,
+		ReplayStalls:      s.ReplayStalls + o.ReplayStalls,
 	}
 }

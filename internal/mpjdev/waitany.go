@@ -33,6 +33,13 @@ type waitAnyRef struct {
 }
 
 // waitAny is one blocked Waitany call.
+// replayActive is implemented by devices that can host a record/replay
+// session (internal/replay). While a session is installed, WaitAny
+// must not consume completions through its Test fast path.
+type replayActive interface {
+	ReplayActive() bool
+}
+
 type waitAny struct {
 	reqs []*Request
 
@@ -165,19 +172,25 @@ func WaitAny(reqs []*Request) (int, Status, error) {
 	}
 
 	// Fast path: some request already completed (Test also collects it
-	// from the device completion queue).
-	for i, r := range reqs {
-		if r == nil {
-			continue
-		}
-		st, ok, err := r.Test()
-		if err != nil {
-			clear()
-			return i, Status{}, err
-		}
-		if ok {
-			clear()
-			return i, st, nil
+	// from the device completion queue). Skipped under record/replay:
+	// whether a completion beats WaitAny here is a timing race, so the
+	// fast path would make the pop-decision stream's length depend on
+	// scheduling — routing every delivery through Peek keeps the
+	// recorded and replayed streams the same length.
+	if ra, ok := dev.(replayActive); !ok || !ra.ReplayActive() {
+		for i, r := range reqs {
+			if r == nil {
+				continue
+			}
+			st, ok, err := r.Test()
+			if err != nil {
+				clear()
+				return i, Status{}, err
+			}
+			if ok {
+				clear()
+				return i, st, nil
+			}
 		}
 	}
 

@@ -161,6 +161,9 @@ func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
 	if cfg.Recorder != nil {
 		d.rec = cfg.Recorder
 	}
+	if cfg.Replay != nil {
+		ep.SetReplay(cfg.Replay)
+	}
 	d.eagerLimit = cfg.EagerLimit
 	if d.eagerLimit <= 0 {
 		d.eagerLimit = DefaultEagerLimit
@@ -527,5 +530,9 @@ func (d *Device) Peek() (xdev.Request, error) {
 	req.finishRecv()
 	return req, nil
 }
+
+// ReplayActive reports whether a record/replay session is installed
+// (mpjdev's WaitAny skips its Test fast path while one is).
+func (d *Device) ReplayActive() bool { return d.ep != nil && d.ep.ReplayActive() }
 
 var _ xdev.Device = (*Device)(nil)

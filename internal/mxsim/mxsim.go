@@ -34,6 +34,7 @@ import (
 	"sync"
 
 	"mpj/internal/devcore"
+	"mpj/internal/replay"
 	"mpj/internal/xdev"
 )
 
@@ -161,6 +162,13 @@ func (ep *Endpoint) MatchStats() (matched, unexpected uint64) {
 func (ep *Endpoint) Introspect() devcore.CoreState {
 	return ep.core.Introspect()
 }
+
+// SetReplay installs a record/replay session on the endpoint's
+// progress core. Call before traffic (mxdev does so at Init).
+func (ep *Endpoint) SetReplay(s *replay.Session) { ep.core.SetReplay(s) }
+
+// ReplayActive reports whether a record/replay session is installed.
+func (ep *Endpoint) ReplayActive() bool { return ep.core.ReplayActive() }
 
 // OpenEndpoint opens endpoint id within the named group
 // (mx_open_endpoint). Ids must be unique within a group.
@@ -327,7 +335,11 @@ func (ep *Endpoint) send(segments [][]byte, dst EndpointAddr, matchInfo uint64, 
 	}
 	sreq := ep.newRequest(devcore.SendReq, context)
 	data := gather(segments)
-	seq := ep.core.NextSeq()
+	env := decodeConcrete(matchInfo)
+	seq := ep.core.NextSeqSend(uint64(dst.id), env.Ctx, env.Tag)
+	if ep.core.ReplayActive() {
+		sreq.dr.SetReplayID(int64(dst.id), env.Tag, env.Ctx, seq)
+	}
 	st := Status{Source: ep.id, MatchInfo: matchInfo, Bytes: len(data), Seq: seq}
 	arr := &devcore.Arrival{
 		Src:       uint64(ep.id),

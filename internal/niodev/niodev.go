@@ -146,6 +146,9 @@ func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
 		d.rec = cfg.Recorder
 		d.core.SetRecorder(cfg.Recorder)
 	}
+	if cfg.Replay != nil {
+		d.core.SetReplay(cfg.Replay)
+	}
 	d.eagerLimit = cfg.EagerLimit
 	if d.eagerLimit <= 0 {
 		d.eagerLimit = DefaultEagerLimit

@@ -304,16 +304,20 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 		var seq uint64
 		if sync {
 			typ = msgEagerSync
-			seq = d.core.NextSeq()
+			seq = d.core.NextSeqSend(uint64(slot), int32(context), int32(tag))
 			if err := d.pendingSync.Add(devcore.PendingKey{Peer: uint64(slot), Seq: seq}, req); err != nil {
 				return nil, err // peer death or shutdown raced the gate checks
 			}
-		} else if d.rec.Enabled() {
+		} else if d.rec.Enabled() || d.core.ReplayActive() {
 			// Plain eager frames only need a seq for cross-rank trace
-			// correlation, so the counter bump is paid only when tracing.
-			seq = d.core.NextSeq()
+			// correlation and the record/replay match stamp, so the
+			// counter bump is paid only when one of those is on.
+			seq = d.core.NextSeqSend(uint64(slot), int32(context), int32(tag))
 		}
 		req.SetSeq(seq)
+		if d.core.ReplayActive() {
+			req.SetReplayID(int64(slot), int32(tag), int32(context), seq)
+		}
 		d.core.Counters.EagerSent.Add(1)
 		d.core.Counters.BytesSent.Add(uint64(wireLen))
 		h := header{typ: typ, src: uint32(d.cfg.Rank), tag: int32(tag), ctx: int32(context), seq: seq, wireLen: uint64(wireLen)}
@@ -348,8 +352,11 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 	// nested, so sends to other destinations don't block.
 	d.core.Counters.RndvSent.Add(1)
 	d.core.Counters.BytesSent.Add(uint64(wireLen))
-	seq := d.core.NextSeq()
+	seq := d.core.NextSeqSend(uint64(slot), int32(context), int32(tag))
 	req.SetSeq(seq)
+	if d.core.ReplayActive() {
+		req.SetReplayID(int64(slot), int32(tag), int32(context), seq)
+	}
 	req.SendTag, req.SendCtx = int32(tag), int32(context)
 	if err := d.pendingRndv.Add(devcore.PendingKey{Peer: uint64(slot), Seq: seq}, req); err != nil {
 		return nil, err // peer death or shutdown raced the gate checks
@@ -406,9 +413,12 @@ func (d *Device) deliverSelf(buf *mpjbuf.Buffer, tag, context int, sync bool, sr
 	d.core.Counters.BytesSent.Add(uint64(buf.WireLen()))
 
 	var seq uint64
-	if d.rec.Enabled() {
-		seq = d.core.NextSeq()
+	if d.rec.Enabled() || d.core.ReplayActive() {
+		seq = d.core.NextSeqSend(uint64(d.cfg.Rank), int32(context), int32(tag))
 		sreq.SetSeq(seq)
+	}
+	if d.core.ReplayActive() {
+		sreq.SetReplayID(int64(d.cfg.Rank), int32(tag), int32(context), seq)
 	}
 	arr := &devcore.Arrival{
 		Src: uint64(d.cfg.Rank), Tag: int32(tag), Ctx: int32(context),

@@ -25,3 +25,7 @@ func (d *Device) Peek() (xdev.Request, error) {
 	}
 	return r, nil
 }
+
+// ReplayActive reports whether a record/replay session is installed
+// (mpjdev's WaitAny skips its Test fast path while one is).
+func (d *Device) ReplayActive() bool { return d.core != nil && d.core.ReplayActive() }

@@ -185,6 +185,9 @@ func (d *Device) Init(cfg xdev.Config) ([]xdev.ProcessID, error) {
 	d.grp = g
 	d.core = g.cores[cfg.Rank]
 	d.core.SetRecorder(d.rec)
+	if cfg.Replay != nil {
+		d.core.SetReplay(cfg.Replay)
+	}
 	d.pids = make([]xdev.ProcessID, cfg.Size)
 	for i := range d.pids {
 		d.pids[i] = xdev.ProcessID{UUID: uint64(i)}
@@ -313,12 +316,19 @@ func (d *Device) isend(buf *mpjbuf.Buffer, dst xdev.ProcessID, tag, context int,
 	st := xdev.Status{Source: d.self, Tag: tag, Bytes: wireLen}
 
 	var seq uint64
+	if d.rec.Enabled() || d.core.ReplayActive() {
+		// The seq matters for cross-rank trace correlation and as the
+		// record/replay match stamp, so the counter bump is paid only
+		// when either is on. Under a replay session the stamp is drawn
+		// from the deterministic per-(dst,ctx,tag) stream.
+		seq = d.core.NextSeqSend(dst.UUID, int32(context), int32(tag))
+	}
 	if d.rec.Enabled() {
-		// The seq only matters for cross-rank trace correlation, so the
-		// counter bump is paid only when tracing.
-		seq = d.core.NextSeq()
 		sreq.TraceSeq(int32(dst.UUID), int32(tag), int32(context), seq)
 		d.rec.Event(mpe.SendBegin, int32(dst.UUID), int32(tag), int32(context), int64(wireLen))
+	}
+	if d.core.ReplayActive() {
+		sreq.SetReplayID(int64(dst.UUID), int32(tag), int32(context), seq)
 	}
 	d.core.Counters.EagerSent.Add(1)
 	d.core.Counters.BytesSent.Add(uint64(wireLen))
@@ -525,5 +535,9 @@ func (d *Device) Peek() (xdev.Request, error) {
 	}
 	return r, nil
 }
+
+// ReplayActive reports whether a record/replay session is installed
+// (mpjdev's WaitAny skips its Test fast path while one is).
+func (d *Device) ReplayActive() bool { return d.core != nil && d.core.ReplayActive() }
 
 var _ xdev.Device = (*Device)(nil)

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"mpj/internal/mpe"
+	"mpj/internal/replay"
 )
 
 // Source is one rank's view into its live device state. Stats is
@@ -52,6 +53,9 @@ type Source struct {
 	// RMA reports the rank's live one-sided window state (nil when the
 	// rank has no windows to report).
 	RMA func() any
+	// Replay reports the rank's record/replay session state (nil when
+	// neither recording nor replaying).
+	Replay func() replay.State
 }
 
 // Introspector is implemented by devices that can dump their live
@@ -159,6 +163,9 @@ func (s *Server) serveIntrospect(w http.ResponseWriter, _ *http.Request) {
 				st["rma"] = ws
 			}
 		}
+		if src.Replay != nil {
+			st["replay"] = src.Replay()
+		}
 		out[fmt.Sprint(src.Rank)] = st
 	}
 	enc := json.NewEncoder(w)
@@ -191,6 +198,9 @@ var counterDefs = []struct {
 	{"mpj_comm_revokes_total", "Communicator revocations initiated by this rank.", func(c mpe.CounterSnapshot) uint64 { return c.CommRevokes }},
 	{"mpj_comm_shrinks_total", "Successful communicator Shrink operations.", func(c mpe.CounterSnapshot) uint64 { return c.CommShrinks }},
 	{"mpj_comm_agrees_total", "Completed fault-tolerant agreement rounds.", func(c mpe.CounterSnapshot) uint64 { return c.CommAgrees }},
+	{"mpj_replay_decisions_recorded_total", "Nondeterministic decisions captured by the record log.", func(c mpe.CounterSnapshot) uint64 { return c.DecisionsRecorded }},
+	{"mpj_replay_decisions_enforced_total", "Recorded decisions enforced during replay.", func(c mpe.CounterSnapshot) uint64 { return c.DecisionsEnforced }},
+	{"mpj_replay_stalls_total", "Completions parked waiting for their recorded turn.", func(c mpe.CounterSnapshot) uint64 { return c.ReplayStalls }},
 }
 
 // WriteMetrics writes the Prometheus text exposition (format 0.0.4)
@@ -221,6 +231,19 @@ func WriteMetrics(w io.Writer, sources []Source) {
 	writeHistFamily(w, sources, "mpj_recovery_latency_ns",
 		"Fault-recovery (Shrink) latency in nanoseconds, by ranks-lost class.",
 		func(s Source) func() mpe.HistSnapshot { return s.RecoveryHist })
+	headed := false
+	for _, src := range sources {
+		if src.Replay == nil {
+			continue
+		}
+		if !headed {
+			fmt.Fprint(w, "# HELP mpj_replay_append_avg_ns Mean nanoseconds spent appending one decision record (recording overhead).\n# TYPE mpj_replay_append_avg_ns gauge\n")
+			headed = true
+		}
+		st := src.Replay()
+		fmt.Fprintf(w, "mpj_replay_append_avg_ns{rank=\"%d\",device=\"%s\",mode=\"%s\"} %g\n",
+			src.Rank, src.Device, st.Mode, st.AvgAppendNS)
+	}
 }
 
 func writeHistFamily(w io.Writer, sources []Source, name, help string, pick func(Source) func() mpe.HistSnapshot) {

@@ -20,6 +20,7 @@ import (
 
 	"mpj/internal/mpe"
 	"mpj/internal/mpjbuf"
+	"mpj/internal/replay"
 )
 
 // Wildcard tag and matching constants. Context values are assigned by
@@ -137,6 +138,13 @@ type Config struct {
 	// MPJ_SEND_SPIN, then the device default (128); negative disables
 	// spinning (park immediately).
 	SendSpin int
+	// Replay is this rank's record/replay session (internal/replay):
+	// when non-nil the device records every nondeterministic decision
+	// it makes — wildcard match resolutions, completion-pop order,
+	// dual-post claim arbitration — into the session, and under replay
+	// enforces the recorded outcomes. Nil means record/replay is off.
+	// A composing device passes the same session to every inner device.
+	Replay *replay.Session
 }
 
 // Device is the xdev API of paper Fig. 2. All methods are safe for

@@ -11,6 +11,7 @@ import (
 	"mpj/internal/core"
 	"mpj/internal/mpe"
 	"mpj/internal/netsim"
+	"mpj/internal/replay"
 	"mpj/internal/rma"
 	"mpj/internal/telemetry"
 	"mpj/internal/transport"
@@ -67,6 +68,21 @@ type Options struct {
 	// TraceEvents caps the per-rank event ring (oldest events are
 	// overwritten past the cap); 0 selects mpe.DefaultRingCapacity.
 	TraceEvents int
+	// RecordDir, when non-empty, records every nondeterministic decision
+	// each rank makes — wildcard match resolutions, completion-pop
+	// order, hybrid dual-post claims, agreement outcomes and the chaos
+	// seed — into per-rank `rank-N.decisions` logs in the directory
+	// (created if needed). Also set by MPJ_RECORD. Inspect the logs with
+	// `go run ./cmd/mpjtrace -decisions`.
+	RecordDir string
+	// ReplayDir, when non-empty, replays a previous run from the
+	// decision logs in the directory: wildcard receives are narrowed to
+	// the recorded source, completion pops are reordered to the logged
+	// sequence, and the first departure from the recording fails the job
+	// with an error wrapping replay.ErrReplayDiverged. Also set by
+	// MPJ_REPLAY. May be combined with RecordDir to write the observed
+	// decision log of the replay itself (what `mpjtrace -replay` diffs).
+	ReplayDir string
 	// MetricsAddr, when non-empty, serves live telemetry over HTTP on
 	// the given host:port (":0" picks a free port): /metrics exposes
 	// every mpe counter and latency histogram in Prometheus text
@@ -95,6 +111,11 @@ func (o *Options) withDefaults() Options {
 		out.TraceDir = o.TraceDir
 		out.TraceEvents = o.TraceEvents
 		out.MetricsAddr = o.MetricsAddr
+		out.RecordDir = o.RecordDir
+		out.ReplayDir = o.ReplayDir
+	}
+	if out.RecordDir == "" && out.ReplayDir == "" {
+		out.RecordDir, out.ReplayDir = replay.DirsFromEnv()
 	}
 	if !out.Tracing {
 		out.Tracing = envTraceOn()
@@ -175,6 +196,7 @@ func RunLocalOpts(n int, opts *Options, body func(p *Process) error) error {
 	procs := make([]*Process, n)
 	devs := make([]xdev.Device, n)
 	tracers := make([]*mpe.Tracer, n)
+	sessions := make([]*replay.Session, n)
 	initErrs := make([]error, n)
 	var initWG sync.WaitGroup
 	for i := 0; i < n; i++ {
@@ -191,6 +213,18 @@ func RunLocalOpts(n int, opts *Options, body func(p *Process) error) error {
 				Dialer: dialer, EagerLimit: o.EagerLimit, Group: job,
 				NodeOf: nodeOf, Colocated: true,
 				SendEngine: o.SendEngine, SendQueue: o.SendQueue, SendSpin: o.SendSpin,
+			}
+			if o.RecordDir != "" || o.ReplayDir != "" {
+				sessions[rank], err = replay.Open(replay.Config{
+					RecordDir: o.RecordDir, ReplayDir: o.ReplayDir,
+					Rank: rank, Size: n, Device: o.Device,
+					ChaosSeed: os.Getenv("MPJ_CHAOS_SEED"),
+				})
+				if err != nil {
+					initErrs[rank] = err
+					return
+				}
+				cfg.Replay = sessions[rank]
 			}
 			var tr *mpe.Tracer
 			if o.Tracing {
@@ -223,7 +257,7 @@ func RunLocalOpts(n int, opts *Options, body func(p *Process) error) error {
 	if o.MetricsAddr != "" {
 		ts := telemetry.NewServer()
 		for i := 0; i < n; i++ {
-			ts.Register(telemetrySource(i, o.Device, devs[i], tracers[i]))
+			ts.Register(telemetrySource(i, o.Device, devs[i], tracers[i], sessions[i]))
 		}
 		if _, err := ts.Start(o.MetricsAddr); err != nil {
 			for _, p := range procs {
@@ -252,20 +286,32 @@ func RunLocalOpts(n int, opts *Options, body func(p *Process) error) error {
 	for _, p := range procs {
 		p.Finalize()
 	}
+	// Close the decision logs after the devices have quiesced; a
+	// divergence detected anywhere in the run surfaces here even when
+	// the rank body swallowed the error.
+	var divErr error
+	for i, s := range sessions {
+		if err := s.Close(); err != nil && divErr == nil {
+			divErr = fmt.Errorf("mpj: rank %d: %w", i, err)
+		}
+	}
 	for i, err := range errs {
 		if err != nil {
 			return fmt.Errorf("mpj: rank %d: %w", i, err)
 		}
 	}
-	return nil
+	return divErr
 }
 
 // telemetrySource wires a rank's device (and tracer, when tracing)
 // into a telemetry.Source for the live endpoints.
-func telemetrySource(rank int, device string, dev xdev.Device, tr *mpe.Tracer) telemetry.Source {
+func telemetrySource(rank int, device string, dev xdev.Device, tr *mpe.Tracer, sess *replay.Session) telemetry.Source {
 	src := telemetry.Source{
 		Rank: rank, Device: device,
 		Stats: func() mpe.CounterSnapshot { return mpe.CounterSnapshot{} },
+	}
+	if sess != nil {
+		src.Replay = sess.State
 	}
 	if s, ok := dev.(mpe.StatsSource); ok {
 		src.Stats = s.Stats
@@ -349,6 +395,19 @@ const (
 	// (default 64 KiB). It only shapes the issuing rank's own traffic.
 	EnvRmaSegment = core.EnvRmaSegment
 
+	// EnvRecord names a directory to record per-rank decision logs into
+	// (rank-N.decisions: wildcard matches, pop order, hybrid claims,
+	// agreement outcomes, chaos seed); EnvReplay names a directory of
+	// such logs to replay against, enforcing the recorded outcomes and
+	// failing the job on the first divergence. Set both to write the
+	// replay's own observed log for diffing (`mpjtrace -replay` does).
+	// EnvReplayTimeout bounds, in milliseconds, how long a replaying
+	// rank waits for a recorded completion before declaring divergence
+	// (default 10000).
+	EnvRecord        = "MPJ_RECORD"
+	EnvReplay        = "MPJ_REPLAY"
+	EnvReplayTimeout = "MPJ_REPLAY_TIMEOUT_MS"
+
 	// EnvSendEngine selects niodev's outbound path ("engine"/"on" —
 	// the default — or "direct"/"off"); EnvSendQueue bounds the
 	// per-peer send queue in frames (default 256); EnvSendSpin sets
@@ -393,6 +452,18 @@ func InitFromEnv() (*Process, error) {
 		Rank: rank, Size: size, Addrs: addrs, Dialer: transport.TCP{},
 		NodeOf: nodeOf,
 	}
+	var sess *replay.Session
+	if rec, rep := replay.DirsFromEnv(); rec != "" || rep != "" {
+		sess, err = replay.Open(replay.Config{
+			RecordDir: rec, ReplayDir: rep,
+			Rank: rank, Size: size, Device: device,
+			ChaosSeed: os.Getenv("MPJ_CHAOS_SEED"),
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Replay = sess
+	}
 	var tr *mpe.Tracer
 	if envTraceOn() {
 		tr = mpe.NewTracer(rank, 0)
@@ -401,6 +472,13 @@ func InitFromEnv() (*Process, error) {
 	p, err := core.Init(dev, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if sess != nil {
+		p.AddFinalizeHook(func() {
+			if cerr := sess.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "mpj: rank %d: %v\n", rank, cerr)
+			}
+		})
 	}
 	if tr != nil {
 		dir := os.Getenv(EnvTraceDir)
@@ -411,7 +489,7 @@ func InitFromEnv() (*Process, error) {
 	}
 	if addr := os.Getenv(EnvMetricsAddr); addr != "" {
 		ts := telemetry.NewServer()
-		ts.Register(telemetrySource(rank, device, dev, tr))
+		ts.Register(telemetrySource(rank, device, dev, tr, sess))
 		if _, err := ts.Start(addr); err != nil {
 			fmt.Fprintf(os.Stderr, "mpj: rank %d: %v\n", rank, err)
 		} else {
